@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark targets.
+
+Every benchmark regenerates one figure (or table) of the paper at
+laptop scale: it runs the corresponding experiment from :mod:`repro.bench`
+exactly once inside ``benchmark.pedantic`` (the experiments are minutes-scale
+sweeps, not micro-benchmarks), prints the resulting series, and checks the
+qualitative shape the paper reports (who wins, roughly by how much).
+
+Absolute numbers are not expected to match the paper — the substrate here is
+a pure-Python simulator, not the authors' Java system on a 16-core server —
+but the orderings and trends should hold.  EXPERIMENTS.md records both.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import pytest
+
+from repro.bench.reporting import ExperimentRow, format_table
+
+
+def run_once(benchmark, experiment) -> list[ExperimentRow]:
+    """Run an experiment callable exactly once under pytest-benchmark."""
+    return benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+
+def metric_by_approach(
+    rows: Sequence[ExperimentRow], value: float, metric: str = "latency_seconds"
+) -> dict[str, float]:
+    """Extract ``approach -> metric`` for one swept-parameter value."""
+    result: dict[str, float] = {}
+    for row in rows:
+        if row.value == value:
+            result[row.approach] = getattr(row, metric)
+    return result
+
+
+def print_rows(rows: Sequence[ExperimentRow], metrics: Sequence[str] = ()) -> None:
+    """Print the series behind a figure (captured by pytest, shown with -s)."""
+    print()
+    print(format_table(rows, metrics=metrics))
+
+
+@pytest.fixture(scope="session")
+def benchmark_disabled_warning():  # pragma: no cover - informational only
+    return None

@@ -1,0 +1,55 @@
+"""Figure 9: HAMLET versus MCEP-style, SHARON-style and GRETA baselines.
+
+Paper's shape (ridesharing, low setting so every baseline terminates):
+HAMLET beats the two-step MCEP-style engine 7–76x and the SHARON-style
+flattening by orders of magnitude; GRETA is the closest competitor because it
+is online and Kleene-native, just not shared.
+"""
+
+from __future__ import annotations
+
+from conftest import metric_by_approach, print_rows, run_once
+
+from repro.bench.fig9 import figure9_events_sweep, figure9_queries_sweep
+
+EVENT_VALUES = (100, 150, 200)
+QUERY_VALUES = (5, 15, 25)
+QUERY_SWEEP_RATE = 150
+
+
+def test_fig9a_latency_vs_events(benchmark):
+    rows = run_once(benchmark, lambda: figure9_events_sweep(EVENT_VALUES, num_queries=5))
+    print_rows(rows)
+    # The two-step baseline must lose at the highest rate (trend construction
+    # blows up with the events per window); the online engines stay flat.
+    top = metric_by_approach(rows, EVENT_VALUES[-1])
+    assert top["hamlet"] < top["mcep-two-step"]
+    assert top["hamlet"] < top["sharon-flat"] * 5
+
+
+def test_fig9b_latency_vs_queries(benchmark):
+    rows = run_once(
+        benchmark, lambda: figure9_queries_sweep(QUERY_VALUES, events_per_minute=QUERY_SWEEP_RATE)
+    )
+    print_rows(rows)
+    for value in QUERY_VALUES:
+        latency = metric_by_approach(rows, value)
+        assert latency["hamlet"] < latency["mcep-two-step"]
+
+
+def test_fig9c_throughput_vs_events(benchmark):
+    rows = run_once(benchmark, lambda: figure9_events_sweep(EVENT_VALUES, num_queries=5))
+    print_rows(rows, metrics=["throughput_eps"])
+    top = metric_by_approach(rows, EVENT_VALUES[-1], "throughput_eps")
+    assert top["hamlet"] > top["mcep-two-step"]
+
+
+def test_fig9d_throughput_vs_queries(benchmark):
+    rows = run_once(
+        benchmark, lambda: figure9_queries_sweep(QUERY_VALUES, events_per_minute=QUERY_SWEEP_RATE)
+    )
+    print_rows(rows, metrics=["throughput_eps"])
+    for value in QUERY_VALUES:
+        throughput = metric_by_approach(rows, value, "throughput_eps")
+        assert throughput["hamlet"] > throughput["mcep-two-step"]
+        assert throughput["hamlet"] > throughput["sharon-flat"] / 5

@@ -1,0 +1,40 @@
+"""Figure 10: peak memory of HAMLET versus the state of the art.
+
+Paper's shape: HAMLET, GRETA and MCEP are comparable (they store matched
+events), while SHARON needs 2–3 orders of magnitude more memory because every
+Kleene query is flattened into one fixed-length query per possible length.
+In this reproduction the two-step engine additionally materializes every
+constructed trend, which dominates its footprint.
+"""
+
+from __future__ import annotations
+
+from conftest import metric_by_approach, print_rows, run_once
+
+from repro.bench.fig10 import figure10_memory_vs_events, figure10_memory_vs_queries
+
+EVENT_VALUES = (100, 150, 200)
+QUERY_VALUES = (5, 15, 25)
+
+
+def test_fig10a_memory_vs_events(benchmark):
+    rows = run_once(benchmark, lambda: figure10_memory_vs_events(EVENT_VALUES, num_queries=5))
+    print_rows(rows, metrics=["memory_units"])
+    for value in EVENT_VALUES:
+        memory = metric_by_approach(rows, value, "memory_units")
+        assert memory["hamlet"] < memory["sharon-flat"]
+        assert memory["hamlet"] <= memory["greta"]
+
+
+def test_fig10b_memory_vs_queries(benchmark):
+    rows = run_once(benchmark, lambda: figure10_memory_vs_queries(QUERY_VALUES, events_per_minute=150))
+    print_rows(rows, metrics=["memory_units"])
+    for value in QUERY_VALUES:
+        memory = metric_by_approach(rows, value, "memory_units")
+        assert memory["hamlet"] < memory["sharon-flat"]
+        assert memory["hamlet"] <= memory["greta"]
+    # GRETA replicates events per query, so its footprint grows with the
+    # workload size much faster than HAMLET's.
+    small = metric_by_approach(rows, QUERY_VALUES[0], "memory_units")
+    large = metric_by_approach(rows, QUERY_VALUES[-1], "memory_units")
+    assert (large["greta"] - small["greta"]) > (large["hamlet"] - small["hamlet"])

@@ -1,0 +1,55 @@
+"""Figure 11: HAMLET versus GRETA on the NYC-taxi and smart-home simulators.
+
+Paper's shape: in the high-rate setting only the two online Kleene engines
+run; HAMLET's shared execution keeps latency orders of magnitude below
+GRETA's, and the gap widens as the arrival rate and the workload size grow.
+"""
+
+from __future__ import annotations
+
+from conftest import metric_by_approach, print_rows, run_once
+
+from repro.bench.fig11 import (
+    figure11_nyc_events_sweep,
+    figure11_queries_sweep,
+    figure11_smart_home_events_sweep,
+)
+
+EVENT_VALUES = (500, 1000, 1500)
+QUERY_VALUES = (10, 20, 30)
+
+
+def test_fig11ace_nyc_latency_throughput_memory_vs_events(benchmark):
+    rows = run_once(benchmark, lambda: figure11_nyc_events_sweep(EVENT_VALUES, num_queries=10))
+    print_rows(rows)
+    for value in EVENT_VALUES:
+        latency = metric_by_approach(rows, value)
+        memory = metric_by_approach(rows, value, "memory_units")
+        assert latency["hamlet"] < latency["greta"]
+        assert memory["hamlet"] < memory["greta"]
+    # The latency gap grows with the arrival rate.
+    first = metric_by_approach(rows, EVENT_VALUES[0])
+    last = metric_by_approach(rows, EVENT_VALUES[-1])
+    assert (last["greta"] / last["hamlet"]) > (first["greta"] / first["hamlet"]) * 0.8
+
+
+def test_fig11bdf_smart_home_vs_events(benchmark):
+    rows = run_once(
+        benchmark, lambda: figure11_smart_home_events_sweep(EVENT_VALUES, num_queries=10)
+    )
+    print_rows(rows)
+    for value in EVENT_VALUES:
+        latency = metric_by_approach(rows, value)
+        assert latency["hamlet"] < latency["greta"]
+
+
+def test_fig11gh_nyc_vs_queries(benchmark):
+    rows = run_once(
+        benchmark, lambda: figure11_queries_sweep(QUERY_VALUES, events_per_minute=1000)
+    )
+    print_rows(rows, metrics=["latency_seconds", "throughput_eps"])
+    for value in QUERY_VALUES:
+        latency = metric_by_approach(rows, value)
+        throughput = metric_by_approach(rows, value, "throughput_eps")
+        assert latency["hamlet"] < latency["greta"]
+        assert throughput["hamlet"] > throughput["greta"]

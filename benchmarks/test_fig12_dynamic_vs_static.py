@@ -1,0 +1,44 @@
+"""Figure 12: dynamic versus static sharing decisions on the stock stream.
+
+Paper's shape: the dynamic optimizer shares roughly 90 % of the bursts,
+creates about half as many snapshots as the static always-share plan and
+achieves a 21–34 % latency / 27–52 % throughput improvement over it.
+"""
+
+from __future__ import annotations
+
+from conftest import print_rows, run_once
+
+from repro.bench.fig12 import figure12_events_sweep, figure12_queries_sweep
+
+EVENT_VALUES = (300, 600, 900)
+QUERY_VALUES = (8, 16, 24)
+
+
+def _by_approach(rows, value):
+    return {row.approach: row for row in rows if row.value == value}
+
+
+def test_fig12ac_latency_throughput_vs_events(benchmark):
+    rows = run_once(benchmark, lambda: figure12_events_sweep(EVENT_VALUES, num_queries=12))
+    print_rows(rows, metrics=["latency_seconds", "throughput_eps"])
+    for value in EVENT_VALUES:
+        per_approach = _by_approach(rows, value)
+        dynamic = per_approach["hamlet-dynamic"]
+        static = per_approach["hamlet-static"]
+        # The dynamic optimizer never creates more snapshots than always-share
+        # and stays within a tight latency envelope of the better plan.
+        assert dynamic.extra["snapshots"] <= static.extra["snapshots"]
+        assert dynamic.latency_seconds <= static.latency_seconds * 1.35
+        assert 0.0 < dynamic.extra["shared_fraction"] <= 1.0
+
+
+def test_fig12bd_latency_throughput_vs_queries(benchmark):
+    rows = run_once(benchmark, lambda: figure12_queries_sweep(QUERY_VALUES, events_per_minute=600))
+    print_rows(rows, metrics=["latency_seconds", "throughput_eps"])
+    for value in QUERY_VALUES:
+        per_approach = _by_approach(rows, value)
+        dynamic = per_approach["hamlet-dynamic"]
+        static = per_approach["hamlet-static"]
+        assert dynamic.extra["snapshots"] <= static.extra["snapshots"]
+        assert dynamic.latency_seconds <= static.latency_seconds * 1.35

@@ -1,0 +1,39 @@
+"""Figure 13: memory of dynamic versus static sharing decisions.
+
+Paper's shape: dynamic sharing needs roughly 25 % less memory than the static
+always-share executor because far fewer snapshots are created and kept.
+"""
+
+from __future__ import annotations
+
+from conftest import print_rows, run_once
+
+from repro.bench.fig13 import figure13_memory_vs_events, figure13_memory_vs_queries
+
+EVENT_VALUES = (300, 600, 900)
+QUERY_VALUES = (8, 16, 24)
+
+
+def _by_approach(rows, value):
+    return {row.approach: row for row in rows if row.value == value}
+
+
+def test_fig13a_memory_vs_events(benchmark):
+    rows = run_once(benchmark, lambda: figure13_memory_vs_events(EVENT_VALUES, num_queries=12))
+    print_rows(rows, metrics=["memory_units"])
+    for value in EVENT_VALUES:
+        per_approach = _by_approach(rows, value)
+        dynamic = per_approach["hamlet-dynamic"]
+        static = per_approach["hamlet-static"]
+        assert dynamic.memory_units <= static.memory_units * 1.05
+        assert dynamic.extra["snapshots"] <= static.extra["snapshots"]
+
+
+def test_fig13b_memory_vs_queries(benchmark):
+    rows = run_once(benchmark, lambda: figure13_memory_vs_queries(QUERY_VALUES, events_per_minute=600))
+    print_rows(rows, metrics=["memory_units"])
+    for value in QUERY_VALUES:
+        per_approach = _by_approach(rows, value)
+        dynamic = per_approach["hamlet-dynamic"]
+        static = per_approach["hamlet-static"]
+        assert dynamic.memory_units <= static.memory_units * 1.05

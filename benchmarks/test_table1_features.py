@@ -1,0 +1,23 @@
+"""Table 1: the qualitative feature matrix, derived from the implemented engines."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.table1 import format_table1, table1_features
+
+
+def test_table1_feature_matrix(benchmark):
+    features = run_once(benchmark, table1_features)
+    by_name = {row.approach: row for row in features}
+    print()
+    print(format_table1())
+    # Only HAMLET combines Kleene closure, online aggregation and dynamic sharing.
+    hamlet = by_name["hamlet"]
+    assert hamlet.kleene_closure and hamlet.online_aggregation
+    assert hamlet.sharing_decisions == "dynamic"
+    others = [row for name, row in by_name.items() if name != "hamlet"]
+    assert all(
+        not (row.kleene_closure and row.online_aggregation and row.sharing_decisions == "dynamic")
+        for row in others
+    )

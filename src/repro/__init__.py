@@ -1,0 +1,101 @@
+"""HAMLET reproduction: adaptive shared online event trend aggregation.
+
+The top-level package re-exports the most commonly used classes so that a
+downstream user can write::
+
+    from repro import (
+        Event, EventStream, Query, Workload, Window,
+        parse_query, HamletEngine, GretaEngine, WorkloadExecutor,
+    )
+
+See README.md for a quickstart and DESIGN.md for the architecture.
+"""
+
+from repro.errors import (
+    BenchmarkError,
+    DatasetError,
+    ExecutionError,
+    PatternError,
+    PredicateError,
+    QueryParseError,
+    ReproError,
+    SchemaError,
+    SharingError,
+    StreamError,
+    TemplateError,
+    WindowError,
+    WorkloadError,
+)
+from repro.events import Event, EventStream, Schema, merge_streams
+from repro.query import (
+    Query,
+    Window,
+    Workload,
+    avg,
+    count_events,
+    count_trends,
+    kleene,
+    max_of,
+    min_of,
+    parse_pattern,
+    parse_query,
+    same_attributes,
+    seq,
+    sum_of,
+    typ,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenchmarkError",
+    "DatasetError",
+    "Event",
+    "EventStream",
+    "ExecutionError",
+    "PatternError",
+    "PredicateError",
+    "Query",
+    "QueryParseError",
+    "ReproError",
+    "Schema",
+    "SchemaError",
+    "SharingError",
+    "StreamError",
+    "TemplateError",
+    "Window",
+    "WindowError",
+    "Workload",
+    "WorkloadError",
+    "avg",
+    "count_events",
+    "count_trends",
+    "kleene",
+    "max_of",
+    "merge_streams",
+    "min_of",
+    "parse_pattern",
+    "parse_query",
+    "same_attributes",
+    "seq",
+    "sum_of",
+    "typ",
+]
+
+try:  # pragma: no cover - exercised implicitly on import
+    from repro.core import HamletEngine  # noqa: F401
+    from repro.greta import GretaEngine  # noqa: F401
+    from repro.baselines import BruteForceOracle, FlatSequenceEngine, TwoStepEngine  # noqa: F401
+    from repro.runtime import ExecutionReport, WorkloadExecutor  # noqa: F401
+
+    __all__ += [
+        "BruteForceOracle",
+        "ExecutionReport",
+        "FlatSequenceEngine",
+        "GretaEngine",
+        "HamletEngine",
+        "TwoStepEngine",
+        "WorkloadExecutor",
+    ]
+except ImportError:  # pragma: no cover - during partial builds only
+    pass

@@ -1,0 +1,23 @@
+"""Baseline engines the paper compares HAMLET against.
+
+* :class:`~repro.baselines.brute_force.BruteForceOracle` — exhaustive trend
+  enumeration; used as the correctness oracle in tests and as the
+  "two-step, non-shared" lower bound.
+* :class:`~repro.baselines.two_step.TwoStepEngine` — MCEP-style shared trend
+  *construction* followed by per-query aggregation.
+* :class:`~repro.baselines.flat_sequences.FlatSequenceEngine` — SHARON-style
+  online aggregation of fixed-length sequences; Kleene patterns are flattened
+  into a workload of bounded-length sequence queries.
+"""
+
+from repro.baselines.brute_force import BruteForceOracle, enumerate_trends, trend_aggregate
+from repro.baselines.flat_sequences import FlatSequenceEngine
+from repro.baselines.two_step import TwoStepEngine
+
+__all__ = [
+    "BruteForceOracle",
+    "FlatSequenceEngine",
+    "TwoStepEngine",
+    "enumerate_trends",
+    "trend_aggregate",
+]

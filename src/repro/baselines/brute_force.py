@@ -1,0 +1,202 @@
+"""Exhaustive trend enumeration.
+
+The oracle constructs every event trend matched by a query (Definition 3)
+and aggregates over the constructed trends.  Its cost is exponential in the
+number of matched events, which is precisely why the paper's two-step
+approaches cannot keep up — but it is the most direct encoding of the query
+semantics, so the test suite uses it to validate every online engine on
+small inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ExecutionError
+from repro.events.event import Event
+from repro.interfaces import TrendAggregationEngine
+from repro.query.aggregates import AggregateKind
+from repro.query.query import Query
+from repro.template.template import QueryTemplate, compile_pattern
+
+#: A trend is simply the tuple of its events in temporal order.
+Trend = tuple[Event, ...]
+
+
+def _matched_positive(query: Query, template: QueryTemplate, events: Sequence[Event]) -> list[Event]:
+    return [
+        event
+        for event in events
+        if event.event_type in template.event_types and query.accepts_event(event)
+    ]
+
+
+def _negative_events(query: Query, template: QueryTemplate, events: Sequence[Event]) -> list[Event]:
+    return [
+        event
+        for event in events
+        if event.event_type in template.negated_types and query.accepts_event(event)
+    ]
+
+
+def _edge_allowed(
+    query: Query,
+    template: QueryTemplate,
+    negatives: Sequence[Event],
+    previous: Event,
+    current: Event,
+) -> bool:
+    if current.event_type not in template.successor_types(previous.event_type):
+        return False
+    if not previous < current:
+        return False
+    if not query.accepts_edge(previous, current):
+        return False
+    for constraint in template.negations:
+        if not constraint.after_types:
+            continue
+        if previous.event_type not in constraint.before_types:
+            continue
+        if current.event_type not in constraint.after_types:
+            continue
+        for negative in negatives:
+            if negative.event_type == constraint.negated_type and previous < negative < current:
+                return False
+    return True
+
+
+def _trend_complete(
+    template: QueryTemplate, negatives: Sequence[Event], last_event: Event
+) -> bool:
+    if last_event.event_type not in template.end_types:
+        return False
+    for constraint in template.negations:
+        if constraint.after_types:
+            continue
+        if last_event.event_type not in constraint.before_types:
+            continue
+        for negative in negatives:
+            if negative.event_type == constraint.negated_type and last_event < negative:
+                return False
+    return True
+
+
+def enumerate_trends(query: Query, events: Iterable[Event]) -> Iterator[Trend]:
+    """Yield every trend matched by ``query`` over ``events``.
+
+    Events must already belong to a single group/window partition; windows
+    and grouping are not re-checked here.
+    """
+    ordered = sorted(events)
+    template = compile_pattern(query.pattern)
+    matched = _matched_positive(query, template, ordered)
+    negatives = _negative_events(query, template, ordered)
+
+    def extend(trend: list[Event]) -> Iterator[Trend]:
+        last = trend[-1]
+        if _trend_complete(template, negatives, last):
+            yield tuple(trend)
+        for candidate in matched:
+            if _edge_allowed(query, template, negatives, last, candidate):
+                trend.append(candidate)
+                yield from extend(trend)
+                trend.pop()
+
+    for event in matched:
+        if template.is_start(event.event_type):
+            yield from extend([event])
+
+
+def trend_aggregate(query: Query, trends: Iterable[Trend]) -> float:
+    """Aggregate constructed trends according to the query's RETURN clause."""
+    aggregate = query.aggregate
+    kind = aggregate.kind
+    if kind is AggregateKind.COUNT_TRENDS:
+        return float(sum(1 for _ in trends))
+    if kind is AggregateKind.COUNT_EVENTS:
+        return float(
+            sum(
+                sum(1 for event in trend if event.event_type == aggregate.event_type)
+                for trend in trends
+            )
+        )
+    if kind is AggregateKind.SUM:
+        return float(
+            sum(
+                sum(
+                    float(event[aggregate.attribute])
+                    for event in trend
+                    if event.event_type == aggregate.event_type
+                )
+                for trend in trends
+            )
+        )
+    if kind is AggregateKind.AVG:
+        total = 0.0
+        count = 0
+        for trend in trends:
+            for event in trend:
+                if event.event_type == aggregate.event_type:
+                    total += float(event[aggregate.attribute])
+                    count += 1
+        return total / count if count else 0.0
+    # MIN / MAX
+    values = [
+        float(event[aggregate.attribute])
+        for trend in trends
+        for event in trend
+        if event.event_type == aggregate.event_type
+    ]
+    if not values:
+        return 0.0
+    return min(values) if kind is AggregateKind.MIN else max(values)
+
+
+class BruteForceOracle(TrendAggregationEngine):
+    """Two-step, non-shared engine: construct every trend, then aggregate."""
+
+    name = "brute-force"
+
+    def __init__(self, *, max_events: int = 64) -> None:
+        #: Safety valve: enumeration is exponential, so refuse unexpectedly
+        #: large partitions instead of hanging the test suite.
+        self.max_events = max_events
+        self._queries: tuple[Query, ...] = ()
+        self._events: list[Event] = []
+        self._trend_count = 0
+        self._started = False
+
+    def start(self, queries: Sequence[Query]) -> None:
+        if not queries:
+            raise ExecutionError("BruteForceOracle.start requires at least one query")
+        self._queries = tuple(queries)
+        self._events = []
+        self._trend_count = 0
+        self._started = True
+
+    def process(self, event: Event) -> None:
+        if not self._started:
+            raise ExecutionError("BruteForceOracle.process called before start()")
+        self._events.append(event)
+        if len(self._events) > self.max_events:
+            raise ExecutionError(
+                f"brute-force oracle refuses partitions larger than {self.max_events} events"
+            )
+
+    def results(self) -> dict[str, float]:
+        if not self._started:
+            raise ExecutionError("BruteForceOracle.results called before start()")
+        results: dict[str, float] = {}
+        self._trend_count = 0
+        for query in self._queries:
+            trends = list(enumerate_trends(query, self._events))
+            self._trend_count += len(trends)
+            results[query.name] = trend_aggregate(query, trends)
+        return results
+
+    def memory_units(self) -> int:
+        """Stored events plus one unit per constructed trend."""
+        return len(self._events) + self._trend_count
+
+    def operations(self) -> int:
+        return self._trend_count

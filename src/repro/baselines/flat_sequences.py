@@ -1,0 +1,222 @@
+"""SHARON-style engine: online aggregation of fixed-length sequences.
+
+SHARON [35] aggregates event sequences online (no construction) but does not
+support Kleene closure.  Following the paper's methodology (Section 6.1), a
+Kleene pattern ``E+`` is flattened into a set of fixed-length sequence
+queries covering every length up to the longest possible match, and the whole
+flattened workload is evaluated.  The per-length counting uses the classic
+A-Seq dynamic program: ``cnt[i]`` is the number of matches of the length-i
+prefix, updated in reverse position order for each arriving event.
+
+The flattening explodes the workload (one sub-query per possible trend
+length), which is exactly why SHARON falls orders of magnitude behind the
+Kleene-native engines on bursty streams — the behaviour Figures 9 and 10
+report.
+
+Limitations mirroring SHARON's model: only local predicates are applied (the
+fixed-length DP has no access to the concrete previous event, so edge
+predicates such as ``[driver, rider]`` are ignored), and only COUNT(*) /
+COUNT(E) / SUM / AVG aggregates are supported.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import ExecutionError
+from repro.events.event import Event, EventType
+from repro.interfaces import TrendAggregationEngine
+from repro.query.aggregates import AggregateKind
+from repro.query.pattern import EventTypePattern, Kleene, Pattern, Sequence as SeqPattern
+from repro.query.query import Query
+
+
+class _FlattenedQuery:
+    """One fixed-length sequence query produced by flattening a Kleene query."""
+
+    def __init__(self, owner: Query, type_sequence: tuple[EventType, ...]) -> None:
+        self.owner = owner
+        self.type_sequence = type_sequence
+        # counts[i] = number of matches of the prefix of length i; counts[0] = 1.
+        self.counts = [1.0] + [0.0] * len(type_sequence)
+        # Companion DP for SUM/COUNT(E)/AVG measures: totals[i] accumulates the
+        # measure over all matches of the prefix of length i.
+        self.measure_totals = [0.0] * (len(type_sequence) + 1)
+        self.measure_counts = [0.0] * (len(type_sequence) + 1)
+
+    def update(self, event: Event) -> int:
+        """Feed one event through the DP; returns the number of updates performed."""
+        updates = 0
+        aggregate = self.owner.aggregate
+        for position in range(len(self.type_sequence), 0, -1):
+            if self.type_sequence[position - 1] != event.event_type:
+                continue
+            prefix_count = self.counts[position - 1]
+            if prefix_count == 0.0 and self.measure_totals[position - 1] == 0.0:
+                continue
+            self.counts[position] += prefix_count
+            if aggregate.kind in (AggregateKind.SUM, AggregateKind.AVG, AggregateKind.COUNT_EVENTS):
+                contribution = aggregate.contribution(event)
+                self.measure_totals[position] += (
+                    self.measure_totals[position - 1] + contribution * prefix_count
+                )
+                if event.event_type == aggregate.event_type:
+                    self.measure_counts[position] += self.measure_counts[position - 1] + prefix_count
+                else:
+                    self.measure_counts[position] += self.measure_counts[position - 1]
+            updates += 1
+        return updates
+
+    @property
+    def full_match_count(self) -> float:
+        return self.counts[-1]
+
+    @property
+    def full_match_measure(self) -> float:
+        return self.measure_totals[-1]
+
+    @property
+    def full_match_measure_count(self) -> float:
+        return self.measure_counts[-1]
+
+
+def flatten_pattern(pattern: Pattern, kleene_budget: int) -> list[tuple[EventType, ...]]:
+    """Flatten a pattern into fixed-length event-type sequences.
+
+    Every Kleene plus is expanded into 1..``kleene_budget`` repetitions of its
+    (single-type) body.  Patterns with nested Kleene, negation, disjunction or
+    conjunction are not supported by this baseline.
+
+    Raises:
+        ExecutionError: if the pattern is outside the supported fragment.
+    """
+    if isinstance(pattern, EventTypePattern):
+        return [(pattern.event_type,)]
+    if isinstance(pattern, Kleene):
+        body = pattern.sub_pattern
+        if not isinstance(body, EventTypePattern):
+            raise ExecutionError(
+                "the SHARON-style baseline only flattens Kleene over a single event type"
+            )
+        return [
+            tuple([body.event_type] * repetitions)
+            for repetitions in range(1, kleene_budget + 1)
+        ]
+    if isinstance(pattern, SeqPattern):
+        expansions: list[tuple[EventType, ...]] = [()]
+        for part in pattern.parts:
+            part_expansions = flatten_pattern(part, kleene_budget)
+            expansions = [
+                prefix + suffix for prefix in expansions for suffix in part_expansions
+            ]
+        return expansions
+    raise ExecutionError(
+        f"the SHARON-style baseline does not support pattern node "
+        f"{type(pattern).__name__}"
+    )
+
+
+class FlatSequenceEngine(TrendAggregationEngine):
+    """Online aggregation over a workload of flattened fixed-length sequences."""
+
+    name = "sharon-flat"
+
+    def __init__(self, *, kleene_budget: Optional[int] = None, max_budget: int = 64) -> None:
+        """Create the engine.
+
+        Args:
+            kleene_budget: Fixed number of repetitions each Kleene plus is
+                expanded to.  ``None`` (the default) grows the budget to the
+                number of events of the Kleene type seen in the partition,
+                which makes the flattening exact.
+            max_budget: Upper bound on the automatically grown budget.
+        """
+        self._configured_budget = kleene_budget
+        self.max_budget = max_budget
+        self._queries: tuple[Query, ...] = ()
+        self._events: list[Event] = []
+        self._flattened: list[_FlattenedQuery] = []
+        self._updates = 0
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Engine interface
+    # ------------------------------------------------------------------ #
+    def start(self, queries: Sequence[Query]) -> None:
+        if not queries:
+            raise ExecutionError("FlatSequenceEngine.start requires at least one query")
+        for query in queries:
+            if query.aggregate.kind in (AggregateKind.MIN, AggregateKind.MAX):
+                raise ExecutionError(
+                    "the SHARON-style baseline does not support MIN/MAX aggregates"
+                )
+        self._queries = tuple(queries)
+        self._events = []
+        self._flattened = []
+        self._updates = 0
+        self._started = True
+
+    def process(self, event: Event) -> None:
+        if not self._started:
+            raise ExecutionError("FlatSequenceEngine.process called before start()")
+        self._events.append(event)
+
+    def results(self) -> dict[str, float]:
+        if not self._started:
+            raise ExecutionError("FlatSequenceEngine.results called before start()")
+        self._flattened = []
+        self._updates = 0
+        results: dict[str, float] = {}
+        for query in self._queries:
+            budget = self._budget_for(query)
+            flattened = [
+                _FlattenedQuery(query, type_sequence)
+                for type_sequence in flatten_pattern(query.pattern, budget)
+            ]
+            self._flattened.extend(flattened)
+            for event in self._events:
+                if not query.accepts_event(event):
+                    continue
+                for sub_query in flattened:
+                    self._updates += sub_query.update(event)
+            results[query.name] = self._combine(query, flattened)
+        return results
+
+    def memory_units(self) -> int:
+        """Stored events plus DP state of every flattened sub-query.
+
+        The flattened workload is the dominant term: one prefix-count array
+        per sub-query per Kleene query, which is why SHARON's memory is
+        orders of magnitude above the graph-based engines in Figure 10.
+        """
+        dp_cells = sum(len(sub.counts) + len(sub.measure_totals) for sub in self._flattened)
+        return len(self._events) + dp_cells + len(self._queries)
+
+    def operations(self) -> int:
+        return self._updates
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _budget_for(self, query: Query) -> int:
+        if self._configured_budget is not None:
+            return self._configured_budget
+        kleene_types = query.kleene_types()
+        if not kleene_types:
+            return 1
+        longest = max(
+            sum(1 for event in self._events if event.event_type == event_type)
+            for event_type in kleene_types
+        )
+        return max(1, min(longest, self.max_budget))
+
+    @staticmethod
+    def _combine(query: Query, flattened: list[_FlattenedQuery]) -> float:
+        kind = query.aggregate.kind
+        if kind is AggregateKind.COUNT_TRENDS:
+            return float(sum(sub.full_match_count for sub in flattened))
+        total = sum(sub.full_match_measure for sub in flattened)
+        if kind in (AggregateKind.SUM, AggregateKind.COUNT_EVENTS):
+            return float(total)
+        count = sum(sub.full_match_measure_count for sub in flattened)
+        return float(total / count) if count else 0.0

@@ -1,0 +1,100 @@
+"""MCEP-style two-step engine: shared trend construction, then aggregation.
+
+MCEP [22] is the strongest shared *two-step* competitor in the paper: it
+shares the construction of event trends across queries but still materializes
+every trend before aggregating, so its cost remains exponential in the number
+of matched events per window (Section 1, Figure 9).
+
+This engine reproduces that structure:
+
+1. queries whose pattern and predicates coincide share one trend-construction
+   pass (the "shared construction" aspect of MCEP),
+2. every constructed trend is kept (memory accounting mirrors the paper:
+   the current trend plus matched events), and
+3. aggregation is a post-processing step over the constructed trends.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ExecutionError
+from repro.events.event import Event
+from repro.baselines.brute_force import Trend, enumerate_trends, trend_aggregate
+from repro.interfaces import TrendAggregationEngine
+from repro.query.query import Query
+
+
+class TwoStepEngine(TrendAggregationEngine):
+    """Shared trend construction followed by per-query aggregation."""
+
+    name = "two-step"
+
+    def __init__(self, *, max_events: int = 512, max_trends: int = 2_000_000) -> None:
+        #: Trend construction is exponential; refuse partitions beyond this size.
+        self.max_events = max_events
+        #: Refuse to construct more than this many trends per partition — the
+        #: guard that keeps benchmark runs from exploding when a partition is
+        #: denser than the two-step approach can realistically handle.
+        self.max_trends = max_trends
+        self._queries: tuple[Query, ...] = ()
+        self._events: list[Event] = []
+        self._constructed_trends = 0
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Engine interface
+    # ------------------------------------------------------------------ #
+    def start(self, queries: Sequence[Query]) -> None:
+        if not queries:
+            raise ExecutionError("TwoStepEngine.start requires at least one query")
+        self._queries = tuple(queries)
+        self._events = []
+        self._constructed_trends = 0
+        self._started = True
+
+    def process(self, event: Event) -> None:
+        if not self._started:
+            raise ExecutionError("TwoStepEngine.process called before start()")
+        self._events.append(event)
+        if len(self._events) > self.max_events:
+            raise ExecutionError(
+                f"two-step engine refuses partitions larger than {self.max_events} events"
+            )
+
+    def results(self) -> dict[str, float]:
+        if not self._started:
+            raise ExecutionError("TwoStepEngine.results called before start()")
+        results: dict[str, float] = {}
+        self._constructed_trends = 0
+        construction_cache: dict[tuple, list[Trend]] = {}
+        for query in self._queries:
+            key = self._construction_key(query)
+            if key not in construction_cache:
+                trends: list[Trend] = []
+                for trend in enumerate_trends(query, self._events):
+                    trends.append(trend)
+                    if self._constructed_trends + len(trends) > self.max_trends:
+                        raise ExecutionError(
+                            f"two-step engine exceeded {self.max_trends} constructed trends; "
+                            "reduce the partition size for this baseline"
+                        )
+                construction_cache[key] = trends
+                self._constructed_trends += len(trends)
+            results[query.name] = trend_aggregate(query, construction_cache[key])
+        return results
+
+    def memory_units(self) -> int:
+        """Matched events plus one unit per constructed trend plus per-query results."""
+        return len(self._events) + self._constructed_trends + len(self._queries)
+
+    def operations(self) -> int:
+        return self._constructed_trends
+
+    # ------------------------------------------------------------------ #
+    # Sharing of the construction step
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _construction_key(query: Query) -> tuple:
+        """Queries with equal keys share one trend-construction pass."""
+        return (query.pattern.describe(), query.predicates.signature())

@@ -1,0 +1,31 @@
+"""Benchmark harness: regenerates every figure of the paper's evaluation.
+
+Each ``figNN`` module exposes functions that run the corresponding
+experiment and return :class:`~repro.bench.reporting.ExperimentRow` objects
+— the series behind the figure's panels — plus a ``main()`` that prints them
+as a table.  The pytest-benchmark targets under ``benchmarks/`` call these
+functions with laptop-scale parameters; EXPERIMENTS.md records the paper's
+expected shape next to the measured numbers.
+"""
+
+from repro.bench.reporting import ExperimentRow, format_table, rows_to_csv
+from repro.bench.runner import EngineSpec, default_engines, run_comparison
+from repro.bench.workloads import (
+    diverse_stock_workload,
+    kleene_sharing_workload,
+    nyc_taxi_workload,
+    smart_home_workload,
+)
+
+__all__ = [
+    "EngineSpec",
+    "ExperimentRow",
+    "default_engines",
+    "diverse_stock_workload",
+    "format_table",
+    "kleene_sharing_workload",
+    "nyc_taxi_workload",
+    "rows_to_csv",
+    "run_comparison",
+    "smart_home_workload",
+]

@@ -1,0 +1,62 @@
+"""Figure 10: peak memory of HAMLET versus the state of the art (ridesharing).
+
+Panels:
+
+* 10(a) memory vs. number of events per minute,
+* 10(b) memory vs. number of queries.
+
+The expected shape: HAMLET, GRETA and the two-step engine store the matched
+events (plus per-query replication for GRETA and constructed trends for the
+two-step engine), while the SHARON-style flattening needs orders of magnitude
+more state because every Kleene query expands into one fixed-length sequence
+query per possible trend length.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.fig9 import _build
+from repro.bench.reporting import ExperimentRow, format_table
+from repro.bench.runner import EngineSpec, default_engines, sweep
+
+
+def figure10_memory_vs_events(
+    events_per_minute_values: Sequence[float] = (60, 120, 180),
+    num_queries: int = 5,
+    engines: Sequence[EngineSpec] | None = None,
+) -> list[ExperimentRow]:
+    """Panel 10(a): peak memory while sweeping the arrival rate."""
+    engines = engines or default_engines()
+    return sweep(
+        "fig10-memory-events",
+        "events/min",
+        events_per_minute_values,
+        lambda value: _build(value, num_queries),
+        engines,
+    )
+
+
+def figure10_memory_vs_queries(
+    query_counts: Sequence[int] = (5, 15, 25),
+    events_per_minute: float = 120,
+    engines: Sequence[EngineSpec] | None = None,
+) -> list[ExperimentRow]:
+    """Panel 10(b): peak memory while sweeping the workload size."""
+    engines = engines or default_engines()
+    return sweep(
+        "fig10-memory-queries",
+        "#queries",
+        query_counts,
+        lambda value: _build(events_per_minute, int(value)),
+        engines,
+    )
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    rows = figure10_memory_vs_events() + figure10_memory_vs_queries()
+    print(format_table(rows, metrics=["memory_units"]))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

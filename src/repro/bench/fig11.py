@@ -1,0 +1,113 @@
+"""Figure 11: HAMLET versus GRETA on the NYC-taxi and smart-home streams.
+
+Panels:
+
+* 11(a,b) latency vs. events per minute (NYC taxi, smart home),
+* 11(c,d) throughput vs. events per minute,
+* 11(e,f) memory vs. events per minute,
+* 11(g,h) latency / throughput vs. number of queries (NYC taxi).
+
+This is the "high" setting of the paper — only the two online Kleene engines
+(HAMLET and GRETA) can cope, and the figure shows HAMLET's 3–5 orders of
+magnitude advantage coming from sharing across the workload.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.reporting import ExperimentRow, format_table
+from repro.bench.runner import EngineSpec, default_engines, sweep
+from repro.bench.workloads import nyc_taxi_workload, smart_home_workload
+from repro.datasets.nyc_taxi import NycTaxiGenerator
+from repro.datasets.smart_home import SmartHomeGenerator
+from repro.events.stream import EventStream
+from repro.query.windows import Window
+from repro.query.workload import Workload
+
+FIG11_WINDOW = Window.minutes(1)
+
+
+def _build_nyc(events_per_minute: float, num_queries: int,
+               duration_seconds: float = 60.0) -> tuple[Workload, EventStream]:
+    workload = nyc_taxi_workload(num_queries, window=FIG11_WINDOW)
+    # Few grouping keys keep the per-partition event counts high — the regime
+    # where the online engines separate (the paper's "high" setting).
+    stream = NycTaxiGenerator(events_per_minute=events_per_minute, seed=11, zones=4).generate(
+        duration_seconds
+    )
+    return workload, stream
+
+
+def _build_smart_home(events_per_minute: float, num_queries: int,
+                      duration_seconds: float = 60.0) -> tuple[Workload, EventStream]:
+    workload = smart_home_workload(num_queries, window=FIG11_WINDOW)
+    stream = SmartHomeGenerator(events_per_minute=events_per_minute, seed=13, houses=4).generate(
+        duration_seconds
+    )
+    return workload, stream
+
+
+def _online_engines() -> tuple[EngineSpec, ...]:
+    return default_engines(include_exponential=False)
+
+
+def figure11_nyc_events_sweep(
+    events_per_minute_values: Sequence[float] = (500, 1000, 1500),
+    num_queries: int = 10,
+    engines: Sequence[EngineSpec] | None = None,
+) -> list[ExperimentRow]:
+    """Panels 11(a,c,e): NYC taxi, sweep the arrival rate."""
+    engines = engines or _online_engines()
+    return sweep(
+        "fig11-nyc-events",
+        "events/min",
+        events_per_minute_values,
+        lambda value: _build_nyc(value, num_queries),
+        engines,
+    )
+
+
+def figure11_smart_home_events_sweep(
+    events_per_minute_values: Sequence[float] = (500, 1000, 1500),
+    num_queries: int = 10,
+    engines: Sequence[EngineSpec] | None = None,
+) -> list[ExperimentRow]:
+    """Panels 11(b,d,f): smart home, sweep the arrival rate."""
+    engines = engines or _online_engines()
+    return sweep(
+        "fig11-smarthome-events",
+        "events/min",
+        events_per_minute_values,
+        lambda value: _build_smart_home(value, num_queries),
+        engines,
+    )
+
+
+def figure11_queries_sweep(
+    query_counts: Sequence[int] = (10, 20, 30),
+    events_per_minute: float = 1000,
+    engines: Sequence[EngineSpec] | None = None,
+) -> list[ExperimentRow]:
+    """Panels 11(g,h): NYC taxi, sweep the workload size."""
+    engines = engines or _online_engines()
+    return sweep(
+        "fig11-nyc-queries",
+        "#queries",
+        query_counts,
+        lambda value: _build_nyc(events_per_minute, int(value)),
+        engines,
+    )
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    rows = (
+        figure11_nyc_events_sweep()
+        + figure11_smart_home_events_sweep()
+        + figure11_queries_sweep()
+    )
+    print(format_table(rows))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

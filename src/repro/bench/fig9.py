@@ -1,0 +1,87 @@
+"""Figure 9: HAMLET versus the state of the art on the ridesharing stream.
+
+Panels:
+
+* 9(a) latency vs. number of events per minute,
+* 9(b) latency vs. number of queries,
+* 9(c) throughput vs. number of events per minute,
+* 9(d) throughput vs. number of queries.
+
+The paper deliberately picks a *low* setting (10K–20K events per minute,
+5–25 queries) so that the two-step (MCEP) and flattened-sequence (SHARON)
+baselines terminate.  The laptop-scale defaults below shrink the absolute
+event counts further (pure Python versus the paper's Java implementation)
+while keeping the relative ordering of the approaches — the quantity the
+figure is about.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.reporting import ExperimentRow, format_table
+from repro.bench.runner import EngineSpec, default_engines, sweep
+from repro.bench.workloads import kleene_sharing_workload
+from repro.datasets.ridesharing import RidesharingGenerator
+from repro.events.stream import EventStream
+from repro.query.windows import Window
+from repro.query.workload import Workload
+
+#: Window used throughout the Figure 9 experiments (one minute keeps the
+#: per-window event counts tractable for the exponential baselines).
+FIG9_WINDOW = Window.minutes(1)
+
+
+def _build(events_per_minute: float, num_queries: int, *, seed: int = 7,
+           duration_seconds: float = 60.0) -> tuple[Workload, EventStream]:
+    workload = kleene_sharing_workload(
+        num_queries, kleene_type="Travel", window=FIG9_WINDOW, name="fig9"
+    )
+    # Five districts keep enough events per group/window partition for the
+    # exponential baselines to feel the trend blow-up while still terminating.
+    generator = RidesharingGenerator(
+        events_per_minute=events_per_minute, seed=seed, districts=5
+    )
+    stream = generator.generate(duration_seconds)
+    return workload, stream
+
+
+def figure9_events_sweep(
+    events_per_minute_values: Sequence[float] = (100, 150, 200),
+    num_queries: int = 5,
+    engines: Sequence[EngineSpec] | None = None,
+) -> list[ExperimentRow]:
+    """Panels 9(a) and 9(c): sweep the arrival rate."""
+    engines = engines or default_engines()
+    return sweep(
+        "fig9-events",
+        "events/min",
+        events_per_minute_values,
+        lambda value: _build(value, num_queries),
+        engines,
+    )
+
+
+def figure9_queries_sweep(
+    query_counts: Sequence[int] = (5, 15, 25),
+    events_per_minute: float = 150,
+    engines: Sequence[EngineSpec] | None = None,
+) -> list[ExperimentRow]:
+    """Panels 9(b) and 9(d): sweep the workload size."""
+    engines = engines or default_engines()
+    return sweep(
+        "fig9-queries",
+        "#queries",
+        query_counts,
+        lambda value: _build(events_per_minute, int(value)),
+        engines,
+    )
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    rows = figure9_events_sweep() + figure9_queries_sweep()
+    print(format_table(rows))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

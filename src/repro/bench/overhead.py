@@ -1,0 +1,81 @@
+"""Optimizer overhead experiment (the in-text claims of Section 6.2).
+
+The paper reports that even with 400–600 sharing decisions per window the
+latency incurred by the decisions stays within 20 milliseconds (less than
+0.2 % of the total latency) and that the one-time static workload analysis
+stays within 81 milliseconds.  This experiment measures both quantities for
+the reproduction: the fraction of engine time spent inside
+``SharingOptimizer.decide`` and the wall-clock time of
+:func:`repro.template.analysis.analyze_workload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.workloads import diverse_stock_workload
+from repro.core.engine import HamletEngine
+from repro.datasets.stock import StockGenerator
+from repro.optimizer.decisions import DynamicSharingOptimizer
+from repro.runtime.executor import WorkloadExecutor
+from repro.runtime.metrics import Stopwatch
+from repro.template.analysis import analyze_workload
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Measured optimizer and analysis overheads."""
+
+    decisions: int
+    shared_fraction: float
+    decision_seconds: float
+    total_engine_seconds: float
+    workload_analysis_seconds: float
+    snapshots_created: int
+
+    @property
+    def decision_fraction(self) -> float:
+        """Fraction of the engine time spent making sharing decisions."""
+        if self.total_engine_seconds <= 0:
+            return 0.0
+        return self.decision_seconds / self.total_engine_seconds
+
+
+def measure_overhead(
+    num_queries: int = 12,
+    events_per_minute: float = 200,
+    duration_seconds: float = 120.0,
+) -> OverheadReport:
+    """Run the diverse stock workload and measure the optimizer overhead."""
+    workload = diverse_stock_workload(num_queries)
+    with Stopwatch() as analysis_watch:
+        analyze_workload(workload)
+    stream = StockGenerator(events_per_minute=events_per_minute).generate(duration_seconds)
+    optimizer = DynamicSharingOptimizer()
+    executor = WorkloadExecutor(workload, lambda: HamletEngine(optimizer))
+    report = executor.run(stream)
+    engine = executor._shared_engine
+    snapshots = engine.total_snapshots_created() if isinstance(engine, HamletEngine) else 0
+    stats = optimizer.statistics
+    return OverheadReport(
+        decisions=stats.decisions,
+        shared_fraction=stats.shared_fraction,
+        decision_seconds=stats.decision_seconds,
+        total_engine_seconds=report.metrics.total_seconds,
+        workload_analysis_seconds=analysis_watch.elapsed,
+        snapshots_created=snapshots,
+    )
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    report = measure_overhead()
+    print(f"sharing decisions:        {report.decisions}")
+    print(f"shared bursts:            {report.shared_fraction:.1%}")
+    print(f"decision time:            {report.decision_seconds * 1e3:.2f} ms "
+          f"({report.decision_fraction:.2%} of engine time)")
+    print(f"workload analysis time:   {report.workload_analysis_seconds * 1e3:.2f} ms")
+    print(f"snapshots created:        {report.snapshots_created}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

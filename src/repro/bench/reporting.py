@@ -1,0 +1,84 @@
+"""Reporting helpers shared by all benchmark experiments."""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One data point of one series of one figure panel."""
+
+    experiment: str
+    #: Name of the swept parameter ("events/min", "#queries", ...).
+    parameter: str
+    #: Value of the swept parameter for this row.
+    value: float
+    #: The approach / series the row belongs to (hamlet, greta, ...).
+    approach: str
+    #: Average per-window latency in seconds.
+    latency_seconds: float = 0.0
+    #: Events processed per second.
+    throughput_eps: float = 0.0
+    #: Peak memory in abstract units.
+    memory_units: float = 0.0
+    #: Extra metric columns (snapshot counts, shared-burst fraction, ...).
+    extra: dict = field(default_factory=dict, compare=False, hash=False)
+
+
+def format_table(rows: Sequence[ExperimentRow], *, metrics: Iterable[str] = ()) -> str:
+    """Format rows as an aligned text table (one line per row)."""
+    metrics = list(metrics) or ["latency_seconds", "throughput_eps", "memory_units"]
+    header = ["experiment", "parameter", "value", "approach", *metrics]
+    lines = [header]
+    for row in rows:
+        line = [
+            row.experiment,
+            row.parameter,
+            f"{row.value:g}",
+            row.approach,
+        ]
+        for metric in metrics:
+            if hasattr(row, metric):
+                value = getattr(row, metric)
+            else:
+                value = row.extra.get(metric, "")
+            line.append(f"{value:.6g}" if isinstance(value, (int, float)) else str(value))
+        lines.append(line)
+    widths = [max(len(line[i]) for line in lines) for i in range(len(header))]
+    output = io.StringIO()
+    for index, line in enumerate(lines):
+        output.write("  ".join(cell.ljust(width) for cell, width in zip(line, widths)).rstrip())
+        output.write("\n")
+        if index == 0:
+            output.write("  ".join("-" * width for width in widths) + "\n")
+    return output.getvalue()
+
+
+def rows_to_csv(rows: Sequence[ExperimentRow]) -> str:
+    """Serialize rows to CSV (used to archive benchmark outputs)."""
+    output = io.StringIO()
+    output.write("experiment,parameter,value,approach,latency_seconds,throughput_eps,memory_units\n")
+    for row in rows:
+        output.write(
+            f"{row.experiment},{row.parameter},{row.value:g},{row.approach},"
+            f"{row.latency_seconds:.9f},{row.throughput_eps:.3f},{row.memory_units:.1f}\n"
+        )
+    return output.getvalue()
+
+
+def speedup(rows: Sequence[ExperimentRow], baseline: str, target: str, metric: str = "latency_seconds") -> dict[float, float]:
+    """Per-parameter-value ratio ``baseline_metric / target_metric``.
+
+    Used to express "HAMLET is N-fold faster than X" claims.
+    """
+    by_value: dict[float, dict[str, float]] = {}
+    for row in rows:
+        by_value.setdefault(row.value, {})[row.approach] = getattr(row, metric)
+    ratios: dict[float, float] = {}
+    for value, approaches in by_value.items():
+        if baseline in approaches and target in approaches and approaches[target]:
+            ratios[value] = approaches[baseline] / approaches[target]
+    return ratios

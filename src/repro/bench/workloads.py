@@ -1,0 +1,163 @@
+"""Workload generators for the two workload styles of Section 6.1.
+
+* :func:`kleene_sharing_workload` — the first workload: queries have
+  different patterns but share the same Kleene sub-pattern, window, group-by,
+  predicates and aggregate (Figures 9–11).
+* :func:`diverse_stock_workload` — the second, more diverse workload: Kleene
+  patterns of length 1–3, window sizes 5–20 minutes, different aggregates
+  (COUNT, AVG, MAX, ...), group-bys and predicates (Figures 12–13).
+* :func:`nyc_taxi_workload` / :func:`smart_home_workload` — the Figure 11
+  workloads phrased over the corresponding simulators' schemas.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import BenchmarkError
+from repro.query.aggregates import avg, count_events, count_trends, max_of, sum_of
+from repro.query.pattern import kleene, seq
+from repro.query.predicates import attr_greater, attr_less, same_attributes
+from repro.query.query import Query
+from repro.query.windows import Window
+from repro.query.workload import Workload
+
+from repro.datasets.nyc_taxi import NYC_TAXI_TYPES
+from repro.datasets.ridesharing import RIDESHARING_TYPES
+from repro.datasets.smart_home import SMART_HOME_TYPES
+from repro.datasets.stock import STOCK_TYPES
+
+
+def _check_count(num_queries: int) -> None:
+    if num_queries < 1:
+        raise BenchmarkError("a workload needs at least one query")
+
+
+def kleene_sharing_workload(
+    num_queries: int = 50,
+    *,
+    kleene_type: str = "Travel",
+    prefix_types: tuple[str, ...] = (),
+    window: Window | None = None,
+    group_by: tuple[str, ...] = ("district",),
+    slow_speed_threshold: float | None = None,
+    name: str = "kleene-sharing",
+) -> Workload:
+    """Workload 1: different prefixes, shared ``kleene_type+`` sub-pattern.
+
+    All queries compute COUNT(*), use the same window, group-by and (optional)
+    predicate, which maximizes the sharing opportunities on the Kleene
+    sub-pattern — the setting of Figures 9–11.
+    """
+    _check_count(num_queries)
+    window = window or Window.minutes(5)
+    prefixes = prefix_types or tuple(t for t in RIDESHARING_TYPES if t != kleene_type)
+    workload = Workload(name=name)
+    for index in range(num_queries):
+        prefix = prefixes[index % len(prefixes)]
+        predicates = []
+        if slow_speed_threshold is not None:
+            predicates.append(attr_less("speed", slow_speed_threshold, event_type=kleene_type))
+        workload.add(
+            Query.build(
+                seq(prefix, kleene(kleene_type)),
+                aggregate=count_trends(),
+                predicates=predicates,
+                group_by=group_by,
+                window=window,
+                name=f"{name}-q{index + 1}",
+            )
+        )
+    return workload
+
+
+def nyc_taxi_workload(num_queries: int = 20, *, window: Window | None = None) -> Workload:
+    """Figure 11 (NYC) workload: shared ``Travel+`` over the taxi schema."""
+    prefixes = tuple(t for t in NYC_TAXI_TYPES if t not in ("Travel",))
+    return kleene_sharing_workload(
+        num_queries,
+        kleene_type="Travel",
+        prefix_types=prefixes,
+        window=window or Window.minutes(5),
+        group_by=("pickup_zone",),
+        name="nyc-taxi",
+    )
+
+
+def smart_home_workload(num_queries: int = 20, *, window: Window | None = None) -> Workload:
+    """Figure 11 (Smart Home) workload: shared ``Load+`` over the plug schema."""
+    prefixes = tuple(t for t in SMART_HOME_TYPES if t not in ("Load",))
+    return kleene_sharing_workload(
+        num_queries,
+        kleene_type="Load",
+        prefix_types=prefixes,
+        window=window or Window.minutes(5),
+        group_by=("house",),
+        name="smart-home",
+    )
+
+
+def diverse_stock_workload(
+    num_queries: int = 50,
+    *,
+    seed: int = 23,
+    name: str = "stock-diverse",
+) -> Workload:
+    """Workload 2: diverse patterns, windows, aggregates and predicates.
+
+    Queries share the ``Trade+`` (and sometimes ``UpTick+``) Kleene
+    sub-patterns but differ in sequence length (1–3 non-Kleene steps), window
+    size (5–20 minutes), aggregate (COUNT(*), COUNT, SUM, AVG, MAX) and
+    predicates, which is what makes static sharing plans fragile
+    (Figures 12–13).
+    """
+    _check_count(num_queries)
+    rng = random.Random(seed)
+    kleene_candidates = ("Trade", "UpTick")
+    other_types = [t for t in STOCK_TYPES if t not in kleene_candidates]
+    workload = Workload(name=name)
+    for index in range(num_queries):
+        kleene_type = kleene_candidates[index % len(kleene_candidates)]
+        prefix_length = rng.randint(1, 3)
+        prefix = rng.sample(other_types, k=min(prefix_length, len(other_types)))
+        pattern = seq(*prefix, kleene(kleene_type)) if prefix else kleene(kleene_type)
+        # Window sizes 5–20 minutes as in the paper; the slide is shared so
+        # window instances align across queries.
+        window = Window.minutes(rng.choice((5, 10, 15, 20)), 5)
+        aggregate_choice = index % 6
+        if aggregate_choice in (0, 3):
+            aggregate = count_trends()
+        elif aggregate_choice == 1:
+            aggregate = count_events(kleene_type)
+        elif aggregate_choice == 2:
+            aggregate = sum_of(kleene_type, "volume")
+        elif aggregate_choice == 4:
+            aggregate = avg(kleene_type, "price")
+        else:
+            aggregate = max_of(kleene_type, "price")
+        # Predicates differ across queries on purpose: they are what makes a
+        # static "always share" plan pay for event-level snapshots while the
+        # dynamic optimizer backs off per burst.
+        predicates = []
+        predicate_choice = index % 4
+        if predicate_choice == 1:
+            predicates.append(
+                attr_greater("volume", 100 * (1 + index % 3), event_type=kleene_type)
+            )
+        elif predicate_choice == 2:
+            predicates.append(
+                attr_less("price", 120.0 + 10.0 * (index % 4), event_type=kleene_type)
+            )
+        elif predicate_choice == 3:
+            predicates.append(same_attributes("sector"))
+        workload.add(
+            Query.build(
+                pattern,
+                aggregate=aggregate,
+                predicates=predicates,
+                group_by=("sector",),
+                window=window,
+                name=f"{name}-q{index + 1}",
+            )
+        )
+    return workload

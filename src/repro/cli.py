@@ -1,0 +1,91 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``figures [fig9|fig10|fig11|fig12|fig13|table1|overhead|all]`` — run the
+  experiment harness behind one (or every) figure of the paper and print the
+  series as a table.
+* ``demo`` — run the quickstart workload (the paper's running example) and
+  print the shared versus non-shared results.
+
+The CLI is a thin wrapper over :mod:`repro.bench`; anything it does can also
+be done programmatically (see README.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.bench import fig9, fig10, fig11, fig12, fig13, overhead, table1
+
+_FIGURES: dict[str, Callable[[], None]] = {
+    "fig9": fig9.main,
+    "fig10": fig10.main,
+    "fig11": fig11.main,
+    "fig12": fig12.main,
+    "fig13": fig13.main,
+    "table1": table1.main,
+    "overhead": overhead.main,
+}
+
+
+def _run_figures(names: Sequence[str]) -> None:
+    targets = list(_FIGURES) if "all" in names else list(names)
+    for name in targets:
+        if name not in _FIGURES:
+            raise SystemExit(f"unknown figure {name!r}; choose from {', '.join(_FIGURES)} or 'all'")
+        print(f"==== {name} " + "=" * (60 - len(name)))
+        _FIGURES[name]()
+        print()
+
+
+def _run_demo() -> None:
+    from repro.core import HamletEngine
+    from repro.events import Event, EventStream
+    from repro.greta import GretaEngine
+    from repro.query import Query, Window, kleene, seq
+    from repro.runtime import WorkloadExecutor
+
+    queries = [
+        Query.build(seq("A", kleene("B")), window=Window.minutes(10), name="q1"),
+        Query.build(seq("C", kleene("B")), window=Window.minutes(10), name="q2"),
+    ]
+    stream = EventStream(
+        [Event("A", 0.0), Event("A", 1.0), Event("C", 2.0)]
+        + [Event("B", 3.0 + i) for i in range(4)]
+    )
+    hamlet = WorkloadExecutor(queries, HamletEngine).run(stream)
+    greta = WorkloadExecutor(queries, GretaEngine).run(stream)
+    print("HAMLET (shared):   ", {k: round(v) for k, v in sorted(hamlet.totals.items())})
+    print("GRETA (non-shared):", {k: round(v) for k, v in sorted(greta.totals.items())})
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HAMLET reproduction: adaptive shared online event trend aggregation",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    figures = subparsers.add_parser("figures", help="regenerate the paper's figures")
+    figures.add_argument(
+        "names", nargs="*", default=["all"], help="figure ids (fig9..fig13, table1, overhead, all)"
+    )
+    subparsers.add_parser("demo", help="run the quickstart workload")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    arguments = build_parser().parse_args(argv)
+    if arguments.command == "figures":
+        _run_figures(arguments.names or ["all"])
+    elif arguments.command == "demo":
+        _run_demo()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

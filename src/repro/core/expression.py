@@ -1,0 +1,169 @@
+"""Symbolic snapshot expressions.
+
+In a shared graphlet, the intermediate aggregate of an event is *not* a
+number — its value differs across the queries sharing the graphlet.  HAMLET
+therefore propagates a symbolic linear combination of snapshots
+(Section 3.3, "hash table of snapshot coefficients": e.g.
+``count(b6, Q) = 4x + z`` in Figure 5(c)).  Only when a per-query value is
+actually needed (a new snapshot is created, or the final aggregate is
+extracted) is the expression evaluated against the snapshot table.
+
+The library tracks, besides the trend count, a list of linear *measures*
+(sums of attributes / counts of events of a type — see
+:mod:`repro.greta.aggregators`).  Both recurrences stay linear in the
+snapshot values::
+
+    count(e) = Σ_x  w_x        * x.count
+    m_i(e)   = Σ_x (w_x * x.m_i  +  cross_{i,x} * x.count)
+
+so a coefficient per snapshot is the pair ``(weight, cross)`` where ``cross``
+has one entry per measure.  The ``weight`` of snapshot ``x`` in the
+expression of event ``e`` is exactly the paper's snapshot coefficient
+(``x -> 4`` for event ``b6``); the cross terms carry the attribute
+contributions of the events the trends passed through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from repro.errors import SharingError
+from repro.greta.aggregators import AggregateVector
+
+
+@dataclass(frozen=True)
+class SnapshotCoefficient:
+    """Coefficient of one snapshot inside a snapshot expression."""
+
+    weight: float
+    cross: tuple[float, ...] = ()
+
+    def add(self, other: "SnapshotCoefficient") -> "SnapshotCoefficient":
+        """Component-wise sum of two coefficients."""
+        return SnapshotCoefficient(
+            self.weight + other.weight,
+            tuple(a + b for a, b in zip(self.cross, other.cross)),
+        )
+
+    def with_contribution(self, contributions: tuple[float, ...]) -> "SnapshotCoefficient":
+        """Fold an event's measure contributions into the cross terms.
+
+        Applying an event with measure contributions ``c_i`` turns
+        ``m_i(e) += c_i * count(e)`` into ``cross_i += c_i * weight``.
+        """
+        return SnapshotCoefficient(
+            self.weight,
+            tuple(cross + contribution * self.weight
+                  for cross, contribution in zip(self.cross, contributions)),
+        )
+
+    def apply(self, value: AggregateVector) -> AggregateVector:
+        """Contribution of a snapshot with per-query value ``value``."""
+        count = self.weight * value.count
+        measures = tuple(
+            self.weight * measure + cross * value.count
+            for measure, cross in zip(value.measures, self.cross)
+        )
+        return AggregateVector(count, measures)
+
+
+class SnapshotExpression:
+    """A linear combination of snapshots (immutable value semantics)."""
+
+    __slots__ = ("_dimension", "_coefficients")
+
+    def __init__(
+        self,
+        dimension: int,
+        coefficients: Mapping[str, SnapshotCoefficient] | None = None,
+    ) -> None:
+        self._dimension = dimension
+        self._coefficients: dict[str, SnapshotCoefficient] = dict(coefficients or {})
+        for coefficient in self._coefficients.values():
+            if len(coefficient.cross) != dimension:
+                raise SharingError(
+                    f"coefficient has {len(coefficient.cross)} cross terms, "
+                    f"expression expects {dimension}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def zero(cls, dimension: int) -> "SnapshotExpression":
+        """The empty (zero) expression."""
+        return cls(dimension)
+
+    @classmethod
+    def identity(cls, snapshot_id: str, dimension: int) -> "SnapshotExpression":
+        """The expression ``1 * snapshot`` (weight one, no cross terms)."""
+        return cls(dimension, {snapshot_id: SnapshotCoefficient(1.0, (0.0,) * dimension)})
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+    @property
+    def dimension(self) -> int:
+        """Number of measure components tracked alongside the count."""
+        return self._dimension
+
+    @property
+    def coefficients(self) -> Mapping[str, SnapshotCoefficient]:
+        """Read-only view of the snapshot-to-coefficient mapping."""
+        return dict(self._coefficients)
+
+    def snapshot_ids(self) -> frozenset[str]:
+        """Identifiers of the snapshots referenced by this expression."""
+        return frozenset(self._coefficients)
+
+    def size(self) -> int:
+        """Number of snapshots referenced (``s`` in the complexity analysis)."""
+        return len(self._coefficients)
+
+    def add(self, other: "SnapshotExpression") -> "SnapshotExpression":
+        """Sum of two expressions."""
+        if other._dimension != self._dimension:
+            raise SharingError("cannot add snapshot expressions of different dimensions")
+        merged = dict(self._coefficients)
+        for snapshot_id, coefficient in other._coefficients.items():
+            if snapshot_id in merged:
+                merged[snapshot_id] = merged[snapshot_id].add(coefficient)
+            else:
+                merged[snapshot_id] = coefficient
+        return SnapshotExpression(self._dimension, merged)
+
+    def with_event_contribution(self, contributions: Iterable[float]) -> "SnapshotExpression":
+        """Fold an event's measure contributions into every coefficient.
+
+        This implements ``m_i(e) = contrib_i(e) * count(e) + Σ m_i(e')`` after
+        the counts have been summed into the expression.
+        """
+        contributions = tuple(contributions)
+        if len(contributions) != self._dimension:
+            raise SharingError(
+                f"expected {self._dimension} contributions, got {len(contributions)}"
+            )
+        if all(value == 0.0 for value in contributions):
+            return self
+        return SnapshotExpression(
+            self._dimension,
+            {
+                snapshot_id: coefficient.with_contribution(contributions)
+                for snapshot_id, coefficient in self._coefficients.items()
+            },
+        )
+
+    def evaluate(self, resolve: Callable[[str], AggregateVector]) -> AggregateVector:
+        """Evaluate the expression with ``resolve(snapshot_id)`` giving values."""
+        total = AggregateVector.zero(self._dimension)
+        for snapshot_id, coefficient in self._coefficients.items():
+            total = total.add(coefficient.apply(resolve(snapshot_id)))
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [
+            f"{coefficient.weight:g}*{snapshot_id}"
+            for snapshot_id, coefficient in sorted(self._coefficients.items())
+        ]
+        return " + ".join(parts) if parts else "0"

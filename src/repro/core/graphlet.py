@@ -1,0 +1,129 @@
+"""Graphlets and HAMLET graph nodes (Definitions 6 and 7).
+
+A graphlet is a maximal run of same-type events.  A *shared* graphlet stores
+one symbolic snapshot expression per event — the propagation work is done
+once for all sharing queries.  A *non-shared* event stores one resolved
+aggregate vector per query.  A single :class:`HamletNode` can carry both: the
+expression for the queries that shared its processing and resolved vectors
+for queries that processed it individually (e.g. queries that reference the
+event type outside a Kleene plus).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.expression import SnapshotExpression
+from repro.core.snapshot import SnapshotTable
+from repro.errors import SharingError
+from repro.events.event import Event, EventType
+from repro.greta.aggregators import AggregateVector
+
+_graphlet_counter = itertools.count(1)
+
+
+@dataclass
+class HamletNode:
+    """A matched event plus its per-query intermediate aggregates."""
+
+    event: Event
+    #: Symbolic expression shared by ``expression_queries`` (None if the event
+    #: was only processed non-shared).
+    expression: Optional[SnapshotExpression] = None
+    expression_queries: frozenset[str] = frozenset()
+    #: Resolved per-query vectors for queries processed non-shared.
+    resolved: dict[str, AggregateVector] = field(default_factory=dict)
+
+    def covers_query(self, query_name: str) -> bool:
+        """True if this node carries an aggregate for ``query_name``."""
+        return query_name in self.resolved or query_name in self.expression_queries
+
+    def vector_for(self, query_name: str, table: SnapshotTable) -> AggregateVector:
+        """The intermediate aggregate of this event for one query.
+
+        Queries that did not match the event get the zero vector, which makes
+        the node safe to use as a predecessor for any query.
+        """
+        if query_name in self.resolved:
+            return self.resolved[query_name]
+        if self.expression is not None and query_name in self.expression_queries:
+            return self.expression.evaluate(table.resolver(query_name))
+        return AggregateVector.zero(table.dimension)
+
+    def memory_units(self) -> int:
+        """One unit per stored event, per expression coefficient, per resolved vector."""
+        units = 1
+        if self.expression is not None:
+            units += self.expression.size()
+        units += len(self.resolved)
+        return units
+
+
+class Graphlet:
+    """A run of same-type events, processed shared or non-shared."""
+
+    def __init__(
+        self,
+        event_type: EventType,
+        shared: bool,
+        query_names: frozenset[str],
+        input_snapshot_id: Optional[str] = None,
+        dimension: int = 0,
+    ) -> None:
+        if shared and input_snapshot_id is None:
+            raise SharingError("a shared graphlet requires an input snapshot")
+        self.graphlet_id = f"G{next(_graphlet_counter)}"
+        self.event_type = event_type
+        self.shared = shared
+        self.query_names = query_names
+        self.input_snapshot_id = input_snapshot_id
+        self.active = True
+        self.nodes: list[HamletNode] = []
+        #: Running sum of the expressions of all events in this graphlet —
+        #: lets the next event be computed in O(#snapshots) instead of O(g)
+        #: (Table 3: the doubling propagation).
+        self.running_expression = SnapshotExpression.zero(dimension)
+        #: Running per-query sums for non-shared graphlets.
+        self.running_resolved: dict[str, AggregateVector] = {}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def size(self) -> int:
+        """Number of events stored in the graphlet (``g`` in the cost model)."""
+        return len(self.nodes)
+
+    def deactivate(self) -> None:
+        """Mark the graphlet inactive: no more events may be appended."""
+        self.active = False
+
+    def propagated_snapshots(self) -> frozenset[str]:
+        """Snapshots currently propagated through this graphlet (``sp``)."""
+        return self.running_expression.snapshot_ids()
+
+    def append(self, node: HamletNode) -> None:
+        """Append a node (the engine keeps the running sums up to date)."""
+        if not self.active:
+            raise SharingError(f"cannot append to inactive graphlet {self.graphlet_id}")
+        if node.event.event_type != self.event_type:
+            raise SharingError(
+                f"graphlet {self.graphlet_id} holds {self.event_type} events, "
+                f"got {node.event.event_type}"
+            )
+        self.nodes.append(node)
+
+    def memory_units(self) -> int:
+        """Footprint of the graphlet: nodes plus running-sum bookkeeping."""
+        units = sum(node.memory_units() for node in self.nodes)
+        units += self.running_expression.size()
+        units += len(self.running_resolved)
+        return units
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "shared" if self.shared else "non-shared"
+        return (
+            f"Graphlet({self.graphlet_id}, {self.event_type}, {mode}, "
+            f"{len(self.nodes)} events, active={self.active})"
+        )

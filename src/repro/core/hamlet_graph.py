@@ -1,0 +1,250 @@
+"""The HAMLET graph: graphlets, per-type accumulators and predecessor access.
+
+The graph serves three access patterns:
+
+* **shared propagation** — the engine only touches the active graphlet's
+  running expression (O(#snapshots) per event);
+* **snapshot creation** — a new graphlet-level snapshot needs, per sharing
+  query, the total intermediate aggregate of every predecessor *type*
+  (Definition 8, Equation 5).  :class:`TypeAccumulator` maintains those
+  totals, deferring the per-query evaluation of shared (symbolic) events
+  until a snapshot actually needs them;
+* **non-shared propagation** — the GRETA-style path needs the individual
+  predecessor events of a new event for one query, with edge predicates and
+  negation applied (Equation 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.expression import SnapshotExpression
+from repro.core.graphlet import Graphlet, HamletNode
+from repro.core.snapshot import SnapshotTable
+from repro.events.event import Event, EventType
+from repro.greta.aggregators import AggregateVector
+from repro.query.query import Query
+from repro.template.template import QueryTemplate
+
+
+@dataclass
+class TypeAccumulator:
+    """Running totals of intermediate aggregates for one event type.
+
+    ``resolved`` holds per-query totals that are already plain numbers;
+    ``pending`` holds the symbolic expressions of shared events that have not
+    been evaluated per query yet.  Deferring the evaluation keeps the shared
+    fast path free of per-query work — the fold only happens when a snapshot
+    is created (the "snapshot maintenance" cost of the paper's model).
+    """
+
+    dimension: int
+    resolved: dict[str, AggregateVector] = field(default_factory=dict)
+    pending: list[tuple[SnapshotExpression, frozenset[str]]] = field(default_factory=list)
+
+    def add_resolved(self, query_name: str, vector: AggregateVector) -> None:
+        """Add a per-query resolved vector to the running total."""
+        current = self.resolved.get(query_name, AggregateVector.zero(self.dimension))
+        self.resolved[query_name] = current.add(vector)
+
+    def add_pending(self, expression: SnapshotExpression, query_names: frozenset[str]) -> None:
+        """Add a shared event's expression (valid for ``query_names``)."""
+        self.pending.append((expression, query_names))
+
+    def fold(self, table: SnapshotTable) -> int:
+        """Evaluate all pending expressions per query and fold them into ``resolved``.
+
+        Returns the number of per-query evaluations performed (work units).
+        """
+        evaluations = 0
+        for expression, query_names in self.pending:
+            for query_name in query_names:
+                vector = expression.evaluate(table.resolver(query_name))
+                self.add_resolved(query_name, vector)
+                evaluations += max(1, expression.size())
+        self.pending.clear()
+        return evaluations
+
+    def total(self, query_name: str, table: SnapshotTable) -> AggregateVector:
+        """Current total for one query (evaluating pending expressions read-only)."""
+        total = self.resolved.get(query_name, AggregateVector.zero(self.dimension))
+        for expression, query_names in self.pending:
+            if query_name in query_names:
+                total = total.add(expression.evaluate(table.resolver(query_name)))
+        return total
+
+    def memory_units(self) -> int:
+        """Entries kept for the running totals."""
+        return len(self.resolved) + sum(expr.size() for expr, _ in self.pending)
+
+
+class HamletGraph:
+    """All graphlets of one partition plus the indexes the engine needs."""
+
+    def __init__(self, queries: Iterable[Query], dimension: int) -> None:
+        self._dimension = dimension
+        self._queries = tuple(queries)
+        self.graphlets: list[Graphlet] = []
+        self._active_by_type: dict[EventType, Graphlet] = {}
+        self._nodes_by_type: dict[EventType, list[HamletNode]] = {}
+        self._accumulators: dict[EventType, TypeAccumulator] = {}
+        self._negatives: dict[EventType, list[tuple[Event, frozenset[str]]]] = {}
+        #: Abstract work counter (predecessor accesses, expression updates,
+        #: per-query evaluations); read by the engine's ``operations()``.
+        self.operations = 0
+
+    # ------------------------------------------------------------------ #
+    # Graphlets
+    # ------------------------------------------------------------------ #
+    def active_graphlet(self, event_type: EventType) -> Graphlet | None:
+        """The active graphlet of ``event_type``, if any."""
+        graphlet = self._active_by_type.get(event_type)
+        if graphlet is not None and graphlet.active:
+            return graphlet
+        return None
+
+    def open_graphlet(self, graphlet: Graphlet) -> Graphlet:
+        """Register a freshly created graphlet as the active one for its type."""
+        previous = self._active_by_type.get(graphlet.event_type)
+        if previous is not None:
+            previous.deactivate()
+        self.graphlets.append(graphlet)
+        self._active_by_type[graphlet.event_type] = graphlet
+        return graphlet
+
+    def deactivate_type(self, event_type: EventType) -> None:
+        """Deactivate the active graphlet of ``event_type`` (if any)."""
+        graphlet = self._active_by_type.get(event_type)
+        if graphlet is not None:
+            graphlet.deactivate()
+
+    def deactivate_other_types(self, event_type: EventType) -> None:
+        """Deactivate active graphlets of every type except ``event_type``.
+
+        Mirrors Algorithm 1 lines 4–6: the arrival of an ``E`` event closes
+        the graphlets of all other types.
+        """
+        for other_type, graphlet in self._active_by_type.items():
+            if other_type != event_type:
+                graphlet.deactivate()
+
+    # ------------------------------------------------------------------ #
+    # Nodes
+    # ------------------------------------------------------------------ #
+    def register_node(self, graphlet: Graphlet, node: HamletNode) -> None:
+        """Append a node to its graphlet and to the per-type index."""
+        graphlet.append(node)
+        self._nodes_by_type.setdefault(node.event.event_type, []).append(node)
+
+    def nodes_of_type(self, event_type: EventType) -> list[HamletNode]:
+        """All stored nodes of one type, in arrival order."""
+        return self._nodes_by_type.get(event_type, [])
+
+    def node_count(self) -> int:
+        """Total number of stored (matched) events."""
+        return sum(len(nodes) for nodes in self._nodes_by_type.values())
+
+    def add_negative(self, event: Event, query_names: frozenset[str]) -> None:
+        """Record an event matched by a negated sub-pattern of some queries."""
+        self._negatives.setdefault(event.event_type, []).append((event, query_names))
+
+    # ------------------------------------------------------------------ #
+    # Accumulators (feed graphlet-level snapshots)
+    # ------------------------------------------------------------------ #
+    def accumulator(self, event_type: EventType) -> TypeAccumulator:
+        """The running-total accumulator of one event type."""
+        if event_type not in self._accumulators:
+            self._accumulators[event_type] = TypeAccumulator(self._dimension)
+        return self._accumulators[event_type]
+
+    def predecessor_total(
+        self, query: Query, template: QueryTemplate, event_type: EventType, table: SnapshotTable
+    ) -> AggregateVector:
+        """Equation 5: total aggregate of all predecessor-type events for one query."""
+        total = AggregateVector.zero(self._dimension)
+        for predecessor_type in template.predecessor_types(event_type):
+            accumulator = self._accumulators.get(predecessor_type)
+            if accumulator is None:
+                continue
+            total = total.add(accumulator.total(query.name, table))
+            self.operations += 1
+        return total
+
+    def fold_accumulators(self, event_types: Iterable[EventType], table: SnapshotTable) -> None:
+        """Fold pending expressions of the given types into resolved totals."""
+        for event_type in event_types:
+            accumulator = self._accumulators.get(event_type)
+            if accumulator is not None:
+                self.operations += accumulator.fold(table)
+
+    # ------------------------------------------------------------------ #
+    # Non-shared (GRETA-style) predecessor access
+    # ------------------------------------------------------------------ #
+    def predecessors_for(
+        self, query: Query, template: QueryTemplate, event: Event
+    ) -> Iterator[HamletNode]:
+        """Individual predecessor nodes of ``event`` for one query (Equation 2)."""
+        for predecessor_type in template.predecessor_types(event.event_type):
+            for node in self._nodes_by_type.get(predecessor_type, ()):
+                self.operations += 1
+                if not node.event < event:
+                    continue
+                if not node.covers_query(query.name):
+                    continue
+                if not query.accepts_edge(node.event, event):
+                    continue
+                if self._negation_blocks(query.name, template, node.event, event):
+                    continue
+                yield node
+
+    def _negation_blocks(
+        self, query_name: str, template: QueryTemplate, previous: Event, current: Event
+    ) -> bool:
+        for constraint in template.negations:
+            if not constraint.after_types:
+                continue
+            if previous.event_type not in constraint.before_types:
+                continue
+            if current.event_type not in constraint.after_types:
+                continue
+            for negative, matched_by in self._negatives.get(constraint.negated_type, ()):
+                if query_name in matched_by and previous < negative < current:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Finalization
+    # ------------------------------------------------------------------ #
+    def end_total(self, query: Query, template: QueryTemplate, table: SnapshotTable) -> AggregateVector:
+        """Equation 3: sum of intermediate aggregates of valid end-type events."""
+        trailing = [c for c in template.negations if not c.after_types]
+        total = AggregateVector.zero(self._dimension)
+        for event_type in template.end_types:
+            for node in self._nodes_by_type.get(event_type, ()):
+                if not node.covers_query(query.name):
+                    continue
+                if trailing and self._cancelled_by_trailing(query.name, node.event, trailing):
+                    continue
+                total = total.add(node.vector_for(query.name, table))
+                self.operations += 1
+        return total
+
+    def _cancelled_by_trailing(self, query_name: str, event: Event, constraints) -> bool:
+        for constraint in constraints:
+            if event.event_type not in constraint.before_types:
+                continue
+            for negative, matched_by in self._negatives.get(constraint.negated_type, ()):
+                if query_name in matched_by and event < negative:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Memory accounting
+    # ------------------------------------------------------------------ #
+    def memory_units(self) -> int:
+        """Graphlets, nodes, accumulators and negative events."""
+        units = sum(graphlet.memory_units() for graphlet in self.graphlets)
+        units += sum(acc.memory_units() for acc in self._accumulators.values())
+        units += sum(len(entries) for entries in self._negatives.values())
+        return units

@@ -1,0 +1,27 @@
+"""Synthetic dataset simulators.
+
+The paper evaluates HAMLET on four data sets (Section 6.1): the NYC
+taxi/Uber trips, the DEBS 2014 smart-home measurements, an EODData stock
+history sample, and the authors' own ridesharing stream generator.  The real
+data sets are not redistributable / not available offline, so this package
+provides simulators that generate streams with the same schemas, event types
+and burstiness characteristics — the properties the HAMLET code paths
+actually depend on (see the substitution table in DESIGN.md).
+
+Every generator is deterministic given its ``seed``.
+"""
+
+from repro.datasets.base import BurstModel, StreamGenerator
+from repro.datasets.nyc_taxi import NycTaxiGenerator
+from repro.datasets.ridesharing import RidesharingGenerator
+from repro.datasets.smart_home import SmartHomeGenerator
+from repro.datasets.stock import StockGenerator
+
+__all__ = [
+    "BurstModel",
+    "NycTaxiGenerator",
+    "RidesharingGenerator",
+    "SmartHomeGenerator",
+    "StockGenerator",
+    "StreamGenerator",
+]

@@ -1,0 +1,116 @@
+"""Common machinery for the dataset simulators.
+
+All generators share the same structure: a target arrival rate (events per
+minute), a *burst model* controlling how strongly arrivals cluster into
+bursts of same-type events (the stream property HAMLET's dynamic optimizer
+reacts to), and a deterministic pseudo-random source.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import DatasetError
+from repro.events.event import Event, EventType
+from repro.events.stream import EventStream
+
+
+@dataclass(frozen=True)
+class BurstModel:
+    """Controls how events cluster into bursts of the same type.
+
+    Attributes:
+        mean_burst_length: Average number of consecutive events of the same
+            type.  A value of 1 produces an i.i.d. type sequence; larger
+            values produce the bursty streams of the paper's motivation.
+        burstiness: Probability in ``[0, 1]`` of continuing the current burst
+            beyond the geometric draw — a convenience knob used by benchmarks
+            to sweep from smooth to very bursty streams.
+    """
+
+    mean_burst_length: float = 8.0
+    burstiness: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean_burst_length < 1:
+            raise DatasetError("mean_burst_length must be at least 1")
+        if not 0.0 <= self.burstiness <= 1.0:
+            raise DatasetError("burstiness must be within [0, 1]")
+
+    def draw_burst_length(self, rng: random.Random) -> int:
+        """Draw the length of the next burst."""
+        length = 1 + int(rng.expovariate(1.0 / max(self.mean_burst_length - 1, 1e-9)))
+        while rng.random() < self.burstiness:
+            length += 1
+        return max(1, length)
+
+
+class StreamGenerator:
+    """Base class of all simulators."""
+
+    #: Name used in benchmark reports.
+    name: str = "stream"
+
+    def __init__(
+        self,
+        *,
+        events_per_minute: float,
+        seed: int = 7,
+        burst_model: BurstModel | None = None,
+    ) -> None:
+        if events_per_minute <= 0:
+            raise DatasetError("events_per_minute must be positive")
+        self.events_per_minute = events_per_minute
+        self.seed = seed
+        self.burst_model = burst_model or BurstModel()
+
+    # ------------------------------------------------------------------ #
+    # Hooks implemented by concrete simulators
+    # ------------------------------------------------------------------ #
+    def event_types(self) -> Sequence[EventType]:
+        """Event types produced by the simulator (weights via :meth:`type_weight`)."""
+        raise NotImplementedError
+
+    def type_weight(self, event_type: EventType) -> float:
+        """Relative frequency of ``event_type`` (default: uniform)."""
+        return 1.0
+
+    def build_payload(self, event_type: EventType, time: float, rng: random.Random) -> dict:
+        """Payload for one event of ``event_type`` at ``time``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+    def generate(self, duration_seconds: float) -> EventStream:
+        """Generate a stream spanning ``duration_seconds`` of simulated time."""
+        if duration_seconds <= 0:
+            raise DatasetError("duration_seconds must be positive")
+        rng = random.Random(self.seed)
+        total_events = max(1, int(self.events_per_minute * duration_seconds / 60.0))
+        spacing = duration_seconds / total_events
+        types = list(self.event_types())
+        weights = [self.type_weight(event_type) for event_type in types]
+        stream = EventStream(name=self.name)
+        produced = 0
+        time = 0.0
+        while produced < total_events:
+            event_type = rng.choices(types, weights=weights, k=1)[0]
+            burst_length = min(
+                self.burst_model.draw_burst_length(rng), total_events - produced
+            )
+            for _ in range(burst_length):
+                payload = self.build_payload(event_type, time, rng)
+                stream.append(Event(event_type=event_type, time=time, payload=payload))
+                produced += 1
+                time += spacing * rng.uniform(0.5, 1.5)
+        return stream
+
+    def generate_events(self, count: int) -> EventStream:
+        """Generate a stream containing approximately ``count`` events."""
+        if count <= 0:
+            raise DatasetError("count must be positive")
+        duration = count / self.events_per_minute * 60.0
+        return self.generate(duration)

@@ -1,0 +1,103 @@
+"""NYC taxi / Uber trip stream simulator.
+
+The real data set ("2.63 billion taxi and Uber trips in New York City in
+2014–2015; each event carries a time stamp in seconds, driver and rider
+identifiers, pick-up and drop-off locations, number of passengers, and
+price", Section 6.1) is not redistributable.  This simulator produces a
+stream with the same schema and a trip life-cycle type sequence (Request →
+Enroute* → Pickup → Travel* → Dropoff) so that the Figure 11 workloads
+exercise the same code paths: grouping by pickup zone, Kleene closure over
+the Travel-like types, predicates on trip attributes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.datasets.base import BurstModel, StreamGenerator
+from repro.events.event import EventType
+from repro.events.schema import AttributeKind, Schema, SchemaRegistry
+
+NYC_TAXI_TYPES: tuple[EventType, ...] = (
+    "Request",
+    "Enroute",
+    "Pickup",
+    "Travel",
+    "Dropoff",
+    "Payment",
+    "Rating",
+)
+
+
+def nyc_taxi_schemas() -> SchemaRegistry:
+    """Schema registry for the NYC-taxi-like stream."""
+    registry = SchemaRegistry()
+    for event_type in NYC_TAXI_TYPES:
+        registry.register(
+            Schema.of(
+                event_type,
+                driver=AttributeKind.INT,
+                rider=AttributeKind.INT,
+                pickup_zone=AttributeKind.INT,
+                dropoff_zone=AttributeKind.INT,
+                passengers=AttributeKind.INT,
+                price=AttributeKind.FLOAT,
+                distance=AttributeKind.FLOAT,
+                speed=AttributeKind.FLOAT,
+            )
+        )
+    return registry
+
+
+class NycTaxiGenerator(StreamGenerator):
+    """Simulated NYC taxi/Uber trip event stream."""
+
+    name = "nyc-taxi"
+
+    def __init__(
+        self,
+        *,
+        events_per_minute: float = 200.0,
+        seed: int = 11,
+        burst_model: BurstModel | None = None,
+        zones: int = 20,
+        drivers: int = 500,
+        riders: int = 1_000,
+    ) -> None:
+        super().__init__(
+            events_per_minute=events_per_minute,
+            seed=seed,
+            burst_model=burst_model or BurstModel(mean_burst_length=10.0),
+        )
+        self.zones = zones
+        self.drivers = drivers
+        self.riders = riders
+        self.schemas = nyc_taxi_schemas()
+
+    def event_types(self) -> Sequence[EventType]:
+        return NYC_TAXI_TYPES
+
+    def type_weight(self, event_type: EventType) -> float:
+        weights = {
+            "Travel": 25.0,
+            "Enroute": 8.0,
+            "Request": 4.0,
+            "Pickup": 3.0,
+            "Dropoff": 3.0,
+            "Payment": 2.0,
+            "Rating": 1.0,
+        }
+        return weights.get(event_type, 1.0)
+
+    def build_payload(self, event_type: EventType, time: float, rng: random.Random) -> dict:
+        return {
+            "driver": rng.randrange(self.drivers),
+            "rider": rng.randrange(self.riders),
+            "pickup_zone": rng.randrange(self.zones),
+            "dropoff_zone": rng.randrange(self.zones),
+            "passengers": rng.randint(1, 4),
+            "price": round(rng.uniform(5.0, 90.0), 2),
+            "distance": round(rng.uniform(0.3, 25.0), 2),
+            "speed": round(rng.uniform(3.0, 60.0), 2),
+        }

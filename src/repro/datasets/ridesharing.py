@@ -1,0 +1,135 @@
+"""Ridesharing stream simulator (the paper's own synthetic generator).
+
+"Ridesharing data set was created by our stream generator to control the
+rate and distribution of events of different types in the stream.  This
+stream contains events of 20 event types such as request, pickup, travel,
+dropoff, cancel, etc.  Each event carries a time stamp in seconds, driver and
+rider ids, request type, district, duration, and price." (Section 6.1)
+
+Travel events dominate the stream (they are the events matched by the shared
+``Travel+`` Kleene sub-pattern of queries q1–q3 in Figure 1), which is what
+produces the long bursts HAMLET exploits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.datasets.base import BurstModel, StreamGenerator
+from repro.events.event import EventType
+from repro.events.schema import AttributeKind, Schema, SchemaRegistry
+
+#: The 20 event types of the ridesharing stream.
+RIDESHARING_TYPES: tuple[EventType, ...] = (
+    "Request",
+    "Accept",
+    "Travel",
+    "Pickup",
+    "Dropoff",
+    "Cancel",
+    "Pool",
+    "Rate",
+    "Tip",
+    "Payment",
+    "Surge",
+    "Reassign",
+    "Idle",
+    "Arrive",
+    "Depart",
+    "Breakdown",
+    "Refuel",
+    "Shift",
+    "Promo",
+    "Support",
+)
+
+
+def ridesharing_schemas() -> SchemaRegistry:
+    """Schema registry for every ridesharing event type."""
+    registry = SchemaRegistry()
+    for event_type in RIDESHARING_TYPES:
+        registry.register(
+            Schema.of(
+                event_type,
+                driver=AttributeKind.INT,
+                rider=AttributeKind.INT,
+                district=AttributeKind.INT,
+                kind=AttributeKind.STRING,
+                duration=AttributeKind.FLOAT,
+                price=AttributeKind.FLOAT,
+                speed=AttributeKind.FLOAT,
+            )
+        )
+    return registry
+
+
+class RidesharingGenerator(StreamGenerator):
+    """Synthetic ridesharing stream with controllable rate and burstiness."""
+
+    name = "ridesharing"
+
+    def __init__(
+        self,
+        *,
+        events_per_minute: float = 10_000.0,
+        seed: int = 7,
+        burst_model: BurstModel | None = None,
+        districts: int = 10,
+        drivers: int = 200,
+        riders: int = 400,
+        pool_fraction: float = 0.3,
+        slow_traffic_fraction: float = 0.4,
+    ) -> None:
+        """Create the generator.
+
+        Args:
+            events_per_minute: Average arrival rate (paper default: 10K).
+            seed: Random seed.
+            burst_model: Burstiness of the type sequence.
+            districts: Number of districts (the GROUP BY attribute).
+            drivers: Number of distinct driver identifiers.
+            riders: Number of distinct rider identifiers.
+            pool_fraction: Fraction of requests that are Pool requests.
+            slow_traffic_fraction: Fraction of Travel events with speed below
+                10 mph — the predicate of query q3 in Figure 1, and one of the
+                stream properties that flips the sharing benefit at runtime.
+        """
+        super().__init__(
+            events_per_minute=events_per_minute,
+            seed=seed,
+            burst_model=burst_model or BurstModel(mean_burst_length=12.0),
+        )
+        self.districts = districts
+        self.drivers = drivers
+        self.riders = riders
+        self.pool_fraction = pool_fraction
+        self.slow_traffic_fraction = slow_traffic_fraction
+        self.schemas = ridesharing_schemas()
+
+    def event_types(self) -> Sequence[EventType]:
+        return RIDESHARING_TYPES
+
+    def type_weight(self, event_type: EventType) -> float:
+        weights = {
+            "Travel": 30.0,
+            "Request": 6.0,
+            "Accept": 5.0,
+            "Pickup": 5.0,
+            "Dropoff": 5.0,
+            "Pool": 4.0,
+            "Cancel": 2.0,
+        }
+        return weights.get(event_type, 1.0)
+
+    def build_payload(self, event_type: EventType, time: float, rng: random.Random) -> dict:
+        slow = rng.random() < self.slow_traffic_fraction
+        return {
+            "driver": rng.randrange(self.drivers),
+            "rider": rng.randrange(self.riders),
+            "district": rng.randrange(self.districts),
+            "kind": "Pool" if rng.random() < self.pool_fraction else "Solo",
+            "duration": round(rng.uniform(0.5, 30.0), 2),
+            "price": round(rng.uniform(3.0, 80.0), 2),
+            "speed": round(rng.uniform(2.0, 9.5) if slow else rng.uniform(10.0, 65.0), 2),
+        }

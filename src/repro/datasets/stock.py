@@ -1,0 +1,89 @@
+"""Stock trade stream simulator (EODData-like shape).
+
+The real sample used by the paper ("2 million transaction records of 220
+companies for 8 hours; each event carries a time stamp in minutes, company
+identifier, price, and volume", Section 6.1) is not redistributable.  The
+simulator produces per-company random-walk prices with up-tick / down-tick /
+trade event types, grouping by company.  The Figures 12–13 workloads (dynamic
+versus static sharing) run on this stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.datasets.base import BurstModel, StreamGenerator
+from repro.events.event import EventType
+from repro.events.schema import AttributeKind, Schema, SchemaRegistry
+
+STOCK_TYPES: tuple[EventType, ...] = ("Trade", "UpTick", "DownTick", "Quote", "Halt")
+
+
+def stock_schemas() -> SchemaRegistry:
+    """Schema registry for the stock stream."""
+    registry = SchemaRegistry()
+    for event_type in STOCK_TYPES:
+        registry.register(
+            Schema.of(
+                event_type,
+                company=AttributeKind.INT,
+                sector=AttributeKind.INT,
+                price=AttributeKind.FLOAT,
+                volume=AttributeKind.INT,
+                change=AttributeKind.FLOAT,
+            )
+        )
+    return registry
+
+
+class StockGenerator(StreamGenerator):
+    """Simulated stock transaction stream with random-walk prices."""
+
+    name = "stock"
+
+    def __init__(
+        self,
+        *,
+        events_per_minute: float = 4_500.0,
+        seed: int = 17,
+        burst_model: BurstModel | None = None,
+        companies: int = 220,
+        sectors: int = 12,
+        initial_price: float = 100.0,
+    ) -> None:
+        super().__init__(
+            events_per_minute=events_per_minute,
+            seed=seed,
+            burst_model=burst_model or BurstModel(mean_burst_length=15.0),
+        )
+        self.companies = companies
+        self.sectors = sectors
+        self.initial_price = initial_price
+        self.schemas = stock_schemas()
+        self._prices: dict[int, float] = {}
+
+    def event_types(self) -> Sequence[EventType]:
+        return STOCK_TYPES
+
+    def type_weight(self, event_type: EventType) -> float:
+        weights = {"Trade": 35.0, "UpTick": 12.0, "DownTick": 12.0, "Quote": 8.0, "Halt": 0.5}
+        return weights.get(event_type, 1.0)
+
+    def build_payload(self, event_type: EventType, time: float, rng: random.Random) -> dict:
+        company = rng.randrange(self.companies)
+        previous = self._prices.get(company, self.initial_price)
+        drift = rng.gauss(0.0, 0.4)
+        if event_type == "UpTick":
+            drift = abs(drift)
+        elif event_type == "DownTick":
+            drift = -abs(drift)
+        price = max(1.0, previous + drift)
+        self._prices[company] = price
+        return {
+            "company": company,
+            "sector": company % self.sectors,
+            "price": round(price, 2),
+            "volume": rng.randint(1, 5_000),
+            "change": round(price - previous, 3),
+        }

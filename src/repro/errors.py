@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can distinguish library failures from programming errors with a single
+``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """An event does not conform to its declared schema."""
+
+
+class StreamError(ReproError):
+    """A stream violates an invariant (e.g. events arrive out of order)."""
+
+
+class PatternError(ReproError):
+    """A pattern expression is malformed or unsupported."""
+
+
+class QueryParseError(PatternError):
+    """The textual query could not be parsed."""
+
+
+class PredicateError(ReproError):
+    """A predicate references an unknown attribute or is malformed."""
+
+
+class WindowError(ReproError):
+    """A window specification is invalid (e.g. non-positive size)."""
+
+
+class TemplateError(ReproError):
+    """A query cannot be compiled into a finite-state template."""
+
+
+class SharingError(ReproError):
+    """An invalid sharing configuration was requested."""
+
+
+class ExecutionError(ReproError):
+    """The runtime executor hit an unrecoverable condition."""
+
+
+class WorkloadError(ReproError):
+    """A workload of queries is invalid (e.g. empty or inconsistent)."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator received invalid configuration."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark harness was configured incorrectly."""

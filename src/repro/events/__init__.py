@@ -1,0 +1,30 @@
+"""Event model and stream abstractions.
+
+This package provides the substrate every engine in the library is built on:
+
+* :class:`~repro.events.event.Event` — an immutable timestamped tuple of a
+  particular event type.
+* :class:`~repro.events.schema.Attribute` / :class:`~repro.events.schema.Schema`
+  — attribute declarations and validation for event types.
+* :class:`~repro.events.stream.EventStream` — an ordered, replayable sequence
+  of events with helpers for slicing, merging and rate statistics.
+* :mod:`~repro.events.time` — time-stamp helpers shared by windows and panes.
+"""
+
+from repro.events.event import Event, EventType
+from repro.events.schema import Attribute, AttributeKind, Schema
+from repro.events.stream import EventStream, StreamStatistics, merge_streams
+from repro.events.time import Timestamp, gcd_of_intervals
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "Event",
+    "EventStream",
+    "EventType",
+    "Schema",
+    "StreamStatistics",
+    "Timestamp",
+    "gcd_of_intervals",
+    "merge_streams",
+]

@@ -1,0 +1,176 @@
+"""Event type schemas.
+
+Every event type (``Request``, ``Travel``, ``Trade`` ...) is described by a
+:class:`Schema`: a named set of attributes with declared kinds.  Schemas are
+used by the dataset simulators to generate well-formed events and by the
+query layer to validate predicate and aggregate references at compile time
+rather than during stream processing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.errors import SchemaError
+
+
+class AttributeKind(enum.Enum):
+    """Kind of an event attribute."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    BOOL = "bool"
+
+    def validates(self, value: Any) -> bool:
+        """Return True if ``value`` is acceptable for this kind."""
+        if self is AttributeKind.INT:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is AttributeKind.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is AttributeKind.STRING:
+            return isinstance(value, str)
+        return isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single attribute declaration of an event type."""
+
+    name: str
+    kind: AttributeKind = AttributeKind.FLOAT
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"attribute name must be an identifier, got {self.name!r}")
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Schema of an event type: the set of attributes events of it carry.
+
+    The reserved attributes ``time`` and ``type`` are implicit on every event
+    and must not be redeclared.
+    """
+
+    event_type: str
+    attributes: tuple[Attribute, ...] = field(default_factory=tuple)
+
+    _RESERVED = ("time", "type")
+
+    def __post_init__(self) -> None:
+        if not self.event_type or not self.event_type.isidentifier():
+            raise SchemaError(
+                f"event type name must be an identifier, got {self.event_type!r}"
+            )
+        seen: set[str] = set()
+        for attribute in self.attributes:
+            if attribute.name in self._RESERVED:
+                raise SchemaError(
+                    f"attribute {attribute.name!r} is reserved on type {self.event_type}"
+                )
+            if attribute.name in seen:
+                raise SchemaError(
+                    f"duplicate attribute {attribute.name!r} on type {self.event_type}"
+                )
+            seen.add(attribute.name)
+
+    @classmethod
+    def of(cls, event_type: str, **attribute_kinds: AttributeKind) -> "Schema":
+        """Convenience constructor: ``Schema.of("Trade", price=FLOAT)``."""
+        attributes = tuple(
+            Attribute(name=name, kind=kind) for name, kind in attribute_kinds.items()
+        )
+        return cls(event_type=event_type, attributes=attributes)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Names of the declared attributes, in declaration order."""
+        return tuple(attribute.name for attribute in self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the attribute declaration for ``name``.
+
+        Raises:
+            SchemaError: if the attribute is not declared.
+        """
+        for attribute in self.attributes:
+            if attribute.name == name:
+                return attribute
+        raise SchemaError(f"type {self.event_type} has no attribute {name!r}")
+
+    def has_attribute(self, name: str) -> bool:
+        """Return True if the schema declares ``name``."""
+        return any(attribute.name == name for attribute in self.attributes)
+
+    def validate(self, payload: Mapping[str, Any]) -> None:
+        """Validate an event payload against this schema.
+
+        Every declared attribute must be present with a value of the declared
+        kind; unknown attributes are rejected.
+
+        Raises:
+            SchemaError: on any mismatch.
+        """
+        for attribute in self.attributes:
+            if attribute.name not in payload:
+                raise SchemaError(
+                    f"event of type {self.event_type} is missing attribute "
+                    f"{attribute.name!r}"
+                )
+            value = payload[attribute.name]
+            if not attribute.kind.validates(value):
+                raise SchemaError(
+                    f"attribute {attribute.name!r} of type {self.event_type} expects "
+                    f"{attribute.kind.value}, got {value!r}"
+                )
+        unknown = set(payload) - set(self.attribute_names)
+        if unknown:
+            raise SchemaError(
+                f"unknown attributes {sorted(unknown)} for type {self.event_type}"
+            )
+
+
+class SchemaRegistry:
+    """A named collection of schemas, one per event type.
+
+    Dataset simulators publish their schemas through a registry so that the
+    query layer can validate attribute references.
+    """
+
+    def __init__(self, schemas: Iterable[Schema] = ()) -> None:
+        self._schemas: dict[str, Schema] = {}
+        for schema in schemas:
+            self.register(schema)
+
+    def register(self, schema: Schema) -> None:
+        """Register ``schema``, replacing any previous schema of the same type."""
+        self._schemas[schema.event_type] = schema
+
+    def get(self, event_type: str) -> Schema:
+        """Return the schema for ``event_type``.
+
+        Raises:
+            SchemaError: if no schema is registered for the type.
+        """
+        try:
+            return self._schemas[event_type]
+        except KeyError:
+            raise SchemaError(f"no schema registered for event type {event_type!r}") from None
+
+    def __contains__(self, event_type: str) -> bool:
+        return event_type in self._schemas
+
+    def __iter__(self):
+        return iter(self._schemas.values())
+
+    def __len__(self) -> int:
+        return len(self._schemas)
+
+    @property
+    def event_types(self) -> tuple[str, ...]:
+        """Registered event type names, sorted."""
+        return tuple(sorted(self._schemas))

@@ -1,0 +1,153 @@
+"""Event streams.
+
+An :class:`EventStream` is an ordered, replayable, in-memory sequence of
+events.  The runtime executor consumes streams event by event; the dataset
+simulators produce them; benchmarks slice and merge them.
+
+Streams enforce the paper's in-order arrival assumption: appending an event
+with a timestamp earlier than the last appended event raises
+:class:`~repro.errors.StreamError`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+from repro.errors import StreamError
+from repro.events.event import Event, EventType
+from repro.events.time import Timestamp
+
+
+@dataclass(frozen=True)
+class StreamStatistics:
+    """Summary statistics of a stream used by benchmarks and the optimizer."""
+
+    count: int
+    duration: float
+    events_per_second: float
+    events_per_type: dict[EventType, int]
+
+    @property
+    def events_per_minute(self) -> float:
+        """Average arrival rate expressed per minute (the paper's unit)."""
+        return self.events_per_second * 60.0
+
+
+class EventStream:
+    """An ordered, replayable sequence of events.
+
+    The class behaves like an immutable sequence once handed to an engine but
+    supports efficient appends while a simulator is producing it.
+    """
+
+    def __init__(self, events: Iterable[Event] = (), *, name: str = "stream") -> None:
+        self.name = name
+        self._events: list[Event] = []
+        for event in events:
+            self.append(event)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def append(self, event: Event) -> None:
+        """Append ``event``; events must arrive in non-decreasing time order."""
+        if self._events and event.time < self._events[-1].time:
+            raise StreamError(
+                f"out-of-order event: {event.time} arrives after {self._events[-1].time}"
+            )
+        self._events.append(event)
+
+    def extend(self, events: Iterable[Event]) -> None:
+        """Append every event in ``events`` in order."""
+        for event in events:
+            self.append(event)
+
+    # ------------------------------------------------------------------ #
+    # Sequence protocol
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return EventStream(self._events[index], name=self.name)
+        return self._events[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    @property
+    def events(self) -> Sequence[Event]:
+        """The underlying events as an immutable view."""
+        return tuple(self._events)
+
+    # ------------------------------------------------------------------ #
+    # Time-based access
+    # ------------------------------------------------------------------ #
+    @property
+    def start_time(self) -> Optional[Timestamp]:
+        """Timestamp of the first event, or None for an empty stream."""
+        return self._events[0].time if self._events else None
+
+    @property
+    def end_time(self) -> Optional[Timestamp]:
+        """Timestamp of the last event, or None for an empty stream."""
+        return self._events[-1].time if self._events else None
+
+    def between(self, start: Timestamp, end: Timestamp) -> "EventStream":
+        """Return the sub-stream with timestamps in the half-open ``[start, end)``."""
+        times = [event.time for event in self._events]
+        lo = bisect.bisect_left(times, start)
+        hi = bisect.bisect_left(times, end)
+        return EventStream(self._events[lo:hi], name=self.name)
+
+    def filter(self, predicate: Callable[[Event], bool]) -> "EventStream":
+        """Return the sub-stream of events satisfying ``predicate``."""
+        return EventStream(
+            (event for event in self._events if predicate(event)), name=self.name
+        )
+
+    def of_type(self, *event_types: EventType) -> "EventStream":
+        """Return the sub-stream of events whose type is in ``event_types``."""
+        wanted = set(event_types)
+        return self.filter(lambda event: event.event_type in wanted)
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def statistics(self) -> StreamStatistics:
+        """Compute summary statistics for the stream."""
+        per_type: dict[EventType, int] = {}
+        for event in self._events:
+            per_type[event.event_type] = per_type.get(event.event_type, 0) + 1
+        if not self._events:
+            return StreamStatistics(0, 0.0, 0.0, per_type)
+        duration = self._events[-1].time - self._events[0].time
+        rate = len(self._events) / duration if duration > 0 else float(len(self._events))
+        return StreamStatistics(
+            count=len(self._events),
+            duration=duration,
+            events_per_second=rate,
+            events_per_type=per_type,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventStream({self.name!r}, {len(self._events)} events)"
+
+
+def merge_streams(*streams: EventStream, name: str = "merged") -> EventStream:
+    """Merge streams into a single stream ordered by ``(time, sequence)``.
+
+    The merge is stable with respect to the total order on events and is used
+    by dataset simulators that generate each event type independently.
+    """
+    merged = sorted(
+        (event for stream in streams for event in stream),
+        key=lambda event: (event.time, event.sequence),
+    )
+    return EventStream(merged, name=name)

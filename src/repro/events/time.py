@@ -1,0 +1,65 @@
+"""Time helpers.
+
+The paper models time as a linearly ordered set of non-negative rationals.
+In this implementation timestamps are floats (seconds).  Windows, slides and
+panes are expressed in the same unit.
+
+The only non-trivial helper is :func:`gcd_of_intervals`, used by the pane
+partitioner: the pane size is the greatest common divisor of all window sizes
+and slides of a set of sharable queries (Section 3.1 of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.errors import WindowError
+
+#: Type alias used throughout the library for event timestamps (seconds).
+Timestamp = float
+
+#: Resolution, in seconds, used when computing gcd over float intervals.
+#: Intervals are scaled to integers at this resolution before taking the gcd.
+_GCD_RESOLUTION = 1e-3
+
+
+def gcd_of_intervals(intervals: Iterable[float]) -> float:
+    """Return the greatest common divisor of a collection of time intervals.
+
+    Intervals are given in seconds and may be fractional.  They are scaled to
+    millisecond resolution before the integer gcd is computed, which matches
+    the granularity used by the dataset simulators.
+
+    Raises:
+        WindowError: if the collection is empty or contains a non-positive
+            interval.
+    """
+    scaled: list[int] = []
+    for interval in intervals:
+        if interval <= 0:
+            raise WindowError(f"intervals must be positive, got {interval!r}")
+        scaled.append(int(round(interval / _GCD_RESOLUTION)))
+    if not scaled:
+        raise WindowError("cannot compute gcd of an empty interval collection")
+    result = scaled[0]
+    for value in scaled[1:]:
+        result = math.gcd(result, value)
+    return result * _GCD_RESOLUTION
+
+
+def pane_index(timestamp: Timestamp, pane_size: float) -> int:
+    """Return the index of the pane containing ``timestamp``.
+
+    Panes are half-open intervals ``[i * pane_size, (i + 1) * pane_size)``.
+    """
+    if pane_size <= 0:
+        raise WindowError(f"pane size must be positive, got {pane_size!r}")
+    return int(timestamp // pane_size)
+
+
+def pane_bounds(index: int, pane_size: float) -> tuple[float, float]:
+    """Return the ``[start, end)`` bounds of the pane with the given index."""
+    if pane_size <= 0:
+        raise WindowError(f"pane size must be positive, got {pane_size!r}")
+    return index * pane_size, (index + 1) * pane_size

@@ -1,0 +1,31 @@
+"""GRETA-style non-shared online event trend aggregation.
+
+GRETA [33] encodes matched events and their trend-adjacency in a per-query
+graph and propagates intermediate aggregates along the edges, so trends are
+aggregated without being constructed (Section 3.2 of the HAMLET paper).
+HAMLET uses exactly this strategy as its *non-shared* execution path, and the
+paper uses GRETA as its strongest online baseline, so this package is both a
+baseline engine and a building block of :mod:`repro.core`.
+"""
+
+from repro.greta.aggregators import (
+    AggregateVector,
+    ExtremumTrendAggregator,
+    LinearTrendAggregator,
+    Measure,
+    measures_for_queries,
+    result_from_vector,
+)
+from repro.greta.engine import GretaEngine
+from repro.greta.graph import QueryGraph
+
+__all__ = [
+    "AggregateVector",
+    "ExtremumTrendAggregator",
+    "GretaEngine",
+    "LinearTrendAggregator",
+    "Measure",
+    "QueryGraph",
+    "measures_for_queries",
+    "result_from_vector",
+]

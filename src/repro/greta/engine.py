@@ -1,0 +1,109 @@
+"""The GRETA engine: non-shared online event trend aggregation.
+
+Each query in the workload is processed independently (Section 3.2 of the
+HAMLET paper): the engine maintains one :class:`~repro.greta.graph.QueryGraph`
+per query, computes the intermediate aggregate of every matched event from
+its predecessor events (Equations 1–2) and sums the aggregates of end-type
+events to obtain the final result (Equation 3).
+
+Time complexity is ``O(k * n^2)`` for ``k`` queries and ``n`` matched events
+per partition (Equation 4) — the ``k`` factor is what HAMLET's sharing
+removes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import ExecutionError
+from repro.events.event import Event
+from repro.greta.aggregators import (
+    ExtremumTrendAggregator,
+    LinearTrendAggregator,
+)
+from repro.greta.graph import QueryGraph
+from repro.interfaces import TrendAggregationEngine
+from repro.query.query import Query
+from repro.template.template import compile_pattern
+
+
+class GretaEngine(TrendAggregationEngine):
+    """Non-shared online trend aggregation over one stream partition."""
+
+    name = "greta"
+
+    def __init__(self) -> None:
+        self._queries: tuple[Query, ...] = ()
+        self._graphs: dict[str, QueryGraph] = {}
+        self._aggregators: dict[str, LinearTrendAggregator | ExtremumTrendAggregator] = {}
+        self._template_cache: dict[str, object] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Engine interface
+    # ------------------------------------------------------------------ #
+    def start(self, queries: Sequence[Query]) -> None:
+        """Prepare per-query graphs and aggregators."""
+        if not queries:
+            raise ExecutionError("GretaEngine.start requires at least one query")
+        self._queries = tuple(queries)
+        self._graphs = {}
+        self._aggregators = {}
+        for query in self._queries:
+            # Template compilation is a pure function of the pattern; cache it
+            # so re-starting the engine per window partition stays cheap.
+            template = self._template_cache.get(query.name)
+            if template is None:
+                template = compile_pattern(query.pattern)
+                self._template_cache[query.name] = template
+            self._graphs[query.name] = QueryGraph(query, template)
+            if query.aggregate.kind.is_linear:
+                self._aggregators[query.name] = LinearTrendAggregator(query)
+            else:
+                self._aggregators[query.name] = ExtremumTrendAggregator(query)
+        self._started = True
+
+    def process(self, event: Event) -> None:
+        """Route the event to every query that matches its type."""
+        if not self._started:
+            raise ExecutionError("GretaEngine.process called before start()")
+        for query in self._queries:
+            graph = self._graphs[query.name]
+            if graph.is_negative_type(event.event_type):
+                if query.accepts_event(event):
+                    graph.add_negative_event(event)
+                continue
+            if not graph.is_positive_type(event.event_type):
+                continue
+            if not query.accepts_event(event):
+                continue
+            aggregator = self._aggregators[query.name]
+            graph.add_event(event, aggregator.new_state)
+
+    def results(self) -> dict[str, float]:
+        """Final aggregate per query (Equation 3)."""
+        if not self._started:
+            raise ExecutionError("GretaEngine.results called before start()")
+        results: dict[str, float] = {}
+        for query in self._queries:
+            graph = self._graphs[query.name]
+            aggregator = self._aggregators[query.name]
+            end_states = [node.state for node in graph.end_nodes()]
+            results[query.name] = aggregator.finalize(end_states)
+        return results
+
+    def memory_units(self) -> int:
+        """Sum of per-query graph footprints (events are replicated per query)."""
+        return sum(graph.memory_units() for graph in self._graphs.values())
+
+    def operations(self) -> int:
+        """Total predecessor accesses / state updates across all query graphs."""
+        return sum(graph.operations for graph in self._graphs.values())
+
+    # ------------------------------------------------------------------ #
+    # Introspection used by tests
+    # ------------------------------------------------------------------ #
+    def graph_of(self, query: Query | str) -> Optional[QueryGraph]:
+        """Return the graph of ``query`` (by object or name)."""
+        name = query if isinstance(query, str) else query.name
+        return self._graphs.get(name)

@@ -1,0 +1,171 @@
+"""Per-query event graph (the GRETA graph).
+
+The graph stores every event matched by one query together with the event's
+intermediate aggregate (the state propagated along trend-adjacency edges).
+Edges are never materialized: the predecessor events of a new event are
+enumerated on demand from the per-type event lists, applying edge predicates
+and negation constraints (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.events.event import Event, EventType
+from repro.query.query import Query
+from repro.template.template import NegationConstraint, QueryTemplate
+
+
+@dataclass
+class GraphNode:
+    """A matched event together with its intermediate aggregate state."""
+
+    event: Event
+    state: object
+
+
+class QueryGraph:
+    """The GRETA graph of one query over one stream partition."""
+
+    def __init__(self, query: Query, template: QueryTemplate) -> None:
+        self.query = query
+        self.template = template
+        self._nodes_by_type: dict[EventType, list[GraphNode]] = {}
+        self._negative_events: dict[EventType, list[Event]] = {}
+        #: Abstract work counter: one unit per predecessor access / state update.
+        self.operations = 0
+
+    # ------------------------------------------------------------------ #
+    # Event classification
+    # ------------------------------------------------------------------ #
+    def is_positive_type(self, event_type: EventType) -> bool:
+        """True if events of this type are matched positively by the query."""
+        return event_type in self.template.event_types
+
+    def is_negative_type(self, event_type: EventType) -> bool:
+        """True if events of this type only appear under NOT in the query."""
+        return event_type in self.template.negated_types
+
+    # ------------------------------------------------------------------ #
+    # Insertion
+    # ------------------------------------------------------------------ #
+    def add_negative_event(self, event: Event) -> None:
+        """Record an event matched by a negated sub-pattern."""
+        self._negative_events.setdefault(event.event_type, []).append(event)
+
+    def add_event(
+        self,
+        event: Event,
+        compute_state: Callable[[Event, bool, list[object]], object],
+    ) -> object:
+        """Insert a matched event, computing its state from its predecessors.
+
+        Args:
+            event: The newly matched event (already past local predicates).
+            compute_state: callback ``(event, starts_trend, predecessor_states)
+                -> state`` — typically an aggregator's ``new_state``.
+
+        Returns:
+            The computed state.
+        """
+        predecessor_states = [node.state for node in self.predecessors_of(event)]
+        starts_trend = self.template.is_start(event.event_type)
+        state = compute_state(event, starts_trend, predecessor_states)
+        self.operations += 1 + len(predecessor_states)
+        self._nodes_by_type.setdefault(event.event_type, []).append(GraphNode(event, state))
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Predecessor enumeration
+    # ------------------------------------------------------------------ #
+    def predecessors_of(self, event: Event) -> Iterator[GraphNode]:
+        """Yield the graph nodes that may immediately precede ``event`` in a trend.
+
+        A stored node ``e'`` qualifies if its type is a predecessor type of
+        the new event's type, it arrived strictly earlier, the query's edge
+        predicates accept the pair, and no negation constraint invalidates
+        the edge.
+        """
+        predecessor_types = self.template.predecessor_types(event.event_type)
+        for event_type in predecessor_types:
+            for node in self._nodes_by_type.get(event_type, ()):
+                if not node.event < event:
+                    continue
+                if not self.query.accepts_edge(node.event, event):
+                    continue
+                if self._negation_blocks(node.event, event):
+                    continue
+                yield node
+
+    def _negation_blocks(self, previous: Event, current: Event) -> bool:
+        """True if a negation constraint invalidates the edge ``previous -> current``."""
+        for constraint in self.template.negations:
+            if not constraint.after_types:
+                continue  # trailing NOT — applied at finalization time
+            if previous.event_type not in constraint.before_types:
+                continue
+            if current.event_type not in constraint.after_types:
+                continue
+            if self._has_negative_between(constraint, previous, current):
+                return True
+        return False
+
+    def _has_negative_between(
+        self, constraint: NegationConstraint, previous: Event, current: Event
+    ) -> bool:
+        for negative in self._negative_events.get(constraint.negated_type, ()):
+            if previous < negative < current:
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Finalization
+    # ------------------------------------------------------------------ #
+    def end_nodes(self) -> Iterator[GraphNode]:
+        """Yield nodes of end types whose trends are not cancelled by a trailing NOT."""
+        trailing = [
+            constraint for constraint in self.template.negations if not constraint.after_types
+        ]
+        for event_type in self.template.end_types:
+            for node in self._nodes_by_type.get(event_type, ()):
+                if trailing and self._cancelled_by_trailing_negation(node.event, trailing):
+                    continue
+                yield node
+
+    def _cancelled_by_trailing_negation(
+        self, event: Event, constraints: list[NegationConstraint]
+    ) -> bool:
+        for constraint in constraints:
+            if event.event_type not in constraint.before_types:
+                continue
+            for negative in self._negative_events.get(constraint.negated_type, ()):
+                if event < negative:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def node_count(self) -> int:
+        """Number of stored (matched) events."""
+        return sum(len(nodes) for nodes in self._nodes_by_type.values())
+
+    def negative_count(self) -> int:
+        """Number of stored negative events."""
+        return sum(len(events) for events in self._negative_events.values())
+
+    def nodes_of_type(self, event_type: EventType) -> tuple[GraphNode, ...]:
+        """Stored nodes of one event type, in arrival order."""
+        return tuple(self._nodes_by_type.get(event_type, ()))
+
+    def memory_units(self) -> int:
+        """Events stored plus one unit per intermediate state plus one result slot."""
+        return 2 * self.node_count() + self.negative_count() + 1
+
+    def state_of(self, event: Event) -> Optional[object]:
+        """Return the stored state of ``event`` or None if it was not matched."""
+        for node in self._nodes_by_type.get(event.event_type, ()):
+            if node.event == event:
+                return node.state
+        return None

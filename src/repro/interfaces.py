@@ -1,0 +1,76 @@
+"""Common engine interface.
+
+Every aggregation engine (HAMLET, GRETA, the two-step MCEP-style baseline,
+the SHARON-style flattened-sequence baseline, and the brute-force oracle)
+implements :class:`TrendAggregationEngine`.  An engine instance evaluates a
+*partition*: the sub-stream of events belonging to one group-by key and one
+window instance of a set of queries.  Routing events into partitions is the
+job of :mod:`repro.runtime`.
+
+The interface is deliberately small:
+
+* :meth:`TrendAggregationEngine.start` resets the engine for a set of queries,
+* :meth:`TrendAggregationEngine.process` ingests one event,
+* :meth:`TrendAggregationEngine.results` returns the final aggregate per query,
+* :meth:`TrendAggregationEngine.memory_units` reports an abstract memory
+  footprint (number of stored events, intermediate aggregates, snapshot
+  entries, ...) used for the paper's memory figures.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Mapping, Sequence
+
+from repro.events.event import Event
+from repro.query.query import Query
+
+#: Result type: final aggregate value per query name.
+ResultMap = Mapping[str, float]
+
+
+class TrendAggregationEngine(abc.ABC):
+    """Abstract base class of all trend aggregation engines."""
+
+    #: Human-readable engine name used in benchmark reports.
+    name: str = "engine"
+
+    @abc.abstractmethod
+    def start(self, queries: Sequence[Query]) -> None:
+        """Reset the engine and prepare to evaluate ``queries`` over one partition."""
+
+    @abc.abstractmethod
+    def process(self, event: Event) -> None:
+        """Ingest one event of the partition (events arrive in time order)."""
+
+    @abc.abstractmethod
+    def results(self) -> dict[str, float]:
+        """Return the final aggregate of every query over the ingested events."""
+
+    @abc.abstractmethod
+    def memory_units(self) -> int:
+        """Approximate memory footprint in abstract units.
+
+        Units count stored events, per-event intermediate aggregates, snapshot
+        table entries and per-query bookkeeping, mirroring how the paper
+        measures "peak memory" across approaches.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def evaluate(self, queries: Sequence[Query], events: Iterable[Event]) -> dict[str, float]:
+        """Evaluate ``queries`` over ``events`` in one go and return the results."""
+        self.start(queries)
+        for event in events:
+            self.process(event)
+        return self.results()
+
+    def operations(self) -> int:
+        """Abstract count of work units performed since :meth:`start`.
+
+        Engines increment an internal counter for every predecessor access,
+        snapshot evaluation and aggregate update.  The benchmark harness uses
+        this as a machine-independent cost signal alongside wall-clock time.
+        """
+        return 0

@@ -1,0 +1,134 @@
+"""Per-burst sharing decisions (Section 4.2).
+
+The dynamic optimizer is consulted by the HAMLET executor once per completed
+burst.  It plugs the burst statistics into the benefit model, chooses the
+query subset worth sharing, and returns a :class:`SharingDecision`.  The
+executor then merges graphlets (start or continue a shared graphlet) or
+splits them (fall back to per-query processing) accordingly.
+
+The optimizer also keeps the bookkeeping the paper reports in Section 6.2:
+how many decisions were made, how many bursts were shared, and how much time
+the decisions themselves took (they must stay a negligible fraction of the
+total latency).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.query_set import QuerySetChoice, choose_query_set
+from repro.optimizer.statistics import BurstStatistics
+
+
+@dataclass(frozen=True)
+class SharingDecision:
+    """Outcome of one per-burst decision."""
+
+    #: True if the burst should be processed in a shared graphlet.
+    share: bool
+    #: Queries that share the graphlet (empty when ``share`` is False).
+    shared_queries: frozenset[str]
+    #: Queries processed separately for this burst.
+    non_shared_queries: frozenset[str]
+    #: Estimated benefit of the selected plan over all-non-shared execution.
+    estimated_benefit: float
+    #: Human-readable reason, for logs and tests.
+    reason: str = ""
+
+
+@dataclass
+class OptimizerStatistics:
+    """Counters reported by the benchmarks (Section 6.2)."""
+
+    decisions: int = 0
+    shared_bursts: int = 0
+    non_shared_bursts: int = 0
+    merges: int = 0
+    splits: int = 0
+    decision_seconds: float = 0.0
+
+    @property
+    def shared_fraction(self) -> float:
+        """Fraction of bursts the optimizer decided to share."""
+        total = self.shared_bursts + self.non_shared_bursts
+        return self.shared_bursts / total if total else 0.0
+
+
+class SharingOptimizer:
+    """Base class: subclasses implement :meth:`decide`."""
+
+    def __init__(self) -> None:
+        self.statistics = OptimizerStatistics()
+        self._previous_share: dict[str, bool] = {}
+
+    def decide(self, stats: BurstStatistics) -> SharingDecision:
+        """Decide whether (and with which queries) to share one burst."""
+        start = time.perf_counter()
+        decision = self._decide(stats)
+        elapsed = time.perf_counter() - start
+        self._record(stats, decision, elapsed)
+        return decision
+
+    def _decide(self, stats: BurstStatistics) -> SharingDecision:
+        raise NotImplementedError
+
+    def _record(self, stats: BurstStatistics, decision: SharingDecision, elapsed: float) -> None:
+        self.statistics.decisions += 1
+        self.statistics.decision_seconds += elapsed
+        if decision.share:
+            self.statistics.shared_bursts += 1
+        else:
+            self.statistics.non_shared_bursts += 1
+        previous = self._previous_share.get(stats.event_type)
+        if previous is not None and previous != decision.share:
+            if decision.share:
+                self.statistics.merges += 1
+            else:
+                self.statistics.splits += 1
+        self._previous_share[stats.event_type] = decision.share
+
+
+class DynamicSharingOptimizer(SharingOptimizer):
+    """The HAMLET optimizer: benefit-driven decision per burst."""
+
+    def __init__(self, cost_model: CostModel | None = None) -> None:
+        super().__init__()
+        self.cost_model = cost_model or CostModel()
+
+    def _decide(self, stats: BurstStatistics) -> SharingDecision:
+        if stats.query_count < 2:
+            return SharingDecision(
+                share=False,
+                shared_queries=frozenset(),
+                non_shared_queries=frozenset(p.query_name for p in stats.profiles),
+                estimated_benefit=0.0,
+                reason="fewer than two candidate queries",
+            )
+        choice: QuerySetChoice = choose_query_set(stats)
+        if choice.share_count < 2:
+            return SharingDecision(
+                share=False,
+                shared_queries=frozenset(),
+                non_shared_queries=frozenset(p.query_name for p in stats.profiles),
+                estimated_benefit=0.0,
+                reason="no query subset with positive sharing benefit",
+            )
+        restricted = stats.restrict(choice.shared)
+        estimated_benefit = self.cost_model.benefit(restricted)
+        if estimated_benefit <= 0:
+            return SharingDecision(
+                share=False,
+                shared_queries=frozenset(),
+                non_shared_queries=frozenset(p.query_name for p in stats.profiles),
+                estimated_benefit=estimated_benefit,
+                reason="snapshot maintenance outweighs the sharing benefit",
+            )
+        return SharingDecision(
+            share=True,
+            shared_queries=choice.shared,
+            non_shared_queries=choice.non_shared,
+            estimated_benefit=estimated_benefit,
+            reason="positive sharing benefit",
+        )

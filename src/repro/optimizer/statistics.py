@@ -1,0 +1,93 @@
+"""Per-burst statistics handed from the executor to the sharing optimizer.
+
+The optimizer's decisions are light-weight precisely because every quantity
+in the cost model (Definition 12) is locally available at the time a burst
+completes: the burst size ``b``, the events matched so far in the window
+``n``, the size of the (candidate) shared graphlet ``g``, the number of
+sharing queries ``k``, the number of predecessor types per type ``p``, and
+the snapshot counts ``sc`` (to be created) and ``sp`` (currently propagated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.events.event import EventType
+
+
+@dataclass(frozen=True)
+class QueryBurstProfile:
+    """Per-query properties of a burst that drive the query-set choice."""
+
+    query_name: str
+    #: True if sharing this query's processing of the burst is expected to
+    #: require event-level snapshots (it has predicates or negation
+    #: constraints that apply to the burst's event type).  Queries with
+    #: ``False`` are always worth sharing (Theorem 4.1).
+    introduces_snapshots: bool
+    #: Expected number of event-level snapshots this query would add to the
+    #: shared graphlet for this burst (an estimate based on recent history).
+    expected_snapshots: float = 0.0
+    #: Number of predecessor types of the burst type for this query (``p``).
+    predecessor_types: int = 1
+
+
+@dataclass(frozen=True)
+class BurstStatistics:
+    """Everything the optimizer needs to decide one burst."""
+
+    event_type: EventType
+    #: Number of events in the burst (``b``).
+    burst_size: int
+    #: Number of events matched so far in the window/partition (``n``).
+    events_in_window: int
+    #: Number of events in the candidate shared graphlet (``g``) — the active
+    #: shared graphlet's size if it would be continued, else the burst size.
+    graphlet_size: int
+    #: Number of snapshots currently propagated through the candidate shared
+    #: graphlet (``sp``), excluding the ones this burst would create.
+    snapshots_propagated: int
+    #: Number of graphlet-level snapshots that must be created to share this
+    #: burst (1 when a merge / new shared graphlet is needed, else 0).
+    graphlet_snapshots_needed: int
+    #: Per-query profiles for the queries that could share this burst.
+    profiles: tuple[QueryBurstProfile, ...] = ()
+    #: Number of event types per query (``t`` in the cost model).
+    types_per_query: int = 2
+
+    @property
+    def query_count(self) -> int:
+        """Number of candidate sharing queries (``k``)."""
+        return len(self.profiles)
+
+    @property
+    def predecessor_types(self) -> int:
+        """Average number of predecessor types per query (``p``), at least 1."""
+        if not self.profiles:
+            return 1
+        return max(1, round(sum(p.predecessor_types for p in self.profiles) / len(self.profiles)))
+
+    @property
+    def snapshots_created(self) -> float:
+        """Estimated snapshots created when sharing the whole burst (``sc``)."""
+        return self.graphlet_snapshots_needed + sum(
+            profile.expected_snapshots for profile in self.profiles
+        )
+
+    def profile_map(self) -> Mapping[str, QueryBurstProfile]:
+        """Profiles keyed by query name."""
+        return {profile.query_name: profile for profile in self.profiles}
+
+    def restrict(self, query_names: frozenset[str]) -> "BurstStatistics":
+        """Statistics restricted to a subset of the candidate queries."""
+        return BurstStatistics(
+            event_type=self.event_type,
+            burst_size=self.burst_size,
+            events_in_window=self.events_in_window,
+            graphlet_size=self.graphlet_size,
+            snapshots_propagated=self.snapshots_propagated,
+            graphlet_snapshots_needed=self.graphlet_snapshots_needed,
+            profiles=tuple(p for p in self.profiles if p.query_name in query_names),
+            types_per_query=self.types_per_query,
+        )

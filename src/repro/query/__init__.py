@@ -1,0 +1,84 @@
+"""Query model: patterns, predicates, aggregates, windows, queries, workloads.
+
+The classes in this package describe *what* a trend aggregation query asks
+for; they contain no evaluation logic.  Compilation into an executable form
+happens in :mod:`repro.template` (FSA templates) and the engines consume
+those templates.
+"""
+
+from repro.query.aggregates import (
+    AggregateFunction,
+    AggregateKind,
+    avg,
+    count_events,
+    count_trends,
+    max_of,
+    min_of,
+    sum_of,
+)
+from repro.query.parser import parse_pattern, parse_query
+from repro.query.pattern import (
+    Conjunction,
+    Disjunction,
+    EventTypePattern,
+    Kleene,
+    Negation,
+    Pattern,
+    Sequence,
+    kleene,
+    seq,
+    typ,
+)
+from repro.query.predicates import (
+    AttributeComparison,
+    CompositePredicate,
+    EdgePredicate,
+    EqualAttributes,
+    LocalPredicate,
+    Predicate,
+    attr_between,
+    attr_equals,
+    attr_greater,
+    attr_less,
+    same_attributes,
+)
+from repro.query.query import Query
+from repro.query.windows import Window
+from repro.query.workload import Workload
+
+__all__ = [
+    "AggregateFunction",
+    "AggregateKind",
+    "AttributeComparison",
+    "CompositePredicate",
+    "Conjunction",
+    "Disjunction",
+    "EdgePredicate",
+    "EqualAttributes",
+    "EventTypePattern",
+    "Kleene",
+    "LocalPredicate",
+    "Negation",
+    "Pattern",
+    "Predicate",
+    "Query",
+    "Sequence",
+    "Window",
+    "Workload",
+    "attr_between",
+    "attr_equals",
+    "attr_greater",
+    "attr_less",
+    "avg",
+    "count_events",
+    "count_trends",
+    "kleene",
+    "max_of",
+    "min_of",
+    "parse_pattern",
+    "parse_query",
+    "same_attributes",
+    "seq",
+    "sum_of",
+    "typ",
+]

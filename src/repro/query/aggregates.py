@@ -1,0 +1,171 @@
+"""Aggregate functions over event trends.
+
+The paper supports distributive (COUNT, MIN, MAX, SUM) and algebraic (AVG)
+aggregation functions because they can be computed incrementally
+(Section 2.1).  An :class:`AggregateFunction` names the function and, when it
+ranges over events of a particular type, the event type and attribute it
+reads.
+
+Sharability (Definition 5): queries computing COUNT(*), MIN or MAX can only
+share with queries computing the *same* aggregate; AVG decomposes into
+SUM / COUNT and therefore shares with SUM and COUNT(E).  The helper
+:meth:`AggregateFunction.sharable_with` encodes these rules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import PatternError
+from repro.events.event import Event, EventType
+
+
+class AggregateKind(enum.Enum):
+    """Supported aggregation functions."""
+
+    COUNT_TRENDS = "COUNT(*)"
+    COUNT_EVENTS = "COUNT"
+    SUM = "SUM"
+    AVG = "AVG"
+    MIN = "MIN"
+    MAX = "MAX"
+
+    @property
+    def is_linear(self) -> bool:
+        """True for aggregates whose trend propagation is linear.
+
+        Linear aggregates (counts, sums, and AVG which decomposes into both)
+        can be propagated through shared graphlets as snapshot expressions.
+        MIN/MAX propagation is not linear and is only shared when no
+        event-level snapshots are required.
+        """
+        return self in (
+            AggregateKind.COUNT_TRENDS,
+            AggregateKind.COUNT_EVENTS,
+            AggregateKind.SUM,
+            AggregateKind.AVG,
+        )
+
+
+@dataclass(frozen=True)
+class AggregateFunction:
+    """A fully specified aggregate, e.g. ``SUM(Travel.duration)``.
+
+    Attributes:
+        kind: Which aggregation function.
+        event_type: The event type the aggregate ranges over.  ``None`` only
+            for ``COUNT(*)``, which counts whole trends.
+        attribute: The attribute read from matching events.  ``None`` for the
+            two counting aggregates.
+    """
+
+    kind: AggregateKind
+    event_type: Optional[EventType] = None
+    attribute: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is AggregateKind.COUNT_TRENDS:
+            if self.event_type is not None or self.attribute is not None:
+                raise PatternError("COUNT(*) takes no event type or attribute")
+        elif self.kind is AggregateKind.COUNT_EVENTS:
+            if self.event_type is None:
+                raise PatternError("COUNT(E) requires an event type")
+            if self.attribute is not None:
+                raise PatternError("COUNT(E) takes no attribute")
+        else:
+            if self.event_type is None or self.attribute is None:
+                raise PatternError(f"{self.kind.value} requires an event type and attribute")
+
+    # ------------------------------------------------------------------ #
+    # Per-event contribution
+    # ------------------------------------------------------------------ #
+    def contribution(self, event: Event) -> float:
+        """Value this event contributes to the aggregate of a trend it joins.
+
+        For COUNT(*) every event contributes 0 (the trend itself is counted
+        once, handled by the engines); for COUNT(E) an event of type E
+        contributes 1; for SUM/AVG the attribute value; MIN/MAX use
+        :meth:`candidate_value` instead.
+        """
+        if self.kind is AggregateKind.COUNT_TRENDS:
+            return 0.0
+        if event.event_type != self.event_type:
+            return 0.0
+        if self.kind is AggregateKind.COUNT_EVENTS:
+            return 1.0
+        return float(event[self.attribute])
+
+    def candidate_value(self, event: Event) -> Optional[float]:
+        """Value of this event as a MIN/MAX candidate, or None if not applicable."""
+        if self.kind not in (AggregateKind.MIN, AggregateKind.MAX):
+            return None
+        if event.event_type != self.event_type:
+            return None
+        return float(event[self.attribute])
+
+    # ------------------------------------------------------------------ #
+    # Sharing rules (Definition 5)
+    # ------------------------------------------------------------------ #
+    def sharable_with(self, other: "AggregateFunction") -> bool:
+        """Return True if two queries with these aggregates may share execution."""
+        if self == other:
+            return True
+        linear = {
+            AggregateKind.COUNT_TRENDS,
+            AggregateKind.COUNT_EVENTS,
+            AggregateKind.SUM,
+            AggregateKind.AVG,
+        }
+        if self.kind in linear and other.kind in linear:
+            # COUNT(*) only shares with COUNT(*); the event/attribute-based
+            # linear aggregates share with each other since AVG = SUM / COUNT.
+            if self.kind is AggregateKind.COUNT_TRENDS or other.kind is AggregateKind.COUNT_TRENDS:
+                return self.kind == other.kind
+            return True
+        return False
+
+    def describe(self) -> str:
+        """Canonical textual form, e.g. ``AVG(Travel.speed)``."""
+        if self.kind is AggregateKind.COUNT_TRENDS:
+            return "COUNT(*)"
+        if self.kind is AggregateKind.COUNT_EVENTS:
+            return f"COUNT({self.event_type})"
+        return f"{self.kind.value}({self.event_type}.{self.attribute})"
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+# ---------------------------------------------------------------------- #
+# Convenience constructors
+# ---------------------------------------------------------------------- #
+def count_trends() -> AggregateFunction:
+    """``COUNT(*)`` — the number of trends per group and window."""
+    return AggregateFunction(AggregateKind.COUNT_TRENDS)
+
+
+def count_events(event_type: EventType) -> AggregateFunction:
+    """``COUNT(E)`` — the number of E events across all trends."""
+    return AggregateFunction(AggregateKind.COUNT_EVENTS, event_type)
+
+
+def sum_of(event_type: EventType, attribute: str) -> AggregateFunction:
+    """``SUM(E.attr)``."""
+    return AggregateFunction(AggregateKind.SUM, event_type, attribute)
+
+
+def avg(event_type: EventType, attribute: str) -> AggregateFunction:
+    """``AVG(E.attr)``."""
+    return AggregateFunction(AggregateKind.AVG, event_type, attribute)
+
+
+def min_of(event_type: EventType, attribute: str) -> AggregateFunction:
+    """``MIN(E.attr)``."""
+    return AggregateFunction(AggregateKind.MIN, event_type, attribute)
+
+
+def max_of(event_type: EventType, attribute: str) -> AggregateFunction:
+    """``MAX(E.attr)``."""
+    return AggregateFunction(AggregateKind.MAX, event_type, attribute)

@@ -1,0 +1,253 @@
+"""A small SASE-like textual query language.
+
+The textual form mirrors the queries in Figure 1 of the paper, e.g.::
+
+    RETURN COUNT(*)
+    PATTERN SEQ(Request, Travel+, NOT Pickup)
+    WHERE [driver, rider] AND Travel.speed < 10
+    GROUP BY district
+    WITHIN 600 SLIDE 300
+
+Grammar (informal):
+
+* ``RETURN`` one of ``COUNT(*)``, ``COUNT(Type)``, ``SUM(Type.attr)``,
+  ``AVG(Type.attr)``, ``MIN(Type.attr)``, ``MAX(Type.attr)``.
+* ``PATTERN`` over ``Type``, ``Type+``, ``SEQ(p, p, ...)``, ``NOT p``,
+  ``(p OR p)``, ``(p AND p)``, ``(p)+``.
+* ``WHERE`` is a conjunction (``AND``) of ``[attr, attr, ...]`` equivalence
+  predicates and ``Type.attr <op> constant`` / ``attr <op> constant``
+  comparisons.
+* ``GROUP BY`` a comma-separated attribute list.
+* ``WITHIN seconds [SLIDE seconds]``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.errors import QueryParseError
+from repro.query.aggregates import (
+    AggregateFunction,
+    avg,
+    count_events,
+    count_trends,
+    max_of,
+    min_of,
+    sum_of,
+)
+from repro.query.pattern import (
+    Conjunction,
+    Disjunction,
+    Kleene,
+    Negation,
+    Pattern,
+    Sequence,
+    typ,
+)
+from repro.query.predicates import (
+    AttributeComparison,
+    Predicate,
+    same_attributes,
+)
+from repro.query.query import Query
+from repro.query.windows import Window
+
+_CLAUSE_RE = re.compile(
+    r"RETURN\s+(?P<ret>.+?)\s+"
+    r"PATTERN\s+(?P<pattern>.+?)"
+    r"(?:\s+WHERE\s+(?P<where>.+?))?"
+    r"(?:\s+GROUP\s+BY\s+(?P<group>.+?))?"
+    r"\s+WITHIN\s+(?P<within>[\d.]+)"
+    r"(?:\s+SLIDE\s+(?P<slide>[\d.]+))?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+_AGG_RE = re.compile(
+    r"(?P<fn>COUNT|SUM|AVG|MIN|MAX)\s*\(\s*(?P<arg>\*|[\w.]+)\s*\)", re.IGNORECASE
+)
+
+_CMP_RE = re.compile(
+    r"^(?P<ref>[\w.]+)\s*(?P<op>==|!=|<=|>=|<|>|=)\s*(?P<value>.+)$"
+)
+
+
+# ---------------------------------------------------------------------- #
+# Pattern parsing
+# ---------------------------------------------------------------------- #
+class _PatternParser:
+    """Recursive-descent parser for the pattern sub-language."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens = self._tokenize(text)
+        self._position = 0
+
+    @staticmethod
+    def _tokenize(text: str) -> list[str]:
+        raw = re.findall(r"SEQ|NOT|OR|AND|[A-Za-z_]\w*|\+|\(|\)|,", text)
+        if not raw:
+            raise QueryParseError(f"empty pattern expression: {text!r}")
+        return raw
+
+    def _peek(self) -> Optional[str]:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise QueryParseError("unexpected end of pattern expression")
+        self._position += 1
+        return token
+
+    def _expect(self, token: str) -> None:
+        actual = self._next()
+        if actual != token:
+            raise QueryParseError(f"expected {token!r}, got {actual!r}")
+
+    def parse(self) -> Pattern:
+        pattern = self._parse_binary()
+        if self._peek() is not None:
+            raise QueryParseError(f"trailing tokens in pattern: {self._tokens[self._position:]}")
+        return pattern
+
+    def _parse_binary(self) -> Pattern:
+        left = self._parse_unary()
+        while self._peek() in ("OR", "AND"):
+            op = self._next()
+            right = self._parse_unary()
+            left = Disjunction(left, right) if op == "OR" else Conjunction(left, right)
+        return left
+
+    def _parse_unary(self) -> Pattern:
+        token = self._peek()
+        if token == "NOT":
+            self._next()
+            return Negation(self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Pattern:
+        pattern = self._parse_primary()
+        while self._peek() == "+":
+            self._next()
+            pattern = Kleene(pattern)
+        return pattern
+
+    def _parse_primary(self) -> Pattern:
+        token = self._next()
+        if token == "SEQ":
+            self._expect("(")
+            parts = [self._parse_binary()]
+            while self._peek() == ",":
+                self._next()
+                parts.append(self._parse_binary())
+            self._expect(")")
+            if len(parts) == 1:
+                return parts[0]
+            return Sequence(*parts)
+        if token == "(":
+            inner = self._parse_binary()
+            self._expect(")")
+            return inner
+        if re.fullmatch(r"[A-Za-z_]\w*", token):
+            return typ(token)
+        raise QueryParseError(f"unexpected token {token!r} in pattern")
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse a pattern expression such as ``SEQ(A, B+, NOT C)``."""
+    return _PatternParser(text).parse()
+
+
+# ---------------------------------------------------------------------- #
+# Clause parsing
+# ---------------------------------------------------------------------- #
+def _parse_aggregate(text: str) -> AggregateFunction:
+    match = _AGG_RE.fullmatch(text.strip())
+    if match is None:
+        raise QueryParseError(f"cannot parse RETURN clause {text!r}")
+    function = match.group("fn").upper()
+    argument = match.group("arg")
+    if function == "COUNT":
+        if argument == "*":
+            return count_trends()
+        if "." in argument:
+            raise QueryParseError("COUNT takes an event type or *, not an attribute")
+        return count_events(argument)
+    if "." not in argument:
+        raise QueryParseError(f"{function} requires Type.attribute, got {argument!r}")
+    event_type, attribute = argument.split(".", 1)
+    constructors = {"SUM": sum_of, "AVG": avg, "MIN": min_of, "MAX": max_of}
+    return constructors[function](event_type, attribute)
+
+
+def _parse_value(text: str):
+    text = text.strip()
+    if (text.startswith("'") and text.endswith("'")) or (
+        text.startswith('"') and text.endswith('"')
+    ):
+        return text[1:-1]
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        if "." in text or "e" in lowered:
+            return float(text)
+        return int(text)
+    except ValueError:
+        return text
+
+
+def _parse_where(text: str) -> list[Predicate]:
+    predicates: list[Predicate] = []
+    for clause in re.split(r"\s+AND\s+", text.strip(), flags=re.IGNORECASE):
+        clause = clause.strip()
+        if not clause:
+            continue
+        if clause.startswith("[") and clause.endswith("]"):
+            attributes = [part.strip() for part in clause[1:-1].split(",") if part.strip()]
+            if not attributes:
+                raise QueryParseError(f"empty equivalence predicate {clause!r}")
+            predicates.append(same_attributes(*attributes))
+            continue
+        match = _CMP_RE.match(clause)
+        if match is None:
+            raise QueryParseError(f"cannot parse WHERE clause {clause!r}")
+        reference = match.group("ref")
+        op = match.group("op")
+        if op == "=":
+            op = "=="
+        value = _parse_value(match.group("value"))
+        if "." in reference:
+            event_type, attribute = reference.split(".", 1)
+        else:
+            event_type, attribute = None, reference
+        predicates.append(AttributeComparison(attribute, op, value, event_type))
+    return predicates
+
+
+def parse_query(text: str, *, name: str = "") -> Query:
+    """Parse a full textual query into a :class:`~repro.query.query.Query`."""
+    normalized = " ".join(text.split())
+    match = _CLAUSE_RE.match(normalized)
+    if match is None:
+        raise QueryParseError(f"cannot parse query: {text!r}")
+    aggregate = _parse_aggregate(match.group("ret"))
+    pattern = parse_pattern(match.group("pattern"))
+    predicates = _parse_where(match.group("where")) if match.group("where") else []
+    group_by = (
+        tuple(part.strip() for part in match.group("group").split(",") if part.strip())
+        if match.group("group")
+        else ()
+    )
+    size = float(match.group("within"))
+    slide = float(match.group("slide")) if match.group("slide") else 0.0
+    return Query.build(
+        pattern,
+        aggregate=aggregate,
+        predicates=predicates,
+        group_by=group_by,
+        window=Window(size, slide),
+        name=name,
+    )

@@ -1,0 +1,210 @@
+"""Pattern abstract syntax tree.
+
+Definition 1 of the paper: a pattern ``P`` can be an event type ``E``, a
+Kleene plus ``P1+``, a negation ``NOT P1``, an event sequence
+``SEQ(P1, P2)``, a disjunction ``P1 | P2`` or a conjunction ``P1 & P2``.
+
+Patterns are immutable trees.  Convenience constructors :func:`typ`,
+:func:`seq` and :func:`kleene` plus the operators ``>>`` (sequence), ``|``
+(disjunction), ``&`` (conjunction), ``~`` (negation) and ``+pattern``
+(Kleene plus via :meth:`Pattern.plus`) make workload definitions concise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import PatternError
+from repro.events.event import EventType
+
+
+class Pattern:
+    """Base class of all pattern AST nodes."""
+
+    # ------------------------------------------------------------------ #
+    # Operator sugar
+    # ------------------------------------------------------------------ #
+    def __rshift__(self, other: "Pattern") -> "Sequence":
+        """``a >> b`` builds ``SEQ(a, b)`` (flattening nested sequences)."""
+        return seq(self, other)
+
+    def __or__(self, other: "Pattern") -> "Disjunction":
+        return Disjunction(self, other)
+
+    def __and__(self, other: "Pattern") -> "Conjunction":
+        return Conjunction(self, other)
+
+    def __invert__(self) -> "Negation":
+        return Negation(self)
+
+    def plus(self) -> "Kleene":
+        """Return the Kleene plus of this pattern."""
+        return Kleene(self)
+
+    # ------------------------------------------------------------------ #
+    # Introspection shared by all nodes
+    # ------------------------------------------------------------------ #
+    def event_types(self) -> set[EventType]:
+        """Return the set of event types referenced anywhere in the pattern."""
+        return {node.event_type for node in self.walk() if isinstance(node, EventTypePattern)}
+
+    def walk(self) -> Iterator["Pattern"]:
+        """Yield this node and all descendants in pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def children(self) -> tuple["Pattern", ...]:
+        """Immediate sub-patterns."""
+        return ()
+
+    def contains_kleene(self) -> bool:
+        """Return True if a Kleene plus appears anywhere in the pattern."""
+        return any(isinstance(node, Kleene) for node in self.walk())
+
+    def kleene_types(self) -> set[EventType]:
+        """Event types ``E`` such that ``E+`` (possibly nested) appears in the pattern.
+
+        These are the candidate shareable Kleene sub-patterns of Definition 4.
+        """
+        types: set[EventType] = set()
+        for node in self.walk():
+            if isinstance(node, Kleene):
+                types |= node.sub_pattern.event_types()
+        return types
+
+    def contains_negation(self) -> bool:
+        """Return True if a NOT appears anywhere in the pattern."""
+        return any(isinstance(node, Negation) for node in self.walk())
+
+    def describe(self) -> str:
+        """Return a canonical textual form of the pattern (SASE-like)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+@dataclass(frozen=True, repr=False)
+class EventTypePattern(Pattern):
+    """A pattern matching a single event of the given type."""
+
+    event_type: EventType
+
+    def __post_init__(self) -> None:
+        if not self.event_type or not self.event_type.isidentifier():
+            raise PatternError(f"event type must be an identifier, got {self.event_type!r}")
+
+    def describe(self) -> str:
+        return self.event_type
+
+
+@dataclass(frozen=True, repr=False)
+class Kleene(Pattern):
+    """Kleene plus ``P+``: one or more matches of the sub-pattern."""
+
+    sub_pattern: Pattern
+
+    def __post_init__(self) -> None:
+        if isinstance(self.sub_pattern, Negation):
+            raise PatternError("Kleene plus cannot be applied to a negated pattern")
+
+    def children(self) -> tuple[Pattern, ...]:
+        return (self.sub_pattern,)
+
+    def describe(self) -> str:
+        inner = self.sub_pattern.describe()
+        if isinstance(self.sub_pattern, EventTypePattern):
+            return f"{inner}+"
+        return f"({inner})+"
+
+
+@dataclass(frozen=True, repr=False)
+class Sequence(Pattern):
+    """Event sequence ``SEQ(P1, ..., Pn)``: temporal order over sub-patterns."""
+
+    parts: tuple[Pattern, ...]
+
+    def __init__(self, *parts: Pattern) -> None:
+        if len(parts) < 2:
+            raise PatternError("SEQ requires at least two sub-patterns")
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def children(self) -> tuple[Pattern, ...]:
+        return self.parts
+
+    def describe(self) -> str:
+        return "SEQ(" + ", ".join(part.describe() for part in self.parts) + ")"
+
+
+@dataclass(frozen=True, repr=False)
+class Negation(Pattern):
+    """Negated sub-pattern ``NOT P`` (only meaningful inside a SEQ)."""
+
+    sub_pattern: Pattern
+
+    def children(self) -> tuple[Pattern, ...]:
+        return (self.sub_pattern,)
+
+    def describe(self) -> str:
+        return f"NOT {self.sub_pattern.describe()}"
+
+
+@dataclass(frozen=True, repr=False)
+class Disjunction(Pattern):
+    """Disjunctive pattern ``P1 OR P2``."""
+
+    left: Pattern
+    right: Pattern
+
+    def children(self) -> tuple[Pattern, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} OR {self.right.describe()})"
+
+
+@dataclass(frozen=True, repr=False)
+class Conjunction(Pattern):
+    """Conjunctive pattern ``P1 AND P2``."""
+
+    left: Pattern
+    right: Pattern
+
+    def children(self) -> tuple[Pattern, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} AND {self.right.describe()})"
+
+
+# ---------------------------------------------------------------------- #
+# Convenience constructors
+# ---------------------------------------------------------------------- #
+def typ(event_type: EventType) -> EventTypePattern:
+    """Return an event type pattern for ``event_type``."""
+    return EventTypePattern(event_type)
+
+
+def kleene(pattern: Pattern | EventType) -> Kleene:
+    """Return the Kleene plus of ``pattern`` (a pattern or event type name)."""
+    if isinstance(pattern, str):
+        pattern = typ(pattern)
+    return Kleene(pattern)
+
+
+def seq(*parts: Pattern | EventType) -> Sequence:
+    """Return ``SEQ(...)`` over the parts, flattening nested sequences.
+
+    Parts given as strings are interpreted as event type patterns.
+    """
+    flattened: list[Pattern] = []
+    for part in parts:
+        if isinstance(part, str):
+            part = typ(part)
+        if isinstance(part, Sequence):
+            flattened.extend(part.parts)
+        else:
+            flattened.append(part)
+    return Sequence(*flattened)

@@ -1,0 +1,376 @@
+"""Predicates on events and on trend adjacency.
+
+Two flavours of predicates appear in trend aggregation queries:
+
+* **Local predicates** restrict single events (e.g. ``T.speed < 10`` in query
+  q3 of the paper).  They act as filters: an event that fails a local
+  predicate of query ``q`` is simply not matched by ``q``.
+* **Edge predicates** restrict which previously matched event ``e'`` may be
+  adjacent to a new event ``e`` in a trend (e.g. "same driver and rider",
+  written ``[driver, rider]`` in SASE).  Edge predicates are what forces
+  HAMLET to introduce event-level snapshots when queries sharing a graphlet
+  disagree on an edge (Definition 9).
+
+Predicates expose a :meth:`Predicate.signature` used by the workload analysis
+to decide whether two queries place *identical* constraints on a shared
+Kleene sub-pattern (part of Definition 5).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.errors import PredicateError
+from repro.events.event import Event, EventType
+
+_OPERATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+class Predicate:
+    """Base class of all predicates."""
+
+    #: Event type this predicate is scoped to, or None for "any type".
+    event_type: Optional[EventType] = None
+
+    def signature(self) -> tuple:
+        """A hashable, comparable identity of the predicate.
+
+        Two predicates with equal signatures impose exactly the same
+        constraint; the workload analyser relies on this to detect sharable
+        queries.
+        """
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Predicate):
+            return NotImplemented
+        return self.signature() == other.signature()
+
+    def __hash__(self) -> int:
+        return hash(self.signature())
+
+
+class LocalPredicate(Predicate):
+    """Predicate over a single event."""
+
+    def evaluate(self, event: Event) -> bool:
+        """Return True if ``event`` satisfies the predicate."""
+        raise NotImplementedError
+
+    def applies_to(self, event: Event) -> bool:
+        """Return True if the predicate is scoped to this event's type."""
+        return self.event_type is None or event.event_type == self.event_type
+
+
+class EdgePredicate(Predicate):
+    """Predicate over a pair of adjacent events ``(previous, current)``."""
+
+    def evaluate(self, previous: Event, current: Event) -> bool:
+        """Return True if the edge ``previous -> current`` is allowed."""
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------- #
+# Local predicates
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True, eq=False)
+class AttributeComparison(LocalPredicate):
+    """``E.attr <op> constant`` — compare an event attribute with a constant."""
+
+    attribute: str
+    op: str
+    value: Any
+    event_type: Optional[EventType] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPERATORS:
+            raise PredicateError(f"unsupported comparison operator {self.op!r}")
+
+    def evaluate(self, event: Event) -> bool:
+        if not event.has(self.attribute):
+            raise PredicateError(
+                f"event of type {event.event_type} has no attribute {self.attribute!r}"
+            )
+        return _OPERATORS[self.op](event[self.attribute], self.value)
+
+    def signature(self) -> tuple:
+        return ("attr_cmp", self.event_type, self.attribute, self.op, self.value)
+
+    def __repr__(self) -> str:
+        scope = f"{self.event_type}." if self.event_type else ""
+        return f"{scope}{self.attribute} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True, eq=False)
+class AttributeInSet(LocalPredicate):
+    """``E.attr IN {v1, v2, ...}`` — attribute value membership."""
+
+    attribute: str
+    values: frozenset
+    event_type: Optional[EventType] = None
+
+    def evaluate(self, event: Event) -> bool:
+        if not event.has(self.attribute):
+            raise PredicateError(
+                f"event of type {event.event_type} has no attribute {self.attribute!r}"
+            )
+        return event[self.attribute] in self.values
+
+    def signature(self) -> tuple:
+        return ("attr_in", self.event_type, self.attribute, tuple(sorted(map(repr, self.values))))
+
+    def __repr__(self) -> str:
+        scope = f"{self.event_type}." if self.event_type else ""
+        return f"{scope}{self.attribute} IN {set(self.values)!r}"
+
+
+@dataclass(frozen=True, eq=False)
+class LambdaPredicate(LocalPredicate):
+    """Escape hatch: arbitrary boolean function of an event.
+
+    A ``label`` must be supplied; it is the predicate's identity for sharing
+    analysis, so two lambda predicates with the same label are assumed to be
+    the same constraint.
+    """
+
+    label: str
+    function: Callable[[Event], bool] = field(compare=False)
+    event_type: Optional[EventType] = None
+
+    def evaluate(self, event: Event) -> bool:
+        return bool(self.function(event))
+
+    def signature(self) -> tuple:
+        return ("lambda", self.event_type, self.label)
+
+    def __repr__(self) -> str:
+        return f"<{self.label}>"
+
+
+# ---------------------------------------------------------------------- #
+# Edge predicates
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True, eq=False)
+class EqualAttributes(EdgePredicate):
+    """SASE-style ``[attr1, attr2, ...]``: adjacent events agree on attributes.
+
+    Attributes missing on either event are treated as satisfied, which lets
+    the same predicate apply across heterogeneous event types (e.g. Request
+    and Travel events both carry ``driver``/``rider`` but a district event may
+    not).
+    """
+
+    attributes: tuple[str, ...]
+    event_type: Optional[EventType] = None
+
+    def evaluate(self, previous: Event, current: Event) -> bool:
+        for attribute in self.attributes:
+            if previous.has(attribute) and current.has(attribute):
+                if previous[attribute] != current[attribute]:
+                    return False
+        return True
+
+    def signature(self) -> tuple:
+        return ("equal_attrs", self.event_type, tuple(sorted(self.attributes)))
+
+    def __repr__(self) -> str:
+        return "[" + ", ".join(self.attributes) + "]"
+
+
+@dataclass(frozen=True, eq=False)
+class AdjacentComparison(EdgePredicate):
+    """``previous.attr <op> current.attr`` — compare adjacent events' attributes.
+
+    Used e.g. for monotone trends ("each Travel event slower than the
+    previous one").  Missing attributes on either side make the edge fail.
+    """
+
+    previous_attribute: str
+    op: str
+    current_attribute: str
+    event_type: Optional[EventType] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPERATORS:
+            raise PredicateError(f"unsupported comparison operator {self.op!r}")
+
+    def evaluate(self, previous: Event, current: Event) -> bool:
+        if not previous.has(self.previous_attribute) or not current.has(self.current_attribute):
+            return False
+        return _OPERATORS[self.op](
+            previous[self.previous_attribute], current[self.current_attribute]
+        )
+
+    def signature(self) -> tuple:
+        return (
+            "adjacent_cmp",
+            self.event_type,
+            self.previous_attribute,
+            self.op,
+            self.current_attribute,
+        )
+
+    def __repr__(self) -> str:
+        return f"prev.{self.previous_attribute} {self.op} curr.{self.current_attribute}"
+
+
+@dataclass(frozen=True, eq=False)
+class EdgeLambdaPredicate(EdgePredicate):
+    """Escape hatch: arbitrary boolean function of an adjacent event pair."""
+
+    label: str
+    function: Callable[[Event, Event], bool] = field(compare=False)
+    event_type: Optional[EventType] = None
+
+    def evaluate(self, previous: Event, current: Event) -> bool:
+        return bool(self.function(previous, current))
+
+    def signature(self) -> tuple:
+        return ("edge_lambda", self.event_type, self.label)
+
+    def __repr__(self) -> str:
+        return f"<edge:{self.label}>"
+
+
+# ---------------------------------------------------------------------- #
+# Composition
+# ---------------------------------------------------------------------- #
+class CompositePredicate:
+    """Conjunction of local and edge predicates attached to one query.
+
+    The composite keeps local and edge predicates separate because the
+    engines apply them at different moments: local predicates when an event
+    is matched, edge predicates when a predecessor edge is considered.
+    """
+
+    def __init__(self, predicates: Iterable[Predicate] = ()) -> None:
+        self._local: list[LocalPredicate] = []
+        self._edge: list[EdgePredicate] = []
+        for predicate in predicates:
+            self.add(predicate)
+
+    def add(self, predicate: Predicate) -> None:
+        """Add one predicate to the conjunction."""
+        if isinstance(predicate, LocalPredicate):
+            self._local.append(predicate)
+        elif isinstance(predicate, EdgePredicate):
+            self._edge.append(predicate)
+        else:
+            raise PredicateError(f"unsupported predicate object {predicate!r}")
+
+    @property
+    def local_predicates(self) -> Sequence[LocalPredicate]:
+        """Local predicates in insertion order."""
+        return tuple(self._local)
+
+    @property
+    def edge_predicates(self) -> Sequence[EdgePredicate]:
+        """Edge predicates in insertion order."""
+        return tuple(self._edge)
+
+    def accepts_event(self, event: Event) -> bool:
+        """Return True if ``event`` passes every applicable local predicate."""
+        return all(
+            predicate.evaluate(event)
+            for predicate in self._local
+            if predicate.applies_to(event)
+        )
+
+    def accepts_edge(self, previous: Event, current: Event) -> bool:
+        """Return True if the edge passes every applicable edge predicate.
+
+        Edge predicates scoped to an event type apply only when the *current*
+        event is of that type.
+        """
+        for predicate in self._edge:
+            if predicate.event_type is not None and current.event_type != predicate.event_type:
+                continue
+            if not predicate.evaluate(previous, current):
+                return False
+        return True
+
+    def signature(self) -> tuple:
+        """Order-insensitive identity of the whole conjunction."""
+        return (
+            tuple(sorted(predicate.signature() for predicate in self._local)),
+            tuple(sorted(predicate.signature() for predicate in self._edge)),
+        )
+
+    def signature_for_type(self, event_type: EventType) -> tuple:
+        """Identity of the constraints this composite places on ``event_type``.
+
+        Used by the sharing analysis: two queries may share a Kleene
+        sub-pattern ``E+`` only if they constrain events of type ``E``
+        identically *or* the engine compensates via event-level snapshots.
+        """
+        local = tuple(
+            sorted(
+                predicate.signature()
+                for predicate in self._local
+                if predicate.event_type in (None, event_type)
+            )
+        )
+        edge = tuple(
+            sorted(
+                predicate.signature()
+                for predicate in self._edge
+                if predicate.event_type in (None, event_type)
+            )
+        )
+        return (local, edge)
+
+    def is_empty(self) -> bool:
+        """Return True if no predicates were attached."""
+        return not self._local and not self._edge
+
+    def __len__(self) -> int:
+        return len(self._local) + len(self._edge)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [repr(p) for p in self._local] + [repr(p) for p in self._edge]
+        return " AND ".join(parts) if parts else "TRUE"
+
+
+# ---------------------------------------------------------------------- #
+# Convenience constructors
+# ---------------------------------------------------------------------- #
+def attr_less(attribute: str, value: Any, event_type: Optional[str] = None) -> AttributeComparison:
+    """``attribute < value`` local predicate."""
+    return AttributeComparison(attribute, "<", value, event_type)
+
+
+def attr_greater(attribute: str, value: Any, event_type: Optional[str] = None) -> AttributeComparison:
+    """``attribute > value`` local predicate."""
+    return AttributeComparison(attribute, ">", value, event_type)
+
+
+def attr_equals(attribute: str, value: Any, event_type: Optional[str] = None) -> AttributeComparison:
+    """``attribute == value`` local predicate."""
+    return AttributeComparison(attribute, "==", value, event_type)
+
+
+def attr_between(
+    attribute: str, low: Any, high: Any, event_type: Optional[str] = None
+) -> LambdaPredicate:
+    """``low <= attribute <= high`` local predicate."""
+    return LambdaPredicate(
+        label=f"{event_type or '*'}.{attribute} in [{low!r}, {high!r}]",
+        function=lambda event: low <= event[attribute] <= high,
+        event_type=event_type,
+    )
+
+
+def same_attributes(*attributes: str, event_type: Optional[str] = None) -> EqualAttributes:
+    """SASE ``[attr, ...]`` edge predicate: adjacent events agree on attributes."""
+    if not attributes:
+        raise PredicateError("same_attributes requires at least one attribute")
+    return EqualAttributes(tuple(attributes), event_type)

@@ -1,0 +1,88 @@
+"""Sliding window specifications (``WITHIN w SLIDE s``).
+
+Windows are time based.  A window of size ``w`` sliding by ``s`` produces the
+window instances ``[k*s, k*s + w)`` for ``k = 0, 1, 2, ...``.  Tumbling
+windows are the special case ``s == w``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import WindowError
+from repro.events.time import Timestamp
+
+
+@dataclass(frozen=True)
+class Window:
+    """A sliding window specification.
+
+    Attributes:
+        size: Window length in seconds (``WITHIN``).
+        slide: Slide interval in seconds (``SLIDE``); defaults to the size,
+            i.e. a tumbling window.
+    """
+
+    size: float
+    slide: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise WindowError(f"window size must be positive, got {self.size!r}")
+        if self.slide == 0.0:
+            object.__setattr__(self, "slide", self.size)
+        if self.slide <= 0:
+            raise WindowError(f"window slide must be positive, got {self.slide!r}")
+        if self.slide > self.size:
+            raise WindowError(
+                f"window slide ({self.slide}) must not exceed the window size ({self.size})"
+            )
+
+    @classmethod
+    def minutes(cls, size: float, slide: float | None = None) -> "Window":
+        """Construct a window whose size/slide are given in minutes."""
+        return cls(size * 60.0, (slide * 60.0) if slide is not None else 0.0)
+
+    @property
+    def is_tumbling(self) -> bool:
+        """True if consecutive window instances do not overlap."""
+        return self.slide == self.size
+
+    # ------------------------------------------------------------------ #
+    # Window instance arithmetic
+    # ------------------------------------------------------------------ #
+    def instances_covering(self, timestamp: Timestamp) -> Iterator[tuple[float, float]]:
+        """Yield ``(start, end)`` of every window instance containing ``timestamp``.
+
+        A timestamp belongs to instance ``k`` when
+        ``k*slide <= timestamp < k*slide + size``.
+        """
+        if timestamp < 0:
+            raise WindowError(f"timestamp must be non-negative, got {timestamp!r}")
+        last = int(timestamp // self.slide)
+        first = int(max(0.0, timestamp - self.size) // self.slide)
+        for k in range(first, last + 1):
+            start = k * self.slide
+            if start <= timestamp < start + self.size:
+                yield (start, start + self.size)
+
+    def instance_starting_at(self, start: float) -> tuple[float, float]:
+        """Return the ``(start, end)`` bounds of the instance starting at ``start``."""
+        return (start, start + self.size)
+
+    def overlaps(self, other: "Window") -> bool:
+        """Return True if instances of this window can overlap instances of ``other``.
+
+        Time-based sliding windows anchored at zero always overlap somewhere,
+        so this is True for any pair of windows; the method exists to keep the
+        Definition 5 check explicit and testable.
+        """
+        return True
+
+    def describe(self) -> str:
+        """Canonical textual form, e.g. ``WITHIN 600s SLIDE 300s``."""
+        return f"WITHIN {self.size:g}s SLIDE {self.slide:g}s"
+
+    def __repr__(self) -> str:
+        return self.describe()

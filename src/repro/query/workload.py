@@ -1,0 +1,103 @@
+"""Workloads — named collections of trend aggregation queries.
+
+The HAMLET optimizer operates on a whole workload at once: it identifies
+shareable Kleene sub-patterns (Definition 4) and groups queries into sets of
+sharable queries (Definition 5).  The grouping logic itself lives in
+:mod:`repro.template.analysis`; this module provides the container plus a few
+workload-level conveniences used by examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import WorkloadError
+from repro.events.event import EventType
+from repro.query.query import Query
+
+
+class Workload:
+    """An ordered collection of uniquely named queries."""
+
+    def __init__(self, queries: Iterable[Query] = (), *, name: str = "workload") -> None:
+        self.name = name
+        self._queries: list[Query] = []
+        self._by_name: dict[str, Query] = {}
+        for query in queries:
+            self.add(query)
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+    def add(self, query: Query) -> None:
+        """Add ``query`` to the workload.
+
+        Raises:
+            WorkloadError: if a query with the same name is already present.
+        """
+        if query.name in self._by_name:
+            raise WorkloadError(f"duplicate query name {query.name!r} in workload {self.name!r}")
+        self._queries.append(query)
+        self._by_name[query.name] = query
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self._queries)
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __contains__(self, query: Query | str) -> bool:
+        name = query if isinstance(query, str) else query.name
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Query:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise WorkloadError(f"no query named {name!r} in workload {self.name!r}") from None
+
+    @property
+    def queries(self) -> tuple[Query, ...]:
+        """The queries in insertion order."""
+        return tuple(self._queries)
+
+    # ------------------------------------------------------------------ #
+    # Workload-level introspection
+    # ------------------------------------------------------------------ #
+    def event_types(self) -> set[EventType]:
+        """Union of event types referenced by any query."""
+        types: set[EventType] = set()
+        for query in self._queries:
+            types |= query.event_types()
+        return types
+
+    def kleene_types(self) -> set[EventType]:
+        """Event types that appear under a Kleene plus in at least one query."""
+        types: set[EventType] = set()
+        for query in self._queries:
+            types |= query.kleene_types()
+        return types
+
+    def shareable_kleene_types(self) -> set[EventType]:
+        """Event types ``E`` whose ``E+`` appears in more than one query (Definition 4)."""
+        counts: dict[EventType, int] = {}
+        for query in self._queries:
+            for event_type in query.kleene_types():
+                counts[event_type] = counts.get(event_type, 0) + 1
+        return {event_type for event_type, count in counts.items() if count > 1}
+
+    def queries_with_kleene(self, event_type: EventType) -> tuple[Query, ...]:
+        """Queries whose pattern contains ``event_type +``."""
+        return tuple(q for q in self._queries if event_type in q.kleene_types())
+
+    def validate(self) -> None:
+        """Check basic workload invariants.
+
+        Raises:
+            WorkloadError: if the workload is empty.
+        """
+        if not self._queries:
+            raise WorkloadError(f"workload {self.name!r} contains no queries")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Workload({self.name!r}, {len(self._queries)} queries)"

@@ -1,0 +1,28 @@
+"""Runtime: stream partitioning, execution and metrics.
+
+The :class:`~repro.runtime.executor.WorkloadExecutor` is the piece a
+downstream user actually calls: it analyses the workload (Definitions 4–5),
+routes stream events into per-group / per-window partitions, drives an
+aggregation engine over every partition and collects latency, throughput and
+memory metrics — the quantities reported by the paper's figures.
+"""
+
+from repro.runtime.executor import (
+    ExecutionReport,
+    PartitionResult,
+    WorkloadExecutor,
+    run_workload,
+)
+from repro.runtime.metrics import ExecutionMetrics, Stopwatch
+from repro.runtime.partitioner import GroupWindowPartitioner, PartitionKey
+
+__all__ = [
+    "ExecutionMetrics",
+    "ExecutionReport",
+    "GroupWindowPartitioner",
+    "PartitionKey",
+    "PartitionResult",
+    "Stopwatch",
+    "WorkloadExecutor",
+    "run_workload",
+]

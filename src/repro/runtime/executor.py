@@ -1,0 +1,220 @@
+"""The multi-query workload executor.
+
+The executor glues the pieces of Figure 2 together:
+
+1. the *static* workload analysis groups queries into sets of sharable
+   queries and builds their merged templates (compile time);
+2. the stream is partitioned by grouping attributes and window instances;
+3. every partition is evaluated by an aggregation engine (HAMLET by default;
+   any :class:`~repro.interfaces.TrendAggregationEngine` can be plugged in,
+   which is how the benchmark harness runs GRETA, the two-step baseline and
+   the SHARON-style baseline over identical inputs);
+4. latency / throughput / memory metrics are collected per partition;
+5. results of decomposed OR/AND queries are recombined (Section 5).
+
+MIN/MAX queries are routed to a GRETA engine instance even when the workload
+is otherwise executed by HAMLET, because extremum propagation is not linear
+and therefore cannot ride on shared snapshot expressions (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.core.engine import HamletEngine
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.greta.engine import GretaEngine
+from repro.interfaces import TrendAggregationEngine
+from repro.query.query import Query
+from repro.query.workload import Workload
+from repro.runtime.metrics import ExecutionMetrics, Stopwatch
+from repro.runtime.partitioner import GroupWindowPartitioner, PartitionKey
+from repro.template.analysis import WorkloadAnalysis, analyze_workload
+
+#: Factory producing a fresh (or reusable) engine for a set of queries.
+EngineFactory = Callable[[], TrendAggregationEngine]
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """Results of one ``(group key, window instance)`` partition."""
+
+    group_key: tuple
+    window_start: float
+    results: Mapping[str, float]
+    seconds: float
+    events: int
+
+
+@dataclass
+class ExecutionReport:
+    """Everything a benchmark needs from one workload execution."""
+
+    metrics: ExecutionMetrics = field(default_factory=ExecutionMetrics)
+    partition_results: list[PartitionResult] = field(default_factory=list)
+    #: Final aggregate per query, summed over groups and windows (counts/sums)
+    #: — a convenient scalar for correctness checks across engines.
+    totals: dict[str, float] = field(default_factory=dict)
+    #: Optimizer statistics when the run used HAMLET with a sharing optimizer.
+    optimizer_statistics: Optional[object] = None
+    engine_name: str = ""
+
+    def result_for(self, query: Query | str) -> float:
+        """Total result of one query across all groups and windows."""
+        name = query if isinstance(query, str) else query.name
+        return self.totals.get(name, 0.0)
+
+    def results_by_partition(self, query: Query | str) -> dict[PartitionKey, float]:
+        """Per-partition results of one query."""
+        name = query if isinstance(query, str) else query.name
+        return {
+            (partition.group_key, partition.window_start): partition.results.get(name, 0.0)
+            for partition in self.partition_results
+        }
+
+
+class WorkloadExecutor:
+    """Evaluates a workload of trend aggregation queries over a stream."""
+
+    def __init__(
+        self,
+        workload: Workload | Sequence[Query],
+        engine_factory: EngineFactory = HamletEngine,
+        *,
+        reuse_engine: bool = True,
+    ) -> None:
+        """Create an executor.
+
+        Args:
+            workload: The queries to evaluate.
+            engine_factory: Zero-argument callable returning the engine used
+                for linear-aggregate query groups (default: HAMLET).
+            reuse_engine: Reuse one engine instance across partitions (keeps
+                optimizer statistics across the run).  Set to False to create
+                a fresh engine per partition.
+        """
+        self.workload = workload if isinstance(workload, Workload) else Workload(workload)
+        self.workload.validate()
+        self.engine_factory = engine_factory
+        self.reuse_engine = reuse_engine
+        self.analysis: WorkloadAnalysis = analyze_workload(self.workload)
+        self._shared_engine: Optional[TrendAggregationEngine] = None
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, stream: EventStream | Iterable[Event]) -> ExecutionReport:
+        """Evaluate the workload over ``stream`` and return the report."""
+        events = list(stream)
+        report = ExecutionReport(engine_name=self._engine_name())
+        report.metrics.stream_events = len(events)
+
+        for group in self.analysis.groups:
+            for queries in self._execution_units(group.queries):
+                self._run_unit(queries, events, report)
+
+        self._recombine_decompositions(report)
+        self._attach_optimizer_statistics(report)
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _engine_name(self) -> str:
+        try:
+            return self.engine_factory().name
+        except Exception:  # pragma: no cover - defensive
+            return "engine"
+
+    def _execution_units(self, queries: Sequence[Query]) -> Iterable[tuple[Query, ...]]:
+        """Split a sharable group into units sharing one engine partition set.
+
+        Queries must agree on the window spec to share a partition set; MIN /
+        MAX queries form their own units (they run on GRETA).
+        """
+        units: dict[tuple, list[Query]] = {}
+        for query in queries:
+            linear = query.aggregate.kind.is_linear
+            key = (query.window.size, query.window.slide, linear)
+            units.setdefault(key, []).append(query)
+        for (_, _, linear), unit_queries in sorted(units.items(), key=lambda item: repr(item[0])):
+            if linear:
+                yield tuple(unit_queries)
+            else:
+                # Extremum queries are evaluated per query on GRETA.
+                for query in unit_queries:
+                    yield (query,)
+
+    def _engine_for(self, queries: Sequence[Query]) -> TrendAggregationEngine:
+        linear = all(query.aggregate.kind.is_linear for query in queries)
+        if not linear:
+            return GretaEngine()
+        if self.reuse_engine:
+            if self._shared_engine is None:
+                self._shared_engine = self.engine_factory()
+            return self._shared_engine
+        return self.engine_factory()
+
+    def _run_unit(
+        self, queries: tuple[Query, ...], events: list[Event], report: ExecutionReport
+    ) -> None:
+        partitioner = GroupWindowPartitioner.for_queries(queries)
+        partitioner.add_all(events)
+        engine = self._engine_for(queries)
+        for (group_key, window_start), partition_events in partitioner.partitions():
+            with Stopwatch() as watch:
+                engine.start(queries)
+                for event in partition_events:
+                    engine.process(event)
+                results = engine.results()
+            report.metrics.record_partition(
+                seconds=watch.elapsed,
+                events=len(partition_events),
+                memory_units=engine.memory_units(),
+                operations=engine.operations(),
+            )
+            report.partition_results.append(
+                PartitionResult(
+                    group_key=group_key,
+                    window_start=window_start,
+                    results=dict(results),
+                    seconds=watch.elapsed,
+                    events=len(partition_events),
+                )
+            )
+            for name, value in results.items():
+                report.totals[name] = report.totals.get(name, 0.0) + value
+
+    def _recombine_decompositions(self, report: ExecutionReport) -> None:
+        """Combine sub-query results of decomposed OR/AND queries (Section 5)."""
+        if not self.analysis.decompositions:
+            return
+        for original_name, decomposition in self.analysis.decompositions.items():
+            per_partition: dict[PartitionKey, dict[str, float]] = {}
+            for partition in report.partition_results:
+                key = (partition.group_key, partition.window_start)
+                for sub_query in decomposition.sub_queries:
+                    if sub_query.name in partition.results:
+                        per_partition.setdefault(key, {})[sub_query.name] = partition.results[
+                            sub_query.name
+                        ]
+            total = 0.0
+            for sub_results in per_partition.values():
+                total += decomposition.combine(sub_results)
+            report.totals[original_name] = total
+
+    def _attach_optimizer_statistics(self, report: ExecutionReport) -> None:
+        engine = self._shared_engine
+        if engine is not None and hasattr(engine, "optimizer"):
+            report.optimizer_statistics = engine.optimizer.statistics
+
+
+def run_workload(
+    workload: Workload | Sequence[Query],
+    stream: EventStream | Iterable[Event],
+    engine_factory: EngineFactory = HamletEngine,
+) -> ExecutionReport:
+    """One-shot convenience wrapper around :class:`WorkloadExecutor`."""
+    return WorkloadExecutor(workload, engine_factory).run(stream)

@@ -1,0 +1,94 @@
+"""Execution metrics.
+
+The paper reports three metrics (Section 6.1):
+
+* **latency** — average time between a query's aggregation result output and
+  the arrival of the last event contributing to it.  In a replayed-stream
+  setting this is the time to process a window partition and extract its
+  result;
+* **throughput** — average number of events processed by all queries per
+  second;
+* **peak memory** — the maximum amount of state held at any point in time
+  (expressed here in abstract units: stored events, intermediate aggregates,
+  snapshot-table entries and DP cells).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class Stopwatch:
+    """A tiny wall-clock stopwatch around :func:`time.perf_counter`."""
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class ExecutionMetrics:
+    """Aggregate metrics collected over an execution run."""
+
+    #: Total wall-clock seconds spent inside engines (feeding + results).
+    total_seconds: float = 0.0
+    #: Number of window partitions evaluated.
+    partitions: int = 0
+    #: Number of events fed into engines, counted once per partition they
+    #: belong to (an event in two overlapping windows counts twice).
+    events_processed: int = 0
+    #: Number of distinct stream events consumed.
+    stream_events: int = 0
+    #: Per-partition latencies in seconds.
+    latencies: list[float] = field(default_factory=list)
+    #: Maximum engine memory footprint observed (abstract units).
+    peak_memory_units: int = 0
+    #: Total abstract work units reported by engines.
+    operations: int = 0
+
+    def record_partition(
+        self, seconds: float, events: int, memory_units: int, operations: int
+    ) -> None:
+        """Record the evaluation of one partition."""
+        self.total_seconds += seconds
+        self.partitions += 1
+        self.events_processed += events
+        self.latencies.append(seconds)
+        self.peak_memory_units = max(self.peak_memory_units, memory_units)
+        self.operations += operations
+
+    @property
+    def average_latency(self) -> float:
+        """Average per-partition latency in seconds."""
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+    @property
+    def max_latency(self) -> float:
+        """Worst per-partition latency in seconds."""
+        return max(self.latencies) if self.latencies else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Events processed per second of engine time."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.events_processed / self.total_seconds
+
+    def merge(self, other: "ExecutionMetrics") -> None:
+        """Fold another metrics object into this one."""
+        self.total_seconds += other.total_seconds
+        self.partitions += other.partitions
+        self.events_processed += other.events_processed
+        self.stream_events += other.stream_events
+        self.latencies.extend(other.latencies)
+        self.peak_memory_units = max(self.peak_memory_units, other.peak_memory_units)
+        self.operations += other.operations

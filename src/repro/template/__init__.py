@@ -1,0 +1,24 @@
+"""Finite-state-automaton-based query templates (Section 3.1 of the paper).
+
+A :class:`~repro.template.template.QueryTemplate` compiles a single query's
+pattern into states (event types) and transitions (predecessor-type
+relations).  A :class:`~repro.template.merged.MergedTemplate` overlays the
+templates of all sharable queries, labelling every transition with the set of
+queries it holds for — this is the paper's "HAMLET query template".
+:mod:`repro.template.analysis` groups a workload into sets of sharable
+queries (Definitions 4 and 5).
+"""
+
+from repro.template.analysis import SharableGroup, WorkloadAnalysis, analyze_workload
+from repro.template.merged import MergedTemplate
+from repro.template.template import NegationConstraint, QueryTemplate, compile_pattern
+
+__all__ = [
+    "MergedTemplate",
+    "NegationConstraint",
+    "QueryTemplate",
+    "SharableGroup",
+    "WorkloadAnalysis",
+    "analyze_workload",
+    "compile_pattern",
+]

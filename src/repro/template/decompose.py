@@ -1,0 +1,107 @@
+"""Decomposition of disjunctive and conjunctive patterns (Section 5).
+
+A disjunctive or conjunctive pattern ``P`` with sub-patterns ``P1`` and
+``P2`` imposes no time order between trends of ``P1`` and ``P2``, so
+``COUNT(P)`` can be computed from ``COUNT(P1)``, ``COUNT(P2)`` and
+``COUNT(P1,2)`` (trends matched by both):
+
+* ``COUNT(P1 OR P2)  = C1 + C2 + C1,2``
+* ``COUNT(P1 AND P2) = C1*C2 + C1*C1,2 + C2*C1,2 + C(C1,2, 2)``
+
+where ``C1 = COUNT(P1) - C1,2`` and ``C2 = COUNT(P2) - C1,2``.
+
+This implementation supports the common case where the sub-patterns range
+over disjoint event-type sets, in which case ``C1,2 = 0`` and the formulas
+reduce to ``C1 + C2`` and ``C1 * C2``.  Overlapping sub-patterns would
+require evaluating the intersection pattern ``P1,2``; the paper does not
+detail its construction and we reject that case explicitly rather than
+produce wrong counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import TemplateError
+from repro.query.aggregates import AggregateKind
+from repro.query.pattern import Conjunction, Disjunction, Pattern
+from repro.query.query import Query
+
+
+@dataclass(frozen=True)
+class DecomposedQuery:
+    """A query whose top-level OR/AND was decomposed into sub-queries."""
+
+    original: Query
+    sub_queries: tuple[Query, ...]
+    operator: str  # "or" | "and"
+
+    def combine(self, sub_results: Mapping[str, float]) -> float:
+        """Combine per-sub-query counts into the original query's count.
+
+        Args:
+            sub_results: mapping from sub-query name to its COUNT(*) result.
+        """
+        counts = [float(sub_results.get(sub.name, 0.0)) for sub in self.sub_queries]
+        both = 0.0  # C1,2 — zero because sub-patterns are type-disjoint.
+        exclusive = [count - both for count in counts]
+        if self.operator == "or":
+            return sum(exclusive) + both
+        # Conjunction of two sub-patterns.
+        c1, c2 = exclusive[0], exclusive[1]
+        return c1 * c2 + c1 * both + c2 * both + math.comb(int(both), 2)
+
+
+def decomposable(query: Query) -> bool:
+    """True if the query's pattern has a top-level disjunction or conjunction."""
+    return isinstance(query.pattern, (Disjunction, Conjunction))
+
+
+def decompose_query(query: Query) -> DecomposedQuery:
+    """Split a top-level OR/AND query into two sub-queries.
+
+    Raises:
+        TemplateError: if the aggregate is not COUNT(*), the sub-patterns
+            share event types, or a sub-pattern itself contains OR/AND.
+    """
+    pattern = query.pattern
+    if not isinstance(pattern, (Disjunction, Conjunction)):
+        raise TemplateError("query pattern has no top-level disjunction/conjunction")
+    if query.aggregate.kind is not AggregateKind.COUNT_TRENDS:
+        raise TemplateError(
+            "decomposition of OR/AND patterns is only supported for COUNT(*) queries"
+        )
+    left, right = pattern.left, pattern.right
+    _reject_nested(left)
+    _reject_nested(right)
+    if left.event_types() & right.event_types():
+        raise TemplateError(
+            "decomposition requires the OR/AND sub-patterns to use disjoint event types"
+        )
+    operator = "or" if isinstance(pattern, Disjunction) else "and"
+    sub_queries = (
+        Query(
+            pattern=left,
+            aggregate=query.aggregate,
+            predicates=query.predicates,
+            group_by=query.group_by,
+            window=query.window,
+            name=f"{query.name}#L",
+        ),
+        Query(
+            pattern=right,
+            aggregate=query.aggregate,
+            predicates=query.predicates,
+            group_by=query.group_by,
+            window=query.window,
+            name=f"{query.name}#R",
+        ),
+    )
+    return DecomposedQuery(original=query, sub_queries=sub_queries, operator=operator)
+
+
+def _reject_nested(pattern: Pattern) -> None:
+    if any(isinstance(node, (Disjunction, Conjunction)) for node in pattern.walk()):
+        raise TemplateError("nested disjunction/conjunction is not supported")

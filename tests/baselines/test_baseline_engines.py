@@ -1,0 +1,109 @@
+"""Unit tests for the brute-force oracle, two-step and SHARON-style baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import BruteForceOracle, FlatSequenceEngine, TwoStepEngine, enumerate_trends
+from repro.errors import ExecutionError
+from repro.events import Event
+from repro.greta import GretaEngine
+from repro.query import Query, count_events, count_trends, kleene, min_of, seq, sum_of
+from tests.conftest import make_events
+
+
+class TestTrendEnumeration:
+    def test_enumerates_all_subsets_of_kleene(self):
+        events = make_events("A B B")
+        query = Query.build(seq("A", kleene("B")), name="bf_q1")
+        trends = list(enumerate_trends(query, events))
+        assert len(trends) == 3
+        lengths = sorted(len(trend) for trend in trends)
+        assert lengths == [2, 2, 3]
+
+    def test_trends_respect_order(self):
+        events = [Event("B", 0.0), Event("A", 1.0)]
+        query = Query.build(seq("A", kleene("B")), name="bf_q2")
+        assert list(enumerate_trends(query, events)) == []
+
+
+class TestBruteForceOracle:
+    def test_matches_greta_on_figure4(self, ab_query, cb_query, figure4_events):
+        oracle = BruteForceOracle().evaluate([ab_query, cb_query], figure4_events)
+        greta = GretaEngine().evaluate([ab_query, cb_query], figure4_events)
+        assert oracle == pytest.approx(greta)
+
+    def test_partition_size_guard(self):
+        oracle = BruteForceOracle(max_events=3)
+        oracle.start([Query.build(seq("A", kleene("B")), name="bf_q3")])
+        for index in range(3):
+            oracle.process(Event("B", float(index)))
+        with pytest.raises(ExecutionError):
+            oracle.process(Event("B", 4.0))
+
+    def test_lifecycle_guards(self):
+        oracle = BruteForceOracle()
+        with pytest.raises(ExecutionError):
+            oracle.process(Event("A", 1.0))
+        with pytest.raises(ExecutionError):
+            oracle.results()
+
+
+class TestTwoStepEngine:
+    def test_matches_oracle(self, ab_query, cb_query, figure4_events):
+        two_step = TwoStepEngine().evaluate([ab_query, cb_query], figure4_events)
+        oracle = BruteForceOracle().evaluate([ab_query, cb_query], figure4_events)
+        assert two_step == pytest.approx(oracle)
+
+    def test_construction_shared_for_identical_patterns(self, figure4_events):
+        q1 = Query.build(seq("A", kleene("B")), name="ts_q1")
+        q2 = Query.build(seq("A", kleene("B")), aggregate=count_events("B"), name="ts_q2")
+        engine = TwoStepEngine()
+        engine.evaluate([q1, q2], figure4_events)
+        shared_ops = engine.operations()
+        engine_single = TwoStepEngine()
+        engine_single.evaluate([q1], figure4_events)
+        assert shared_ops == engine_single.operations()
+
+    def test_memory_counts_trends(self, ab_query, figure4_events):
+        engine = TwoStepEngine()
+        engine.evaluate([ab_query], figure4_events)
+        # 2 A starters x (2^4 - 1) B subsets = 30 trends + 7 events + 1 result.
+        assert engine.memory_units() == 30 + 7 + 1
+
+
+class TestFlatSequenceEngine:
+    def test_matches_oracle_without_edge_predicates(self, ab_query, cb_query, figure4_events):
+        flat = FlatSequenceEngine().evaluate([ab_query, cb_query], figure4_events)
+        oracle = BruteForceOracle().evaluate([ab_query, cb_query], figure4_events)
+        assert flat == pytest.approx(oracle)
+
+    def test_sum_aggregate(self):
+        events = make_events("A B B", b={"v": 2.0})
+        query = Query.build(seq("A", kleene("B")), aggregate=sum_of("B", "v"), name="fs_sum")
+        flat = FlatSequenceEngine().evaluate([query], events)
+        oracle = BruteForceOracle().evaluate([query], events)
+        assert flat == pytest.approx(oracle)
+
+    def test_fixed_budget_undercounts_long_trends(self):
+        events = make_events("A B B B")
+        query = Query.build(seq("A", kleene("B")), name="fs_budget")
+        exact = FlatSequenceEngine().evaluate([query], events)
+        capped = FlatSequenceEngine(kleene_budget=1).evaluate([query], events)
+        assert capped[query.name] < exact[query.name]
+
+    def test_min_max_rejected(self):
+        query = Query.build(seq("A", kleene("B")), aggregate=min_of("B", "v"), name="fs_min")
+        engine = FlatSequenceEngine()
+        with pytest.raises(ExecutionError):
+            engine.start([query])
+
+    def test_memory_grows_with_flattening(self, figure4_events):
+        q1 = Query.build(seq("A", kleene("B")), name="fs_mem")
+        engine = FlatSequenceEngine()
+        engine.evaluate([q1], figure4_events)
+        flat_memory = engine.memory_units()
+        greta = GretaEngine()
+        greta.evaluate([q1], figure4_events)
+        assert flat_memory > 0
+        assert engine.operations() > 0

@@ -1,0 +1,115 @@
+"""Tests for the benchmark harness: workloads, runner, reporting, experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    default_engines,
+    diverse_stock_workload,
+    format_table,
+    kleene_sharing_workload,
+    nyc_taxi_workload,
+    run_comparison,
+    smart_home_workload,
+)
+from repro.bench.fig9 import figure9_events_sweep
+from repro.bench.fig12 import figure12_events_sweep
+from repro.bench.overhead import measure_overhead
+from repro.bench.reporting import ExperimentRow, rows_to_csv, speedup
+from repro.bench.runner import dynamic_vs_static_engines
+from repro.bench.table1 import format_table1, table1_features
+from repro.bench.workloads import BenchmarkError
+from repro.datasets import RidesharingGenerator
+from repro.query import Window
+from repro.template import analyze_workload
+
+
+class TestWorkloadGenerators:
+    def test_kleene_sharing_workload_is_fully_sharable(self):
+        workload = kleene_sharing_workload(10, kleene_type="Travel", window=Window.minutes(5))
+        assert len(workload) == 10
+        analysis = analyze_workload(workload)
+        assert len(analysis.groups) == 1
+        assert analysis.groups[0].shared_kleene_types == {"Travel"}
+
+    def test_dataset_specific_workloads(self):
+        assert len(nyc_taxi_workload(6)) == 6
+        assert len(smart_home_workload(6)) == 6
+        assert all("Load" in q.kleene_types() for q in smart_home_workload(4))
+
+    def test_diverse_workload_mixes_clauses(self):
+        workload = diverse_stock_workload(24)
+        aggregates = {query.aggregate.kind for query in workload}
+        windows = {query.window.size for query in workload}
+        assert len(aggregates) >= 4
+        assert len(windows) >= 2
+        assert any(not query.predicates.is_empty() for query in workload)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(BenchmarkError):
+            kleene_sharing_workload(0)
+        with pytest.raises(BenchmarkError):
+            diverse_stock_workload(0)
+
+
+class TestRunnerAndReporting:
+    def test_run_comparison_produces_one_row_per_engine(self):
+        workload = kleene_sharing_workload(3, window=Window.minutes(1), name="bench-test")
+        stream = RidesharingGenerator(events_per_minute=60, seed=3).generate(30.0)
+        rows = run_comparison("unit", "events/min", 60, workload, stream, default_engines())
+        assert {row.approach for row in rows} == {
+            "hamlet",
+            "greta",
+            "mcep-two-step",
+            "sharon-flat",
+        }
+        for row in rows:
+            assert row.latency_seconds >= 0.0
+            assert row.memory_units > 0
+        hamlet_row = next(row for row in rows if row.approach == "hamlet")
+        assert "shared_fraction" in hamlet_row.extra
+
+    def test_format_table_and_csv(self):
+        rows = [
+            ExperimentRow("e", "p", 1.0, "hamlet", 0.1, 100.0, 5.0),
+            ExperimentRow("e", "p", 1.0, "greta", 0.2, 50.0, 10.0),
+        ]
+        table = format_table(rows)
+        assert "hamlet" in table and "greta" in table
+        csv = rows_to_csv(rows)
+        assert csv.count("\n") == 3
+        ratios = speedup(rows, baseline="greta", target="hamlet")
+        assert ratios[1.0] == pytest.approx(2.0)
+
+    def test_dynamic_vs_static_engine_specs(self):
+        names = {spec.name for spec in dynamic_vs_static_engines()}
+        assert names == {"hamlet-dynamic", "hamlet-static", "hamlet-non-shared"}
+
+
+class TestExperiments:
+    def test_figure9_smoke(self):
+        rows = figure9_events_sweep(events_per_minute_values=(60,), num_queries=3)
+        approaches = {row.approach for row in rows}
+        assert "hamlet" in approaches and "mcep-two-step" in approaches
+
+    def test_figure12_smoke(self):
+        rows = figure12_events_sweep(events_per_minute_values=(100,), num_queries=6)
+        approaches = {row.approach for row in rows}
+        assert {"hamlet-dynamic", "hamlet-static"} <= approaches
+
+    def test_overhead_report(self):
+        report = measure_overhead(num_queries=6, events_per_minute=100, duration_seconds=60.0)
+        assert report.decisions >= 0
+        assert 0.0 <= report.shared_fraction <= 1.0
+        assert 0.0 <= report.decision_fraction <= 1.0
+        assert report.workload_analysis_seconds < 1.0
+
+    def test_table1_matrix(self):
+        features = {row.approach: row for row in table1_features()}
+        assert features["hamlet"].sharing_decisions == "dynamic"
+        assert not features["sharon-flat"].kleene_closure
+        assert not features["mcep-two-step"].online_aggregation
+        assert features["greta"].sharing_decisions == "not shared"
+        text = format_table1()
+        assert "hamlet" in text

@@ -1,0 +1,62 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import Event, EventStream
+from repro.query import Query, Window, count_trends, kleene, seq
+
+
+def make_events(spec: str, *, spacing: float = 1.0, start: float = 0.0, **payloads) -> list[Event]:
+    """Build a list of events from a compact spec string.
+
+    ``spec`` is a whitespace-separated list of event type names; events are
+    timestamped ``start, start + spacing, ...`` in order.  Keyword arguments
+    of the form ``<lowercased type name>=dict(...)`` attach the same payload
+    to every event of that type, e.g. ``make_events("A B B", b={"v": 2.0})``.
+    """
+    events = []
+    for index, type_name in enumerate(spec.split()):
+        payload = payloads.get(type_name.lower(), {})
+        events.append(
+            Event(event_type=type_name, time=start + index * spacing, payload=dict(payload))
+        )
+    return events
+
+
+@pytest.fixture
+def ab_query() -> Query:
+    """The paper's running example q1: ``SEQ(A, B+)`` counting trends."""
+    return Query.build(
+        seq("A", kleene("B")),
+        aggregate=count_trends(),
+        window=Window(1000.0),
+        name="q_ab",
+    )
+
+
+@pytest.fixture
+def cb_query() -> Query:
+    """The paper's running example q2: ``SEQ(C, B+)`` counting trends."""
+    return Query.build(
+        seq("C", kleene("B")),
+        aggregate=count_trends(),
+        window=Window(1000.0),
+        name="q_cb",
+    )
+
+
+@pytest.fixture
+def figure4_events() -> list[Event]:
+    """The stream of Figure 4: a1, a2, c1 then b3, b4, b5, b6 (one pane).
+
+    Timestamps keep the arrival order of the paper's example: the A/C events
+    precede the burst of B events.
+    """
+    return make_events("A A C B B B B")
+
+
+@pytest.fixture
+def stream(figure4_events) -> EventStream:
+    return EventStream(figure4_events, name="figure4")

@@ -1,0 +1,146 @@
+"""Property-based cross-engine equivalence tests.
+
+The strongest correctness statement the library can make: over randomized
+small streams, HAMLET (with any sharing policy), GRETA, the two-step engine
+and the brute-force oracle all produce identical aggregates.  hypothesis
+drives the stream generation; the shared-vs-non-shared decision path is
+exercised by running HAMLET with the always-share, never-share and dynamic
+optimizers over the same input.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import BruteForceOracle, TwoStepEngine
+from repro.core import HamletEngine
+from repro.greta import GretaEngine
+from repro.optimizer import AlwaysShareOptimizer, DynamicSharingOptimizer, NeverShareOptimizer
+from repro.query import (
+    Query,
+    Window,
+    count_events,
+    count_trends,
+    kleene,
+    parse_pattern,
+    same_attributes,
+    seq,
+    sum_of,
+)
+from repro.query.predicates import attr_less
+from repro.events import Event
+
+#: Event types used by the random streams.
+TYPE_NAMES = ("A", "B", "C", "D")
+
+event_strategy = st.tuples(
+    st.sampled_from(TYPE_NAMES),
+    st.integers(min_value=0, max_value=6),  # attribute value
+    st.integers(min_value=1, max_value=2),  # partition-ish attribute "d"
+)
+
+stream_strategy = st.lists(event_strategy, min_size=0, max_size=14)
+
+
+def _events(raw) -> list[Event]:
+    return [
+        Event(type_name, float(index), {"v": float(value), "d": d})
+        for index, (type_name, value, d) in enumerate(raw)
+    ]
+
+
+def _workload() -> list[Query]:
+    window = Window(1_000_000.0)
+    return [
+        Query.build(seq("A", kleene("B")), window=window, name="prop_q1"),
+        Query.build(seq("C", kleene("B")), window=window, name="prop_q2"),
+        Query.build(
+            seq("A", kleene("B")),
+            predicates=[attr_less("v", 4.0, event_type="B")],
+            window=window,
+            name="prop_q3",
+        ),
+        Query.build(seq("C", kleene("B"), "D"), aggregate=sum_of("B", "v"), window=window,
+                    name="prop_q4"),
+        Query.build(seq("A", kleene("B")), predicates=[same_attributes("d")],
+                    aggregate=count_events("B"), window=window, name="prop_q5"),
+        Query.build(parse_pattern("SEQ(A, NOT D, B+)"), window=window, name="prop_q6"),
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(raw=stream_strategy)
+def test_hamlet_matches_greta_and_oracle(raw):
+    """All engines agree on every query for every random stream."""
+    events = _events(raw)
+    queries = _workload()
+    oracle = BruteForceOracle(max_events=32).evaluate(queries, events)
+    greta = GretaEngine().evaluate(queries, events)
+    assert greta == pytest.approx(oracle)
+    for optimizer in (DynamicSharingOptimizer(), AlwaysShareOptimizer(), NeverShareOptimizer()):
+        hamlet = HamletEngine(optimizer).evaluate(queries, events)
+        assert hamlet == pytest.approx(oracle)
+
+
+@settings(max_examples=30, deadline=None)
+@given(raw=stream_strategy)
+def test_two_step_matches_oracle(raw):
+    events = _events(raw)
+    queries = _workload()[:3]
+    oracle = BruteForceOracle(max_events=32).evaluate(queries, events)
+    two_step = TwoStepEngine().evaluate(queries, events)
+    assert two_step == pytest.approx(oracle)
+
+
+@settings(max_examples=40, deadline=None)
+@given(raw=stream_strategy, burst_boundary=st.integers(min_value=0, max_value=14))
+def test_incremental_processing_is_order_insensitive_to_burst_cuts(raw, burst_boundary):
+    """Forcing an extra burst boundary (an irrelevant event) never changes results.
+
+    An event of a type no query references must be completely transparent:
+    it may cut a burst in two, but the aggregates stay identical.
+    """
+    events = _events(raw)
+    queries = _workload()
+    cut = min(burst_boundary, len(events))
+    with_marker = events[:cut] + [Event("Zzz", float(cut) - 0.5 if cut else 0.0)] + events[cut:]
+    with_marker.sort()
+    plain = HamletEngine(AlwaysShareOptimizer()).evaluate(queries, events)
+    marked = HamletEngine(AlwaysShareOptimizer()).evaluate(queries, with_marker)
+    assert plain == pytest.approx(marked)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    counts=st.tuples(
+        st.integers(min_value=0, max_value=3),  # A events
+        st.integers(min_value=0, max_value=3),  # C events
+        st.integers(min_value=0, max_value=10),  # B events
+    )
+)
+def test_closed_form_counts_for_figure4_shape(counts):
+    """For SEQ(A,B+)/SEQ(C,B+) without predicates the counts have a closed form.
+
+    Every non-empty subset of the B events following a starter forms one
+    trend, so COUNT(*) = #starters * (2^#B - 1) when all B events arrive after
+    all starters.
+    """
+    a_count, c_count, b_count = counts
+    events = []
+    time = 0.0
+    for _ in range(a_count):
+        events.append(Event("A", time))
+        time += 1.0
+    for _ in range(c_count):
+        events.append(Event("C", time))
+        time += 1.0
+    for _ in range(b_count):
+        events.append(Event("B", time))
+        time += 1.0
+    q1 = Query.build(seq("A", kleene("B")), window=Window(1e6), name="cf_q1")
+    q2 = Query.build(seq("C", kleene("B")), window=Window(1e6), name="cf_q2")
+    results = HamletEngine(AlwaysShareOptimizer()).evaluate([q1, q2], events)
+    expected_factor = (2 ** b_count) - 1
+    assert results["cf_q1"] == pytest.approx(a_count * expected_factor)
+    assert results["cf_q2"] == pytest.approx(c_count * expected_factor)

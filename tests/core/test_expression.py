@@ -1,0 +1,135 @@
+"""Unit and property tests for snapshot expressions and the snapshot table."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.expression import SnapshotCoefficient, SnapshotExpression
+from repro.core.snapshot import SnapshotLevel, SnapshotTable
+from repro.errors import SharingError
+from repro.greta.aggregators import AggregateVector
+
+
+def _vector(count, *measures):
+    return AggregateVector(float(count), tuple(float(m) for m in measures))
+
+
+class TestSnapshotCoefficient:
+    def test_add(self):
+        a = SnapshotCoefficient(2.0, (1.0,))
+        b = SnapshotCoefficient(3.0, (0.5,))
+        combined = a.add(b)
+        assert combined.weight == 5.0
+        assert combined.cross == (1.5,)
+
+    def test_with_contribution(self):
+        coefficient = SnapshotCoefficient(4.0, (1.0,))
+        updated = coefficient.with_contribution((2.0,))
+        assert updated.weight == 4.0
+        assert updated.cross == (1.0 + 2.0 * 4.0,)
+
+    def test_apply(self):
+        coefficient = SnapshotCoefficient(3.0, (2.0,))
+        value = _vector(5, 7)
+        applied = coefficient.apply(value)
+        assert applied.count == 15.0
+        assert applied.measures == (3.0 * 7 + 2.0 * 5,)
+
+
+class TestSnapshotExpression:
+    def test_identity_and_evaluate(self):
+        expression = SnapshotExpression.identity("x", 1)
+        value = expression.evaluate(lambda _: _vector(4, 9))
+        assert value.count == 4.0
+        assert value.measures == (9.0,)
+
+    def test_add_merges_coefficients(self):
+        x = SnapshotExpression.identity("x", 0)
+        doubled = x.add(x)
+        assert doubled.coefficients["x"].weight == 2.0
+        assert doubled.size() == 1
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(SharingError):
+            SnapshotExpression.identity("x", 1).add(SnapshotExpression.identity("y", 2))
+        with pytest.raises(SharingError):
+            SnapshotExpression.identity("x", 1).with_event_contribution((1.0, 2.0))
+        with pytest.raises(SharingError):
+            SnapshotExpression(1, {"x": SnapshotCoefficient(1.0, ())})
+
+    def test_table3_doubling_propagation(self):
+        """Table 3: counts of b3..b6 are x, 2x, 4x, 8x."""
+        dimension = 0
+        running = SnapshotExpression.zero(dimension)
+        weights = []
+        for _ in range(4):
+            expr = SnapshotExpression.identity("x", dimension).add(running)
+            weights.append(expr.coefficients["x"].weight)
+            running = running.add(expr)
+        assert weights == [1.0, 2.0, 4.0, 8.0]
+
+    def test_event_contribution_tracks_measures(self):
+        expression = SnapshotExpression.identity("x", 1).with_event_contribution((5.0,))
+        value = expression.evaluate(lambda _: _vector(2, 0))
+        # One measure contribution of 5 per trend; two trends flow through x.
+        assert value.count == 2.0
+        assert value.measures == (10.0,)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        weights=st.lists(st.floats(min_value=0, max_value=10), min_size=1, max_size=5),
+        count=st.floats(min_value=0, max_value=100),
+        measure=st.floats(min_value=0, max_value=100),
+    )
+    def test_linearity_property(self, weights, count, measure):
+        """Evaluating a sum of expressions equals the sum of evaluations."""
+        expressions = [
+            SnapshotExpression(1, {"x": SnapshotCoefficient(w, (0.0,))}) for w in weights
+        ]
+        total = SnapshotExpression.zero(1)
+        for expression in expressions:
+            total = total.add(expression)
+        value = _vector(count, measure)
+        combined = total.evaluate(lambda _: value)
+        summed_count = sum(e.evaluate(lambda _: value).count for e in expressions)
+        summed_measure = sum(e.evaluate(lambda _: value).measures[0] for e in expressions)
+        assert combined.count == pytest.approx(summed_count)
+        assert combined.measures[0] == pytest.approx(summed_measure)
+
+
+class TestSnapshotTable:
+    def test_create_and_lookup(self):
+        table = SnapshotTable(dimension=1)
+        snapshot = table.create(
+            SnapshotLevel.GRAPHLET, "B", {"q1": _vector(2, 3), "q2": _vector(1, 0)}
+        )
+        assert snapshot.snapshot_id.startswith("x")
+        assert table.value(snapshot.snapshot_id, "q1").count == 2.0
+        assert table.value(snapshot.snapshot_id, "q3").is_zero()
+        assert table.created_count(SnapshotLevel.GRAPHLET) == 1
+        assert table.created_count() == 1
+        assert table.entry_count() == 2
+
+    def test_event_level_ids(self):
+        table = SnapshotTable(dimension=0)
+        snapshot = table.create(SnapshotLevel.EVENT, "B", {"q1": _vector(5)})
+        assert snapshot.snapshot_id.startswith("z")
+        assert table.snapshot(snapshot.snapshot_id).level is SnapshotLevel.EVENT
+
+    def test_unknown_snapshot_rejected(self):
+        table = SnapshotTable(dimension=0)
+        with pytest.raises(SharingError):
+            table.value("nope", "q1")
+        with pytest.raises(SharingError):
+            table.snapshot("nope")
+
+    def test_dimension_checked(self):
+        table = SnapshotTable(dimension=1)
+        with pytest.raises(SharingError):
+            table.create(SnapshotLevel.GRAPHLET, "B", {"q1": _vector(1)})
+
+    def test_memory_units(self):
+        table = SnapshotTable(dimension=0)
+        table.create(SnapshotLevel.GRAPHLET, "B", {"q1": _vector(1), "q2": _vector(2)})
+        assert table.memory_units() == 1 + 2

@@ -1,0 +1,129 @@
+"""Unit tests for graphlets, HAMLET nodes and the HAMLET graph helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.expression import SnapshotExpression
+from repro.core.graphlet import Graphlet, HamletNode
+from repro.core.hamlet_graph import HamletGraph, TypeAccumulator
+from repro.core.snapshot import SnapshotLevel, SnapshotTable
+from repro.errors import SharingError
+from repro.events import Event
+from repro.greta.aggregators import AggregateVector
+from repro.query import Query, kleene, seq
+from repro.template import compile_pattern
+
+
+def _vector(count, dimension=0):
+    return AggregateVector(float(count), (0.0,) * dimension)
+
+
+class TestHamletNode:
+    def test_resolved_lookup(self):
+        node = HamletNode(event=Event("B", 1.0), resolved={"q1": _vector(3)})
+        table = SnapshotTable(dimension=0)
+        assert node.covers_query("q1")
+        assert not node.covers_query("q2")
+        assert node.vector_for("q1", table).count == 3.0
+        assert node.vector_for("q2", table).is_zero()
+
+    def test_expression_lookup(self):
+        table = SnapshotTable(dimension=0)
+        snapshot = table.create(SnapshotLevel.GRAPHLET, "B", {"q1": _vector(2)})
+        node = HamletNode(
+            event=Event("B", 1.0),
+            expression=SnapshotExpression.identity(snapshot.snapshot_id, 0),
+            expression_queries=frozenset({"q1", "q2"}),
+        )
+        assert node.vector_for("q1", table).count == 2.0
+        # q2 is covered by the expression but has no snapshot value -> zero.
+        assert node.vector_for("q2", table).count == 0.0
+        assert node.memory_units() == 2  # event + 1 coefficient
+
+
+class TestGraphlet:
+    def test_shared_graphlet_requires_snapshot(self):
+        with pytest.raises(SharingError):
+            Graphlet("B", shared=True, query_names=frozenset({"q1"}))
+
+    def test_append_checks_type_and_active(self):
+        graphlet = Graphlet("B", shared=False, query_names=frozenset({"q1"}))
+        graphlet.append(HamletNode(event=Event("B", 1.0)))
+        with pytest.raises(SharingError):
+            graphlet.append(HamletNode(event=Event("A", 2.0)))
+        graphlet.deactivate()
+        with pytest.raises(SharingError):
+            graphlet.append(HamletNode(event=Event("B", 3.0)))
+        assert graphlet.size() == 1
+
+
+class TestTypeAccumulator:
+    def test_resolved_totals(self):
+        accumulator = TypeAccumulator(dimension=0)
+        accumulator.add_resolved("q1", _vector(2))
+        accumulator.add_resolved("q1", _vector(3))
+        table = SnapshotTable(dimension=0)
+        assert accumulator.total("q1", table).count == 5.0
+        assert accumulator.total("q2", table).count == 0.0
+
+    def test_pending_expressions_and_fold(self):
+        table = SnapshotTable(dimension=0)
+        snapshot = table.create(SnapshotLevel.GRAPHLET, "B", {"q1": _vector(4), "q2": _vector(1)})
+        accumulator = TypeAccumulator(dimension=0)
+        accumulator.add_pending(
+            SnapshotExpression.identity(snapshot.snapshot_id, 0), frozenset({"q1", "q2"})
+        )
+        assert accumulator.total("q1", table).count == 4.0
+        evaluations = accumulator.fold(table)
+        assert evaluations > 0
+        assert not accumulator.pending
+        assert accumulator.total("q1", table).count == 4.0
+        assert accumulator.total("q2", table).count == 1.0
+
+
+class TestHamletGraphHelpers:
+    def _setup(self):
+        q1 = Query.build(seq("A", kleene("B")), name="hg_q1")
+        template = compile_pattern(q1.pattern)
+        graph = HamletGraph([q1], dimension=0)
+        table = SnapshotTable(dimension=0)
+        return q1, template, graph, table
+
+    def test_open_and_deactivate_graphlets(self):
+        _, _, graph, _ = self._setup()
+        first = graph.open_graphlet(Graphlet("B", False, frozenset({"hg_q1"})))
+        assert graph.active_graphlet("B") is first
+        graph.deactivate_other_types("A")
+        assert graph.active_graphlet("B") is None
+        second = graph.open_graphlet(Graphlet("B", False, frozenset({"hg_q1"})))
+        assert graph.active_graphlet("B") is second
+
+    def test_predecessor_enumeration_and_end_total(self):
+        q1, template, graph, table = self._setup()
+        graphlet_a = graph.open_graphlet(Graphlet("A", False, frozenset({"hg_q1"})))
+        a_node = HamletNode(event=Event("A", 0.0), resolved={"hg_q1": _vector(1)})
+        graph.register_node(graphlet_a, a_node)
+        graphlet_b = graph.open_graphlet(Graphlet("B", False, frozenset({"hg_q1"})))
+        b_event = Event("B", 1.0)
+        predecessors = list(graph.predecessors_for(q1, template, b_event))
+        assert predecessors == [a_node]
+        b_node = HamletNode(event=b_event, resolved={"hg_q1": _vector(1)})
+        graph.register_node(graphlet_b, b_node)
+        total = graph.end_total(q1, template, table)
+        assert total.count == 1.0
+
+    def test_accumulator_predecessor_total(self):
+        q1, template, graph, table = self._setup()
+        graph.accumulator("A").add_resolved("hg_q1", _vector(2))
+        graph.accumulator("B").add_resolved("hg_q1", _vector(5))
+        total = graph.predecessor_total(q1, template, "B", table)
+        # pt(B) = {A, B}: totals of both types feed the snapshot.
+        assert total.count == 7.0
+
+    def test_memory_units_counts_state(self):
+        _, _, graph, _ = self._setup()
+        graphlet = graph.open_graphlet(Graphlet("B", False, frozenset({"hg_q1"})))
+        graph.register_node(graphlet, HamletNode(event=Event("B", 1.0), resolved={"hg_q1": _vector(1)}))
+        graph.add_negative(Event("X", 2.0), frozenset({"hg_q1"}))
+        assert graph.memory_units() >= 3

@@ -1,0 +1,219 @@
+"""Unit tests for the HAMLET engine: paper examples, sharing mechanics, predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HamletEngine
+from repro.core.snapshot import SnapshotLevel
+from repro.errors import ExecutionError, SharingError
+from repro.events import Event
+from repro.greta import GretaEngine
+from repro.optimizer import AlwaysShareOptimizer, DynamicSharingOptimizer, NeverShareOptimizer
+from repro.query import (
+    Query,
+    Window,
+    avg,
+    count_events,
+    count_trends,
+    kleene,
+    min_of,
+    parse_pattern,
+    same_attributes,
+    seq,
+    sum_of,
+)
+from repro.query.predicates import attr_less
+from tests.conftest import make_events
+
+
+def _always_share_engine() -> HamletEngine:
+    return HamletEngine(AlwaysShareOptimizer())
+
+
+class TestPaperRunningExample:
+    """Figure 4(b), Example 6, Tables 3 and 4 on the stream a1 a2 c1 b3..b6."""
+
+    def test_final_counts_match_greta(self, ab_query, cb_query, figure4_events):
+        hamlet = _always_share_engine().evaluate([ab_query, cb_query], figure4_events)
+        greta = GretaEngine().evaluate([ab_query, cb_query], figure4_events)
+        assert hamlet == pytest.approx(greta)
+        assert hamlet[ab_query.name] == 30.0
+        assert hamlet[cb_query.name] == 15.0
+
+    def test_single_graphlet_snapshot_for_the_b_burst(self, ab_query, cb_query, figure4_events):
+        """The shared B burst is processed with one graphlet-level snapshot x."""
+        engine = _always_share_engine()
+        engine.evaluate([ab_query, cb_query], figure4_events)
+        table = engine.snapshot_table
+        assert table.created_count(SnapshotLevel.GRAPHLET) == 1
+        assert table.created_count(SnapshotLevel.EVENT) == 0
+        snapshot = list(table.snapshots())[0]
+        # Table 4: value(x, q1) = sum(A1, q1) = 2 and value(x, q2) = sum(C2, q2) = 1.
+        assert table.value(snapshot.snapshot_id, ab_query.name).count == 2.0
+        assert table.value(snapshot.snapshot_id, cb_query.name).count == 1.0
+
+    def test_example6_second_graphlet_snapshot(self, ab_query, cb_query):
+        """Figure 5(b): a second burst of B after new A/C events creates snapshot y."""
+        events = make_events("A A C B B B B A C B B")
+        engine = _always_share_engine()
+        hamlet = engine.evaluate([ab_query, cb_query], events)
+        greta = GretaEngine().evaluate([ab_query, cb_query], events)
+        assert hamlet == pytest.approx(greta)
+        assert engine.snapshot_table.created_count(SnapshotLevel.GRAPHLET) == 2
+
+    def test_events_stored_once_for_the_workload(self, ab_query, cb_query, figure4_events):
+        """HAMLET stores each event once; GRETA replicates per query (Section 3.3)."""
+        hamlet = _always_share_engine()
+        hamlet.evaluate([ab_query, cb_query], figure4_events)
+        assert hamlet.graph.node_count() == 7
+
+    def test_memory_advantage_grows_with_workload_size(self, ab_query, cb_query):
+        """On a longer burst and more queries HAMLET's footprint stays below GRETA's."""
+        extra = Query.build(seq("D", kleene("B")), window=Window(1000.0), name="mem_q3")
+        queries = [ab_query, cb_query, extra]
+        events = make_events("A A C D " + "B " * 20)
+        hamlet = _always_share_engine()
+        hamlet.evaluate(queries, events)
+        greta = GretaEngine()
+        greta.evaluate(queries, events)
+        assert hamlet.memory_units() < greta.memory_units()
+
+
+class TestEventLevelSnapshots:
+    def test_predicate_differences_create_event_snapshots(self, ab_query):
+        """Example 7: an edge that holds for one query only forces a snapshot z."""
+        q_filtered = Query.build(
+            seq("C", kleene("B")),
+            predicates=[attr_less("v", 10.0, event_type="B")],
+            window=Window(1000.0),
+            name="z_q2",
+        )
+        events = [
+            Event("A", 0.0, {"v": 0.0}),
+            Event("C", 1.0, {"v": 0.0}),
+            Event("B", 2.0, {"v": 5.0}),
+            Event("B", 3.0, {"v": 50.0}),  # fails q2's predicate, passes q1
+            Event("B", 4.0, {"v": 5.0}),
+        ]
+        engine = _always_share_engine()
+        hamlet = engine.evaluate([ab_query, q_filtered], events)
+        greta = GretaEngine().evaluate([ab_query, q_filtered], events)
+        assert hamlet == pytest.approx(greta)
+        assert engine.snapshot_table.created_count(SnapshotLevel.EVENT) >= 1
+
+    def test_edge_predicates_force_per_query_evaluation(self):
+        q1 = Query.build(seq("A", kleene("B")), window=Window(1000.0), name="e_q1")
+        q2 = Query.build(
+            seq("A", kleene("B")),
+            predicates=[same_attributes("d")],
+            window=Window(1000.0),
+            name="e_q2",
+        )
+        events = [
+            Event("A", 0.0, {"d": 1}),
+            Event("B", 1.0, {"d": 1}),
+            Event("B", 2.0, {"d": 2}),
+        ]
+        hamlet = _always_share_engine().evaluate([q1, q2], events)
+        greta = GretaEngine().evaluate([q1, q2], events)
+        assert hamlet == pytest.approx(greta)
+
+
+class TestAggregateSharing:
+    def test_mixed_linear_aggregates_share(self):
+        q_count = Query.build(seq("A", kleene("B")), aggregate=count_events("B"),
+                              window=Window(1000.0), name="m_q1")
+        q_sum = Query.build(seq("C", kleene("B")), aggregate=sum_of("B", "v"),
+                            window=Window(1000.0), name="m_q2")
+        q_avg = Query.build(seq("A", kleene("B")), aggregate=avg("B", "v"),
+                            window=Window(1000.0), name="m_q3")
+        events = make_events("A C B B B", b={"v": 2.0})
+        hamlet = _always_share_engine().evaluate([q_count, q_sum, q_avg], events)
+        greta = GretaEngine().evaluate([q_count, q_sum, q_avg], events)
+        assert hamlet == pytest.approx(greta)
+
+    def test_min_max_rejected(self):
+        q_min = Query.build(seq("A", kleene("B")), aggregate=min_of("B", "v"), name="m_min")
+        engine = HamletEngine()
+        with pytest.raises(SharingError):
+            engine.start([q_min])
+
+
+class TestNegationAndNestedKleene:
+    def test_negation_shared(self):
+        q1 = Query.build(parse_pattern("SEQ(A, NOT X, B+)"), window=Window(1000.0), name="n_q1")
+        q2 = Query.build(seq("C", kleene("B")), window=Window(1000.0), name="n_q2")
+        events = make_events("A C X B B A B")
+        hamlet = HamletEngine(DynamicSharingOptimizer()).evaluate([q1, q2], events)
+        greta = GretaEngine().evaluate([q1, q2], events)
+        assert hamlet == pytest.approx(greta)
+
+    def test_trailing_negation_shared(self):
+        q1 = Query.build(parse_pattern("SEQ(R, T+, NOT P)"), window=Window(1000.0), name="tn_q1")
+        q2 = Query.build(parse_pattern("SEQ(S, T+)"), window=Window(1000.0), name="tn_q2")
+        events = make_events("R S T T P T")
+        hamlet = _always_share_engine().evaluate([q1, q2], events)
+        greta = GretaEngine().evaluate([q1, q2], events)
+        assert hamlet == pytest.approx(greta)
+
+    def test_nested_kleene_shared(self):
+        q1 = Query.build(parse_pattern("(SEQ(A, B+))+"), window=Window(1000.0), name="nk_q1")
+        q2 = Query.build(parse_pattern("(SEQ(C, B+))+"), window=Window(1000.0), name="nk_q2")
+        events = make_events("A C B B A B B")
+        hamlet = _always_share_engine().evaluate([q1, q2], events)
+        greta = GretaEngine().evaluate([q1, q2], events)
+        assert hamlet == pytest.approx(greta)
+
+
+class TestSplitMergeBehaviour:
+    def test_never_share_creates_no_snapshots(self, ab_query, cb_query, figure4_events):
+        engine = HamletEngine(NeverShareOptimizer())
+        results = engine.evaluate([ab_query, cb_query], figure4_events)
+        assert results[ab_query.name] == 30.0
+        assert engine.snapshots_created() == 0
+        assert all(not graphlet.shared for graphlet in engine.graph.graphlets)
+
+    def test_shared_graphlets_marked(self, ab_query, cb_query, figure4_events):
+        engine = _always_share_engine()
+        engine.evaluate([ab_query, cb_query], figure4_events)
+        shared = [graphlet for graphlet in engine.graph.graphlets if graphlet.shared]
+        assert len(shared) == 1
+        assert shared[0].event_type == "B"
+        assert shared[0].size() == 4
+
+    def test_dynamic_optimizer_records_decisions(self, ab_query, cb_query, figure4_events):
+        optimizer = DynamicSharingOptimizer()
+        engine = HamletEngine(optimizer)
+        engine.evaluate([ab_query, cb_query], figure4_events)
+        assert optimizer.statistics.decisions >= 1
+
+    def test_lifetime_snapshot_counter_accumulates(self, ab_query, cb_query, figure4_events):
+        engine = _always_share_engine()
+        engine.evaluate([ab_query, cb_query], figure4_events)
+        first = engine.total_snapshots_created()
+        engine.evaluate([ab_query, cb_query], figure4_events)
+        assert engine.total_snapshots_created() >= first
+
+
+class TestLifecycle:
+    def test_requires_start(self):
+        engine = HamletEngine()
+        with pytest.raises(ExecutionError):
+            engine.process(Event("A", 1.0))
+        with pytest.raises(ExecutionError):
+            engine.results()
+        with pytest.raises(ExecutionError):
+            engine.start([])
+
+    def test_irrelevant_events_ignored(self, ab_query, cb_query):
+        engine = HamletEngine()
+        engine.start([ab_query, cb_query])
+        engine.process(Event("Z", 1.0))
+        assert engine.results() == {ab_query.name: 0.0, cb_query.name: 0.0}
+
+    def test_empty_partition(self, ab_query, cb_query):
+        assert HamletEngine().evaluate([ab_query, cb_query], []) == {
+            ab_query.name: 0.0,
+            cb_query.name: 0.0,
+        }

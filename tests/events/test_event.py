@@ -1,0 +1,106 @@
+"""Unit tests for the Event data type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.events import Attribute, AttributeKind, Event, Schema
+
+
+class TestEventBasics:
+    def test_creation_and_attribute_access(self):
+        event = Event("Trade", 10.0, {"price": 99.5, "company": "ACME"})
+        assert event.event_type == "Trade"
+        assert event.time == 10.0
+        assert event["price"] == 99.5
+        assert event.get("volume") is None
+        assert event.get("volume", 7) == 7
+        assert event.has("company")
+        assert not event.has("volume")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SchemaError):
+            Event("Trade", -1.0)
+
+    def test_total_order_breaks_ties_by_sequence(self):
+        first = Event("A", 5.0)
+        second = Event("A", 5.0)
+        assert first < second
+        assert first <= second
+        assert not second < first
+
+    def test_ordering_by_time(self):
+        early = Event("A", 1.0)
+        late = Event("B", 2.0)
+        assert early < late
+        assert sorted([late, early]) == [early, late]
+
+    def test_equality_is_identity_like(self):
+        event = Event("A", 1.0)
+        other = Event("A", 1.0)
+        assert event == event
+        assert event != other
+        assert len({event, other}) == 2
+
+    def test_with_payload_returns_updated_copy(self):
+        event = Event("A", 1.0, {"x": 1})
+        updated = event.with_payload(y=2)
+        assert updated["x"] == 1
+        assert updated["y"] == 2
+        assert not event.has("y")
+
+
+class TestEventSchemaValidation:
+    def test_create_with_schema_validates(self):
+        schema = Schema.of("Trade", price=AttributeKind.FLOAT, company=AttributeKind.STRING)
+        event = Event.create("Trade", 1.0, schema=schema, price=10.0, company="ACME")
+        assert event["price"] == 10.0
+
+    def test_create_with_wrong_schema_type_rejected(self):
+        schema = Schema.of("Trade", price=AttributeKind.FLOAT)
+        with pytest.raises(SchemaError):
+            Event.create("Quote", 1.0, schema=schema, price=10.0)
+
+    def test_missing_attribute_rejected(self):
+        schema = Schema.of("Trade", price=AttributeKind.FLOAT)
+        with pytest.raises(SchemaError):
+            Event.create("Trade", 1.0, schema=schema)
+
+    def test_wrong_kind_rejected(self):
+        schema = Schema.of("Trade", price=AttributeKind.FLOAT)
+        with pytest.raises(SchemaError):
+            Event.create("Trade", 1.0, schema=schema, price="cheap")
+
+    def test_unknown_attribute_rejected(self):
+        schema = Schema.of("Trade", price=AttributeKind.FLOAT)
+        with pytest.raises(SchemaError):
+            Event.create("Trade", 1.0, schema=schema, price=1.0, bogus=3)
+
+
+class TestSchema:
+    def test_reserved_attribute_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("Trade", (Attribute("time"),))
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("Trade", (Attribute("price"), Attribute("price")))
+
+    def test_attribute_lookup(self):
+        schema = Schema.of("Trade", price=AttributeKind.FLOAT)
+        assert schema.attribute("price").kind is AttributeKind.FLOAT
+        assert schema.has_attribute("price")
+        assert not schema.has_attribute("volume")
+        with pytest.raises(SchemaError):
+            schema.attribute("volume")
+
+    def test_invalid_type_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("not a name")
+
+    def test_bool_is_not_int(self):
+        assert not AttributeKind.INT.validates(True)
+        assert AttributeKind.BOOL.validates(True)
+        assert AttributeKind.FLOAT.validates(3)
+        assert not AttributeKind.FLOAT.validates(True)

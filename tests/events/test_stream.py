@@ -1,0 +1,97 @@
+"""Unit tests for EventStream and time helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StreamError, WindowError
+from repro.events import Event, EventStream, gcd_of_intervals, merge_streams
+from repro.events.time import pane_bounds, pane_index
+
+
+class TestEventStream:
+    def test_append_preserves_order(self):
+        stream = EventStream()
+        stream.append(Event("A", 1.0))
+        stream.append(Event("B", 2.0))
+        assert len(stream) == 2
+        assert [e.event_type for e in stream] == ["A", "B"]
+
+    def test_out_of_order_append_rejected(self):
+        stream = EventStream([Event("A", 5.0)])
+        with pytest.raises(StreamError):
+            stream.append(Event("B", 4.0))
+
+    def test_same_timestamp_allowed(self):
+        stream = EventStream([Event("A", 5.0), Event("B", 5.0)])
+        assert len(stream) == 2
+
+    def test_slicing_returns_stream(self):
+        stream = EventStream([Event("A", 1.0), Event("B", 2.0), Event("C", 3.0)])
+        sliced = stream[1:]
+        assert isinstance(sliced, EventStream)
+        assert len(sliced) == 2
+        assert stream[0].event_type == "A"
+
+    def test_between_half_open(self):
+        events = [Event("A", float(t)) for t in range(5)]
+        stream = EventStream(events)
+        window = stream.between(1.0, 3.0)
+        assert [e.time for e in window] == [1.0, 2.0]
+
+    def test_of_type_and_filter(self):
+        stream = EventStream([Event("A", 1.0), Event("B", 2.0), Event("A", 3.0)])
+        assert len(stream.of_type("A")) == 2
+        assert len(stream.filter(lambda e: e.time > 1.5)) == 2
+
+    def test_statistics(self):
+        stream = EventStream([Event("A", 0.0), Event("B", 30.0), Event("A", 60.0)])
+        stats = stream.statistics()
+        assert stats.count == 3
+        assert stats.duration == 60.0
+        assert stats.events_per_second == pytest.approx(0.05)
+        assert stats.events_per_minute == pytest.approx(3.0)
+        assert stats.events_per_type == {"A": 2, "B": 1}
+
+    def test_statistics_empty(self):
+        stats = EventStream().statistics()
+        assert stats.count == 0
+        assert stats.events_per_second == 0.0
+
+    def test_bounds(self):
+        stream = EventStream([Event("A", 2.0), Event("B", 9.0)])
+        assert stream.start_time == 2.0
+        assert stream.end_time == 9.0
+        assert EventStream().start_time is None
+
+
+class TestMergeStreams:
+    def test_merge_orders_by_time(self):
+        left = EventStream([Event("A", 1.0), Event("A", 3.0)])
+        right = EventStream([Event("B", 2.0), Event("B", 4.0)])
+        merged = merge_streams(left, right)
+        assert [e.event_type for e in merged] == ["A", "B", "A", "B"]
+
+    def test_merge_empty(self):
+        assert len(merge_streams(EventStream(), EventStream())) == 0
+
+
+class TestTimeHelpers:
+    def test_gcd_of_intervals(self):
+        assert gcd_of_intervals([600.0, 900.0, 300.0]) == pytest.approx(300.0)
+        assert gcd_of_intervals([10.0]) == pytest.approx(10.0)
+        assert gcd_of_intervals([0.5, 0.75]) == pytest.approx(0.25)
+
+    def test_gcd_rejects_bad_input(self):
+        with pytest.raises(WindowError):
+            gcd_of_intervals([])
+        with pytest.raises(WindowError):
+            gcd_of_intervals([5.0, 0.0])
+
+    def test_pane_index_and_bounds(self):
+        assert pane_index(0.0, 5.0) == 0
+        assert pane_index(4.999, 5.0) == 0
+        assert pane_index(5.0, 5.0) == 1
+        assert pane_bounds(2, 5.0) == (10.0, 15.0)
+        with pytest.raises(WindowError):
+            pane_index(1.0, 0.0)

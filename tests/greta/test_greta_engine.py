@@ -1,0 +1,198 @@
+"""Unit tests for the GRETA engine (non-shared online trend aggregation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import BruteForceOracle
+from repro.errors import ExecutionError
+from repro.events import Event
+from repro.greta import GretaEngine
+from repro.query import (
+    Query,
+    Window,
+    avg,
+    count_events,
+    count_trends,
+    kleene,
+    max_of,
+    min_of,
+    parse_pattern,
+    same_attributes,
+    seq,
+    sum_of,
+)
+from repro.query.predicates import attr_less
+from tests.conftest import make_events
+
+
+def _eval(queries, events):
+    greta = GretaEngine().evaluate(queries, events)
+    oracle = BruteForceOracle().evaluate(queries, events)
+    return greta, oracle
+
+
+class TestPaperExample4:
+    def test_counts_of_b3(self, ab_query, cb_query, figure4_events):
+        """Example 4: count(b3, q1) = 2 and count(b3, q2) = 1."""
+        engine = GretaEngine()
+        engine.start([ab_query, cb_query])
+        for event in figure4_events[:4]:  # a1, a2, c1, b3
+            engine.process(event)
+        b3 = figure4_events[3]
+        graph_q1 = engine.graph_of(ab_query)
+        graph_q2 = engine.graph_of(cb_query)
+        assert graph_q1.state_of(b3).count == 2.0
+        assert graph_q2.state_of(b3).count == 1.0
+
+    def test_full_figure4_counts(self, ab_query, cb_query, figure4_events):
+        """Counts over the whole Figure 4 stream match exhaustive enumeration."""
+        greta, oracle = _eval([ab_query, cb_query], figure4_events)
+        assert greta == pytest.approx(oracle)
+        # With 2 A events, 1 C event and 4 B events every non-empty subset of
+        # B events forms a trend per A (or C) event: (2^4 - 1) * #starters.
+        assert greta[ab_query.name] == 30.0
+        assert greta[cb_query.name] == 15.0
+
+
+class TestAggregates:
+    def test_count_events_and_sum(self):
+        events = make_events("A B B", b={"v": 2.0})
+        q_count = Query.build(seq("A", kleene("B")), aggregate=count_events("B"), name="g_ce")
+        q_sum = Query.build(seq("A", kleene("B")), aggregate=sum_of("B", "v"), name="g_sum")
+        greta, oracle = _eval([q_count, q_sum], events)
+        assert greta == pytest.approx(oracle)
+        # Trends: (a,b1), (a,b2), (a,b1,b2) -> 4 B occurrences, sum 8.
+        assert greta["g_ce"] == 4.0
+        assert greta["g_sum"] == 8.0
+
+    def test_avg(self):
+        events = [
+            Event("A", 0.0),
+            Event("B", 1.0, {"v": 1.0}),
+            Event("B", 2.0, {"v": 3.0}),
+        ]
+        query = Query.build(seq("A", kleene("B")), aggregate=avg("B", "v"), name="g_avg")
+        greta, oracle = _eval([query], events)
+        assert greta["g_avg"] == pytest.approx(oracle["g_avg"])
+        # Occurrences: b1, b2, b1+b2 -> values 1, 3, 1, 3 -> avg 2.
+        assert greta["g_avg"] == pytest.approx(2.0)
+
+    def test_min_max(self):
+        events = [
+            Event("A", 0.0),
+            Event("B", 1.0, {"v": 5.0}),
+            Event("B", 2.0, {"v": 2.0}),
+        ]
+        q_min = Query.build(seq("A", kleene("B")), aggregate=min_of("B", "v"), name="g_min")
+        q_max = Query.build(seq("A", kleene("B")), aggregate=max_of("B", "v"), name="g_max")
+        greta, oracle = _eval([q_min, q_max], events)
+        assert greta == pytest.approx(oracle)
+        assert greta["g_min"] == 2.0
+        assert greta["g_max"] == 5.0
+
+    def test_empty_partition_yields_zero(self):
+        query = Query.build(seq("A", kleene("B")), name="g_empty")
+        assert GretaEngine().evaluate([query], []) == {"g_empty": 0.0}
+
+
+class TestPredicates:
+    def test_local_predicate_filters_events(self):
+        events = make_events("A B B")
+        events[2] = Event("B", 2.0, {"v": 100.0})
+        events[1] = Event("B", 1.0, {"v": 1.0})
+        query = Query.build(
+            seq("A", kleene("B")),
+            predicates=[attr_less("v", 10.0, event_type="B")],
+            name="g_local",
+        )
+        greta, oracle = _eval([query], events)
+        assert greta == pytest.approx(oracle)
+        assert greta["g_local"] == 1.0  # only the slow B forms a trend
+
+    def test_edge_predicate_restricts_adjacency(self):
+        events = [
+            Event("A", 0.0, {"d": 1}),
+            Event("B", 1.0, {"d": 1}),
+            Event("B", 2.0, {"d": 2}),
+        ]
+        query = Query.build(
+            seq("A", kleene("B")),
+            predicates=[same_attributes("d")],
+            name="g_edge",
+        )
+        greta, oracle = _eval([query], events)
+        assert greta == pytest.approx(oracle)
+        # Trends: (a, b1) only — b2 has a different driver.
+        assert greta["g_edge"] == 1.0
+
+    def test_negation_blocks_connections(self):
+        events = [
+            Event("A", 0.0),
+            Event("X", 1.0),
+            Event("B", 2.0),
+        ]
+        query = Query.build(parse_pattern("SEQ(A, NOT X, B+)"), name="g_neg")
+        greta, oracle = _eval([query], events)
+        assert greta == pytest.approx(oracle)
+        assert greta["g_neg"] == 0.0
+
+    def test_trailing_negation_cancels_trends(self):
+        events = [
+            Event("R", 0.0),
+            Event("T", 1.0),
+            Event("T", 2.0),
+            Event("P", 3.0),
+        ]
+        query = Query.build(parse_pattern("SEQ(R, T+, NOT P)"), name="g_trail")
+        greta, oracle = _eval([query], events)
+        assert greta == pytest.approx(oracle)
+        assert greta["g_trail"] == 0.0
+
+    def test_trailing_negation_partial(self):
+        events = [
+            Event("R", 0.0),
+            Event("T", 1.0),
+            Event("P", 2.0),
+            Event("T", 3.0),
+        ]
+        query = Query.build(parse_pattern("SEQ(R, T+, NOT P)"), name="g_trail2")
+        greta, oracle = _eval([query], events)
+        assert greta == pytest.approx(oracle)
+        # Only trends ending at the last T (after the pickup) survive:
+        # (r, t1, t2) and (r, t2).
+        assert greta["g_trail2"] == 2.0
+
+
+class TestNestedKleene:
+    def test_nested_kleene_counts(self):
+        events = make_events("A B A B")
+        query = Query.build(parse_pattern("(SEQ(A, B+))+"), name="g_nested")
+        greta, oracle = _eval([query], events)
+        assert greta == pytest.approx(oracle)
+
+
+class TestEngineLifecycle:
+    def test_process_before_start_raises(self):
+        engine = GretaEngine()
+        with pytest.raises(ExecutionError):
+            engine.process(Event("A", 1.0))
+        with pytest.raises(ExecutionError):
+            engine.results()
+        with pytest.raises(ExecutionError):
+            engine.start([])
+
+    def test_memory_and_operations_grow(self, ab_query, cb_query, figure4_events):
+        engine = GretaEngine()
+        engine.start([ab_query, cb_query])
+        baseline_memory = engine.memory_units()
+        for event in figure4_events:
+            engine.process(event)
+        assert engine.memory_units() > baseline_memory
+        assert engine.operations() > 0
+
+    def test_irrelevant_events_ignored(self, ab_query):
+        engine = GretaEngine()
+        engine.start([ab_query])
+        engine.process(Event("Z", 1.0))
+        assert engine.results() == {ab_query.name: 0.0}

@@ -1,0 +1,180 @@
+"""Tests for query-set choice (Theorems 4.1/4.2) and the sharing optimizers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.optimizer import (
+    AlwaysShareOptimizer,
+    DynamicSharingOptimizer,
+    NeverShareOptimizer,
+    StaticPlanOptimizer,
+    choose_query_set,
+    exhaustive_best_plan,
+)
+from repro.optimizer.query_set import plan_cost
+from repro.optimizer.statistics import BurstStatistics, QueryBurstProfile
+
+
+def _stats(profiles, *, burst_size=6, events_in_window=40, graphlet_size=8,
+           snapshots_propagated=1, graphlet_snapshots_needed=1) -> BurstStatistics:
+    return BurstStatistics(
+        event_type="B",
+        burst_size=burst_size,
+        events_in_window=events_in_window,
+        graphlet_size=graphlet_size,
+        snapshots_propagated=snapshots_propagated,
+        graphlet_snapshots_needed=graphlet_snapshots_needed,
+        profiles=tuple(profiles),
+        types_per_query=2,
+    )
+
+
+class TestChooseQuerySet:
+    def test_snapshot_free_queries_are_shared(self):
+        stats = _stats(
+            [
+                QueryBurstProfile("q1", introduces_snapshots=False),
+                QueryBurstProfile("q2", introduces_snapshots=False),
+                QueryBurstProfile("q3", introduces_snapshots=False),
+            ]
+        )
+        choice = choose_query_set(stats)
+        assert choice.shared == {"q1", "q2", "q3"}
+        assert not choice.non_shared
+
+    def test_expensive_snapshot_query_excluded(self):
+        stats = _stats(
+            [
+                QueryBurstProfile("q1", introduces_snapshots=False),
+                QueryBurstProfile("q2", introduces_snapshots=False),
+                QueryBurstProfile("q3", introduces_snapshots=True, expected_snapshots=50.0),
+            ]
+        )
+        choice = choose_query_set(stats)
+        assert "q3" in choice.non_shared
+        assert choice.shared == {"q1", "q2"}
+
+    def test_single_candidate_never_shares(self):
+        stats = _stats([QueryBurstProfile("q1", introduces_snapshots=False)])
+        choice = choose_query_set(stats)
+        assert not choice.shared
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        expected=st.lists(st.floats(min_value=0.0, max_value=60.0), min_size=1, max_size=6),
+        burst_size=st.integers(min_value=1, max_value=30),
+        events=st.integers(min_value=1, max_value=200),
+        graphlet=st.integers(min_value=1, max_value=64),
+    )
+    def test_pruned_choice_is_never_worse_than_exhaustive(self, expected, burst_size, events, graphlet):
+        """The pruning principles never lose optimality (Theorems 4.1, 4.2)."""
+        profiles = [
+            QueryBurstProfile(f"q{i}", introduces_snapshots=value > 0, expected_snapshots=value)
+            for i, value in enumerate(expected)
+        ]
+        stats = _stats(
+            profiles, burst_size=burst_size, events_in_window=events, graphlet_size=graphlet
+        )
+        pruned = choose_query_set(stats)
+        exhaustive = exhaustive_best_plan(stats)
+        assert pruned.total_cost == pytest.approx(exhaustive.total_cost)
+        assert plan_cost(stats, pruned.shared) == pytest.approx(pruned.total_cost)
+
+
+class TestDynamicOptimizer:
+    def test_positive_benefit_shares(self):
+        stats = _stats(
+            [
+                QueryBurstProfile("q1", introduces_snapshots=False, predecessor_types=2),
+                QueryBurstProfile("q2", introduces_snapshots=False, predecessor_types=2),
+            ],
+            burst_size=4, events_in_window=7, graphlet_size=4,
+        )
+        decision = DynamicSharingOptimizer().decide(stats)
+        assert decision.share
+        assert decision.shared_queries == {"q1", "q2"}
+        assert decision.estimated_benefit > 0
+
+    def test_negative_benefit_does_not_share(self):
+        # Equation 10's setting: maintaining two propagated snapshots costs
+        # more than re-processing the burst per query.
+        stats = _stats(
+            [
+                QueryBurstProfile("q1", introduces_snapshots=True, expected_snapshots=1.0,
+                                  predecessor_types=2),
+                QueryBurstProfile("q2", introduces_snapshots=True, expected_snapshots=1.0,
+                                  predecessor_types=2),
+            ],
+            burst_size=4, events_in_window=11, graphlet_size=8, snapshots_propagated=2,
+        )
+        decision = DynamicSharingOptimizer().decide(stats)
+        assert not decision.share
+
+    def test_single_query_never_shares(self):
+        stats = _stats([QueryBurstProfile("q1", False)])
+        decision = DynamicSharingOptimizer().decide(stats)
+        assert not decision.share
+        assert "fewer than two" in decision.reason
+
+    def test_statistics_track_merges_and_splits(self):
+        optimizer = DynamicSharingOptimizer()
+        share_stats = _stats(
+            [QueryBurstProfile("q1", False), QueryBurstProfile("q2", False)],
+            burst_size=4, events_in_window=7, graphlet_size=4,
+        )
+        split_stats = _stats(
+            [
+                QueryBurstProfile("q1", True, expected_snapshots=40.0),
+                QueryBurstProfile("q2", True, expected_snapshots=40.0),
+            ],
+            burst_size=2, events_in_window=5, graphlet_size=4,
+        )
+        assert optimizer.decide(share_stats).share
+        assert not optimizer.decide(split_stats).share
+        assert optimizer.decide(share_stats).share
+        stats = optimizer.statistics
+        assert stats.decisions == 3
+        assert stats.shared_bursts == 2
+        assert stats.splits == 1
+        assert stats.merges == 1
+        assert 0.0 < stats.shared_fraction < 1.0
+        assert stats.decision_seconds >= 0.0
+
+
+class TestStaticOptimizers:
+    def _two_query_stats(self):
+        return _stats(
+            [QueryBurstProfile("q1", False), QueryBurstProfile("q2", False)],
+            burst_size=4, events_in_window=7, graphlet_size=4,
+        )
+
+    def test_always_share(self):
+        decision = AlwaysShareOptimizer().decide(self._two_query_stats())
+        assert decision.share
+        assert decision.shared_queries == {"q1", "q2"}
+
+    def test_never_share(self):
+        decision = NeverShareOptimizer().decide(self._two_query_stats())
+        assert not decision.share
+
+    def test_static_plan_fixed_after_first_burst(self):
+        optimizer = StaticPlanOptimizer()
+        first = optimizer.decide(self._two_query_stats())
+        assert first.share
+        # Even a burst where sharing is clearly bad keeps the compile-time plan.
+        bad_stats = _stats(
+            [
+                QueryBurstProfile("q1", True, expected_snapshots=100.0),
+                QueryBurstProfile("q2", True, expected_snapshots=100.0),
+            ],
+            burst_size=2, events_in_window=5, graphlet_size=64, snapshots_propagated=5,
+        )
+        second = optimizer.decide(bad_stats)
+        assert second.share
+        assert "fixed" in second.reason
+
+    def test_always_share_single_candidate(self):
+        stats = _stats([QueryBurstProfile("q1", False)])
+        assert not AlwaysShareOptimizer().decide(stats).share

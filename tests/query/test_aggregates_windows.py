@@ -1,0 +1,96 @@
+"""Unit tests for aggregate functions and windows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PatternError, WindowError
+from repro.events import Event
+from repro.query import Window, avg, count_events, count_trends, max_of, min_of, sum_of
+from repro.query.aggregates import AggregateFunction, AggregateKind
+
+
+class TestAggregateFunctions:
+    def test_constructors_and_describe(self):
+        assert count_trends().describe() == "COUNT(*)"
+        assert count_events("B").describe() == "COUNT(B)"
+        assert sum_of("T", "duration").describe() == "SUM(T.duration)"
+        assert avg("T", "speed").describe() == "AVG(T.speed)"
+        assert min_of("T", "speed").describe() == "MIN(T.speed)"
+        assert max_of("T", "speed").describe() == "MAX(T.speed)"
+
+    def test_invalid_constructions(self):
+        with pytest.raises(PatternError):
+            AggregateFunction(AggregateKind.COUNT_TRENDS, event_type="B")
+        with pytest.raises(PatternError):
+            AggregateFunction(AggregateKind.COUNT_EVENTS)
+        with pytest.raises(PatternError):
+            AggregateFunction(AggregateKind.SUM, event_type="B")
+
+    def test_contributions(self):
+        travel = Event("T", 1.0, {"duration": 4.0})
+        other = Event("R", 1.0, {"duration": 9.0})
+        assert count_trends().contribution(travel) == 0.0
+        assert count_events("T").contribution(travel) == 1.0
+        assert count_events("T").contribution(other) == 0.0
+        assert sum_of("T", "duration").contribution(travel) == 4.0
+        assert sum_of("T", "duration").contribution(other) == 0.0
+        assert min_of("T", "duration").candidate_value(travel) == 4.0
+        assert min_of("T", "duration").candidate_value(other) is None
+        assert sum_of("T", "duration").candidate_value(travel) is None
+
+    def test_sharability_rules(self):
+        assert count_trends().sharable_with(count_trends())
+        assert not count_trends().sharable_with(count_events("B"))
+        assert sum_of("B", "x").sharable_with(avg("B", "x"))
+        assert sum_of("B", "x").sharable_with(count_events("B"))
+        assert avg("B", "x").sharable_with(avg("B", "y"))
+        assert min_of("B", "x").sharable_with(min_of("B", "x"))
+        assert not min_of("B", "x").sharable_with(min_of("B", "y"))
+        assert not min_of("B", "x").sharable_with(max_of("B", "x"))
+        assert not min_of("B", "x").sharable_with(sum_of("B", "x"))
+
+    def test_linearity(self):
+        assert AggregateKind.COUNT_TRENDS.is_linear
+        assert AggregateKind.AVG.is_linear
+        assert not AggregateKind.MIN.is_linear
+        assert not AggregateKind.MAX.is_linear
+
+
+class TestWindows:
+    def test_defaults_to_tumbling(self):
+        window = Window(600.0)
+        assert window.slide == 600.0
+        assert window.is_tumbling
+
+    def test_minutes_constructor(self):
+        window = Window.minutes(10, 5)
+        assert window.size == 600.0
+        assert window.slide == 300.0
+        assert not window.is_tumbling
+
+    def test_invalid_windows(self):
+        with pytest.raises(WindowError):
+            Window(0.0)
+        with pytest.raises(WindowError):
+            Window(10.0, -1.0)
+        with pytest.raises(WindowError):
+            Window(10.0, 20.0)
+
+    def test_instances_covering(self):
+        window = Window(10.0, 5.0)
+        assert list(window.instances_covering(12.0)) == [(5.0, 15.0), (10.0, 20.0)]
+        assert list(window.instances_covering(3.0)) == [(0.0, 10.0)]
+        with pytest.raises(WindowError):
+            list(window.instances_covering(-1.0))
+
+    def test_tumbling_instances(self):
+        window = Window(10.0)
+        assert list(window.instances_covering(25.0)) == [(20.0, 30.0)]
+
+    def test_boundary_belongs_to_next_window(self):
+        window = Window(10.0, 5.0)
+        instances = list(window.instances_covering(10.0))
+        assert (0.0, 10.0) not in instances
+        assert (5.0, 15.0) in instances
+        assert (10.0, 20.0) in instances

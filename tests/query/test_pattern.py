@@ -1,0 +1,91 @@
+"""Unit tests for the pattern AST."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PatternError
+from repro.query import Kleene, Negation, Sequence, kleene, parse_pattern, seq, typ
+
+
+class TestConstruction:
+    def test_typ_and_kleene(self):
+        pattern = kleene("B")
+        assert isinstance(pattern, Kleene)
+        assert pattern.event_types() == {"B"}
+        assert pattern.kleene_types() == {"B"}
+
+    def test_seq_flattens(self):
+        pattern = seq("A", seq("B", "C"), "D")
+        assert isinstance(pattern, Sequence)
+        assert len(pattern.parts) == 4
+        assert pattern.describe() == "SEQ(A, B, C, D)"
+
+    def test_seq_requires_two_parts(self):
+        with pytest.raises(PatternError):
+            seq("A")
+
+    def test_operator_sugar(self):
+        pattern = typ("A") >> kleene("B")
+        assert pattern.describe() == "SEQ(A, B+)"
+        negated = ~typ("P")
+        assert isinstance(negated, Negation)
+        disj = typ("A") | typ("B")
+        conj = typ("A") & typ("B")
+        assert disj.describe() == "(A OR B)"
+        assert conj.describe() == "(A AND B)"
+
+    def test_invalid_type_name(self):
+        with pytest.raises(PatternError):
+            typ("not valid")
+
+    def test_kleene_over_negation_rejected(self):
+        with pytest.raises(PatternError):
+            Kleene(Negation(typ("A")))
+
+
+class TestIntrospection:
+    def test_event_types_and_kleene_types(self):
+        pattern = seq("R", kleene("T"), ~typ("P"))
+        assert pattern.event_types() == {"R", "T", "P"}
+        assert pattern.kleene_types() == {"T"}
+        assert pattern.contains_kleene()
+        assert pattern.contains_negation()
+
+    def test_nested_kleene_types(self):
+        pattern = kleene(seq("A", kleene("B")))
+        assert pattern.kleene_types() == {"A", "B"}
+
+    def test_walk_visits_all_nodes(self):
+        pattern = seq("A", kleene("B"))
+        names = [type(node).__name__ for node in pattern.walk()]
+        assert names == ["Sequence", "EventTypePattern", "Kleene", "EventTypePattern"]
+
+
+class TestParser:
+    def test_parse_simple_seq(self):
+        pattern = parse_pattern("SEQ(A, B+)")
+        assert pattern.describe() == "SEQ(A, B+)"
+
+    def test_parse_nested_kleene(self):
+        pattern = parse_pattern("(SEQ(A, B+))+")
+        assert pattern.describe() == "(SEQ(A, B+))+"
+        assert pattern.kleene_types() == {"A", "B"}
+
+    def test_parse_negation_and_sequence(self):
+        pattern = parse_pattern("SEQ(Request, Travel+, NOT Pickup)")
+        assert pattern.describe() == "SEQ(Request, Travel+, NOT Pickup)"
+
+    def test_parse_disjunction(self):
+        pattern = parse_pattern("SEQ(A, B+) OR SEQ(C, D+)")
+        assert "OR" in pattern.describe()
+
+    def test_parse_errors(self):
+        from repro.errors import QueryParseError
+
+        with pytest.raises(QueryParseError):
+            parse_pattern("SEQ(A,")
+        with pytest.raises(QueryParseError):
+            parse_pattern("")
+        with pytest.raises(QueryParseError):
+            parse_pattern("SEQ(A, B) extra")

@@ -1,0 +1,138 @@
+"""Unit tests for local and edge predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PredicateError
+from repro.events import Event
+from repro.query import (
+    CompositePredicate,
+    attr_between,
+    attr_equals,
+    attr_greater,
+    attr_less,
+    same_attributes,
+)
+from repro.query.predicates import (
+    AdjacentComparison,
+    AttributeComparison,
+    AttributeInSet,
+    EdgeLambdaPredicate,
+    LambdaPredicate,
+)
+
+
+class TestLocalPredicates:
+    def test_comparisons(self):
+        event = Event("T", 1.0, {"speed": 8.0})
+        assert attr_less("speed", 10.0).evaluate(event)
+        assert not attr_greater("speed", 10.0).evaluate(event)
+        assert attr_equals("speed", 8.0).evaluate(event)
+        assert attr_between("speed", 5.0, 9.0).evaluate(event)
+        assert not attr_between("speed", 9.0, 12.0).evaluate(event)
+
+    def test_missing_attribute_raises(self):
+        event = Event("T", 1.0, {})
+        with pytest.raises(PredicateError):
+            attr_less("speed", 10.0).evaluate(event)
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(PredicateError):
+            AttributeComparison("speed", "<>", 1.0)
+
+    def test_scoped_predicate_applies_to(self):
+        predicate = attr_less("speed", 10.0, event_type="Travel")
+        travel = Event("Travel", 1.0, {"speed": 3.0})
+        pickup = Event("Pickup", 1.0, {"speed": 3.0})
+        assert predicate.applies_to(travel)
+        assert not predicate.applies_to(pickup)
+
+    def test_attribute_in_set(self):
+        predicate = AttributeInSet("kind", frozenset({"Pool", "XL"}))
+        assert predicate.evaluate(Event("R", 1.0, {"kind": "Pool"}))
+        assert not predicate.evaluate(Event("R", 1.0, {"kind": "Solo"}))
+
+    def test_signatures_equal_for_equal_constraints(self):
+        assert attr_less("speed", 10.0) == attr_less("speed", 10.0)
+        assert attr_less("speed", 10.0) != attr_less("speed", 11.0)
+        assert hash(attr_less("speed", 10.0)) == hash(attr_less("speed", 10.0))
+
+
+class TestEdgePredicates:
+    def test_same_attributes(self):
+        predicate = same_attributes("driver", "rider")
+        first = Event("R", 1.0, {"driver": 7, "rider": 3})
+        second = Event("T", 2.0, {"driver": 7, "rider": 3})
+        third = Event("T", 3.0, {"driver": 8, "rider": 3})
+        assert predicate.evaluate(first, second)
+        assert not predicate.evaluate(first, third)
+
+    def test_same_attributes_ignores_missing(self):
+        predicate = same_attributes("driver")
+        with_driver = Event("R", 1.0, {"driver": 7})
+        without = Event("X", 2.0, {})
+        assert predicate.evaluate(with_driver, without)
+
+    def test_same_attributes_requires_attribute_list(self):
+        with pytest.raises(PredicateError):
+            same_attributes()
+
+    def test_adjacent_comparison(self):
+        predicate = AdjacentComparison("price", "<", "price")
+        cheap = Event("T", 1.0, {"price": 5.0})
+        pricey = Event("T", 2.0, {"price": 9.0})
+        assert predicate.evaluate(cheap, pricey)
+        assert not predicate.evaluate(pricey, cheap)
+        assert not predicate.evaluate(cheap, Event("T", 3.0, {}))
+
+
+class TestCompositePredicate:
+    def test_accepts_event_and_edge(self):
+        composite = CompositePredicate(
+            [attr_less("speed", 10.0, event_type="T"), same_attributes("driver")]
+        )
+        slow = Event("T", 1.0, {"speed": 5.0, "driver": 1})
+        fast = Event("T", 2.0, {"speed": 20.0, "driver": 1})
+        other_driver = Event("T", 3.0, {"speed": 5.0, "driver": 2})
+        assert composite.accepts_event(slow)
+        assert not composite.accepts_event(fast)
+        assert composite.accepts_edge(slow, Event("T", 4.0, {"speed": 1.0, "driver": 1}))
+        assert not composite.accepts_edge(slow, other_driver)
+
+    def test_scoped_edge_predicate_applies_by_current_type(self):
+        composite = CompositePredicate(
+            [EdgeLambdaPredicate("never", lambda a, b: False, event_type="B")]
+        )
+        a_event = Event("A", 1.0)
+        b_event = Event("B", 2.0)
+        assert composite.accepts_edge(a_event, a_event)  # not scoped to A
+        assert not composite.accepts_edge(a_event, b_event)
+
+    def test_signature_is_order_insensitive(self):
+        one = CompositePredicate([attr_less("x", 1), same_attributes("d")])
+        two = CompositePredicate([same_attributes("d"), attr_less("x", 1)])
+        assert one.signature() == two.signature()
+
+    def test_signature_for_type(self):
+        composite = CompositePredicate(
+            [attr_less("speed", 10.0, event_type="T"), attr_less("price", 5.0, event_type="R")]
+        )
+        t_signature = composite.signature_for_type("T")
+        r_signature = composite.signature_for_type("R")
+        assert t_signature != r_signature
+
+    def test_empty_composite(self):
+        composite = CompositePredicate()
+        assert composite.is_empty()
+        assert composite.accepts_event(Event("A", 1.0))
+        assert len(composite) == 0
+
+    def test_rejects_non_predicate(self):
+        with pytest.raises(PredicateError):
+            CompositePredicate([object()])  # type: ignore[list-item]
+
+    def test_lambda_predicate_label_identity(self):
+        one = LambdaPredicate("slow", lambda e: e["speed"] < 10)
+        two = LambdaPredicate("slow", lambda e: e["speed"] < 99)
+        assert one == two  # identity is the label, by design

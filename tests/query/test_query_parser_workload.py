@@ -1,0 +1,156 @@
+"""Unit tests for Query, the textual parser, and Workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryParseError, WorkloadError
+from repro.events import Event
+from repro.query import (
+    Query,
+    Window,
+    Workload,
+    avg,
+    count_trends,
+    kleene,
+    parse_query,
+    same_attributes,
+    seq,
+)
+from repro.query.aggregates import AggregateKind
+from repro.query.predicates import attr_less
+
+
+class TestQuery:
+    def test_build_and_describe(self):
+        query = Query.build(
+            seq("Request", kleene("Travel")),
+            aggregate=count_trends(),
+            predicates=[same_attributes("driver", "rider")],
+            group_by=["district"],
+            window=Window.minutes(30),
+            name="trips",
+        )
+        assert query.name == "trips"
+        assert query.event_types() == {"Request", "Travel"}
+        assert query.kleene_types() == {"Travel"}
+        described = query.describe()
+        assert "COUNT(*)" in described
+        assert "GROUP BY district" in described
+
+    def test_auto_names_are_unique(self):
+        one = Query.build(seq("A", kleene("B")))
+        two = Query.build(seq("A", kleene("B")))
+        assert one.name != two.name
+        assert one != two
+
+    def test_group_key(self):
+        query = Query.build(seq("A", kleene("B")), group_by=["district", "kind"])
+        event = Event("A", 1.0, {"district": 7, "kind": "Pool"})
+        assert query.group_key(event) == (7, "Pool")
+        assert query.group_key(Event("A", 1.0)) == (None, None)
+
+    def test_accepts_event_and_edge(self):
+        query = Query.build(
+            seq("A", kleene("B")),
+            predicates=[attr_less("v", 10.0, event_type="B"), same_attributes("d")],
+        )
+        assert query.accepts_event(Event("B", 1.0, {"v": 5.0, "d": 1}))
+        assert not query.accepts_event(Event("B", 1.0, {"v": 50.0, "d": 1}))
+        assert query.accepts_edge(Event("A", 1.0, {"d": 1}), Event("B", 2.0, {"v": 1.0, "d": 1}))
+        assert not query.accepts_edge(Event("A", 1.0, {"d": 1}), Event("B", 2.0, {"v": 1.0, "d": 2}))
+
+
+class TestParser:
+    def test_parse_full_query(self):
+        query = parse_query(
+            """
+            RETURN COUNT(*)
+            PATTERN SEQ(Request, Travel+, NOT Pickup)
+            WHERE [driver, rider] AND Travel.speed < 10
+            GROUP BY district
+            WITHIN 1800 SLIDE 300
+            """,
+            name="q1",
+        )
+        assert query.name == "q1"
+        assert query.aggregate.kind is AggregateKind.COUNT_TRENDS
+        assert query.pattern.describe() == "SEQ(Request, Travel+, NOT Pickup)"
+        assert query.group_by == ("district",)
+        assert query.window.size == 1800.0
+        assert query.window.slide == 300.0
+        assert not query.predicates.is_empty()
+
+    def test_parse_aggregates(self):
+        for text, kind in [
+            ("COUNT(*)", AggregateKind.COUNT_TRENDS),
+            ("COUNT(Travel)", AggregateKind.COUNT_EVENTS),
+            ("SUM(Travel.duration)", AggregateKind.SUM),
+            ("AVG(Travel.speed)", AggregateKind.AVG),
+            ("MIN(Trade.price)", AggregateKind.MIN),
+            ("MAX(Trade.price)", AggregateKind.MAX),
+        ]:
+            query = parse_query(f"RETURN {text} PATTERN SEQ(A, Travel+) WITHIN 600")
+            assert query.aggregate.kind is kind
+
+    def test_parse_defaults_slide_to_size(self):
+        query = parse_query("RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 600")
+        assert query.window.is_tumbling
+
+    def test_parse_where_value_types(self):
+        query = parse_query(
+            "RETURN COUNT(*) PATTERN SEQ(A, B+) "
+            "WHERE B.kind == 'Pool' AND B.count >= 2 AND B.ratio < 0.5 WITHIN 60"
+        )
+        assert len(query.predicates.local_predicates) == 3
+
+    def test_parse_errors(self):
+        with pytest.raises(QueryParseError):
+            parse_query("PATTERN SEQ(A, B+) WITHIN 600")
+        with pytest.raises(QueryParseError):
+            parse_query("RETURN COUNT(*) PATTERN SEQ(A, B+)")
+        with pytest.raises(QueryParseError):
+            parse_query("RETURN MEDIAN(A.x) PATTERN SEQ(A, B+) WITHIN 600")
+        with pytest.raises(QueryParseError):
+            parse_query("RETURN SUM(x) PATTERN SEQ(A, B+) WITHIN 600")
+        with pytest.raises(QueryParseError):
+            parse_query("RETURN COUNT(*) PATTERN SEQ(A, B+) WHERE ??? WITHIN 600")
+
+
+class TestWorkload:
+    def test_add_and_lookup(self):
+        q1 = Query.build(seq("A", kleene("B")), name="w_q1")
+        q2 = Query.build(seq("C", kleene("B")), name="w_q2")
+        workload = Workload([q1, q2], name="demo")
+        assert len(workload) == 2
+        assert workload["w_q1"] is q1
+        assert "w_q2" in workload
+        assert q1 in workload
+
+    def test_duplicate_names_rejected(self):
+        q1 = Query.build(seq("A", kleene("B")), name="dup")
+        q2 = Query.build(seq("C", kleene("B")), name="dup")
+        with pytest.raises(WorkloadError):
+            Workload([q1, q2])
+
+    def test_missing_query_lookup(self):
+        workload = Workload([Query.build(seq("A", kleene("B")), name="only")])
+        with pytest.raises(WorkloadError):
+            workload["nope"]
+
+    def test_kleene_type_analysis(self):
+        q1 = Query.build(seq("A", kleene("B")), name="k_q1")
+        q2 = Query.build(seq("C", kleene("B")), name="k_q2")
+        q3 = Query.build(seq("C", kleene("D")), name="k_q3")
+        workload = Workload([q1, q2, q3])
+        assert workload.kleene_types() == {"B", "D"}
+        assert workload.shareable_kleene_types() == {"B"}
+        assert set(workload.queries_with_kleene("B")) == {q1, q2}
+
+    def test_validate_empty(self):
+        with pytest.raises(WorkloadError):
+            Workload().validate()
+
+    def test_aggregate_avg_shares_with_sum(self):
+        q1 = Query.build(seq("A", kleene("B")), aggregate=avg("B", "x"), name="avg_q")
+        assert q1.aggregate.kind is AggregateKind.AVG

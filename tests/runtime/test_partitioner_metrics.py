@@ -1,0 +1,87 @@
+"""Unit tests for stream partitioning and execution metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import Event
+from repro.query import Query, Window, kleene, seq
+from repro.runtime import ExecutionMetrics, GroupWindowPartitioner, Stopwatch
+from repro.runtime.partitioner import PartitionSpec
+
+
+class TestPartitioner:
+    def test_group_and_window_routing(self):
+        q = Query.build(
+            seq("A", kleene("B")), group_by=["g"], window=Window(10.0, 5.0), name="pt_q1"
+        )
+        partitioner = GroupWindowPartitioner.for_queries([q])
+        partitioner.add_all(
+            [
+                Event("A", 1.0, {"g": 1}),
+                Event("B", 2.0, {"g": 1}),
+                Event("B", 2.5, {"g": 2}),
+                Event("B", 7.0, {"g": 1}),
+            ]
+        )
+        partitions = dict(partitioner.partitions())
+        # Event at t=7 with a 10s/5s sliding window belongs to instances 0 and 5.
+        assert ((1,), 0.0) in partitions
+        assert ((1,), 5.0) in partitions
+        assert ((2,), 0.0) in partitions
+        assert len(partitions[((1,), 0.0)]) == 3
+        assert len(partitions[((1,), 5.0)]) == 1
+        assert partitioner.routed_event_count() == 5
+        assert partitioner.partition_count() == 3
+
+    def test_no_group_by(self):
+        spec = PartitionSpec(group_by=(), window=Window(10.0))
+        partitioner = GroupWindowPartitioner(spec)
+        partitioner.add(Event("A", 3.0, {"g": 9}))
+        ((key, start), events), = partitioner.partitions()
+        assert key == ()
+        assert start == 0.0
+        assert len(events) == 1
+
+    def test_partitions_sorted_by_window_start(self):
+        spec = PartitionSpec(group_by=(), window=Window(10.0))
+        partitioner = GroupWindowPartitioner(spec)
+        partitioner.add(Event("A", 25.0))
+        partitioner.add(Event("A", 3.0))
+        starts = [start for (_, start), _ in partitioner.partitions()]
+        assert starts == sorted(starts)
+
+
+class TestMetrics:
+    def test_record_and_derive(self):
+        metrics = ExecutionMetrics()
+        metrics.record_partition(seconds=0.5, events=100, memory_units=40, operations=10)
+        metrics.record_partition(seconds=1.5, events=300, memory_units=25, operations=20)
+        assert metrics.partitions == 2
+        assert metrics.total_seconds == pytest.approx(2.0)
+        assert metrics.average_latency == pytest.approx(1.0)
+        assert metrics.max_latency == pytest.approx(1.5)
+        assert metrics.throughput == pytest.approx(200.0)
+        assert metrics.peak_memory_units == 40
+        assert metrics.operations == 30
+
+    def test_empty_metrics(self):
+        metrics = ExecutionMetrics()
+        assert metrics.average_latency == 0.0
+        assert metrics.throughput == 0.0
+        assert metrics.max_latency == 0.0
+
+    def test_merge(self):
+        first = ExecutionMetrics()
+        first.record_partition(1.0, 10, 5, 1)
+        second = ExecutionMetrics()
+        second.record_partition(2.0, 20, 50, 2)
+        first.merge(second)
+        assert first.partitions == 2
+        assert first.peak_memory_units == 50
+        assert first.events_processed == 30
+
+    def test_stopwatch(self):
+        with Stopwatch() as watch:
+            sum(range(1000))
+        assert watch.elapsed >= 0.0

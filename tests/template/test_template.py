@@ -1,0 +1,99 @@
+"""Unit tests for query template compilation (Section 3.1, Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TemplateError
+from repro.query import kleene, parse_pattern, seq, typ
+from repro.template import compile_pattern
+
+
+class TestSimplePatterns:
+    def test_single_type(self):
+        template = compile_pattern(typ("A"))
+        assert template.event_types == {"A"}
+        assert template.start_types == {"A"}
+        assert template.end_types == {"A"}
+        assert template.edges == frozenset()
+
+    def test_kleene_single_type(self):
+        template = compile_pattern(kleene("B"))
+        assert template.edges == {("B", "B")}
+        assert template.has_self_loop("B")
+        assert template.kleene_types == {"B"}
+
+    def test_figure3a_seq_a_bplus(self):
+        """Figure 3(a): SEQ(A, B+) — pt(B) = {A, B}, start A, end B."""
+        template = compile_pattern(seq("A", kleene("B")))
+        assert template.predecessor_types("B") == {"A", "B"}
+        assert template.predecessor_types("A") == frozenset()
+        assert template.start_types == {"A"}
+        assert template.end_types == {"B"}
+
+    def test_three_step_sequence(self):
+        template = compile_pattern(seq("A", kleene("B"), "C"))
+        assert template.predecessor_types("B") == {"A", "B"}
+        assert template.predecessor_types("C") == {"B"}
+        assert template.start_types == {"A"}
+        assert template.end_types == {"C"}
+        assert template.successor_types("B") == {"B", "C"}
+
+    def test_two_kleene_parts(self):
+        template = compile_pattern(seq(kleene("A"), kleene("B")))
+        assert template.predecessor_types("A") == {"A"}
+        assert template.predecessor_types("B") == {"A", "B"}
+        assert template.start_types == {"A"}
+        assert template.end_types == {"B"}
+
+
+class TestNestedKleene:
+    def test_figure8_nested_kleene(self):
+        """Figure 8 / Example 10: (SEQ(A, B+))+ adds the loop-back B -> A."""
+        template = compile_pattern(kleene(seq("A", kleene("B"))))
+        assert template.predecessor_types("B") == {"A", "B"}
+        assert template.predecessor_types("A") == {"B"}
+        assert template.start_types == {"A"}
+        assert template.end_types == {"B"}
+        assert template.kleene_types == {"A", "B"}
+
+
+class TestNegation:
+    def test_negation_in_middle(self):
+        template = compile_pattern(parse_pattern("SEQ(A, NOT X, B+)"))
+        assert template.event_types == {"A", "B"}
+        assert template.negated_types == {"X"}
+        constraint = template.negations[0]
+        assert constraint.before_types == {"A"}
+        assert constraint.negated_type == "X"
+        assert constraint.after_types == {"B"}
+        # The positive edge A -> B still exists.
+        assert ("A", "B") in template.edges
+
+    def test_trailing_negation(self):
+        template = compile_pattern(parse_pattern("SEQ(R, T+, NOT P)"))
+        assert template.end_types == {"T"}
+        trailing = [c for c in template.negations if not c.after_types]
+        assert len(trailing) == 1
+        assert trailing[0].negated_type == "P"
+        assert trailing[0].before_types == {"T"}
+
+    def test_negation_of_complex_pattern_rejected(self):
+        with pytest.raises(TemplateError):
+            compile_pattern(parse_pattern("SEQ(A, NOT SEQ(X, Y), B)"))
+
+    def test_bare_negation_rejected(self):
+        with pytest.raises(TemplateError):
+            compile_pattern(parse_pattern("NOT A"))
+
+
+class TestUnsupported:
+    def test_disjunction_rejected(self):
+        with pytest.raises(TemplateError):
+            compile_pattern(parse_pattern("SEQ(A, B+) OR SEQ(C, D+)"))
+
+    def test_relevance_checks(self):
+        template = compile_pattern(parse_pattern("SEQ(A, NOT X, B+)"))
+        assert template.is_relevant("A")
+        assert template.is_relevant("X")
+        assert not template.is_relevant("Z")

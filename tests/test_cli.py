@@ -1,0 +1,29 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_demo_command_runs(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "HAMLET (shared)" in output
+        assert "'q1': 30" in output
+
+    def test_table1_figure_runs(self, capsys):
+        assert main(["figures", "table1"]) == 0
+        output = capsys.readouterr().out
+        assert "hamlet" in output
+        assert "dynamic" in output
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figures", "fig99"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
