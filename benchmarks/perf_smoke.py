@@ -1,0 +1,225 @@
+"""Perf smoke microbenchmark — the repo's recorded performance trajectory.
+
+Runs a fixed-seed, fig9-style workload (shared ``Travel+`` Kleene sub-pattern
+over the ridesharing stream) through the three hot paths this library cares
+about:
+
+* ``hamlet_shared`` — HAMLET with the dynamic sharing optimizer (the paper's
+  headline configuration; symbolic snapshot propagation),
+* ``hamlet_non_shared`` — HAMLET forced non-shared (exercises the Equation 2
+  predecessor-total path),
+* ``greta`` — the per-query GRETA baseline.
+
+Each scenario is repeated and the best wall-clock time is kept; throughput is
+``stream events / best wall seconds``.  Results are merged into a JSON file
+(``BENCH_PR1.json`` by default) under a caller-chosen label so before/after
+numbers of a PR live side by side::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py --label before
+    ... apply the optimization ...
+    PYTHONPATH=src python benchmarks/perf_smoke.py --label after
+
+Besides wall-clock numbers the harness records the engines' *abstract
+operation counts*, which are deterministic for a fixed seed.  ``--gate``
+compares the current operation counts against the recorded ``after`` label
+and fails on regression — a machine-independent, non-flaky threshold gate
+suitable for CI (wall-clock numbers are recorded but never gated).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(SRC))
+
+from repro.core.engine import HamletEngine
+from repro.datasets.ridesharing import RidesharingGenerator
+from repro.greta.engine import GretaEngine
+from repro.optimizer.decisions import DynamicSharingOptimizer
+from repro.optimizer.static import NeverShareOptimizer
+from repro.query.windows import Window
+from repro.runtime.executor import WorkloadExecutor
+from repro.bench.workloads import kleene_sharing_workload
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR1.json"
+
+#: Fixed workload shape (fig9-style: shared Travel+ over ridesharing).
+NUM_QUERIES = 10
+EVENTS_PER_MINUTE = 2400.0
+DURATION_SECONDS = 120.0
+SEED = 7
+DISTRICTS = 5
+WINDOW = Window.minutes(1)
+
+#: Permitted relative growth of deterministic operation counts before the
+#: ``--gate`` mode fails (guards against accidental algorithmic regressions
+#: while tolerating benign accounting tweaks).
+GATE_TOLERANCE = 0.05
+
+
+def build_input():
+    """The fixed-seed workload and stream shared by every scenario."""
+    workload = kleene_sharing_workload(
+        NUM_QUERIES, kleene_type="Travel", window=WINDOW, name="smoke"
+    )
+    generator = RidesharingGenerator(
+        events_per_minute=EVENTS_PER_MINUTE, seed=SEED, districts=DISTRICTS
+    )
+    events = list(generator.generate(DURATION_SECONDS))
+    return workload, events
+
+
+def scenarios() -> dict[str, Callable]:
+    return {
+        "hamlet_shared": lambda: HamletEngine(DynamicSharingOptimizer()),
+        "hamlet_non_shared": lambda: HamletEngine(NeverShareOptimizer()),
+        "greta": GretaEngine,
+    }
+
+
+def run_scenario(name: str, factory: Callable, workload, events, repeats: int) -> dict:
+    best_seconds = float("inf")
+    report = None
+    for _ in range(max(1, repeats)):
+        executor = WorkloadExecutor(workload, factory)
+        start = time.perf_counter()
+        report = executor.run(events)
+        elapsed = time.perf_counter() - start
+        best_seconds = min(best_seconds, elapsed)
+    assert report is not None
+    checksum = sum(report.totals.values())
+    result = {
+        "wall_seconds": round(best_seconds, 4),
+        "events_per_second": round(len(events) / best_seconds, 1),
+        "operations": report.metrics.operations,
+        "peak_memory_units": report.metrics.peak_memory_units,
+        "partitions": report.metrics.partitions,
+        "result_checksum": checksum,
+    }
+    print(
+        f"  {name:<20} {result['events_per_second']:>10.0f} ev/s  "
+        f"{best_seconds:8.3f} s  ops={result['operations']:>10}  "
+        f"checksum={checksum:g}"
+    )
+    return result
+
+
+def load_results(path: Path) -> dict:
+    if path.exists():
+        return json.loads(path.read_text())
+    return {
+        "benchmark": "perf_smoke",
+        "workload": {
+            "style": "fig9-shared-kleene",
+            "num_queries": NUM_QUERIES,
+            "events_per_minute": EVENTS_PER_MINUTE,
+            "duration_seconds": DURATION_SECONDS,
+            "seed": SEED,
+            "districts": DISTRICTS,
+            "window_seconds": WINDOW.size,
+        },
+        "runs": {},
+    }
+
+
+def attach_speedups(results: dict) -> None:
+    runs = results["runs"]
+    if "before" not in runs or "after" not in runs:
+        return
+    speedups = {}
+    for name, after in runs["after"].items():
+        before = runs["before"].get(name)
+        if before and before.get("wall_seconds"):
+            speedups[name] = round(
+                before["wall_seconds"] / after["wall_seconds"], 2
+            )
+    results["speedup_after_over_before"] = speedups
+
+
+def gate(results: dict, current: dict) -> int:
+    """Compare deterministic operation counts against the recorded baseline."""
+    baseline = results["runs"].get("after") or results["runs"].get("before")
+    if baseline is None:
+        print("gate: no recorded baseline label; nothing to compare against")
+        return 1
+    failures = []
+    for name, row in current.items():
+        recorded = baseline.get(name)
+        if recorded is None:
+            continue
+        # Checksums are sums of huge floats; hash randomization permutes the
+        # frozenset iteration (and thus summation) order across processes,
+        # so the last few bits wobble.  Compare with a relative tolerance.
+        if not math.isclose(
+            row["result_checksum"], recorded["result_checksum"], rel_tol=1e-9
+        ):
+            failures.append(
+                f"{name}: result checksum changed "
+                f"({recorded['result_checksum']} -> {row['result_checksum']})"
+            )
+        ceiling = recorded["operations"] * (1.0 + GATE_TOLERANCE)
+        if row["operations"] > ceiling:
+            failures.append(
+                f"{name}: operations regressed {recorded['operations']} -> "
+                f"{row['operations']} (> {GATE_TOLERANCE:.0%} tolerance)"
+            )
+    if failures:
+        for failure in failures:
+            print(f"gate FAILED: {failure}")
+        return 1
+    print("gate OK: operation counts and result checksums within tolerance")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="after", help="label to record under (before/after/...)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUTPUT, help="JSON results file")
+    parser.add_argument("--repeats", type=int, default=3, help="repetitions per scenario")
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="do not record; fail if deterministic op counts regressed vs the file",
+    )
+    args = parser.parse_args(argv)
+
+    workload, events = build_input()
+    # The gate only reads deterministic op counts and checksums, which are
+    # identical across repeats; one execution per scenario suffices.
+    repeats = 1 if args.gate else args.repeats
+    print(
+        f"perf_smoke: {len(events)} events, {NUM_QUERIES} queries, "
+        f"label={args.label!r}, repeats={repeats}"
+    )
+    current = {
+        name: run_scenario(name, factory, workload, events, repeats)
+        for name, factory in scenarios().items()
+    }
+
+    results = load_results(args.out)
+    if args.gate:
+        return gate(results, current)
+
+    results["runs"][args.label] = current
+    results.setdefault("environment", {})[args.label] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    attach_speedups(results)
+    args.out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"recorded label {args.label!r} in {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 from repro.core.expression import SnapshotExpression
 from repro.core.graphlet import Graphlet, HamletNode
 from repro.core.hamlet_graph import HamletGraph
+from repro.core.kernels import MutableAggregate
 from repro.core.snapshot import SnapshotLevel, SnapshotTable
 from repro.errors import ExecutionError, SharingError
 from repro.events.event import Event, EventType
@@ -60,10 +61,26 @@ class HamletEngine(TrendAggregationEngine):
 
     name = "hamlet"
 
-    def __init__(self, optimizer: Optional[SharingOptimizer] = None) -> None:
+    def __init__(
+        self,
+        optimizer: Optional[SharingOptimizer] = None,
+        *,
+        fast_predecessor_totals: bool = True,
+    ) -> None:
+        """Create the engine.
+
+        Args:
+            optimizer: Sharing optimizer (default: dynamic).
+            fast_predecessor_totals: Enable the O(1) Equation 2/3 fast paths
+                that answer predecessor and end-type sums from the per-type
+                running totals.  Disabling forces the predecessor-scan slow
+                path everywhere — only useful for equivalence testing and
+                debugging (see docs/DESIGN.md).
+        """
         #: The sharing optimizer persists across partitions so that its
         #: decision statistics cover a whole benchmark run.
         self.optimizer = optimizer if optimizer is not None else DynamicSharingOptimizer()
+        self.fast_predecessor_totals = fast_predecessor_totals
         self._queries: tuple[Query, ...] = ()
         self._templates: dict[str, QueryTemplate] = {}
         self._merged: Optional[MergedTemplate] = None
@@ -72,6 +89,10 @@ class HamletEngine(TrendAggregationEngine):
         self._graph: Optional[HamletGraph] = None
         self._sharing_info: dict[EventType, _TypeSharingInfo] = {}
         self._relevant_types: set[EventType] = set()
+        #: Equation 2 fast-path table: ``(query name, event type) -> negated
+        #: types to re-check at runtime``.  A missing key means the pair is
+        #: ineligible (edge predicates apply) and must use the node scan.
+        self._fast_path_guards: dict[tuple[str, EventType], tuple[EventType, ...]] = {}
         self._burst_type: Optional[EventType] = None
         self._burst: list[Event] = []
         self._operations = 0
@@ -106,6 +127,7 @@ class HamletEngine(TrendAggregationEngine):
             }
             self._measures = measures_for_queries(self._queries)
             self._sharing_info = self._analyze_sharing()
+            self._fast_path_guards = self._compile_fast_paths()
             self._relevant_types = set()
             for template in self._templates.values():
                 self._relevant_types |= set(template.event_types) | set(template.negated_types)
@@ -142,7 +164,15 @@ class HamletEngine(TrendAggregationEngine):
         results: dict[str, float] = {}
         for query in self._queries:
             template = self._templates[query.name]
-            total = self._graph.end_total(query, template, self._table)
+            if not self.fast_predecessor_totals or any(
+                not constraint.after_types for constraint in template.negations
+            ):
+                # Trailing NOT needs the per-node validity filter.
+                total = self._graph.end_total(query, template, self._table)
+            else:
+                total = self._graph.end_total_from_accumulators(
+                    query, template, self._table
+                )
             results[query.name] = result_from_vector(query, total, self._measures)
         return results
 
@@ -199,10 +229,7 @@ class HamletEngine(TrendAggregationEngine):
             distinct_signatures = set(signatures.values())
             for query in sharing_queries:
                 template = self._templates[query.name]
-                has_edge_predicates = any(
-                    predicate.event_type in (None, event_type)
-                    for predicate in query.predicates.edge_predicates
-                )
+                has_edge_predicates = query.predicates.has_edge_predicates_for(event_type)
                 negation_risk = any(
                     event_type in constraint.after_types for constraint in template.negations
                 )
@@ -212,6 +239,36 @@ class HamletEngine(TrendAggregationEngine):
                 )
             info[event_type] = type_info
         return info
+
+    def _compile_fast_paths(self) -> dict[tuple[str, EventType], tuple[EventType, ...]]:
+        """Which ``(query, event type)`` pairs may use the O(1) Equation 2 path.
+
+        A pair is eligible when no edge predicate of the query applies to
+        events of the type — then every stored predecessor is accepted and
+        the per-type running totals equal the predecessor scan.  Negation
+        constraints whose after-set contains the type are recorded as runtime
+        guards: the fast path applies only while no matching negative event
+        has been stored.
+        """
+        table: dict[tuple[str, EventType], tuple[EventType, ...]] = {}
+        if not self.fast_predecessor_totals:
+            return table
+        for query in self._queries:
+            template = self._templates[query.name]
+            for event_type in template.event_types:
+                if query.predicates.has_edge_predicates_for(event_type):
+                    continue
+                guards = tuple(
+                    sorted(
+                        {
+                            constraint.negated_type
+                            for constraint in template.negations
+                            if constraint.after_types and event_type in constraint.after_types
+                        }
+                    )
+                )
+                table[(query.name, event_type)] = guards
+        return table
 
     def _is_positive_type(self, event_type: EventType) -> bool:
         return any(
@@ -278,7 +335,7 @@ class HamletEngine(TrendAggregationEngine):
         # to touch per new event, i.e. the stored events of the burst type's
         # predecessor types (plus the burst itself), not the whole window.
         predecessor_types: set[EventType] = {event_type}
-        for query_name in self._sharing_info.get(event_type, _TypeSharingInfo(event_type, frozenset())).candidates:
+        for query_name in info.candidates:
             predecessor_types |= set(self._templates[query_name].predecessor_types(event_type))
         stored_predecessors = sum(
             len(self._graph.nodes_of_type(predecessor)) for predecessor in predecessor_types
@@ -373,21 +430,16 @@ class HamletEngine(TrendAggregationEngine):
         if active is not None and active.shared and active.query_names == shared_names:
             return active
         # Merge: consolidate each query's current aggregate into a new
-        # graphlet-level snapshot (Definition 8 / Figure 6(f)).
-        predecessor_types: set[EventType] = set()
-        for query in shared_queries:
-            predecessor_types |= set(
-                self._templates[query.name].predecessor_types(event_type)
-            )
-        self._graph.fold_accumulators(predecessor_types, self._table)
+        # graphlet-level snapshot (Definition 8 / Figure 6(f)).  Pending
+        # symbolic contributions are folded by predecessor_total_into.
         values: dict[str, AggregateVector] = {}
         for query in shared_queries:
             template = self._templates[query.name]
-            start = 1.0 if template.is_start(event_type) else 0.0
-            base = AggregateVector(start, (0.0,) * len(self._measures))
-            values[query.name] = base.add(
-                self._graph.predecessor_total(query, template, event_type, self._table)
-            )
+            total = MutableAggregate(len(self._measures))
+            if template.is_start(event_type):
+                total.count = 1.0
+            self._graph.predecessor_total_into(total, query, template, event_type, self._table)
+            values[query.name] = total.freeze()
             self._operations += 1
         snapshot = self._table.create(SnapshotLevel.GRAPHLET, event_type, values)
         graphlet = Graphlet(
@@ -413,16 +465,20 @@ class HamletEngine(TrendAggregationEngine):
             # No sharing query matches the event; nothing to add for them.
             return 0
         if fast:
-            base = SnapshotExpression.identity(
-                graphlet.input_snapshot_id, len(self._measures)
-            )
-            expression = base.add(graphlet.running_expression)
-            contributions = tuple(measure.contribution(event) for measure in self._measures)
-            expression = expression.with_event_contribution(contributions)
+            # Mutable kernel: copy the graphlet's running sum once, extend it
+            # in place, and freeze a single immutable expression for the node.
+            builder = graphlet.running_builder.copy()
+            builder.add_identity(graphlet.input_snapshot_id)
+            if self._measures:
+                contributions = tuple(
+                    measure.contribution(event) for measure in self._measures
+                )
+                builder.fold_contribution(contributions)
+            expression = builder.freeze()
             self._operations += expression.size()
             node.expression = expression
             node.expression_queries = shared_names
-            graphlet.running_expression = graphlet.running_expression.add(expression)
+            graphlet.running_builder.add_builder(builder)
             self._graph.accumulator(event.event_type).add_pending(expression, shared_names)
             return 0
         # Event-level snapshot (Definition 9): per-query aggregates computed
@@ -434,7 +490,7 @@ class HamletEngine(TrendAggregationEngine):
         expression = SnapshotExpression.identity(snapshot.snapshot_id, len(self._measures))
         node.expression = expression
         node.expression_queries = shared_names
-        graphlet.running_expression = graphlet.running_expression.add(expression)
+        graphlet.running_builder.add_identity(snapshot.snapshot_id)
         self._graph.accumulator(event.event_type).add_pending(expression, shared_names)
         self._operations += len(shared_queries)
         return 1
@@ -443,28 +499,17 @@ class HamletEngine(TrendAggregationEngine):
         """True if per-query predecessor sets may differ for this event."""
         assert self._graph is not None
         for query in shared_queries:
-            has_edge_predicates = any(
-                predicate.event_type in (None, event.event_type)
-                for predicate in query.predicates.edge_predicates
-            )
-            if has_edge_predicates:
+            if query.predicates.has_edge_predicates_for(event.event_type):
                 return True
             template = self._templates[query.name]
             for constraint in template.negations:
-                if event.event_type in constraint.after_types and self._graph.nodes_of_type(
+                if event.event_type not in constraint.after_types:
+                    continue
+                if self._graph.nodes_of_type(constraint.negated_type) or self._graph.has_negatives(
                     constraint.negated_type
                 ):
                     return True
-                if (
-                    event.event_type in constraint.after_types
-                    and self._has_negatives(constraint.negated_type)
-                ):
-                    return True
         return False
-
-    def _has_negatives(self, negated_type: EventType) -> bool:
-        assert self._graph is not None
-        return bool(self._graph._negatives.get(negated_type))
 
     # ------------------------------------------------------------------ #
     # Non-shared processing
@@ -509,22 +554,46 @@ class HamletEngine(TrendAggregationEngine):
         self._graph.accumulator(event.event_type).add_resolved(query.name, vector)
 
     def _non_shared_vector(self, event: Event, query: Query) -> AggregateVector:
-        """Equation 2 for one query: aggregate from individual predecessors."""
+        """Equation 2 for one query: aggregate of the event's predecessors.
+
+        Fast path: when no edge predicate applies to the event's type and no
+        applicable negation constraint is armed (no matching negative event
+        stored), every stored predecessor is accepted, so the per-type
+        running totals give the predecessor sum in O(predecessor types).
+        Otherwise the stored predecessor nodes are scanned (the GRETA-style
+        slow path).  Both paths fold in the same order, so they agree
+        bit-for-bit on integer-valued inputs (see docs/DESIGN.md).
+        """
         assert self._graph is not None and self._table is not None
         if not query.accepts_event(event):
             return AggregateVector.zero(len(self._measures))
         template = self._templates[query.name]
-        count = 1.0 if template.is_start(event.event_type) else 0.0
-        measure_totals = [0.0] * len(self._measures)
-        for predecessor in self._graph.predecessors_for(query, template, event):
-            vector = predecessor.vector_for(query.name, self._table)
-            count += vector.count
-            for index, value in enumerate(vector.measures):
-                measure_totals[index] += value
-        contributions = [measure.contribution(event) for measure in self._measures]
-        measures = tuple(
-            total + contribution * count
-            for total, contribution in zip(measure_totals, contributions)
-        )
+        total = MutableAggregate(len(self._measures))
+        if template.is_start(event.event_type):
+            total.count = 1.0
+        if self._use_fast_predecessors(event, query):
+            self._graph.predecessor_total_into(
+                total, query, template, event.event_type, self._table
+            )
+        else:
+            for predecessor in self._graph.predecessors_for(query, template, event):
+                predecessor.vector_into(total, query.name, self._table)
+        if self._measures:
+            total.apply_contributions(
+                measure.contribution(event) for measure in self._measures
+            )
         self._operations += 1
-        return AggregateVector(count, measures)
+        return total.freeze()
+
+    def _use_fast_predecessors(self, event: Event, query: Query) -> bool:
+        """Select the Equation 2 path for one ``(event, query)`` pair."""
+        assert self._graph is not None
+        guards = self._fast_path_guards.get((query.name, event.event_type))
+        if guards is None:
+            return False
+        if not self._graph.is_in_order(event):
+            return False
+        for negated_type in guards:
+            if self._graph.has_negatives(negated_type):
+                return False
+        return True

@@ -100,6 +100,22 @@ class SnapshotExpression:
         """The expression ``1 * snapshot`` (weight one, no cross terms)."""
         return cls(dimension, {snapshot_id: SnapshotCoefficient(1.0, (0.0,) * dimension)})
 
+    @classmethod
+    def from_frozen(
+        cls, dimension: int, coefficients: dict[str, SnapshotCoefficient]
+    ) -> "SnapshotExpression":
+        """Adopt an already-validated coefficient dict without copying.
+
+        This is the freeze boundary used by
+        :class:`~repro.core.kernels.MutableExpressionBuilder`: the caller
+        guarantees every coefficient has ``dimension`` cross terms and that
+        the dict is not mutated afterwards.
+        """
+        expression = cls.__new__(cls)
+        expression._dimension = dimension
+        expression._coefficients = coefficients
+        return expression
+
     # ------------------------------------------------------------------ #
     # Algebra
     # ------------------------------------------------------------------ #
@@ -112,6 +128,10 @@ class SnapshotExpression:
     def coefficients(self) -> Mapping[str, SnapshotCoefficient]:
         """Read-only view of the snapshot-to-coefficient mapping."""
         return dict(self._coefficients)
+
+    def items(self):
+        """Iterate ``(snapshot_id, coefficient)`` pairs without copying."""
+        return self._coefficients.items()
 
     def snapshot_ids(self) -> frozenset[str]:
         """Identifiers of the snapshots referenced by this expression."""
@@ -160,6 +180,23 @@ class SnapshotExpression:
         for snapshot_id, coefficient in self._coefficients.items():
             total = total.add(coefficient.apply(resolve(snapshot_id)))
         return total
+
+    def evaluate_into(self, accumulator, lookup) -> int:
+        """Evaluate for one query, folding into a mutable accumulator.
+
+        ``lookup`` returns the query's value of a snapshot or ``None`` when
+        the query has no entry (a zero value); ``accumulator`` is a
+        :class:`~repro.core.kernels.MutableAggregate`.  Returns the number of
+        coefficients visited (work units).
+        """
+        count = 0
+        for snapshot_id, coefficient in self._coefficients.items():
+            value = lookup(snapshot_id)
+            count += 1
+            if value is None:
+                continue
+            accumulator.add_weighted(coefficient.weight, coefficient.cross, value)
+        return count
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = [

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.expression import SnapshotExpression
+from repro.core.kernels import MutableExpressionBuilder
 from repro.core.snapshot import SnapshotTable
 from repro.errors import SharingError
 from repro.events.event import Event, EventType
@@ -52,6 +53,14 @@ class HamletNode:
             return self.expression.evaluate(table.resolver(query_name))
         return AggregateVector.zero(table.dimension)
 
+    def vector_into(self, accumulator, query_name: str, table: SnapshotTable) -> None:
+        """Fold this node's aggregate for one query into a mutable accumulator."""
+        resolved = self.resolved.get(query_name)
+        if resolved is not None:
+            accumulator.add_vector(resolved)
+        elif self.expression is not None and query_name in self.expression_queries:
+            self.expression.evaluate_into(accumulator, table.raw_lookup(query_name))
+
     def memory_units(self) -> int:
         """One unit per stored event, per expression coefficient, per resolved vector."""
         units = 1
@@ -83,10 +92,9 @@ class Graphlet:
         self.nodes: list[HamletNode] = []
         #: Running sum of the expressions of all events in this graphlet —
         #: lets the next event be computed in O(#snapshots) instead of O(g)
-        #: (Table 3: the doubling propagation).
-        self.running_expression = SnapshotExpression.zero(dimension)
-        #: Running per-query sums for non-shared graphlets.
-        self.running_resolved: dict[str, AggregateVector] = {}
+        #: (Table 3: the doubling propagation).  Kept mutable and updated in
+        #: place; frozen per node at registration time (see docs/DESIGN.md).
+        self.running_builder = MutableExpressionBuilder(dimension)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -101,7 +109,7 @@ class Graphlet:
 
     def propagated_snapshots(self) -> frozenset[str]:
         """Snapshots currently propagated through this graphlet (``sp``)."""
-        return self.running_expression.snapshot_ids()
+        return self.running_builder.snapshot_ids()
 
     def append(self, node: HamletNode) -> None:
         """Append a node (the engine keeps the running sums up to date)."""
@@ -117,8 +125,7 @@ class Graphlet:
     def memory_units(self) -> int:
         """Footprint of the graphlet: nodes plus running-sum bookkeeping."""
         units = sum(node.memory_units() for node in self.nodes)
-        units += self.running_expression.size()
-        units += len(self.running_resolved)
+        units += self.running_builder.size()
         return units
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

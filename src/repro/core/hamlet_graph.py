@@ -9,9 +9,15 @@ The graph serves three access patterns:
   (Definition 8, Equation 5).  :class:`TypeAccumulator` maintains those
   totals, deferring the per-query evaluation of shared (symbolic) events
   until a snapshot actually needs them;
-* **non-shared propagation** — the GRETA-style path needs the individual
-  predecessor events of a new event for one query, with edge predicates and
-  negation applied (Equation 2).
+* **non-shared propagation** — the GRETA-style path needs the predecessors of
+  a new event for one query, with edge predicates and negation applied
+  (Equation 2).  When neither applies, the per-type running totals answer the
+  predecessor sum in O(predecessor types) instead of a node scan — the fast
+  path selected by the engine (see docs/DESIGN.md).
+
+All running totals are kept in the mutable kernels of
+:mod:`repro.core.kernels`; immutable values are produced only at API
+boundaries.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from typing import Iterable, Iterator
 
 from repro.core.expression import SnapshotExpression
 from repro.core.graphlet import Graphlet, HamletNode
+from repro.core.kernels import MutableAggregate, MutableExpressionBuilder
 from repro.core.snapshot import SnapshotTable
 from repro.events.event import Event, EventType
 from repro.greta.aggregators import AggregateVector
@@ -33,50 +40,76 @@ class TypeAccumulator:
     """Running totals of intermediate aggregates for one event type.
 
     ``resolved`` holds per-query totals that are already plain numbers;
-    ``pending`` holds the symbolic expressions of shared events that have not
-    been evaluated per query yet.  Deferring the evaluation keeps the shared
-    fast path free of per-query work — the fold only happens when a snapshot
-    is created (the "snapshot maintenance" cost of the paper's model).
+    ``pending`` holds the symbolic contributions of shared events that have
+    not been evaluated per query yet, merged in place into one
+    :class:`~repro.core.kernels.MutableExpressionBuilder` per sharing query
+    set.  Deferring (and batching) the evaluation keeps the shared fast path
+    free of per-query work — the fold happens when a snapshot is created or a
+    fast-path total is needed, and costs one expression evaluation per query
+    set rather than one per event.
     """
 
     dimension: int
-    resolved: dict[str, AggregateVector] = field(default_factory=dict)
-    pending: list[tuple[SnapshotExpression, frozenset[str]]] = field(default_factory=list)
+    resolved: dict[str, MutableAggregate] = field(default_factory=dict)
+    pending: dict[frozenset[str], MutableExpressionBuilder] = field(default_factory=dict)
+
+    def _resolved_for(self, query_name: str) -> MutableAggregate:
+        accumulator = self.resolved.get(query_name)
+        if accumulator is None:
+            accumulator = self.resolved[query_name] = MutableAggregate(self.dimension)
+        return accumulator
 
     def add_resolved(self, query_name: str, vector: AggregateVector) -> None:
         """Add a per-query resolved vector to the running total."""
-        current = self.resolved.get(query_name, AggregateVector.zero(self.dimension))
-        self.resolved[query_name] = current.add(vector)
+        self._resolved_for(query_name).add_vector(vector)
 
     def add_pending(self, expression: SnapshotExpression, query_names: frozenset[str]) -> None:
         """Add a shared event's expression (valid for ``query_names``)."""
-        self.pending.append((expression, query_names))
+        builder = self.pending.get(query_names)
+        if builder is None:
+            builder = self.pending[query_names] = MutableExpressionBuilder(self.dimension)
+        builder.add_expression(expression)
 
     def fold(self, table: SnapshotTable) -> int:
-        """Evaluate all pending expressions per query and fold them into ``resolved``.
+        """Evaluate all pending contributions per query and fold them into ``resolved``.
 
         Returns the number of per-query evaluations performed (work units).
         """
+        if not self.pending:
+            return 0
         evaluations = 0
-        for expression, query_names in self.pending:
+        for query_names, builder in self.pending.items():
             for query_name in query_names:
-                vector = expression.evaluate(table.resolver(query_name))
-                self.add_resolved(query_name, vector)
-                evaluations += max(1, expression.size())
+                lookup = table.raw_lookup(query_name)
+                applied = builder.evaluate_into(self._resolved_for(query_name), lookup)
+                evaluations += max(1, applied)
         self.pending.clear()
         return evaluations
 
+    def total_into(
+        self, accumulator: MutableAggregate, query_name: str, table: SnapshotTable
+    ) -> None:
+        """Fold the current total for one query into ``accumulator``.
+
+        Pending contributions are evaluated read-only; call :meth:`fold`
+        first when repeated totals of the same type are expected.
+        """
+        resolved = self.resolved.get(query_name)
+        if resolved is not None:
+            accumulator.add(resolved)
+        for query_names, builder in self.pending.items():
+            if query_name in query_names:
+                builder.evaluate_into(accumulator, table.raw_lookup(query_name))
+
     def total(self, query_name: str, table: SnapshotTable) -> AggregateVector:
         """Current total for one query (evaluating pending expressions read-only)."""
-        total = self.resolved.get(query_name, AggregateVector.zero(self.dimension))
-        for expression, query_names in self.pending:
-            if query_name in query_names:
-                total = total.add(expression.evaluate(table.resolver(query_name)))
-        return total
+        accumulator = MutableAggregate(self.dimension)
+        self.total_into(accumulator, query_name, table)
+        return accumulator.freeze()
 
     def memory_units(self) -> int:
         """Entries kept for the running totals."""
-        return len(self.resolved) + sum(expr.size() for expr, _ in self.pending)
+        return len(self.resolved) + sum(builder.size() for builder in self.pending.values())
 
 
 class HamletGraph:
@@ -90,6 +123,10 @@ class HamletGraph:
         self._nodes_by_type: dict[EventType, list[HamletNode]] = {}
         self._accumulators: dict[EventType, TypeAccumulator] = {}
         self._negatives: dict[EventType, list[tuple[Event, frozenset[str]]]] = {}
+        #: The most recent event stored in the graph (nodes or negatives);
+        #: guards the O(1) predecessor fast path, which assumes in-order
+        #: streams (every stored event precedes the incoming one).
+        self._latest_event: Event | None = None
         #: Abstract work counter (predecessor accesses, expression updates,
         #: per-query evaluations); read by the engine's ``operations()``.
         self.operations = 0
@@ -136,6 +173,8 @@ class HamletGraph:
         """Append a node to its graphlet and to the per-type index."""
         graphlet.append(node)
         self._nodes_by_type.setdefault(node.event.event_type, []).append(node)
+        if self._latest_event is None or self._latest_event < node.event:
+            self._latest_event = node.event
 
     def nodes_of_type(self, event_type: EventType) -> list[HamletNode]:
         """All stored nodes of one type, in arrival order."""
@@ -148,28 +187,64 @@ class HamletGraph:
     def add_negative(self, event: Event, query_names: frozenset[str]) -> None:
         """Record an event matched by a negated sub-pattern of some queries."""
         self._negatives.setdefault(event.event_type, []).append((event, query_names))
+        if self._latest_event is None or self._latest_event < event:
+            self._latest_event = event
+
+    def has_negatives(self, negated_type: EventType) -> bool:
+        """True if any recorded negative event of ``negated_type`` exists."""
+        return bool(self._negatives.get(negated_type))
+
+    def is_in_order(self, event: Event) -> bool:
+        """True if ``event`` arrives after every event stored so far.
+
+        The O(1) predecessor fast path relies on this: running per-type
+        totals only equal the predecessor scan when all stored events
+        strictly precede the incoming one.
+        """
+        return self._latest_event is None or self._latest_event < event
 
     # ------------------------------------------------------------------ #
-    # Accumulators (feed graphlet-level snapshots)
+    # Accumulators (feed graphlet-level snapshots and the fast path)
     # ------------------------------------------------------------------ #
     def accumulator(self, event_type: EventType) -> TypeAccumulator:
         """The running-total accumulator of one event type."""
-        if event_type not in self._accumulators:
-            self._accumulators[event_type] = TypeAccumulator(self._dimension)
-        return self._accumulators[event_type]
+        accumulator = self._accumulators.get(event_type)
+        if accumulator is None:
+            accumulator = self._accumulators[event_type] = TypeAccumulator(self._dimension)
+        return accumulator
+
+    def predecessor_total_into(
+        self,
+        accumulator: MutableAggregate,
+        query: Query,
+        template: QueryTemplate,
+        event_type: EventType,
+        table: SnapshotTable,
+    ) -> None:
+        """Equation 5, in place: fold the predecessor-type totals for one query.
+
+        This is also Equation 2's O(1) fast path: when no edge predicate or
+        negation constraint discriminates between stored predecessors, the
+        per-type running totals *are* the predecessor sum — O(predecessor
+        types) instead of a scan over stored nodes.
+        """
+        for predecessor_type in template.predecessor_types(event_type):
+            type_accumulator = self._accumulators.get(predecessor_type)
+            if type_accumulator is None:
+                continue
+            if type_accumulator.pending:
+                # Fold so repeated fast-path totals stay O(1) per type.
+                self.operations += type_accumulator.fold(table)
+            type_accumulator.total_into(accumulator, query.name, table)
+            self.operations += 1
 
     def predecessor_total(
         self, query: Query, template: QueryTemplate, event_type: EventType, table: SnapshotTable
     ) -> AggregateVector:
         """Equation 5: total aggregate of all predecessor-type events for one query."""
-        total = AggregateVector.zero(self._dimension)
-        for predecessor_type in template.predecessor_types(event_type):
-            accumulator = self._accumulators.get(predecessor_type)
-            if accumulator is None:
-                continue
-            total = total.add(accumulator.total(query.name, table))
-            self.operations += 1
-        return total
+        accumulator = MutableAggregate(self._dimension)
+        self.predecessor_total_into(accumulator, query, template, event_type, table)
+        return accumulator.freeze()
 
     def fold_accumulators(self, event_types: Iterable[EventType], table: SnapshotTable) -> None:
         """Fold pending expressions of the given types into resolved totals."""
@@ -179,34 +254,41 @@ class HamletGraph:
                 self.operations += accumulator.fold(table)
 
     # ------------------------------------------------------------------ #
-    # Non-shared (GRETA-style) predecessor access
+    # Non-shared (GRETA-style) predecessor access — the slow path
     # ------------------------------------------------------------------ #
     def predecessors_for(
         self, query: Query, template: QueryTemplate, event: Event
     ) -> Iterator[HamletNode]:
         """Individual predecessor nodes of ``event`` for one query (Equation 2)."""
+        query_name = query.name
+        check_edges = bool(query.predicates.edge_predicates)
+        constraints = [
+            constraint
+            for constraint in template.negations
+            if constraint.after_types
+            and event.event_type in constraint.after_types
+            and self.has_negatives(constraint.negated_type)
+        ]
         for predecessor_type in template.predecessor_types(event.event_type):
             for node in self._nodes_by_type.get(predecessor_type, ()):
                 self.operations += 1
                 if not node.event < event:
                     continue
-                if not node.covers_query(query.name):
+                if not node.covers_query(query_name):
                     continue
-                if not query.accepts_edge(node.event, event):
+                if check_edges and not query.accepts_edge(node.event, event):
                     continue
-                if self._negation_blocks(query.name, template, node.event, event):
+                if constraints and self._negation_blocks(
+                    query_name, constraints, node.event, event
+                ):
                     continue
                 yield node
 
     def _negation_blocks(
-        self, query_name: str, template: QueryTemplate, previous: Event, current: Event
+        self, query_name: str, constraints, previous: Event, current: Event
     ) -> bool:
-        for constraint in template.negations:
-            if not constraint.after_types:
-                continue
+        for constraint in constraints:
             if previous.event_type not in constraint.before_types:
-                continue
-            if current.event_type not in constraint.after_types:
                 continue
             for negative, matched_by in self._negatives.get(constraint.negated_type, ()):
                 if query_name in matched_by and previous < negative < current:
@@ -219,16 +301,36 @@ class HamletGraph:
     def end_total(self, query: Query, template: QueryTemplate, table: SnapshotTable) -> AggregateVector:
         """Equation 3: sum of intermediate aggregates of valid end-type events."""
         trailing = [c for c in template.negations if not c.after_types]
-        total = AggregateVector.zero(self._dimension)
+        total = MutableAggregate(self._dimension)
         for event_type in template.end_types:
             for node in self._nodes_by_type.get(event_type, ()):
                 if not node.covers_query(query.name):
                     continue
                 if trailing and self._cancelled_by_trailing(query.name, node.event, trailing):
                     continue
-                total = total.add(node.vector_for(query.name, table))
+                node.vector_into(total, query.name, table)
                 self.operations += 1
-        return total
+        return total.freeze()
+
+    def end_total_from_accumulators(
+        self, query: Query, template: QueryTemplate, table: SnapshotTable
+    ) -> AggregateVector:
+        """Equation 3 via the per-type running totals — O(end types).
+
+        Only valid when (a) every registered node's aggregate was also folded
+        into its type accumulator (the engine maintains this invariant) and
+        (b) the query has no trailing negation constraint, so every stored
+        end-type node contributes.  Callers that cannot guarantee both must
+        use :meth:`end_total`.
+        """
+        total = MutableAggregate(self._dimension)
+        for event_type in template.end_types:
+            accumulator = self._accumulators.get(event_type)
+            if accumulator is None:
+                continue
+            accumulator.total_into(total, query.name, table)
+            self.operations += 1
+        return total.freeze()
 
     def _cancelled_by_trailing(self, query_name: str, event: Event, constraints) -> bool:
         for constraint in constraints:

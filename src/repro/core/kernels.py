@@ -1,0 +1,236 @@
+"""Mutable hot-path kernels for trend aggregation.
+
+The immutable value types (:class:`~repro.greta.aggregators.AggregateVector`,
+:class:`~repro.core.expression.SnapshotExpression`) give the library clean
+algebraic semantics, but allocating a fresh tuple or dict per event is what
+dominated the Python-level cost of the engines.  This module provides the
+mutable accumulators the engines use *inside* a hot loop:
+
+* :class:`MutableAggregate` — an in-place ``(count, measures)`` accumulator.
+  All per-event folding (Equation 1/2 sums, expression evaluation, end-type
+  totals) happens here without intermediate allocations; callers
+  :meth:`~MutableAggregate.freeze` the accumulator into an
+  :class:`~repro.greta.aggregators.AggregateVector` only when the value
+  crosses an API boundary.
+* :class:`MutableExpressionBuilder` — a dict-of-lists coefficient store for
+  symbolic snapshot expressions.  Shared graphlets keep their running sum in
+  a builder and update it in place per event; the builder is frozen into an
+  immutable :class:`~repro.core.expression.SnapshotExpression` only at
+  node-registration boundaries (see docs/DESIGN.md).
+
+Both kernels preserve the summation *order* of the immutable code paths they
+replace, so integer-valued workloads produce bit-identical aggregates on the
+fast and slow paths (the property the cross-engine equivalence suite checks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.core.expression import SnapshotCoefficient, SnapshotExpression
+from repro.greta.aggregators import AggregateVector
+
+#: A per-query snapshot value lookup: ``snapshot_id -> AggregateVector | None``
+#: (``None`` means the query has no entry, i.e. the value is zero).
+RawLookup = Callable[[str], Optional[AggregateVector]]
+
+
+class MutableAggregate:
+    """In-place ``(trend count, measure values...)`` accumulator.
+
+    The mutable twin of :class:`~repro.greta.aggregators.AggregateVector`:
+    the count is a plain float attribute and the measures live in a list that
+    is mutated in place.
+    """
+
+    __slots__ = ("count", "measures")
+
+    def __init__(self, dimension: int) -> None:
+        self.count = 0.0
+        self.measures = [0.0] * dimension
+
+    @property
+    def dimension(self) -> int:
+        """Number of measure components."""
+        return len(self.measures)
+
+    # ------------------------------------------------------------------ #
+    # In-place folding
+    # ------------------------------------------------------------------ #
+    def add_vector(self, vector: AggregateVector) -> None:
+        """Fold an immutable vector into this accumulator."""
+        self.count += vector.count
+        measures = self.measures
+        for index, value in enumerate(vector.measures):
+            measures[index] += value
+
+    def add(self, other: "MutableAggregate") -> None:
+        """Fold another mutable accumulator into this one."""
+        self.count += other.count
+        measures = self.measures
+        for index, value in enumerate(other.measures):
+            measures[index] += value
+
+    def add_weighted(
+        self, weight: float, cross: tuple[float, ...], value: AggregateVector
+    ) -> None:
+        """Fold one snapshot coefficient applied to a snapshot value.
+
+        Implements :meth:`SnapshotCoefficient.apply` without allocating:
+        ``count += w * v.count`` and ``m_i += w * v.m_i + cross_i * v.count``.
+        """
+        value_count = value.count
+        self.count += weight * value_count
+        measures = self.measures
+        value_measures = value.measures
+        for index in range(len(measures)):
+            measures[index] += weight * value_measures[index] + cross[index] * value_count
+
+    def apply_contributions(self, contributions: Iterable[float]) -> None:
+        """Fold an event's measure contributions: ``m_i += c_i * count``.
+
+        Must be called after all predecessor counts have been summed
+        (Equation 1 ordering).
+        """
+        count = self.count
+        measures = self.measures
+        for index, contribution in enumerate(contributions):
+            if contribution:
+                measures[index] += contribution * count
+
+    # ------------------------------------------------------------------ #
+    # Boundary conversions
+    # ------------------------------------------------------------------ #
+    def freeze(self) -> AggregateVector:
+        """Immutable snapshot of the current value."""
+        return AggregateVector(self.count, tuple(self.measures))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MutableAggregate(count={self.count:g}, measures={self.measures})"
+
+
+class MutableExpressionBuilder:
+    """Dict-of-lists coefficient store for symbolic snapshot expressions.
+
+    Each coefficient row is the list ``[weight, cross_0, ..., cross_d-1]``
+    (one row per snapshot), mutated in place.  The builder supports the three
+    operations of the shared hot loop — add another expression/builder, fold
+    an event contribution, evaluate per query — plus :meth:`freeze`, the only
+    place immutable coefficient objects are created.
+    """
+
+    __slots__ = ("dimension", "_coefficients")
+
+    def __init__(self, dimension: int) -> None:
+        self.dimension = dimension
+        self._coefficients: dict[str, list[float]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction / mutation
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "MutableExpressionBuilder":
+        """An independent copy (rows are duplicated)."""
+        clone = MutableExpressionBuilder.__new__(MutableExpressionBuilder)
+        clone.dimension = self.dimension
+        clone._coefficients = {
+            snapshot_id: row.copy() for snapshot_id, row in self._coefficients.items()
+        }
+        return clone
+
+    def _row(self, snapshot_id: str) -> list[float]:
+        row = self._coefficients.get(snapshot_id)
+        if row is None:
+            row = [0.0] * (1 + self.dimension)
+            self._coefficients[snapshot_id] = row
+        return row
+
+    def add_identity(self, snapshot_id: str) -> None:
+        """Add ``1 * snapshot`` (weight one, no cross terms)."""
+        self._row(snapshot_id)[0] += 1.0
+
+    def add_expression(self, expression: SnapshotExpression) -> None:
+        """Fold an immutable expression into the builder."""
+        for snapshot_id, coefficient in expression.items():
+            row = self._row(snapshot_id)
+            row[0] += coefficient.weight
+            for index, value in enumerate(coefficient.cross):
+                row[1 + index] += value
+
+    def add_builder(self, other: "MutableExpressionBuilder") -> None:
+        """Fold another builder into this one."""
+        for snapshot_id, other_row in other._coefficients.items():
+            row = self._coefficients.get(snapshot_id)
+            if row is None:
+                self._coefficients[snapshot_id] = other_row.copy()
+            else:
+                for index, value in enumerate(other_row):
+                    row[index] += value
+
+    def fold_contribution(self, contributions: tuple[float, ...]) -> None:
+        """Fold an event's measure contributions into every coefficient.
+
+        ``cross_i += c_i * weight`` — the builder twin of
+        :meth:`SnapshotExpression.with_event_contribution`.
+        """
+        if not any(contributions):
+            return
+        for row in self._coefficients.values():
+            weight = row[0]
+            if weight:
+                for index, contribution in enumerate(contributions):
+                    row[1 + index] += contribution * weight
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate_into(self, accumulator: MutableAggregate, lookup: RawLookup) -> int:
+        """Evaluate for one query, folding into ``accumulator``.
+
+        Returns the number of coefficients visited (work units).
+        """
+        count = 0
+        for snapshot_id, row in self._coefficients.items():
+            value = lookup(snapshot_id)
+            count += 1
+            if value is None:
+                continue
+            # Inlined add_weighted over the raw row — this loop runs per
+            # (coefficient, query) on the fast path and must not allocate.
+            weight = row[0]
+            value_count = value.count
+            accumulator.count += weight * value_count
+            measures = accumulator.measures
+            value_measures = value.measures
+            for index in range(len(measures)):
+                measures[index] += (
+                    weight * value_measures[index] + row[1 + index] * value_count
+                )
+        return count
+
+    # ------------------------------------------------------------------ #
+    # Introspection / freezing
+    # ------------------------------------------------------------------ #
+    def size(self) -> int:
+        """Number of snapshots referenced."""
+        return len(self._coefficients)
+
+    def snapshot_ids(self) -> frozenset[str]:
+        """Identifiers of the snapshots referenced."""
+        return frozenset(self._coefficients)
+
+    def freeze(self) -> SnapshotExpression:
+        """Immutable expression with the builder's current coefficients.
+
+        This is the node-registration boundary: the frozen expression is safe
+        to store on a :class:`~repro.core.graphlet.HamletNode` while the
+        builder keeps mutating.
+        """
+        coefficients = {
+            snapshot_id: SnapshotCoefficient(row[0], tuple(row[1:]))
+            for snapshot_id, row in self._coefficients.items()
+        }
+        return SnapshotExpression.from_frozen(self.dimension, coefficients)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{row[0]:g}*{sid}" for sid, row in sorted(self._coefficients.items())]
+        return "Builder(" + (" + ".join(parts) if parts else "0") + ")"

@@ -98,6 +98,17 @@ class SnapshotTable:
         """Return a ``snapshot_id -> value`` callable for one query."""
         return lambda snapshot_id: self.value(snapshot_id, query_name)
 
+    def raw_lookup(self, query_name: str):
+        """A hot-path lookup for one query: ``snapshot_id -> value | None``.
+
+        Unlike :meth:`resolver` this never allocates a zero vector — a query
+        without an entry yields ``None`` (callers treat it as zero) — and it
+        skips the known-snapshot check, which engine-built expressions
+        guarantee by construction.
+        """
+        values = self._values
+        return lambda snapshot_id: values.get((snapshot_id, query_name))
+
     def snapshot(self, snapshot_id: str) -> Snapshot:
         """The snapshot object for ``snapshot_id``."""
         try:

@@ -67,10 +67,14 @@ class Event:
     # Ordering and identity
     # ------------------------------------------------------------------ #
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.sequence) < (other.time, other.sequence)
+        if self.time != other.time:
+            return self.time < other.time
+        return self.sequence < other.sequence
 
     def __le__(self, other: "Event") -> bool:
-        return (self.time, self.sequence) <= (other.time, other.sequence)
+        if self.time != other.time:
+            return self.time < other.time
+        return self.sequence <= other.sequence
 
     def __hash__(self) -> int:
         return hash((self.event_type, self.time, self.sequence))

@@ -181,19 +181,27 @@ class LinearTrendAggregator:
         starts_trend: bool,
         predecessor_states: Iterable[AggregateVector],
     ) -> AggregateVector:
-        """Intermediate vector of ``event`` given its predecessors' vectors."""
+        """Intermediate vector of ``event`` given its predecessors' vectors.
+
+        ``predecessor_states`` may be a lazy iterable; it is consumed once.
+        The accumulation is kept allocation-free per predecessor (the hot
+        loop of non-shared propagation).
+        """
         count = 1.0 if starts_trend else 0.0
+        if not self.measures:
+            for state in predecessor_states:
+                count += state.count
+            return AggregateVector(count, ())
         measure_totals = [0.0] * len(self.measures)
         for state in predecessor_states:
             count += state.count
             for index, value in enumerate(state.measures):
                 measure_totals[index] += value
-        contributions = [measure.contribution(event) for measure in self.measures]
-        measures = tuple(
-            total + contribution * count
-            for total, contribution in zip(measure_totals, contributions)
-        )
-        return AggregateVector(count, measures)
+        for index, measure in enumerate(self.measures):
+            contribution = measure.contribution(event)
+            if contribution:
+                measure_totals[index] += contribution * count
+        return AggregateVector(count, tuple(measure_totals))
 
     def finalize(self, end_states: Iterable[AggregateVector]) -> float:
         """Final aggregate from the vectors of all end-type events."""

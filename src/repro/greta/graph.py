@@ -33,6 +33,11 @@ class QueryGraph:
         self.template = template
         self._nodes_by_type: dict[EventType, list[GraphNode]] = {}
         self._negative_events: dict[EventType, list[Event]] = {}
+        #: Hot-loop facts hoisted out of the per-predecessor checks.
+        self._has_edge_predicates = bool(query.predicates.edge_predicates)
+        self._sequence_negations = tuple(
+            constraint for constraint in template.negations if constraint.after_types
+        )
         #: Abstract work counter: one unit per predecessor access / state update.
         self.operations = 0
 
@@ -69,10 +74,13 @@ class QueryGraph:
         Returns:
             The computed state.
         """
-        predecessor_states = [node.state for node in self.predecessors_of(event)]
         starts_trend = self.template.is_start(event.event_type)
-        state = compute_state(event, starts_trend, predecessor_states)
-        self.operations += 1 + len(predecessor_states)
+        # Stream the predecessor states instead of materializing a list; the
+        # per-predecessor work unit is counted by predecessors_of itself.
+        state = compute_state(
+            event, starts_trend, (node.state for node in self.predecessors_of(event))
+        )
+        self.operations += 1
         self._nodes_by_type.setdefault(event.event_type, []).append(GraphNode(event, state))
         return state
 
@@ -88,21 +96,22 @@ class QueryGraph:
         the edge.
         """
         predecessor_types = self.template.predecessor_types(event.event_type)
+        check_edges = self._has_edge_predicates
+        check_negations = bool(self._sequence_negations) and bool(self._negative_events)
         for event_type in predecessor_types:
             for node in self._nodes_by_type.get(event_type, ()):
                 if not node.event < event:
                     continue
-                if not self.query.accepts_edge(node.event, event):
+                if check_edges and not self.query.accepts_edge(node.event, event):
                     continue
-                if self._negation_blocks(node.event, event):
+                if check_negations and self._negation_blocks(node.event, event):
                     continue
+                self.operations += 1
                 yield node
 
     def _negation_blocks(self, previous: Event, current: Event) -> bool:
         """True if a negation constraint invalidates the edge ``previous -> current``."""
-        for constraint in self.template.negations:
-            if not constraint.after_types:
-                continue  # trailing NOT — applied at finalization time
+        for constraint in self._sequence_negations:
             if previous.event_type not in constraint.before_types:
                 continue
             if current.event_type not in constraint.after_types:

@@ -285,6 +285,18 @@ class CompositePredicate:
             if predicate.applies_to(event)
         )
 
+    def has_edge_predicates_for(self, event_type: EventType) -> bool:
+        """True if any edge predicate constrains edges *into* ``event_type``.
+
+        Mirrors the scoping rule of :meth:`accepts_edge`: a predicate applies
+        when the current (target) event is of the predicate's type, or the
+        predicate is unscoped.  The engines' sharing analysis and fast-path
+        selection must use this helper so the rule lives in one place.
+        """
+        return any(
+            predicate.event_type in (None, event_type) for predicate in self._edge
+        )
+
     def accepts_edge(self, previous: Event, current: Event) -> bool:
         """Return True if the edge passes every applicable edge predicate.
 

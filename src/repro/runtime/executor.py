@@ -14,7 +14,13 @@ The executor glues the pieces of Figure 2 together:
 
 MIN/MAX queries are routed to a GRETA engine instance even when the workload
 is otherwise executed by HAMLET, because extremum propagation is not linear
-and therefore cannot ride on shared snapshot expressions (see DESIGN.md).
+and therefore cannot ride on shared snapshot expressions (see
+``docs/DESIGN.md``).
+
+Each execution unit sees only the events whose type its queries reference
+(positively or under NOT): the stream is filtered once per unit before
+partitioning, so partitions never store or replay events an engine would
+ignore anyway.
 """
 
 from __future__ import annotations
@@ -101,14 +107,15 @@ class WorkloadExecutor:
         self.reuse_engine = reuse_engine
         self.analysis: WorkloadAnalysis = analyze_workload(self.workload)
         self._shared_engine: Optional[TrendAggregationEngine] = None
+        self._engine_label = self._resolve_engine_name()
 
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
     def run(self, stream: EventStream | Iterable[Event]) -> ExecutionReport:
         """Evaluate the workload over ``stream`` and return the report."""
-        events = list(stream)
-        report = ExecutionReport(engine_name=self._engine_name())
+        events = stream if isinstance(stream, list) else list(stream)
+        report = ExecutionReport(engine_name=self._engine_label)
         report.metrics.stream_events = len(events)
 
         for group in self.analysis.groups:
@@ -122,11 +129,21 @@ class WorkloadExecutor:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _engine_name(self) -> str:
+    def _resolve_engine_name(self) -> str:
+        # Engine classes expose ``name`` as a class attribute, so the common
+        # case needs no instantiation.  For opaque factories (lambdas), build
+        # one engine and keep it as the reusable shared instance instead of
+        # discarding it.
+        name = getattr(self.engine_factory, "name", None)
+        if isinstance(name, str):
+            return name
         try:
-            return self.engine_factory().name
+            engine = self.engine_factory()
         except Exception:  # pragma: no cover - defensive
             return "engine"
+        if self.reuse_engine and self._shared_engine is None:
+            self._shared_engine = engine
+        return getattr(engine, "name", "engine")
 
     def _execution_units(self, queries: Sequence[Query]) -> Iterable[tuple[Query, ...]]:
         """Split a sharable group into units sharing one engine partition set.
@@ -157,12 +174,30 @@ class WorkloadExecutor:
             return self._shared_engine
         return self.engine_factory()
 
+    def _relevant_types(self, queries: Sequence[Query]) -> set[str]:
+        """Event types the unit's queries reference, positively or under NOT."""
+        types: set[str] = set()
+        for query in queries:
+            types |= query.event_types()
+        return types
+
     def _run_unit(
         self, queries: tuple[Query, ...], events: list[Event], report: ExecutionReport
     ) -> None:
+        # Filter the stream to the unit's relevant types before partitioning:
+        # engines ignore other types anyway, and partitions of overlapping
+        # windows would otherwise store and replay every irrelevant event.
+        relevant = self._relevant_types(queries)
+        unit_events = [event for event in events if event.event_type in relevant]
         partitioner = GroupWindowPartitioner.for_queries(queries)
-        partitioner.add_all(events)
+        partitioner.add_all(unit_events)
         engine = self._engine_for(queries)
+        if events:
+            # A unit whose types never occur in a non-empty stream produces
+            # no partitions; keep the explicit zero entries consumers of
+            # report.totals rely on (an empty stream yields no entries).
+            for query in queries:
+                report.totals.setdefault(query.name, 0.0)
         for (group_key, window_start), partition_events in partitioner.partitions():
             with Stopwatch() as watch:
                 engine.start(queries)

@@ -9,7 +9,7 @@ are routed to several partitions.
 Queries that share an engine partition must agree on grouping attributes
 (guaranteed by Definition 5) and on the window specification (a documented
 simplification of the paper's pane-based cross-window sharing — see
-DESIGN.md).
+``docs/DESIGN.md``).
 """
 
 from __future__ import annotations

@@ -1,0 +1,227 @@
+"""Randomized cross-engine equivalence at scale.
+
+The strongest correctness statement of this PR's hot-path overhaul: over
+randomized streams — larger than the property suite in
+``test_equivalence_properties.py`` — the O(1) predecessor-total fast path
+(Equation 2 answered from per-type running totals) produces **bit-identical**
+results to the predecessor-scan slow path, and both agree with GRETA and the
+brute-force oracle.
+
+All event attributes are small integers, so every sum is exact in float64
+and exact ``==`` comparison between the fast and slow paths is meaningful —
+*provided* the trend counts stay below 2**53.  Counts double per matched
+Kleene event, so single-partition tests keep the matched-event count
+bounded, and the truly large streams run through the
+:class:`~repro.runtime.executor.WorkloadExecutor` with tumbling windows that
+slice them into exactly-representable partitions (see docs/DESIGN.md,
+"Fast/slow path selection").
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import BruteForceOracle
+from repro.core import HamletEngine
+from repro.greta import GretaEngine
+from repro.optimizer import AlwaysShareOptimizer, DynamicSharingOptimizer, NeverShareOptimizer
+from repro.query import (
+    Query,
+    Window,
+    avg,
+    count_events,
+    kleene,
+    parse_pattern,
+    same_attributes,
+    seq,
+    sum_of,
+)
+from repro.query.predicates import attr_less
+from repro.events import Event
+from repro.runtime.executor import run_workload
+
+TYPE_NAMES = ("A", "B", "C", "D", "X")
+
+#: Tumbling window used for the large executor-driven streams: at one event
+#: per time unit a partition holds ≤ 32 events, so every per-partition count
+#: (≤ 2**33) and SUM (≤ 6 * 32 * 2**32) stays exactly representable.
+EXACT_WINDOW = Window(32.0)
+
+
+def make_stream(seed: int, size: int, *, negative_weight: float = 0.08) -> list[Event]:
+    """A random in-order stream with integer-valued attributes."""
+    rng = random.Random(seed)
+    weights = [1.0, 3.0, 1.0, 1.0, negative_weight]
+    events = []
+    for index in range(size):
+        type_name = rng.choices(TYPE_NAMES, weights=weights)[0]
+        events.append(
+            Event(
+                type_name,
+                float(index),
+                {"v": float(rng.randint(0, 6)), "d": float(rng.randint(1, 2))},
+            )
+        )
+    return events
+
+
+def workload(
+    *,
+    with_edge_predicates: bool = True,
+    with_negation: bool = True,
+    window: Window | None = None,
+) -> list[Query]:
+    """Shared-Kleene workload mixing COUNT(*) / COUNT(E) / SUM / AVG.
+
+    Covers every fast-path eligibility class: plain queries (always fast),
+    local-predicate queries (fast; predicates act as filters), edge-predicate
+    queries (never fast) and negation queries (fast until a negative event is
+    stored).
+    """
+    window = window or Window(1_000_000.0)
+    queries = [
+        Query.build(seq("A", kleene("B")), window=window, name="fp_q1"),
+        Query.build(seq("C", kleene("B")), window=window, name="fp_q2"),
+        Query.build(
+            seq("A", kleene("B")),
+            predicates=[attr_less("v", 4.0, event_type="B")],
+            window=window,
+            name="fp_q3",
+        ),
+        Query.build(
+            seq("C", kleene("B"), "D"), aggregate=sum_of("B", "v"), window=window, name="fp_q4"
+        ),
+        Query.build(
+            seq("A", kleene("B")), aggregate=avg("B", "v"), window=window, name="fp_q5"
+        ),
+        Query.build(
+            seq("D", kleene("B")), aggregate=count_events("B"), window=window, name="fp_q6"
+        ),
+    ]
+    if with_edge_predicates:
+        queries.append(
+            Query.build(
+                seq("A", kleene("B")),
+                predicates=[same_attributes("d")],
+                window=window,
+                name="fp_q7",
+            )
+        )
+    if with_negation:
+        queries.append(
+            Query.build(parse_pattern("SEQ(A, NOT X, B+)"), window=window, name="fp_q8")
+        )
+        queries.append(
+            Query.build(parse_pattern("SEQ(C, B+, NOT X)"), window=window, name="fp_q9")
+        )
+    return queries
+
+
+def run_fast(queries, events, optimizer_factory) -> dict[str, float]:
+    return HamletEngine(optimizer_factory()).evaluate(queries, events)
+
+
+def run_slow(queries, events, optimizer_factory) -> dict[str, float]:
+    engine = HamletEngine(optimizer_factory(), fast_predecessor_totals=False)
+    return engine.evaluate(queries, events)
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("size", (40, 56))
+@pytest.mark.parametrize(
+    "optimizer_factory",
+    (DynamicSharingOptimizer, AlwaysShareOptimizer, NeverShareOptimizer),
+    ids=("dynamic", "always-share", "never-share"),
+)
+def test_fast_path_bit_identical_to_slow_path(seed, size, optimizer_factory):
+    """O(1) predecessor totals == predecessor scan, exactly, one partition."""
+    events = make_stream(seed, size)
+    queries = workload()
+    fast = run_fast(queries, events, optimizer_factory)
+    slow = run_slow(queries, events, optimizer_factory)
+    assert fast == slow  # exact — integer-valued streams leave no FP slack
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("size", (150, 300, 600))
+@pytest.mark.parametrize(
+    "optimizer_factory",
+    (DynamicSharingOptimizer, AlwaysShareOptimizer, NeverShareOptimizer),
+    ids=("dynamic", "always-share", "never-share"),
+)
+def test_fast_path_bit_identical_on_windowed_large_streams(seed, size, optimizer_factory):
+    """Bit-identical fast vs slow on large streams, windowed into partitions."""
+    events = make_stream(seed, size)
+    queries = workload(window=EXACT_WINDOW)
+    fast = run_workload(queries, events, lambda: HamletEngine(optimizer_factory()))
+    slow = run_workload(
+        queries,
+        events,
+        lambda: HamletEngine(optimizer_factory(), fast_predecessor_totals=False),
+    )
+    assert fast.totals == slow.totals
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("size", (150, 300))
+def test_fast_path_matches_greta_at_scale(seed, size):
+    """HAMLET (any sharing policy, fast paths on) agrees with GRETA."""
+    events = make_stream(seed, size)
+    queries = workload(window=EXACT_WINDOW)
+    greta = run_workload(queries, events, GretaEngine)
+    for factory in (DynamicSharingOptimizer, AlwaysShareOptimizer, NeverShareOptimizer):
+        hamlet = run_workload(queries, events, lambda: HamletEngine(factory()))
+        assert hamlet.totals == pytest.approx(greta.totals)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_all_engines_match_brute_force_on_medium_streams(seed):
+    """Fast path, slow path and GRETA all agree with exhaustive enumeration."""
+    events = make_stream(seed, 18, negative_weight=0.5)
+    queries = workload()
+    oracle = BruteForceOracle(max_events=32).evaluate(queries, events)
+    assert GretaEngine().evaluate(queries, events) == pytest.approx(oracle)
+    assert run_fast(queries, events, AlwaysShareOptimizer) == pytest.approx(oracle)
+    assert run_slow(queries, events, AlwaysShareOptimizer) == pytest.approx(oracle)
+    assert run_fast(queries, events, NeverShareOptimizer) == pytest.approx(oracle)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_negation_arms_and_disarms_fast_path_consistently(seed):
+    """Streams dense in negated events exercise the fast->slow fallback."""
+    events = make_stream(seed, 48, negative_weight=2.0)
+    queries = workload(with_edge_predicates=False)
+    for factory in (AlwaysShareOptimizer, NeverShareOptimizer):
+        fast = run_fast(queries, events, factory)
+        slow = run_slow(queries, events, factory)
+        assert fast == slow
+
+
+def test_executor_type_filter_is_transparent():
+    """Events of types no query references never change executor totals."""
+    events = make_stream(11, 200)
+    noisy: list[Event] = []
+    for index, event in enumerate(events):
+        noisy.append(event)
+        if index % 3 == 0:
+            noisy.append(Event("Noise", event.time, {"v": 1.0, "d": 1.0}))
+    queries = workload(window=EXACT_WINDOW)
+    plain = run_workload(queries, events, lambda: HamletEngine(DynamicSharingOptimizer()))
+    with_noise = run_workload(queries, noisy, lambda: HamletEngine(DynamicSharingOptimizer()))
+    assert plain.totals == with_noise.totals
+
+
+def test_out_of_order_stream_falls_back_to_slow_path():
+    """An out-of-order stream must not corrupt fast-path totals."""
+    events = [
+        Event("A", 0.0, {"v": 1.0, "d": 1.0}),
+        Event("B", 5.0, {"v": 2.0, "d": 1.0}),
+        Event("C", 1.0, {"v": 1.0, "d": 1.0}),  # arrives late
+        Event("B", 6.0, {"v": 3.0, "d": 1.0}),
+    ]
+    queries = workload(with_edge_predicates=False, with_negation=False)
+    fast = run_fast(queries, events, NeverShareOptimizer)
+    slow = run_slow(queries, events, NeverShareOptimizer)
+    assert fast == slow
