@@ -1,19 +1,27 @@
 """Perf smoke microbenchmark — the repo's recorded performance trajectory.
 
-Runs a fixed-seed, fig9-style workload (shared ``Travel+`` Kleene sub-pattern
-over the ridesharing stream) through the three hot paths this library cares
-about:
+Two fixed-seed suites:
 
-* ``hamlet_shared`` — HAMLET with the dynamic sharing optimizer (the paper's
-  headline configuration; symbolic snapshot propagation),
-* ``hamlet_non_shared`` — HAMLET forced non-shared (exercises the Equation 2
-  predecessor-total path),
-* ``greta`` — the per-query GRETA baseline.
+* ``smoke`` (``BENCH_PR1.json``) — the fig9-style tumbling-window workload
+  (shared ``Travel+`` Kleene sub-pattern over the ridesharing stream)
+  through the three engine hot paths:
 
-Each scenario is repeated and the best wall-clock time is kept; throughput is
-``stream events / best wall seconds``.  Results are merged into a JSON file
-(``BENCH_PR1.json`` by default) under a caller-chosen label so before/after
-numbers of a PR live side by side::
+  - ``hamlet_shared`` — HAMLET with the dynamic sharing optimizer,
+  - ``hamlet_non_shared`` — HAMLET forced non-shared (Equation 2 path),
+  - ``greta`` — the per-query GRETA baseline.
+
+* ``overlap`` (``BENCH_PR2.json``) — an overlapping-window workload
+  (slide = size/5, 20 districts, rare trend-start types) comparing the
+  batch replay executor against the single-pass ``StreamingExecutor`` for
+  HAMLET and GRETA.  The streaming rows carry a
+  ``speedup_streaming_over_batch`` section: the architectural win comes
+  from lazy window opening (inert prefixes are never fed to engines) and
+  from start-less window instances never being opened at all.
+
+Each scenario is repeated and the best wall-clock time is kept; throughput
+is ``stream events / best wall seconds``.  Results are merged into the
+suite's JSON file under a caller-chosen label so before/after numbers of a
+PR live side by side::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py --label before
     ... apply the optimization ...
@@ -34,6 +42,7 @@ import math
 import platform
 import sys
 import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
@@ -49,51 +58,144 @@ from repro.optimizer.decisions import DynamicSharingOptimizer
 from repro.optimizer.static import NeverShareOptimizer
 from repro.query.windows import Window
 from repro.runtime.executor import WorkloadExecutor
+from repro.runtime.streaming import StreamingExecutor
 from repro.bench.workloads import kleene_sharing_workload
-
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR1.json"
-
-#: Fixed workload shape (fig9-style: shared Travel+ over ridesharing).
-NUM_QUERIES = 10
-EVENTS_PER_MINUTE = 2400.0
-DURATION_SECONDS = 120.0
-SEED = 7
-DISTRICTS = 5
-WINDOW = Window.minutes(1)
 
 #: Permitted relative growth of deterministic operation counts before the
 #: ``--gate`` mode fails (guards against accidental algorithmic regressions
 #: while tolerating benign accounting tweaks).
 GATE_TOLERANCE = 0.05
 
+SEED = 7
+EVENTS_PER_MINUTE = 2400.0
+DURATION_SECONDS = 120.0
 
-def build_input():
-    """The fixed-seed workload and stream shared by every scenario."""
+
+@dataclass(frozen=True)
+class Suite:
+    """One recorded benchmark suite: fixed input + named executor scenarios."""
+
+    name: str
+    output: Path
+    build_input: Callable
+    scenarios: Callable
+    workload_meta: dict
+
+
+# ---------------------------------------------------------------------- #
+# Suite: smoke (fig9-style, tumbling window) -> BENCH_PR1.json
+# ---------------------------------------------------------------------- #
+SMOKE_QUERIES = 10
+SMOKE_DISTRICTS = 5
+SMOKE_WINDOW = Window.minutes(1)
+
+
+def _smoke_input():
     workload = kleene_sharing_workload(
-        NUM_QUERIES, kleene_type="Travel", window=WINDOW, name="smoke"
+        SMOKE_QUERIES, kleene_type="Travel", window=SMOKE_WINDOW, name="smoke"
     )
     generator = RidesharingGenerator(
-        events_per_minute=EVENTS_PER_MINUTE, seed=SEED, districts=DISTRICTS
+        events_per_minute=EVENTS_PER_MINUTE, seed=SEED, districts=SMOKE_DISTRICTS
     )
-    events = list(generator.generate(DURATION_SECONDS))
-    return workload, events
+    return workload, list(generator.generate(DURATION_SECONDS))
 
 
-def scenarios() -> dict[str, Callable]:
+def _smoke_scenarios() -> dict[str, Callable]:
     return {
-        "hamlet_shared": lambda: HamletEngine(DynamicSharingOptimizer()),
-        "hamlet_non_shared": lambda: HamletEngine(NeverShareOptimizer()),
-        "greta": GretaEngine,
+        "hamlet_shared": lambda workload, events: WorkloadExecutor(
+            workload, lambda: HamletEngine(DynamicSharingOptimizer())
+        ).run(events),
+        "hamlet_non_shared": lambda workload, events: WorkloadExecutor(
+            workload, lambda: HamletEngine(NeverShareOptimizer())
+        ).run(events),
+        "greta": lambda workload, events: WorkloadExecutor(workload, GretaEngine).run(events),
     }
 
 
-def run_scenario(name: str, factory: Callable, workload, events, repeats: int) -> dict:
+# ---------------------------------------------------------------------- #
+# Suite: overlap (sliding window, slide = size/5) -> BENCH_PR2.json
+# ---------------------------------------------------------------------- #
+OVERLAP_QUERIES = 10
+OVERLAP_DISTRICTS = 20
+OVERLAP_WINDOW = Window(10.0, 2.0)  # slide = size/5
+#: Rare trend-start types (the paper's bursty setting: sparse requests,
+#: dense Travel pings) — the regime where replaying every overlapping
+#: partition from scratch wastes the most work.
+OVERLAP_PREFIXES = ("Surge", "Breakdown")
+
+
+def _overlap_input():
+    workload = kleene_sharing_workload(
+        OVERLAP_QUERIES,
+        kleene_type="Travel",
+        prefix_types=OVERLAP_PREFIXES,
+        window=OVERLAP_WINDOW,
+        name="overlap",
+    )
+    generator = RidesharingGenerator(
+        events_per_minute=EVENTS_PER_MINUTE, seed=SEED, districts=OVERLAP_DISTRICTS
+    )
+    return workload, list(generator.generate(DURATION_SECONDS))
+
+
+def _overlap_scenarios() -> dict[str, Callable]:
+    hamlet = lambda: HamletEngine(DynamicSharingOptimizer())  # noqa: E731
+    return {
+        "batch_hamlet": lambda workload, events: WorkloadExecutor(workload, hamlet).run(events),
+        "streaming_hamlet": lambda workload, events: StreamingExecutor(workload, hamlet).run(
+            events
+        ),
+        "batch_greta": lambda workload, events: WorkloadExecutor(workload, GretaEngine).run(
+            events
+        ),
+        "streaming_greta": lambda workload, events: StreamingExecutor(
+            workload, GretaEngine
+        ).run(events),
+    }
+
+
+SUITES = {
+    "smoke": Suite(
+        name="smoke",
+        output=REPO_ROOT / "BENCH_PR1.json",
+        build_input=_smoke_input,
+        scenarios=_smoke_scenarios,
+        workload_meta={
+            "style": "fig9-shared-kleene",
+            "num_queries": SMOKE_QUERIES,
+            "events_per_minute": EVENTS_PER_MINUTE,
+            "duration_seconds": DURATION_SECONDS,
+            "seed": SEED,
+            "districts": SMOKE_DISTRICTS,
+            "window_seconds": SMOKE_WINDOW.size,
+        },
+    ),
+    "overlap": Suite(
+        name="overlap",
+        output=REPO_ROOT / "BENCH_PR2.json",
+        build_input=_overlap_input,
+        scenarios=_overlap_scenarios,
+        workload_meta={
+            "style": "overlapping-window-batch-vs-streaming",
+            "num_queries": OVERLAP_QUERIES,
+            "events_per_minute": EVENTS_PER_MINUTE,
+            "duration_seconds": DURATION_SECONDS,
+            "seed": SEED,
+            "districts": OVERLAP_DISTRICTS,
+            "window_seconds": OVERLAP_WINDOW.size,
+            "slide_seconds": OVERLAP_WINDOW.slide,
+            "prefix_types": list(OVERLAP_PREFIXES),
+        },
+    ),
+}
+
+
+def run_scenario(name: str, runner: Callable, workload, events, repeats: int) -> dict:
     best_seconds = float("inf")
     report = None
     for _ in range(max(1, repeats)):
-        executor = WorkloadExecutor(workload, factory)
         start = time.perf_counter()
-        report = executor.run(events)
+        report = runner(workload, events)
         elapsed = time.perf_counter() - start
         best_seconds = min(best_seconds, elapsed)
     assert report is not None
@@ -106,6 +208,12 @@ def run_scenario(name: str, factory: Callable, workload, events, repeats: int) -
         "partitions": report.metrics.partitions,
         "result_checksum": checksum,
     }
+    if report.metrics.peak_active_windows:
+        result["peak_active_windows"] = report.metrics.peak_active_windows
+    if report.metrics.emission_latencies:
+        result["avg_emission_latency_ms"] = round(
+            report.metrics.average_emission_latency * 1e3, 4
+        )
     print(
         f"  {name:<20} {result['events_per_second']:>10.0f} ev/s  "
         f"{best_seconds:8.3f} s  ops={result['operations']:>10}  "
@@ -114,43 +222,41 @@ def run_scenario(name: str, factory: Callable, workload, events, repeats: int) -
     return result
 
 
-def load_results(path: Path) -> dict:
-    if path.exists():
-        return json.loads(path.read_text())
-    return {
-        "benchmark": "perf_smoke",
-        "workload": {
-            "style": "fig9-shared-kleene",
-            "num_queries": NUM_QUERIES,
-            "events_per_minute": EVENTS_PER_MINUTE,
-            "duration_seconds": DURATION_SECONDS,
-            "seed": SEED,
-            "districts": DISTRICTS,
-            "window_seconds": WINDOW.size,
-        },
-        "runs": {},
-    }
+def load_results(suite: Suite) -> dict:
+    if suite.output.exists():
+        return json.loads(suite.output.read_text())
+    return {"benchmark": f"perf_smoke/{suite.name}", "workload": suite.workload_meta, "runs": {}}
 
 
 def attach_speedups(results: dict) -> None:
     runs = results["runs"]
-    if "before" not in runs or "after" not in runs:
-        return
-    speedups = {}
-    for name, after in runs["after"].items():
-        before = runs["before"].get(name)
-        if before and before.get("wall_seconds"):
-            speedups[name] = round(
-                before["wall_seconds"] / after["wall_seconds"], 2
-            )
-    results["speedup_after_over_before"] = speedups
+    if "before" in runs and "after" in runs:
+        speedups = {}
+        for name, after in runs["after"].items():
+            before = runs["before"].get(name)
+            if before and before.get("wall_seconds"):
+                speedups[name] = round(before["wall_seconds"] / after["wall_seconds"], 2)
+        results["speedup_after_over_before"] = speedups
+    # Streaming-vs-batch pairs within each label (the overlap suite).
+    for label, rows in runs.items():
+        speedups = {}
+        for name, row in rows.items():
+            if not name.startswith("streaming_"):
+                continue
+            partner = rows.get("batch_" + name[len("streaming_"):])
+            if partner and row.get("wall_seconds"):
+                speedups[name[len("streaming_"):]] = round(
+                    partner["wall_seconds"] / row["wall_seconds"], 2
+                )
+        if speedups:
+            results.setdefault("speedup_streaming_over_batch", {})[label] = speedups
 
 
-def gate(results: dict, current: dict) -> int:
+def gate(results: dict, current: dict, suite: Suite) -> int:
     """Compare deterministic operation counts against the recorded baseline."""
     baseline = results["runs"].get("after") or results["runs"].get("before")
     if baseline is None:
-        print("gate: no recorded baseline label; nothing to compare against")
+        print(f"gate[{suite.name}]: no recorded baseline label; nothing to compare against")
         return 1
     failures = []
     for name, row in current.items():
@@ -175,40 +281,29 @@ def gate(results: dict, current: dict) -> int:
             )
     if failures:
         for failure in failures:
-            print(f"gate FAILED: {failure}")
+            print(f"gate[{suite.name}] FAILED: {failure}")
         return 1
-    print("gate OK: operation counts and result checksums within tolerance")
+    print(f"gate[{suite.name}] OK: operation counts and result checksums within tolerance")
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--label", default="after", help="label to record under (before/after/...)")
-    parser.add_argument("--out", type=Path, default=DEFAULT_OUTPUT, help="JSON results file")
-    parser.add_argument("--repeats", type=int, default=3, help="repetitions per scenario")
-    parser.add_argument(
-        "--gate",
-        action="store_true",
-        help="do not record; fail if deterministic op counts regressed vs the file",
-    )
-    args = parser.parse_args(argv)
-
-    workload, events = build_input()
+def run_suite(suite: Suite, args) -> int:
+    workload, events = suite.build_input()
     # The gate only reads deterministic op counts and checksums, which are
     # identical across repeats; one execution per scenario suffices.
     repeats = 1 if args.gate else args.repeats
     print(
-        f"perf_smoke: {len(events)} events, {NUM_QUERIES} queries, "
-        f"label={args.label!r}, repeats={repeats}"
+        f"perf_smoke[{suite.name}]: {len(events)} events, label={args.label!r}, "
+        f"repeats={repeats}"
     )
     current = {
-        name: run_scenario(name, factory, workload, events, repeats)
-        for name, factory in scenarios().items()
+        name: run_scenario(name, runner, workload, events, repeats)
+        for name, runner in suite.scenarios().items()
     }
 
-    results = load_results(args.out)
+    results = load_results(suite)
     if args.gate:
-        return gate(results, current)
+        return gate(results, current, suite)
 
     results["runs"][args.label] = current
     results.setdefault("environment", {})[args.label] = {
@@ -216,9 +311,33 @@ def main(argv: list[str] | None = None) -> int:
         "platform": platform.platform(),
     }
     attach_speedups(results)
-    args.out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
-    print(f"recorded label {args.label!r} in {args.out}")
+    suite.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"recorded label {args.label!r} in {suite.output}")
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="after", help="label to record under (before/after/...)")
+    parser.add_argument(
+        "--suite",
+        choices=[*SUITES, "all"],
+        default="all",
+        help="which suite to run (default: all)",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="repetitions per scenario")
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="do not record; fail if deterministic op counts regressed vs the files",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(SUITES) if args.suite == "all" else [args.suite]
+    status = 0
+    for name in names:
+        status = max(status, run_suite(SUITES[name], args))
+    return status
 
 
 if __name__ == "__main__":

@@ -7,6 +7,9 @@ Commands:
   series as a table.
 * ``demo`` — run the quickstart workload (the paper's running example) and
   print the shared versus non-shared results.
+* ``stream`` — run a ridesharing workload through the single-pass
+  :class:`~repro.runtime.StreamingExecutor`, printing every window result as
+  it is emitted, followed by the latency/memory summary.
 
 The CLI is a thin wrapper over :mod:`repro.bench`; anything it does can also
 be done programmatically (see README.md).
@@ -62,6 +65,37 @@ def _run_demo() -> None:
     print("GRETA (non-shared):", {k: round(v) for k, v in sorted(greta.totals.items())})
 
 
+def _run_stream(queries: int, minutes: float, events_per_minute: float) -> None:
+    from repro.datasets.ridesharing import RidesharingGenerator
+    from repro.query import Window
+    from repro.runtime import StreamingExecutor, WindowResult
+    from repro.bench.workloads import kleene_sharing_workload
+
+    window = Window.minutes(1.0, 0.2)  # overlapping: slide = size/5
+    workload = kleene_sharing_workload(queries, kleene_type="Travel", window=window)
+    stream = RidesharingGenerator(
+        events_per_minute=events_per_minute, seed=7, districts=3
+    ).generate(minutes * 60.0)
+
+    def emit(result: WindowResult) -> None:
+        total = sum(result.results.values())
+        print(
+            f"window [{result.window_start:7.1f}s, {result.window_end:7.1f}s) "
+            f"group={result.group_key} events={result.events:5d} "
+            f"trends={total:g} latency={result.emission_latency * 1e3:.2f}ms"
+        )
+
+    executor = StreamingExecutor(workload, on_window=emit)
+    report = executor.run(stream)
+    metrics = report.metrics
+    print(
+        f"\n{metrics.stream_events} events -> {metrics.partitions} windows, "
+        f"peak {metrics.peak_active_windows} active "
+        f"(avg emission latency {metrics.average_emission_latency * 1e3:.2f}ms, "
+        f"peak memory {metrics.peak_memory_units} units)"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -74,6 +108,14 @@ def build_parser() -> argparse.ArgumentParser:
         "names", nargs="*", default=["all"], help="figure ids (fig9..fig13, table1, overhead, all)"
     )
     subparsers.add_parser("demo", help="run the quickstart workload")
+    stream = subparsers.add_parser(
+        "stream", help="run the single-pass streaming executor, emitting window results live"
+    )
+    stream.add_argument("--queries", type=int, default=5, help="number of workload queries")
+    stream.add_argument("--minutes", type=float, default=2.0, help="stream duration in minutes")
+    stream.add_argument(
+        "--events-per-minute", type=float, default=1200.0, help="stream arrival rate"
+    )
     return parser
 
 
@@ -84,6 +126,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         _run_figures(arguments.names or ["all"])
     elif arguments.command == "demo":
         _run_demo()
+    elif arguments.command == "stream":
+        _run_stream(arguments.queries, arguments.minutes, arguments.events_per_minute)
     return 0
 
 

@@ -116,6 +116,10 @@ class HamletEngine(TrendAggregationEngine):
                     f"HamletEngine only supports linear aggregates; query {query.name} "
                     f"computes {query.aggregate.describe()} — route it to GretaEngine"
                 )
+        # A new partition has no burst continuity with the previous one: the
+        # optimizer's merge/split counters must not compare the first burst
+        # of this partition against the last decision of the previous one.
+        self.optimizer.begin_partition()
         same_queries = tuple(queries) == self._queries
         self._queries = tuple(queries)
         if not same_queries or self._merged is None:
@@ -175,6 +179,22 @@ class HamletEngine(TrendAggregationEngine):
                 )
             results[query.name] = result_from_vector(query, total, self._measures)
         return results
+
+    def close(self) -> None:
+        """Evict the finished partition's graph and snapshot table.
+
+        Compiled, query-set-pure state (templates, merged template, sharing
+        analysis, fast-path guards) is kept so a pooled engine restarts
+        without recompiling.
+        """
+        if self._table is not None:
+            self._lifetime_snapshots += self._table.created_count()
+        self._table = None
+        self._graph = None
+        self._burst_type = None
+        self._burst = []
+        self._operations = 0
+        self._started = False
 
     def memory_units(self) -> int:
         """Graph, snapshot table and one result slot per query."""

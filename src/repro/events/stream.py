@@ -45,6 +45,10 @@ class EventStream:
     def __init__(self, events: Iterable[Event] = (), *, name: str = "stream") -> None:
         self.name = name
         self._events: list[Event] = []
+        #: Timestamp array kept in lock-step with ``_events`` so time-based
+        #: slicing (``between``, the streaming executor's pane bounds) never
+        #: rebuilds the full list per call.
+        self._times: list[Timestamp] = []
         for event in events:
             self.append(event)
 
@@ -53,11 +57,12 @@ class EventStream:
     # ------------------------------------------------------------------ #
     def append(self, event: Event) -> None:
         """Append ``event``; events must arrive in non-decreasing time order."""
-        if self._events and event.time < self._events[-1].time:
+        if self._times and event.time < self._times[-1]:
             raise StreamError(
-                f"out-of-order event: {event.time} arrives after {self._events[-1].time}"
+                f"out-of-order event: {event.time} arrives after {self._times[-1]}"
             )
         self._events.append(event)
+        self._times.append(event.time)
 
     def extend(self, events: Iterable[Event]) -> None:
         """Append every event in ``events`` in order."""
@@ -99,12 +104,20 @@ class EventStream:
         """Timestamp of the last event, or None for an empty stream."""
         return self._events[-1].time if self._events else None
 
+    @property
+    def times(self) -> Sequence[Timestamp]:
+        """The event timestamps as a sorted array (kept in step with appends)."""
+        return self._times
+
+    def index_at(self, timestamp: Timestamp) -> int:
+        """Index of the first event with ``time >= timestamp`` (binary search)."""
+        return bisect.bisect_left(self._times, timestamp)
+
     def between(self, start: Timestamp, end: Timestamp) -> "EventStream":
         """Return the sub-stream with timestamps in the half-open ``[start, end)``."""
-        times = [event.time for event in self._events]
-        lo = bisect.bisect_left(times, start)
-        hi = bisect.bisect_left(times, end)
-        return EventStream(self._events[lo:hi], name=self.name)
+        return EventStream(
+            self._events[self.index_at(start) : self.index_at(end)], name=self.name
+        )
 
     def filter(self, predicate: Callable[[Event], bool]) -> "EventStream":
         """Return the sub-stream of events satisfying ``predicate``."""

@@ -92,6 +92,16 @@ class GretaEngine(TrendAggregationEngine):
             results[query.name] = aggregator.finalize(end_states)
         return results
 
+    def close(self) -> None:
+        """Evict the finished partition's graphs and aggregators.
+
+        The compiled-template cache is query-set-pure and survives, so a
+        pooled engine restarts without recompiling patterns.
+        """
+        self._graphs = {}
+        self._aggregators = {}
+        self._started = False
+
     def memory_units(self) -> int:
         """Sum of per-query graph footprints (events are replicated per query)."""
         return sum(graph.memory_units() for graph in self._graphs.values())

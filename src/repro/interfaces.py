@@ -56,6 +56,17 @@ class TrendAggregationEngine(abc.ABC):
         measures "peak memory" across approaches.
         """
 
+    def close(self) -> None:
+        """Release the per-partition state built since :meth:`start`.
+
+        Called by the streaming executor when a window instance is evicted:
+        the engine must drop the graph/table state of the finished partition
+        (so pooled idle engines hold no window state) while *keeping* compiled
+        artifacts that are pure functions of the query set (templates, sharing
+        analysis), which makes restarting a pooled engine cheap.  The default
+        is a no-op; engines that hold per-partition state override it.
+        """
+
     # ------------------------------------------------------------------ #
     # Convenience
     # ------------------------------------------------------------------ #

@@ -55,6 +55,20 @@ class OptimizerStatistics:
         total = self.shared_bursts + self.non_shared_bursts
         return self.shared_bursts / total if total else 0.0
 
+    def merge(self, other: "OptimizerStatistics") -> None:
+        """Fold another optimizer's counters into this one.
+
+        The streaming executor runs a pool of engines (one per active window
+        instance), each with its own optimizer; run-level statistics are the
+        sum over the pool.
+        """
+        self.decisions += other.decisions
+        self.shared_bursts += other.shared_bursts
+        self.non_shared_bursts += other.non_shared_bursts
+        self.merges += other.merges
+        self.splits += other.splits
+        self.decision_seconds += other.decision_seconds
+
 
 class SharingOptimizer:
     """Base class: subclasses implement :meth:`decide`."""
@@ -62,6 +76,18 @@ class SharingOptimizer:
     def __init__(self) -> None:
         self.statistics = OptimizerStatistics()
         self._previous_share: dict[str, bool] = {}
+
+    def begin_partition(self) -> None:
+        """Reset the merge/split continuity tracking for a fresh partition.
+
+        The engine calls this from ``start()``: merge/split counters compare
+        each decision against the *previous decision for the same event type*,
+        and that continuity only exists within one partition.  Without the
+        reset, the first burst of every new window instance was compared
+        against the previous partition's last decision and miscounted as a
+        merge or split.
+        """
+        self._previous_share.clear()
 
     def decide(self, stats: BurstStatistics) -> SharingDecision:
         """Decide whether (and with which queries) to share one burst."""

@@ -7,6 +7,7 @@ windows are the special case ``s == w``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -52,20 +53,69 @@ class Window:
     # ------------------------------------------------------------------ #
     # Window instance arithmetic
     # ------------------------------------------------------------------ #
-    def instances_covering(self, timestamp: Timestamp) -> Iterator[tuple[float, float]]:
-        """Yield ``(start, end)`` of every window instance containing ``timestamp``.
+    # Window instances are identified by their *integer index* ``k``: instance
+    # ``k`` spans ``[k*slide, k*slide + size)``.  All membership arithmetic is
+    # done on indices; ``k*slide`` floats are derived values for reporting
+    # only.  Keying state by the index (not the float start) is what keeps
+    # partitions of different execution units equal for fractional slides,
+    # where ``k*slide`` accumulates rounding error (``3*0.1 != 0.3``).
 
-        A timestamp belongs to instance ``k`` when
-        ``k*slide <= timestamp < k*slide + size``.
+    def _floor_index(self, value: float) -> int:
+        """``floor(value / slide)``, snapped up at exact-multiple boundaries.
+
+        Plain float division places ``0.3 / 0.1`` at ``2.9999...`` and would
+        assign a boundary event to the previous instance; values within one
+        part in 1e12 of the next integer are treated as exact multiples.
+        ``value`` may be negative (the lower window edge ``timestamp - size``),
+        where the same snap applies — e.g. ``-7e-17`` counts as multiple 0.
         """
+        quotient = value / self.slide
+        index = math.floor(quotient)
+        if math.isclose(index + 1, quotient, rel_tol=1e-12, abs_tol=1e-12):
+            index += 1
+        return int(index)
+
+    @property
+    def instances_per_event(self) -> int:
+        """``ceil(size / slide)`` — max window instances covering one event."""
+        quotient = self.size / self.slide
+        floor_q = math.floor(quotient)
+        if math.isclose(floor_q, quotient, rel_tol=1e-12, abs_tol=1e-12):
+            return int(floor_q)
+        return int(floor_q) + 1
+
+    def last_instance_index(self, timestamp: Timestamp) -> int:
+        """Index of the youngest window instance covering ``timestamp``."""
         if timestamp < 0:
             raise WindowError(f"timestamp must be non-negative, got {timestamp!r}")
-        last = int(timestamp // self.slide)
-        first = int(max(0.0, timestamp - self.size) // self.slide)
-        for k in range(first, last + 1):
-            start = k * self.slide
-            if start <= timestamp < start + self.size:
-                yield (start, start + self.size)
+        return self._floor_index(timestamp)
+
+    def instance_indices_covering(self, timestamp: Timestamp) -> range:
+        """Indices ``k`` of every window instance containing ``timestamp``.
+
+        A timestamp belongs to instance ``k`` when
+        ``k*slide <= timestamp < k*slide + size``; at most
+        :attr:`instances_per_event` indices are returned.
+        """
+        last = self.last_instance_index(timestamp)
+        # Covered iff k*slide > timestamp - size, i.e. strictly after the
+        # boundary: an instance ending exactly at ``timestamp`` (half-open)
+        # does not contain it.  Both edges go through the same snapped
+        # division — a raw ``timestamp < size`` test here would disagree with
+        # the snapped ``last`` for timestamps a few ulps below a boundary and
+        # admit one extra, mutually-exclusive instance.
+        first = max(0, self._floor_index(timestamp - self.size) + 1)
+        return range(first, last + 1)
+
+    def instance_bounds(self, index: int) -> tuple[float, float]:
+        """Return the ``(start, end)`` bounds of window instance ``index``."""
+        start = index * self.slide
+        return (start, start + self.size)
+
+    def instances_covering(self, timestamp: Timestamp) -> Iterator[tuple[float, float]]:
+        """Yield ``(start, end)`` of every window instance containing ``timestamp``."""
+        for index in self.instance_indices_covering(timestamp):
+            yield self.instance_bounds(index)
 
     def instance_starting_at(self, start: float) -> tuple[float, float]:
         """Return the ``(start, end)`` bounds of the instance starting at ``start``."""

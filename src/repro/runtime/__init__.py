@@ -1,10 +1,19 @@
 """Runtime: stream partitioning, execution and metrics.
 
-The :class:`~repro.runtime.executor.WorkloadExecutor` is the piece a
-downstream user actually calls: it analyses the workload (Definitions 4–5),
-routes stream events into per-group / per-window partitions, drives an
-aggregation engine over every partition and collects latency, throughput and
-memory metrics — the quantities reported by the paper's figures.
+Two executors evaluate a workload over a stream:
+
+* :class:`~repro.runtime.executor.WorkloadExecutor` — the batch/replay
+  reference path: materializes the stream, partitions it per group and
+  window instance, replays each partition through an engine;
+* :class:`~repro.runtime.streaming.StreamingExecutor` — the single-pass
+  online path: consumes events in timestamp order exactly once, feeds them
+  incrementally to the engines of the covering window instances, emits each
+  :class:`~repro.runtime.streaming.WindowResult` the moment its window
+  closes and evicts the closed state, so peak memory is bounded by the
+  number of *active* windows.
+
+Both analyse the workload the same way (Definitions 4–5), drive the same
+engines and produce the same totals — property-tested bit-identically.
 """
 
 from repro.runtime.executor import (
@@ -15,6 +24,7 @@ from repro.runtime.executor import (
 )
 from repro.runtime.metrics import ExecutionMetrics, Stopwatch
 from repro.runtime.partitioner import GroupWindowPartitioner, PartitionKey
+from repro.runtime.streaming import StreamingExecutor, WindowResult, run_streaming
 
 __all__ = [
     "ExecutionMetrics",
@@ -23,6 +33,9 @@ __all__ = [
     "PartitionKey",
     "PartitionResult",
     "Stopwatch",
+    "StreamingExecutor",
+    "WindowResult",
     "WorkloadExecutor",
+    "run_streaming",
     "run_workload",
 ]

@@ -1,4 +1,4 @@
-"""The multi-query workload executor.
+"""The multi-query workload executor (batch/replay reference path).
 
 The executor glues the pieces of Figure 2 together:
 
@@ -21,15 +21,21 @@ Each execution unit sees only the events whose type its queries reference
 (positively or under NOT): the stream is filtered once per unit before
 partitioning, so partitions never store or replay events an engine would
 ignore anyway.
+
+This module also hosts the unit-splitting, engine-selection and
+OR/AND-recombination logic shared with the single-pass
+:class:`~repro.runtime.streaming.StreamingExecutor`: the two executors differ
+in *when* events reach the engines (materialized replay vs incremental
+feeding), not in what is evaluated.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Optional, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.core.engine import HamletEngine
-from repro.events.event import Event
+from repro.events.event import Event, EventType
 from repro.events.stream import EventStream
 from repro.greta.engine import GretaEngine
 from repro.interfaces import TrendAggregationEngine
@@ -38,6 +44,7 @@ from repro.query.workload import Workload
 from repro.runtime.metrics import ExecutionMetrics, Stopwatch
 from repro.runtime.partitioner import GroupWindowPartitioner, PartitionKey
 from repro.template.analysis import WorkloadAnalysis, analyze_workload
+from repro.template.decompose import DecomposedQuery
 
 #: Factory producing a fresh (or reusable) engine for a set of queries.
 EngineFactory = Callable[[], TrendAggregationEngine]
@@ -48,10 +55,18 @@ class PartitionResult:
     """Results of one ``(group key, window instance)`` partition."""
 
     group_key: tuple
+    #: Integer window-instance index (instance spans ``[k*slide, k*slide+size)``).
+    window_index: int
+    #: Derived start time of the instance, for reporting.
     window_start: float
     results: Mapping[str, float]
     seconds: float
     events: int
+
+    @property
+    def key(self) -> PartitionKey:
+        """The partition key ``(group key, window index)``."""
+        return (self.group_key, self.window_index)
 
 
 @dataclass
@@ -73,12 +88,104 @@ class ExecutionReport:
         return self.totals.get(name, 0.0)
 
     def results_by_partition(self, query: Query | str) -> dict[PartitionKey, float]:
-        """Per-partition results of one query."""
+        """Per-partition results of one query, keyed by ``(group, window index)``."""
         name = query if isinstance(query, str) else query.name
         return {
-            (partition.group_key, partition.window_start): partition.results.get(name, 0.0)
+            partition.key: partition.results.get(name, 0.0)
             for partition in self.partition_results
         }
+
+
+# ---------------------------------------------------------------------- #
+# Logic shared between the batch and streaming executors
+# ---------------------------------------------------------------------- #
+def execution_units(queries: Sequence[Query]) -> Iterator[tuple[Query, ...]]:
+    """Split a sharable group into units sharing one engine partition set.
+
+    Queries must agree on the window spec to share a partition set; MIN /
+    MAX queries form their own units (they run on GRETA).
+    """
+    units: dict[tuple, list[Query]] = {}
+    for query in queries:
+        linear = query.aggregate.kind.is_linear
+        key = (query.window.size, query.window.slide, linear)
+        units.setdefault(key, []).append(query)
+    for (_, _, linear), unit_queries in sorted(units.items(), key=lambda item: repr(item[0])):
+        if linear:
+            yield tuple(unit_queries)
+        else:
+            # Extremum queries are evaluated per query on GRETA.
+            for query in unit_queries:
+                yield (query,)
+
+
+def unit_relevant_types(queries: Sequence[Query]) -> set[EventType]:
+    """Event types the unit's queries reference, positively or under NOT."""
+    types: set[EventType] = set()
+    for query in queries:
+        types |= query.event_types()
+    return types
+
+
+def unit_is_linear(queries: Sequence[Query]) -> bool:
+    """True if every query of the unit computes a linear aggregate."""
+    return all(query.aggregate.kind.is_linear for query in queries)
+
+
+def recombine_decompositions(
+    decompositions: Mapping[str, DecomposedQuery],
+    partition_results: Sequence[PartitionResult],
+    totals: dict[str, float],
+) -> None:
+    """Combine sub-query results of decomposed OR/AND queries (Section 5).
+
+    Type-disjoint sub-queries land in *different* execution units, so the two
+    halves of one window instance arrive as separate partition results that
+    share the ``(group, window index)`` key.  Every key's bucket is
+    initialized with an explicit 0.0 for each sub-query before the observed
+    results are merged in: a sub-query with no matches in a window (e.g. a
+    stream matching only one OR branch) must enter ``combine`` as exactly
+    0.0, never be silently dropped — for AND queries a dropped operand would
+    silently turn a product into a partial result.
+    """
+    if not decompositions:
+        return
+    for original_name, decomposition in decompositions.items():
+        sub_names = tuple(sub.name for sub in decomposition.sub_queries)
+        per_partition: dict[PartitionKey, dict[str, float]] = {}
+        for partition in partition_results:
+            present = {
+                name: partition.results[name]
+                for name in sub_names
+                if name in partition.results
+            }
+            if not present:
+                continue
+            bucket = per_partition.setdefault(
+                partition.key, {name: 0.0 for name in sub_names}
+            )
+            bucket.update(present)
+        totals[original_name] = sum(
+            decomposition.combine(sub_results) for sub_results in per_partition.values()
+        )
+
+
+def resolve_engine_label(engine_factory: EngineFactory) -> tuple[str, Optional[TrendAggregationEngine]]:
+    """Resolve the display name of an engine factory.
+
+    Engine classes expose ``name`` as a class attribute, so the common case
+    needs no instantiation.  For opaque factories (lambdas) one engine is
+    built; it is returned alongside the name so callers can keep it instead
+    of discarding it.
+    """
+    name = getattr(engine_factory, "name", None)
+    if isinstance(name, str):
+        return name, None
+    try:
+        engine = engine_factory()
+    except Exception:  # pragma: no cover - defensive
+        return "engine", None
+    return getattr(engine, "name", "engine"), engine
 
 
 class WorkloadExecutor:
@@ -106,8 +213,10 @@ class WorkloadExecutor:
         self.engine_factory = engine_factory
         self.reuse_engine = reuse_engine
         self.analysis: WorkloadAnalysis = analyze_workload(self.workload)
-        self._shared_engine: Optional[TrendAggregationEngine] = None
-        self._engine_label = self._resolve_engine_name()
+        self._engine_label, built = resolve_engine_label(engine_factory)
+        self._shared_engine: Optional[TrendAggregationEngine] = (
+            built if reuse_engine else None
+        )
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -119,54 +228,20 @@ class WorkloadExecutor:
         report.metrics.stream_events = len(events)
 
         for group in self.analysis.groups:
-            for queries in self._execution_units(group.queries):
+            for queries in execution_units(group.queries):
                 self._run_unit(queries, events, report)
 
-        self._recombine_decompositions(report)
+        recombine_decompositions(
+            self.analysis.decompositions, report.partition_results, report.totals
+        )
         self._attach_optimizer_statistics(report)
         return report
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _resolve_engine_name(self) -> str:
-        # Engine classes expose ``name`` as a class attribute, so the common
-        # case needs no instantiation.  For opaque factories (lambdas), build
-        # one engine and keep it as the reusable shared instance instead of
-        # discarding it.
-        name = getattr(self.engine_factory, "name", None)
-        if isinstance(name, str):
-            return name
-        try:
-            engine = self.engine_factory()
-        except Exception:  # pragma: no cover - defensive
-            return "engine"
-        if self.reuse_engine and self._shared_engine is None:
-            self._shared_engine = engine
-        return getattr(engine, "name", "engine")
-
-    def _execution_units(self, queries: Sequence[Query]) -> Iterable[tuple[Query, ...]]:
-        """Split a sharable group into units sharing one engine partition set.
-
-        Queries must agree on the window spec to share a partition set; MIN /
-        MAX queries form their own units (they run on GRETA).
-        """
-        units: dict[tuple, list[Query]] = {}
-        for query in queries:
-            linear = query.aggregate.kind.is_linear
-            key = (query.window.size, query.window.slide, linear)
-            units.setdefault(key, []).append(query)
-        for (_, _, linear), unit_queries in sorted(units.items(), key=lambda item: repr(item[0])):
-            if linear:
-                yield tuple(unit_queries)
-            else:
-                # Extremum queries are evaluated per query on GRETA.
-                for query in unit_queries:
-                    yield (query,)
-
     def _engine_for(self, queries: Sequence[Query]) -> TrendAggregationEngine:
-        linear = all(query.aggregate.kind.is_linear for query in queries)
-        if not linear:
+        if not unit_is_linear(queries):
             return GretaEngine()
         if self.reuse_engine:
             if self._shared_engine is None:
@@ -174,20 +249,13 @@ class WorkloadExecutor:
             return self._shared_engine
         return self.engine_factory()
 
-    def _relevant_types(self, queries: Sequence[Query]) -> set[str]:
-        """Event types the unit's queries reference, positively or under NOT."""
-        types: set[str] = set()
-        for query in queries:
-            types |= query.event_types()
-        return types
-
     def _run_unit(
         self, queries: tuple[Query, ...], events: list[Event], report: ExecutionReport
     ) -> None:
         # Filter the stream to the unit's relevant types before partitioning:
         # engines ignore other types anyway, and partitions of overlapping
         # windows would otherwise store and replay every irrelevant event.
-        relevant = self._relevant_types(queries)
+        relevant = unit_relevant_types(queries)
         unit_events = [event for event in events if event.event_type in relevant]
         partitioner = GroupWindowPartitioner.for_queries(queries)
         partitioner.add_all(unit_events)
@@ -198,7 +266,8 @@ class WorkloadExecutor:
             # report.totals rely on (an empty stream yields no entries).
             for query in queries:
                 report.totals.setdefault(query.name, 0.0)
-        for (group_key, window_start), partition_events in partitioner.partitions():
+        for key, partition_events in partitioner.partitions():
+            group_key, window_index = key
             with Stopwatch() as watch:
                 engine.start(queries)
                 for event in partition_events:
@@ -213,7 +282,8 @@ class WorkloadExecutor:
             report.partition_results.append(
                 PartitionResult(
                     group_key=group_key,
-                    window_start=window_start,
+                    window_index=window_index,
+                    window_start=partitioner.window_start(key),
                     results=dict(results),
                     seconds=watch.elapsed,
                     events=len(partition_events),
@@ -221,24 +291,6 @@ class WorkloadExecutor:
             )
             for name, value in results.items():
                 report.totals[name] = report.totals.get(name, 0.0) + value
-
-    def _recombine_decompositions(self, report: ExecutionReport) -> None:
-        """Combine sub-query results of decomposed OR/AND queries (Section 5)."""
-        if not self.analysis.decompositions:
-            return
-        for original_name, decomposition in self.analysis.decompositions.items():
-            per_partition: dict[PartitionKey, dict[str, float]] = {}
-            for partition in report.partition_results:
-                key = (partition.group_key, partition.window_start)
-                for sub_query in decomposition.sub_queries:
-                    if sub_query.name in partition.results:
-                        per_partition.setdefault(key, {})[sub_query.name] = partition.results[
-                            sub_query.name
-                        ]
-            total = 0.0
-            for sub_results in per_partition.values():
-                total += decomposition.combine(sub_results)
-            report.totals[original_name] = total
 
     def _attach_optimizer_statistics(self, report: ExecutionReport) -> None:
         engine = self._shared_engine

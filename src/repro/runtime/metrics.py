@@ -3,9 +3,11 @@
 The paper reports three metrics (Section 6.1):
 
 * **latency** — average time between a query's aggregation result output and
-  the arrival of the last event contributing to it.  In a replayed-stream
-  setting this is the time to process a window partition and extract its
-  result;
+  the arrival of the last event contributing to it.  In the replayed batch
+  setting this is approximated by the time to process a window partition and
+  extract its result; the streaming executor measures it directly as the
+  wall-clock span from the arrival of a window's last contributing event to
+  the emission of that window's result (``emission_latencies``);
 * **throughput** — average number of events processed by all queries per
   second;
 * **peak memory** — the maximum amount of state held at any point in time
@@ -50,8 +52,17 @@ class ExecutionMetrics:
     stream_events: int = 0
     #: Per-partition latencies in seconds.
     latencies: list[float] = field(default_factory=list)
-    #: Maximum engine memory footprint observed (abstract units).
+    #: True event-arrival-to-emission latencies (streaming executor): seconds
+    #: between the arrival of a window's last contributing event and the
+    #: emission of that window's result.
+    emission_latencies: list[float] = field(default_factory=list)
+    #: Maximum state held at any sampled point, in abstract units.  The batch
+    #: executor samples one engine per partition; the streaming executor
+    #: samples the *sum* over all concurrently open window instances.
     peak_memory_units: int = 0
+    #: Maximum number of simultaneously open window instances (streaming
+    #: executor); the batch executor leaves it at 0.
+    peak_active_windows: int = 0
     #: Total abstract work units reported by engines.
     operations: int = 0
 
@@ -66,6 +77,20 @@ class ExecutionMetrics:
         self.peak_memory_units = max(self.peak_memory_units, memory_units)
         self.operations += operations
 
+    def record_emission(self, latency_seconds: float) -> None:
+        """Record one window result's event-arrival-to-emission latency."""
+        self.emission_latencies.append(latency_seconds)
+
+    def note_active_windows(self, count: int) -> None:
+        """Track the peak number of simultaneously open window instances."""
+        if count > self.peak_active_windows:
+            self.peak_active_windows = count
+
+    def note_memory_units(self, units: int) -> None:
+        """Fold a sampled concurrent memory footprint into the peak."""
+        if units > self.peak_memory_units:
+            self.peak_memory_units = units
+
     @property
     def average_latency(self) -> float:
         """Average per-partition latency in seconds."""
@@ -75,6 +100,18 @@ class ExecutionMetrics:
     def max_latency(self) -> float:
         """Worst per-partition latency in seconds."""
         return max(self.latencies) if self.latencies else 0.0
+
+    @property
+    def average_emission_latency(self) -> float:
+        """Average arrival-to-emission latency in seconds (streaming runs)."""
+        if not self.emission_latencies:
+            return 0.0
+        return sum(self.emission_latencies) / len(self.emission_latencies)
+
+    @property
+    def max_emission_latency(self) -> float:
+        """Worst arrival-to-emission latency in seconds (streaming runs)."""
+        return max(self.emission_latencies) if self.emission_latencies else 0.0
 
     @property
     def throughput(self) -> float:
@@ -90,5 +127,7 @@ class ExecutionMetrics:
         self.events_processed += other.events_processed
         self.stream_events += other.stream_events
         self.latencies.extend(other.latencies)
+        self.emission_latencies.extend(other.emission_latencies)
         self.peak_memory_units = max(self.peak_memory_units, other.peak_memory_units)
+        self.peak_active_windows = max(self.peak_active_windows, other.peak_active_windows)
         self.operations += other.operations

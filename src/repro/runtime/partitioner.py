@@ -6,6 +6,17 @@ then slices it in time (Section 3.1).  The executor evaluates an engine per
 instance that covers its timestamp, so events of overlapping sliding windows
 are routed to several partitions.
 
+Partitions are keyed by the *integer window-instance index* ``k`` (instance
+``k`` spans ``[k*slide, k*slide + size)``), never by the float start
+``k*slide``: for fractional slides the float start accumulates rounding error
+(``3*0.1 != 0.3``), which used to misassign boundary events and make keys of
+the same instance unequal across execution units.
+
+Routing is exposed both incrementally (:meth:`GroupWindowPartitioner.route`
+yields the keys of one event without storing anything — the streaming
+executor's path) and materialized (:meth:`GroupWindowPartitioner.add_all`
+builds the dict-of-lists the batch executor replays).
+
 Queries that share an engine partition must agree on grouping attributes
 (guaranteed by Definition 5) and on the window specification (a documented
 simplification of the paper's pane-based cross-window sharing — see
@@ -21,8 +32,8 @@ from repro.events.event import Event
 from repro.query.query import Query
 from repro.query.windows import Window
 
-#: A partition is identified by the group-by key and the window instance start.
-PartitionKey = tuple[tuple, float]
+#: A partition is identified by the group-by key and the window-instance index.
+PartitionKey = tuple[tuple, int]
 
 
 @dataclass(frozen=True)
@@ -50,11 +61,20 @@ class GroupWindowPartitioner:
         first = queries[0]
         return cls(PartitionSpec(group_by=first.group_by, window=first.window))
 
+    def route(self, event: Event) -> Iterator[PartitionKey]:
+        """Yield the key of every partition ``event`` belongs to, storing nothing."""
+        group_key = self.spec.group_key(event)
+        for index in self.spec.window.instance_indices_covering(event.time):
+            yield (group_key, index)
+
+    def window_start(self, key: PartitionKey) -> float:
+        """Window start time of a partition key (derived, for reporting)."""
+        return key[1] * self.spec.window.slide
+
     def add(self, event: Event) -> None:
         """Route one event into every partition it belongs to."""
-        group_key = self.spec.group_key(event)
-        for start, _end in self.spec.window.instances_covering(event.time):
-            self._partitions.setdefault((group_key, start), []).append(event)
+        for key in self.route(event):
+            self._partitions.setdefault(key, []).append(event)
 
     def add_all(self, events: Iterable[Event]) -> None:
         """Route every event of ``events``."""
@@ -62,7 +82,7 @@ class GroupWindowPartitioner:
             self.add(event)
 
     def partitions(self) -> Iterator[tuple[PartitionKey, list[Event]]]:
-        """Yield partitions ordered by window start then group key."""
+        """Yield partitions ordered by window instance then group key."""
         for key in sorted(self._partitions, key=lambda item: (item[1], repr(item[0]))):
             yield key, self._partitions[key]
 

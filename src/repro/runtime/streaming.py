@@ -1,0 +1,416 @@
+"""Single-pass streaming workload executor.
+
+The batch :class:`~repro.runtime.executor.WorkloadExecutor` materializes the
+whole stream, duplicates every event into each overlapping window partition
+and replays each partition from scratch — correct, and kept as the semantics
+reference, but its latency, memory and throughput are artifacts of replay.
+This module is the online counterpart:
+
+* events are consumed **in timestamp order exactly once**;
+* an active-window index per ``(group key, window instance)`` feeds each
+  event incrementally to the engines of the window instances covering it —
+  at most ``ceil(size/slide)`` per event;
+* the moment the stream passes a window's end, its result is emitted through
+  a callback as a :class:`WindowResult` and the instance's engine state is
+  **evicted**, so peak memory is bounded by the number of *active* window
+  instances instead of the stream length;
+* closed-instance engines return to a per-unit pool: restarting a pooled
+  engine reuses its compiled templates and sharing analysis (see
+  ``TrendAggregationEngine.close``).
+
+Lazy opening (on by default) is the streaming-only throughput lever: a
+window instance is not opened — and events covering it are not fed to any
+engine — until the first event whose type can *start* a trend of one of the
+unit's queries arrives inside the instance.  Events preceding every
+trend-start event are provably inert: a trend is a time-ordered match
+beginning with a start-type event, negation constraints only invalidate
+edges between stored positive events, and leading ``NOT`` carries no
+constraint, so no engine's result can depend on the skipped prefix.  The
+randomized equivalence suite asserts bit-identical totals against the batch
+replay across engines and sharing policies.
+
+The executor is incremental: ``process(event)`` / ``finish()`` drive it from
+a live source, ``run(stream)`` wraps them for replay-style use.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.core.engine import HamletEngine
+from repro.errors import ExecutionError
+from repro.events.event import Event, EventType
+from repro.events.stream import EventStream
+from repro.greta.engine import GretaEngine
+from repro.interfaces import TrendAggregationEngine
+from repro.optimizer.decisions import OptimizerStatistics
+from repro.query.query import Query
+from repro.query.windows import Window
+from repro.query.workload import Workload
+from repro.runtime.executor import (
+    EngineFactory,
+    ExecutionReport,
+    PartitionResult,
+    execution_units,
+    recombine_decompositions,
+    resolve_engine_label,
+    unit_is_linear,
+    unit_relevant_types,
+)
+from repro.runtime.partitioner import PartitionKey, PartitionSpec
+from repro.template.analysis import analyze_workload
+from repro.template.template import compile_pattern
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """One closed window instance, emitted the moment the stream passes it."""
+
+    group_key: tuple
+    #: Integer window-instance index (instance spans ``[k*slide, k*slide+size)``).
+    window_index: int
+    window_start: float
+    window_end: float
+    #: Final aggregate per query of the instance's execution unit.
+    results: Mapping[str, float]
+    #: Events fed to this instance's engine.
+    events: int
+    #: Wall-clock seconds from the arrival of the instance's last contributing
+    #: event to the emission of this result.
+    emission_latency: float
+
+
+@dataclass
+class _Instance:
+    """Runtime state of one open ``(group key, window instance)``."""
+
+    key: PartitionKey
+    end: float
+    engine: TrendAggregationEngine
+    events: int = 0
+    seconds: float = 0.0
+    #: ``time.perf_counter()`` at the arrival of the last fed event.
+    last_arrival: float = 0.0
+
+
+@dataclass
+class _Unit:
+    """One execution unit: queries sharing a partition set, plus its engines."""
+
+    queries: tuple[Query, ...]
+    spec: PartitionSpec
+    relevant_types: frozenset[EventType]
+    #: Types that can start a trend of at least one unit query (lazy-open gate).
+    opening_types: frozenset[EventType]
+    linear: bool
+    open: dict[PartitionKey, _Instance] = field(default_factory=dict)
+    pool: list[TrendAggregationEngine] = field(default_factory=list)
+    #: Earliest end among open instances (``inf`` when none are open).
+    next_close: float = float("inf")
+
+    @property
+    def window(self) -> Window:
+        return self.spec.window
+
+
+class StreamingExecutor:
+    """Single-pass, bounded-memory evaluation of a trend aggregation workload."""
+
+    def __init__(
+        self,
+        workload: Workload | Sequence[Query],
+        engine_factory: EngineFactory = HamletEngine,
+        *,
+        on_window: Optional[Callable[[WindowResult], None]] = None,
+        lazy_open: bool = True,
+    ) -> None:
+        """Create a streaming executor.
+
+        Args:
+            workload: The queries to evaluate.
+            engine_factory: Zero-argument callable returning the engine used
+                for linear-aggregate query units (default: HAMLET).  MIN/MAX
+                units run on GRETA, as in the batch executor.
+            on_window: Callback invoked with every :class:`WindowResult` the
+                moment its window closes, in emission order.
+            lazy_open: Open a window instance only when a trend-start-type
+                event arrives inside it (skips provably inert prefixes).
+                Disable to mirror the batch executor's instance set exactly.
+        """
+        self.workload = workload if isinstance(workload, Workload) else Workload(workload)
+        self.workload.validate()
+        self.engine_factory = engine_factory
+        self.on_window = on_window
+        self.lazy_open = lazy_open
+        self.analysis = analyze_workload(self.workload)
+        self._engine_label, prebuilt = resolve_engine_label(engine_factory)
+        self._units: list[_Unit] = []
+        for group in self.analysis.groups:
+            for queries in execution_units(group.queries):
+                self._units.append(self._build_unit(queries))
+        if prebuilt is not None and self._units:
+            first_linear = next((unit for unit in self._units if unit.linear), None)
+            if first_linear is not None:
+                first_linear.pool.append(prebuilt)
+        self._engines: list[TrendAggregationEngine] = [] if prebuilt is None else [prebuilt]
+        self._begin_run()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        stream: EventStream | Iterable[Event],
+        *,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> ExecutionReport:
+        """Consume ``stream`` in one pass and return the final report.
+
+        ``start`` / ``end`` replay only the half-open time slice
+        ``[start, end)`` of a recorded :class:`EventStream`; the slice is cut
+        with the stream's cached timestamp array (binary search, no scan).
+        """
+        self._begin_run()
+        if start is not None or end is not None:
+            if not isinstance(stream, EventStream):
+                stream = EventStream(stream)
+            stream = stream.between(
+                start if start is not None else 0.0,
+                end if end is not None else float("inf"),
+            )
+        for event in stream:
+            self.process(event)
+        return self.finish()
+
+    def process(self, event: Event) -> None:
+        """Ingest one event, feeding engines and emitting closed windows."""
+        if event.time < self._clock:
+            raise ExecutionError(
+                f"streaming executor requires in-order arrival: event at "
+                f"{event.time} after stream time {self._clock}"
+            )
+        self._clock = event.time
+        self._consumed += 1
+        if event.time >= self._next_close:
+            self._close_passed_windows(event.time)
+        arrival = time.perf_counter()
+        for unit in self._units:
+            if event.event_type not in unit.relevant_types:
+                continue
+            self._feed_unit(unit, event, arrival)
+
+    def finish(self) -> ExecutionReport:
+        """Close every remaining window and return the report."""
+        self._report.metrics.note_memory_units(self._open_memory_units())
+        for unit in self._units:
+            # Sorted for a deterministic emission order of the final flush.
+            for key in sorted(unit.open, key=lambda item: (item[1], repr(item[0]))):
+                self._close_instance(unit, unit.open.pop(key))
+            unit.next_close = float("inf")
+        self._next_close = float("inf")
+        report = self._report
+        report.metrics.stream_events = self._consumed
+        if self._consumed:
+            for unit in self._units:
+                for query in unit.queries:
+                    report.totals.setdefault(query.name, 0.0)
+        recombine_decompositions(
+            self.analysis.decompositions, report.partition_results, report.totals
+        )
+        self._attach_optimizer_statistics(report)
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def active_window_count(self) -> int:
+        """Number of currently open ``(group, window instance)`` states."""
+        return sum(len(unit.open) for unit in self._units)
+
+    @property
+    def engines_created(self) -> int:
+        """Engines built so far — bounded by peak active windows, not stream length."""
+        return len(self._engines)
+
+    @property
+    def peak_active_windows(self) -> int:
+        """Peak number of simultaneously open window instances this run."""
+        return self._report.metrics.peak_active_windows
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _build_unit(self, queries: tuple[Query, ...]) -> _Unit:
+        opening: set[EventType] = set()
+        for query in queries:
+            opening |= set(compile_pattern(query.pattern).start_types)
+        first = queries[0]
+        return _Unit(
+            queries=queries,
+            spec=PartitionSpec(group_by=first.group_by, window=first.window),
+            relevant_types=frozenset(unit_relevant_types(queries)),
+            opening_types=frozenset(opening),
+            linear=unit_is_linear(queries),
+        )
+
+    def _begin_run(self) -> None:
+        for unit in self._units:
+            for instance in unit.open.values():
+                instance.engine.close()
+                unit.pool.append(instance.engine)
+            unit.open.clear()
+            unit.next_close = float("inf")
+        # The report's optimizer statistics are per run: pooled engines
+        # survive across run() calls (keeping their compiled templates), so
+        # their optimizers' counters must restart with the run.
+        for engine in self._engines:
+            optimizer = getattr(engine, "optimizer", None)
+            if optimizer is not None:
+                optimizer.statistics = OptimizerStatistics()
+        self._report = ExecutionReport(engine_name=self._engine_label)
+        self._clock = float("-inf")
+        self._consumed = 0
+        self._next_close = float("inf")
+
+    def _feed_unit(self, unit: _Unit, event: Event, arrival: float) -> None:
+        window = unit.spec.window
+        group_key = unit.spec.group_key(event)
+        opens = not self.lazy_open or event.event_type in unit.opening_types
+        for index in window.instance_indices_covering(event.time):
+            key = (group_key, index)
+            instance = unit.open.get(key)
+            if instance is None:
+                if not opens:
+                    # No trend of any unit query can have started in this
+                    # instance yet; the event is inert for it (see module
+                    # docstring) and is skipped without touching an engine.
+                    continue
+                instance = self._open_instance(unit, key)
+            started = time.perf_counter()
+            instance.engine.process(event)
+            instance.seconds += time.perf_counter() - started
+            instance.events += 1
+            instance.last_arrival = arrival
+
+    def _open_instance(self, unit: _Unit, key: PartitionKey) -> _Instance:
+        engine = unit.pool.pop() if unit.pool else self._new_engine(unit)
+        started = time.perf_counter()
+        engine.start(unit.queries)
+        end = unit.window.instance_bounds(key[1])[1]
+        instance = _Instance(key=key, end=end, engine=engine, seconds=time.perf_counter() - started)
+        unit.open[key] = instance
+        if end < unit.next_close:
+            unit.next_close = end
+            if end < self._next_close:
+                self._next_close = end
+        self._report.metrics.note_active_windows(self.active_window_count())
+        return instance
+
+    def _new_engine(self, unit: _Unit) -> TrendAggregationEngine:
+        engine = self.engine_factory() if unit.linear else GretaEngine()
+        self._engines.append(engine)
+        return engine
+
+    def _close_passed_windows(self, now: float) -> None:
+        # Peak memory is the state held *concurrently*; sample the combined
+        # open footprint at its local high-water mark — just before a batch
+        # of windows is evicted (and again before the final flush).
+        self._report.metrics.note_memory_units(self._open_memory_units())
+        self._next_close = float("inf")
+        for unit in self._units:
+            if now >= unit.next_close:
+                self._sweep_unit(unit, now)
+            if unit.next_close < self._next_close:
+                self._next_close = unit.next_close
+
+    def _sweep_unit(self, unit: _Unit, now: float) -> None:
+        expired = [instance for instance in unit.open.values() if instance.end <= now]
+        expired.sort(key=lambda instance: (instance.end, repr(instance.key[0])))
+        for instance in expired:
+            del unit.open[instance.key]
+            self._close_instance(unit, instance)
+        unit.next_close = min(
+            (instance.end for instance in unit.open.values()), default=float("inf")
+        )
+
+    def _close_instance(self, unit: _Unit, instance: _Instance) -> None:
+        engine = instance.engine
+        started = time.perf_counter()
+        results = engine.results()
+        now = time.perf_counter()
+        seconds = instance.seconds + (now - started)
+        latency = now - instance.last_arrival if instance.events else 0.0
+        group_key, window_index = instance.key
+        window_start, window_end = unit.window.instance_bounds(window_index)
+        metrics = self._report.metrics
+        metrics.record_partition(
+            seconds=seconds,
+            events=instance.events,
+            memory_units=engine.memory_units(),
+            operations=engine.operations(),
+        )
+        metrics.record_emission(latency)
+        self._report.partition_results.append(
+            PartitionResult(
+                group_key=group_key,
+                window_index=window_index,
+                window_start=window_start,
+                results=dict(results),
+                seconds=seconds,
+                events=instance.events,
+            )
+        )
+        for name, value in results.items():
+            self._report.totals[name] = self._report.totals.get(name, 0.0) + value
+        engine.close()
+        unit.pool.append(engine)
+        if self.on_window is not None:
+            self.on_window(
+                WindowResult(
+                    group_key=group_key,
+                    window_index=window_index,
+                    window_start=window_start,
+                    window_end=window_end,
+                    results=dict(results),
+                    events=instance.events,
+                    emission_latency=latency,
+                )
+            )
+
+    def _open_memory_units(self) -> int:
+        """Combined footprint of every currently open window instance."""
+        return sum(
+            instance.engine.memory_units()
+            for unit in self._units
+            for instance in unit.open.values()
+        )
+
+    def _attach_optimizer_statistics(self, report: ExecutionReport) -> None:
+        merged: Optional[OptimizerStatistics] = None
+        for engine in self._engines:
+            optimizer = getattr(engine, "optimizer", None)
+            if optimizer is None:
+                continue
+            if merged is None:
+                merged = OptimizerStatistics()
+            merged.merge(optimizer.statistics)
+        if merged is not None:
+            report.optimizer_statistics = merged
+
+
+def run_streaming(
+    workload: Workload | Sequence[Query],
+    stream: EventStream | Iterable[Event],
+    engine_factory: EngineFactory = HamletEngine,
+    *,
+    on_window: Optional[Callable[[WindowResult], None]] = None,
+    lazy_open: bool = True,
+) -> ExecutionReport:
+    """One-shot convenience wrapper around :class:`StreamingExecutor`."""
+    executor = StreamingExecutor(
+        workload, engine_factory, on_window=on_window, lazy_open=lazy_open
+    )
+    return executor.run(stream)

@@ -217,3 +217,48 @@ class TestLifecycle:
             ab_query.name: 0.0,
             cb_query.name: 0.0,
         }
+
+    def test_start_resets_optimizer_continuity(self, ab_query, cb_query, figure4_events):
+        """A decision flip at a partition boundary is not a merge/split: the
+        first burst of a fresh partition has no graphlet continuity with the
+        previous partition's last burst."""
+        from repro.optimizer.decisions import SharingDecision, SharingOptimizer
+
+        class _Scripted(SharingOptimizer):
+            def __init__(self, script):
+                super().__init__()
+                self._script = list(script)
+
+            def _decide(self, stats):
+                share = self._script.pop(0) if self._script else False
+                names = frozenset(profile.query_name for profile in stats.profiles)
+                if share and len(names) >= 2:
+                    return SharingDecision(True, names, frozenset(), 1.0, "scripted")
+                return SharingDecision(False, frozenset(), names, 0.0, "scripted")
+
+        # Partition 1's only B-burst decision is "share"; partition 2's is
+        # "don't share".  The flip crosses a partition boundary, so neither a
+        # merge nor a split may be counted.
+        engine = HamletEngine(_Scripted([True, False]))
+        engine.evaluate([ab_query, cb_query], figure4_events)
+        engine.evaluate([ab_query, cb_query], figure4_events)
+        statistics = engine.optimizer.statistics
+        assert statistics.decisions == 2
+        assert statistics.shared_bursts == 1 and statistics.non_shared_bursts == 1
+        assert statistics.merges == 0
+        assert statistics.splits == 0
+
+    def test_close_evicts_partition_state_and_keeps_templates(
+        self, ab_query, cb_query, figure4_events
+    ):
+        engine = _always_share_engine()
+        first = engine.evaluate([ab_query, cb_query], figure4_events)
+        created = engine.snapshots_created()
+        engine.close()
+        assert engine.memory_units() == 0
+        with pytest.raises(ExecutionError):
+            engine.process(Event("B", 1.0))
+        # Closed state is folded into the lifetime counter, and a restarted
+        # (pooled) engine reproduces the partition exactly.
+        assert engine.total_snapshots_created() == created
+        assert engine.evaluate([ab_query, cb_query], figure4_events) == first

@@ -39,6 +39,23 @@ class TestEventStream:
         window = stream.between(1.0, 3.0)
         assert [e.time for e in window] == [1.0, 2.0]
 
+    def test_between_stays_current_across_appends(self):
+        # The timestamp array is maintained in lock-step with appends, so
+        # slicing after further appends must see the new events.
+        stream = EventStream([Event("A", 0.0), Event("A", 1.0)])
+        assert len(stream.between(0.0, 10.0)) == 2
+        stream.append(Event("B", 2.0))
+        assert len(stream.between(0.0, 10.0)) == 3
+        assert [e.time for e in stream.between(1.0, 3.0)] == [1.0, 2.0]
+        assert list(stream.times) == [0.0, 1.0, 2.0]
+
+    def test_index_at_binary_search(self):
+        stream = EventStream([Event("A", 0.0), Event("A", 2.0), Event("A", 2.0), Event("A", 5.0)])
+        assert stream.index_at(0.0) == 0
+        assert stream.index_at(2.0) == 1
+        assert stream.index_at(3.0) == 3
+        assert stream.index_at(99.0) == 4
+
     def test_of_type_and_filter(self):
         stream = EventStream([Event("A", 1.0), Event("B", 2.0), Event("A", 3.0)])
         assert len(stream.of_type("A")) == 2

@@ -142,6 +142,46 @@ class TestDynamicOptimizer:
         assert 0.0 < stats.shared_fraction < 1.0
         assert stats.decision_seconds >= 0.0
 
+    def test_begin_partition_resets_merge_split_continuity(self):
+        """A decision flip *across* partitions is neither a merge nor a split."""
+        optimizer = DynamicSharingOptimizer()
+        share_stats = _stats(
+            [QueryBurstProfile("q1", False), QueryBurstProfile("q2", False)],
+            burst_size=4, events_in_window=7, graphlet_size=4,
+        )
+        split_stats = _stats(
+            [
+                QueryBurstProfile("q1", True, expected_snapshots=40.0),
+                QueryBurstProfile("q2", True, expected_snapshots=40.0),
+            ],
+            burst_size=2, events_in_window=5, graphlet_size=4,
+        )
+        assert optimizer.decide(share_stats).share
+        optimizer.begin_partition()
+        # The first burst of the new partition flips the decision, but there
+        # is no shared graphlet to split in a fresh partition.
+        assert not optimizer.decide(split_stats).share
+        assert optimizer.statistics.splits == 0
+        assert optimizer.statistics.merges == 0
+        # Within the new partition the continuity applies again.
+        assert optimizer.decide(share_stats).share
+        assert optimizer.statistics.merges == 1
+
+    def test_statistics_merge_folds_counters(self):
+        first = DynamicSharingOptimizer()
+        second = DynamicSharingOptimizer()
+        share_stats = _stats(
+            [QueryBurstProfile("q1", False), QueryBurstProfile("q2", False)],
+            burst_size=4, events_in_window=7, graphlet_size=4,
+        )
+        first.decide(share_stats)
+        second.decide(share_stats)
+        second.decide(share_stats)
+        merged = first.statistics
+        merged.merge(second.statistics)
+        assert merged.decisions == 3
+        assert merged.shared_bursts == 3
+
 
 class TestStaticOptimizers:
     def _two_query_stats(self):

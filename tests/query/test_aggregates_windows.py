@@ -94,3 +94,40 @@ class TestWindows:
         assert (0.0, 10.0) not in instances
         assert (5.0, 15.0) in instances
         assert (10.0, 20.0) in instances
+
+    def test_instance_indices_are_integers(self):
+        window = Window(10.0, 5.0)
+        assert list(window.instance_indices_covering(12.0)) == [1, 2]
+        assert list(window.instance_indices_covering(3.0)) == [0]
+        assert window.instance_bounds(2) == (10.0, 20.0)
+        assert window.instances_per_event == 2
+
+    def test_fractional_slide_boundary_events(self):
+        # 3 * 0.1 accumulates float error (0.30000000000000004); the integer
+        # index arithmetic must still treat t=0.3 as the start of instance 3
+        # and exclude instance 0 (whose half-open span [0, 0.3) just ended).
+        window = Window(0.3, 0.1)
+        assert list(window.instance_indices_covering(0.3)) == [1, 2, 3]
+        assert window.instances_per_event == 3
+        for k in range(20):
+            # Every instance-start timestamp k*slide belongs to instance k.
+            timestamp = k * 0.1
+            assert list(window.instance_indices_covering(timestamp))[-1] == k
+
+    def test_coverage_never_exceeds_instances_per_event(self):
+        for window in (Window(0.3, 0.1), Window(10.0, 3.0), Window(7.0, 2.5)):
+            for step in range(200):
+                timestamp = step * 0.17
+                indices = list(window.instance_indices_covering(timestamp))
+                assert 1 <= len(indices) <= window.instances_per_event
+                for k in indices:
+                    assert k >= 0
+
+    def test_both_edges_snap_consistently(self):
+        # 0.7 - 0.4 == 0.29999999999999993: the upper edge snaps this to the
+        # start of instance 3, so the lower edge must drop instance 0 — the
+        # two are mutually exclusive ([0, 0.3) vs [0.3, 0.6)).  An unsnapped
+        # lower edge used to return range(0, 4).
+        window = Window(0.3, 0.1)
+        timestamp = 0.7 - 0.4
+        assert list(window.instance_indices_covering(timestamp)) == [1, 2, 3]

@@ -95,6 +95,44 @@ class TestWorkloadExecutor:
         # Left branch: 1 trend (a,b); right branch: 3 trends (c,d1),(c,d2),(c,d1,d2).
         assert report.result_for("or_q") == 4.0
 
+    def test_or_query_with_only_one_matching_branch(self):
+        """A stream matching only one OR branch: the absent branch enters the
+        recombination as an explicit 0.0, not a dropped operand."""
+        window = Window(60.0)
+        or_query = Query.build(
+            seq("A", kleene("B")) | seq("C", kleene("D")), window=window, name="or_half_q"
+        )
+        stream = EventStream([Event("A", 0.0), Event("B", 1.0), Event("B", 2.0)])
+        report = WorkloadExecutor(Workload([or_query]), HamletEngine).run(stream)
+        # Left branch alone: trends (a,b1), (a,b2), (a,b1,b2).
+        assert report.result_for("or_half_q") == 3.0
+
+    def test_and_query_sub_results_joined_across_units(self):
+        """AND sub-queries are type-disjoint, hence evaluated in *different*
+        execution units; their per-window results must be joined by partition
+        key before multiplying, and a window where one operand is absent must
+        contribute 0 — not a partial product."""
+        window = Window(60.0)
+        and_query = Query.build(
+            seq("A", kleene("B")) & seq("C", kleene("D")), window=window, name="and_q"
+        )
+        both = EventStream(
+            [Event("A", 0.0), Event("B", 1.0), Event("C", 2.0), Event("D", 3.0), Event("D", 4.0)]
+        )
+        report = WorkloadExecutor(Workload([and_query]), HamletEngine).run(both)
+        # 1 left trend x 3 right trends.
+        assert report.result_for("and_q") == 3.0
+        # Only the left branch matches: the conjunction has no matches.
+        left_only = EventStream([Event("A", 0.0), Event("B", 1.0), Event("B", 2.0)])
+        report = WorkloadExecutor(Workload([and_query]), HamletEngine).run(left_only)
+        assert report.result_for("and_q") == 0.0
+        # Branches matching in *different* windows only must not be joined.
+        disjoint_windows = EventStream(
+            [Event("A", 0.0), Event("B", 1.0), Event("C", 70.0), Event("D", 71.0)]
+        )
+        report = WorkloadExecutor(Workload([and_query]), HamletEngine).run(disjoint_windows)
+        assert report.result_for("and_q") == 0.0
+
     def test_different_windows_run_in_separate_units(self):
         workload = Workload(
             [

@@ -25,31 +25,47 @@ class TestPartitioner:
             ]
         )
         partitions = dict(partitioner.partitions())
-        # Event at t=7 with a 10s/5s sliding window belongs to instances 0 and 5.
-        assert ((1,), 0.0) in partitions
-        assert ((1,), 5.0) in partitions
-        assert ((2,), 0.0) in partitions
-        assert len(partitions[((1,), 0.0)]) == 3
-        assert len(partitions[((1,), 5.0)]) == 1
+        # Event at t=7 with a 10s/5s sliding window belongs to instances 0 and 1;
+        # partitions are keyed by the integer instance index.
+        assert ((1,), 0) in partitions
+        assert ((1,), 1) in partitions
+        assert ((2,), 0) in partitions
+        assert len(partitions[((1,), 0)]) == 3
+        assert len(partitions[((1,), 1)]) == 1
         assert partitioner.routed_event_count() == 5
         assert partitioner.partition_count() == 3
+        assert partitioner.window_start(((1,), 1)) == 5.0
 
     def test_no_group_by(self):
         spec = PartitionSpec(group_by=(), window=Window(10.0))
         partitioner = GroupWindowPartitioner(spec)
         partitioner.add(Event("A", 3.0, {"g": 9}))
-        ((key, start), events), = partitioner.partitions()
+        ((key, index), events), = partitioner.partitions()
         assert key == ()
-        assert start == 0.0
+        assert index == 0
         assert len(events) == 1
 
-    def test_partitions_sorted_by_window_start(self):
+    def test_partitions_sorted_by_window_instance(self):
         spec = PartitionSpec(group_by=(), window=Window(10.0))
         partitioner = GroupWindowPartitioner(spec)
         partitioner.add(Event("A", 25.0))
         partitioner.add(Event("A", 3.0))
-        starts = [start for (_, start), _ in partitioner.partitions()]
-        assert starts == sorted(starts)
+        indices = [index for (_, index), _ in partitioner.partitions()]
+        assert indices == sorted(indices)
+
+    def test_incremental_route_stores_nothing(self):
+        q = Query.build(seq("A", kleene("B")), window=Window(10.0, 5.0), name="pt_q2")
+        partitioner = GroupWindowPartitioner.for_queries([q])
+        assert list(partitioner.route(Event("A", 7.0))) == [((), 0), ((), 1)]
+        assert partitioner.partition_count() == 0
+
+    def test_fractional_slide_keys_are_exact_integers(self):
+        # 3 * 0.1 == 0.30000000000000004: float starts misassigned boundary
+        # events and made keys unequal across units; integer indices cannot.
+        q = Query.build(seq("A", kleene("B")), window=Window(0.3, 0.1), name="pt_q3")
+        partitioner = GroupWindowPartitioner.for_queries([q])
+        keys = list(partitioner.route(Event("A", 0.3)))
+        assert keys == [((), 1), ((), 2), ((), 3)]
 
 
 class TestMetrics:

@@ -1,0 +1,205 @@
+"""Randomized streaming-vs-batch equivalence.
+
+The strongest correctness statement of the streaming runtime: over
+randomized integer-valued streams, the single-pass
+:class:`~repro.runtime.StreamingExecutor` produces totals **bit-identical**
+to the batch replay :class:`~repro.runtime.WorkloadExecutor` — across
+HAMLET (every sharing policy), GRETA and the two-step / SHARON-style
+baselines, for tumbling and overlapping (including fractional-slide)
+windows, GROUP BY, negation and decomposed OR queries, with lazy opening on
+and off, up to 600-event streams.
+
+All event attributes are small integers, so per-partition sums stay exact in
+float64 (windows keep partitions small enough that trend counts remain below
+2**53) and exact ``==`` comparison is meaningful; see ``docs/DESIGN.md``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import FlatSequenceEngine, TwoStepEngine
+from repro.core import HamletEngine
+from repro.greta import GretaEngine
+from repro.optimizer import AlwaysShareOptimizer, DynamicSharingOptimizer, NeverShareOptimizer
+from repro.query import (
+    Query,
+    Window,
+    avg,
+    count_events,
+    kleene,
+    parse_pattern,
+    seq,
+    sum_of,
+)
+from repro.query.predicates import attr_less
+from repro.events import Event
+from repro.runtime import run_streaming, run_workload
+
+TYPE_NAMES = ("A", "B", "C", "D", "X")
+
+#: Sliding window with slide = size/4: at one event per time unit a partition
+#: holds <= 32 events, so every count (< 2**33) stays exactly representable.
+SLIDING = Window(32.0, 8.0)
+TUMBLING = Window(32.0)
+#: Fractional slide: ``k * 3.2`` accumulates float error, exercising the
+#: integer window-index arithmetic end to end.
+FRACTIONAL = Window(16.0, 3.2)
+
+
+def make_stream(seed: int, size: int, *, negative_weight: float = 0.08) -> list[Event]:
+    """A random in-order stream with integer-valued attributes."""
+    rng = random.Random(seed)
+    weights = [1.0, 3.0, 1.0, 1.0, negative_weight]
+    events = []
+    for index in range(size):
+        type_name = rng.choices(TYPE_NAMES, weights=weights)[0]
+        events.append(
+            Event(
+                type_name,
+                float(index),
+                {"v": float(rng.randint(0, 6)), "g": float(rng.randint(1, 2))},
+            )
+        )
+    return events
+
+
+def workload(window: Window, *, with_negation: bool = True, group_by=()) -> list[Query]:
+    """Shared-Kleene workload mixing COUNT(*) / COUNT(E) / SUM / AVG and NOT."""
+    queries = [
+        Query.build(seq("A", kleene("B")), group_by=group_by, window=window, name="sq_q1"),
+        Query.build(seq("C", kleene("B")), group_by=group_by, window=window, name="sq_q2"),
+        Query.build(
+            seq("A", kleene("B")),
+            predicates=[attr_less("v", 4.0, event_type="B")],
+            group_by=group_by,
+            window=window,
+            name="sq_q3",
+        ),
+        Query.build(
+            seq("C", kleene("B"), "D"),
+            aggregate=sum_of("B", "v"),
+            group_by=group_by,
+            window=window,
+            name="sq_q4",
+        ),
+        Query.build(
+            seq("A", kleene("B")), aggregate=avg("B", "v"), group_by=group_by, window=window, name="sq_q5"
+        ),
+        Query.build(
+            seq("D", kleene("B")),
+            aggregate=count_events("B"),
+            group_by=group_by,
+            window=window,
+            name="sq_q6",
+        ),
+    ]
+    if with_negation:
+        queries.append(
+            Query.build(
+                parse_pattern("SEQ(A, NOT X, B+)"), group_by=group_by, window=window, name="sq_q7"
+            )
+        )
+        queries.append(
+            Query.build(
+                parse_pattern("SEQ(C, B+, NOT X)"), group_by=group_by, window=window, name="sq_q8"
+            )
+        )
+    return queries
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("size", (150, 300, 600))
+@pytest.mark.parametrize("window", (TUMBLING, SLIDING), ids=("tumbling", "sliding"))
+@pytest.mark.parametrize(
+    "optimizer_factory",
+    (DynamicSharingOptimizer, AlwaysShareOptimizer, NeverShareOptimizer),
+    ids=("dynamic", "always-share", "never-share"),
+)
+def test_streaming_bit_identical_to_batch_hamlet(seed, size, window, optimizer_factory):
+    events = make_stream(seed, size)
+    queries = workload(window)
+    factory = lambda: HamletEngine(optimizer_factory())  # noqa: E731
+    batch = run_workload(queries, events, factory)
+    streaming = run_streaming(queries, events, factory)
+    assert streaming.totals == batch.totals  # exact — integer-valued streams
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("size", (150, 600))
+@pytest.mark.parametrize("window", (TUMBLING, SLIDING, FRACTIONAL), ids=("tumbling", "sliding", "fractional"))
+def test_streaming_bit_identical_to_batch_greta(seed, size, window):
+    events = make_stream(seed, size)
+    queries = workload(window)
+    batch = run_workload(queries, events, GretaEngine)
+    streaming = run_streaming(queries, events, GretaEngine)
+    assert streaming.totals == batch.totals
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("lazy_open", (True, False), ids=("lazy", "eager"))
+def test_streaming_matches_batch_with_group_by(seed, lazy_open):
+    events = make_stream(seed, 400)
+    queries = workload(SLIDING, group_by=("g",))
+    factory = lambda: HamletEngine(DynamicSharingOptimizer())  # noqa: E731
+    batch = run_workload(queries, events, factory)
+    streaming = run_streaming(queries, events, factory, lazy_open=lazy_open)
+    assert streaming.totals == batch.totals
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_streaming_matches_batch_on_negation_dense_streams(seed):
+    events = make_stream(seed, 300, negative_weight=2.0)
+    queries = workload(SLIDING)
+    for factory in (
+        lambda: HamletEngine(AlwaysShareOptimizer()),
+        lambda: HamletEngine(NeverShareOptimizer()),
+        GretaEngine,
+    ):
+        batch = run_workload(queries, events, factory)
+        streaming = run_streaming(queries, events, factory)
+        assert streaming.totals == batch.totals
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_streaming_matches_batch_fractional_slide(seed):
+    """Fractional slides exercise the integer instance arithmetic end to end."""
+    events = make_stream(seed, 300)
+    queries = workload(FRACTIONAL)
+    factory = lambda: HamletEngine(DynamicSharingOptimizer())  # noqa: E731
+    batch = run_workload(queries, events, factory)
+    streaming = run_streaming(queries, events, factory)
+    assert streaming.totals == batch.totals
+
+
+@pytest.mark.parametrize("seed", range(3))
+@pytest.mark.parametrize(
+    "engine_factory", (TwoStepEngine, FlatSequenceEngine), ids=("two-step", "sharon-flat")
+)
+def test_streaming_matches_batch_baselines(seed, engine_factory):
+    # Small windows keep the enumeration-based baselines tractable; the
+    # flattened baseline supports neither negation nor COUNT(E)/SUM bodies
+    # beyond its model, so the workload is restricted accordingly.
+    window = Window(8.0, 2.0)
+    events = make_stream(seed, 300, negative_weight=0.0)
+    queries = [
+        Query.build(seq("A", kleene("B")), window=window, name="bl_q1"),
+        Query.build(seq("C", kleene("B")), window=window, name="bl_q2"),
+    ]
+    batch = run_workload(queries, events, engine_factory)
+    streaming = run_streaming(queries, events, engine_factory)
+    assert streaming.totals == batch.totals
+
+
+@pytest.mark.parametrize("lazy_open", (True, False), ids=("lazy", "eager"))
+def test_streaming_recombines_decomposed_or_queries(lazy_open):
+    window = Window(60.0)
+    or_query = Query.build(
+        seq("A", kleene("B")) | seq("C", kleene("D")), window=window, name="sor_q"
+    )
+    stream = [Event("A", 0.0), Event("B", 1.0), Event("C", 2.0), Event("D", 3.0), Event("D", 4.0)]
+    batch = run_workload([or_query], stream)
+    streaming = run_streaming([or_query], stream, lazy_open=lazy_open)
+    assert streaming.result_for("sor_q") == batch.result_for("sor_q") == 4.0

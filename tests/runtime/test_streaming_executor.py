@@ -1,0 +1,254 @@
+"""Unit tests for the single-pass streaming executor.
+
+The randomized cross-executor equivalence lives in
+``test_streaming_equivalence.py``; this file pins the streaming-specific
+behaviour: emission order and callbacks, eviction and bounded state, the
+per-event feed bound, lazy opening, the incremental API and metrics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HamletEngine
+from repro.errors import ExecutionError
+from repro.events import Event, EventStream
+from repro.greta import GretaEngine
+from repro.interfaces import TrendAggregationEngine
+from repro.query import Query, Window, Workload, kleene, max_of, seq
+from repro.runtime import StreamingExecutor, WorkloadExecutor, run_streaming
+
+
+def _ab_workload(window: Window, group_by=()) -> Workload:
+    return Workload(
+        [
+            Query.build(seq("A", kleene("B")), group_by=group_by, window=window, name="st_q1"),
+            Query.build(seq("C", kleene("B")), group_by=group_by, window=window, name="st_q2"),
+        ]
+    )
+
+
+class _CountingEngine(TrendAggregationEngine):
+    """Stub engine counting how many instances each event is fed to."""
+
+    name = "counting"
+
+    def __init__(self, feeds: dict[int, int]) -> None:
+        self._feeds = feeds
+        self._queries = ()
+
+    def start(self, queries):
+        self._queries = tuple(queries)
+
+    def process(self, event):
+        self._feeds[event.sequence] = self._feeds.get(event.sequence, 0) + 1
+
+    def results(self):
+        return {query.name: 0.0 for query in self._queries}
+
+    def memory_units(self):
+        return 0
+
+
+class TestEmission:
+    def test_windows_emitted_in_close_order(self):
+        window = Window(10.0, 5.0)
+        events = [Event("A", 0.0), Event("B", 3.0), Event("A", 7.0), Event("B", 12.0), Event("B", 21.0)]
+        emitted = []
+        report = run_streaming(_ab_workload(window), events, on_window=lambda r: emitted.append(r))
+        assert [r.window_index for r in emitted] == sorted(r.window_index for r in emitted)
+        ends = [r.window_end for r in emitted]
+        assert ends == sorted(ends)
+        # Every emitted window matches the corresponding batch partition result.
+        batch = WorkloadExecutor(_ab_workload(window), HamletEngine).run(events)
+        batch_results = {p.key: p.results for p in batch.partition_results}
+        for result in emitted:
+            assert dict(result.results) == batch_results[(result.group_key, result.window_index)]
+        assert report.totals == batch.totals
+
+    def test_window_bounds_and_latency_reported(self):
+        window = Window(10.0, 5.0)
+        emitted = []
+        run_streaming(
+            _ab_workload(window),
+            [Event("A", 1.0), Event("B", 2.0), Event("B", 30.0)],
+            on_window=lambda r: emitted.append(r),
+        )
+        first = emitted[0]
+        assert (first.window_start, first.window_end) == (0.0, 10.0)
+        assert first.events == 2
+        assert first.emission_latency >= 0.0
+
+    def test_empty_stream(self):
+        report = run_streaming(_ab_workload(Window(10.0)), [])
+        assert report.totals == {}
+        assert report.metrics.partitions == 0
+
+
+class TestEvictionAndBounds:
+    def test_closed_windows_are_evicted_and_engines_pooled(self):
+        window = Window(10.0, 2.0)
+        events = [Event("A", float(t)) if t % 7 == 0 else Event("B", float(t)) for t in range(300)]
+        executor = StreamingExecutor(_ab_workload(window), HamletEngine, lazy_open=False)
+        report = executor.run(events)
+        # Peak state is bounded by the windows covering one timestamp, never
+        # by the stream length; closed state is gone at the end.
+        assert report.metrics.peak_active_windows <= window.instances_per_event
+        assert report.metrics.partitions > 10 * report.metrics.peak_active_windows
+        assert executor.active_window_count() == 0
+        # Engine instances are pooled and reused across window instances.
+        assert executor.engines_created <= report.metrics.peak_active_windows
+
+    def test_peak_memory_does_not_grow_with_stream_length(self):
+        """Eviction bounds held state: tripling the stream leaves the peak
+        concurrent footprint flat while the window count triples."""
+        window = Window(10.0, 2.0)
+
+        def run(length: int):
+            events = [
+                Event("A" if t % 7 == 0 else "B", float(t)) for t in range(length)
+            ]
+            return StreamingExecutor(_ab_workload(window), HamletEngine).run(events)
+
+        short = run(100)
+        long = run(300)
+        assert long.metrics.partitions >= 2.5 * short.metrics.partitions
+        assert long.metrics.peak_memory_units <= 2 * short.metrics.peak_memory_units
+
+    def test_peak_scales_with_groups_not_stream(self):
+        window = Window(10.0, 2.0)
+        events = []
+        for t in range(200):
+            events.append(Event("A" if t % 5 == 0 else "B", float(t), {"g": t % 3}))
+        executor = StreamingExecutor(
+            _ab_workload(window, group_by=("g",)), HamletEngine, lazy_open=False
+        )
+        report = executor.run(events)
+        assert report.metrics.peak_active_windows <= 3 * window.instances_per_event
+        assert executor.active_window_count() == 0
+
+    def test_each_event_fed_to_at_most_coverage_instances(self):
+        window = Window(10.0, 3.0)
+        feeds: dict[int, int] = {}
+        events = [Event("A", t * 0.5) for t in range(100)]
+        workload = [Query.build(seq("A", kleene("A")), window=window, name="cv_q1")]
+        run_streaming(workload, events, engine_factory=lambda: _CountingEngine(feeds), lazy_open=False)
+        assert feeds  # every event was seen
+        assert max(feeds.values()) <= window.instances_per_event
+        # Single pass: no event is ever replayed into the same instance twice,
+        # so total feeds equal the batch partitioner's routed assignments.
+        from repro.runtime.partitioner import GroupWindowPartitioner
+
+        partitioner = GroupWindowPartitioner.for_queries(workload)
+        partitioner.add_all(events)
+        assert sum(feeds.values()) == partitioner.routed_event_count()
+
+
+class TestLazyOpen:
+    def test_inert_prefix_skipped_without_changing_results(self):
+        window = Window(60.0)
+        # B events before the first start-type event (A or C) are inert.
+        events = [Event("B", float(t)) for t in range(10)] + [Event("A", 10.0)] + [
+            Event("B", 10.0 + t) for t in range(1, 4)
+        ]
+        lazy = StreamingExecutor(_ab_workload(window), HamletEngine)
+        lazy_report = lazy.run(events)
+        eager = StreamingExecutor(_ab_workload(window), HamletEngine, lazy_open=False)
+        eager_report = eager.run(events)
+        batch = WorkloadExecutor(_ab_workload(window), HamletEngine).run(events)
+        assert lazy_report.totals == eager_report.totals == batch.totals
+        assert lazy_report.metrics.events_processed < eager_report.metrics.events_processed
+
+    def test_startless_windows_never_open(self):
+        window = Window(10.0)
+        events = [Event("B", float(t)) for t in range(50)]  # no A/C at all
+        executor = StreamingExecutor(_ab_workload(window), HamletEngine)
+        report = executor.run(events)
+        assert report.metrics.partitions == 0
+        assert report.metrics.events_processed == 0
+        assert report.totals == {"st_q1": 0.0, "st_q2": 0.0}
+
+
+class TestIncrementalApi:
+    def test_process_and_finish(self):
+        window = Window(10.0)
+        executor = StreamingExecutor(_ab_workload(window), HamletEngine)
+        executor.process(Event("A", 0.0))
+        executor.process(Event("B", 1.0))
+        assert executor.active_window_count() == 1
+        report = executor.finish()
+        assert report.result_for("st_q1") == 1.0
+        assert executor.active_window_count() == 0
+
+    def test_out_of_order_rejected(self):
+        executor = StreamingExecutor(_ab_workload(Window(10.0)), HamletEngine)
+        executor.process(Event("A", 5.0))
+        with pytest.raises(ExecutionError):
+            executor.process(Event("B", 1.0))
+
+    def test_run_time_slice_uses_stream_index(self):
+        window = Window(10.0)
+        stream = EventStream(
+            [Event("A", 1.0), Event("B", 2.0), Event("A", 11.0), Event("B", 12.0), Event("B", 25.0)]
+        )
+        executor = StreamingExecutor(_ab_workload(window), HamletEngine)
+        # Replaying only the second tumbling pane [10, 20) sees one A+B pair;
+        # window indices stay aligned with absolute time.
+        report = executor.run(stream, start=10.0, end=20.0)
+        assert report.metrics.stream_events == 2
+        assert report.result_for("st_q1") == 1.0
+        full = executor.run(stream)
+        assert full.metrics.stream_events == 5
+
+    def test_run_resets_previous_state(self):
+        window = Window(10.0)
+        executor = StreamingExecutor(_ab_workload(window), HamletEngine)
+        first = executor.run([Event("A", 0.0), Event("B", 1.0)])
+        second = executor.run([Event("A", 0.0), Event("B", 1.0)])
+        assert first.totals == second.totals
+        assert second.metrics.stream_events == 2
+
+
+class TestEngineRouting:
+    def test_min_max_unit_routed_to_greta(self):
+        window = Window(60.0)
+        workload = Workload(
+            [
+                Query.build(seq("A", kleene("B")), window=window, name="sm_q1"),
+                Query.build(
+                    seq("A", kleene("B")), aggregate=max_of("B", "v"), window=window, name="sm_q2"
+                ),
+            ]
+        )
+        stream = EventStream(
+            [Event("A", 0.0), Event("B", 1.0, {"v": 5.0}), Event("B", 2.0, {"v": 9.0})]
+        )
+        report = run_streaming(workload, stream)
+        assert report.result_for("sm_q1") == 3.0
+        assert report.result_for("sm_q2") == 9.0
+
+    def test_optimizer_statistics_merged_across_pool(self):
+        window = Window(10.0, 5.0)
+        events = []
+        for t in range(60):
+            events.append(Event("A" if t % 9 == 0 else ("C" if t % 9 == 4 else "B"), float(t)))
+        report = run_streaming(_ab_workload(window), events)
+        assert report.optimizer_statistics is not None
+        assert report.optimizer_statistics.decisions >= 1
+
+    def test_optimizer_statistics_are_per_run(self):
+        window = Window(10.0, 5.0)
+        events = []
+        for t in range(60):
+            events.append(Event("A" if t % 9 == 0 else ("C" if t % 9 == 4 else "B"), float(t)))
+        executor = StreamingExecutor(_ab_workload(window), HamletEngine)
+        first = executor.run(events).optimizer_statistics
+        second = executor.run(events).optimizer_statistics
+        # Pooled engines survive across runs; their counters must not.
+        assert second.decisions == first.decisions
+        assert second.shared_bursts == first.shared_bursts
+
+    def test_engine_name_resolved_without_instantiation(self):
+        executor = StreamingExecutor(_ab_workload(Window(10.0)), GretaEngine)
+        report = executor.run([Event("A", 0.0), Event("B", 1.0)])
+        assert report.engine_name == "greta"

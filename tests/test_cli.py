@@ -20,6 +20,12 @@ class TestCli:
         assert "hamlet" in output
         assert "dynamic" in output
 
+    def test_stream_command_emits_window_results(self, capsys):
+        assert main(["stream", "--queries", "2", "--minutes", "0.5", "--events-per-minute", "600"]) == 0
+        output = capsys.readouterr().out
+        assert "window [" in output
+        assert "active" in output
+
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["figures", "fig99"])
