@@ -1,6 +1,6 @@
 """Perf smoke microbenchmark — the repo's recorded performance trajectory.
 
-Two fixed-seed suites:
+Four fixed-seed suites:
 
 * ``smoke`` (``BENCH_PR1.json``) — the fig9-style tumbling-window workload
   (shared ``Travel+`` Kleene sub-pattern over the ridesharing stream)
@@ -12,11 +12,23 @@ Two fixed-seed suites:
 
 * ``overlap`` (``BENCH_PR2.json``) — an overlapping-window workload
   (slide = size/5, 20 districts, rare trend-start types) comparing the
-  batch replay executor against the single-pass ``StreamingExecutor`` for
-  HAMLET and GRETA.  The streaming rows carry a
-  ``speedup_streaming_over_batch`` section: the architectural win comes
-  from lazy window opening (inert prefixes are never fed to engines) and
-  from start-less window instances never being opened at all.
+  batch replay executor against the single-pass ``StreamingExecutor`` on
+  its **per-instance** path (PR 2's runtime, pinned via
+  ``shared_windows=False`` so the recorded gate keeps guarding that path).
+
+* ``overlap-shared`` (``BENCH_PR3.json``, section ``overlap``) — the same
+  input through the **shared-window** runtime: one multi-window engine per
+  ``(group, unit)`` pair processes each event once for all overlapping
+  instances (see ``repro/runtime/shared_windows.py``), next to the
+  per-instance rows (``*_instances``) and the batch rows.  The recorded
+  ``speedup_shared_over_pr2`` section divides the shared rows' throughput
+  by the ``BENCH_PR2.json`` streaming rows — the PR 3 headline.
+
+* ``deep-overlap`` (``BENCH_PR3.json``, section ``deep-overlap``) — the
+  same workload with slide = size/20 (overlap factor 20).  The recorded
+  ``deep_overlap_slowdown`` section divides the ``overlap`` section's
+  shared throughput by this one's: near-flat scaling in the overlap factor
+  means the ratio stays well below the 4x growth of the overlap factor.
 
 Each scenario is repeated and the best wall-clock time is kept; throughput
 is ``stream events / best wall seconds``.  Results are merged into the
@@ -73,13 +85,19 @@ DURATION_SECONDS = 120.0
 
 @dataclass(frozen=True)
 class Suite:
-    """One recorded benchmark suite: fixed input + named executor scenarios."""
+    """One recorded benchmark suite: fixed input + named executor scenarios.
+
+    ``section`` places the suite's results under ``suites[<section>]`` of a
+    shared output file (BENCH_PR3.json holds both shared-window suites);
+    ``None`` keeps the whole file to the suite (the PR 1/PR 2 layout).
+    """
 
     name: str
     output: Path
     build_input: Callable
     scenarios: Callable
     workload_meta: dict
+    section: str | None = None
 
 
 # ---------------------------------------------------------------------- #
@@ -113,23 +131,24 @@ def _smoke_scenarios() -> dict[str, Callable]:
 
 
 # ---------------------------------------------------------------------- #
-# Suite: overlap (sliding window, slide = size/5) -> BENCH_PR2.json
+# Suites: overlap (slide = size/5) and deep-overlap (slide = size/20)
 # ---------------------------------------------------------------------- #
 OVERLAP_QUERIES = 10
 OVERLAP_DISTRICTS = 20
 OVERLAP_WINDOW = Window(10.0, 2.0)  # slide = size/5
+DEEP_OVERLAP_WINDOW = Window(10.0, 0.5)  # slide = size/20
 #: Rare trend-start types (the paper's bursty setting: sparse requests,
 #: dense Travel pings) — the regime where replaying every overlapping
 #: partition from scratch wastes the most work.
 OVERLAP_PREFIXES = ("Surge", "Breakdown")
 
 
-def _overlap_input():
+def _overlap_input(window: Window = OVERLAP_WINDOW):
     workload = kleene_sharing_workload(
         OVERLAP_QUERIES,
         kleene_type="Travel",
         prefix_types=OVERLAP_PREFIXES,
-        window=OVERLAP_WINDOW,
+        window=window,
         name="overlap",
     )
     generator = RidesharingGenerator(
@@ -138,19 +157,75 @@ def _overlap_input():
     return workload, list(generator.generate(DURATION_SECONDS))
 
 
+def _deep_overlap_input():
+    return _overlap_input(DEEP_OVERLAP_WINDOW)
+
+
+#: Engine factories shared by every overlapping-window scenario builder so a
+#: configuration change cannot silently diverge across suites.
+_ENGINE_FACTORIES: dict[str, Callable] = {
+    "hamlet": lambda: HamletEngine(DynamicSharingOptimizer()),
+    "greta": GretaEngine,
+}
+
+
+def _batch_scenario(engine: str) -> Callable:
+    factory = _ENGINE_FACTORIES[engine]
+    return lambda workload, events: WorkloadExecutor(workload, factory).run(events)
+
+
+def _streaming_scenario(engine: str, *, shared_windows: bool) -> Callable:
+    factory = _ENGINE_FACTORIES[engine]
+    return lambda workload, events: StreamingExecutor(
+        workload, factory, shared_windows=shared_windows
+    ).run(events)
+
+
 def _overlap_scenarios() -> dict[str, Callable]:
-    hamlet = lambda: HamletEngine(DynamicSharingOptimizer())  # noqa: E731
+    # PR 2's recorded suite: the per-instance streaming runtime, pinned so
+    # the BENCH_PR2.json gate keeps guarding that path.
     return {
-        "batch_hamlet": lambda workload, events: WorkloadExecutor(workload, hamlet).run(events),
-        "streaming_hamlet": lambda workload, events: StreamingExecutor(workload, hamlet).run(
-            events
-        ),
-        "batch_greta": lambda workload, events: WorkloadExecutor(workload, GretaEngine).run(
-            events
-        ),
-        "streaming_greta": lambda workload, events: StreamingExecutor(
-            workload, GretaEngine
-        ).run(events),
+        "batch_hamlet": _batch_scenario("hamlet"),
+        "streaming_hamlet": _streaming_scenario("hamlet", shared_windows=False),
+        "batch_greta": _batch_scenario("greta"),
+        "streaming_greta": _streaming_scenario("greta", shared_windows=False),
+    }
+
+
+def _shared_scenarios() -> dict[str, Callable]:
+    return {
+        "batch_hamlet": _batch_scenario("hamlet"),
+        "streaming_hamlet": _streaming_scenario("hamlet", shared_windows=True),
+        "streaming_hamlet_instances": _streaming_scenario("hamlet", shared_windows=False),
+        "batch_greta": _batch_scenario("greta"),
+        "streaming_greta": _streaming_scenario("greta", shared_windows=True),
+        "streaming_greta_instances": _streaming_scenario("greta", shared_windows=False),
+    }
+
+
+def _deep_overlap_scenarios() -> dict[str, Callable]:
+    # batch_greta is omitted: the 20x event duplication makes the GRETA
+    # replay the slowest row by far without adding signal beyond batch_hamlet.
+    return {
+        "batch_hamlet": _batch_scenario("hamlet"),
+        "streaming_hamlet": _streaming_scenario("hamlet", shared_windows=True),
+        "streaming_hamlet_instances": _streaming_scenario("hamlet", shared_windows=False),
+        "streaming_greta": _streaming_scenario("greta", shared_windows=True),
+    }
+
+
+def _overlap_meta(window: Window) -> dict:
+    return {
+        "style": "overlapping-window-batch-vs-streaming",
+        "num_queries": OVERLAP_QUERIES,
+        "events_per_minute": EVENTS_PER_MINUTE,
+        "duration_seconds": DURATION_SECONDS,
+        "seed": SEED,
+        "districts": OVERLAP_DISTRICTS,
+        "window_seconds": window.size,
+        "slide_seconds": window.slide,
+        "overlap_factor": window.instances_per_event,
+        "prefix_types": list(OVERLAP_PREFIXES),
     }
 
 
@@ -187,6 +262,22 @@ SUITES = {
             "prefix_types": list(OVERLAP_PREFIXES),
         },
     ),
+    "overlap-shared": Suite(
+        name="overlap-shared",
+        output=REPO_ROOT / "BENCH_PR3.json",
+        build_input=_overlap_input,
+        scenarios=_shared_scenarios,
+        workload_meta=_overlap_meta(OVERLAP_WINDOW),
+        section="overlap",
+    ),
+    "deep-overlap": Suite(
+        name="deep-overlap",
+        output=REPO_ROOT / "BENCH_PR3.json",
+        build_input=_deep_overlap_input,
+        scenarios=_deep_overlap_scenarios,
+        workload_meta=_overlap_meta(DEEP_OVERLAP_WINDOW),
+        section="deep-overlap",
+    ),
 }
 
 
@@ -222,10 +313,27 @@ def run_scenario(name: str, runner: Callable, workload, events, repeats: int) ->
     return result
 
 
-def load_results(suite: Suite) -> dict:
+def load_container(suite: Suite) -> dict:
+    """Load (or initialize) the suite's output file."""
     if suite.output.exists():
         return json.loads(suite.output.read_text())
-    return {"benchmark": f"perf_smoke/{suite.name}", "workload": suite.workload_meta, "runs": {}}
+    if suite.section is None:
+        return {
+            "benchmark": f"perf_smoke/{suite.name}",
+            "workload": suite.workload_meta,
+            "runs": {},
+        }
+    return {"benchmark": "perf_smoke/shared-windows", "suites": {}}
+
+
+def suite_node(container: dict, suite: Suite) -> dict:
+    """The dict holding this suite's runs (the container itself, or a section)."""
+    if suite.section is None:
+        return container
+    sections = container.setdefault("suites", {})
+    return sections.setdefault(
+        suite.section, {"workload": suite.workload_meta, "runs": {}}
+    )
 
 
 def attach_speedups(results: dict) -> None:
@@ -287,6 +395,50 @@ def gate(results: dict, current: dict, suite: Suite) -> int:
     return 0
 
 
+def attach_cross_suite(container: dict) -> None:
+    """Record the PR 3 headline ratios inside BENCH_PR3.json.
+
+    * ``speedup_shared_over_pr2`` — shared-window streaming throughput of
+      the ``overlap`` section divided by the per-instance streaming rows
+      recorded in ``BENCH_PR2.json`` (same fixed-seed input).
+    * ``deep_overlap_slowdown`` — ``overlap`` section shared throughput
+      divided by the ``deep-overlap`` section's; the overlap factor grows
+      4x between the two, so a ratio well below 4 is the near-flat-scaling
+      evidence (ratios use best wall-clock, recorded on one machine).
+    """
+    sections = container.get("suites", {})
+
+    def rows(section: str) -> dict:
+        runs = sections.get(section, {}).get("runs", {})
+        return runs.get("after") or runs.get("before") or {}
+
+    overlap_rows = rows("overlap")
+    pr2_path = REPO_ROOT / "BENCH_PR2.json"
+    if overlap_rows and pr2_path.exists():
+        pr2_runs = json.loads(pr2_path.read_text()).get("runs", {})
+        pr2_rows = pr2_runs.get("after") or pr2_runs.get("before") or {}
+        speedups = {}
+        for name in ("streaming_hamlet", "streaming_greta"):
+            current, recorded = overlap_rows.get(name), pr2_rows.get(name)
+            if current and recorded and recorded.get("events_per_second"):
+                speedups[name] = round(
+                    current["events_per_second"] / recorded["events_per_second"], 2
+                )
+        if speedups:
+            container["speedup_shared_over_pr2"] = speedups
+    deep_rows = rows("deep-overlap")
+    if overlap_rows and deep_rows:
+        slowdowns = {}
+        for name in ("streaming_hamlet", "streaming_greta"):
+            shallow, deep = overlap_rows.get(name), deep_rows.get(name)
+            if shallow and deep and deep.get("events_per_second"):
+                slowdowns[name] = round(
+                    shallow["events_per_second"] / deep["events_per_second"], 2
+                )
+        if slowdowns:
+            container["deep_overlap_slowdown"] = slowdowns
+
+
 def run_suite(suite: Suite, args) -> int:
     workload, events = suite.build_input()
     # The gate only reads deterministic op counts and checksums, which are
@@ -301,17 +453,20 @@ def run_suite(suite: Suite, args) -> int:
         for name, runner in suite.scenarios().items()
     }
 
-    results = load_results(suite)
+    container = load_container(suite)
+    results = suite_node(container, suite)
     if args.gate:
         return gate(results, current, suite)
 
     results["runs"][args.label] = current
-    results.setdefault("environment", {})[args.label] = {
+    container.setdefault("environment", {})[args.label] = {
         "python": platform.python_version(),
         "platform": platform.platform(),
     }
     attach_speedups(results)
-    suite.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    if suite.section is not None:
+        attach_cross_suite(container)
+    suite.output.write_text(json.dumps(container, indent=2, sort_keys=True) + "\n")
     print(f"recorded label {args.label!r} in {suite.output}")
     return 0
 

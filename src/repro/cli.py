@@ -65,7 +65,9 @@ def _run_demo() -> None:
     print("GRETA (non-shared):", {k: round(v) for k, v in sorted(greta.totals.items())})
 
 
-def _run_stream(queries: int, minutes: float, events_per_minute: float) -> None:
+def _run_stream(
+    queries: int, minutes: float, events_per_minute: float, shared_windows: bool
+) -> None:
     from repro.datasets.ridesharing import RidesharingGenerator
     from repro.query import Window
     from repro.runtime import StreamingExecutor, WindowResult
@@ -85,14 +87,24 @@ def _run_stream(queries: int, minutes: float, events_per_minute: float) -> None:
             f"trends={total:g} latency={result.emission_latency * 1e3:.2f}ms"
         )
 
-    executor = StreamingExecutor(workload, on_window=emit)
+    executor = StreamingExecutor(workload, on_window=emit, shared_windows=shared_windows)
     report = executor.run(stream)
     metrics = report.metrics
+    overlap_factor = window.instances_per_event
+    feeds_per_event = (
+        executor.engine_feeds / metrics.stream_events if metrics.stream_events else 0.0
+    )
+    mode = "shared-window" if shared_windows else "per-instance"
     print(
         f"\n{metrics.stream_events} events -> {metrics.partitions} windows, "
         f"peak {metrics.peak_active_windows} active "
         f"(avg emission latency {metrics.average_emission_latency * 1e3:.2f}ms, "
         f"peak memory {metrics.peak_memory_units} units)"
+    )
+    print(
+        f"{mode} execution: overlap factor {overlap_factor} "
+        f"(ceil(size/slide)), {executor.engine_feeds} engine feeds = "
+        f"{feeds_per_event:.2f} per event"
     )
 
 
@@ -116,6 +128,19 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--events-per-minute", type=float, default=1200.0, help="stream arrival rate"
     )
+    stream.add_argument(
+        "--shared-windows",
+        dest="shared_windows",
+        action="store_true",
+        default=True,
+        help="evaluate overlapping window instances with one shared engine (default)",
+    )
+    stream.add_argument(
+        "--no-shared-windows",
+        dest="shared_windows",
+        action="store_false",
+        help="fall back to one engine per window instance (the reference path)",
+    )
     return parser
 
 
@@ -127,7 +152,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif arguments.command == "demo":
         _run_demo()
     elif arguments.command == "stream":
-        _run_stream(arguments.queries, arguments.minutes, arguments.events_per_minute)
+        _run_stream(
+            arguments.queries,
+            arguments.minutes,
+            arguments.events_per_minute,
+            arguments.shared_windows,
+        )
     return 0
 
 

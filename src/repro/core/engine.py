@@ -43,6 +43,40 @@ from repro.template.merged import MergedTemplate
 from repro.template.template import QueryTemplate
 
 
+def compile_fast_path_guards(
+    queries: Sequence[Query], templates: dict[str, QueryTemplate]
+) -> dict[tuple[str, EventType], tuple[EventType, ...]]:
+    """Which ``(query, event type)`` pairs may use the O(1) Equation 2 path.
+
+    A pair is eligible when no edge predicate of the query applies to events
+    of the type — then every stored predecessor is accepted and the per-type
+    running totals equal the predecessor scan.  Negation constraints whose
+    after-set contains the type are recorded as runtime guards: the fast
+    path applies only while no matching negative event has been stored.
+
+    Shared by :class:`HamletEngine` and the multi-window engines of
+    :mod:`repro.runtime.shared_windows` (where the same table gates the
+    per-window coefficient path).
+    """
+    table: dict[tuple[str, EventType], tuple[EventType, ...]] = {}
+    for query in queries:
+        template = templates[query.name]
+        for event_type in template.event_types:
+            if query.predicates.has_edge_predicates_for(event_type):
+                continue
+            guards = tuple(
+                sorted(
+                    {
+                        constraint.negated_type
+                        for constraint in template.negations
+                        if constraint.after_types and event_type in constraint.after_types
+                    }
+                )
+            )
+            table[(query.name, event_type)] = guards
+    return table
+
+
 @dataclass
 class _TypeSharingInfo:
     """Compile-time facts about sharing a Kleene sub-pattern of one type."""
@@ -60,6 +94,9 @@ class HamletEngine(TrendAggregationEngine):
     """Shared online trend aggregation with runtime sharing decisions."""
 
     name = "hamlet"
+    #: Cross-window sharing: identical-query classes computed once per event
+    #: and tagged with per-window coefficients (see runtime/shared_windows).
+    shared_window_flavor = "classes"
 
     def __init__(
         self,
@@ -261,34 +298,10 @@ class HamletEngine(TrendAggregationEngine):
         return info
 
     def _compile_fast_paths(self) -> dict[tuple[str, EventType], tuple[EventType, ...]]:
-        """Which ``(query, event type)`` pairs may use the O(1) Equation 2 path.
-
-        A pair is eligible when no edge predicate of the query applies to
-        events of the type — then every stored predecessor is accepted and
-        the per-type running totals equal the predecessor scan.  Negation
-        constraints whose after-set contains the type are recorded as runtime
-        guards: the fast path applies only while no matching negative event
-        has been stored.
-        """
-        table: dict[tuple[str, EventType], tuple[EventType, ...]] = {}
+        """Equation 2 fast-path table (see :func:`compile_fast_path_guards`)."""
         if not self.fast_predecessor_totals:
-            return table
-        for query in self._queries:
-            template = self._templates[query.name]
-            for event_type in template.event_types:
-                if query.predicates.has_edge_predicates_for(event_type):
-                    continue
-                guards = tuple(
-                    sorted(
-                        {
-                            constraint.negated_type
-                            for constraint in template.negations
-                            if constraint.after_types and event_type in constraint.after_types
-                        }
-                    )
-                )
-                table[(query.name, event_type)] = guards
-        return table
+            return {}
+        return compile_fast_path_guards(self._queries, self._templates)
 
     def _is_positive_type(self, event_type: EventType) -> bool:
         return any(

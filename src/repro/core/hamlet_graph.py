@@ -350,3 +350,165 @@ class HamletGraph:
         units += sum(acc.memory_units() for acc in self._accumulators.values())
         units += sum(len(entries) for entries in self._negatives.values())
         return units
+
+
+class StoredEvent:
+    """One event stored once for *all* window instances covering it.
+
+    ``lo..hi`` is the inclusive range of window-instance indices the event
+    belongs to (computed with the snapped integer window arithmetic when the
+    event arrived, so membership tests are exact integer comparisons even
+    for fractional slides).  ``values`` holds the event's per-``(consumer,
+    window)`` intermediate aggregates for consumers that may later need a
+    per-node scan (edge predicates, negation) — consumers on the pure
+    coefficient path store nothing per node.
+    """
+
+    __slots__ = ("event", "lo", "hi", "values")
+
+    def __init__(self, event: Event, lo: int, hi: int, values: dict | None) -> None:
+        self.event = event
+        self.lo = lo
+        self.hi = hi
+        self.values = values
+
+    def covers(self, index: int) -> bool:
+        """True if the event belongs to window instance ``index``."""
+        return self.lo <= index <= self.hi
+
+
+class SharedWindowStore:
+    """Event store shared by every live window instance of one partition group.
+
+    The multi-window engines keep each matched event (and each negated
+    event) exactly once, tagged with its covering-window range, instead of
+    duplicating it into ``ceil(size/slide)`` per-instance graphs.  The store
+    serves the window-filtered accesses the slow paths need — predecessor
+    scans under edge predicates, negation "between" checks, trailing-NOT
+    end-node filtering — and evicts events the moment their range falls
+    below every live instance.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[EventType, list[StoredEvent]] = {}
+        #: Negated events as ``(stored event, matching consumer keys)``.
+        self._negatives: dict[EventType, list[tuple[StoredEvent, frozenset]]] = {}
+        #: Incrementally tracked footprint so :meth:`memory_units` is O(1):
+        #: one unit per stored event plus one per stored per-window value.
+        self._units = 0
+        self.operations = 0
+
+    # ------------------------------------------------------------------ #
+    # Insertion
+    # ------------------------------------------------------------------ #
+    def add_node(self, event: Event, lo: int, hi: int, values: dict | None) -> StoredEvent:
+        """Store one matched event covered by window instances ``lo..hi``."""
+        stored = StoredEvent(event, lo, hi, values)
+        self._nodes.setdefault(event.event_type, []).append(stored)
+        self._units += 1 + (len(values) if values else 0)
+        return stored
+
+    def add_negative(self, event: Event, lo: int, hi: int, matched_by: frozenset) -> None:
+        """Store one negated event matched by the given consumers."""
+        stored = StoredEvent(event, lo, hi, None)
+        self._negatives.setdefault(event.event_type, []).append((stored, matched_by))
+        self._units += 1
+
+    # ------------------------------------------------------------------ #
+    # Window-filtered access
+    # ------------------------------------------------------------------ #
+    def nodes_of_type(self, event_type: EventType) -> list[StoredEvent]:
+        """All stored events of one type, in arrival order."""
+        return self._nodes.get(event_type, [])
+
+    def node_count(self) -> int:
+        """Total number of stored (matched) events."""
+        return sum(len(nodes) for nodes in self._nodes.values())
+
+    def has_negatives(self, negated_type: EventType) -> bool:
+        """True if any negated event of ``negated_type`` is still stored."""
+        return bool(self._negatives.get(negated_type))
+
+    def negative_count(self) -> int:
+        """Number of stored negated events."""
+        return sum(len(entries) for entries in self._negatives.values())
+
+    def negation_blocks(
+        self, consumer, constraints, previous: Event, current: Event
+    ) -> bool:
+        """True if a negated event of ``consumer`` lies between the two events.
+
+        Both events belong to the window under evaluation, so any negated
+        event strictly between them does too — the check needs no window
+        filter (mirrors :meth:`HamletGraph._negation_blocks`).
+        """
+        for constraint in constraints:
+            if previous.event_type not in constraint.before_types:
+                continue
+            for stored, matched_by in self._negatives.get(constraint.negated_type, ()):
+                if consumer in matched_by and previous < stored.event < current:
+                    return True
+        return False
+
+    def cancelled_by_trailing(
+        self, consumer, constraints, event: Event, window_index: int
+    ) -> bool:
+        """Trailing-NOT check: a matching negated event follows ``event`` in-window."""
+        for constraint in constraints:
+            if event.event_type not in constraint.before_types:
+                continue
+            for stored, matched_by in self._negatives.get(constraint.negated_type, ()):
+                if (
+                    consumer in matched_by
+                    and stored.covers(window_index)
+                    and event < stored.event
+                ):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Eviction
+    # ------------------------------------------------------------------ #
+    def evict_to(self, oldest: int | None) -> None:
+        """Drop events whose covering range ends before instance ``oldest``.
+
+        Events arrive in time order, so each per-type list is non-decreasing
+        in ``hi`` and eviction trims a prefix.  ``None`` empties the store.
+        """
+        if oldest is None:
+            self._nodes.clear()
+            self._negatives.clear()
+            self._units = 0
+            return
+        for event_type, nodes in list(self._nodes.items()):
+            keep = 0
+            while keep < len(nodes) and nodes[keep].hi < oldest:
+                stored = nodes[keep]
+                self._units -= 1 + (len(stored.values) if stored.values else 0)
+                keep += 1
+            if keep:
+                del nodes[:keep]
+                if not nodes:
+                    del self._nodes[event_type]
+        for event_type, entries in list(self._negatives.items()):
+            keep = 0
+            while keep < len(entries) and entries[keep][0].hi < oldest:
+                self._units -= 1
+                keep += 1
+            if keep:
+                del entries[:keep]
+                if not entries:
+                    del self._negatives[event_type]
+
+    # ------------------------------------------------------------------ #
+    # Memory accounting
+    # ------------------------------------------------------------------ #
+    def memory_units(self) -> int:
+        """One unit per stored event plus one per stored per-window value.
+
+        O(1): the count is maintained incrementally on insert and eviction.
+        A node's *values* entries are counted as of insertion time; windows
+        closed since then keep their (dead) entries until the node is
+        evicted, which bounds the overhang by one window span.
+        """
+        return self._units

@@ -141,3 +141,49 @@ class SnapshotTable:
     def memory_units(self) -> int:
         """One unit per snapshot plus one per stored per-query value."""
         return len(self._snapshots) + len(self._values)
+
+
+class WindowCoefficientTable:
+    """Per-``(consumer, window instance)`` running aggregate coefficients.
+
+    The snapshot table above separates the per-*query* values of a shared
+    symbolic aggregate; this is its cross-*window* twin: for every consumer
+    (a query, or a class of computationally identical queries) and every
+    live window instance it keeps one running total — the coefficient the
+    shared graph work is tagged with, so a window's close is a readout of
+    its column and an eviction of its entries rather than a replay.
+
+    The per-window maps are plain dicts keyed by the integer window-instance
+    index and are handed out raw (:meth:`window_map`) because the engines'
+    hot loops fold into them per event; measure-less workloads store bare
+    floats instead of :class:`~repro.core.kernels.MutableAggregate` rows.
+    """
+
+    __slots__ = ("dimension", "scalar", "_maps")
+
+    def __init__(self, dimension: int) -> None:
+        self.dimension = dimension
+        #: Scalar mode: COUNT(*)-only consumers track one float per window.
+        self.scalar = dimension == 0
+        self._maps: dict[tuple, dict[int, object]] = {}
+
+    def window_map(self, consumer: tuple) -> dict:
+        """The raw ``window index -> coefficient`` map of one consumer."""
+        window_map = self._maps.get(consumer)
+        if window_map is None:
+            window_map = self._maps[consumer] = {}
+        return window_map
+
+    def entry_count(self) -> int:
+        """Number of live ``(consumer, window)`` coefficients.
+
+        O(consumers) scan — engines keep their own incremental counter for
+        the hot path; this accessor is the ground truth the invariant tests
+        compare that counter against.
+        """
+        return sum(len(window_map) for window_map in self._maps.values())
+
+    def memory_units(self) -> int:
+        """One unit per coefficient (plus its measure components)."""
+        per_entry = 1 if self.scalar else 1 + self.dimension
+        return self.entry_count() * per_entry

@@ -49,6 +49,10 @@ class EventStream:
         #: slicing (``between``, the streaming executor's pane bounds) never
         #: rebuilds the full list per call.
         self._times: list[Timestamp] = []
+        #: Per-type index kept in lock-step with ``_events`` so type-based
+        #: selection (``of_type``/``of_types``, the executors' per-unit
+        #: relevant-type filtering) never re-scans the full stream.
+        self._by_type: dict[EventType, list[Event]] = {}
         for event in events:
             self.append(event)
 
@@ -63,6 +67,10 @@ class EventStream:
             )
         self._events.append(event)
         self._times.append(event.time)
+        per_type = self._by_type.get(event.event_type)
+        if per_type is None:
+            per_type = self._by_type[event.event_type] = []
+        per_type.append(event)
 
     def extend(self, events: Iterable[Event]) -> None:
         """Append every event in ``events`` in order."""
@@ -125,10 +133,40 @@ class EventStream:
             (event for event in self._events if predicate(event)), name=self.name
         )
 
+    @property
+    def by_type(self) -> dict[EventType, Sequence[Event]]:
+        """The per-type event lists (each in stream order), built on append."""
+        return {event_type: tuple(events) for event_type, events in self._by_type.items()}
+
+    def events_of_type(self, event_type: EventType) -> Sequence[Event]:
+        """The events of one type in stream order (an immutable view)."""
+        return tuple(self._by_type.get(event_type, ()))
+
+    def of_types(self, event_types: Iterable[EventType]) -> list[Event]:
+        """Events whose type is in ``event_types``, in stream order.
+
+        Uses the per-type index: the per-type lists are merged by the total
+        event order ``(time, sequence)`` instead of re-scanning the whole
+        stream, so the cost scales with the *selected* events (plus the
+        merge), not the stream length — this is what the executors use to
+        cut each execution unit's sub-stream.
+        """
+        selected: list[list[Event]] = [
+            self._by_type[event_type]
+            for event_type in set(event_types)
+            if event_type in self._by_type
+        ]
+        if not selected:
+            return []
+        if len(selected) == 1:
+            return list(selected[0])
+        merged = [event for events in selected for event in events]
+        merged.sort(key=lambda event: (event.time, event.sequence))
+        return merged
+
     def of_type(self, *event_types: EventType) -> "EventStream":
         """Return the sub-stream of events whose type is in ``event_types``."""
-        wanted = set(event_types)
-        return self.filter(lambda event: event.event_type in wanted)
+        return EventStream(self.of_types(event_types), name=self.name)
 
     # ------------------------------------------------------------------ #
     # Statistics

@@ -31,6 +31,10 @@ class GretaEngine(TrendAggregationEngine):
     """Non-shared online trend aggregation over one stream partition."""
 
     name = "greta"
+    #: Cross-window sharing: per-query evaluation (no cross-query sharing —
+    #: GRETA's defining property) over one shared event graph per group,
+    #: with per-window coefficients (see runtime/shared_windows).
+    shared_window_flavor = "per-query"
 
     def __init__(self) -> None:
         self._queries: tuple[Query, ...] = ()

@@ -35,6 +35,20 @@ class TrendAggregationEngine(abc.ABC):
     #: Human-readable engine name used in benchmark reports.
     name: str = "engine"
 
+    #: How this engine's work can be shared across overlapping window
+    #: instances by the streaming runtime (see
+    #: :mod:`repro.runtime.shared_windows`):
+    #:
+    #: * ``None`` — no shared-window implementation; the runtime falls back
+    #:   to one engine instance per ``(group, window instance)`` partition;
+    #: * ``"classes"`` — linear aggregation whose per-event work may be done
+    #:   once per *query class* (queries with identical template + predicates)
+    #:   and tagged with per-window coefficients (the HAMLET flavour);
+    #: * ``"per-query"`` — linear aggregation evaluated independently per
+    #:   query but still sharing the event graph across window instances
+    #:   (the GRETA flavour; no cross-query sharing).
+    shared_window_flavor: str | None = None
+
     @abc.abstractmethod
     def start(self, queries: Sequence[Query]) -> None:
         """Reset the engine and prepare to evaluate ``queries`` over one partition."""
@@ -84,4 +98,47 @@ class TrendAggregationEngine(abc.ABC):
         snapshot evaluation and aggregate update.  The benchmark harness uses
         this as a machine-independent cost signal alongside wall-clock time.
         """
+        return 0
+
+
+class MultiWindowEngine(abc.ABC):
+    """One engine evaluating *all* overlapping window instances of a unit.
+
+    Where a :class:`TrendAggregationEngine` instance evaluates a single
+    ``(group key, window instance)`` partition, a multi-window engine holds
+    the state of one ``(group key, execution unit)`` pair across **every**
+    live window instance at once: :meth:`process` does the graph work of an
+    event exactly once and tags the per-window aggregates with
+    window-instance coefficients, and :meth:`close_window` turns a window's
+    close into an O(window) coefficient readout plus eviction.
+
+    The contract mirrors the streaming executor's driving loop:
+
+    * events arrive in timestamp order; every call passes the inclusive
+      range ``[lo, hi]`` of window-instance indices covering the event —
+      which, for an in-order stream, is exactly the set of live instances;
+    * :meth:`close_window` is called once per instance, in ascending index
+      order, the moment the stream passes the instance's end; it returns
+      the final aggregate per query and evicts the instance's coefficients;
+    * :meth:`evict_to` drops stored events that fall outside every window
+      instance at or after ``oldest`` (``None`` empties the store).
+    """
+
+    @abc.abstractmethod
+    def process(self, event: Event, lo: int, hi: int) -> None:
+        """Ingest one event covered by window instances ``lo..hi`` (inclusive)."""
+
+    @abc.abstractmethod
+    def close_window(self, index: int) -> dict[str, float]:
+        """Read out the final aggregates of instance ``index`` and evict it."""
+
+    @abc.abstractmethod
+    def memory_units(self) -> int:
+        """Abstract footprint of the shared state (see the engine variant)."""
+
+    def evict_to(self, oldest: int | None) -> None:
+        """Drop stored events not covered by any instance ``>= oldest``."""
+
+    def operations(self) -> int:
+        """Abstract work units performed so far (monotone counter)."""
         return 0

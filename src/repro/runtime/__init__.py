@@ -6,11 +6,14 @@ Two executors evaluate a workload over a stream:
   reference path: materializes the stream, partitions it per group and
   window instance, replays each partition through an engine;
 * :class:`~repro.runtime.streaming.StreamingExecutor` — the single-pass
-  online path: consumes events in timestamp order exactly once, feeds them
-  incrementally to the engines of the covering window instances, emits each
+  online path: consumes events in timestamp order exactly once, emits each
   :class:`~repro.runtime.streaming.WindowResult` the moment its window
   closes and evicts the closed state, so peak memory is bounded by the
-  number of *active* windows.
+  *live* state.  By default overlapping window instances share one
+  :class:`~repro.runtime.shared_windows.MultiWindowLinearEngine` per
+  ``(group, unit)`` pair (events processed once, per-window-instance
+  coefficients); ``shared_windows=False`` falls back to one engine per
+  instance — the semantics reference.
 
 Both analyse the workload the same way (Definitions 4–5), drive the same
 engines and produce the same totals — property-tested bit-identically.
@@ -24,14 +27,17 @@ from repro.runtime.executor import (
 )
 from repro.runtime.metrics import ExecutionMetrics, Stopwatch
 from repro.runtime.partitioner import GroupWindowPartitioner, PartitionKey
+from repro.runtime.shared_windows import MultiWindowLinearEngine, UnitCompilation
 from repro.runtime.streaming import StreamingExecutor, WindowResult, run_streaming
 
 __all__ = [
     "ExecutionMetrics",
     "ExecutionReport",
     "GroupWindowPartitioner",
+    "MultiWindowLinearEngine",
     "PartitionKey",
     "PartitionResult",
+    "UnitCompilation",
     "Stopwatch",
     "StreamingExecutor",
     "WindowResult",

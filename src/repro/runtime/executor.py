@@ -50,9 +50,14 @@ from repro.template.decompose import DecomposedQuery
 EngineFactory = Callable[[], TrendAggregationEngine]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class PartitionResult:
-    """Results of one ``(group key, window instance)`` partition."""
+    """Results of one ``(group key, window instance)`` partition.
+
+    Slotted and non-frozen: one instance is created per closed window on the
+    streaming hot path, and frozen-dataclass ``__setattr__`` indirection is
+    measurable there.  Treat instances as immutable regardless.
+    """
 
     group_key: tuple
     #: Integer window-instance index (instance spans ``[k*slide, k*slide+size)``).
@@ -223,13 +228,14 @@ class WorkloadExecutor:
     # ------------------------------------------------------------------ #
     def run(self, stream: EventStream | Iterable[Event]) -> ExecutionReport:
         """Evaluate the workload over ``stream`` and return the report."""
+        indexed: Optional[EventStream] = stream if isinstance(stream, EventStream) else None
         events = stream if isinstance(stream, list) else list(stream)
         report = ExecutionReport(engine_name=self._engine_label)
         report.metrics.stream_events = len(events)
 
         for group in self.analysis.groups:
             for queries in execution_units(group.queries):
-                self._run_unit(queries, events, report)
+                self._run_unit(queries, events, report, indexed)
 
         recombine_decompositions(
             self.analysis.decompositions, report.partition_results, report.totals
@@ -250,13 +256,22 @@ class WorkloadExecutor:
         return self.engine_factory()
 
     def _run_unit(
-        self, queries: tuple[Query, ...], events: list[Event], report: ExecutionReport
+        self,
+        queries: tuple[Query, ...],
+        events: list[Event],
+        report: ExecutionReport,
+        indexed: Optional[EventStream] = None,
     ) -> None:
         # Filter the stream to the unit's relevant types before partitioning:
         # engines ignore other types anyway, and partitions of overlapping
         # windows would otherwise store and replay every irrelevant event.
+        # A recorded EventStream answers the selection from its per-type
+        # index instead of a full scan per execution unit.
         relevant = unit_relevant_types(queries)
-        unit_events = [event for event in events if event.event_type in relevant]
+        if indexed is not None:
+            unit_events = indexed.of_types(relevant)
+        else:
+            unit_events = [event for event in events if event.event_type in relevant]
         partitioner = GroupWindowPartitioner.for_queries(queries)
         partitioner.add_all(unit_events)
         engine = self._engine_for(queries)

@@ -58,7 +58,11 @@ class ExecutionMetrics:
     emission_latencies: list[float] = field(default_factory=list)
     #: Maximum state held at any sampled point, in abstract units.  The batch
     #: executor samples one engine per partition; the streaming executor
-    #: samples the *sum* over all concurrently open window instances.
+    #: samples the live state summed over engines with each piece of state
+    #: counted *once* — overlapping per-instance engines of the same
+    #: ``(unit, group)`` pair duplicate a shared event suffix, so only the
+    #: largest instance per pair enters the sample, while shared-window
+    #: engines hold each event and coefficient once by construction.
     peak_memory_units: int = 0
     #: Maximum number of simultaneously open window instances (streaming
     #: executor); the batch executor leaves it at 0.

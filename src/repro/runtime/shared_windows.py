@@ -1,0 +1,620 @@
+"""Cross-window shared aggregation: one engine for all overlapping instances.
+
+The per-instance streaming path (PR 2) multiplies every event into up to
+``ceil(size/slide)`` independent engines — graph construction, predicate
+evaluation and Equation-2 totals are redone once per overlapping window
+instance.  This module is the shared execution path the HAMLET paper's
+cross-window sharing calls for: per ``(group key, execution unit)`` pair
+**one** :class:`MultiWindowLinearEngine` holds a single shared event store
+and tags the running aggregates with *per-window-instance coefficients*
+(:class:`~repro.core.snapshot.WindowCoefficientTable`), so that
+
+* ``process(event)`` does the structural graph work — type dispatch, local
+  predicate checks, negation recording, node storage — exactly **once** per
+  event, regardless of the overlap factor;
+* the per-window numeric work collapses to an O(predecessor types) fold per
+  *armed* window instance on the coefficient fast path (the PR 1 Equation 2
+  fast path, lifted across windows), or a window-filtered predecessor scan
+  on the slow path (edge predicates / armed negation);
+* a window instance's close is an O(end types) coefficient readout plus an
+  eviction of its column — never a replay;
+* events are stored at most once (with their covering-index range) and are
+  evicted the moment they fall out of every live instance, so peak memory
+  no longer multiplies with the overlap factor.
+
+Cross-query sharing rides along: queries whose template and predicates are
+identical form one *query class* whose per-event work is done once for the
+whole class (the degenerate-but-common case of HAMLET's snapshot sharing,
+where all sharing queries agree on every coefficient).  The GRETA flavour
+disables class sharing — every query is its own class — but still shares
+the event store and window coefficients, preserving the engines' relative
+positioning in benchmarks.
+
+Lazy opening propagates naturally: a window instance is *armed* for a class
+only once a trend-start event of that class arrives inside it.  Unarmed
+windows hold no coefficients and are skipped by every per-window loop, and
+because no trend can begin before a start event, their implied aggregates
+are exactly zero — the same invariant that makes the per-instance lazy-open
+optimization sound.
+
+Correctness contract: over in-order streams the engine produces totals
+bit-identical to both the batch replay and the per-instance streaming path
+on integer-valued workloads (the randomized suite in
+``tests/runtime/test_streaming_equivalence.py`` asserts all three agree);
+the arithmetic folds the same values as the per-instance fast/slow paths,
+only grouped per window instead of per engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.engine import compile_fast_path_guards
+from repro.core.hamlet_graph import SharedWindowStore
+from repro.core.kernels import MutableAggregate
+from repro.core.snapshot import WindowCoefficientTable
+from repro.errors import ExecutionError
+from repro.events.event import Event, EventType
+from repro.greta.aggregators import Measure, measures_for_queries, result_from_vector
+from repro.interfaces import MultiWindowEngine, TrendAggregationEngine
+from repro.query.predicates import CompositePredicate
+from repro.query.query import Query
+from repro.template.template import NegationConstraint, QueryTemplate, compile_pattern
+
+
+class QueryClassSpec:
+    """One class of computationally identical queries of an execution unit.
+
+    All members share the template and the predicates, so every per-event
+    quantity — acceptance, predecessor set, intermediate aggregate — is
+    computed once for the class; members differ only in how the final
+    vector is extracted (COUNT(*) vs SUM vs AVG ...).
+    """
+
+    __slots__ = (
+        "index",
+        "queries",
+        "template",
+        "predicates",
+        "check_locals",
+        "store_values",
+        "fast_guards",
+        "sequence_negations",
+        "trailing_negations",
+        "pred_types",
+        "end_types",
+    )
+
+    def __init__(self, index: int, queries: Sequence[Query], template: QueryTemplate) -> None:
+        self.index = index
+        self.queries = tuple(queries)
+        self.template = template
+        representative = self.queries[0]
+        self.predicates: CompositePredicate = representative.predicates
+        self.check_locals = bool(self.predicates.local_predicates)
+        #: Per-node per-window values must be kept whenever a later event (or
+        #: the readout) may need a window-filtered scan over individual
+        #: predecessors: edge predicates or any negation constraint.
+        self.store_values = bool(self.predicates.edge_predicates) or bool(template.negations)
+        guards = compile_fast_path_guards(
+            [representative], {representative.name: template}
+        )
+        #: ``event type -> negated guard types`` for the coefficient fast
+        #: path; a missing type means edge predicates force the scan path.
+        self.fast_guards: dict[EventType, tuple[EventType, ...]] = {
+            event_type: guard for (_, event_type), guard in guards.items()
+        }
+        self.sequence_negations: tuple[NegationConstraint, ...] = tuple(
+            c for c in template.negations if c.after_types
+        )
+        self.trailing_negations: tuple[NegationConstraint, ...] = tuple(
+            c for c in template.negations if not c.after_types
+        )
+        self.pred_types: dict[EventType, tuple[EventType, ...]] = {
+            event_type: tuple(sorted(template.predecessor_types(event_type)))
+            for event_type in template.event_types
+        }
+        self.end_types: tuple[EventType, ...] = tuple(sorted(template.end_types))
+
+
+def _template_signature(template: QueryTemplate) -> tuple:
+    """Structural identity of a compiled template (for class grouping)."""
+    return (
+        tuple(sorted(template.event_types)),
+        tuple(sorted(template.edges)),
+        tuple(sorted(template.start_types)),
+        tuple(sorted(template.end_types)),
+        tuple(sorted(template.kleene_types)),
+        tuple(sorted(template.negated_types)),
+        tuple(
+            sorted(
+                (
+                    tuple(sorted(c.before_types)),
+                    c.negated_type,
+                    tuple(sorted(c.after_types)),
+                )
+                for c in template.negations
+            )
+        ),
+    )
+
+
+class UnitCompilation:
+    """Compile-time plan of one execution unit for multi-window execution.
+
+    Pure function of the unit's query set; built once per unit and shared by
+    the per-group engine instances (which hold only state).
+    """
+
+    def __init__(self, queries: Sequence[Query], *, share_classes: bool) -> None:
+        self.queries = tuple(queries)
+        self.share_classes = share_classes
+        self.measures: tuple[Measure, ...] = measures_for_queries(self.queries)
+        self.dimension = len(self.measures)
+        #: Scalar mode: a COUNT(*)-only unit tracks bare floats per window.
+        self.scalar = self.dimension == 0
+        templates = {query.name: compile_pattern(query.pattern) for query in self.queries}
+        grouped: dict[object, list[Query]] = {}
+        order: list[object] = []
+        for query in self.queries:
+            key: object
+            if share_classes:
+                key = (_template_signature(templates[query.name]), query.predicates.signature())
+            else:
+                key = query.name
+            if key not in grouped:
+                order.append(key)
+                grouped[key] = []
+            grouped[key].append(query)
+        self.classes: tuple[QueryClassSpec, ...] = tuple(
+            QueryClassSpec(index, grouped[key], templates[grouped[key][0].name])
+            for index, key in enumerate(order)
+        )
+        positive: dict[EventType, list[QueryClassSpec]] = {}
+        negative: dict[EventType, list[QueryClassSpec]] = {}
+        stored_types: set[EventType] = set()
+        for spec in self.classes:
+            for event_type in spec.template.event_types:
+                positive.setdefault(event_type, []).append(spec)
+            for event_type in spec.template.negated_types:
+                negative.setdefault(event_type, []).append(spec)
+            if spec.store_values:
+                stored_types |= spec.template.event_types
+        self.positive_classes_by_type = {t: tuple(specs) for t, specs in positive.items()}
+        self.negative_classes_by_type = {t: tuple(specs) for t, specs in negative.items()}
+        #: Event types whose events must be kept in the shared store (some
+        #: class may scan them later); everything else is never stored.
+        self.stored_node_types: frozenset[EventType] = frozenset(stored_types)
+        self.needs_store = bool(stored_types) or bool(negative)
+
+    def contributions(self, event: Event) -> tuple[float, ...]:
+        """The event's contribution to each unit measure (Equation 1)."""
+        return tuple(measure.contribution(event) for measure in self.measures)
+
+
+class _TypePlan:
+    """Hot-loop plan of one ``(query class, positive event type)`` pair.
+
+    Holds direct references to the class's per-window coefficient maps so
+    the per-event loop performs only dict operations and float adds.
+    """
+
+    __slots__ = ("spec", "is_start", "guards", "check_edges", "total_map", "pred_maps", "pred_types")
+
+    def __init__(
+        self,
+        spec: QueryClassSpec,
+        event_type: EventType,
+        coefficients: WindowCoefficientTable,
+    ) -> None:
+        self.spec = spec
+        self.is_start = spec.template.is_start(event_type)
+        self.guards = spec.fast_guards.get(event_type)
+        self.check_edges = spec.predicates.has_edge_predicates_for(event_type)
+        self.total_map = coefficients.window_map((spec.index, event_type))
+        self.pred_types = spec.pred_types[event_type]
+        self.pred_maps = tuple(
+            coefficients.window_map((spec.index, predecessor))
+            for predecessor in self.pred_types
+        )
+
+
+class MultiWindowLinearEngine(MultiWindowEngine):
+    """Shared linear trend aggregation across all live window instances.
+
+    One instance serves one ``(group key, execution unit)`` pair.  See the
+    module docstring for the sharing scheme; the state is
+
+    * a :class:`~repro.core.snapshot.WindowCoefficientTable` holding, per
+      ``(query class, event type)``, the per-window running totals of the
+      intermediate aggregates (the window-instance coefficients);
+    * per-class *armed* window sets (lazy opening: a window is armed by the
+      first trend-start event of the class inside it);
+    * a :class:`~repro.core.hamlet_graph.SharedWindowStore` of events kept
+      once across windows, only for types some class may have to scan.
+    """
+
+    def __init__(self, unit: UnitCompilation) -> None:
+        self.unit = unit
+        self._coefficients = WindowCoefficientTable(unit.dimension)
+        self._armed: list[dict[int, bool]] = [dict() for _ in unit.classes]
+        self._store: Optional[SharedWindowStore] = (
+            SharedWindowStore() if unit.needs_store else None
+        )
+        self._plans_by_type: dict[EventType, tuple[_TypePlan, ...]] = {
+            event_type: tuple(_TypePlan(spec, event_type, self._coefficients) for spec in specs)
+            for event_type, specs in unit.positive_classes_by_type.items()
+        }
+        #: Per-class end-type coefficient maps, resolved once for the readout.
+        self._end_maps: list[tuple[dict, ...]] = [
+            tuple(
+                self._coefficients.window_map((spec.index, event_type))
+                for event_type in spec.end_types
+            )
+            for spec in unit.classes
+        ]
+        #: Maps the readout does not already drain: non-end types, plus every
+        #: map of trailing-NOT classes (their readout scans nodes instead).
+        evict_maps: list[dict] = []
+        for spec in unit.classes:
+            for event_type in spec.template.event_types:
+                if spec.trailing_negations or event_type not in spec.template.end_types:
+                    evict_maps.append(self._coefficients.window_map((spec.index, event_type)))
+        self._evict_maps: tuple[dict, ...] = tuple(evict_maps)
+        self._armed_entries = 0
+        self._latest_event: Optional[Event] = None
+        #: Live ``(class, type, window)`` coefficient entries, maintained
+        #: incrementally so memory accounting never scans the table.
+        self._coeff_entries = 0
+        self._ops = 0
+
+    # ------------------------------------------------------------------ #
+    # MultiWindowEngine interface
+    # ------------------------------------------------------------------ #
+    def process(self, event: Event, lo: int, hi: int) -> None:
+        """Do the event's graph work once; fold coefficients per armed window."""
+        if self._latest_event is not None and not self._latest_event < event:
+            raise ExecutionError(
+                "shared-window execution requires strictly ordered arrival "
+                f"(by time, then sequence); {event!r} does not follow "
+                f"{self._latest_event!r} — use shared_windows=False for such streams"
+            )
+        self._latest_event = event
+        unit = self.unit
+        store = self._store
+        negative_specs = unit.negative_classes_by_type.get(event.event_type)
+        if negative_specs is not None and store is not None:
+            matched = frozenset(
+                spec.index for spec in negative_specs if spec.predicates.accepts_event(event)
+            )
+            if matched:
+                store.add_negative(event, lo, hi, matched)
+        plans = self._plans_by_type.get(event.event_type)
+        if plans is None:
+            return
+        scalar = unit.scalar
+        contributions = None if scalar else unit.contributions(event)
+        node_values: Optional[dict] = None
+        for plan in plans:
+            spec = plan.spec
+            if spec.check_locals and not spec.predicates.accepts_event(event):
+                continue
+            armed = self._armed[spec.index]
+            if plan.is_start:
+                for index in range(lo, hi + 1):
+                    if index not in armed:
+                        armed[index] = True
+                        self._armed_entries += 1
+            if not armed:
+                continue
+            fast = plan.guards is not None
+            if fast and plan.guards and store is not None:
+                for negated_type in plan.guards:
+                    if store.has_negatives(negated_type):
+                        fast = False
+                        break
+            if fast:
+                if scalar:
+                    node_values = self._fast_scalar(plan, armed, node_values)
+                else:
+                    node_values = self._fast_vector(plan, armed, contributions, node_values)
+            else:
+                node_values = self._slow_path(plan, event, armed, contributions, node_values)
+        if store is not None and event.event_type in unit.stored_node_types:
+            store.add_node(event, lo, hi, node_values)
+
+    def close_window(self, index: int) -> dict[str, float]:
+        """Equation 3 readout of one instance from its coefficient column."""
+        unit = self.unit
+        scalar = unit.scalar
+        results: dict[str, float] = {}
+        evicted = 0
+        for spec in unit.classes:
+            if self._armed[spec.index].pop(index, None) is not None:
+                self._armed_entries -= 1
+            if spec.trailing_negations and self._store is not None:
+                total = self._trailing_total(spec, index)
+            elif scalar:
+                # The readout drains the end-type coefficients it reads.
+                total = 0.0
+                for end_map in self._end_maps[spec.index]:
+                    value = end_map.pop(index, None)
+                    if value is not None:
+                        total += value
+                        evicted += 1
+            else:
+                accumulator = MutableAggregate(unit.dimension)
+                for end_map in self._end_maps[spec.index]:
+                    value = end_map.pop(index, None)
+                    if value is not None:
+                        accumulator.add(value)
+                        evicted += 1
+                total = accumulator
+            self._ops += 1
+            if scalar:
+                for query in spec.queries:
+                    results[query.name] = total
+            else:
+                frozen = total.freeze()
+                for query in spec.queries:
+                    results[query.name] = result_from_vector(query, frozen, unit.measures)
+        for window_map in self._evict_maps:
+            if window_map.pop(index, None) is not None:
+                evicted += 1
+        self._coeff_entries -= evicted
+        return results
+
+    def evict_to(self, oldest: Optional[int]) -> None:
+        """Drop stored events outside every instance at or after ``oldest``."""
+        if self._store is not None:
+            self._store.evict_to(oldest)
+
+    def memory_units(self) -> int:
+        """Coefficient entries plus the shared store footprint (O(1))."""
+        per_entry = 1 if self.unit.scalar else 1 + self.unit.dimension
+        units = self._coeff_entries * per_entry + self._armed_entries
+        if self._store is not None:
+            units += self._store.memory_units()
+        return units
+
+    def operations(self) -> int:
+        """Abstract work units (coefficient folds, scans, readouts) so far."""
+        return self._ops
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def armed_window_count(self) -> int:
+        """Number of live ``(class, window)`` armed pairs (lazy-open state)."""
+        return sum(len(armed) for armed in self._armed)
+
+    @property
+    def coefficients(self) -> WindowCoefficientTable:
+        """The per-window coefficient table (ground truth for accounting)."""
+        return self._coefficients
+
+    def live_coefficient_entries(self) -> int:
+        """The engine's incremental entry counter — must always equal
+        ``coefficients.entry_count()`` (pinned by the runtime tests)."""
+        return self._coeff_entries
+
+    @property
+    def store(self) -> Optional[SharedWindowStore]:
+        """The shared event store (None when no class ever scans nodes)."""
+        return self._store
+
+    # ------------------------------------------------------------------ #
+    # Per-window folds
+    # ------------------------------------------------------------------ #
+    def _fast_scalar(self, plan: _TypePlan, armed: dict, node_values: Optional[dict]) -> Optional[dict]:
+        base = 1.0 if plan.is_start else 0.0
+        total_map = plan.total_map
+        pred_maps = plan.pred_maps
+        spec_index = plan.spec.index
+        store_values = plan.spec.store_values
+        entries = 0
+        if len(pred_maps) == 2 and not store_values:
+            # The dominant shape (prefix type + Kleene self-loop): unrolled.
+            first_map, second_map = pred_maps
+            first_get, second_get, total_get = first_map.get, second_map.get, total_map.get
+            for index in armed:
+                value = base
+                previous = first_get(index)
+                if previous is not None:
+                    value += previous
+                previous = second_get(index)
+                if previous is not None:
+                    value += previous
+                current = total_get(index)
+                if current is None:
+                    total_map[index] = value
+                    entries += 1
+                else:
+                    total_map[index] = current + value
+        else:
+            for index in armed:
+                value = base
+                for window_map in pred_maps:
+                    previous = window_map.get(index)
+                    if previous is not None:
+                        value += previous
+                current = total_map.get(index)
+                if current is None:
+                    total_map[index] = value
+                    entries += 1
+                else:
+                    total_map[index] = current + value
+                if store_values:
+                    if node_values is None:
+                        node_values = {}
+                    node_values[(spec_index, index)] = value
+        self._coeff_entries += entries
+        self._ops += len(armed) * (1 + len(pred_maps))
+        return node_values
+
+    def _fast_vector(
+        self,
+        plan: _TypePlan,
+        armed: dict,
+        contributions: tuple[float, ...],
+        node_values: Optional[dict],
+    ) -> Optional[dict]:
+        dimension = self.unit.dimension
+        total_map = plan.total_map
+        pred_maps = plan.pred_maps
+        spec_index = plan.spec.index
+        store_values = plan.spec.store_values
+        for index in armed:
+            accumulator = MutableAggregate(dimension)
+            if plan.is_start:
+                accumulator.count = 1.0
+            for window_map in pred_maps:
+                previous = window_map.get(index)
+                if previous is not None:
+                    accumulator.add(previous)
+            accumulator.apply_contributions(contributions)
+            if store_values:
+                if node_values is None:
+                    node_values = {}
+                node_values[(spec_index, index)] = accumulator.freeze()
+            total = total_map.get(index)
+            if total is None:
+                total_map[index] = accumulator
+                self._coeff_entries += 1
+            else:
+                total.add(accumulator)
+        self._ops += len(armed) * (1 + len(pred_maps))
+        return node_values
+
+    def _slow_path(
+        self,
+        plan: _TypePlan,
+        event: Event,
+        armed: dict,
+        contributions: Optional[tuple[float, ...]],
+        node_values: Optional[dict],
+    ) -> Optional[dict]:
+        """Equation 2 with edge predicates / armed negation: window-filtered scan."""
+        store = self._store
+        assert store is not None  # store_values classes always have a store
+        spec = plan.spec
+        spec_index = spec.index
+        scalar = self.unit.scalar
+        constraints = [
+            constraint
+            for constraint in spec.sequence_negations
+            if event.event_type in constraint.after_types
+            and store.has_negatives(constraint.negated_type)
+        ]
+        check_edges = plan.check_edges
+        predicates = spec.predicates
+        pred_node_lists = [store.nodes_of_type(t) for t in plan.pred_types]
+        total_map = plan.total_map
+        base = 1.0 if plan.is_start else 0.0
+        for index in armed:
+            if scalar:
+                value = base
+            else:
+                accumulator = MutableAggregate(self.unit.dimension)
+                accumulator.count = base
+            for nodes in pred_node_lists:
+                for stored in nodes:
+                    self._ops += 1
+                    if stored.lo > index or stored.hi < index:
+                        continue
+                    values = stored.values
+                    if values is None:
+                        continue
+                    stored_value = values.get((spec_index, index))
+                    if stored_value is None:
+                        continue
+                    if not stored.event < event:
+                        continue
+                    if check_edges and not predicates.accepts_edge(stored.event, event):
+                        continue
+                    if constraints and store.negation_blocks(
+                        spec_index, constraints, stored.event, event
+                    ):
+                        continue
+                    if scalar:
+                        value += stored_value
+                    else:
+                        accumulator.add_vector(stored_value)
+            if node_values is None:
+                node_values = {}
+            if scalar:
+                current = total_map.get(index)
+                if current is None:
+                    total_map[index] = value
+                    self._coeff_entries += 1
+                else:
+                    total_map[index] = current + value
+                node_values[(spec_index, index)] = value
+            else:
+                accumulator.apply_contributions(contributions)
+                node_values[(spec_index, index)] = accumulator.freeze()
+                total = total_map.get(index)
+                if total is None:
+                    total_map[index] = accumulator
+                    self._coeff_entries += 1
+                else:
+                    total.add(accumulator)
+        return node_values
+
+    def _trailing_total(self, spec: QueryClassSpec, index: int):
+        """Equation 3 with a trailing NOT: scan end-type nodes, filter cancelled."""
+        store = self._store
+        assert store is not None
+        scalar = self.unit.scalar
+        if scalar:
+            total = 0.0
+        else:
+            total = MutableAggregate(self.unit.dimension)
+        for event_type in spec.end_types:
+            for stored in store.nodes_of_type(event_type):
+                self._ops += 1
+                if stored.lo > index or stored.hi < index:
+                    continue
+                values = stored.values
+                if values is None:
+                    continue
+                value = values.get((spec.index, index))
+                if value is None:
+                    continue
+                if store.cancelled_by_trailing(
+                    spec.index, spec.trailing_negations, stored.event, index
+                ):
+                    continue
+                if scalar:
+                    total += value
+                else:
+                    total.add_vector(value)
+        return total
+
+
+def shared_window_flavor_of(
+    engine_factory, prebuilt: Optional[TrendAggregationEngine] = None
+) -> tuple[Optional[str], Optional[TrendAggregationEngine]]:
+    """Resolve how (whether) a unit built from ``engine_factory`` can share windows.
+
+    Returns ``(flavor, probe)`` where ``flavor`` is ``"classes"``,
+    ``"per-query"`` or ``None`` (fall back to one engine per instance) and
+    ``probe`` is an engine instance built along the way, if any, so callers
+    can seed their per-instance pool instead of discarding it.
+    """
+    if isinstance(engine_factory, type):
+        if issubclass(engine_factory, TrendAggregationEngine):
+            return getattr(engine_factory, "shared_window_flavor", None), prebuilt
+        return None, prebuilt
+    probe = prebuilt
+    if probe is None:
+        try:
+            probe = engine_factory()
+        except Exception:  # pragma: no cover - defensive
+            return None, None
+    flavor = getattr(probe, "shared_window_flavor", None)
+    if flavor == "classes" and not getattr(probe, "fast_predecessor_totals", True):
+        # The slow-path-only debugging mode has no coefficient fast path to
+        # lift across windows; keep it on the per-instance reference path.
+        flavor = None
+    return flavor, probe

@@ -7,27 +7,37 @@ reference, but its latency, memory and throughput are artifacts of replay.
 This module is the online counterpart:
 
 * events are consumed **in timestamp order exactly once**;
-* an active-window index per ``(group key, window instance)`` feeds each
-  event incrementally to the engines of the window instances covering it —
-  at most ``ceil(size/slide)`` per event;
+* with **shared windows** (the default), each ``(group key, execution
+  unit)`` pair is served by one
+  :class:`~repro.runtime.shared_windows.MultiWindowLinearEngine` that does
+  the graph work of an event once for *all* overlapping window instances
+  and tags the running aggregates with per-window-instance coefficients; a
+  window's close is an O(active windows) coefficient readout plus eviction
+  of events that fall out of every live instance;
+* with ``shared_windows=False`` (the per-instance reference path, also the
+  fallback for engines without a shared-window implementation — baselines,
+  MIN/MAX units), an active-window index per ``(group key, window
+  instance)`` feeds each event incrementally to the engines of the window
+  instances covering it — at most ``ceil(size/slide)`` per event; closed
+  instances return their engines to a per-unit pool
+  (``TrendAggregationEngine.close``);
 * the moment the stream passes a window's end, its result is emitted through
-  a callback as a :class:`WindowResult` and the instance's engine state is
-  **evicted**, so peak memory is bounded by the number of *active* window
-  instances instead of the stream length;
-* closed-instance engines return to a per-unit pool: restarting a pooled
-  engine reuses its compiled templates and sharing analysis (see
-  ``TrendAggregationEngine.close``).
+  a callback as a :class:`WindowResult` and the window's state is
+  **evicted**, so peak memory is bounded by the *live* state instead of the
+  stream length.
 
-Lazy opening (on by default) is the streaming-only throughput lever: a
-window instance is not opened — and events covering it are not fed to any
-engine — until the first event whose type can *start* a trend of one of the
-unit's queries arrives inside the instance.  Events preceding every
-trend-start event are provably inert: a trend is a time-ordered match
-beginning with a start-type event, negation constraints only invalidate
-edges between stored positive events, and leading ``NOT`` carries no
-constraint, so no engine's result can depend on the skipped prefix.  The
-randomized equivalence suite asserts bit-identical totals against the batch
-replay across engines and sharing policies.
+Lazy opening (on by default) skips provably-inert stream prefixes: a window
+instance is not opened — and events covering it are not fed to any engine —
+until the first event whose type can *start* a trend of one of the unit's
+queries arrives inside the instance.  Events preceding every trend-start
+event are provably inert: a trend is a time-ordered match beginning with a
+start-type event, negation constraints only invalidate edges between stored
+positive events, and leading ``NOT`` carries no constraint, so no engine's
+result can depend on the skipped prefix.  The shared-window path propagates
+the same invariant per query class: a window is *armed* for a class only
+once a class start-type event arrives inside it, and unarmed windows are
+skipped by every per-window loop.  The randomized equivalence suite asserts
+bit-identical totals across the shared, per-instance and batch paths.
 
 The executor is incremental: ``process(event)`` / ``finish()`` drive it from
 a live source, ``run(stream)`` wraps them for replay-style use.
@@ -60,6 +70,11 @@ from repro.runtime.executor import (
     unit_relevant_types,
 )
 from repro.runtime.partitioner import PartitionKey, PartitionSpec
+from repro.runtime.shared_windows import (
+    MultiWindowLinearEngine,
+    UnitCompilation,
+    shared_window_flavor_of,
+)
 from repro.template.analysis import analyze_workload
 from repro.template.template import compile_pattern
 
@@ -75,7 +90,8 @@ class WindowResult:
     window_end: float
     #: Final aggregate per query of the instance's execution unit.
     results: Mapping[str, float]
-    #: Events fed to this instance's engine.
+    #: Events fed to this instance (shared mode: relevant group events that
+    #: arrived between the instance's opening and its close).
     events: int
     #: Wall-clock seconds from the arrival of the instance's last contributing
     #: event to the emission of this result.
@@ -84,7 +100,7 @@ class WindowResult:
 
 @dataclass
 class _Instance:
-    """Runtime state of one open ``(group key, window instance)``."""
+    """Runtime state of one open ``(group key, window instance)`` (per-instance mode)."""
 
     key: PartitionKey
     end: float
@@ -95,9 +111,43 @@ class _Instance:
     last_arrival: float = 0.0
 
 
+@dataclass(slots=True)
+class _WindowMeta:
+    """Bookkeeping of one open window instance of a shared group."""
+
+    index: int
+    end: float
+    #: ``group.fed`` when the window opened (events before it are not ours).
+    opened_fed: int
+    #: ``group.share_seconds`` when the window opened.
+    share_at_open: float
+
+
+@dataclass(slots=True)
+class _SharedGroup:
+    """One ``(group key, execution unit)`` pair on the shared-window path."""
+
+    engine: MultiWindowLinearEngine
+    #: True when the engine keeps a node store that needs eviction sweeps.
+    evicts: bool
+    #: Open window instances in ascending index order (windows open and
+    #: close monotonically for an in-order stream).
+    metas: dict[int, _WindowMeta] = field(default_factory=dict)
+    #: Relevant events fed to the shared engine so far.
+    fed: int = 0
+    #: ``time.perf_counter()`` at the arrival of the last fed event.
+    last_arrival: float = 0.0
+    #: Engine seconds split evenly across the windows open at feed time —
+    #: summing per-window attributions recovers the engine wall time once,
+    #: instead of multiplying it by the overlap factor.
+    share_seconds: float = 0.0
+    #: Engine operations already attributed to closed windows.
+    ops_reported: int = 0
+
+
 @dataclass
 class _Unit:
-    """One execution unit: queries sharing a partition set, plus its engines."""
+    """One execution unit: queries sharing a partition set, plus its state."""
 
     queries: tuple[Query, ...]
     spec: PartitionSpec
@@ -105,6 +155,11 @@ class _Unit:
     #: Types that can start a trend of at least one unit query (lazy-open gate).
     opening_types: frozenset[EventType]
     linear: bool
+    #: Shared-window compilation; None means the per-instance fallback.
+    compiled: Optional[UnitCompilation] = None
+    #: Shared mode: one engine + window bookkeeping per group key.
+    shared_groups: dict[tuple, _SharedGroup] = field(default_factory=dict)
+    #: Per-instance mode: open instances and the engine pool.
     open: dict[PartitionKey, _Instance] = field(default_factory=dict)
     pool: list[TrendAggregationEngine] = field(default_factory=list)
     #: Earliest end among open instances (``inf`` when none are open).
@@ -113,6 +168,10 @@ class _Unit:
     @property
     def window(self) -> Window:
         return self.spec.window
+
+    @property
+    def shared(self) -> bool:
+        return self.compiled is not None
 
 
 class StreamingExecutor:
@@ -125,6 +184,7 @@ class StreamingExecutor:
         *,
         on_window: Optional[Callable[[WindowResult], None]] = None,
         lazy_open: bool = True,
+        shared_windows: bool = True,
     ) -> None:
         """Create a streaming executor.
 
@@ -138,23 +198,48 @@ class StreamingExecutor:
             lazy_open: Open a window instance only when a trend-start-type
                 event arrives inside it (skips provably inert prefixes).
                 Disable to mirror the batch executor's instance set exactly.
+            shared_windows: Evaluate all overlapping window instances of a
+                ``(group, unit)`` pair with one shared multi-window engine
+                (events processed once, per-window coefficients, see
+                :mod:`repro.runtime.shared_windows`).  Disable to fall back
+                to one engine per window instance — the semantics reference.
+                Engines without a shared-window implementation (baselines,
+                MIN/MAX units, ``fast_predecessor_totals=False``) use the
+                per-instance path regardless.
         """
         self.workload = workload if isinstance(workload, Workload) else Workload(workload)
         self.workload.validate()
         self.engine_factory = engine_factory
         self.on_window = on_window
         self.lazy_open = lazy_open
+        self.shared_windows = shared_windows
         self.analysis = analyze_workload(self.workload)
         self._engine_label, prebuilt = resolve_engine_label(engine_factory)
+        flavor: Optional[str] = None
+        if shared_windows:
+            flavor, prebuilt = shared_window_flavor_of(engine_factory, prebuilt)
         self._units: list[_Unit] = []
         for group in self.analysis.groups:
             for queries in execution_units(group.queries):
-                self._units.append(self._build_unit(queries))
-        if prebuilt is not None and self._units:
-            first_linear = next((unit for unit in self._units if unit.linear), None)
-            if first_linear is not None:
-                first_linear.pool.append(prebuilt)
-        self._engines: list[TrendAggregationEngine] = [] if prebuilt is None else [prebuilt]
+                self._units.append(self._build_unit(queries, flavor))
+        self._units_by_type: dict[EventType, tuple[_Unit, ...]] = {}
+        for unit in self._units:
+            for event_type in unit.relevant_types:
+                self._units_by_type.setdefault(event_type, []).append(unit)  # type: ignore[arg-type]
+        self._units_by_type = {
+            event_type: tuple(units) for event_type, units in self._units_by_type.items()
+        }
+        if prebuilt is not None:
+            first_instances = next(
+                (unit for unit in self._units if unit.linear and not unit.shared), None
+            )
+            if first_instances is not None:
+                first_instances.pool.append(prebuilt)
+                self._engines: list[TrendAggregationEngine] = [prebuilt]
+            else:
+                self._engines = []
+        else:
+            self._engines = []
         self._begin_run()
 
     # ------------------------------------------------------------------ #
@@ -196,19 +281,34 @@ class StreamingExecutor:
         self._consumed += 1
         if event.time >= self._next_close:
             self._close_passed_windows(event.time)
+        units = self._units_by_type.get(event.event_type)
+        if not units:
+            return
         arrival = time.perf_counter()
-        for unit in self._units:
-            if event.event_type not in unit.relevant_types:
-                continue
-            self._feed_unit(unit, event, arrival)
+        for unit in units:
+            if unit.shared:
+                self._feed_shared(unit, event, arrival)
+            else:
+                self._feed_unit(unit, event, arrival)
 
     def finish(self) -> ExecutionReport:
         """Close every remaining window and return the report."""
         self._report.metrics.note_memory_units(self._open_memory_units())
         for unit in self._units:
-            # Sorted for a deterministic emission order of the final flush.
-            for key in sorted(unit.open, key=lambda item: (item[1], repr(item[0]))):
-                self._close_instance(unit, unit.open.pop(key))
+            if unit.shared:
+                pending = [
+                    (meta.end, repr(group_key), group_key, meta.index)
+                    for group_key, group in unit.shared_groups.items()
+                    for meta in group.metas.values()
+                ]
+                pending.sort()
+                for _, _, group_key, index in pending:
+                    group = unit.shared_groups[group_key]
+                    self._close_shared_window(unit, group_key, group, group.metas.pop(index))
+            else:
+                # Sorted for a deterministic emission order of the final flush.
+                for key in sorted(unit.open, key=lambda item: (item[1], repr(item[0]))):
+                    self._close_instance(unit, unit.open.pop(key))
             unit.next_close = float("inf")
         self._next_close = float("inf")
         report = self._report
@@ -228,12 +328,25 @@ class StreamingExecutor:
     # ------------------------------------------------------------------ #
     def active_window_count(self) -> int:
         """Number of currently open ``(group, window instance)`` states."""
-        return sum(len(unit.open) for unit in self._units)
+        return self._shared_active + sum(len(unit.open) for unit in self._units)
 
     @property
     def engines_created(self) -> int:
-        """Engines built so far — bounded by peak active windows, not stream length."""
+        """Per-instance engines built so far (shared-window engines are one
+        per live ``(group, unit)`` pair and are not pooled)."""
         return len(self._engines)
+
+    @property
+    def shared_group_count(self) -> int:
+        """Live shared multi-window engines (one per ``(group, unit)`` pair)."""
+        return sum(len(unit.shared_groups) for unit in self._units if unit.shared)
+
+    @property
+    def engine_feeds(self) -> int:
+        """Engine ``process`` calls so far: 1 per (event, unit, group) on the
+        shared path versus up to ``ceil(size/slide)`` per event per unit on
+        the per-instance path."""
+        return self._engine_feeds
 
     @property
     def peak_active_windows(self) -> int:
@@ -243,21 +356,35 @@ class StreamingExecutor:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _build_unit(self, queries: tuple[Query, ...]) -> _Unit:
-        opening: set[EventType] = set()
-        for query in queries:
-            opening |= set(compile_pattern(query.pattern).start_types)
+    def _build_unit(self, queries: tuple[Query, ...], flavor: Optional[str]) -> _Unit:
         first = queries[0]
+        linear = unit_is_linear(queries)
+        relevant = frozenset(unit_relevant_types(queries))
+        if linear:
+            opening: set[EventType] = set()
+            for query in queries:
+                opening |= set(compile_pattern(query.pattern).start_types)
+        else:
+            # The inert-prefix argument relies on linearity (zero starts ==
+            # zero aggregate); GRETA's extremum propagation can yield values
+            # from start-less predecessor chains, so MIN/MAX instances open
+            # on any relevant event to stay batch-identical.
+            opening = set(relevant)
+        compiled: Optional[UnitCompilation] = None
+        if flavor is not None and linear:
+            compiled = UnitCompilation(queries, share_classes=flavor == "classes")
         return _Unit(
             queries=queries,
             spec=PartitionSpec(group_by=first.group_by, window=first.window),
-            relevant_types=frozenset(unit_relevant_types(queries)),
+            relevant_types=relevant,
             opening_types=frozenset(opening),
-            linear=unit_is_linear(queries),
+            linear=linear,
+            compiled=compiled,
         )
 
     def _begin_run(self) -> None:
         for unit in self._units:
+            unit.shared_groups.clear()
             for instance in unit.open.values():
                 instance.engine.close()
                 unit.pool.append(instance.engine)
@@ -273,8 +400,127 @@ class StreamingExecutor:
         self._report = ExecutionReport(engine_name=self._engine_label)
         self._clock = float("-inf")
         self._consumed = 0
+        self._engine_feeds = 0
+        #: Open shared-window instances (kept incrementally; per-instance
+        #: opens are counted from the units' ``open`` dicts directly).
+        self._shared_active = 0
         self._next_close = float("inf")
 
+    # ------------------------------------------------------------------ #
+    # Shared-window path
+    # ------------------------------------------------------------------ #
+    def _feed_shared(self, unit: _Unit, event: Event, arrival: float) -> None:
+        window = unit.spec.window
+        group_key = unit.spec.group_key(event)
+        group = unit.shared_groups.get(group_key)
+        qualifies = not self.lazy_open or event.event_type in unit.opening_types
+        if group is None:
+            if not qualifies:
+                # The group has never seen an opening event: every window
+                # covering this event is unopened, so the event is provably
+                # inert — don't even build the group's engine.
+                return
+            assert unit.compiled is not None
+            engine = MultiWindowLinearEngine(unit.compiled)
+            group = unit.shared_groups[group_key] = _SharedGroup(
+                engine=engine, evicts=engine.store is not None
+            )
+        indices = window.instance_indices_covering(event.time)
+        lo, hi = indices.start, indices.stop - 1
+        if hi < lo:
+            return
+        metas = group.metas
+        if qualifies:
+            opened = False
+            for index in range(lo, hi + 1):
+                if index not in metas:
+                    end = window.instance_bounds(index)[1]
+                    metas[index] = _WindowMeta(index, end, group.fed, group.share_seconds)
+                    opened = True
+                    self._shared_active += 1
+                    if end < unit.next_close:
+                        unit.next_close = end
+                        if end < self._next_close:
+                            self._next_close = end
+            if opened:
+                self._report.metrics.note_active_windows(self.active_window_count())
+        if not metas:
+            # No window of this group is open: the event precedes every
+            # trend-start event of every instance covering it and is
+            # provably inert (see the module docstring); it is skipped
+            # without touching the shared engine.
+            return
+        started = time.perf_counter()
+        group.engine.process(event, lo, hi)
+        duration = time.perf_counter() - started
+        group.fed += 1
+        group.last_arrival = arrival
+        group.share_seconds += duration / len(metas)
+        self._engine_feeds += 1
+
+    def _close_shared_window(
+        self, unit: _Unit, group_key: tuple, group: _SharedGroup, meta: _WindowMeta
+    ) -> None:
+        self._shared_active -= 1  # callers pop the meta before closing
+        engine = group.engine
+        started = time.perf_counter()
+        results = engine.close_window(meta.index)
+        if group.evicts:
+            engine.evict_to(next(iter(group.metas), None))
+        if not group.metas:
+            # The group's last window closed: evict the group itself so
+            # shared-path memory tracks *live* state, not every group key
+            # ever seen.  A returning key rebuilds its engine from the
+            # unit's shared compilation (cheap — state only).
+            del unit.shared_groups[group_key]
+        now = time.perf_counter()
+        events = group.fed - meta.opened_fed
+        seconds = (group.share_seconds - meta.share_at_open) + (now - started)
+        latency = now - group.last_arrival if events else 0.0
+        operations = engine.operations()
+        ops_delta = operations - group.ops_reported
+        group.ops_reported = operations
+        window_start, window_end = unit.window.instance_bounds(meta.index)
+        metrics = self._report.metrics
+        metrics.record_partition(
+            seconds=seconds,
+            events=events,
+            memory_units=engine.memory_units(),
+            operations=ops_delta,
+        )
+        metrics.record_emission(latency)
+        # ``results`` is a fresh dict per close; the report owns it, and the
+        # callback (which may mutate what it is handed) gets its own copy.
+        self._report.partition_results.append(
+            PartitionResult(
+                group_key=group_key,
+                window_index=meta.index,
+                window_start=window_start,
+                results=results,
+                seconds=seconds,
+                events=events,
+            )
+        )
+        totals = self._report.totals
+        for name, value in results.items():
+            if value != 0.0:  # adding exact zero is a no-op; skip the fold
+                totals[name] = totals.get(name, 0.0) + value
+        if self.on_window is not None:
+            self.on_window(
+                WindowResult(
+                    group_key=group_key,
+                    window_index=meta.index,
+                    window_start=window_start,
+                    window_end=window_end,
+                    results=dict(results),
+                    events=events,
+                    emission_latency=latency,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # Per-instance path (semantics reference and fallback)
+    # ------------------------------------------------------------------ #
     def _feed_unit(self, unit: _Unit, event: Event, arrival: float) -> None:
         window = unit.spec.window
         group_key = unit.spec.group_key(event)
@@ -294,6 +540,7 @@ class StreamingExecutor:
             instance.seconds += time.perf_counter() - started
             instance.events += 1
             instance.last_arrival = arrival
+            self._engine_feeds += 1
 
     def _open_instance(self, unit: _Unit, key: PartitionKey) -> _Instance:
         engine = unit.pool.pop() if unit.pool else self._new_engine(unit)
@@ -314,6 +561,9 @@ class StreamingExecutor:
         self._engines.append(engine)
         return engine
 
+    # ------------------------------------------------------------------ #
+    # Window close sweeps
+    # ------------------------------------------------------------------ #
     def _close_passed_windows(self, now: float) -> None:
         # Peak memory is the state held *concurrently*; sample the combined
         # open footprint at its local high-water mark — just before a batch
@@ -322,7 +572,10 @@ class StreamingExecutor:
         self._next_close = float("inf")
         for unit in self._units:
             if now >= unit.next_close:
-                self._sweep_unit(unit, now)
+                if unit.shared:
+                    self._sweep_unit_shared(unit, now)
+                else:
+                    self._sweep_unit(unit, now)
             if unit.next_close < self._next_close:
                 self._next_close = unit.next_close
 
@@ -334,6 +587,27 @@ class StreamingExecutor:
             self._close_instance(unit, instance)
         unit.next_close = min(
             (instance.end for instance in unit.open.values()), default=float("inf")
+        )
+
+    def _sweep_unit_shared(self, unit: _Unit, now: float) -> None:
+        expired = []
+        for group_key, group in unit.shared_groups.items():
+            for meta in group.metas.values():  # ascending index == ascending end
+                if meta.end <= now:
+                    expired.append((meta.end, repr(group_key), group_key, meta.index))
+                else:
+                    break
+        expired.sort()
+        for _, _, group_key, index in expired:
+            group = unit.shared_groups[group_key]
+            self._close_shared_window(unit, group_key, group, group.metas.pop(index))
+        unit.next_close = min(
+            (
+                next(iter(group.metas.values())).end
+                for group in unit.shared_groups.values()
+                if group.metas
+            ),
+            default=float("inf"),
         )
 
     def _close_instance(self, unit: _Unit, instance: _Instance) -> None:
@@ -381,12 +655,31 @@ class StreamingExecutor:
             )
 
     def _open_memory_units(self) -> int:
-        """Combined footprint of every currently open window instance."""
-        return sum(
-            instance.engine.memory_units()
-            for unit in self._units
-            for instance in unit.open.values()
-        )
+        """Combined footprint of the live state, counted once.
+
+        Shared-window engines hold each event and coefficient exactly once,
+        so their footprints sum directly.  On the per-instance path the
+        engines of overlapping instances of the same ``(unit, group)`` pair
+        duplicate the shared suffix of events; summing them would multiply
+        identical state by the overlap factor (the PR 2 over-counting), so
+        the sample takes the *largest* instance per ``(unit, group)`` — the
+        oldest open window, whose state subsumes its younger overlaps.
+        """
+        units = 0
+        for unit in self._units:
+            if unit.shared:
+                units += sum(
+                    group.engine.memory_units() for group in unit.shared_groups.values()
+                )
+            else:
+                largest: dict[tuple, int] = {}
+                for instance in unit.open.values():
+                    group_key = instance.key[0]
+                    footprint = instance.engine.memory_units()
+                    if footprint > largest.get(group_key, -1):
+                        largest[group_key] = footprint
+                units += sum(largest.values())
+        return units
 
     def _attach_optimizer_statistics(self, report: ExecutionReport) -> None:
         merged: Optional[OptimizerStatistics] = None
@@ -408,9 +701,14 @@ def run_streaming(
     *,
     on_window: Optional[Callable[[WindowResult], None]] = None,
     lazy_open: bool = True,
+    shared_windows: bool = True,
 ) -> ExecutionReport:
     """One-shot convenience wrapper around :class:`StreamingExecutor`."""
     executor = StreamingExecutor(
-        workload, engine_factory, on_window=on_window, lazy_open=lazy_open
+        workload,
+        engine_factory,
+        on_window=on_window,
+        lazy_open=lazy_open,
+        shared_windows=shared_windows,
     )
     return executor.run(stream)

@@ -82,6 +82,33 @@ class TestEventStream:
         assert EventStream().start_time is None
 
 
+class TestByTypeIndex:
+    def test_index_built_alongside_appends(self):
+        stream = EventStream([Event("A", 0.0), Event("B", 1.0)])
+        stream.append(Event("A", 2.0))
+        assert [e.time for e in stream.events_of_type("A")] == [0.0, 2.0]
+        assert [e.time for e in stream.events_of_type("B")] == [1.0]
+        assert stream.events_of_type("C") == ()
+        assert set(stream.by_type) == {"A", "B"}
+
+    def test_of_types_merges_in_stream_order(self):
+        stream = EventStream(
+            [Event("A", 0.0), Event("B", 1.0), Event("C", 1.0), Event("A", 2.0), Event("B", 3.0)]
+        )
+        selected = stream.of_types({"A", "B"})
+        assert [e.event_type for e in selected] == ["A", "B", "A", "B"]
+        assert [e.time for e in selected] == [0.0, 1.0, 2.0, 3.0]
+        assert stream.of_types({"Z"}) == []
+        # Single-type selection is a direct index read.
+        assert [e.time for e in stream.of_types(["A"])] == [0.0, 2.0]
+
+    def test_of_type_uses_the_index(self):
+        stream = EventStream([Event("A", 0.0), Event("B", 1.0), Event("A", 2.0)])
+        narrowed = stream.of_type("A")
+        assert isinstance(narrowed, EventStream)
+        assert [e.time for e in narrowed] == [0.0, 2.0]
+
+
 class TestMergeStreams:
     def test_merge_orders_by_time(self):
         left = EventStream([Event("A", 1.0), Event("A", 3.0)])

@@ -7,7 +7,10 @@ to the batch replay :class:`~repro.runtime.WorkloadExecutor` — across
 HAMLET (every sharing policy), GRETA and the two-step / SHARON-style
 baselines, for tumbling and overlapping (including fractional-slide)
 windows, GROUP BY, negation and decomposed OR queries, with lazy opening on
-and off, up to 600-event streams.
+and off, and on **both** streaming execution paths: the shared multi-window
+engine (``shared_windows=True``, the default — one engine per ``(group,
+unit)`` pair, per-window-instance coefficients) and the per-instance
+reference pool (``shared_windows=False``), up to 600-event streams.
 
 All event attributes are small integers, so per-partition sums stay exact in
 float64 (windows keep partitions small enough that trend counts remain below
@@ -123,8 +126,10 @@ def test_streaming_bit_identical_to_batch_hamlet(seed, size, window, optimizer_f
     queries = workload(window)
     factory = lambda: HamletEngine(optimizer_factory())  # noqa: E731
     batch = run_workload(queries, events, factory)
-    streaming = run_streaming(queries, events, factory)
-    assert streaming.totals == batch.totals  # exact — integer-valued streams
+    shared = run_streaming(queries, events, factory)
+    instances = run_streaming(queries, events, factory, shared_windows=False)
+    assert shared.totals == batch.totals  # exact — integer-valued streams
+    assert instances.totals == batch.totals
 
 
 @pytest.mark.parametrize("seed", range(4))
@@ -134,23 +139,29 @@ def test_streaming_bit_identical_to_batch_greta(seed, size, window):
     events = make_stream(seed, size)
     queries = workload(window)
     batch = run_workload(queries, events, GretaEngine)
-    streaming = run_streaming(queries, events, GretaEngine)
-    assert streaming.totals == batch.totals
+    shared = run_streaming(queries, events, GretaEngine)
+    instances = run_streaming(queries, events, GretaEngine, shared_windows=False)
+    assert shared.totals == batch.totals
+    assert instances.totals == batch.totals
 
 
 @pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("shared_windows", (True, False), ids=("shared", "instances"))
 @pytest.mark.parametrize("lazy_open", (True, False), ids=("lazy", "eager"))
-def test_streaming_matches_batch_with_group_by(seed, lazy_open):
+def test_streaming_matches_batch_with_group_by(seed, lazy_open, shared_windows):
     events = make_stream(seed, 400)
     queries = workload(SLIDING, group_by=("g",))
     factory = lambda: HamletEngine(DynamicSharingOptimizer())  # noqa: E731
     batch = run_workload(queries, events, factory)
-    streaming = run_streaming(queries, events, factory, lazy_open=lazy_open)
+    streaming = run_streaming(
+        queries, events, factory, lazy_open=lazy_open, shared_windows=shared_windows
+    )
     assert streaming.totals == batch.totals
 
 
 @pytest.mark.parametrize("seed", range(4))
-def test_streaming_matches_batch_on_negation_dense_streams(seed):
+@pytest.mark.parametrize("shared_windows", (True, False), ids=("shared", "instances"))
+def test_streaming_matches_batch_on_negation_dense_streams(seed, shared_windows):
     events = make_stream(seed, 300, negative_weight=2.0)
     queries = workload(SLIDING)
     for factory in (
@@ -159,19 +170,39 @@ def test_streaming_matches_batch_on_negation_dense_streams(seed):
         GretaEngine,
     ):
         batch = run_workload(queries, events, factory)
-        streaming = run_streaming(queries, events, factory)
+        streaming = run_streaming(queries, events, factory, shared_windows=shared_windows)
         assert streaming.totals == batch.totals
 
 
 @pytest.mark.parametrize("seed", range(3))
-def test_streaming_matches_batch_fractional_slide(seed):
+@pytest.mark.parametrize("shared_windows", (True, False), ids=("shared", "instances"))
+def test_streaming_matches_batch_fractional_slide(seed, shared_windows):
     """Fractional slides exercise the integer instance arithmetic end to end."""
     events = make_stream(seed, 300)
     queries = workload(FRACTIONAL)
     factory = lambda: HamletEngine(DynamicSharingOptimizer())  # noqa: E731
     batch = run_workload(queries, events, factory)
-    streaming = run_streaming(queries, events, factory)
+    streaming = run_streaming(queries, events, factory, shared_windows=shared_windows)
     assert streaming.totals == batch.totals
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("size", (150, 400))
+def test_shared_windows_per_window_results_match_per_instance(seed, size):
+    """Beyond totals: every emitted ``(group, window)`` partition agrees.
+
+    The shared multi-window engine must reproduce the per-instance engines'
+    per-window results exactly — including which windows are emitted at all
+    (lazy opening) — not just the workload-level sums.
+    """
+    events = make_stream(seed, size)
+    queries = workload(SLIDING, group_by=("g",))
+    factory = lambda: HamletEngine(DynamicSharingOptimizer())  # noqa: E731
+    shared = run_streaming(queries, events, factory)
+    instances = run_streaming(queries, events, factory, shared_windows=False)
+    shared_map = {p.key: dict(p.results) for p in shared.partition_results}
+    instance_map = {p.key: dict(p.results) for p in instances.partition_results}
+    assert shared_map == instance_map
 
 
 @pytest.mark.parametrize("seed", range(3))

@@ -15,7 +15,7 @@ from repro.errors import ExecutionError
 from repro.events import Event, EventStream
 from repro.greta import GretaEngine
 from repro.interfaces import TrendAggregationEngine
-from repro.query import Query, Window, Workload, kleene, max_of, seq
+from repro.query import Query, Window, Workload, kleene, max_of, parse_pattern, seq
 from repro.runtime import StreamingExecutor, WorkloadExecutor, run_streaming
 
 
@@ -87,9 +87,12 @@ class TestEmission:
 
 class TestEvictionAndBounds:
     def test_closed_windows_are_evicted_and_engines_pooled(self):
+        # Engine pooling is a per-instance-path behaviour; pin that path.
         window = Window(10.0, 2.0)
         events = [Event("A", float(t)) if t % 7 == 0 else Event("B", float(t)) for t in range(300)]
-        executor = StreamingExecutor(_ab_workload(window), HamletEngine, lazy_open=False)
+        executor = StreamingExecutor(
+            _ab_workload(window), HamletEngine, lazy_open=False, shared_windows=False
+        )
         report = executor.run(events)
         # Peak state is bounded by the windows covering one timestamp, never
         # by the stream length; closed state is gone at the end.
@@ -228,11 +231,13 @@ class TestEngineRouting:
         assert report.result_for("sm_q2") == 9.0
 
     def test_optimizer_statistics_merged_across_pool(self):
+        # Sharing decisions are made by per-instance HAMLET engines; the
+        # shared-window path has no per-burst decisions to report.
         window = Window(10.0, 5.0)
         events = []
         for t in range(60):
             events.append(Event("A" if t % 9 == 0 else ("C" if t % 9 == 4 else "B"), float(t)))
-        report = run_streaming(_ab_workload(window), events)
+        report = run_streaming(_ab_workload(window), events, shared_windows=False)
         assert report.optimizer_statistics is not None
         assert report.optimizer_statistics.decisions >= 1
 
@@ -241,7 +246,7 @@ class TestEngineRouting:
         events = []
         for t in range(60):
             events.append(Event("A" if t % 9 == 0 else ("C" if t % 9 == 4 else "B"), float(t)))
-        executor = StreamingExecutor(_ab_workload(window), HamletEngine)
+        executor = StreamingExecutor(_ab_workload(window), HamletEngine, shared_windows=False)
         first = executor.run(events).optimizer_statistics
         second = executor.run(events).optimizer_statistics
         # Pooled engines survive across runs; their counters must not.
@@ -252,3 +257,181 @@ class TestEngineRouting:
         executor = StreamingExecutor(_ab_workload(Window(10.0)), GretaEngine)
         report = executor.run([Event("A", 0.0), Event("B", 1.0)])
         assert report.engine_name == "greta"
+
+
+class TestSharedWindows:
+    """The multi-window shared execution path (shared_windows=True, default)."""
+
+    def _overlap_events(self, count=200, group=False):
+        events = []
+        for t in range(count):
+            name = "A" if t % 7 == 0 else ("C" if t % 11 == 0 else "B")
+            attrs = {"g": t % 3} if group else {}
+            events.append(Event(name, float(t), attrs))
+        return events
+
+    def test_each_event_processed_once_per_group(self):
+        window = Window(10.0, 2.0)  # overlap factor 5
+        events = self._overlap_events()
+        shared = StreamingExecutor(_ab_workload(window), HamletEngine, lazy_open=False)
+        shared_report = shared.run(events)
+        instances = StreamingExecutor(
+            _ab_workload(window), HamletEngine, lazy_open=False, shared_windows=False
+        )
+        instances.run(events)
+        # One unit, one group: the shared path touches the engine once per
+        # event where the per-instance path feeds every covering instance.
+        assert shared.engine_feeds == len(events)
+        assert instances.engine_feeds > 4 * shared.engine_feeds
+        # The per-window *accounting* is unchanged: each emitted window still
+        # reports every event it contains.
+        assert shared_report.metrics.events_processed == pytest.approx(
+            instances.run(events).metrics.events_processed
+        )
+
+    def test_window_results_identical_to_per_instance_path(self):
+        window = Window(10.0, 3.0)
+        events = self._overlap_events(150, group=True)
+        workload = _ab_workload(window, group_by=("g",))
+        shared_emitted, instance_emitted = [], []
+        shared = run_streaming(workload, events, on_window=shared_emitted.append)
+        instances = run_streaming(
+            workload, events, on_window=instance_emitted.append, shared_windows=False
+        )
+        assert shared.totals == instances.totals
+        key = lambda r: (r.group_key, r.window_index)  # noqa: E731
+        shared_map = {key(r): r for r in shared_emitted}
+        instance_map = {key(r): r for r in instance_emitted}
+        assert shared_map.keys() == instance_map.keys()
+        for k, result in shared_map.items():
+            other = instance_map[k]
+            assert dict(result.results) == dict(other.results)
+            assert result.events == other.events
+            assert (result.window_start, result.window_end) == (
+                other.window_start,
+                other.window_end,
+            )
+
+    def test_one_shared_engine_per_group_not_per_instance(self):
+        window = Window(10.0, 2.0)
+        events = self._overlap_events(200, group=True)
+        executor = StreamingExecutor(_ab_workload(window, group_by=("g",)), HamletEngine)
+        peak_groups = 0
+        for event in events:
+            executor.process(event)
+            peak_groups = max(peak_groups, executor.shared_group_count)
+        executor.finish()
+        assert peak_groups == 3  # one engine per live group key, never per instance
+        assert executor.engines_created == 0  # no per-instance engines built
+        assert executor.active_window_count() == 0  # everything closed
+        # Groups are evicted with their last window: memory tracks live
+        # state, not every group key ever seen.
+        assert executor.shared_group_count == 0
+
+    def test_shared_state_evicted_as_windows_close(self):
+        window = Window(10.0, 2.0)
+        workload = [
+            Query.build(
+                # Negation forces the shared store to keep events; eviction
+                # must still bound it by the live-window span.
+                parse_pattern("SEQ(A, NOT X, B+)"),
+                window=window,
+                name="sw_evict_q",
+            )
+        ]
+        executor = StreamingExecutor(workload, HamletEngine)
+        short = executor.run(self._overlap_events(100))
+        long = executor.run(self._overlap_events(300))
+        assert long.metrics.partitions >= 2.5 * short.metrics.partitions
+        assert long.metrics.peak_memory_units <= 2 * short.metrics.peak_memory_units
+
+    def test_coefficient_accounting_invariant(self):
+        """The engine's incremental entry counter tracks the table exactly."""
+        window = Window(10.0, 2.0)
+        events = self._overlap_events(150, group=True)
+        executor = StreamingExecutor(_ab_workload(window, group_by=("g",)), HamletEngine)
+
+        def engines():
+            for unit in executor._units:
+                for group in unit.shared_groups.values():
+                    yield group.engine
+
+        for step, event in enumerate(events):
+            executor.process(event)
+            if step % 23 == 0:
+                for engine in engines():
+                    assert engine.live_coefficient_entries() == (
+                        engine.coefficients.entry_count()
+                    )
+        executor.finish()
+        for engine in engines():
+            assert engine.live_coefficient_entries() == engine.coefficients.entry_count() == 0
+
+    def test_inert_groups_never_build_engines(self):
+        """Lazy opening is per group: start-less groups allocate nothing."""
+        window = Window(10.0, 2.0)
+        events = [Event("B", float(t), {"g": t % 50}) for t in range(200)]  # no A/C
+        executor = StreamingExecutor(_ab_workload(window, group_by=("g",)), HamletEngine)
+        report = executor.run(events)
+        assert executor.shared_group_count == 0
+        assert report.metrics.partitions == 0
+
+    def test_equal_time_out_of_sequence_rejected_per_group_engine(self):
+        # Two trend-start events at the same timestamp, fed in reverse
+        # creation order: the shared engine's coefficient fast path needs
+        # its events strictly ordered and rejects the second feed.
+        late = Event("A", 1.0)
+        early = Event("C", 1.0)  # created after `late`, so late < early
+        executor = StreamingExecutor(_ab_workload(Window(10.0)), HamletEngine)
+        executor.process(early)
+        with pytest.raises(ExecutionError):
+            executor.process(late)
+
+    def test_equal_time_events_of_different_groups_are_accepted(self):
+        # Ordering is required per (group, unit) engine, not globally: an
+        # equal-timestamp interleaving across groups is fine even when the
+        # creation sequence runs against the arrival order.
+        second = Event("A", 1.0, {"g": 1})
+        first = Event("A", 1.0, {"g": 2})  # created later, arrives first
+        events = [Event("A", 0.5, {"g": 1}), first, second, Event("B", 2.0, {"g": 1})]
+        workload = _ab_workload(Window(10.0), group_by=("g",))
+        shared = StreamingExecutor(workload, HamletEngine).run(events)
+        instances = StreamingExecutor(workload, HamletEngine, shared_windows=False).run(events)
+        assert shared.totals == instances.totals
+
+    def test_emission_order_is_close_order(self):
+        window = Window(10.0, 5.0)
+        emitted = []
+        run_streaming(
+            _ab_workload(window), self._overlap_events(60), on_window=emitted.append
+        )
+        ends = [r.window_end for r in emitted]
+        assert ends == sorted(ends)
+
+    def test_min_max_units_fall_back_to_per_instance(self):
+        window = Window(10.0, 5.0)
+        workload = Workload(
+            [
+                Query.build(seq("A", kleene("B")), window=window, name="swf_q1"),
+                Query.build(
+                    seq("A", kleene("B")), aggregate=max_of("B", "v"), window=window, name="swf_q2"
+                ),
+            ]
+        )
+        events = [
+            Event("A", 0.0, {"v": 1.0}),
+            Event("B", 1.0, {"v": 5.0}),
+            Event("B", 6.0, {"v": 9.0}),
+            Event("B", 12.0, {"v": 2.0}),
+        ]
+        executor = StreamingExecutor(workload, HamletEngine)
+        peak_groups = 0
+        for event in events:
+            executor.process(event)
+            peak_groups = max(peak_groups, executor.shared_group_count)
+        report = executor.finish()
+        batch = WorkloadExecutor(workload, HamletEngine).run(events)
+        assert report.totals == batch.totals
+        # The COUNT unit ran shared; the MAX unit built per-instance engines.
+        assert peak_groups == 1
+        assert executor.engines_created >= 1

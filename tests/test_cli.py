@@ -25,6 +25,29 @@ class TestCli:
         output = capsys.readouterr().out
         assert "window [" in output
         assert "active" in output
+        assert "shared-window execution" in output
+        assert "overlap factor 5" in output
+        assert "per event" in output
+
+    def test_stream_command_per_instance_fallback_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "stream",
+                    "--queries",
+                    "2",
+                    "--minutes",
+                    "0.5",
+                    "--events-per-minute",
+                    "600",
+                    "--no-shared-windows",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "per-instance execution" in output
+        assert "overlap factor 5" in output
 
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
