@@ -30,6 +30,17 @@ Four fixed-seed suites:
   shared throughput by this one's: near-flat scaling in the overlap factor
   means the ratio stays well below the 4x growth of the overlap factor.
 
+* ``sharded`` (``BENCH_PR4.json``) — the overlap-shared workload (20
+  districts, so >= 8 distinct group keys) through the sharded driver:
+  single-process streaming next to ``ShardedStreamingExecutor`` with the
+  in-process router (``workers=0``) and 1/4 worker processes.  The
+  recorded ``speedup_sharded_over_single`` section divides each sharded
+  row's wall-clock throughput by the single-process row's.  Wall-clock
+  ratios are machine-dependent — the recorded ``environment`` includes
+  ``cpu_count`` because parallel speedup needs cores (a 1-CPU container
+  records the transport overhead, not the scale-out) — while operation
+  counts and result checksums are shard-count-invariant and gated.
+
 Each scenario is repeated and the best wall-clock time is kept; throughput
 is ``stream events / best wall seconds``.  Results are merged into the
 suite's JSON file under a caller-chosen label so before/after numbers of a
@@ -51,6 +62,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import platform
 import sys
 import time
@@ -70,6 +82,7 @@ from repro.optimizer.decisions import DynamicSharingOptimizer
 from repro.optimizer.static import NeverShareOptimizer
 from repro.query.windows import Window
 from repro.runtime.executor import WorkloadExecutor
+from repro.runtime.sharding import ShardedStreamingExecutor
 from repro.runtime.streaming import StreamingExecutor
 from repro.bench.workloads import kleene_sharing_workload
 
@@ -214,6 +227,25 @@ def _deep_overlap_scenarios() -> dict[str, Callable]:
     }
 
 
+def _sharded_scenario(workers: int) -> Callable:
+    factory = _ENGINE_FACTORIES["hamlet"]
+    return lambda workload, events: ShardedStreamingExecutor(
+        workload, factory, workers=workers
+    ).run(events)
+
+
+def _sharded_scenarios() -> dict[str, Callable]:
+    # Same fixed-seed input as overlap-shared (20 districts => 20 group
+    # keys), so the single-process row is directly comparable to the PR 3
+    # numbers; the sharded rows must reproduce its checksum bit-identically.
+    return {
+        "streaming_single": _streaming_scenario("hamlet", shared_windows=True),
+        "sharded_inprocess": _sharded_scenario(0),
+        "sharded_w1": _sharded_scenario(1),
+        "sharded_w4": _sharded_scenario(4),
+    }
+
+
 def _overlap_meta(window: Window) -> dict:
     return {
         "style": "overlapping-window-batch-vs-streaming",
@@ -277,6 +309,22 @@ SUITES = {
         scenarios=_deep_overlap_scenarios,
         workload_meta=_overlap_meta(DEEP_OVERLAP_WINDOW),
         section="deep-overlap",
+    ),
+    "sharded": Suite(
+        name="sharded",
+        output=REPO_ROOT / "BENCH_PR4.json",
+        build_input=_overlap_input,
+        scenarios=_sharded_scenarios,
+        workload_meta={
+            **_overlap_meta(OVERLAP_WINDOW),
+            "style": "sharded-streaming-vs-single-process",
+            "group_keys": OVERLAP_DISTRICTS,
+            "note": (
+                "wall-clock ratios are machine-dependent: parallel speedup "
+                "needs cores (see environment.cpu_count); ops/checksums are "
+                "shard-count-invariant and gated"
+            ),
+        },
     ),
 }
 
@@ -358,6 +406,26 @@ def attach_speedups(results: dict) -> None:
                 )
         if speedups:
             results.setdefault("speedup_streaming_over_batch", {})[label] = speedups
+
+
+def attach_sharded_speedups(results: dict) -> None:
+    """Record wall-clock speedup of each sharded row over single-process.
+
+    Ratios use best wall-clock on the recording machine; ``cpu_count`` in
+    the environment block says how many cores the parallel rows had to
+    work with (with one core they measure pure transport overhead).
+    """
+    for label, rows in results["runs"].items():
+        single = rows.get("streaming_single")
+        if not single or not single.get("events_per_second"):
+            continue
+        ratios = {
+            name: round(row["events_per_second"] / single["events_per_second"], 2)
+            for name, row in rows.items()
+            if name.startswith("sharded_") and row.get("events_per_second")
+        }
+        if ratios:
+            results.setdefault("speedup_sharded_over_single", {})[label] = ratios
 
 
 def gate(results: dict, current: dict, suite: Suite) -> int:
@@ -462,8 +530,11 @@ def run_suite(suite: Suite, args) -> int:
     container.setdefault("environment", {})[args.label] = {
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
     }
     attach_speedups(results)
+    if suite.name == "sharded":
+        attach_sharded_speedups(results)
     if suite.section is not None:
         attach_cross_suite(container)
     suite.output.write_text(json.dumps(container, indent=2, sort_keys=True) + "\n")

@@ -66,11 +66,16 @@ def _run_demo() -> None:
 
 
 def _run_stream(
-    queries: int, minutes: float, events_per_minute: float, shared_windows: bool
+    queries: int,
+    minutes: float,
+    events_per_minute: float,
+    shared_windows: bool,
+    workers: int | None,
+    shard_batch: int,
 ) -> None:
     from repro.datasets.ridesharing import RidesharingGenerator
     from repro.query import Window
-    from repro.runtime import StreamingExecutor, WindowResult
+    from repro.runtime import ShardedStreamingExecutor, StreamingExecutor, WindowResult
     from repro.bench.workloads import kleene_sharing_workload
 
     window = Window.minutes(1.0, 0.2)  # overlapping: slide = size/5
@@ -86,6 +91,36 @@ def _run_stream(
             f"group={result.group_key} events={result.events:5d} "
             f"trends={total:g} latency={result.emission_latency * 1e3:.2f}ms"
         )
+
+    if workers is not None:
+        # Sharded run: window results cross process boundaries at finish(),
+        # so the per-window live feed is replaced by the per-shard summary.
+        executor = ShardedStreamingExecutor(
+            workload,
+            workers=workers,
+            batch_size=shard_batch,
+            shared_windows=shared_windows,
+        )
+        report = executor.run(stream)
+        metrics = report.metrics
+        print(
+            f"sharded execution: {executor.shard_count} shard(s), "
+            f"{workers} worker process(es), routing by {executor.routing_mode}, "
+            f"batches of {shard_batch}"
+        )
+        for shard in report.shards:
+            print(
+                f"  shard {shard.shard_id}: {shard.events:6d} events "
+                f"in {shard.batches} batches -> "
+                f"{shard.report.metrics.partitions} windows"
+            )
+        print(
+            f"{metrics.stream_events} events -> {metrics.partitions} windows "
+            f"in {metrics.wall_seconds:.3f}s wall = "
+            f"{metrics.throughput_wall:,.0f} events/s wall-clock "
+            f"({metrics.throughput_engine:,.0f} events/s per engine-second)"
+        )
+        return
 
     executor = StreamingExecutor(workload, on_window=emit, shared_windows=shared_windows)
     report = executor.run(stream)
@@ -106,6 +141,24 @@ def _run_stream(
         f"(ceil(size/slide)), {executor.engine_feeds} engine feeds = "
         f"{feeds_per_event:.2f} per event"
     )
+    print(
+        f"wall-clock throughput: {metrics.throughput_wall:,.0f} events/s "
+        f"({metrics.wall_seconds:.3f}s wall)"
+    )
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -141,6 +194,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         help="fall back to one engine per window instance (the reference path)",
     )
+    stream.add_argument(
+        "--workers",
+        type=_non_negative_int,
+        default=None,
+        metavar="N",
+        help="run sharded: N worker processes (0 = shard in-process); "
+        "default is the unsharded single-process executor",
+    )
+    stream.add_argument(
+        "--shard-batch",
+        type=_positive_int,
+        default=512,
+        metavar="SIZE",
+        help="events per batch shipped to shard workers (default: 512)",
+    )
     return parser
 
 
@@ -157,6 +225,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             arguments.minutes,
             arguments.events_per_minute,
             arguments.shared_windows,
+            arguments.workers,
+            arguments.shard_batch,
         )
     return 0
 

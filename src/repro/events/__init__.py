@@ -8,9 +8,12 @@ This package provides the substrate every engine in the library is built on:
   — attribute declarations and validation for event types.
 * :class:`~repro.events.stream.EventStream` — an ordered, replayable sequence
   of events with helpers for slicing, merging and rate statistics.
+* :class:`~repro.events.batch.EventBatch` — a compact, picklable chunk of
+  events for cross-process transport (the sharded runtime's wire format).
 * :mod:`~repro.events.time` — time-stamp helpers shared by windows and panes.
 """
 
+from repro.events.batch import EventBatch
 from repro.events.event import Event, EventType
 from repro.events.schema import Attribute, AttributeKind, Schema
 from repro.events.stream import EventStream, StreamStatistics, merge_streams
@@ -20,6 +23,7 @@ __all__ = [
     "Attribute",
     "AttributeKind",
     "Event",
+    "EventBatch",
     "EventStream",
     "EventType",
     "Schema",

@@ -1,0 +1,131 @@
+"""Compact, picklable event batches for cross-process transport.
+
+The sharded runtime (:mod:`repro.runtime.sharding`) moves events between the
+router process and its shard workers.  Pickling :class:`~repro.events.event.
+Event` objects one by one would spend most of the transport budget on
+per-object pickle framing (class reference, field names, a payload dict per
+event).  :class:`EventBatch` is the amortized alternative: a chunk of events
+is encoded once into a columnar, interned representation —
+
+* event *types* are interned into a per-batch string table (streams have a
+  handful of types, so each event carries a small integer);
+* payload *key tuples* are interned the same way (events of one type share
+  their attribute names, so the names cross the boundary once per batch, not
+  once per event);
+* times, sequence numbers and payload values travel as flat per-event rows.
+
+Decoding rebuilds events that compare equal to the originals — including the
+``sequence`` tie-breaker, which the runtime's total event order
+``(time, sequence)`` depends on, so routing a stream through a batch never
+perturbs determinism.
+
+The batch pickles through its slots (one tuple of flat containers), which is
+what :mod:`multiprocessing` queues serialize; :meth:`to_bytes` /
+:meth:`from_bytes` expose the same codec explicitly for transports that want
+raw bytes.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Iterable, Iterator, Sequence
+
+from repro.events.event import Event, EventType
+
+__all__ = ["EventBatch"]
+
+
+class EventBatch:
+    """An immutable, compactly-encoded chunk of in-order events."""
+
+    __slots__ = ("_type_table", "_key_table", "_rows")
+
+    def __init__(
+        self,
+        type_table: tuple[EventType, ...],
+        key_table: tuple[tuple[str, ...], ...],
+        rows: tuple[tuple, ...],
+    ) -> None:
+        self._type_table = type_table
+        self._key_table = key_table
+        #: One row per event: ``(type_code, time, sequence, key_code, values)``.
+        self._rows = rows
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_events(cls, events: Iterable[Event]) -> "EventBatch":
+        """Encode ``events`` (in stream order) into a batch."""
+        type_table: list[EventType] = []
+        type_codes: dict[EventType, int] = {}
+        key_table: list[tuple[str, ...]] = []
+        key_codes: dict[tuple[str, ...], int] = {}
+        rows = []
+        for event in events:
+            type_code = type_codes.get(event.event_type)
+            if type_code is None:
+                type_code = type_codes[event.event_type] = len(type_table)
+                type_table.append(event.event_type)
+            keys = tuple(event.payload)
+            key_code = key_codes.get(keys)
+            if key_code is None:
+                key_code = key_codes[keys] = len(key_table)
+                key_table.append(keys)
+            rows.append(
+                (type_code, event.time, event.sequence, key_code, tuple(event.payload.values()))
+            )
+        return cls(tuple(type_table), tuple(key_table), tuple(rows))
+
+    # ------------------------------------------------------------------ #
+    # Decoding
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[Event]:
+        type_table = self._type_table
+        key_table = self._key_table
+        for type_code, time, sequence, key_code, values in self._rows:
+            yield Event(
+                event_type=type_table[type_code],
+                time=time,
+                payload=dict(zip(key_table[key_code], values)),
+                sequence=sequence,
+            )
+
+    def events(self) -> list[Event]:
+        """Decode the batch back into a list of events."""
+        return list(self)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    @property
+    def event_types(self) -> Sequence[EventType]:
+        """The distinct event types present, in first-appearance order."""
+        return self._type_table
+
+    # ------------------------------------------------------------------ #
+    # Explicit byte codec (multiprocessing pickles the slots directly)
+    # ------------------------------------------------------------------ #
+    def to_bytes(self) -> bytes:
+        """Serialize the batch to bytes (the codec queues use implicitly)."""
+        return pickle.dumps(
+            (self._type_table, self._key_table, self._rows),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EventBatch":
+        """Deserialize a batch produced by :meth:`to_bytes`."""
+        return cls(*pickle.loads(data))
+
+    def __getstate__(self):
+        return (self._type_table, self._key_table, self._rows)
+
+    def __setstate__(self, state) -> None:
+        self._type_table, self._key_table, self._rows = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventBatch({len(self._rows)} events, {len(self._type_table)} types)"

@@ -20,13 +20,40 @@ The interface is deliberately small:
 from __future__ import annotations
 
 import abc
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Protocol, Sequence, runtime_checkable
 
 from repro.events.event import Event
 from repro.query.query import Query
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime imports us)
+    from repro.runtime.executor import ExecutionReport
+
 #: Result type: final aggregate value per query name.
 ResultMap = Mapping[str, float]
+
+
+@runtime_checkable
+class StreamProcessor(Protocol):
+    """The worker-facing runtime interface: feed events, then flush.
+
+    This is the contract the sharded driver
+    (:class:`~repro.runtime.sharding.ShardedStreamingExecutor`) programs
+    against: a shard worker is *any* object that accepts in-order events one
+    at a time and produces an
+    :class:`~repro.runtime.executor.ExecutionReport` when the stream ends.
+    The single-process :class:`~repro.runtime.streaming.StreamingExecutor`
+    satisfies it unchanged — which is exactly what lets an unmodified
+    streaming executor run as a shard worker — and the sharded driver
+    satisfies it too, so drivers nest.
+    """
+
+    def process(self, event: Event) -> None:
+        """Ingest one event (events arrive in non-decreasing time order)."""
+        ...
+
+    def finish(self) -> "ExecutionReport":
+        """Close all remaining state and return the final report."""
+        ...
 
 
 class TrendAggregationEngine(abc.ABC):

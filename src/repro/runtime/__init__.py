@@ -17,6 +17,12 @@ Two executors evaluate a workload over a stream:
 
 Both analyse the workload the same way (Definitions 4–5), drive the same
 engines and produce the same totals — property-tested bit-identically.
+
+On top of the streaming runtime,
+:class:`~repro.runtime.sharding.ShardedStreamingExecutor` shards the stream
+across worker processes (hash-routed by group key, or by execution unit for
+GROUP-BY-less workloads) and merges the per-shard reports
+deterministically — same totals again, for any worker count.
 """
 
 from repro.runtime.executor import (
@@ -26,8 +32,15 @@ from repro.runtime.executor import (
     run_workload,
 )
 from repro.runtime.metrics import ExecutionMetrics, Stopwatch
-from repro.runtime.partitioner import GroupWindowPartitioner, PartitionKey
+from repro.runtime.partitioner import GroupWindowPartitioner, PartitionKey, group_sort_key
 from repro.runtime.shared_windows import MultiWindowLinearEngine, UnitCompilation
+from repro.runtime.sharding import (
+    ShardReport,
+    ShardRouter,
+    ShardedStreamingExecutor,
+    run_sharded,
+    stable_shard_hash,
+)
 from repro.runtime.streaming import StreamingExecutor, WindowResult, run_streaming
 
 __all__ = [
@@ -37,11 +50,16 @@ __all__ = [
     "MultiWindowLinearEngine",
     "PartitionKey",
     "PartitionResult",
+    "ShardReport",
+    "ShardRouter",
+    "ShardedStreamingExecutor",
     "UnitCompilation",
     "Stopwatch",
     "StreamingExecutor",
     "WindowResult",
     "WorkloadExecutor",
+    "group_sort_key",
+    "run_sharded",
     "run_streaming",
     "run_workload",
 ]

@@ -86,6 +86,11 @@ class ExecutionReport:
     #: Optimizer statistics when the run used HAMLET with a sharing optimizer.
     optimizer_statistics: Optional[object] = None
     engine_name: str = ""
+    #: Per-shard sub-reports when the run went through the sharded driver
+    #: (:class:`~repro.runtime.sharding.ShardedStreamingExecutor`): one
+    #: :class:`~repro.runtime.sharding.ShardReport` per shard, in shard
+    #: order.  Empty for single-process runs.
+    shards: list = field(default_factory=list)
 
     def result_for(self, query: Query | str) -> float:
         """Total result of one query across all groups and windows."""
@@ -233,13 +238,15 @@ class WorkloadExecutor:
         report = ExecutionReport(engine_name=self._engine_label)
         report.metrics.stream_events = len(events)
 
-        for group in self.analysis.groups:
-            for queries in execution_units(group.queries):
-                self._run_unit(queries, events, report, indexed)
+        with Stopwatch() as run_watch:
+            for group in self.analysis.groups:
+                for queries in execution_units(group.queries):
+                    self._run_unit(queries, events, report, indexed)
 
-        recombine_decompositions(
-            self.analysis.decompositions, report.partition_results, report.totals
-        )
+            recombine_decompositions(
+                self.analysis.decompositions, report.partition_results, report.totals
+            )
+        report.metrics.wall_seconds = run_watch.elapsed
         self._attach_optimizer_statistics(report)
         return report
 

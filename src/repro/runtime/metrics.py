@@ -42,7 +42,13 @@ class ExecutionMetrics:
     """Aggregate metrics collected over an execution run."""
 
     #: Total wall-clock seconds spent inside engines (feeding + results).
+    #: Summed over engines, so parallel shards contribute additively — this
+    #: measures *work*, not elapsed time.
     total_seconds: float = 0.0
+    #: Elapsed wall-clock seconds of the whole run (stream start to final
+    #: flush).  Unlike ``total_seconds`` this does not grow with the number
+    #: of parallel workers; it is what end-to-end throughput divides by.
+    wall_seconds: float = 0.0
     #: Number of window partitions evaluated.
     partitions: int = 0
     #: Number of events fed into engines, counted once per partition they
@@ -118,15 +124,43 @@ class ExecutionMetrics:
         return max(self.emission_latencies) if self.emission_latencies else 0.0
 
     @property
-    def throughput(self) -> float:
-        """Events processed per second of engine time."""
+    def throughput_engine(self) -> float:
+        """Events processed per second of summed *engine* time.
+
+        Engine seconds add up across parallel shard workers, so this ratio
+        deliberately ignores parallelism: it measures per-event engine cost,
+        not end-to-end speed.  Use :attr:`throughput_wall` for the latter.
+        """
         if self.total_seconds <= 0:
             return 0.0
         return self.events_processed / self.total_seconds
 
+    @property
+    def throughput(self) -> float:
+        """Alias of :attr:`throughput_engine` (kept for existing callers)."""
+        return self.throughput_engine
+
+    @property
+    def throughput_wall(self) -> float:
+        """Distinct stream events per second of elapsed run time.
+
+        This is the end-to-end number: parallel shards shorten the wall
+        clock, so — unlike :attr:`throughput_engine` — speedups from
+        sharding are visible here.
+        """
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.stream_events / self.wall_seconds
+
     def merge(self, other: "ExecutionMetrics") -> None:
-        """Fold another metrics object into this one."""
+        """Fold another metrics object into this one.
+
+        Additive counters sum; ``wall_seconds`` takes the maximum — merged
+        metrics describe runs that happened *concurrently* (shards), whose
+        elapsed time is the slowest member, not the sum.
+        """
         self.total_seconds += other.total_seconds
+        self.wall_seconds = max(self.wall_seconds, other.wall_seconds)
         self.partitions += other.partitions
         self.events_processed += other.events_processed
         self.stream_events += other.stream_events

@@ -25,7 +25,9 @@ simplification of the paper's pane-based cross-window sharing — see
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import Iterable, Iterator, Sequence
 
 from repro.events.event import Event
@@ -34,6 +36,55 @@ from repro.query.windows import Window
 
 #: A partition is identified by the group-by key and the window-instance index.
 PartitionKey = tuple[tuple, int]
+
+
+def _value_sort_key(value) -> tuple:
+    """A total-order sort key for one group-key element.
+
+    Group keys are tuples of payload values (numbers, strings, None, ...).
+    Sorting them by ``repr`` — the original implementation — orders ``10``
+    before ``2`` and depends on each type's repr details; comparing raw
+    values directly raises for mixed types.  This key is type-tagged: values
+    sort by kind first (None < booleans < non-finite floats < finite
+    numbers < strings < everything else), then naturally within a kind.
+    Finite numbers compare as exact :class:`~fractions.Fraction`\\ s (no
+    float overflow for huge ints, no 2**53 truncation) with the repr as a
+    deterministic tie-breaker for equal values of different types (``1`` vs
+    ``1.0``); NaN and the infinities get their own bucket ordered by repr,
+    so the order stays *total* — a bare NaN comparison is neither ``<`` nor
+    ``>`` and would make the result depend on input order.  Every tag's
+    tail has a fixed element layout so comparisons never cross types.
+
+    Sibling of ``repro.runtime.sharding._canonical_key_element``, which
+    answers the *equality-collapse* question for shard hashing over the
+    same key population; a new group-key value type should be considered
+    for both.
+    """
+    if value is None:
+        return (0, 0, "")
+    if isinstance(value, bool):
+        return (1, int(value), "")
+    if isinstance(value, float) and not math.isfinite(value):
+        return (2, 0, repr(value))  # '-inf' < 'inf' < 'nan', deterministically
+    if isinstance(value, (int, float)):
+        return (3, Fraction(value), repr(value))
+    if isinstance(value, str):
+        return (4, 0, value)
+    if isinstance(value, tuple):
+        return (5, 0, "") + tuple(_value_sort_key(element) for element in value)
+    return (6, 0, repr(value))
+
+
+def group_sort_key(group_key: tuple) -> tuple:
+    """The canonical total order on group keys.
+
+    Every component that orders partitions — the batch partitioner, the
+    streaming executor's close sweeps and final flush, and the sharded
+    driver's cross-shard merge — must use this same key, so that one
+    workload produces one deterministic partition order regardless of the
+    execution strategy.
+    """
+    return tuple(_value_sort_key(value) for value in group_key)
 
 
 @dataclass(frozen=True)
@@ -83,7 +134,9 @@ class GroupWindowPartitioner:
 
     def partitions(self) -> Iterator[tuple[PartitionKey, list[Event]]]:
         """Yield partitions ordered by window instance then group key."""
-        for key in sorted(self._partitions, key=lambda item: (item[1], repr(item[0]))):
+        for key in sorted(
+            self._partitions, key=lambda item: (item[1], group_sort_key(item[0]))
+        ):
             yield key, self._partitions[key]
 
     def partition_count(self) -> int:

@@ -1,0 +1,895 @@
+"""Sharded streaming execution: a router / worker split over the runtime.
+
+HAMLET partitions the stream by grouping attributes before anything else
+(Section 3.1), and ``(group key, window instance)`` partitions are
+independent by construction.  The single-process
+:class:`~repro.runtime.streaming.StreamingExecutor` nevertheless evaluates
+every partition on one core.  This module turns the partition independence
+into parallelism:
+
+* a :class:`ShardRouter` splits the workload into *shards* and maps every
+  event to the shard(s) that must see it.  When the workload has GROUP BY
+  (every query groups by the same attributes), events are **hash-routed by
+  group key** — a process-stable hash, so routing is deterministic across
+  runs and machines.  Without GROUP BY there is only one group per window
+  and the stream cannot be split by key, so the router falls back to
+  **sharding by execution unit**: each shard owns a subset of the query
+  clusters and sees exactly the events relevant to them.  Both placements
+  keep every ``(group, window instance)`` partition wholly inside one
+  shard, so the shared-window engines work unchanged per shard and no
+  cross-shard coordination is ever needed;
+* a :class:`ShardedStreamingExecutor` drives one
+  :class:`~repro.runtime.streaming.StreamingExecutor` per shard — unmodified;
+  anything satisfying :class:`~repro.interfaces.StreamProcessor` would do —
+  either in-process (``workers=0``, the testable-without-fork mode) or in a
+  ``multiprocessing`` pool.  Events cross process boundaries as
+  :class:`~repro.events.batch.EventBatch` chunks (amortized pickling), the
+  per-shard input queues are bounded (``max_inflight`` batches) so a slow
+  shard back-pressures the router instead of buffering the stream, and the
+  per-shard reports are merged **deterministically**: partition results are
+  ordered by ``(window end, execution unit, group key)`` using the same
+  :func:`~repro.runtime.partitioner.group_sort_key` total order as the
+  single-process paths, metrics fold through
+  :meth:`~repro.runtime.metrics.ExecutionMetrics.merge`, and OR/AND
+  decompositions are recombined over the merged partitions — so totals are
+  identical whatever the shard count.
+
+Worker failures propagate: a shard that raises ships its traceback back to
+the driver (which shuts the pool down and re-raises as
+:class:`~repro.errors.ExecutionError`), and a shard that dies without a
+report (crash, ``os._exit``) is detected by liveness checks instead of
+deadlocking the router.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from queue import Empty, Full
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.core.engine import HamletEngine
+from repro.errors import ExecutionError
+from repro.events.batch import EventBatch
+from repro.events.event import Event, EventType
+from repro.events.stream import EventStream, slice_stream
+from repro.optimizer.decisions import OptimizerStatistics
+from repro.query.query import Query
+from repro.query.windows import Window
+from repro.query.workload import Workload
+from repro.runtime.executor import (
+    EngineFactory,
+    ExecutionReport,
+    PartitionResult,
+    execution_units,
+    recombine_decompositions,
+    unit_relevant_types,
+)
+from repro.runtime.partitioner import group_sort_key
+from repro.runtime.streaming import StreamingExecutor, WindowResult
+from repro.template.analysis import analyze_workload
+
+__all__ = [
+    "ShardReport",
+    "ShardRouter",
+    "ShardedStreamingExecutor",
+    "run_sharded",
+    "stable_shard_hash",
+]
+
+#: Seconds a queue operation waits before re-checking worker liveness.
+_POLL_SECONDS = 0.25
+#: Grace period granted to a dead worker's last report to surface in the
+#: result queue (the feeder thread may still be flushing) before the driver
+#: declares the worker crashed.
+_CRASH_GRACE_SECONDS = 3.0
+#: Cap on the router's group-key -> shard memo.  The hash is cheap; the
+#: memo only skips repr+BLAKE2b for hot keys, and a high-cardinality
+#: GROUP BY (per-user/per-ride keys seen once) must not grow driver memory
+#: without bound while every other layer evicts dead groups.
+_SHARD_MEMO_LIMIT = 65536
+
+
+def _canonical_key_element(value) -> tuple:
+    """Collapse a group-key element to its partition-equality form.
+
+    Partitions are dicts keyed by group tuples, so ``4``, ``4.0`` and
+    ``True == 1`` land in **one** partition — the shard hash must not tell
+    them apart (``repr`` would, and a partition would straddle shards).
+    Numbers canonicalize through ``as_integer_ratio`` (exact, equal for
+    equal values across int/float/bool, no 2**53 truncation); every branch
+    carries a type tag so e.g. the string ``"None"`` cannot collide with
+    ``None``.
+
+    Sibling of :func:`repro.runtime.partitioner._value_sort_key`, which
+    answers the *ordering* question for the same key population (this one
+    answers equality collapse for hashing); a new group-key value type
+    should be considered for both.
+    """
+    if isinstance(value, str):
+        return ("s", value)
+    if value is None:
+        return ("0",)
+    if isinstance(value, tuple):
+        return ("t",) + tuple(_canonical_key_element(element) for element in value)
+    if isinstance(value, complex):
+        # complex(4) == 4 as a dict key; reduce real-valued complex numbers
+        # to their real part so they canonicalize with int/float/Decimal.
+        if value.imag == 0:
+            return _canonical_key_element(value.real)
+        return ("c", repr(value))
+    ratio = getattr(value, "as_integer_ratio", None)  # int, float, bool,
+    if ratio is not None:  # Decimal, Fraction, ...
+        try:
+            return ("n",) + tuple(ratio())
+        except (ValueError, OverflowError):  # nan / inf
+            try:
+                return ("n", repr(float(value)))
+            except (ValueError, OverflowError):  # e.g. Decimal('sNaN')
+                return ("n", repr(value))
+    return ("r", repr(value))
+
+
+def stable_shard_hash(group_key: tuple) -> int:
+    """A deterministic, process-stable hash of a group key.
+
+    Python's built-in ``hash`` is randomized per process for strings
+    (``PYTHONHASHSEED``), which would route the same group to different
+    shards in the driver and in tests.  Keys are first canonicalized so
+    values that compare equal as partition-dict keys (``4`` vs ``4.0`` vs
+    ``True``) hash identically; the canonical form's ``repr`` is
+    deterministic, and BLAKE2b mixes it well even for the short,
+    near-identical reprs of small numeric keys — where a plain CRC-32
+    modulo the shard count degenerates to one shard.
+    """
+    canonical = tuple(_canonical_key_element(element) for element in group_key)
+    digest = hashlib.blake2b(repr(canonical).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class _ShardPlan:
+    """The routing decision: mode plus per-shard query placement."""
+
+    #: ``"group"`` (hash on group key) or ``"unit"`` (by execution unit).
+    mode: str
+    #: Queries evaluated by each shard, in workload order.  Group mode gives
+    #: every shard the full workload (events select the shard); unit mode
+    #: partitions the query clusters across shards.
+    shard_queries: tuple[tuple[Query, ...], ...]
+    #: The common grouping attributes (group mode; empty in unit mode).
+    group_by: tuple[str, ...]
+    #: Event types at least one query references (router drop-filter).
+    relevant_types: frozenset[EventType]
+    #: Unit mode: event type -> shards whose queries reference it.
+    type_routes: Mapping[EventType, tuple[int, ...]]
+
+    @property
+    def shards(self) -> int:
+        return len(self.shard_queries)
+
+
+class ShardRouter:
+    """Maps each event of a workload's stream to its shard(s).
+
+    The routing invariant — *no ``(group, window instance)`` partition ever
+    straddles shards* — holds in both modes:
+
+    * **group mode**: a partition's events all carry the same group key,
+      and the shard is a pure function of that key;
+    * **unit mode**: a partition belongs to one execution unit, and every
+      event relevant to a unit is routed to the (single) shard owning it.
+
+    Unit mode clusters *original* queries (pre-decomposition) transitively:
+    queries that share an execution unit — or are sub-queries of the same
+    OR/AND decomposition — stay on one shard, so per-shard engines keep
+    every sharing opportunity the single-process runtime has.
+    """
+
+    def __init__(
+        self,
+        workload: Workload | Sequence[Query],
+        shards: int,
+        *,
+        routing: str = "auto",
+    ) -> None:
+        if shards < 1:
+            raise ExecutionError(f"shard count must be >= 1, got {shards}")
+        if routing not in ("auto", "group", "unit"):
+            raise ExecutionError(
+                f"routing must be 'auto', 'group' or 'unit', got {routing!r}"
+            )
+        self.workload = workload if isinstance(workload, Workload) else Workload(workload)
+        self.workload.validate()
+        self.analysis = analyze_workload(self.workload)
+        queries = tuple(self.workload.queries)
+        group_bys = {query.group_by for query in queries}
+        groupable = len(group_bys) == 1 and next(iter(group_bys)) != ()
+        if routing == "group" and not groupable:
+            raise ExecutionError(
+                "group routing requires every query to share one non-empty "
+                "GROUP BY clause; this workload does not (use routing='unit')"
+            )
+        mode = routing if routing != "auto" else ("group" if groupable else "unit")
+        if mode == "group":
+            self.plan = self._plan_group(queries, shards)
+        else:
+            self.plan = self._plan_unit(queries, shards)
+        #: Group-key -> shard memo: the shard is a pure function of a small,
+        #: heavily-repeated key set, so the hot path pays one dict lookup
+        #: instead of repr + BLAKE2b per event.  Dict key equality also
+        #: matches partition equality (``4`` and ``4.0`` share an entry),
+        #: mirroring the canonicalized hash.
+        self._shard_of_key: dict[tuple, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Plan construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _relevant_types(queries: Sequence[Query]) -> frozenset[EventType]:
+        # Shared with the executors: the router's drop-filter must agree
+        # exactly with what shard workers' units consume.
+        return frozenset(unit_relevant_types(queries))
+
+    def _plan_group(self, queries: tuple[Query, ...], shards: int) -> _ShardPlan:
+        return _ShardPlan(
+            mode="group",
+            shard_queries=(queries,) * shards,
+            group_by=queries[0].group_by,
+            relevant_types=self._relevant_types(queries),
+            type_routes={},
+        )
+
+    def _plan_unit(self, queries: tuple[Query, ...], shards: int) -> _ShardPlan:
+        # Union-find over original query names: queries whose (possibly
+        # decomposed) sub-queries share an execution unit must co-locate.
+        parent = {query.name: query.name for query in queries}
+
+        def find(name: str) -> str:
+            while parent[name] != name:
+                parent[name] = parent[parent[name]]
+                name = parent[name]
+            return name
+
+        def union(first: str, second: str) -> None:
+            parent[find(second)] = find(first)
+
+        original_of = {
+            sub.name: original_name
+            for original_name, decomposition in self.analysis.decompositions.items()
+            for sub in decomposition.sub_queries
+        }
+        for group in self.analysis.groups:
+            for unit in execution_units(group.queries):
+                names = [original_of.get(query.name, query.name) for query in unit]
+                for name in names[1:]:
+                    union(names[0], name)
+        # Clusters in workload order (first member's position), assigned
+        # round-robin — deterministic, and balanced when clusters are even.
+        clusters: dict[str, list[Query]] = {}
+        for query in queries:
+            clusters.setdefault(find(query.name), []).append(query)
+        cluster_list = list(clusters.values())
+        shard_count = min(shards, len(cluster_list))
+        shard_queries: list[list[Query]] = [[] for _ in range(shard_count)]
+        for index, cluster in enumerate(cluster_list):
+            shard_queries[index % shard_count].extend(cluster)
+        type_routes: dict[EventType, list[int]] = {}
+        for shard_id, shard in enumerate(shard_queries):
+            for event_type in self._relevant_types(shard):
+                type_routes.setdefault(event_type, []).append(shard_id)
+        return _ShardPlan(
+            mode="unit",
+            shard_queries=tuple(tuple(shard) for shard in shard_queries),
+            group_by=(),
+            relevant_types=self._relevant_types(queries),
+            type_routes={
+                event_type: tuple(shard_ids)
+                for event_type, shard_ids in type_routes.items()
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    @property
+    def mode(self) -> str:
+        """The selected routing mode (``"group"`` or ``"unit"``)."""
+        return self.plan.mode
+
+    @property
+    def shards(self) -> int:
+        """Effective shard count (unit mode never exceeds the cluster count)."""
+        return self.plan.shards
+
+    def shard_queries(self, shard_id: int) -> tuple[Query, ...]:
+        """The queries shard ``shard_id`` evaluates."""
+        return self.plan.shard_queries[shard_id]
+
+    def route(self, event: Event) -> tuple[int, ...]:
+        """Shard ids that must see ``event`` (empty: no query cares)."""
+        if event.event_type not in self.plan.relevant_types:
+            return ()
+        if self.plan.mode == "group":
+            key = tuple(event.get(attribute) for attribute in self.plan.group_by)
+            shard = self._shard_of_key.get(key)
+            if shard is None:
+                shard = stable_shard_hash(key) % self.plan.shards
+                if len(self._shard_of_key) < _SHARD_MEMO_LIMIT:
+                    self._shard_of_key[key] = shard
+            return (shard,)
+        return self.plan.type_routes.get(event.event_type, ())
+
+
+@dataclass
+class ShardReport:
+    """One shard's contribution to a sharded run."""
+
+    shard_id: int
+    #: Distinct stream events the router sent to this shard.  The single
+    #: in-process shard (``workers=0``, one shard) is fed the stream
+    #: unfiltered — the shard's own per-type dispatch does the dropping —
+    #: so there this counts every consumed event, not just relevant ones.
+    events: int
+    #: Event batches shipped across the process boundary (0 in-process).
+    batches: int
+    #: The shard worker's own :class:`ExecutionReport`.
+    report: ExecutionReport
+
+
+def _shard_worker_main(
+    shard_id: int,
+    queries: tuple[Query, ...],
+    engine_factory: EngineFactory,
+    lazy_open: bool,
+    shared_windows: bool,
+    in_queue,
+    out_queue,
+) -> None:
+    """Entry point of one shard worker process.
+
+    Drives an unmodified :class:`StreamingExecutor` over the batches the
+    router ships until the ``None`` sentinel arrives, then returns the
+    shard's report.  Any failure is shipped back as a formatted traceback —
+    the driver re-raises it — rather than dying silently.
+    """
+    try:
+        executor = StreamingExecutor(
+            list(queries),
+            engine_factory,
+            lazy_open=lazy_open,
+            shared_windows=shared_windows,
+        )
+        process = executor.process
+        while True:
+            batch = in_queue.get()
+            if batch is None:
+                break
+            for event in batch:
+                process(event)
+        out_queue.put((shard_id, "ok", executor.finish()))
+    except BaseException:
+        out_queue.put((shard_id, "error", traceback.format_exc()))
+
+
+class ShardedStreamingExecutor:
+    """Multi-process (or in-process) sharded single-pass execution.
+
+    The driver satisfies :class:`~repro.interfaces.StreamProcessor` itself
+    (``process`` / ``finish``), so it is a drop-in replacement for a
+    :class:`StreamingExecutor` wherever one is fed incrementally.
+
+    Args:
+        workload: The queries to evaluate.
+        engine_factory: Engine factory for linear units (default HAMLET).
+            With ``workers > 0`` it crosses a process boundary: under the
+            ``fork`` start method (Linux) any callable works; under
+            ``spawn`` it must be picklable.
+        workers: Shard worker *processes*.  ``0`` runs every shard executor
+            inside the driver process — same router, same merge, no fork
+            semantics — which is also the mode that keeps ``on_window``
+            callbacks possible.  ``workers >= 1`` spawns one process per
+            shard.
+        shards: Router fan-out for ``workers=0`` (defaults to 1).  With
+            ``workers > 0`` the shard count *is* the worker count.
+        routing: ``"auto"`` (group hash when the workload has a common
+            GROUP BY, else by execution unit), ``"group"`` or ``"unit"``.
+        batch_size: Events per :class:`EventBatch` shipped to a worker.
+        max_inflight: Bound on undelivered batches per shard; a full queue
+            back-pressures :meth:`process` instead of buffering the stream.
+        lazy_open / shared_windows: Forwarded to every shard's
+            :class:`StreamingExecutor`.
+        on_window: Per-window callback; only available with ``workers=0``
+            (results cross process boundaries only at :meth:`finish`).
+    """
+
+    def __init__(
+        self,
+        workload: Workload | Sequence[Query],
+        engine_factory: EngineFactory = HamletEngine,
+        *,
+        workers: int = 0,
+        shards: Optional[int] = None,
+        routing: str = "auto",
+        batch_size: int = 512,
+        max_inflight: int = 8,
+        lazy_open: bool = True,
+        shared_windows: bool = True,
+        on_window: Optional[Callable[[WindowResult], None]] = None,
+    ) -> None:
+        if workers < 0:
+            raise ExecutionError(f"workers must be >= 0, got {workers}")
+        if batch_size < 1:
+            raise ExecutionError(f"batch size must be >= 1, got {batch_size}")
+        if max_inflight < 1:
+            raise ExecutionError(f"max_inflight must be >= 1, got {max_inflight}")
+        if workers > 0 and shards is not None and shards != workers:
+            raise ExecutionError(
+                f"with worker processes the shard count is the worker count "
+                f"(workers={workers}, shards={shards})"
+            )
+        if workers > 0 and on_window is not None:
+            raise ExecutionError(
+                "on_window callbacks require workers=0: window results cross "
+                "process boundaries only at finish()"
+            )
+        self.workload = workload if isinstance(workload, Workload) else Workload(workload)
+        self.workers = workers
+        self.batch_size = batch_size
+        self.max_inflight = max_inflight
+        self.lazy_open = lazy_open
+        self.shared_windows = shared_windows
+        self.on_window = on_window
+        self.engine_factory = engine_factory
+        self.router = ShardRouter(
+            self.workload,
+            workers if workers > 0 else (shards if shards is not None else 1),
+            routing=routing,
+        )
+        self.analysis = self.router.analysis
+        # Driver-side unit enumeration for the deterministic merge: every
+        # (post-decomposition) query name -> (unit index, window).  Shard
+        # modes agree on this order because it is derived from the full
+        # workload's analysis, not from any shard's slice of it.
+        self._unit_of_name: dict[str, tuple[int, Window]] = {}
+        unit_index = 0
+        for group in self.analysis.groups:
+            for unit in execution_units(group.queries):
+                for query in unit:
+                    self._unit_of_name[query.name] = (unit_index, query.window)
+                unit_index += 1
+        self._unit_count = unit_index
+        self._begin_run()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle (StreamProcessor)
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        stream: EventStream | Iterable[Event],
+        *,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> ExecutionReport:
+        """Consume ``stream`` in one pass and return the merged report."""
+        self._begin_run()
+        stream = slice_stream(stream, start, end)
+        if self.workers == 0 and self.router.shards == 1:
+            # Bulk fast path for the degenerate single in-process shard: the
+            # shard executor enforces event order itself, so the refactored
+            # driver costs one counter per event over a plain
+            # StreamingExecutor run (the workers=0/1-parity regression gate
+            # in BENCH_PR4.json watches exactly this).
+            self._start_shards()
+            single = self._single
+            assert single is not None
+            consumed = 0
+            process = single.process
+            for event in stream:
+                consumed += 1
+                process(event)
+            self._consumed = consumed
+            self._shard_events[0] = consumed
+            self._clock = single._clock
+            return self.finish()
+        try:
+            process = self.process
+            for event in stream:
+                process(event)
+        except BaseException:
+            # A failing stream iterable (process() cleans up after itself)
+            # must not orphan a live worker pool.
+            self._shutdown()
+            raise
+        return self.finish()
+
+    def process(self, event: Event) -> None:
+        """Route one event to its shard(s), shipping full batches."""
+        if event.time < self._clock:
+            # Driver-side rejection: shut a live pool down before raising so
+            # a caller that catches the error and drops the executor does
+            # not leak worker processes blocked on their input queues.
+            self._shutdown()
+            raise ExecutionError(
+                f"sharded executor requires in-order arrival: event at "
+                f"{event.time} after stream time {self._clock}"
+            )
+        self._clock = event.time
+        self._consumed += 1
+        if not self._started:
+            self._start_shards()
+        if self._single is not None:
+            # One in-process shard: skip routing entirely — the shard's own
+            # per-type dispatch drops irrelevant events just as fast as the
+            # router would, and the hot path stays one call deep.
+            self._shard_events[0] += 1
+            self._single.process(event)
+            return
+        for shard_id in self.router.route(event):
+            self._shard_events[shard_id] += 1
+            if self._local is not None:
+                self._local[shard_id].process(event)
+            else:
+                buffer = self._buffers[shard_id]
+                buffer.append(event)
+                if len(buffer) >= self.batch_size:
+                    self._ship(shard_id)
+
+    def finish(self) -> ExecutionReport:
+        """Flush every shard, merge the per-shard reports and return."""
+        if not self._started:
+            self._start_shards()
+        wall_started = self._run_started
+        if self._local is not None:
+            shard_reports = [executor.finish() for executor in self._local]
+        else:
+            shard_reports = self._finish_workers()
+        report = self._merge(shard_reports, time.perf_counter() - wall_started)
+        # Full reset: the driver is an incrementally-fed StreamProcessor, so
+        # a process()/finish() cycle after this one must start a fresh run
+        # (fresh clock, counters and shard state), exactly like run() does.
+        self._begin_run()
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shard_count(self) -> int:
+        """Effective number of shards (see :class:`ShardRouter`)."""
+        return self.router.shards
+
+    @property
+    def routing_mode(self) -> str:
+        """The router's mode: ``"group"`` or ``"unit"``."""
+        return self.router.mode
+
+    @property
+    def shard_event_counts(self) -> tuple[int, ...]:
+        """Events routed to each shard so far this run."""
+        return tuple(self._shard_events)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _begin_run(self) -> None:
+        # A re-run that interrupts a live pool-mode run (run() called after
+        # process() without finish()) must not orphan its workers: shut the
+        # old pool down before the state is reset.  (__init__ calls this
+        # before any transport attribute exists; finish() has already
+        # drained and cleared the pool by the time it resets.)
+        if getattr(self, "_processes", None):
+            self._shutdown()
+        self._clock = float("-inf")
+        self._consumed = 0
+        self._shard_events = [0] * self.router.shards
+        self._shard_batches = [0] * self.router.shards
+        self._run_started = time.perf_counter()
+        self._started = False
+        #: In-process shard executors (workers=0); None in pool mode.
+        self._local: Optional[list[StreamingExecutor]] = None
+        #: Fast path for the single in-process shard.
+        self._single: Optional[StreamingExecutor] = None
+        self._buffers: list[list[Event]] = []
+        self._processes: list = []
+        self._in_queues: list = []
+        self._out_queue = None
+
+    def _start_shards(self) -> None:
+        self._started = True
+        self._run_started = time.perf_counter()
+        if self.workers == 0:
+            self._local = [
+                StreamingExecutor(
+                    list(self.router.shard_queries(shard_id)),
+                    self.engine_factory,
+                    on_window=self.on_window,
+                    lazy_open=self.lazy_open,
+                    shared_windows=self.shared_windows,
+                )
+                for shard_id in range(self.router.shards)
+            ]
+            if self.router.shards == 1:
+                self._single = self._local[0]
+            return
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        self._buffers = [[] for _ in range(self.router.shards)]
+        self._in_queues = [
+            context.Queue(maxsize=self.max_inflight) for _ in range(self.router.shards)
+        ]
+        self._out_queue = context.Queue()
+        self._processes = []
+        for shard_id in range(self.router.shards):
+            process = context.Process(
+                target=_shard_worker_main,
+                args=(
+                    shard_id,
+                    self.router.shard_queries(shard_id),
+                    self.engine_factory,
+                    self.lazy_open,
+                    self.shared_windows,
+                    self._in_queues[shard_id],
+                    self._out_queue,
+                ),
+                daemon=True,
+                name=f"repro-shard-{shard_id}",
+            )
+            process.start()
+            self._processes.append(process)
+
+    def _ship(self, shard_id: int) -> None:
+        buffer = self._buffers[shard_id]
+        batch = EventBatch.from_events(buffer)
+        buffer.clear()
+        self._shard_batches[shard_id] += 1
+        self._put(shard_id, batch)
+
+    def _put(self, shard_id: int, item) -> None:
+        """Bounded put: blocks on a full queue (backpressure) but never on a
+        dead worker — liveness is re-checked between waits."""
+        queue = self._in_queues[shard_id]
+        while True:
+            try:
+                queue.put(item, timeout=_POLL_SECONDS)
+                return
+            except Full:
+                if not self._processes[shard_id].is_alive():
+                    self._raise_worker_failure(shard_id)
+
+    def _finish_workers(self) -> list[ExecutionReport]:
+        # Ship every shard's residual batch and sentinel in a round-robin of
+        # non-blocking puts: a blocking per-shard pass would hold shard
+        # i+1's sentinel hostage to shard i's backpressured queue, leaving
+        # drained workers idle through the end-of-stream tail.
+        pending: dict[int, list] = {}
+        for shard_id in range(self.router.shards):
+            items: list = []
+            buffer = self._buffers[shard_id]
+            if buffer:
+                items.append(EventBatch.from_events(buffer))
+                buffer.clear()
+                self._shard_batches[shard_id] += 1
+            items.append(None)
+            pending[shard_id] = items
+        while pending:
+            progressed = False
+            for shard_id in list(pending):
+                items = pending[shard_id]
+                while items:
+                    try:
+                        self._in_queues[shard_id].put_nowait(items[0])
+                    except Full:
+                        break
+                    items.pop(0)
+                    progressed = True
+                if not items:
+                    del pending[shard_id]
+            if pending and not progressed:
+                for shard_id in pending:
+                    if not self._processes[shard_id].is_alive():
+                        self._raise_worker_failure(shard_id)
+                time.sleep(_POLL_SECONDS / 5)
+        collected: dict[int, ExecutionReport] = {}
+        grace_deadline: Optional[float] = None
+        while len(collected) < self.router.shards:
+            try:
+                shard_id, status, payload = self._out_queue.get(timeout=_POLL_SECONDS)
+            except Empty:
+                dead = [
+                    shard_id
+                    for shard_id, process in enumerate(self._processes)
+                    if shard_id not in collected and not process.is_alive()
+                ]
+                if not dead:
+                    grace_deadline = None
+                    continue
+                # A worker exited with its report possibly still in flight
+                # in the queue's feeder thread; grant a short grace before
+                # declaring the crash.
+                now = time.perf_counter()
+                if grace_deadline is None:
+                    grace_deadline = now + _CRASH_GRACE_SECONDS
+                elif now >= grace_deadline:
+                    exit_code = self._processes[dead[0]].exitcode
+                    self._shutdown()
+                    raise ExecutionError(
+                        f"shard worker {dead[0]} died without a report "
+                        f"(exit code {exit_code})"
+                    )
+                continue
+            # Any delivery proves the queue is flowing again — a previously
+            # armed deadline belongs to a report that has now arrived (or
+            # will, on a fresh grace period), so re-arm from scratch.
+            grace_deadline = None
+            if status == "error":
+                self._shutdown()
+                raise ExecutionError(f"shard worker {shard_id} failed:\n{payload}")
+            collected[shard_id] = payload
+        for process in self._processes:
+            process.join(timeout=5.0)
+        self._shutdown(terminate=False)
+        return [collected[shard_id] for shard_id in range(self.router.shards)]
+
+    def _raise_worker_failure(self, shard_id: int) -> None:
+        # Mid-stream failure path (the sentinel has not been sent, so the
+        # result queue can only hold "error" payloads — workers report "ok"
+        # only after their sentinel).  Prefer the worker's own traceback: it
+        # may still be in flight in the queue's feeder thread, so wait the
+        # deadline out rather than giving up on the first empty read.
+        deadline = time.perf_counter() + _CRASH_GRACE_SECONDS
+        while time.perf_counter() < deadline:
+            try:
+                failed_id, status, payload = self._out_queue.get(timeout=_POLL_SECONDS)
+            except Empty:
+                continue
+            if status == "error":
+                self._shutdown()
+                raise ExecutionError(f"shard worker {failed_id} failed:\n{payload}")
+        exit_code = self._processes[shard_id].exitcode
+        self._shutdown()
+        raise ExecutionError(
+            f"shard worker {shard_id} died without a report (exit code {exit_code})"
+        )
+
+    def _shutdown(self, *, terminate: bool = True) -> None:
+        for process in self._processes:
+            if terminate and process.is_alive():
+                process.terminate()
+            process.join(timeout=1.0)
+        for queue in self._in_queues:
+            queue.close()
+            queue.cancel_join_thread()
+        if self._out_queue is not None:
+            self._out_queue.close()
+            self._out_queue.cancel_join_thread()
+        self._processes = []
+        self._in_queues = []
+        self._out_queue = None
+
+    # ------------------------------------------------------------------ #
+    # Deterministic merge
+    # ------------------------------------------------------------------ #
+    def _partition_order(self, partition: PartitionResult) -> tuple:
+        for name in partition.results:
+            placed = self._unit_of_name.get(name)
+            if placed is not None:
+                unit_index, window = placed
+                window_end = window.instance_bounds(partition.window_index)[1]
+                return (
+                    window_end,
+                    unit_index,
+                    group_sort_key(partition.group_key),
+                    partition.window_index,
+                )
+        return (  # pragma: no cover - engines always report unit queries
+            partition.window_start,
+            -1,
+            group_sort_key(partition.group_key),
+            partition.window_index,
+        )
+
+    def _merge(
+        self, shard_reports: Sequence[ExecutionReport], wall_seconds: float
+    ) -> ExecutionReport:
+        # The shard executors resolved the engine label already; building an
+        # engine here just to read its name would be pure waste.
+        report = ExecutionReport(engine_name=shard_reports[0].engine_name)
+        metrics = report.metrics
+        merged_statistics: Optional[OptimizerStatistics] = None
+        for sub in shard_reports:
+            metrics.merge(sub.metrics)
+            if sub.optimizer_statistics is not None:
+                if merged_statistics is None:
+                    merged_statistics = OptimizerStatistics()
+                merged_statistics.merge(sub.optimizer_statistics)
+        # merge() sums shard counts, but an event routed to two unit-mode
+        # shards is still one stream event — and wall clock is the driver's
+        # elapsed time, not any shard's.
+        metrics.stream_events = self._consumed
+        metrics.wall_seconds = wall_seconds
+        # Concurrent gauges: parallel shards hold their state *at the same
+        # time*, so merge()'s max-of-peaks (right for re-runs of one
+        # pipeline) would under-report an N-shard run by up to N.  Sum the
+        # per-shard peaks instead — an upper bound, since shards need not
+        # peak at the same instant.
+        metrics.peak_memory_units = sum(
+            sub.metrics.peak_memory_units for sub in shard_reports
+        )
+        metrics.peak_active_windows = sum(
+            sub.metrics.peak_active_windows for sub in shard_reports
+        )
+        report.optimizer_statistics = merged_statistics
+        merged = [
+            partition for sub in shard_reports for partition in sub.partition_results
+        ]
+        if len(shard_reports) > 1 or self._unit_count > 1:
+            merged.sort(key=self._partition_order)
+        # else: one shard, one unit — the shard's emission order (close
+        # sweeps ordered by (end, group key) with non-decreasing ends) IS
+        # the canonical (window end, unit, group) order; skip the re-sort.
+        report.partition_results = merged
+        if len(shard_reports) == 1:
+            # One shard saw the whole stream: its totals are already the
+            # complete, recombined answer — rebuilding them would only
+            # re-add the same partitions.  (Zero-defaults still need the
+            # driver's consumed count: the router may have dropped every
+            # event before the shard, e.g. an all-irrelevant stream.)
+            report.totals.update(shard_reports[0].totals)
+            if self._consumed:
+                for name in self._unit_of_name:
+                    report.totals.setdefault(name, 0.0)
+        else:
+            # Totals are rebuilt from the merged partitions in their
+            # canonical order — never by summing per-shard totals, whose
+            # grouping would depend on the shard count.
+            totals = report.totals
+            for partition in merged:
+                for name, value in partition.results.items():
+                    if value != 0.0:
+                        totals[name] = totals.get(name, 0.0) + value
+            if self._consumed:
+                for name in self._unit_of_name:
+                    totals.setdefault(name, 0.0)
+            recombine_decompositions(self.analysis.decompositions, merged, totals)
+        report.shards = [
+            ShardReport(
+                shard_id=shard_id,
+                events=self._shard_events[shard_id],
+                batches=self._shard_batches[shard_id],
+                report=sub,
+            )
+            for shard_id, sub in enumerate(shard_reports)
+        ]
+        return report
+
+
+def run_sharded(
+    workload: Workload | Sequence[Query],
+    stream: EventStream | Iterable[Event],
+    engine_factory: EngineFactory = HamletEngine,
+    *,
+    workers: int = 0,
+    shards: Optional[int] = None,
+    routing: str = "auto",
+    batch_size: int = 512,
+    max_inflight: int = 8,
+    lazy_open: bool = True,
+    shared_windows: bool = True,
+) -> ExecutionReport:
+    """One-shot convenience wrapper around :class:`ShardedStreamingExecutor`."""
+    executor = ShardedStreamingExecutor(
+        workload,
+        engine_factory,
+        workers=workers,
+        shards=shards,
+        routing=routing,
+        batch_size=batch_size,
+        max_inflight=max_inflight,
+        lazy_open=lazy_open,
+        shared_windows=shared_windows,
+    )
+    return executor.run(stream)

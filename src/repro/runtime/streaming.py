@@ -52,7 +52,7 @@ from typing import Callable, Iterable, Mapping, Optional, Sequence
 from repro.core.engine import HamletEngine
 from repro.errors import ExecutionError
 from repro.events.event import Event, EventType
-from repro.events.stream import EventStream
+from repro.events.stream import EventStream, slice_stream
 from repro.greta.engine import GretaEngine
 from repro.interfaces import TrendAggregationEngine
 from repro.optimizer.decisions import OptimizerStatistics
@@ -69,7 +69,7 @@ from repro.runtime.executor import (
     unit_is_linear,
     unit_relevant_types,
 )
-from repro.runtime.partitioner import PartitionKey, PartitionSpec
+from repro.runtime.partitioner import PartitionKey, PartitionSpec, group_sort_key
 from repro.runtime.shared_windows import (
     MultiWindowLinearEngine,
     UnitCompilation,
@@ -259,13 +259,7 @@ class StreamingExecutor:
         with the stream's cached timestamp array (binary search, no scan).
         """
         self._begin_run()
-        if start is not None or end is not None:
-            if not isinstance(stream, EventStream):
-                stream = EventStream(stream)
-            stream = stream.between(
-                start if start is not None else 0.0,
-                end if end is not None else float("inf"),
-            )
+        stream = slice_stream(stream, start, end)
         for event in stream:
             self.process(event)
         return self.finish()
@@ -297,22 +291,25 @@ class StreamingExecutor:
         for unit in self._units:
             if unit.shared:
                 pending = [
-                    (meta.end, repr(group_key), group_key, meta.index)
+                    (meta.end, group_key, meta.index)
                     for group_key, group in unit.shared_groups.items()
                     for meta in group.metas.values()
                 ]
-                pending.sort()
-                for _, _, group_key, index in pending:
+                pending.sort(key=lambda item: (item[0], group_sort_key(item[1]), item[2]))
+                for _, group_key, index in pending:
                     group = unit.shared_groups[group_key]
                     self._close_shared_window(unit, group_key, group, group.metas.pop(index))
             else:
                 # Sorted for a deterministic emission order of the final flush.
-                for key in sorted(unit.open, key=lambda item: (item[1], repr(item[0]))):
+                for key in sorted(
+                    unit.open, key=lambda item: (item[1], group_sort_key(item[0]))
+                ):
                     self._close_instance(unit, unit.open.pop(key))
             unit.next_close = float("inf")
         self._next_close = float("inf")
         report = self._report
         report.metrics.stream_events = self._consumed
+        report.metrics.wall_seconds = time.perf_counter() - self._run_started
         if self._consumed:
             for unit in self._units:
                 for query in unit.queries:
@@ -398,6 +395,7 @@ class StreamingExecutor:
             if optimizer is not None:
                 optimizer.statistics = OptimizerStatistics()
         self._report = ExecutionReport(engine_name=self._engine_label)
+        self._run_started = time.perf_counter()
         self._clock = float("-inf")
         self._consumed = 0
         self._engine_feeds = 0
@@ -581,7 +579,7 @@ class StreamingExecutor:
 
     def _sweep_unit(self, unit: _Unit, now: float) -> None:
         expired = [instance for instance in unit.open.values() if instance.end <= now]
-        expired.sort(key=lambda instance: (instance.end, repr(instance.key[0])))
+        expired.sort(key=lambda instance: (instance.end, group_sort_key(instance.key[0])))
         for instance in expired:
             del unit.open[instance.key]
             self._close_instance(unit, instance)
@@ -594,11 +592,11 @@ class StreamingExecutor:
         for group_key, group in unit.shared_groups.items():
             for meta in group.metas.values():  # ascending index == ascending end
                 if meta.end <= now:
-                    expired.append((meta.end, repr(group_key), group_key, meta.index))
+                    expired.append((meta.end, group_key, meta.index))
                 else:
                     break
-        expired.sort()
-        for _, _, group_key, index in expired:
+        expired.sort(key=lambda item: (item[0], group_sort_key(item[1]), item[2]))
+        for _, group_key, index in expired:
             group = unit.shared_groups[group_key]
             self._close_shared_window(unit, group_key, group, group.metas.pop(index))
         unit.next_close = min(

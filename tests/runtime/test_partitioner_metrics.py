@@ -14,7 +14,7 @@ from repro.runtime import (
     StreamingExecutor,
     WorkloadExecutor,
 )
-from repro.runtime.partitioner import PartitionSpec
+from repro.runtime.partitioner import PartitionSpec, group_sort_key
 
 
 class TestPartitioner:
@@ -66,6 +66,43 @@ class TestPartitioner:
         assert list(partitioner.route(Event("A", 7.0))) == [((), 0), ((), 1)]
         assert partitioner.partition_count() == 0
 
+    def test_group_keys_sort_numerically_not_by_repr(self):
+        # repr-sorting ordered 10 before 2; the type-tagged total order must
+        # sort numbers numerically.  The same key orders the streaming
+        # executor's sweeps and the sharded driver's cross-shard merge.
+        q = Query.build(
+            seq("A", kleene("B")), group_by=["g"], window=Window(10.0), name="pt_q4"
+        )
+        partitioner = GroupWindowPartitioner.for_queries([q])
+        for g in (10, 2, 1, 30):
+            partitioner.add(Event("A", 1.0, {"g": g}))
+        keys = [key for (key, _), _ in partitioner.partitions()]
+        assert keys == [(1,), (2,), (10,), (30,)]
+
+    def test_group_sort_key_totally_orders_mixed_types(self):
+        values = [(10,), (2,), ("b",), ("a",), (None,), (2.5,), (True,), ((1, "x"),)]
+        ordered = sorted(values, key=group_sort_key)
+        assert ordered == [(None,), (True,), (2,), (2.5,), (10,), ("a",), ("b",), ((1, "x"),)]
+        # Equal-valued int/float keys stay adjacent but deterministic.
+        assert sorted([(1.0,), (1,)], key=group_sort_key) == [(1,), (1.0,)]
+
+    def test_group_sort_key_survives_huge_ints_and_non_finite_floats(self):
+        # float(10**400) overflows; NaN comparisons are neither < nor > and
+        # would make sorted() output depend on input order.  Both must still
+        # produce one deterministic total order.
+        huge = [(10**400,), (2,), (-(10**400),), (10**400 + 1,)]
+        assert sorted(huge, key=group_sort_key) == [
+            (-(10**400),),
+            (2,),
+            (10**400,),
+            (10**400 + 1,),
+        ]
+        nan = float("nan")
+        mixed = [(nan,), (5.0,), (float("inf"),), (1.0,), (float("-inf"),)]
+        first = sorted(mixed, key=group_sort_key)
+        second = sorted(list(reversed(mixed)), key=group_sort_key)
+        assert first == second  # order-independent, hence total
+
     def test_fractional_slide_keys_are_exact_integers(self):
         # 3 * 0.1 == 0.30000000000000004: float starts misassigned boundary
         # events and made keys unequal across units; integer indices cannot.
@@ -103,6 +140,30 @@ class TestMetrics:
         assert first.partitions == 2
         assert first.peak_memory_units == 50
         assert first.events_processed == 30
+
+    def test_wall_clock_throughput_is_distinct_from_engine_throughput(self):
+        metrics = ExecutionMetrics()
+        # 4 engine-seconds of work (e.g. 4 parallel shards x 1s each) that
+        # elapsed in 1 wall second over 100 distinct stream events.
+        metrics.record_partition(seconds=4.0, events=400, memory_units=1, operations=4)
+        metrics.stream_events = 100
+        metrics.wall_seconds = 1.0
+        assert metrics.throughput_engine == pytest.approx(100.0)
+        assert metrics.throughput == metrics.throughput_engine
+        # Wall-clock throughput divides distinct events by elapsed time;
+        # summed engine seconds would hide the parallelism entirely.
+        assert metrics.throughput_wall == pytest.approx(100.0)
+        assert ExecutionMetrics().throughput_wall == 0.0
+
+    def test_merge_takes_max_wall_seconds(self):
+        first = ExecutionMetrics()
+        first.wall_seconds = 2.0
+        second = ExecutionMetrics()
+        second.wall_seconds = 3.0
+        first.merge(second)
+        # Concurrent shards elapse together: the merged wall clock is the
+        # slowest member, never the sum.
+        assert first.wall_seconds == 3.0
 
     def test_stopwatch(self):
         with Stopwatch() as watch:

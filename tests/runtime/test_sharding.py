@@ -1,0 +1,370 @@
+"""Sharded runtime: router determinism, batch codec, failure propagation.
+
+The bit-identical equivalence of sharded execution against the
+single-process streaming executor and the batch replay lives in
+``test_streaming_equivalence.py``; this module covers the sharding
+machinery itself.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.core import HamletEngine
+from repro.errors import ExecutionError
+from repro.events import Event, EventBatch
+from repro.optimizer import DynamicSharingOptimizer
+from repro.query import Query, Window, kleene, parse_pattern, seq
+from repro.runtime import (
+    ShardRouter,
+    ShardedStreamingExecutor,
+    run_sharded,
+    run_streaming,
+)
+from repro.runtime.sharding import stable_shard_hash
+
+WINDOW = Window(16.0, 4.0)
+
+
+def grouped_queries(window: Window = WINDOW) -> list[Query]:
+    return [
+        Query.build(seq("A", kleene("B")), group_by=("g",), window=window, name="shq1"),
+        Query.build(seq("C", kleene("B")), group_by=("g",), window=window, name="shq2"),
+        Query.build(
+            parse_pattern("SEQ(A, NOT X, B+)"), group_by=("g",), window=window, name="shq3"
+        ),
+    ]
+
+
+def ungrouped_queries(window: Window = WINDOW) -> list[Query]:
+    return [
+        Query.build(seq("A", kleene("B")), window=window, name="unq1"),
+        Query.build(seq("C", kleene("D")), window=window, name="unq2"),
+    ]
+
+
+def make_events(seed: int, size: int, groups: int = 6) -> list[Event]:
+    rng = random.Random(seed)
+    events = []
+    for index in range(size):
+        type_name = rng.choices(("A", "B", "C", "D", "X"), weights=(1, 3, 1, 1, 0.2))[0]
+        events.append(
+            Event(
+                type_name,
+                float(index),
+                {"v": float(rng.randint(0, 5)), "g": float(rng.randint(1, groups))},
+            )
+        )
+    return events
+
+
+class TestEventBatch:
+    def test_round_trip_preserves_events_exactly(self):
+        events = make_events(1, 200)
+        decoded = EventBatch.from_events(events).events()
+        assert decoded == events
+        for original, copy in zip(events, decoded):
+            assert copy.event_type == original.event_type
+            assert copy.time == original.time
+            assert copy.payload == original.payload
+            # The (time, sequence) total order must survive the boundary.
+            assert copy.sequence == original.sequence
+
+    def test_byte_codec_round_trip(self):
+        events = make_events(2, 64)
+        batch = EventBatch.from_events(events)
+        assert EventBatch.from_bytes(batch.to_bytes()).events() == events
+
+    def test_interning_tables_stay_small(self):
+        events = make_events(3, 500)
+        batch = EventBatch.from_events(events)
+        assert len(batch) == 500
+        # 5 event types and one payload-key shape cross the boundary once.
+        assert len(batch.event_types) <= 5
+
+    def test_empty_batch(self):
+        batch = EventBatch.from_events([])
+        assert len(batch) == 0 and not batch
+        assert batch.events() == []
+
+
+class TestShardRouter:
+    def test_group_routing_is_deterministic_across_router_instances(self):
+        events = make_events(4, 300)
+        first = ShardRouter(grouped_queries(), 4)
+        second = ShardRouter(grouped_queries(), 4)
+        assert first.mode == "group"
+        assert [first.route(event) for event in events] == [
+            second.route(event) for event in events
+        ]
+
+    def test_group_routing_is_a_pure_function_of_the_group_key(self):
+        router = ShardRouter(grouped_queries(), 4)
+        events = make_events(5, 300)
+        shard_of_group: dict[tuple, int] = {}
+        for event in events:
+            routed = router.route(event)
+            if not routed:
+                continue
+            (shard,) = routed
+            key = (event.get("g"),)
+            assert shard == shard_of_group.setdefault(key, shard)
+            assert shard == stable_shard_hash(key) % router.shards
+
+    def test_equal_comparing_keys_route_to_one_shard(self):
+        # Partitions are dicts keyed by group tuples, where 4 == 4.0 == ...
+        # land in ONE partition; hashing their reprs would split it across
+        # shards.  True == 1 likewise.
+        for shards in (2, 3, 4, 7):
+            assert (
+                stable_shard_hash((4,)) % shards
+                == stable_shard_hash((4.0,)) % shards
+            )
+            assert (
+                stable_shard_hash((True,)) % shards
+                == stable_shard_hash((1,)) % shards
+                == stable_shard_hash((1.0,)) % shards
+            )
+        # ...but the string "None" is not the value None.
+        assert stable_shard_hash((None,)) != stable_shard_hash(("None",))
+        # Exotic numerics that compare equal as dict keys hash alike too.
+        from decimal import Decimal
+        from fractions import Fraction
+
+        assert stable_shard_hash((Decimal("4"),)) == stable_shard_hash((4,))
+        assert stable_shard_hash((Fraction(4),)) == stable_shard_hash((4.0,))
+        assert stable_shard_hash((complex(4, 0),)) == stable_shard_hash((4,))
+
+    def test_mixed_numeric_group_keys_match_single_process(self):
+        # Regression: events carrying g=4 (int) and g=4.0 (float) form one
+        # partition; sharded execution must not straddle it.
+        queries = grouped_queries()
+        events = [
+            Event("A", 0.0, {"g": 4}),
+            Event("B", 1.0, {"g": 4.0}),
+            Event("B", 2.0, {"g": 4.0}),
+            Event("A", 3.0, {"g": True}),
+            Event("B", 4.0, {"g": 1}),
+        ]
+        single = run_streaming(queries, events)
+        for shards in (2, 3):
+            sharded = run_sharded(queries, events, workers=0, shards=shards)
+            assert sharded.totals == single.totals
+
+    def test_stable_hash_spreads_small_numeric_keys(self):
+        shards = {stable_shard_hash((float(g),)) % 4 for g in range(1, 9)}
+        assert len(shards) >= 2  # 8 keys must not collapse onto one shard
+
+    def test_irrelevant_event_types_are_dropped(self):
+        router = ShardRouter(grouped_queries(), 2)
+        assert router.route(Event("Unrelated", 0.0, {"g": 1.0})) == ()
+
+    def test_ungrouped_workload_falls_back_to_unit_routing(self):
+        router = ShardRouter(ungrouped_queries(), 2)
+        assert router.mode == "unit"
+        # The two queries share no execution unit, so they split 1/1 and
+        # every event goes only to the shard(s) referencing its type.
+        all_names = {
+            query.name for shard in range(router.shards) for query in router.shard_queries(shard)
+        }
+        assert all_names == {"unq1", "unq2"}
+        for event_type in ("A", "B", "C", "D"):
+            routed = router.route(Event(event_type, 0.0))
+            assert len(routed) == 1
+
+    def test_unit_routing_keeps_sharing_units_together(self):
+        # shq1..shq3 share the Kleene B+ sub-pattern and the window, so they
+        # form one execution unit: unit routing must keep them co-located.
+        router = ShardRouter(grouped_queries(), 4, routing="unit")
+        assert router.shards == 1
+        assert len(router.shard_queries(0)) == 3
+
+    def test_group_routing_requires_common_group_by(self):
+        with pytest.raises(ExecutionError):
+            ShardRouter(ungrouped_queries(), 2, routing="group")
+
+    def test_shard_count_must_be_positive(self):
+        with pytest.raises(ExecutionError):
+            ShardRouter(grouped_queries(), 0)
+
+
+class TestShardedStreamingExecutor:
+    def test_partitions_never_straddle_shards(self):
+        events = make_events(6, 400)
+        executor = ShardedStreamingExecutor(grouped_queries(), workers=0, shards=3)
+        report = executor.run(events)
+        owner: dict[tuple, int] = {}
+        for shard in report.shards:
+            for partition in shard.report.partition_results:
+                key = partition.key
+                assert owner.setdefault(key, shard.shard_id) == shard.shard_id
+
+    def test_shard_reports_account_for_all_routed_events(self):
+        events = make_events(7, 300)
+        executor = ShardedStreamingExecutor(grouped_queries(), workers=0, shards=3)
+        for event in events:
+            executor.process(event)
+        # Live introspection reflects the in-flight run; finish() resets it.
+        live_counts = executor.shard_event_counts
+        report = executor.finish()
+        assert report.metrics.stream_events == len(events)
+        assert live_counts == tuple(s.events for s in report.shards)
+        assert executor.shard_event_counts == (0, 0, 0)
+        # The grouped workload references A, B, C and (under NOT) X; D events
+        # are dropped at the router and reach no shard.
+        relevant = sum(1 for e in events if e.event_type in ("A", "B", "C", "X"))
+        assert sum(s.events for s in report.shards) == relevant
+
+    def test_merged_partition_order_is_shard_count_invariant(self):
+        events = make_events(8, 400)
+        keys = None
+        for shards in (1, 2, 4):
+            report = run_sharded(grouped_queries(), events, workers=0, shards=shards)
+            ordered = [p.key for p in report.partition_results]
+            if keys is None:
+                keys = ordered
+            assert ordered == keys
+
+    def test_concurrent_gauges_sum_across_shards(self):
+        events = make_events(14, 300)
+        report = run_sharded(grouped_queries(), events, workers=0, shards=3)
+        # Shards hold their peaks concurrently: the merged report sums them
+        # (merge()'s max would hide all but the largest shard).
+        assert report.metrics.peak_memory_units == sum(
+            s.report.metrics.peak_memory_units for s in report.shards
+        )
+        assert report.metrics.peak_active_windows == sum(
+            s.report.metrics.peak_active_windows for s in report.shards
+        )
+
+    def test_wall_clock_metrics_populated(self):
+        events = make_events(9, 200)
+        report = run_sharded(grouped_queries(), events, workers=0, shards=2)
+        assert report.metrics.wall_seconds > 0.0
+        assert report.metrics.throughput_wall > 0.0
+
+    def test_on_window_requires_in_process_mode(self):
+        with pytest.raises(ExecutionError):
+            ShardedStreamingExecutor(
+                grouped_queries(), workers=2, on_window=lambda result: None
+            )
+
+    def test_shards_param_conflicts_with_workers(self):
+        with pytest.raises(ExecutionError):
+            ShardedStreamingExecutor(grouped_queries(), workers=2, shards=4)
+
+    def test_incremental_reuse_starts_a_fresh_run(self):
+        # finish() must reset the driver completely: a second
+        # process()/finish() cycle is a new run (fresh clock and counters),
+        # matching StreamingExecutor's incremental contract.
+        executor = ShardedStreamingExecutor(grouped_queries(), workers=0, shards=2)
+        executor.process(Event("A", 5.0, {"g": 1.0}))
+        first = executor.finish()
+        assert first.metrics.stream_events == 1
+        executor.process(Event("A", 1.0, {"g": 1.0}))  # earlier time: new run
+        executor.process(Event("B", 2.0, {"g": 1.0}))
+        second = executor.finish()
+        assert second.metrics.stream_events == 2
+        assert sum(s.events for s in second.shards) == 2
+
+    def test_out_of_order_events_rejected(self):
+        executor = ShardedStreamingExecutor(grouped_queries(), workers=0)
+        executor.process(Event("A", 5.0, {"g": 1.0}))
+        with pytest.raises(ExecutionError):
+            executor.process(Event("A", 1.0, {"g": 1.0}))
+
+    def test_in_process_on_window_callback_fires(self):
+        events = make_events(10, 200)
+        seen: list[tuple] = []
+        executor = ShardedStreamingExecutor(
+            grouped_queries(),
+            workers=0,
+            shards=2,
+            on_window=lambda result: seen.append((result.group_key, result.window_index)),
+        )
+        report = executor.run(events)
+        assert len(seen) == report.metrics.partitions
+
+
+class _ExplodingEngine(HamletEngine):
+    """Raises mid-stream; per-instance path so ``process`` actually runs."""
+
+    shared_window_flavor = None
+
+    def process(self, event):
+        if event.time >= 50.0:
+            raise RuntimeError("engine exploded for the crash test")
+        super().process(event)
+
+
+class _DyingEngine(HamletEngine):
+    """Kills its worker process outright (no traceback makes it back)."""
+
+    shared_window_flavor = None
+
+    def process(self, event):
+        os._exit(23)
+
+
+class TestWorkerFailurePropagation:
+    def test_worker_exception_propagates_with_traceback(self):
+        events = make_events(11, 200)
+        with pytest.raises(ExecutionError, match="engine exploded"):
+            run_sharded(
+                grouped_queries(),
+                events,
+                _ExplodingEngine,
+                workers=2,
+                batch_size=32,
+                shared_windows=False,
+            )
+
+    def test_worker_hard_crash_is_detected(self):
+        events = make_events(12, 200)
+        with pytest.raises(ExecutionError, match="died without a report"):
+            run_sharded(
+                grouped_queries(),
+                events,
+                _DyingEngine,
+                workers=2,
+                batch_size=32,
+                shared_windows=False,
+            )
+
+    def test_driver_side_error_shuts_down_the_pool(self):
+        import multiprocessing
+
+        events = make_events(15, 100)
+        executor = ShardedStreamingExecutor(
+            grouped_queries(), HamletEngine, workers=2, batch_size=8
+        )
+        for event in events[:50]:
+            executor.process(event)
+        assert len(multiprocessing.active_children()) == 2
+        with pytest.raises(ExecutionError, match="in-order"):
+            executor.process(Event("A", 0.0, {"g": 1.0}))  # before stream time
+        for process in multiprocessing.active_children():
+            process.join(timeout=5.0)
+        # The rejected event must not orphan workers blocked on their queues.
+        assert len(multiprocessing.active_children()) == 0
+
+    def test_multiprocess_run_matches_single_process(self):
+        from collections import Counter
+
+        events = make_events(13, 300)
+        factory = HamletEngine
+        single = run_streaming(grouped_queries(), events, factory)
+        forked = run_sharded(
+            grouped_queries(), events, factory, workers=2, batch_size=64
+        )
+        assert forked.totals == single.totals
+        # Multiset comparison: partitions of different units share p.key, so
+        # a dict keyed by it would drop all but one partition per key.
+        assert Counter(
+            (p.key, tuple(sorted(p.results.items()))) for p in forked.partition_results
+        ) == Counter(
+            (p.key, tuple(sorted(p.results.items()))) for p in single.partition_results
+        )

@@ -12,6 +12,10 @@ engine (``shared_windows=True``, the default — one engine per ``(group,
 unit)`` pair, per-window-instance coefficients) and the per-instance
 reference pool (``shared_windows=False``), up to 600-event streams.
 
+The sharded driver joins the same equivalence class: in-process shards
+(1/2/4, both routing modes) and real multi-process workers must reproduce
+the single-process totals *and* per-partition results bit-identically.
+
 All event attributes are small integers, so per-partition sums stay exact in
 float64 (windows keep partitions small enough that trend counts remain below
 2**53) and exact ``==`` comparison is meaningful; see ``docs/DESIGN.md``.
@@ -39,7 +43,7 @@ from repro.query import (
 )
 from repro.query.predicates import attr_less
 from repro.events import Event
-from repro.runtime import run_streaming, run_workload
+from repro.runtime import run_sharded, run_streaming, run_workload
 
 TYPE_NAMES = ("A", "B", "C", "D", "X")
 
@@ -222,6 +226,129 @@ def test_streaming_matches_batch_baselines(seed, engine_factory):
     batch = run_workload(queries, events, engine_factory)
     streaming = run_streaming(queries, events, engine_factory)
     assert streaming.totals == batch.totals
+
+
+# --------------------------------------------------------------------- #
+# Sharded == single-process == batch
+# --------------------------------------------------------------------- #
+def partition_multiset(report):
+    """Every emitted partition as a multiset entry.
+
+    Partitions of *different execution units* share the ``(group, window
+    index)`` key, so a dict keyed by ``p.key`` would silently drop all but
+    one unit's partition per key; the Counter keeps them all.
+    """
+    from collections import Counter
+
+    return Counter(
+        (p.key, tuple(sorted(p.results.items()))) for p in report.partition_results
+    )
+
+
+def assert_sharded_matches(queries, events, factory, **sharded_kwargs):
+    """Totals AND per-(group, window, unit) partition results must agree exactly."""
+    batch = run_workload(queries, events, factory)
+    streaming = run_streaming(queries, events, factory)
+    sharded = run_sharded(queries, events, factory, **sharded_kwargs)
+    assert sharded.totals == streaming.totals == batch.totals
+    assert partition_multiset(sharded) == partition_multiset(streaming)
+
+
+@pytest.mark.parametrize("seed", range(3))
+@pytest.mark.parametrize("shards", (1, 2, 4))
+@pytest.mark.parametrize("routing", ("group", "unit"))
+@pytest.mark.parametrize(
+    "window", (TUMBLING, SLIDING, FRACTIONAL), ids=("tumbling", "sliding", "fractional")
+)
+def test_sharded_bit_identical_to_streaming_and_batch(seed, shards, routing, window):
+    """Sharded (1/2/4 shards, both routing modes) == streaming == batch.
+
+    GROUP BY workloads admit both routing modes: hash-on-group-key and
+    by-execution-unit.  Shard executors run in-process (``workers=0``) so
+    the suite exercises router + merge on every parametrization without
+    paying fork startup 36 times; the multiprocess transport is covered by
+    ``test_sharding.py`` and the 4-worker case below.
+    """
+    events = make_stream(seed, 400)
+    queries = workload(window, group_by=("g",))
+    factory = lambda: HamletEngine(DynamicSharingOptimizer())  # noqa: E731
+    assert_sharded_matches(
+        queries, events, factory, workers=0, shards=shards, routing=routing
+    )
+
+
+@pytest.mark.parametrize("seed", range(2))
+@pytest.mark.parametrize("workers", (2, 4))
+def test_sharded_multiprocess_bit_identical(seed, workers):
+    """Real worker processes (batched transport) reproduce the same bits."""
+    events = make_stream(seed, 400)
+    queries = workload(SLIDING, group_by=("g",))
+    assert_sharded_matches(
+        queries,
+        events,
+        lambda: HamletEngine(DynamicSharingOptimizer()),  # noqa: E731
+        workers=workers,
+        batch_size=64,
+    )
+
+
+@pytest.mark.parametrize("shards", (2, 4))
+def test_sharded_without_group_by_shards_by_unit(shards):
+    """GROUP-BY-less workloads fall back to unit routing, same results."""
+    events = make_stream(1, 400)
+    queries = workload(SLIDING, group_by=())
+    factory = lambda: HamletEngine(DynamicSharingOptimizer())  # noqa: E731
+    assert_sharded_matches(queries, events, factory, workers=0, shards=shards)
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_sharded_matches_on_negation_dense_streams(seed):
+    events = make_stream(seed, 300, negative_weight=2.0)
+    queries = workload(SLIDING, group_by=("g",))
+    assert_sharded_matches(queries, events, GretaEngine, workers=0, shards=3)
+
+
+def test_sharded_recombines_decomposed_or_queries():
+    window = Window(60.0)
+    or_query = Query.build(
+        seq("A", kleene("B")) | seq("C", kleene("D")), window=window, name="shor_q"
+    )
+    stream = [Event("A", 0.0), Event("B", 1.0), Event("C", 2.0), Event("D", 3.0), Event("D", 4.0)]
+    batch = run_workload([or_query], stream)
+    # The unit router deliberately co-locates all sub-queries of one
+    # decomposition (clusters are transitive over decompositions), so the
+    # requested 2 shards collapse to 1 and the shard recombines locally.
+    sharded = run_sharded([or_query], stream, workers=0, shards=2)
+    assert sharded.result_for("shor_q") == batch.result_for("shor_q") == 4.0
+
+
+def test_sharded_recombines_decomposed_or_queries_across_group_shards():
+    window = Window(60.0)
+    or_query = Query.build(
+        seq("A", kleene("B")) | seq("C", kleene("D")),
+        group_by=("g",),
+        window=window,
+        name="shorg_q",
+    )
+    stream = [
+        Event("A", 0.0, {"g": g}) for g in (1.0, 2.0, 3.0)
+    ] + [
+        Event("B", 1.0, {"g": g}) for g in (1.0, 2.0, 3.0)
+    ] + [
+        Event("C", 2.0, {"g": 1.0}),
+        Event("D", 3.0, {"g": 1.0}),
+        Event("D", 4.0, {"g": 2.0}),
+    ]
+    batch = run_workload([or_query], stream)
+    streaming = run_streaming([or_query], stream)
+    # Group routing spreads the groups over shards; the driver rebuilds
+    # totals from the merged partitions, so it must re-run the OR
+    # recombination itself — per (group, window) partition — on the
+    # multi-shard merge path (a missing-branch partition must combine with
+    # an explicit 0.0, not vanish).
+    for shards in (2, 3):
+        sharded = run_sharded([or_query], stream, workers=0, shards=shards)
+        assert sharded.totals == streaming.totals == batch.totals
 
 
 @pytest.mark.parametrize("lazy_open", (True, False), ids=("lazy", "eager"))

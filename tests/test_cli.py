@@ -49,6 +49,61 @@ class TestCli:
         assert "per-instance execution" in output
         assert "overlap factor 5" in output
 
+    def test_stream_command_sharded_in_process(self, capsys):
+        assert (
+            main(
+                [
+                    "stream",
+                    "--queries",
+                    "2",
+                    "--minutes",
+                    "0.5",
+                    "--events-per-minute",
+                    "600",
+                    "--workers",
+                    "0",
+                    "--shard-batch",
+                    "64",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "sharded execution: 1 shard(s), 0 worker process(es)" in output
+        assert "routing by group" in output
+        assert "shard 0:" in output
+        assert "events/s wall-clock" in output
+
+    def test_stream_command_sharded_worker_processes(self, capsys):
+        assert (
+            main(
+                [
+                    "stream",
+                    "--queries",
+                    "2",
+                    "--minutes",
+                    "0.5",
+                    "--events-per-minute",
+                    "600",
+                    "--workers",
+                    "2",
+                    "--shard-batch",
+                    "32",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "2 shard(s), 2 worker process(es)" in output
+        assert "batches of 32" in output
+        assert "shard 0:" in output and "shard 1:" in output
+        assert "events/s wall-clock" in output
+
+    def test_stream_command_prints_wall_clock_throughput(self, capsys):
+        assert main(["stream", "--queries", "2", "--minutes", "0.3", "--events-per-minute", "600"]) == 0
+        output = capsys.readouterr().out
+        assert "wall-clock throughput:" in output
+
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["figures", "fig99"])
