@@ -30,6 +30,15 @@ Four fixed-seed suites:
   shared throughput by this one's: near-flat scaling in the overlap factor
   means the ratio stays well below the 4x growth of the overlap factor.
 
+* ``bursty`` (``BENCH_PR5.json``) — a rate-fluctuating multi-aggregate
+  workload (storm phases of dense same-type bursts alternating with
+  sparse, type-alternating trickles — the Figure 12/13 regime) through the
+  adaptive streaming runtime: the static compile-time plan, the dynamic
+  per-burst optimizer and both static extremes (always / never share).
+  All four rows are bit-identical in results; the recorded
+  ``adaptive_vs_static`` section divides the static rows' ops by the
+  dynamic row's — the dynamic optimizer must beat the worse extreme.
+
 * ``sharded`` (``BENCH_PR4.json``) — the overlap-shared workload (20
   districts, so >= 8 distinct group keys) through the sharded driver:
   single-process streaming next to ``ShardedStreamingExecutor`` with the
@@ -75,8 +84,11 @@ SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:  # allow running without PYTHONPATH
     sys.path.insert(0, str(SRC))
 
+import random
+
 from repro.core.engine import HamletEngine
 from repro.datasets.ridesharing import RidesharingGenerator
+from repro.events.event import Event
 from repro.greta.engine import GretaEngine
 from repro.optimizer.decisions import DynamicSharingOptimizer
 from repro.optimizer.static import NeverShareOptimizer
@@ -84,7 +96,7 @@ from repro.query.windows import Window
 from repro.runtime.executor import WorkloadExecutor
 from repro.runtime.sharding import ShardedStreamingExecutor
 from repro.runtime.streaming import StreamingExecutor
-from repro.bench.workloads import kleene_sharing_workload
+from repro.bench.workloads import kleene_sharing_workload, multi_aggregate_workload
 
 #: Permitted relative growth of deterministic operation counts before the
 #: ``--gate`` mode fails (guards against accidental algorithmic regressions
@@ -227,6 +239,86 @@ def _deep_overlap_scenarios() -> dict[str, Callable]:
     }
 
 
+# ---------------------------------------------------------------------- #
+# Suite: bursty (rate-fluctuating stream, adaptive vs static sharing)
+#   -> BENCH_PR5.json
+# ---------------------------------------------------------------------- #
+BURSTY_QUERIES = 8  # 2 prefixes x 4 aggregates = 2 classes of 4 members
+BURSTY_DISTRICTS = 6
+BURSTY_WINDOW = Window(20.0, 4.0)  # slide = size/5
+BURSTY_PREFIXES = ("Request", "Surge")
+BURSTY_PHASES = 14
+#: Storm phases: dense Travel runs (long bursts, sharing clearly wins).
+BURSTY_STORM_EVENTS = 900
+BURSTY_STORM_INTERVAL = 0.03
+BURSTY_STORM_WEIGHTS = (14.0, 1.0, 1.0)
+#: Trickle phases: sparse, type-alternating traffic (short bursts where the
+#: merge cost of a fresh shared run is not worth a couple of events).
+BURSTY_TRICKLE_EVENTS = 60
+BURSTY_TRICKLE_INTERVAL = 3.0
+BURSTY_TRICKLE_WEIGHTS = (1.0, 1.5, 1.5)
+
+
+def _bursty_input():
+    """The Fig. 12/13 shape: stream rate fluctuating between extremes.
+
+    Storm phases produce long same-type Travel bursts (per-burst sharing
+    wins by the burst length); trickle phases alternate types so bursts
+    shrink to a handful of events and sharing repeatedly has to pay for
+    fresh merges.  A static plan is wrong in one of the two regimes by
+    construction; the dynamic optimizer flips per burst.
+    """
+    workload = multi_aggregate_workload(
+        BURSTY_QUERIES,
+        kleene_type="Travel",
+        prefix_types=BURSTY_PREFIXES,
+        window=BURSTY_WINDOW,
+        group_by=("district",),
+        name="bursty",
+    )
+    rng = random.Random(SEED)
+    types = ("Travel",) + BURSTY_PREFIXES
+    events = []
+    clock = 0.0
+    for phase in range(BURSTY_PHASES):
+        storm = phase % 2 == 0
+        count = BURSTY_STORM_EVENTS if storm else BURSTY_TRICKLE_EVENTS
+        interval = BURSTY_STORM_INTERVAL if storm else BURSTY_TRICKLE_INTERVAL
+        weights = BURSTY_STORM_WEIGHTS if storm else BURSTY_TRICKLE_WEIGHTS
+        for _ in range(count):
+            events.append(
+                Event(
+                    rng.choices(types, weights=weights)[0],
+                    clock,
+                    {
+                        "district": float(rng.randint(1, BURSTY_DISTRICTS)),
+                        "speed": float(rng.randint(5, 60)),
+                    },
+                )
+            )
+            clock += interval
+    return workload, events
+
+
+def _adaptive_scenario(optimizer: str | None) -> Callable:
+    factory = _ENGINE_FACTORIES["hamlet"]
+    return lambda workload, events: StreamingExecutor(
+        workload, factory, optimizer=optimizer
+    ).run(events)
+
+
+def _bursty_scenarios() -> dict[str, Callable]:
+    # All four rows produce bit-identical totals (the differential property
+    # suite guards this); only the work and memory profiles differ, which
+    # is exactly what the recorded ops are gating.
+    return {
+        "static_compile_time": _adaptive_scenario(None),
+        "adaptive_dynamic": _adaptive_scenario("dynamic"),
+        "static_always_share": _adaptive_scenario("always"),
+        "static_never_share": _adaptive_scenario("never"),
+    }
+
+
 def _sharded_scenario(workers: int) -> Callable:
     factory = _ENGINE_FACTORIES["hamlet"]
     return lambda workload, events: ShardedStreamingExecutor(
@@ -310,6 +402,36 @@ SUITES = {
         workload_meta=_overlap_meta(DEEP_OVERLAP_WINDOW),
         section="deep-overlap",
     ),
+    "bursty": Suite(
+        name="bursty",
+        output=REPO_ROOT / "BENCH_PR5.json",
+        build_input=_bursty_input,
+        scenarios=_bursty_scenarios,
+        workload_meta={
+            "style": "bursty-adaptive-vs-static-sharing",
+            "num_queries": BURSTY_QUERIES,
+            "query_classes": len(BURSTY_PREFIXES),
+            "members_per_class": BURSTY_QUERIES // len(BURSTY_PREFIXES),
+            "seed": SEED,
+            "districts": BURSTY_DISTRICTS,
+            "window_seconds": BURSTY_WINDOW.size,
+            "slide_seconds": BURSTY_WINDOW.slide,
+            "phases": BURSTY_PHASES,
+            "storm": {
+                "events": BURSTY_STORM_EVENTS,
+                "interval_seconds": BURSTY_STORM_INTERVAL,
+            },
+            "trickle": {
+                "events": BURSTY_TRICKLE_EVENTS,
+                "interval_seconds": BURSTY_TRICKLE_INTERVAL,
+            },
+            "note": (
+                "all rows are bit-identical in results; ops/memory measure "
+                "the sharing plans. The dynamic row must beat the worse "
+                "static extreme (see adaptive_vs_static)."
+            ),
+        },
+    ),
     "sharded": Suite(
         name="sharded",
         output=REPO_ROOT / "BENCH_PR4.json",
@@ -353,6 +475,13 @@ def run_scenario(name: str, runner: Callable, workload, events, repeats: int) ->
         result["avg_emission_latency_ms"] = round(
             report.metrics.average_emission_latency * 1e3, 4
         )
+    statistics = report.optimizer_statistics
+    if statistics is not None and statistics.decisions:
+        # Deterministic for a fixed seed, like the operation counts.
+        result["decisions"] = statistics.decisions
+        result["shared_fraction"] = round(statistics.shared_fraction, 4)
+        result["merges"] = statistics.merges
+        result["splits"] = statistics.splits
     print(
         f"  {name:<20} {result['events_per_second']:>10.0f} ev/s  "
         f"{best_seconds:8.3f} s  ops={result['operations']:>10}  "
@@ -426,6 +555,39 @@ def attach_sharded_speedups(results: dict) -> None:
         }
         if ratios:
             results.setdefault("speedup_sharded_over_single", {})[label] = ratios
+
+
+def attach_adaptive_ratios(results: dict) -> None:
+    """Record how the dynamic row compares against the static extremes.
+
+    ``ops_static_over_dynamic`` > 1 means the dynamic optimizer did less
+    abstract work than that static plan on the bursty stream; the headline
+    claim (Figures 12–13) is that it beats the *worse* extreme while
+    staying close to the better one.  Wall-clock speedups are recorded
+    alongside for the trajectory but, as everywhere in this harness, only
+    ops and checksums are gated.
+    """
+    for label, rows in results["runs"].items():
+        dynamic = rows.get("adaptive_dynamic")
+        if not dynamic or not dynamic.get("operations"):
+            continue
+        ops_ratios = {}
+        wall_speedups = {}
+        for name in ("static_always_share", "static_never_share", "static_compile_time"):
+            static = rows.get(name)
+            if not static:
+                continue
+            ops_ratios[name] = round(static["operations"] / dynamic["operations"], 3)
+            if static.get("wall_seconds") and dynamic.get("wall_seconds"):
+                wall_speedups[name] = round(
+                    static["wall_seconds"] / dynamic["wall_seconds"], 2
+                )
+        if ops_ratios:
+            node = results.setdefault("adaptive_vs_static", {})
+            node[label] = {
+                "ops_static_over_dynamic": ops_ratios,
+                "wall_speedup_dynamic_over_static": wall_speedups,
+            }
 
 
 def gate(results: dict, current: dict, suite: Suite) -> int:
@@ -535,6 +697,8 @@ def run_suite(suite: Suite, args) -> int:
     attach_speedups(results)
     if suite.name == "sharded":
         attach_sharded_speedups(results)
+    if suite.name == "bursty":
+        attach_adaptive_ratios(results)
     if suite.section is not None:
         attach_cross_suite(container)
     suite.output.write_text(json.dumps(container, indent=2, sort_keys=True) + "\n")

@@ -71,6 +71,54 @@ def kleene_sharing_workload(
     return workload
 
 
+def multi_aggregate_workload(
+    num_queries: int = 12,
+    *,
+    kleene_type: str = "Travel",
+    prefix_types: tuple[str, ...] = (),
+    window: Window | None = None,
+    group_by: tuple[str, ...] = ("district",),
+    payload_attribute: str = "speed",
+    name: str = "multi-aggregate",
+) -> Workload:
+    """Identical patterns, different aggregates: maximal query classes.
+
+    Consecutive runs of four queries share one ``SEQ(prefix, kleene+)``
+    pattern (and predicates, group-by and window) and differ only in what
+    they aggregate — COUNT(*), SUM, AVG, COUNT(E).  The SUM / AVG /
+    COUNT(E) members of a run are mutually sharable and *computationally
+    identical*, so the multi-window runtime collapses them into one query
+    class whose sharing the per-burst optimizer can split and merge at
+    runtime; the COUNT(*) member is deliberately included as the
+    non-sharable odd one out (COUNT(*) only shares with COUNT(*),
+    Definition 5) so the workload also exercises singleton classes riding
+    along.  This is the workload shape behind the adaptive-sharing
+    benchmarks and the ``stream --optimizer`` CLI path.
+    """
+    _check_count(num_queries)
+    window = window or Window.minutes(5)
+    prefixes = prefix_types or tuple(t for t in RIDESHARING_TYPES if t != kleene_type)
+    aggregates = (
+        lambda: count_trends(),
+        lambda: sum_of(kleene_type, payload_attribute),
+        lambda: avg(kleene_type, payload_attribute),
+        lambda: count_events(kleene_type),
+    )
+    workload = Workload(name=name)
+    for index in range(num_queries):
+        prefix = prefixes[(index // len(aggregates)) % len(prefixes)]
+        workload.add(
+            Query.build(
+                seq(prefix, kleene(kleene_type)),
+                aggregate=aggregates[index % len(aggregates)](),
+                group_by=group_by,
+                window=window,
+                name=f"{name}-q{index + 1}",
+            )
+        )
+    return workload
+
+
 def nyc_taxi_workload(num_queries: int = 20, *, window: Window | None = None) -> Workload:
     """Figure 11 (NYC) workload: shared ``Travel+`` over the taxi schema."""
     prefixes = tuple(t for t in NYC_TAXI_TYPES if t not in ("Travel",))

@@ -18,6 +18,7 @@ be done programmatically (see README.md).
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 from typing import Callable, Sequence
 
@@ -65,6 +66,15 @@ def _run_demo() -> None:
     print("GRETA (non-shared):", {k: round(v) for k, v in sorted(greta.totals.items())})
 
 
+def _hamlet_with_policy(policy: str):
+    """Module-level engine factory: picklable for shard workers even under
+    the ``spawn`` multiprocessing start method (a lambda would not be)."""
+    from repro.core import HamletEngine
+    from repro.optimizer import OPTIMIZER_POLICIES
+
+    return HamletEngine(OPTIMIZER_POLICIES[policy]())
+
+
 def _run_stream(
     queries: int,
     minutes: float,
@@ -72,17 +82,42 @@ def _run_stream(
     shared_windows: bool,
     workers: int | None,
     shard_batch: int,
+    optimizer: str | None,
+    burst_size: int | None,
 ) -> None:
+    from repro.core import HamletEngine
     from repro.datasets.ridesharing import RidesharingGenerator
     from repro.query import Window
     from repro.runtime import ShardedStreamingExecutor, StreamingExecutor, WindowResult
-    from repro.bench.workloads import kleene_sharing_workload
+    from repro.bench.workloads import kleene_sharing_workload, multi_aggregate_workload
 
     window = Window.minutes(1.0, 0.2)  # overlapping: slide = size/5
-    workload = kleene_sharing_workload(queries, kleene_type="Travel", window=window)
+    if optimizer is not None:
+        # Adaptive sharing needs query classes with something to share:
+        # runs of identical patterns differing only in their aggregate.
+        workload = multi_aggregate_workload(queries, kleene_type="Travel", window=window)
+        engine_factory = functools.partial(_hamlet_with_policy, optimizer)
+    else:
+        workload = kleene_sharing_workload(queries, kleene_type="Travel", window=window)
+        engine_factory = HamletEngine
     stream = RidesharingGenerator(
         events_per_minute=events_per_minute, seed=7, districts=3
     ).generate(minutes * 60.0)
+
+    def print_decisions(report) -> None:
+        if optimizer is None:
+            return
+        statistics = report.optimizer_statistics
+        if statistics is None or not statistics.decisions:
+            print(f"optimizer {optimizer}: no sharing decisions (no eligible query classes)")
+            return
+        print(
+            f"optimizer {optimizer}: {statistics.decisions} decisions, "
+            f"{statistics.shared_bursts} shared / {statistics.non_shared_bursts} "
+            f"non-shared bursts (shared fraction "
+            f"{statistics.shared_fraction * 100.0:.1f}%), "
+            f"{statistics.merges} merges, {statistics.splits} splits"
+        )
 
     def emit(result: WindowResult) -> None:
         total = sum(result.results.values())
@@ -97,9 +132,12 @@ def _run_stream(
         # so the per-window live feed is replaced by the per-shard summary.
         executor = ShardedStreamingExecutor(
             workload,
+            engine_factory,
             workers=workers,
             batch_size=shard_batch,
             shared_windows=shared_windows,
+            optimizer=optimizer,
+            burst_size=burst_size,
         )
         report = executor.run(stream)
         metrics = report.metrics
@@ -120,9 +158,17 @@ def _run_stream(
             f"{metrics.throughput_wall:,.0f} events/s wall-clock "
             f"({metrics.throughput_engine:,.0f} events/s per engine-second)"
         )
+        print_decisions(report)
         return
 
-    executor = StreamingExecutor(workload, on_window=emit, shared_windows=shared_windows)
+    executor = StreamingExecutor(
+        workload,
+        engine_factory,
+        on_window=emit,
+        shared_windows=shared_windows,
+        optimizer=optimizer,
+        burst_size=burst_size,
+    )
     report = executor.run(stream)
     metrics = report.metrics
     overlap_factor = window.instances_per_event
@@ -145,6 +191,7 @@ def _run_stream(
         f"wall-clock throughput: {metrics.throughput_wall:,.0f} events/s "
         f"({metrics.wall_seconds:.3f}s wall)"
     )
+    print_decisions(report)
 
 
 def _non_negative_int(text: str) -> int:
@@ -209,12 +256,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SIZE",
         help="events per batch shipped to shard workers (default: 512)",
     )
+    stream.add_argument(
+        "--optimizer",
+        choices=("dynamic", "always", "never", "static"),
+        default=None,
+        help="adaptive per-burst sharing policy (uses the multi-aggregate "
+        "workload so query classes have members to share); default: the "
+        "static compile-time plan with no burst segmentation",
+    )
+    stream.add_argument(
+        "--burst-size",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="cap bursts at N events (default: maximal same-type runs)",
+    )
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    arguments = build_parser().parse_args(argv)
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    if (
+        arguments.command == "stream"
+        and arguments.burst_size is not None
+        and arguments.optimizer is None
+    ):
+        parser.error("--burst-size requires --optimizer (bursts are adaptive-mode only)")
     if arguments.command == "figures":
         _run_figures(arguments.names or ["all"])
     elif arguments.command == "demo":
@@ -227,6 +296,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             arguments.shared_windows,
             arguments.workers,
             arguments.shard_batch,
+            arguments.optimizer,
+            arguments.burst_size,
         )
     return 0
 

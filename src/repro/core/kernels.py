@@ -98,6 +98,18 @@ class MutableAggregate:
             if contribution:
                 measures[index] += contribution * count
 
+    def copy(self) -> "MutableAggregate":
+        """An independent accumulator holding the same value.
+
+        Used by the multi-window engine's split transition: per-query
+        coefficient columns start as copies of the shared column and are
+        folded independently from there.
+        """
+        duplicate = MutableAggregate.__new__(MutableAggregate)
+        duplicate.count = self.count
+        duplicate.measures = list(self.measures)
+        return duplicate
+
     # ------------------------------------------------------------------ #
     # Boundary conversions
     # ------------------------------------------------------------------ #

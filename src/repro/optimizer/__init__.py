@@ -19,8 +19,14 @@ from repro.optimizer.cost_model import (
     non_shared_cost,
     shared_cost,
 )
-from repro.optimizer.decisions import DynamicSharingOptimizer, SharingDecision, SharingOptimizer
+from repro.optimizer.decisions import (
+    DynamicSharingOptimizer,
+    OptimizerStatistics,
+    SharingDecision,
+    SharingOptimizer,
+)
 from repro.optimizer.query_set import choose_query_set, exhaustive_best_plan
+from repro.optimizer.registry import OPTIMIZER_POLICIES, resolve_optimizer_factory
 from repro.optimizer.static import AlwaysShareOptimizer, NeverShareOptimizer, StaticPlanOptimizer
 from repro.optimizer.statistics import BurstStatistics, QueryBurstProfile
 
@@ -30,10 +36,13 @@ __all__ = [
     "CostModel",
     "DynamicSharingOptimizer",
     "NeverShareOptimizer",
+    "OPTIMIZER_POLICIES",
+    "OptimizerStatistics",
     "QueryBurstProfile",
     "SharingDecision",
     "SharingOptimizer",
     "StaticPlanOptimizer",
+    "resolve_optimizer_factory",
     "benefit",
     "choose_query_set",
     "exhaustive_best_plan",

@@ -75,13 +75,18 @@ class SharingOptimizer:
 
     def __init__(self) -> None:
         self.statistics = OptimizerStatistics()
-        self._previous_share: dict[str, bool] = {}
+        #: Previous decision per plan key ``(event type, candidate set)`` —
+        #: not per event type alone: one burst may carry independent
+        #: decisions for several query classes of the same type, whose
+        #: continuity must not clobber each other (see
+        #: :attr:`BurstStatistics.plan_key`).
+        self._previous_share: dict[tuple, bool] = {}
 
     def begin_partition(self) -> None:
         """Reset the merge/split continuity tracking for a fresh partition.
 
         The engine calls this from ``start()``: merge/split counters compare
-        each decision against the *previous decision for the same event type*,
+        each decision against the *previous decision for the same plan key*,
         and that continuity only exists within one partition.  Without the
         reset, the first burst of every new window instance was compared
         against the previous partition's last decision and miscounted as a
@@ -107,13 +112,14 @@ class SharingOptimizer:
             self.statistics.shared_bursts += 1
         else:
             self.statistics.non_shared_bursts += 1
-        previous = self._previous_share.get(stats.event_type)
+        plan_key = stats.plan_key
+        previous = self._previous_share.get(plan_key)
         if previous is not None and previous != decision.share:
             if decision.share:
                 self.statistics.merges += 1
             else:
                 self.statistics.splits += 1
-        self._previous_share[stats.event_type] = decision.share
+        self._previous_share[plan_key] = decision.share
 
 
 class DynamicSharingOptimizer(SharingOptimizer):

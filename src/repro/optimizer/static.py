@@ -45,11 +45,14 @@ class StaticPlanOptimizer(SharingOptimizer):
     def __init__(self, cost_model: CostModel | None = None) -> None:
         super().__init__()
         self.cost_model = cost_model or CostModel()
-        self._plan: dict[str, SharingDecision] = {}
+        #: Fixed decisions per plan key ``(event type, candidate set)``; a
+        #: type shared by several independent candidate sets (e.g. several
+        #: query classes of the multi-window runtime) fixes one plan each.
+        self._plan: dict[tuple, SharingDecision] = {}
 
     def _decide(self, stats: BurstStatistics) -> SharingDecision:
-        if stats.event_type in self._plan:
-            fixed = self._plan[stats.event_type]
+        if stats.plan_key in self._plan:
+            fixed = self._plan[stats.plan_key]
             # Re-emit the fixed plan, restricted to the current candidates.
             candidates = frozenset(profile.query_name for profile in stats.profiles)
             shared = fixed.shared_queries & candidates
@@ -69,5 +72,5 @@ class StaticPlanOptimizer(SharingOptimizer):
             else:
                 decision = SharingDecision(False, frozenset(), candidates, estimated,
                                            "static plan: benefit negative at compile time")
-        self._plan[stats.event_type] = decision
+        self._plan[stats.plan_key] = decision
         return decision

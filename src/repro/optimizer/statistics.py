@@ -62,6 +62,19 @@ class BurstStatistics:
         return len(self.profiles)
 
     @property
+    def plan_key(self) -> tuple:
+        """Identity of the decision stream these statistics belong to.
+
+        Optimizers track continuity (merge/split counting, fixed static
+        plans) per *candidate set*, not per event type alone: one burst may
+        trigger several independent decisions for the same type — e.g. the
+        multi-window runtime consults the optimizer once per query class —
+        and decisions of different candidate sets must not clobber each
+        other's previous-decision state.
+        """
+        return (self.event_type, frozenset(p.query_name for p in self.profiles))
+
+    @property
     def predecessor_types(self) -> int:
         """Average number of predecessor types per query (``p``), at least 1."""
         if not self.profiles:

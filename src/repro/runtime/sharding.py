@@ -57,6 +57,7 @@ from repro.events.batch import EventBatch
 from repro.events.event import Event, EventType
 from repro.events.stream import EventStream, slice_stream
 from repro.optimizer.decisions import OptimizerStatistics
+from repro.optimizer.registry import OptimizerSpec, resolve_optimizer_factory
 from repro.query.query import Query
 from repro.query.windows import Window
 from repro.query.workload import Workload
@@ -346,6 +347,8 @@ def _shard_worker_main(
     engine_factory: EngineFactory,
     lazy_open: bool,
     shared_windows: bool,
+    optimizer: OptimizerSpec,
+    burst_size: Optional[int],
     in_queue,
     out_queue,
 ) -> None:
@@ -353,8 +356,13 @@ def _shard_worker_main(
 
     Drives an unmodified :class:`StreamingExecutor` over the batches the
     router ships until the ``None`` sentinel arrives, then returns the
-    shard's report.  Any failure is shipped back as a formatted traceback —
-    the driver re-raises it — rather than dying silently.
+    shard's report.  The adaptive-sharing policy crosses the process
+    boundary as its spec (typically a name); each shard resolves its own
+    optimizer instances, whose decision counts are shard-placement
+    invariant because bursts are segmented per ``(group, unit)`` stream and
+    every such stream lives wholly inside one shard.  Any failure is
+    shipped back as a formatted traceback — the driver re-raises it —
+    rather than dying silently.
     """
     try:
         executor = StreamingExecutor(
@@ -362,6 +370,8 @@ def _shard_worker_main(
             engine_factory,
             lazy_open=lazy_open,
             shared_windows=shared_windows,
+            optimizer=optimizer,
+            burst_size=burst_size,
         )
         process = executor.process
         while True:
@@ -402,6 +412,14 @@ class ShardedStreamingExecutor:
             back-pressures :meth:`process` instead of buffering the stream.
         lazy_open / shared_windows: Forwarded to every shard's
             :class:`StreamingExecutor`.
+        optimizer / burst_size: Adaptive per-burst sharing policy and burst
+            cap, forwarded to every shard's :class:`StreamingExecutor`.
+            Each shard resolves its own optimizer instances; the driver
+            merges the per-shard
+            :class:`~repro.optimizer.decisions.OptimizerStatistics` in
+            shard order, and the merged decision counts are invariant in
+            the shard count because bursts are per ``(group, unit)`` stream
+            and each such stream lives wholly inside one shard.
         on_window: Per-window callback; only available with ``workers=0``
             (results cross process boundaries only at :meth:`finish`).
     """
@@ -418,6 +436,8 @@ class ShardedStreamingExecutor:
         max_inflight: int = 8,
         lazy_open: bool = True,
         shared_windows: bool = True,
+        optimizer: OptimizerSpec = None,
+        burst_size: Optional[int] = None,
         on_window: Optional[Callable[[WindowResult], None]] = None,
     ) -> None:
         if workers < 0:
@@ -442,6 +462,19 @@ class ShardedStreamingExecutor:
         self.max_inflight = max_inflight
         self.lazy_open = lazy_open
         self.shared_windows = shared_windows
+        # Validate the policy spec in the driver (fail fast, not in a
+        # worker); workers receive the raw spec and resolve their own
+        # per-shard optimizer instances.
+        if burst_size is not None and burst_size < 1:
+            raise ExecutionError(f"burst size must be >= 1, got {burst_size}")
+        optimizer_factory = resolve_optimizer_factory(optimizer)
+        if burst_size is not None and optimizer_factory is None:
+            raise ExecutionError(
+                "burst_size requires an optimizer (burst segmentation is "
+                "adaptive-mode only)"
+            )
+        self.optimizer = optimizer
+        self.burst_size = burst_size
         self.on_window = on_window
         self.engine_factory = engine_factory
         self.router = ShardRouter(
@@ -609,6 +642,8 @@ class ShardedStreamingExecutor:
                     on_window=self.on_window,
                     lazy_open=self.lazy_open,
                     shared_windows=self.shared_windows,
+                    optimizer=self.optimizer,
+                    burst_size=self.burst_size,
                 )
                 for shard_id in range(self.router.shards)
             ]
@@ -632,6 +667,8 @@ class ShardedStreamingExecutor:
                     self.engine_factory,
                     self.lazy_open,
                     self.shared_windows,
+                    self.optimizer,
+                    self.burst_size,
                     self._in_queues[shard_id],
                     self._out_queue,
                 ),
@@ -879,6 +916,8 @@ def run_sharded(
     max_inflight: int = 8,
     lazy_open: bool = True,
     shared_windows: bool = True,
+    optimizer: OptimizerSpec = None,
+    burst_size: Optional[int] = None,
 ) -> ExecutionReport:
     """One-shot convenience wrapper around :class:`ShardedStreamingExecutor`."""
     executor = ShardedStreamingExecutor(
@@ -891,5 +930,7 @@ def run_sharded(
         max_inflight=max_inflight,
         lazy_open=lazy_open,
         shared_windows=shared_windows,
+        optimizer=optimizer,
+        burst_size=burst_size,
     )
     return executor.run(stream)

@@ -30,6 +30,17 @@ disables class sharing — every query is its own class — but still shares
 the event store and window coefficients, preserving the engines' relative
 positioning in benchmarks.
 
+Class sharing is additionally *adaptive*: under a per-burst
+:class:`~repro.optimizer.decisions.SharingOptimizer` (see
+``runtime/streaming.py``), each ``(class, event type)`` pair can be split
+into per-member coefficient columns and merged back mid-stream —
+:meth:`MultiWindowLinearEngine.apply_burst_decision`.  Columns of one pair
+hold bit-identical values at all times (members are computationally
+identical), so a split is an O(live windows) copy of the canonical column,
+a merge just drops the replicas, and results are unaffected whatever the
+decisions — only the work and memory profiles change.  See the "Adaptive
+sharing" section of ``docs/DESIGN.md``.
+
 Lazy opening propagates naturally: a window instance is *armed* for a class
 only once a trend-start event of that class arrives inside it.  Unarmed
 windows hold no coefficients and are skipped by every per-window loop, and
@@ -57,6 +68,7 @@ from repro.errors import ExecutionError
 from repro.events.event import Event, EventType
 from repro.greta.aggregators import Measure, measures_for_queries, result_from_vector
 from repro.interfaces import MultiWindowEngine, TrendAggregationEngine
+from repro.optimizer.statistics import BurstStatistics, QueryBurstProfile
 from repro.query.predicates import CompositePredicate
 from repro.query.query import Query
 from repro.template.template import NegationConstraint, QueryTemplate, compile_pattern
@@ -182,6 +194,13 @@ class UnitCompilation:
                 stored_types |= spec.template.event_types
         self.positive_classes_by_type = {t: tuple(specs) for t, specs in positive.items()}
         self.negative_classes_by_type = {t: tuple(specs) for t, specs in negative.items()}
+        #: Classes a per-burst sharing decision applies to, per burst type:
+        #: only multi-member classes have anything to share or split.
+        self.adaptive_classes_by_type: dict[EventType, tuple[QueryClassSpec, ...]] = {
+            event_type: eligible
+            for event_type, specs in positive.items()
+            if (eligible := tuple(s for s in specs if len(s.queries) >= 2))
+        }
         #: Event types whose events must be kept in the shared store (some
         #: class may scan them later); everything else is never stored.
         self.stored_node_types: frozenset[EventType] = frozenset(stored_types)
@@ -199,7 +218,16 @@ class _TypePlan:
     the per-event loop performs only dict operations and float adds.
     """
 
-    __slots__ = ("spec", "is_start", "guards", "check_edges", "total_map", "pred_maps", "pred_types")
+    __slots__ = (
+        "spec",
+        "is_start",
+        "guards",
+        "check_edges",
+        "total_map",
+        "pred_maps",
+        "pred_types",
+        "targets",
+    )
 
     def __init__(
         self,
@@ -217,6 +245,56 @@ class _TypePlan:
             coefficients.window_map((spec.index, predecessor))
             for predecessor in self.pred_types
         )
+        #: Coefficient maps the per-event fold writes into.  All-shared (the
+        #: static plan and the adaptive default) folds once into the class's
+        #: canonical map; a split class folds once per sharing column — the
+        #: canonical map always first.  Rewired by ``apply_burst_decision``.
+        self.targets: tuple[dict, ...] = (self.total_map,)
+
+    def fold_sources(self, total_map: dict) -> tuple[dict, ...]:
+        """Predecessor maps one column's fold must read.
+
+        A Kleene self-loop makes the folded map its own predecessor, and the
+        canonical column folds first — so replica columns substitute their
+        *own* map for the self-referential predecessor (reading the
+        canonical one there would see this event's post-update value and
+        break bit-identity with the fully shared plan).
+        """
+        if total_map is self.total_map:
+            return self.pred_maps
+        return tuple(
+            total_map if window_map is self.total_map else window_map
+            for window_map in self.pred_maps
+        )
+
+
+class _ColumnState:
+    """Sharing partition of one ``(query class, event type)`` pair.
+
+    Absent from the engine's column table when the pair is fully shared (the
+    static default): every member query folds into the class's canonical
+    coefficient map.  Present only while a per-burst decision keeps at least
+    one member on its own column:
+
+    * ``leaders[pos]`` is the column of the ``pos``-th member query, named by
+      the smallest member position of that column;
+    * ``maps[leader]`` is the column's ``window index -> coefficient`` map.
+      The column containing query position 0 always owns the class's
+      *canonical* map object — the dict other type plans hold direct
+      predecessor references to — so canonical values keep being maintained
+      whatever the partition.
+
+    All columns of a pair hold bit-identical values at all times (member
+    queries are computationally identical), which is what makes split and
+    merge pure state transitions: a split copies the canonical column, a
+    merge keeps it and drops the replicas — no replay, no reconciliation.
+    """
+
+    __slots__ = ("leaders", "maps")
+
+    def __init__(self, leaders: tuple[int, ...], maps: dict[int, dict]) -> None:
+        self.leaders = leaders
+        self.maps = maps
 
 
 class MultiWindowLinearEngine(MultiWindowEngine):
@@ -245,6 +323,22 @@ class MultiWindowLinearEngine(MultiWindowEngine):
             event_type: tuple(_TypePlan(spec, event_type, self._coefficients) for spec in specs)
             for event_type, specs in unit.positive_classes_by_type.items()
         }
+        #: ``(class index, event type) -> plan`` for adaptive-mode rewiring.
+        self._plan_of: dict[tuple[int, EventType], _TypePlan] = {
+            (plan.spec.index, event_type): plan
+            for event_type, plans in self._plans_by_type.items()
+            for plan in plans
+        }
+        #: Split ``(class, type)`` pairs; fully shared pairs have no entry.
+        self._columns: dict[tuple[int, EventType], _ColumnState] = {}
+        #: Per class: ``(last positive burst type, shared run length)``.  The
+        #: run length counts events folded into the class's current
+        #: uninterrupted fully-shared run — the analog of the batch engine's
+        #: active shared graphlet size (``g`` in the cost model).
+        self._runs: dict[int, tuple[Optional[EventType], int]] = {}
+        #: Live coefficient entries held by replica (non-canonical) columns,
+        #: maintained incrementally like ``_coeff_entries``.
+        self._replica_entries = 0
         #: Per-class end-type coefficient maps, resolved once for the readout.
         self._end_maps: list[tuple[dict, ...]] = [
             tuple(
@@ -329,11 +423,63 @@ class MultiWindowLinearEngine(MultiWindowEngine):
         scalar = unit.scalar
         results: dict[str, float] = {}
         evicted = 0
+        replica_evicted = 0
+        columns = self._columns
         for spec in unit.classes:
             if self._armed[spec.index].pop(index, None) is not None:
                 self._armed_entries -= 1
+            end_states = (
+                [columns.get((spec.index, t)) for t in spec.end_types] if columns else None
+            )
             if spec.trailing_negations and self._store is not None:
                 total = self._trailing_total(spec, index)
+            elif end_states is not None and any(state is not None for state in end_states):
+                # At least one end type is split: drain every column of
+                # every end type once, then assemble per-query totals from
+                # each query's own columns.  Column values are bit-identical
+                # across a pair, so the per-query sums reproduce the fully
+                # shared readout exactly.
+                popped: list[tuple[Optional[tuple[int, ...]], object]] = []
+                for end_map, state in zip(self._end_maps[spec.index], end_states):
+                    if state is None:
+                        value = end_map.pop(index, None)
+                        if value is not None:
+                            evicted += 1
+                        popped.append((None, value))
+                    else:
+                        values: dict[int, object] = {}
+                        for leader, window_map in state.maps.items():
+                            value = window_map.pop(index, None)
+                            if value is not None:
+                                values[leader] = value
+                                if window_map is end_map:
+                                    evicted += 1
+                                else:
+                                    replica_evicted += 1
+                        popped.append((state.leaders, values))
+                self._ops += len(spec.queries)
+                for position, query in enumerate(spec.queries):
+                    if scalar:
+                        query_total = 0.0
+                        for leaders, payload in popped:
+                            value = (
+                                payload if leaders is None else payload.get(leaders[position])
+                            )
+                            if value is not None:
+                                query_total += value
+                        results[query.name] = query_total
+                    else:
+                        accumulator = MutableAggregate(unit.dimension)
+                        for leaders, payload in popped:
+                            value = (
+                                payload if leaders is None else payload.get(leaders[position])
+                            )
+                            if value is not None:
+                                accumulator.add(value)
+                        results[query.name] = result_from_vector(
+                            query, accumulator.freeze(), unit.measures
+                        )
+                continue
             elif scalar:
                 # The readout drains the end-type coefficients it reads.
                 total = 0.0
@@ -361,7 +507,17 @@ class MultiWindowLinearEngine(MultiWindowEngine):
         for window_map in self._evict_maps:
             if window_map.pop(index, None) is not None:
                 evicted += 1
+        if columns:
+            # Replica columns of non-end types (and of trailing-NOT classes)
+            # are not drained by the readout; evict their entries here.  The
+            # pops are idempotent, so columns already drained above cost one
+            # failed lookup and are counted exactly once.
+            for state in columns.values():
+                for leader, window_map in state.maps.items():
+                    if leader and window_map.pop(index, None) is not None:
+                        replica_evicted += 1
         self._coeff_entries -= evicted
+        self._replica_entries -= replica_evicted
         return results
 
     def evict_to(self, oldest: Optional[int]) -> None:
@@ -372,10 +528,164 @@ class MultiWindowLinearEngine(MultiWindowEngine):
     def memory_units(self) -> int:
         """Coefficient entries plus the shared store footprint (O(1))."""
         per_entry = 1 if self.unit.scalar else 1 + self.unit.dimension
-        units = self._coeff_entries * per_entry + self._armed_entries
+        units = (self._coeff_entries + self._replica_entries) * per_entry + self._armed_entries
         if self._store is not None:
             units += self._store.memory_units()
         return units
+
+    # ------------------------------------------------------------------ #
+    # Adaptive sharing: per-burst split / merge of coefficient columns
+    # ------------------------------------------------------------------ #
+    def note_positive_burst(self, event_type: EventType) -> None:
+        """End every class's shared run whose type the burst interrupts.
+
+        The batch engine's burst of type ``E`` deactivates the active
+        graphlets of every *other* type (Algorithm 1, lines 4–6); the
+        multi-window analog is that a class's fully-shared run of another
+        type stops growing, so the next burst of that type must pay for a
+        fresh merge (``graphlet_snapshots_needed = 1`` in its statistics).
+        """
+        for spec_index, (last_type, length) in self._runs.items():
+            if length and last_type != event_type:
+                self._runs[spec_index] = (last_type, 0)
+
+    def _continuing_run(self, spec: QueryClassSpec, event_type: EventType) -> tuple[bool, int]:
+        """Whether a fully-shared run of ``event_type`` is live, and its length."""
+        last_type, length = self._runs.get(spec.index, (None, 0))
+        continuing = (
+            length > 0
+            and last_type == event_type
+            and (spec.index, event_type) not in self._columns
+        )
+        return continuing, length
+
+    def burst_statistics(
+        self,
+        spec: QueryClassSpec,
+        event_type: EventType,
+        burst_size: int,
+        events_in_window: int,
+    ) -> BurstStatistics:
+        """Cost-model inputs for one burst of ``event_type`` at one class.
+
+        Member queries of a class are computationally identical, so sharing
+        them never requires event-level snapshots (``introduces_snapshots``
+        is False for every profile — Theorem 4.1 territory); the decision
+        trades the per-query fold cost against the merge cost of starting a
+        fresh shared run.
+        """
+        continuing, run_length = self._continuing_run(spec, event_type)
+        profiles = tuple(
+            QueryBurstProfile(
+                query_name=query.name,
+                introduces_snapshots=False,
+                expected_snapshots=0.0,
+                predecessor_types=max(1, len(spec.pred_types[event_type])),
+            )
+            for query in spec.queries
+        )
+        return BurstStatistics(
+            event_type=event_type,
+            burst_size=burst_size,
+            events_in_window=max(1, events_in_window),
+            graphlet_size=run_length + burst_size if continuing else burst_size,
+            snapshots_propagated=1,
+            graphlet_snapshots_needed=0 if continuing else 1,
+            profiles=profiles,
+            types_per_query=max(2, len(spec.template.event_types)),
+        )
+
+    def apply_burst_decision(
+        self,
+        spec: QueryClassSpec,
+        event_type: EventType,
+        shared_names: frozenset,
+        burst_size: int,
+    ) -> None:
+        """Reconfigure the ``(class, type)`` sharing partition for one burst.
+
+        ``shared_names`` (fewer than two names means no sharing) partitions
+        the member queries into one shared column plus singletons.  The
+        transition is incremental: a newly split column starts as a copy of
+        the canonical column (O(live windows), never a replay) and a merge
+        simply drops replicas — sound because every column of a pair holds
+        bit-identical values at all times.
+        """
+        queries = spec.queries
+        count = len(queries)
+        shared_positions = [
+            position for position, query in enumerate(queries) if query.name in shared_names
+        ]
+        if len(shared_positions) >= 2:
+            shared_set = set(shared_positions)
+            leader = shared_positions[0]
+            new_leaders = tuple(
+                leader if position in shared_set else position for position in range(count)
+            )
+        else:
+            new_leaders = tuple(range(count))
+        fully_shared = new_leaders == (0,) * count
+        continuing, run_length = self._continuing_run(spec, event_type)
+        key = (spec.index, event_type)
+        state = self._columns.get(key)
+        old_leaders = state.leaders if state is not None else (0,) * count
+        if new_leaders != old_leaders:
+            self._transition_columns(key, state, old_leaders, new_leaders)
+        if fully_shared:
+            self._runs[spec.index] = (
+                event_type,
+                (run_length + burst_size) if continuing else burst_size,
+            )
+        else:
+            self._runs[spec.index] = (event_type, 0)
+
+    def _transition_columns(
+        self,
+        key: tuple[int, EventType],
+        state: Optional[_ColumnState],
+        old_leaders: tuple[int, ...],
+        new_leaders: tuple[int, ...],
+    ) -> None:
+        canonical = self._coefficients.window_map(key)
+        old_maps = state.maps if state is not None else {0: canonical}
+        old_groups: dict[int, set[int]] = {}
+        for position, leader in enumerate(old_leaders):
+            old_groups.setdefault(leader, set()).add(position)
+        new_groups: dict[int, set[int]] = {}
+        for position, leader in enumerate(new_leaders):
+            new_groups.setdefault(leader, set()).add(position)
+        scalar = self.unit.scalar
+        new_maps: dict[int, dict] = {}
+        for leader, members in new_groups.items():
+            if leader == 0:
+                # The column containing query position 0 always keeps the
+                # canonical map object (predecessor plans reference it).
+                new_maps[0] = canonical
+            elif old_groups.get(leader) == members:
+                new_maps[leader] = old_maps[leader]
+            else:
+                replica = (
+                    dict(canonical)
+                    if scalar
+                    else {index: value.copy() for index, value in canonical.items()}
+                )
+                new_maps[leader] = replica
+                self._replica_entries += len(replica)
+                self._ops += len(replica)
+        for leader, window_map in old_maps.items():
+            if window_map is canonical or new_maps.get(leader) is window_map:
+                continue
+            self._replica_entries -= len(window_map)
+        self._ops += 1  # the split/merge transition itself
+        plan = self._plan_of[key]
+        if len(new_maps) == 1:
+            self._columns.pop(key, None)
+            plan.targets = (canonical,)
+        else:
+            self._columns[key] = _ColumnState(new_leaders, new_maps)
+            plan.targets = (canonical,) + tuple(
+                new_maps[leader] for leader in sorted(new_maps) if leader != 0
+            )
 
     def operations(self) -> int:
         """Abstract work units (coefficient folds, scans, readouts) so far."""
@@ -398,6 +708,35 @@ class MultiWindowLinearEngine(MultiWindowEngine):
         ``coefficients.entry_count()`` (pinned by the runtime tests)."""
         return self._coeff_entries
 
+    def replica_coefficient_entries(self) -> int:
+        """Live entries held by replica (split per-query) columns — must
+        always equal the ground-truth scan of the column table (pinned by
+        the runtime tests)."""
+        return self._replica_entries
+
+    def replica_entry_count(self) -> int:
+        """Ground-truth O(columns) scan of the replica column maps."""
+        return sum(
+            len(window_map)
+            for state in self._columns.values()
+            for leader, window_map in state.maps.items()
+            if leader
+        )
+
+    def sharing_partition(self, spec_index: int, event_type: EventType) -> tuple[int, ...]:
+        """Current column of each member query of a ``(class, type)`` pair.
+
+        ``(0, 0, ..., 0)`` is the fully shared default; distinct values mean
+        split columns (each named by its smallest member position).
+        """
+        state = self._columns.get((spec_index, event_type))
+        if state is not None:
+            return state.leaders
+        for spec in self.unit.classes:
+            if spec.index == spec_index:
+                return (0,) * len(spec.queries)
+        raise ExecutionError(f"unknown query class index {spec_index}")
+
     @property
     def store(self) -> Optional[SharedWindowStore]:
         """The shared event store (None when no class ever scans nodes)."""
@@ -408,13 +747,15 @@ class MultiWindowLinearEngine(MultiWindowEngine):
     # ------------------------------------------------------------------ #
     def _fast_scalar(self, plan: _TypePlan, armed: dict, node_values: Optional[dict]) -> Optional[dict]:
         base = 1.0 if plan.is_start else 0.0
-        total_map = plan.total_map
+        targets = plan.targets
         pred_maps = plan.pred_maps
         spec_index = plan.spec.index
         store_values = plan.spec.store_values
         entries = 0
-        if len(pred_maps) == 2 and not store_values:
-            # The dominant shape (prefix type + Kleene self-loop): unrolled.
+        if len(targets) == 1 and len(pred_maps) == 2 and not store_values:
+            # The dominant shape (prefix type + Kleene self-loop, fully
+            # shared): unrolled.
+            total_map = plan.total_map
             first_map, second_map = pred_maps
             first_get, second_get, total_get = first_map.get, second_map.get, total_map.get
             for index in armed:
@@ -432,24 +773,36 @@ class MultiWindowLinearEngine(MultiWindowEngine):
                 else:
                     total_map[index] = current + value
         else:
-            for index in armed:
-                value = base
-                for window_map in pred_maps:
-                    previous = window_map.get(index)
-                    if previous is not None:
-                        value += previous
-                current = total_map.get(index)
-                if current is None:
-                    total_map[index] = value
-                    entries += 1
-                else:
-                    total_map[index] = current + value
-                if store_values:
-                    if node_values is None:
-                        node_values = {}
-                    node_values[(spec_index, index)] = value
+            # One fold per sharing column (targets[0] is the canonical map);
+            # a split class genuinely repeats the per-query work, which is
+            # what the cost model's non-shared term charges for.
+            replica_entries = 0
+            canonical = plan.total_map
+            for total_map in targets:
+                is_canonical = total_map is canonical
+                sources = plan.fold_sources(total_map)
+                for index in armed:
+                    value = base
+                    for window_map in sources:
+                        previous = window_map.get(index)
+                        if previous is not None:
+                            value += previous
+                    current = total_map.get(index)
+                    if current is None:
+                        total_map[index] = value
+                        if is_canonical:
+                            entries += 1
+                        else:
+                            replica_entries += 1
+                    else:
+                        total_map[index] = current + value
+                    if store_values and is_canonical:
+                        if node_values is None:
+                            node_values = {}
+                        node_values[(spec_index, index)] = value
+            self._replica_entries += replica_entries
         self._coeff_entries += entries
-        self._ops += len(armed) * (1 + len(pred_maps))
+        self._ops += len(targets) * len(armed) * (1 + len(pred_maps))
         return node_values
 
     def _fast_vector(
@@ -460,30 +813,36 @@ class MultiWindowLinearEngine(MultiWindowEngine):
         node_values: Optional[dict],
     ) -> Optional[dict]:
         dimension = self.unit.dimension
-        total_map = plan.total_map
+        canonical = plan.total_map
         pred_maps = plan.pred_maps
         spec_index = plan.spec.index
         store_values = plan.spec.store_values
-        for index in armed:
-            accumulator = MutableAggregate(dimension)
-            if plan.is_start:
-                accumulator.count = 1.0
-            for window_map in pred_maps:
-                previous = window_map.get(index)
-                if previous is not None:
-                    accumulator.add(previous)
-            accumulator.apply_contributions(contributions)
-            if store_values:
-                if node_values is None:
-                    node_values = {}
-                node_values[(spec_index, index)] = accumulator.freeze()
-            total = total_map.get(index)
-            if total is None:
-                total_map[index] = accumulator
-                self._coeff_entries += 1
-            else:
-                total.add(accumulator)
-        self._ops += len(armed) * (1 + len(pred_maps))
+        for total_map in plan.targets:
+            is_canonical = total_map is canonical
+            sources = plan.fold_sources(total_map)
+            for index in armed:
+                accumulator = MutableAggregate(dimension)
+                if plan.is_start:
+                    accumulator.count = 1.0
+                for window_map in sources:
+                    previous = window_map.get(index)
+                    if previous is not None:
+                        accumulator.add(previous)
+                accumulator.apply_contributions(contributions)
+                if store_values and is_canonical:
+                    if node_values is None:
+                        node_values = {}
+                    node_values[(spec_index, index)] = accumulator.freeze()
+                total = total_map.get(index)
+                if total is None:
+                    total_map[index] = accumulator
+                    if is_canonical:
+                        self._coeff_entries += 1
+                    else:
+                        self._replica_entries += 1
+                else:
+                    total.add(accumulator)
+        self._ops += len(plan.targets) * len(armed) * (1 + len(pred_maps))
         return node_values
 
     def _slow_path(
@@ -509,56 +868,68 @@ class MultiWindowLinearEngine(MultiWindowEngine):
         check_edges = plan.check_edges
         predicates = spec.predicates
         pred_node_lists = [store.nodes_of_type(t) for t in plan.pred_types]
-        total_map = plan.total_map
+        canonical = plan.total_map
         base = 1.0 if plan.is_start else 0.0
-        for index in armed:
-            if scalar:
-                value = base
-            else:
-                accumulator = MutableAggregate(self.unit.dimension)
-                accumulator.count = base
-            for nodes in pred_node_lists:
-                for stored in nodes:
-                    self._ops += 1
-                    if stored.lo > index or stored.hi < index:
-                        continue
-                    values = stored.values
-                    if values is None:
-                        continue
-                    stored_value = values.get((spec_index, index))
-                    if stored_value is None:
-                        continue
-                    if not stored.event < event:
-                        continue
-                    if check_edges and not predicates.accepts_edge(stored.event, event):
-                        continue
-                    if constraints and store.negation_blocks(
-                        spec_index, constraints, stored.event, event
-                    ):
-                        continue
-                    if scalar:
-                        value += stored_value
+        for total_map in plan.targets:
+            is_canonical = total_map is canonical
+            for index in armed:
+                if scalar:
+                    value = base
+                else:
+                    accumulator = MutableAggregate(self.unit.dimension)
+                    accumulator.count = base
+                for nodes in pred_node_lists:
+                    for stored in nodes:
+                        self._ops += 1
+                        if stored.lo > index or stored.hi < index:
+                            continue
+                        values = stored.values
+                        if values is None:
+                            continue
+                        stored_value = values.get((spec_index, index))
+                        if stored_value is None:
+                            continue
+                        if not stored.event < event:
+                            continue
+                        if check_edges and not predicates.accepts_edge(stored.event, event):
+                            continue
+                        if constraints and store.negation_blocks(
+                            spec_index, constraints, stored.event, event
+                        ):
+                            continue
+                        if scalar:
+                            value += stored_value
+                        else:
+                            accumulator.add_vector(stored_value)
+                if scalar:
+                    current = total_map.get(index)
+                    if current is None:
+                        total_map[index] = value
+                        if is_canonical:
+                            self._coeff_entries += 1
+                        else:
+                            self._replica_entries += 1
                     else:
-                        accumulator.add_vector(stored_value)
-            if node_values is None:
-                node_values = {}
-            if scalar:
-                current = total_map.get(index)
-                if current is None:
-                    total_map[index] = value
-                    self._coeff_entries += 1
+                        total_map[index] = current + value
+                    if is_canonical:
+                        if node_values is None:
+                            node_values = {}
+                        node_values[(spec_index, index)] = value
                 else:
-                    total_map[index] = current + value
-                node_values[(spec_index, index)] = value
-            else:
-                accumulator.apply_contributions(contributions)
-                node_values[(spec_index, index)] = accumulator.freeze()
-                total = total_map.get(index)
-                if total is None:
-                    total_map[index] = accumulator
-                    self._coeff_entries += 1
-                else:
-                    total.add(accumulator)
+                    accumulator.apply_contributions(contributions)
+                    if is_canonical:
+                        if node_values is None:
+                            node_values = {}
+                        node_values[(spec_index, index)] = accumulator.freeze()
+                    total = total_map.get(index)
+                    if total is None:
+                        total_map[index] = accumulator
+                        if is_canonical:
+                            self._coeff_entries += 1
+                        else:
+                            self._replica_entries += 1
+                    else:
+                        total.add(accumulator)
         return node_values
 
     def _trailing_total(self, spec: QueryClassSpec, index: int):

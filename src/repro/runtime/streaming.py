@@ -39,6 +39,17 @@ once a class start-type event arrives inside it, and unarmed windows are
 skipped by every per-window loop.  The randomized equivalence suite asserts
 bit-identical totals across the shared, per-instance and batch paths.
 
+With ``optimizer=...`` (a policy name or a
+:class:`~repro.optimizer.decisions.SharingOptimizer` factory) the shared
+path becomes **adaptive**: each ``(group, unit)`` stream is segmented into
+bursts (maximal same-type runs, optionally capped), a per-group optimizer
+decides per burst which members of each eligible query class share, and
+the engine splits/merges its coefficient columns accordingly — results are
+bit-identical to both static extremes by construction (the differential
+property suite in ``tests/runtime/test_adaptive_equivalence.py`` pins it),
+only the work and memory profiles change.  ``optimizer=None`` (default)
+skips the burst machinery entirely.
+
 The executor is incremental: ``process(event)`` / ``finish()`` drive it from
 a live source, ``run(stream)`` wraps them for replay-style use.
 """
@@ -55,7 +66,8 @@ from repro.events.event import Event, EventType
 from repro.events.stream import EventStream, slice_stream
 from repro.greta.engine import GretaEngine
 from repro.interfaces import TrendAggregationEngine
-from repro.optimizer.decisions import OptimizerStatistics
+from repro.optimizer.decisions import OptimizerStatistics, SharingOptimizer
+from repro.optimizer.registry import OptimizerSpec, resolve_optimizer_factory
 from repro.query.query import Query
 from repro.query.windows import Window
 from repro.query.workload import Workload
@@ -143,6 +155,16 @@ class _SharedGroup:
     share_seconds: float = 0.0
     #: Engine operations already attributed to closed windows.
     ops_reported: int = 0
+    #: Adaptive mode only: the group's per-burst sharing optimizer.  Bursts
+    #: are segmented per ``(group, unit)`` stream, so decision continuity
+    #: (merge/split counting, static plans) is per group — which also keeps
+    #: decision counts invariant under sharding, where each group lives
+    #: wholly inside one shard.
+    optimizer: Optional[SharingOptimizer] = None
+    #: Adaptive mode only: type of the burst being buffered, and its events
+    #: with their covering window-instance ranges.
+    burst_type: Optional[EventType] = None
+    burst: list = field(default_factory=list)
 
 
 @dataclass
@@ -185,6 +207,8 @@ class StreamingExecutor:
         on_window: Optional[Callable[[WindowResult], None]] = None,
         lazy_open: bool = True,
         shared_windows: bool = True,
+        optimizer: OptimizerSpec = None,
+        burst_size: Optional[int] = None,
     ) -> None:
         """Create a streaming executor.
 
@@ -206,6 +230,21 @@ class StreamingExecutor:
                 Engines without a shared-window implementation (baselines,
                 MIN/MAX units, ``fast_predecessor_totals=False``) use the
                 per-instance path regardless.
+            optimizer: Per-burst sharing policy for the shared-window path:
+                ``None`` (the default) keeps the static compile-time plan
+                with zero burst overhead; a policy name (``"dynamic"``,
+                ``"always"``, ``"never"``, ``"static"``) or a zero-argument
+                :class:`~repro.optimizer.decisions.SharingOptimizer` factory
+                turns on adaptive mode — each ``(group, unit)`` stream is
+                segmented into bursts (maximal same-type runs), the policy
+                decides per burst which class members share, and the engine
+                splits/merges its coefficient columns accordingly.  Results
+                are bit-identical whatever the policy; only the work and
+                memory profiles change.  Per-instance fallback units are
+                unaffected (their engines keep their own optimizers).
+            burst_size: Optional cap on the events per burst in adaptive
+                mode (``None``: bursts are the maximal same-type runs).
+                Smaller caps mean more frequent decisions.
         """
         self.workload = workload if isinstance(workload, Workload) else Workload(workload)
         self.workload.validate()
@@ -213,6 +252,17 @@ class StreamingExecutor:
         self.on_window = on_window
         self.lazy_open = lazy_open
         self.shared_windows = shared_windows
+        if burst_size is not None and burst_size < 1:
+            raise ExecutionError(f"burst size must be >= 1, got {burst_size}")
+        self._optimizer_factory = resolve_optimizer_factory(optimizer)
+        if burst_size is not None and self._optimizer_factory is None:
+            # Burst segmentation only exists in adaptive mode; silently
+            # ignoring the cap would hide the misconfiguration.
+            raise ExecutionError(
+                "burst_size requires an optimizer (pass optimizer='dynamic', "
+                "'always', 'never', 'static' or a SharingOptimizer factory)"
+            )
+        self.burst_size = burst_size
         self.analysis = analyze_workload(self.workload)
         self._engine_label, prebuilt = resolve_engine_label(engine_factory)
         flavor: Optional[str] = None
@@ -290,6 +340,9 @@ class StreamingExecutor:
         self._report.metrics.note_memory_units(self._open_memory_units())
         for unit in self._units:
             if unit.shared:
+                if self._optimizer_factory is not None:
+                    for group in unit.shared_groups.values():
+                        self._flush_group(unit, group)
                 pending = [
                     (meta.end, group_key, meta.index)
                     for group_key, group in unit.shared_groups.items()
@@ -399,6 +452,11 @@ class StreamingExecutor:
         self._clock = float("-inf")
         self._consumed = 0
         self._engine_feeds = 0
+        #: Adaptive mode: decision statistics of evicted groups, folded in
+        #: eviction order (deterministic for a given stream).
+        self._adaptive_stats: Optional[OptimizerStatistics] = (
+            OptimizerStatistics() if self._optimizer_factory is not None else None
+        )
         #: Open shared-window instances (kept incrementally; per-instance
         #: opens are counted from the units' ``open`` dicts directly).
         self._shared_active = 0
@@ -423,6 +481,8 @@ class StreamingExecutor:
             group = unit.shared_groups[group_key] = _SharedGroup(
                 engine=engine, evicts=engine.store is not None
             )
+            if self._optimizer_factory is not None:
+                group.optimizer = self._optimizer_factory()
         indices = window.instance_indices_covering(event.time)
         lo, hi = indices.start, indices.stop - 1
         if hi < lo:
@@ -448,6 +508,20 @@ class StreamingExecutor:
             # provably inert (see the module docstring); it is skipped
             # without touching the shared engine.
             return
+        if self._optimizer_factory is not None:
+            # Adaptive mode: buffer the burst; decisions and engine feeds
+            # happen at flush (type change, cap, window close, or finish).
+            if group.burst and (
+                group.burst_type != event.event_type
+                or (self.burst_size is not None and len(group.burst) >= self.burst_size)
+            ):
+                self._flush_group(unit, group)
+            group.burst_type = event.event_type
+            group.burst.append((event, lo, hi))
+            group.fed += 1
+            group.last_arrival = arrival
+            self._engine_feeds += 1
+            return
         started = time.perf_counter()
         group.engine.process(event, lo, hi)
         duration = time.perf_counter() - started
@@ -455,6 +529,51 @@ class StreamingExecutor:
         group.last_arrival = arrival
         group.share_seconds += duration / len(metas)
         self._engine_feeds += 1
+
+    def _flush_group(self, unit: _Unit, group: _SharedGroup) -> None:
+        """Decide and process the group's pending burst (adaptive mode).
+
+        One consultation of the group's optimizer per eligible query class
+        (classes with at least two computationally identical members whose
+        template is positive for the burst type), mirroring the batch
+        engine's per-burst decision; the engine's coefficient columns are
+        split or merged before the buffered events are folded.
+        """
+        burst = group.burst
+        if not burst:
+            group.burst_type = None
+            return
+        event_type = group.burst_type
+        group.burst = []
+        group.burst_type = None
+        engine = group.engine
+        compiled = unit.compiled
+        assert compiled is not None and event_type is not None
+        started = time.perf_counter()
+        if event_type in compiled.positive_classes_by_type:
+            engine.note_positive_burst(event_type)
+            eligible = compiled.adaptive_classes_by_type.get(event_type)
+            if eligible:
+                # ``n`` of the cost model: events currently relevant to the
+                # oldest live window of this group (deterministic counts —
+                # identical across re-runs and shard layouts).
+                events_in_window = group.fed - min(
+                    meta.opened_fed for meta in group.metas.values()
+                )
+                optimizer = group.optimizer
+                assert optimizer is not None
+                for spec in eligible:
+                    stats = engine.burst_statistics(
+                        spec, event_type, len(burst), events_in_window
+                    )
+                    decision = optimizer.decide(stats)
+                    shared = decision.shared_queries if decision.share else frozenset()
+                    engine.apply_burst_decision(spec, event_type, shared, len(burst))
+        process = engine.process
+        for event, lo, hi in burst:
+            process(event, lo, hi)
+        duration = time.perf_counter() - started
+        group.share_seconds += duration / max(1, len(group.metas))
 
     def _close_shared_window(
         self, unit: _Unit, group_key: tuple, group: _SharedGroup, meta: _WindowMeta
@@ -469,7 +588,10 @@ class StreamingExecutor:
             # The group's last window closed: evict the group itself so
             # shared-path memory tracks *live* state, not every group key
             # ever seen.  A returning key rebuilds its engine from the
-            # unit's shared compilation (cheap — state only).
+            # unit's shared compilation (cheap — state only).  The group's
+            # decision statistics outlive it in the run accumulator.
+            if group.optimizer is not None and self._adaptive_stats is not None:
+                self._adaptive_stats.merge(group.optimizer.statistics)
             del unit.shared_groups[group_key]
         now = time.perf_counter()
         events = group.fed - meta.opened_fed
@@ -590,6 +712,14 @@ class StreamingExecutor:
     def _sweep_unit_shared(self, unit: _Unit, now: float) -> None:
         expired = []
         for group_key, group in unit.shared_groups.items():
+            if (
+                group.burst
+                and group.metas
+                and next(iter(group.metas.values())).end <= now
+            ):
+                # A window of this group is about to be read out: fold the
+                # pending burst first — its events precede the close.
+                self._flush_group(unit, group)
             for meta in group.metas.values():  # ascending index == ascending end
                 if meta.end <= now:
                     expired.append((meta.end, group_key, meta.index))
@@ -666,8 +796,13 @@ class StreamingExecutor:
         units = 0
         for unit in self._units:
             if unit.shared:
+                # A pending adaptive burst is live state too (one unit per
+                # buffered event, like the engines' stored events); sampling
+                # happens just before close sweeps — the buffer's high-water
+                # mark — so the cross-plan memory comparison stays honest.
                 units += sum(
-                    group.engine.memory_units() for group in unit.shared_groups.values()
+                    group.engine.memory_units() + len(group.burst)
+                    for group in unit.shared_groups.values()
                 )
             else:
                 largest: dict[tuple, int] = {}
@@ -681,6 +816,18 @@ class StreamingExecutor:
 
     def _attach_optimizer_statistics(self, report: ExecutionReport) -> None:
         merged: Optional[OptimizerStatistics] = None
+        if self._adaptive_stats is not None:
+            # Adaptive shared-window decisions: evicted groups were folded
+            # at eviction; groups that never opened a window still hold
+            # their (empty) counters.  Attach even when zero decisions were
+            # made so callers can tell "adaptive, nothing eligible" from
+            # "not adaptive".
+            merged = OptimizerStatistics()
+            merged.merge(self._adaptive_stats)
+            for unit in self._units:
+                for group in unit.shared_groups.values():
+                    if group.optimizer is not None:
+                        merged.merge(group.optimizer.statistics)
         for engine in self._engines:
             optimizer = getattr(engine, "optimizer", None)
             if optimizer is None:
@@ -700,6 +847,8 @@ def run_streaming(
     on_window: Optional[Callable[[WindowResult], None]] = None,
     lazy_open: bool = True,
     shared_windows: bool = True,
+    optimizer: OptimizerSpec = None,
+    burst_size: Optional[int] = None,
 ) -> ExecutionReport:
     """One-shot convenience wrapper around :class:`StreamingExecutor`."""
     executor = StreamingExecutor(
@@ -708,5 +857,7 @@ def run_streaming(
         on_window=on_window,
         lazy_open=lazy_open,
         shared_windows=shared_windows,
+        optimizer=optimizer,
+        burst_size=burst_size,
     )
     return executor.run(stream)

@@ -218,3 +218,57 @@ class TestStaticOptimizers:
     def test_always_share_single_candidate(self):
         stats = _stats([QueryBurstProfile("q1", False)])
         assert not AlwaysShareOptimizer().decide(stats).share
+
+    def test_static_plan_is_per_candidate_set_not_per_type(self):
+        """Two independent candidate sets of one event type fix one plan each.
+
+        The multi-window runtime consults the optimizer once per query
+        class per burst; the first class's fixed plan must not be recycled
+        (restricted to a disjoint candidate set => share=False forever) for
+        every other class of the same type.
+        """
+        optimizer = StaticPlanOptimizer()
+        first = optimizer.decide(self._two_query_stats())
+        assert first.share and first.shared_queries == {"q1", "q2"}
+        other_class = _stats(
+            [QueryBurstProfile("q3", False), QueryBurstProfile("q4", False)],
+            burst_size=4, events_in_window=7, graphlet_size=4,
+        )
+        second = optimizer.decide(other_class)
+        assert second.share
+        assert second.shared_queries == {"q3", "q4"}
+
+
+class TestDecisionContinuityPerPlanKey:
+    def test_interleaved_candidate_sets_do_not_fake_merges_or_splits(self):
+        """Merge/split counters track each (type, candidate set) stream.
+
+        One burst can carry several per-class decisions for the same event
+        type; a class that stably shares interleaved with a class that
+        stably does not share must record zero merges and zero splits —
+        keyed by event type alone, every flush would count one of each.
+        """
+        optimizer = AlwaysShareOptimizer()
+        sharing = _stats(
+            [QueryBurstProfile("q1", False), QueryBurstProfile("q2", False)],
+            burst_size=4, events_in_window=7, graphlet_size=4,
+        )
+        single = _stats([QueryBurstProfile("q3", False)])  # never shares (k=1)
+        for _ in range(5):
+            assert optimizer.decide(sharing).share
+            assert not optimizer.decide(single).share
+        assert optimizer.statistics.merges == 0
+        assert optimizer.statistics.splits == 0
+        assert optimizer.statistics.decisions == 10
+
+    def test_real_transition_still_counts(self):
+        optimizer = DynamicSharingOptimizer()
+        profiles = [QueryBurstProfile("q1", False), QueryBurstProfile("q2", False)]
+        good = _stats(profiles, burst_size=8, events_in_window=40, graphlet_size=8)
+        bad = _stats(profiles, burst_size=1, events_in_window=1, graphlet_size=64,
+                     graphlet_snapshots_needed=1)
+        assert optimizer.decide(good).share
+        assert not optimizer.decide(bad).share
+        assert optimizer.decide(good).share
+        assert optimizer.statistics.splits == 1
+        assert optimizer.statistics.merges == 1

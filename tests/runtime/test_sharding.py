@@ -12,12 +12,14 @@ import os
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import HamletEngine
 from repro.errors import ExecutionError
 from repro.events import Event, EventBatch
 from repro.optimizer import DynamicSharingOptimizer
-from repro.query import Query, Window, kleene, parse_pattern, seq
+from repro.query import Query, Window, avg, kleene, parse_pattern, seq, sum_of
 from repro.runtime import (
     ShardRouter,
     ShardedStreamingExecutor,
@@ -89,6 +91,73 @@ class TestEventBatch:
         batch = EventBatch.from_events([])
         assert len(batch) == 0 and not batch
         assert batch.events() == []
+
+
+# --------------------------------------------------------------------- #
+# Hypothesis round-trip fuzz for the EventBatch codec
+# --------------------------------------------------------------------- #
+#: Payload values the codec must carry verbatim: numbers (ints beyond
+#: 2**53, bools, finite floats), unicode text, None, and nested numeric
+#: tuples.  NaN is excluded because NaN != NaN would fail any equality
+#: check, not because the codec mishandles it.
+_scalar_values = st.one_of(
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=False, allow_infinity=True, width=64),
+    st.booleans(),
+    st.text(max_size=12),
+    st.none(),
+)
+_payload_values = st.one_of(
+    _scalar_values,
+    st.tuples(_scalar_values, _scalar_values),
+    st.lists(st.integers(min_value=-1000, max_value=1000), max_size=3).map(tuple),
+)
+_payloads = st.dictionaries(st.text(max_size=16), _payload_values, max_size=5)
+
+
+@st.composite
+def _fuzz_events(draw):
+    count = draw(st.integers(min_value=0, max_value=40))
+    events = []
+    clock = 0.0
+    for _ in range(count):
+        clock += draw(st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+        events.append(
+            Event(
+                draw(st.text(min_size=1, max_size=8)),
+                clock,
+                draw(_payloads),
+            )
+        )
+    return events
+
+
+class TestEventBatchFuzz:
+    """Property: encode/decode is the identity on arbitrary event chunks."""
+
+    @settings(deadline=None, derandomize=True, max_examples=150)
+    @given(events=_fuzz_events())
+    def test_round_trip_is_identity(self, events):
+        for decoded in (
+            EventBatch.from_events(events).events(),
+            EventBatch.from_bytes(EventBatch.from_events(events).to_bytes()).events(),
+        ):
+            assert decoded == events  # (type, time, sequence) equality
+            for original, copy in zip(events, decoded):
+                # Event.__eq__ ignores the payload; compare it explicitly.
+                assert copy.payload == original.payload
+                assert copy.sequence == original.sequence
+
+    @settings(deadline=None, derandomize=True, max_examples=60)
+    @given(events=_fuzz_events())
+    def test_interning_never_conflates_payload_shapes(self, events):
+        batch = EventBatch.from_events(events)
+        assert len(batch) == len(events)
+        assert set(batch.event_types) == {event.event_type for event in events}
+        # Key tuples are interned by exact shape: decoding must reproduce
+        # each payload's key *order*, not just its mapping.
+        for original, copy in zip(events, batch):
+            assert tuple(copy.payload) == tuple(original.payload)
 
 
 class TestShardRouter:
@@ -287,6 +356,106 @@ class TestShardedStreamingExecutor:
         )
         report = executor.run(events)
         assert len(seen) == report.metrics.partitions
+
+
+def multi_aggregate_queries(window: Window = WINDOW) -> list[Query]:
+    """One 2-member query class: gives the adaptive optimizer work to do.
+
+    SUM and AVG are mutually sharable (AVG = SUM / COUNT); COUNT(*) would
+    not be (it only shares with COUNT(*), Definition 5) and would fall into
+    its own singleton class.
+    """
+    return [
+        Query.build(
+            seq("A", kleene("B")),
+            aggregate=sum_of("B", "v"),
+            group_by=("g",),
+            window=window,
+            name="maq1",
+        ),
+        Query.build(
+            seq("A", kleene("B")),
+            aggregate=avg("B", "v"),
+            group_by=("g",),
+            window=window,
+            name="maq2",
+        ),
+    ]
+
+
+class TestOptimizerStatisticsMerge:
+    """The merged report must never drop per-shard optimizer statistics.
+
+    Counters (decisions, shared/non-shared bursts, merges, splits) are
+    shard-count invariant by construction — bursts are segmented per
+    ``(group, unit)`` stream and every such stream lives wholly inside one
+    shard — so the driver's merge is pinned against the single-process
+    numbers, for both the adaptive shared-window path and the per-instance
+    fallback path (whose engines run their own optimizers).
+    """
+
+    @staticmethod
+    def counters(statistics):
+        assert statistics is not None
+        return (
+            statistics.decisions,
+            statistics.shared_bursts,
+            statistics.non_shared_bursts,
+            statistics.merges,
+            statistics.splits,
+        )
+
+    @pytest.mark.parametrize("shards", (1, 2, 4))
+    def test_adaptive_shared_path_statistics_survive_the_merge(self, shards):
+        events = make_events(11, 300)
+        queries = multi_aggregate_queries()
+        factory = lambda: HamletEngine(DynamicSharingOptimizer())  # noqa: E731
+        single = run_streaming(queries, events, factory, optimizer="dynamic")
+        sharded = run_sharded(
+            queries, events, factory, workers=0, shards=shards, optimizer="dynamic"
+        )
+        assert self.counters(sharded.optimizer_statistics) == self.counters(
+            single.optimizer_statistics
+        )
+        assert sharded.optimizer_statistics.decisions > 0
+        # Per-shard statistics stay readable on the shard sub-reports, and
+        # the merged counters are exactly their sum.
+        per_shard = [
+            shard.report.optimizer_statistics
+            for shard in sharded.shards
+            if shard.report.optimizer_statistics is not None
+        ]
+        assert sum(s.decisions for s in per_shard) == sharded.optimizer_statistics.decisions
+
+    def test_adaptive_statistics_survive_worker_processes(self):
+        events = make_events(12, 300)
+        queries = multi_aggregate_queries()
+        factory = lambda: HamletEngine(DynamicSharingOptimizer())  # noqa: E731
+        single = run_streaming(queries, events, factory, optimizer="dynamic")
+        sharded = run_sharded(
+            queries, events, factory, workers=2, batch_size=32, optimizer="dynamic"
+        )
+        assert self.counters(sharded.optimizer_statistics) == self.counters(
+            single.optimizer_statistics
+        )
+
+    @pytest.mark.parametrize("shards", (1, 3))
+    def test_per_instance_engine_statistics_survive_the_merge(self, shards):
+        events = make_events(13, 300)
+        factory = lambda: HamletEngine(DynamicSharingOptimizer())  # noqa: E731
+        single = run_streaming(grouped_queries(), events, factory, shared_windows=False)
+        sharded = run_sharded(
+            grouped_queries(),
+            events,
+            factory,
+            workers=0,
+            shards=shards,
+            shared_windows=False,
+        )
+        assert self.counters(sharded.optimizer_statistics) == self.counters(
+            single.optimizer_statistics
+        )
+        assert sharded.optimizer_statistics.decisions > 0
 
 
 class _ExplodingEngine(HamletEngine):

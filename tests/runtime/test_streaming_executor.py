@@ -15,7 +15,7 @@ from repro.errors import ExecutionError
 from repro.events import Event, EventStream
 from repro.greta import GretaEngine
 from repro.interfaces import TrendAggregationEngine
-from repro.query import Query, Window, Workload, kleene, max_of, parse_pattern, seq
+from repro.query import Query, Window, Workload, avg, kleene, max_of, parse_pattern, seq, sum_of
 from repro.runtime import StreamingExecutor, WorkloadExecutor, run_streaming
 
 
@@ -366,6 +366,141 @@ class TestSharedWindows:
         executor.finish()
         for engine in engines():
             assert engine.live_coefficient_entries() == engine.coefficients.entry_count() == 0
+
+    @pytest.mark.parametrize("policy", ("dynamic", "never", "always"))
+    def test_coefficient_accounting_invariant_under_splits(self, policy):
+        """Split/merge transitions keep both entry counters exact.
+
+        ``never`` keeps every multi-member class permanently split (replica
+        columns live throughout); ``dynamic`` flips columns mid-stream; in
+        all cases the incremental canonical and replica counters must match
+        their ground-truth scans at every step and drain to zero.
+        """
+        window = Window(10.0, 2.0)
+        events = [
+            Event(
+                "A" if t % 7 == 0 else ("C" if t % 11 == 0 else "B"),
+                float(t),
+                {"g": t % 3, "v": float(t % 5)},
+            )
+            for t in range(150)
+        ]
+        workload = [
+            Query.build(
+                seq("A", kleene("B")),
+                aggregate=sum_of("B", "v"),
+                group_by=("g",),
+                window=window,
+                name="sw_adp_sum",
+            ),
+            Query.build(
+                seq("A", kleene("B")),
+                aggregate=avg("B", "v"),
+                group_by=("g",),
+                window=window,
+                name="sw_adp_avg",
+            ),
+        ]
+        executor = StreamingExecutor(
+            workload, HamletEngine, optimizer=policy, burst_size=3
+        )
+
+        def engines():
+            for unit in executor._units:
+                for group in unit.shared_groups.values():
+                    yield group.engine
+
+        saw_replicas = False
+        for step, event in enumerate(events):
+            executor.process(event)
+            if step % 11 == 0:
+                for engine in engines():
+                    assert engine.live_coefficient_entries() == (
+                        engine.coefficients.entry_count()
+                    )
+                    assert engine.replica_coefficient_entries() == (
+                        engine.replica_entry_count()
+                    )
+                    saw_replicas = saw_replicas or engine.replica_coefficient_entries() > 0
+        executor.finish()
+        for engine in engines():
+            assert engine.live_coefficient_entries() == engine.coefficients.entry_count() == 0
+            assert engine.replica_coefficient_entries() == engine.replica_entry_count() == 0
+        if policy == "never":
+            assert saw_replicas  # the split path was actually exercised
+
+    def test_burst_size_without_optimizer_rejected(self):
+        """A silently ignored burst cap would hide the misconfiguration."""
+        from repro.runtime import ShardedStreamingExecutor
+
+        window = Window(10.0, 2.0)
+        with pytest.raises(ExecutionError):
+            StreamingExecutor(_ab_workload(window), HamletEngine, burst_size=8)
+        with pytest.raises(ExecutionError):
+            ShardedStreamingExecutor(_ab_workload(window), HamletEngine, burst_size=8)
+        # With a policy the same cap is accepted.
+        StreamingExecutor(_ab_workload(window), HamletEngine, optimizer="dynamic", burst_size=8)
+
+    def test_open_memory_counts_pending_burst_buffer(self):
+        """Buffered adaptive bursts are live state the memory gauge must see."""
+        window = Window(10.0, 2.0)
+        workload = [
+            Query.build(
+                seq("A", kleene("B")), aggregate=sum_of("B", "v"), window=window, name="mb_sum"
+            ),
+            Query.build(
+                seq("A", kleene("B")), aggregate=avg("B", "v"), window=window, name="mb_avg"
+            ),
+        ]
+        executor = StreamingExecutor(workload, HamletEngine, optimizer="always")
+        executor.process(Event("A", 0.0, {"v": 1.0}))
+        for t in range(1, 6):  # same-type run: stays buffered, no close passes
+            executor.process(Event("B", float(t), {"v": 1.0}))
+        (unit,) = executor._units
+        (group,) = unit.shared_groups.values()
+        assert len(group.burst) == 5
+        assert (
+            executor._open_memory_units()
+            == group.engine.memory_units() + len(group.burst)
+        )
+        executor.finish()
+
+    def test_engine_level_split_and_merge_partitions(self):
+        """Direct pin of the engine's column state machine."""
+        from repro.runtime import MultiWindowLinearEngine, UnitCompilation
+
+        window = Window(10.0, 2.0)
+        queries = [
+            Query.build(
+                seq("A", kleene("B")), aggregate=sum_of("B", "v"), window=window, name="col_sum"
+            ),
+            Query.build(
+                seq("A", kleene("B")), aggregate=avg("B", "v"), window=window, name="col_avg"
+            ),
+        ]
+        compiled = UnitCompilation(queries, share_classes=True)
+        (spec,) = compiled.classes
+        engine = MultiWindowLinearEngine(compiled)
+        assert engine.sharing_partition(spec.index, "B") == (0, 0)
+        engine.process(Event("A", 0.0, {"v": 1.0}), 0, 0)
+        engine.process(Event("B", 1.0, {"v": 2.0}), 0, 0)
+        # Split: the replica column copies the canonical one.
+        engine.apply_burst_decision(spec, "B", frozenset(), 1)
+        assert engine.sharing_partition(spec.index, "B") == (0, 1)
+        assert engine.replica_coefficient_entries() == engine.replica_entry_count() > 0
+        engine.process(Event("B", 2.0, {"v": 3.0}), 0, 0)
+        # Merge: replicas dropped, canonical kept.
+        engine.apply_burst_decision(
+            spec, "B", frozenset(q.name for q in queries), 1
+        )
+        assert engine.sharing_partition(spec.index, "B") == (0, 0)
+        assert engine.replica_coefficient_entries() == engine.replica_entry_count() == 0
+        results = engine.close_window(0)
+        # SUM(B.v) over trends of A B... within the window; both members
+        # were maintained bit-identically through the split and merge.
+        assert set(results) == {"col_sum", "col_avg"}
+        with pytest.raises(ExecutionError):
+            engine.sharing_partition(99, "B")
 
     def test_inert_groups_never_build_engines(self):
         """Lazy opening is per group: start-less groups allocate nothing."""

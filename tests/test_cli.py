@@ -99,6 +99,87 @@ class TestCli:
         assert "shard 0:" in output and "shard 1:" in output
         assert "events/s wall-clock" in output
 
+    def test_stream_command_optimizer_prints_decision_summary(self, capsys):
+        assert (
+            main(
+                [
+                    "stream",
+                    "--queries",
+                    "8",
+                    "--minutes",
+                    "0.5",
+                    "--events-per-minute",
+                    "600",
+                    "--optimizer",
+                    "dynamic",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "optimizer dynamic:" in output
+        assert "decisions" in output
+        assert "shared fraction" in output
+        assert "merges" in output and "splits" in output
+
+    def test_stream_command_optimizer_never_reports_zero_shared_fraction(self, capsys):
+        assert (
+            main(
+                [
+                    "stream",
+                    "--queries",
+                    "8",
+                    "--minutes",
+                    "0.5",
+                    "--events-per-minute",
+                    "600",
+                    "--optimizer",
+                    "never",
+                    "--burst-size",
+                    "16",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "optimizer never:" in output
+        assert "shared fraction 0.0%" in output
+
+    def test_stream_command_optimizer_propagates_to_sharded_run(self, capsys):
+        assert (
+            main(
+                [
+                    "stream",
+                    "--queries",
+                    "8",
+                    "--minutes",
+                    "0.5",
+                    "--events-per-minute",
+                    "600",
+                    "--optimizer",
+                    "always",
+                    "--workers",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "sharded execution" in output
+        assert "optimizer always:" in output
+        assert "shared fraction 100.0%" in output
+
+    def test_stream_command_rejects_unknown_optimizer_and_bad_burst_size(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--optimizer", "sometimes"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--burst-size", "0"])
+
+    def test_stream_command_burst_size_requires_optimizer(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["stream", "--burst-size", "8"])
+        assert "--burst-size requires --optimizer" in capsys.readouterr().err
+
     def test_stream_command_prints_wall_clock_throughput(self, capsys):
         assert main(["stream", "--queries", "2", "--minutes", "0.3", "--events-per-minute", "600"]) == 0
         output = capsys.readouterr().out
