@@ -50,6 +50,22 @@ Four fixed-seed suites:
   records the transport overhead, not the scale-out) — while operation
   counts and result checksums are shard-count-invariant and gated.
 
+* ``transport`` (``BENCH_PR6.json``, section ``transport``) — the
+  overlap-shared workload through 4 worker processes over both batch
+  transports: pickled ``EventBatch`` blobs versus columnar buffers in
+  shared-memory slab rings (``repro/runtime/transport.py``).  The recorded
+  ``speedup_shm_over_pickle`` ratio is the PR 6 transport headline; the
+  checksums must be identical and are gated, the wall ratio is
+  machine-dependent like every other (see ``environment``).
+
+* ``kernel`` (``BENCH_PR6.json``, section ``kernel``) — the bursty
+  storm/trickle stream through the static streaming runtime under both
+  kernel backends: the pure-Python reference fold versus the NumPy
+  closed-form burst fold (``repro/core/kernels_numpy.py``; row skipped
+  when NumPy is not installed).  Abstract operation counts are
+  backend-invariant by design and gated; ``speedup_numpy_over_python``
+  records the vectorization payoff.
+
 Each scenario is repeated and the best wall-clock time is kept; throughput
 is ``stream events / best wall seconds``.  Results are merged into the
 suite's JSON file under a caller-chosen label so before/after numbers of a
@@ -87,6 +103,7 @@ if str(SRC) not in sys.path:  # allow running without PYTHONPATH
 import random
 
 from repro.core.engine import HamletEngine
+from repro.core.kernels import KERNEL_BACKEND_ENV
 from repro.datasets.ridesharing import RidesharingGenerator
 from repro.events.event import Event
 from repro.greta.engine import GretaEngine
@@ -123,6 +140,9 @@ class Suite:
     scenarios: Callable
     workload_meta: dict
     section: str | None = None
+    #: Benchmark family name of a fresh sectioned container (files holding
+    #: several sections share one; BENCH_PR3.json predates the field).
+    family: str = "shared-windows"
 
 
 # ---------------------------------------------------------------------- #
@@ -319,10 +339,10 @@ def _bursty_scenarios() -> dict[str, Callable]:
     }
 
 
-def _sharded_scenario(workers: int) -> Callable:
+def _sharded_scenario(workers: int, transport: str = "pickle") -> Callable:
     factory = _ENGINE_FACTORIES["hamlet"]
     return lambda workload, events: ShardedStreamingExecutor(
-        workload, factory, workers=workers
+        workload, factory, workers=workers, transport=transport
     ).run(events)
 
 
@@ -336,6 +356,35 @@ def _sharded_scenarios() -> dict[str, Callable]:
         "sharded_w1": _sharded_scenario(1),
         "sharded_w4": _sharded_scenario(4),
     }
+
+
+def _transport_scenarios() -> dict[str, Callable]:
+    # Same fixed-seed input as the sharded suite, so the pickle row is
+    # directly comparable to BENCH_PR4's sharded_w4; both transports must
+    # reproduce the single-process checksum bit-identically.
+    return {
+        "streaming_single": _streaming_scenario("hamlet", shared_windows=True),
+        "sharded_w4_pickle": _sharded_scenario(4, "pickle"),
+        "sharded_w4_shm": _sharded_scenario(4, "shm"),
+    }
+
+
+def _kernel_scenario(backend: str) -> Callable:
+    factory = _ENGINE_FACTORIES["hamlet"]
+    return lambda workload, events: StreamingExecutor(
+        workload, factory, kernel_backend=backend
+    ).run(events)
+
+
+def _kernel_scenarios() -> dict[str, Callable]:
+    rows: dict[str, Callable] = {"streaming_python": _kernel_scenario("python")}
+    try:
+        import numpy  # noqa: F401
+
+        rows["streaming_numpy"] = _kernel_scenario("numpy")
+    except ImportError:
+        print("  (numpy not installed: streaming_numpy row skipped)")
+    return rows
 
 
 def _overlap_meta(window: Window) -> dict:
@@ -448,6 +497,48 @@ SUITES = {
             ),
         },
     ),
+    "transport": Suite(
+        name="transport",
+        output=REPO_ROOT / "BENCH_PR6.json",
+        build_input=_overlap_input,
+        scenarios=_transport_scenarios,
+        workload_meta={
+            **_overlap_meta(OVERLAP_WINDOW),
+            "style": "sharded-transport-pickle-vs-shm",
+            "group_keys": OVERLAP_DISTRICTS,
+            "note": (
+                "--gate compares ops/checksums only; wall ratios (incl. "
+                "speedup_shm_over_pickle) are informational — on a 1-CPU "
+                "box (see environment.cpu_count) every row time-slices "
+                "one core and measures transport overhead, not scale-out"
+            ),
+        },
+        section="transport",
+        family="transport-and-kernels",
+    ),
+    "kernel": Suite(
+        name="kernel",
+        output=REPO_ROOT / "BENCH_PR6.json",
+        build_input=_bursty_input,
+        scenarios=_kernel_scenarios,
+        workload_meta={
+            "style": "bursty-kernel-backend-python-vs-numpy",
+            "num_queries": BURSTY_QUERIES,
+            "seed": SEED,
+            "districts": BURSTY_DISTRICTS,
+            "window_seconds": BURSTY_WINDOW.size,
+            "slide_seconds": BURSTY_WINDOW.slide,
+            "phases": BURSTY_PHASES,
+            "note": (
+                "abstract operation counts are backend-invariant by design "
+                "and gated; integer-valued measures keep the NumPy closed "
+                "forms bit-identical to the reference (checksums gated), "
+                "wall ratios are informational"
+            ),
+        },
+        section="kernel",
+        family="transport-and-kernels",
+    ),
 }
 
 
@@ -500,7 +591,7 @@ def load_container(suite: Suite) -> dict:
             "workload": suite.workload_meta,
             "runs": {},
         }
-    return {"benchmark": "perf_smoke/shared-windows", "suites": {}}
+    return {"benchmark": f"perf_smoke/{suite.family}", "suites": {}}
 
 
 def suite_node(container: dict, suite: Suite) -> dict:
@@ -588,6 +679,38 @@ def attach_adaptive_ratios(results: dict) -> None:
                 "ops_static_over_dynamic": ops_ratios,
                 "wall_speedup_dynamic_over_static": wall_speedups,
             }
+
+
+def attach_transport_ratios(results: dict) -> None:
+    """Throughput of the shm rows over their pickle twins (informational).
+
+    Like every wall number in this harness the ratio is machine-dependent;
+    ``--gate`` only compares ops and checksums, so a 1-CPU CI box cannot
+    flake on it.
+    """
+    for label, rows in results["runs"].items():
+        ratios = {}
+        for name, row in rows.items():
+            if not name.endswith("_shm"):
+                continue
+            partner = rows.get(name[: -len("_shm")] + "_pickle")
+            if partner and partner.get("events_per_second"):
+                ratios[name[: -len("_shm")]] = round(
+                    row["events_per_second"] / partner["events_per_second"], 2
+                )
+        if ratios:
+            results.setdefault("speedup_shm_over_pickle", {})[label] = ratios
+
+
+def attach_kernel_ratios(results: dict) -> None:
+    """Wall speedup of the NumPy fold over the reference (informational)."""
+    for label, rows in results["runs"].items():
+        python_row = rows.get("streaming_python")
+        numpy_row = rows.get("streaming_numpy")
+        if python_row and numpy_row and numpy_row.get("wall_seconds"):
+            results.setdefault("speedup_numpy_over_python", {})[label] = round(
+                python_row["wall_seconds"] / numpy_row["wall_seconds"], 2
+            )
 
 
 def gate(results: dict, current: dict, suite: Suite) -> int:
@@ -693,12 +816,20 @@ def run_suite(suite: Suite, args) -> int:
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        # Runtime configuration the rows defaulted to: rows that override
+        # either (e.g. *_shm, streaming_numpy) say so in their names.
+        "kernel_backend": os.environ.get(KERNEL_BACKEND_ENV) or "python",
+        "transport": "pickle",
     }
     attach_speedups(results)
     if suite.name == "sharded":
         attach_sharded_speedups(results)
     if suite.name == "bursty":
         attach_adaptive_ratios(results)
+    if suite.name == "transport":
+        attach_transport_ratios(results)
+    if suite.name == "kernel":
+        attach_kernel_ratios(results)
     if suite.section is not None:
         attach_cross_suite(container)
     suite.output.write_text(json.dumps(container, indent=2, sort_keys=True) + "\n")

@@ -84,6 +84,8 @@ def _run_stream(
     shard_batch: int,
     optimizer: str | None,
     burst_size: int | None,
+    kernel_backend: str | None,
+    transport: str,
 ) -> None:
     from repro.core import HamletEngine
     from repro.datasets.ridesharing import RidesharingGenerator
@@ -138,13 +140,15 @@ def _run_stream(
             shared_windows=shared_windows,
             optimizer=optimizer,
             burst_size=burst_size,
+            kernel_backend=kernel_backend,
+            transport=transport,
         )
         report = executor.run(stream)
         metrics = report.metrics
         print(
             f"sharded execution: {executor.shard_count} shard(s), "
             f"{workers} worker process(es), routing by {executor.routing_mode}, "
-            f"batches of {shard_batch}"
+            f"batches of {shard_batch} over the {transport} transport"
         )
         for shard in report.shards:
             print(
@@ -168,6 +172,7 @@ def _run_stream(
         shared_windows=shared_windows,
         optimizer=optimizer,
         burst_size=burst_size,
+        kernel_backend=kernel_backend,
     )
     report = executor.run(stream)
     metrics = report.metrics
@@ -271,6 +276,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="cap bursts at N events (default: maximal same-type runs)",
     )
+    stream.add_argument(
+        "--kernel-backend",
+        choices=("python", "numpy"),
+        default=None,
+        help="burst-fold kernel backend; default: REPRO_KERNEL_BACKEND or "
+        "the pure-Python reference (numpy needs the [numpy] extra)",
+    )
+    stream.add_argument(
+        "--transport",
+        choices=("pickle", "shm"),
+        default="pickle",
+        help="how batches reach shard workers (--workers >= 1): pickled "
+        "blobs through the queues, or columnar buffers in reusable "
+        "shared-memory slabs (default: pickle)",
+    )
     return parser
 
 
@@ -282,8 +302,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         arguments.command == "stream"
         and arguments.burst_size is not None
         and arguments.optimizer is None
+        and arguments.kernel_backend != "numpy"
     ):
-        parser.error("--burst-size requires --optimizer (bursts are adaptive-mode only)")
+        parser.error(
+            "--burst-size requires --optimizer (bursts are adaptive-mode only) "
+            "or --kernel-backend numpy (which folds bursts without one)"
+        )
     if arguments.command == "figures":
         _run_figures(arguments.names or ["all"])
     elif arguments.command == "demo":
@@ -298,6 +322,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             arguments.shard_batch,
             arguments.optimizer,
             arguments.burst_size,
+            arguments.kernel_backend,
+            arguments.transport,
         )
     return 0
 

@@ -21,6 +21,12 @@ from repro.core.engine import HamletEngine
 from repro.core.expression import SnapshotCoefficient, SnapshotExpression
 from repro.core.graphlet import Graphlet, HamletNode
 from repro.core.hamlet_graph import HamletGraph, TypeAccumulator
+from repro.core.kernels import (
+    KERNEL_BACKENDS,
+    KernelBackend,
+    PythonKernelBackend,
+    resolve_kernel_backend,
+)
 from repro.core.snapshot import Snapshot, SnapshotTable
 
 __all__ = [
@@ -28,9 +34,13 @@ __all__ = [
     "HamletEngine",
     "HamletGraph",
     "HamletNode",
+    "KERNEL_BACKENDS",
+    "KernelBackend",
+    "PythonKernelBackend",
     "Snapshot",
     "SnapshotCoefficient",
     "SnapshotExpression",
     "SnapshotTable",
     "TypeAccumulator",
+    "resolve_kernel_backend",
 ]

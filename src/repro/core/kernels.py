@@ -21,13 +21,25 @@ mutable accumulators the engines use *inside* a hot loop:
 Both kernels preserve the summation *order* of the immutable code paths they
 replace, so integer-valued workloads produce bit-identical aggregates on the
 fast and slow paths (the property the cross-engine equivalence suite checks).
+
+The module also defines the :class:`KernelBackend` interface — the swappable
+numeric core behind the multi-window engine's burst folds.  The
+:class:`PythonKernelBackend` here is the reference implementation (the exact
+per-event fold above, with the per-(class, type) plan resolution hoisted to
+burst start); :mod:`repro.core.kernels_numpy` provides the vectorized
+closed-form alternative.  Backends resolve by *name* through
+:func:`resolve_kernel_backend` — the same registry pattern as
+:mod:`repro.optimizer.registry` — so a backend choice crosses shard-worker
+process boundaries as a plain picklable string.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+import os
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.core.expression import SnapshotCoefficient, SnapshotExpression
+from repro.errors import ExecutionError
 from repro.greta.aggregators import AggregateVector
 
 #: A per-query snapshot value lookup: ``snapshot_id -> AggregateVector | None``
@@ -201,22 +213,28 @@ class MutableExpressionBuilder:
         Returns the number of coefficients visited (work units).
         """
         count = 0
+        # Accumulator state is hoisted out of the loop (the count folds into
+        # a local, written back once): the loop runs per (coefficient, query)
+        # on the fast path — during a burst, per buffered event — and must
+        # not allocate or repeat attribute traffic.
+        total_count = accumulator.count
+        measures = accumulator.measures
+        dimension = len(measures)
         for snapshot_id, row in self._coefficients.items():
             value = lookup(snapshot_id)
             count += 1
             if value is None:
                 continue
-            # Inlined add_weighted over the raw row — this loop runs per
-            # (coefficient, query) on the fast path and must not allocate.
+            # Inlined add_weighted over the raw row.
             weight = row[0]
             value_count = value.count
-            accumulator.count += weight * value_count
-            measures = accumulator.measures
+            total_count += weight * value_count
             value_measures = value.measures
-            for index in range(len(measures)):
+            for index in range(dimension):
                 measures[index] += (
                     weight * value_measures[index] + row[1 + index] * value_count
                 )
+        accumulator.count = total_count
         return count
 
     # ------------------------------------------------------------------ #
@@ -246,3 +264,170 @@ class MutableExpressionBuilder:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = [f"{row[0]:g}*{sid}" for sid, row in sorted(self._coefficients.items())]
         return "Builder(" + (" + ".join(parts) if parts else "0") + ")"
+
+
+# ---------------------------------------------------------------------- #
+# Kernel backends: the swappable numeric core of the burst fold
+# ---------------------------------------------------------------------- #
+class KernelBackend:
+    """Numeric core for the multi-window engine's same-type burst folds.
+
+    A backend folds one *run* — ``count`` consecutive accepted events of one
+    type — into one sharing column of one ``(query class, event type)``
+    plan.  The engine has already resolved everything positional (the armed
+    window indices, the fold's source maps with the Kleene self-loop
+    substituted, the per-event measure contributions); the backend only does
+    arithmetic.  Fold semantics are those of the reference per-event loop:
+    per event and window, ``value = base + sum(sources[window])`` folds into
+    ``total_map[window]`` (the vector form additionally applies the event's
+    measure contributions — Equation 1/2 of the paper).
+
+    ``exact`` declares the backend's equivalence contract: ``True`` means
+    bit-identical to the reference loop; ``False`` means equal up to the
+    documented float tolerance (closed-form folds reassociate sums — see
+    docs/DESIGN.md, "Transport & kernel backends").  ``wants_bursts`` asks
+    the streaming executor to buffer maximal same-type runs even without an
+    adaptive optimizer, so the backend sees whole bursts to vectorize.
+    """
+
+    name: str = "abstract"
+    exact: bool = True
+    wants_bursts: bool = False
+
+    def fold_scalar_run(
+        self,
+        total_map: dict,
+        indices: Sequence[int],
+        sources: Sequence[dict],
+        base: float,
+        count: int,
+    ) -> int:
+        """Fold a run into a scalar (COUNT-only) column.
+
+        ``sources`` may contain ``total_map`` itself (a Kleene self-loop).
+        Returns the number of window entries newly created in ``total_map``.
+        """
+        raise NotImplementedError
+
+    def fold_vector_run(
+        self,
+        total_map: dict,
+        indices: Sequence[int],
+        sources: Sequence[dict],
+        base: float,
+        contribution_rows: Sequence[tuple[float, ...]],
+        dimension: int,
+    ) -> int:
+        """Fold a run into a vector column of :class:`MutableAggregate`.
+
+        ``contribution_rows[i]`` is the i-th event's per-measure
+        contribution vector.  Returns the number of entries newly created.
+        """
+        raise NotImplementedError
+
+
+class PythonKernelBackend(KernelBackend):
+    """The reference backend: the exact per-event fold, hoisted per run.
+
+    Arithmetic, iteration order and entry creation match the engine's
+    per-event fast path exactly (bit-identical totals); the run-level entry
+    point only hoists the per-(class, type) plan resolution — map lookups,
+    source tuples, bound methods — out of the per-event loop.
+    """
+
+    name = "python"
+    exact = True
+    wants_bursts = False
+
+    def fold_scalar_run(self, total_map, indices, sources, base, count):
+        created = 0
+        gets = [window_map.get for window_map in sources]
+        total_get = total_map.get
+        for _ in range(count):
+            for index in indices:
+                value = base
+                for get in gets:
+                    previous = get(index)
+                    if previous is not None:
+                        value += previous
+                current = total_get(index)
+                if current is None:
+                    total_map[index] = value
+                    created += 1
+                else:
+                    total_map[index] = current + value
+        return created
+
+    def fold_vector_run(
+        self, total_map, indices, sources, base, contribution_rows, dimension
+    ):
+        created = 0
+        total_get = total_map.get
+        for contributions in contribution_rows:
+            for index in indices:
+                accumulator = MutableAggregate(dimension)
+                accumulator.count = base
+                for window_map in sources:
+                    previous = window_map.get(index)
+                    if previous is not None:
+                        accumulator.add(previous)
+                accumulator.apply_contributions(contributions)
+                total = total_get(index)
+                if total is None:
+                    total_map[index] = accumulator
+                    created += 1
+                else:
+                    total.add(accumulator)
+        return created
+
+
+def _load_numpy_backend() -> KernelBackend:
+    try:
+        from repro.core.kernels_numpy import NumpyKernelBackend
+    except ImportError:
+        raise ExecutionError(
+            "kernel backend 'numpy' requires NumPy, which is not installed; "
+            "install the [numpy] extra or use kernel_backend='python'"
+        ) from None
+    return NumpyKernelBackend()
+
+
+#: Zero-argument factories keyed by backend name (the registry shard
+#: workers resolve names through, mirroring ``OPTIMIZER_POLICIES``).
+KERNEL_BACKENDS: dict[str, Callable[[], KernelBackend]] = {
+    "python": PythonKernelBackend,
+    "numpy": _load_numpy_backend,
+}
+
+#: What callers may pass: nothing (environment default), a backend name, or
+#: a ready instance.
+KernelBackendSpec = Union[None, str, KernelBackend]
+
+#: Environment override for the default backend (used by the CI matrix to
+#: run the whole suite under each backend without touching call sites).
+KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+
+def resolve_kernel_backend(spec: KernelBackendSpec) -> KernelBackend:
+    """Resolve a backend spec to an instance.
+
+    ``None`` consults the ``REPRO_KERNEL_BACKEND`` environment variable and
+    falls back to the pure-Python reference backend.
+    """
+    if spec is None:
+        spec = os.environ.get(KERNEL_BACKEND_ENV) or "python"
+    if isinstance(spec, KernelBackend):
+        return spec
+    if isinstance(spec, str):
+        try:
+            factory = KERNEL_BACKENDS[spec]
+        except KeyError:
+            raise ExecutionError(
+                f"unknown kernel backend {spec!r}; choose one of "
+                f"{', '.join(sorted(KERNEL_BACKENDS))}"
+            ) from None
+        return factory()
+    raise ExecutionError(
+        f"kernel_backend must be None, a backend name or a KernelBackend "
+        f"instance, got {spec!r}"
+    )

@@ -21,8 +21,12 @@ perturbs determinism.
 
 The batch pickles through its slots (one tuple of flat containers), which is
 what :mod:`multiprocessing` queues serialize; :meth:`to_bytes` /
-:meth:`from_bytes` expose the same codec explicitly for transports that want
-raw bytes.
+:meth:`from_bytes` expose explicit byte codecs for transports that want raw
+bytes.  Byte buffers are *framed*: a four-byte magic plus a codec id (see
+:mod:`repro.events.columnar`) so the legacy pickle codec and the columnar
+shared-memory codec coexist on the wire, and a corrupt or foreign buffer
+fails with an :class:`~repro.errors.ExecutionError` instead of an
+unpickling crash.
 """
 
 from __future__ import annotations
@@ -30,6 +34,8 @@ from __future__ import annotations
 import pickle
 from typing import Iterable, Iterator, Sequence
 
+from repro.errors import ExecutionError
+from repro.events import columnar
 from repro.events.event import Event, EventType
 
 __all__ = ["EventBatch"]
@@ -109,17 +115,46 @@ class EventBatch:
     # ------------------------------------------------------------------ #
     # Explicit byte codec (multiprocessing pickles the slots directly)
     # ------------------------------------------------------------------ #
-    def to_bytes(self) -> bytes:
-        """Serialize the batch to bytes (the codec queues use implicitly)."""
-        return pickle.dumps(
-            (self._type_table, self._key_table, self._rows),
-            protocol=pickle.HIGHEST_PROTOCOL,
+    def to_bytes(self, codec: str = "pickle") -> bytes:
+        """Serialize the batch to a framed buffer.
+
+        ``codec`` selects the body representation: ``"pickle"`` (the legacy
+        blob — compact, zero-maintenance) or ``"columnar"`` (fixed-dtype
+        columns, the shared-memory transport's format).  Both are preceded
+        by the versioned wire header so :meth:`from_bytes` dispatches
+        without guessing.
+        """
+        if codec == "pickle":
+            body = pickle.dumps(
+                (self._type_table, self._key_table, self._rows),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            return columnar.frame(columnar.CODEC_PICKLE, body)
+        if codec == "columnar":
+            body = columnar.encode_columnar_body(
+                self._type_table, self._key_table, self._rows
+            )
+            return columnar.frame(columnar.CODEC_COLUMNAR, body)
+        raise ExecutionError(
+            f"unknown batch codec {codec!r}; choose 'pickle' or 'columnar'"
         )
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "EventBatch":
-        """Deserialize a batch produced by :meth:`to_bytes`."""
-        return cls(*pickle.loads(data))
+    def from_bytes(cls, data) -> "EventBatch":
+        """Deserialize a framed buffer produced by :meth:`to_bytes`.
+
+        Accepts ``bytes`` or any buffer (e.g. a shared-memory
+        ``memoryview``).  Raises :class:`~repro.errors.ExecutionError` on a
+        missing/foreign magic, an unknown codec id or a truncated body.
+        """
+        codec_id, body = columnar.parse_frame(data)
+        if codec_id == columnar.CODEC_PICKLE:
+            try:
+                state = pickle.loads(body)
+            except Exception as error:
+                raise ExecutionError(f"pickle batch body corrupt: {error}") from None
+            return cls(*state)
+        return cls(*columnar.decode_columnar_body(body))
 
     def __getstate__(self):
         return (self._type_table, self._key_table, self._rows)

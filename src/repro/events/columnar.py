@@ -1,0 +1,438 @@
+"""Versioned wire framing and the fixed-dtype columnar batch codec.
+
+Every byte-level batch (:meth:`repro.events.batch.EventBatch.to_bytes`, the
+shared-memory slab transport) starts with a four-byte magic and a codec id,
+so the two codecs coexist on the wire and a mismatched or corrupt buffer
+fails with a clear :class:`~repro.errors.ExecutionError` instead of an
+unpickling crash:
+
+* ``CODEC_PICKLE`` — the legacy representation: the batch's interned tables
+  and rows as one pickle blob.  Compact and zero-maintenance, but decode
+  rebuilds every row tuple before a single event exists.
+* ``CODEC_COLUMNAR`` — fixed-dtype columns: times as f64, sequences as i64,
+  event types and payload key tuples interned into tables, and one typed
+  column per (key shape, attribute).  A payload column whose values are not
+  uniformly ``float``/``int``-in-i64/``bool`` falls back to a pickled object
+  column, so arbitrary payloads (big ints, ``None``, nested tuples, strings)
+  round-trip exactly — the homogeneous numeric columns the simulators emit
+  just travel as raw arrays.
+
+Columns use the stdlib :mod:`array` machine formats, normalized to
+little-endian on the (rare) big-endian host, so encode/decode of numeric
+data is a C-speed ``frombytes``/``tobytes`` instead of a per-value loop.
+:func:`decode_columnar_events` additionally assembles :class:`Event` objects
+straight from the columns (skipping row tuples and the dataclass ``__init__``
+re-validation — values were validated when the events were first created),
+which is what makes the shared-memory receive path cheap.
+
+Type preservation contract (pinned by the codec fuzz suite): decoding is
+exact — ``type(value)`` survives for every payload value, ``time`` and
+``sequence`` round-trip bit-identically, and payload **key order** is
+preserved (key tuples are interned, never sorted).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import sys
+from array import array
+from typing import Iterable, Sequence
+
+from repro.errors import ExecutionError
+from repro.events.event import Event, EventType
+
+__all__ = [
+    "CODEC_COLUMNAR",
+    "CODEC_PICKLE",
+    "MAGIC",
+    "decode_columnar_body",
+    "decode_columnar_events",
+    "encode_columnar_body",
+    "frame",
+    "parse_frame",
+]
+
+#: Wire magic of every framed batch ("RePro Event Batch").
+MAGIC = b"RPEB"
+#: Codec ids (the byte after the magic).
+CODEC_PICKLE = 1
+CODEC_COLUMNAR = 2
+
+_KNOWN_CODECS = frozenset({CODEC_PICKLE, CODEC_COLUMNAR})
+_BIG_ENDIAN = sys.byteorder == "big"
+
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+
+_I64_MIN = -(2**63)
+_I64_MAX = 2**63 - 1
+
+
+# ---------------------------------------------------------------------- #
+# Framing
+# ---------------------------------------------------------------------- #
+def frame(codec: int, body: bytes) -> bytes:
+    """Prepend the versioned header to a codec body."""
+    return MAGIC + _U8.pack(codec) + body
+
+
+def parse_frame(data) -> tuple[int, memoryview]:
+    """Split a framed buffer into ``(codec, body)``.
+
+    Raises:
+        ExecutionError: if the buffer is truncated, carries the wrong magic
+            (e.g. a legacy unframed pickle blob) or an unknown codec id.
+    """
+    view = memoryview(data)
+    if len(view) < 5:
+        raise ExecutionError(
+            f"batch buffer too short for the wire header ({len(view)} bytes); "
+            "expected RPEB magic + codec byte"
+        )
+    magic = bytes(view[:4])
+    if magic != MAGIC:
+        raise ExecutionError(
+            f"batch buffer does not start with the {MAGIC!r} magic (got "
+            f"{magic!r}); refusing to unpickle an unframed or foreign blob"
+        )
+    codec = view[4]
+    if codec not in _KNOWN_CODECS:
+        raise ExecutionError(
+            f"unknown batch codec id {codec}; this build understands "
+            f"{sorted(_KNOWN_CODECS)} (pickle, columnar)"
+        )
+    return codec, view[5:]
+
+
+# ---------------------------------------------------------------------- #
+# Column primitives
+# ---------------------------------------------------------------------- #
+def _encode_column(values: Sequence, out: bytearray) -> None:
+    """Append one typed column: tag byte, payload length, payload.
+
+    The dtype is chosen by exact-type scan so decoding restores ``type(v)``
+    for every value: ``float`` -> f64, ``int`` within i64 -> i64, ``bool`` ->
+    bytes, anything else (or a mixed column) -> a pickled object column.
+    """
+    tag = 0
+    for value in values:
+        kind = type(value)
+        if kind is float:
+            code = 1
+        elif kind is int:
+            code = 2 if _I64_MIN <= value <= _I64_MAX else 4
+        elif kind is bool:
+            code = 3
+        else:
+            code = 4
+        if tag == 0:
+            tag = code
+        elif tag != code:
+            tag = 4
+        if tag == 4:
+            break
+    if tag in (0, 1):  # empty columns encode as (empty) f64
+        payload_array = array("d", values)
+        if _BIG_ENDIAN:  # pragma: no cover - big-endian hosts only
+            payload_array.byteswap()
+        payload = payload_array.tobytes()
+        out += b"d"
+    elif tag == 2:
+        payload_array = array("q", values)
+        if _BIG_ENDIAN:  # pragma: no cover - big-endian hosts only
+            payload_array.byteswap()
+        payload = payload_array.tobytes()
+        out += b"q"
+    elif tag == 3:
+        payload = bytes(values)
+        out += b"b"
+    else:
+        payload = pickle.dumps(list(values), protocol=pickle.HIGHEST_PROTOCOL)
+        out += b"O"
+    out += _U32.pack(len(payload))
+    out += payload
+
+
+def _decode_column(view: memoryview, offset: int, count: int) -> tuple[list, int]:
+    """Decode one column at ``offset``; return ``(values, next_offset)``."""
+    try:
+        tag = view[offset : offset + 1].tobytes()
+        (nbytes,) = _U32.unpack_from(view, offset + 1)
+        payload = view[offset + 5 : offset + 5 + nbytes]
+        if len(payload) != nbytes:
+            raise ExecutionError(
+                f"columnar batch truncated: column payload of {nbytes} bytes "
+                f"exceeds the remaining buffer"
+            )
+        if tag == b"d":
+            data = array("d")
+            data.frombytes(payload)
+            if _BIG_ENDIAN:  # pragma: no cover - big-endian hosts only
+                data.byteswap()
+            values = data.tolist()
+        elif tag == b"q":
+            data = array("q")
+            data.frombytes(payload)
+            if _BIG_ENDIAN:  # pragma: no cover - big-endian hosts only
+                data.byteswap()
+            values = data.tolist()
+        elif tag == b"b":
+            values = [byte == 1 for byte in payload.tobytes()]
+        elif tag == b"O":
+            values = pickle.loads(payload)
+        else:
+            raise ExecutionError(f"columnar batch corrupt: unknown column tag {tag!r}")
+    except struct.error as error:
+        raise ExecutionError(f"columnar batch truncated: {error}") from None
+    if len(values) != count:
+        raise ExecutionError(
+            f"columnar batch corrupt: column holds {len(values)} values, "
+            f"expected {count}"
+        )
+    return values, offset + 5 + nbytes
+
+
+def _encode_string(text: str, out: bytearray) -> None:
+    data = text.encode("utf-8")
+    out += _U32.pack(len(data))
+    out += data
+
+
+def _decode_string(view: memoryview, offset: int) -> tuple[str, int]:
+    (length,) = _U32.unpack_from(view, offset)
+    data = view[offset + 4 : offset + 4 + length]
+    if len(data) != length:
+        raise ExecutionError("columnar batch truncated inside a string table")
+    return data.tobytes().decode("utf-8"), offset + 4 + length
+
+
+def _decode_codes(view: memoryview, offset: int, count: int, table: int) -> tuple[array, int]:
+    (nbytes,) = _U32.unpack_from(view, offset)
+    payload = view[offset + 4 : offset + 4 + nbytes]
+    if len(payload) != nbytes:
+        raise ExecutionError("columnar batch truncated inside a code column")
+    codes = array("I")
+    codes.frombytes(payload)
+    if _BIG_ENDIAN:  # pragma: no cover - big-endian hosts only
+        codes.byteswap()
+    if len(codes) != count:
+        raise ExecutionError(
+            f"columnar batch corrupt: {len(codes)} interning codes for "
+            f"{count} events"
+        )
+    for code in codes:
+        if code >= table:
+            raise ExecutionError(
+                f"columnar batch corrupt: interning code {code} outside its "
+                f"table of {table} entries"
+            )
+    return codes, offset + 4 + nbytes
+
+
+# ---------------------------------------------------------------------- #
+# Body codec (interned rows <-> columns)
+# ---------------------------------------------------------------------- #
+def encode_columnar_body(
+    type_table: Sequence[EventType],
+    key_table: Sequence[tuple[str, ...]],
+    rows: Sequence[tuple],
+) -> bytes:
+    """Encode a batch's interned representation into the columnar body.
+
+    ``rows`` is the :class:`EventBatch` row form:
+    ``(type_code, time, sequence, key_code, values)``.
+    """
+    out = bytearray()
+    count = len(rows)
+    out += _U32.pack(count)
+    _encode_column([row[1] for row in rows], out)  # times
+    _encode_column([row[2] for row in rows], out)  # sequences
+    out += _U32.pack(len(type_table))
+    for name in type_table:
+        _encode_string(name, out)
+    type_codes = array("I", [row[0] for row in rows])
+    if _BIG_ENDIAN:  # pragma: no cover - big-endian hosts only
+        type_codes.byteswap()
+    packed = type_codes.tobytes()
+    out += _U32.pack(len(packed))
+    out += packed
+    out += _U32.pack(len(key_table))
+    for keys in key_table:
+        out += _U16.pack(len(keys))
+        for key in keys:
+            _encode_string(key, out)
+    key_codes = array("I", [row[3] for row in rows])
+    if _BIG_ENDIAN:  # pragma: no cover - big-endian hosts only
+        key_codes.byteswap()
+    packed = key_codes.tobytes()
+    out += _U32.pack(len(packed))
+    out += packed
+    # One typed column per (key shape, attribute position), holding the
+    # values of that shape's events in stream order.
+    values_by_shape: list[list[tuple]] = [[] for _ in key_table]
+    for row in rows:
+        values_by_shape[row[3]].append(row[4])
+    for shape_index, keys in enumerate(key_table):
+        shape_rows = values_by_shape[shape_index]
+        for position in range(len(keys)):
+            _encode_column([values[position] for values in shape_rows], out)
+    return bytes(out)
+
+
+class _ParsedColumns:
+    """The decoded column set, shared by both assemblers."""
+
+    __slots__ = (
+        "count",
+        "times",
+        "sequences",
+        "type_table",
+        "type_codes",
+        "key_table",
+        "key_codes",
+        "shape_columns",
+    )
+
+
+def _parse_columns(buffer) -> _ParsedColumns:
+    view = memoryview(buffer)
+    parsed = _ParsedColumns()
+    try:
+        (count,) = _U32.unpack_from(view, 0)
+        offset = 4
+        parsed.count = count
+        parsed.times, offset = _decode_column(view, offset, count)
+        parsed.sequences, offset = _decode_column(view, offset, count)
+        (type_count,) = _U32.unpack_from(view, offset)
+        offset += 4
+        type_table = []
+        for _ in range(type_count):
+            name, offset = _decode_string(view, offset)
+            type_table.append(name)
+        parsed.type_table = type_table
+        parsed.type_codes, offset = _decode_codes(view, offset, count, type_count)
+        (shape_count,) = _U32.unpack_from(view, offset)
+        offset += 4
+        key_table = []
+        for _ in range(shape_count):
+            (key_count,) = _U16.unpack_from(view, offset)
+            offset += 2
+            keys = []
+            for _ in range(key_count):
+                key, offset = _decode_string(view, offset)
+                keys.append(key)
+            key_table.append(tuple(keys))
+        parsed.key_table = key_table
+        parsed.key_codes, offset = _decode_codes(view, offset, count, shape_count)
+        occupancy = [0] * shape_count
+        for code in parsed.key_codes:
+            occupancy[code] += 1
+        shape_columns: list[list[list]] = []
+        for shape_index, keys in enumerate(key_table):
+            columns = []
+            for _ in range(len(keys)):
+                column, offset = _decode_column(view, offset, occupancy[shape_index])
+                columns.append(column)
+            shape_columns.append(columns)
+        parsed.shape_columns = shape_columns
+    except struct.error as error:
+        raise ExecutionError(f"columnar batch truncated: {error}") from None
+    except ExecutionError:
+        raise
+    except Exception as error:
+        raise ExecutionError(f"columnar batch corrupt: {error}") from None
+    return parsed
+
+
+def decode_columnar_body(buffer) -> tuple[tuple, tuple, tuple]:
+    """Decode a columnar body back into the batch's interned row form."""
+    parsed = _parse_columns(buffer)
+    cursors = [0] * len(parsed.key_table)
+    shape_columns = parsed.shape_columns
+    rows = []
+    for index in range(parsed.count):
+        key_code = parsed.key_codes[index]
+        cursor = cursors[key_code]
+        cursors[key_code] = cursor + 1
+        values = tuple(column[cursor] for column in shape_columns[key_code])
+        rows.append(
+            (
+                parsed.type_codes[index],
+                parsed.times[index],
+                parsed.sequences[index],
+                key_code,
+                values,
+            )
+        )
+    return tuple(parsed.type_table), tuple(parsed.key_table), tuple(rows)
+
+
+# ---------------------------------------------------------------------- #
+# Fast event assembly (the shared-memory receive path)
+# ---------------------------------------------------------------------- #
+_event_new = Event.__new__
+_event_set = object.__setattr__
+
+
+def build_event(event_type: EventType, time, payload: dict, sequence) -> Event:
+    """Assemble an :class:`Event` without re-running dataclass validation.
+
+    Decoded values were validated when the events were first created, so the
+    receive path skips ``__init__``/``__post_init__`` (and the sequence
+    counter) entirely.
+    """
+    event = _event_new(Event)
+    _event_set(event, "event_type", event_type)
+    _event_set(event, "time", time)
+    _event_set(event, "payload", payload)
+    _event_set(event, "sequence", sequence)
+    return event
+
+
+def decode_columnar_events(buffer) -> list[Event]:
+    """Decode a columnar body straight into events (no intermediate rows)."""
+    parsed = _parse_columns(buffer)
+    type_table = parsed.type_table
+    key_table = parsed.key_table
+    times = parsed.times
+    sequences = parsed.sequences
+    type_codes = parsed.type_codes
+    key_codes = parsed.key_codes
+    shape_columns = parsed.shape_columns
+    cursors = [0] * len(key_table)
+    events = []
+    append = events.append
+    for index in range(parsed.count):
+        key_code = key_codes[index]
+        cursor = cursors[key_code]
+        cursors[key_code] = cursor + 1
+        keys = key_table[key_code]
+        columns = shape_columns[key_code]
+        payload = {keys[j]: columns[j][cursor] for j in range(len(keys))}
+        append(
+            build_event(
+                type_table[type_codes[index]], times[index], payload, sequences[index]
+            )
+        )
+    return events
+
+
+def encode_events(events: Iterable[Event], codec: int) -> bytes:
+    """Encode a chunk of events into a framed buffer with ``codec``."""
+    from repro.events.batch import EventBatch
+
+    return EventBatch.from_events(events).to_bytes(
+        codec="columnar" if codec == CODEC_COLUMNAR else "pickle"
+    )
+
+
+def decode_events(data) -> list[Event]:
+    """Decode any framed buffer into events, dispatching on its codec."""
+    codec, body = parse_frame(data)
+    if codec == CODEC_COLUMNAR:
+        return decode_columnar_events(body)
+    from repro.events.batch import EventBatch
+
+    return EventBatch.from_bytes(data).events()

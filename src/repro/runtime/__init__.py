@@ -42,6 +42,7 @@ from repro.runtime.sharding import (
     stable_shard_hash,
 )
 from repro.runtime.streaming import StreamingExecutor, WindowResult, run_streaming
+from repro.runtime.transport import SlabReader, SlabRing
 
 __all__ = [
     "ExecutionMetrics",
@@ -53,6 +54,8 @@ __all__ = [
     "ShardReport",
     "ShardRouter",
     "ShardedStreamingExecutor",
+    "SlabReader",
+    "SlabRing",
     "UnitCompilation",
     "Stopwatch",
     "StreamingExecutor",

@@ -22,8 +22,11 @@ into parallelism:
   :class:`~repro.runtime.streaming.StreamingExecutor` per shard — unmodified;
   anything satisfying :class:`~repro.interfaces.StreamProcessor` would do —
   either in-process (``workers=0``, the testable-without-fork mode) or in a
-  ``multiprocessing`` pool.  Events cross process boundaries as
-  :class:`~repro.events.batch.EventBatch` chunks (amortized pickling), the
+  ``multiprocessing`` pool.  Events cross process boundaries in batches —
+  as pickled :class:`~repro.events.batch.EventBatch` chunks
+  (``transport="pickle"``) or as columnar buffers in reusable
+  shared-memory slabs with only ``(slab, length)`` references on the wire
+  (``transport="shm"``; see :mod:`repro.runtime.transport`) — the
   per-shard input queues are bounded (``max_inflight`` batches) so a slow
   shard back-pressures the router instead of buffering the stream, and the
   per-shard reports are merged **deterministically**: partition results are
@@ -52,7 +55,9 @@ from queue import Empty, Full
 from typing import Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.core.engine import HamletEngine
+from repro.core.kernels import KernelBackendSpec, resolve_kernel_backend
 from repro.errors import ExecutionError
+from repro.events import columnar
 from repro.events.batch import EventBatch
 from repro.events.event import Event, EventType
 from repro.events.stream import EventStream, slice_stream
@@ -71,6 +76,13 @@ from repro.runtime.executor import (
 )
 from repro.runtime.partitioner import group_sort_key
 from repro.runtime.streaming import StreamingExecutor, WindowResult
+from repro.runtime.transport import (
+    DEFAULT_SLAB_BYTES,
+    SlabReader,
+    SlabRing,
+    ring_slots,
+    validate_transport,
+)
 from repro.template.analysis import analyze_workload
 
 __all__ = [
@@ -349,6 +361,8 @@ def _shard_worker_main(
     shared_windows: bool,
     optimizer: OptimizerSpec,
     burst_size: Optional[int],
+    kernel_backend: KernelBackendSpec,
+    channel: Optional[tuple[str, int, object]],
     in_queue,
     out_queue,
 ) -> None:
@@ -356,14 +370,21 @@ def _shard_worker_main(
 
     Drives an unmodified :class:`StreamingExecutor` over the batches the
     router ships until the ``None`` sentinel arrives, then returns the
-    shard's report.  The adaptive-sharing policy crosses the process
-    boundary as its spec (typically a name); each shard resolves its own
-    optimizer instances, whose decision counts are shard-placement
-    invariant because bursts are segmented per ``(group, unit)`` stream and
-    every such stream lives wholly inside one shard.  Any failure is
-    shipped back as a formatted traceback — the driver re-raises it —
-    rather than dying silently.
+    shard's report.  The adaptive-sharing policy and kernel backend cross
+    the process boundary as their specs (typically names); each shard
+    resolves its own optimizer instances, whose decision counts are
+    shard-placement invariant because bursts are segmented per ``(group,
+    unit)`` stream and every such stream lives wholly inside one shard.
+
+    ``channel`` selects the transport: ``None`` means pickle (queue items
+    are :class:`EventBatch` objects); a ``(segment name, slab bytes, ack
+    pipe)`` triple means shared memory — queue items are ``("slab", index,
+    nbytes)`` references into the ring (acked back after decoding) or
+    ``("raw", payload)`` framed-bytes fallbacks.  Any failure is shipped
+    back as a formatted traceback — the driver re-raises it — rather than
+    dying silently.
     """
+    reader: Optional[SlabReader] = None
     try:
         executor = StreamingExecutor(
             list(queries),
@@ -372,17 +393,44 @@ def _shard_worker_main(
             shared_windows=shared_windows,
             optimizer=optimizer,
             burst_size=burst_size,
+            kernel_backend=kernel_backend,
         )
         process = executor.process
-        while True:
-            batch = in_queue.get()
-            if batch is None:
-                break
-            for event in batch:
-                process(event)
+        if channel is not None:
+            segment_name, slab_bytes, ack_send = channel
+            reader = SlabReader(segment_name, slab_bytes, ack_send)
+            while True:
+                message = in_queue.get()
+                if message is None:
+                    break
+                if message[0] == "slab":
+                    _, slab, nbytes = message
+                    view = reader.view(slab, nbytes)
+                    try:
+                        # Decoding copies every column out of the mapped
+                        # slab, so the slab is recyclable the moment
+                        # decode returns — ack before processing.
+                        events = columnar.decode_events(view)
+                    finally:
+                        view.release()
+                    reader.ack(slab)
+                else:
+                    events = columnar.decode_events(message[1])
+                for event in events:
+                    process(event)
+        else:
+            while True:
+                batch = in_queue.get()
+                if batch is None:
+                    break
+                for event in batch:
+                    process(event)
         out_queue.put((shard_id, "ok", executor.finish()))
     except BaseException:
         out_queue.put((shard_id, "error", traceback.format_exc()))
+    finally:
+        if reader is not None:
+            reader.close()
 
 
 class ShardedStreamingExecutor:
@@ -420,6 +468,20 @@ class ShardedStreamingExecutor:
             shard order, and the merged decision counts are invariant in
             the shard count because bursts are per ``(group, unit)`` stream
             and each such stream lives wholly inside one shard.
+        kernel_backend: Burst-fold kernel backend spec, forwarded to every
+            shard's :class:`StreamingExecutor` (same registry-name pattern
+            as ``optimizer``; see
+            :func:`~repro.core.kernels.resolve_kernel_backend`).
+        transport: How batches cross the process boundary with
+            ``workers > 0``: ``"pickle"`` ships :class:`EventBatch` blobs
+            through the queues; ``"shm"`` writes columnar-encoded batches
+            into a per-worker ring of reusable shared-memory slabs and
+            ships only ``(slab index, length)`` references (see
+            :mod:`repro.runtime.transport`).  Accepted-and-inert with
+            ``workers=0`` — there is no process boundary to cross — so
+            callers can sweep transports across worker counts uniformly.
+        slab_bytes: Slab payload capacity for the shm transport; batches
+            that encode larger fall back to the queue.
         on_window: Per-window callback; only available with ``workers=0``
             (results cross process boundaries only at :meth:`finish`).
     """
@@ -438,6 +500,9 @@ class ShardedStreamingExecutor:
         shared_windows: bool = True,
         optimizer: OptimizerSpec = None,
         burst_size: Optional[int] = None,
+        kernel_backend: KernelBackendSpec = None,
+        transport: str = "pickle",
+        slab_bytes: int = DEFAULT_SLAB_BYTES,
         on_window: Optional[Callable[[WindowResult], None]] = None,
     ) -> None:
         if workers < 0:
@@ -468,13 +533,27 @@ class ShardedStreamingExecutor:
         if burst_size is not None and burst_size < 1:
             raise ExecutionError(f"burst size must be >= 1, got {burst_size}")
         optimizer_factory = resolve_optimizer_factory(optimizer)
-        if burst_size is not None and optimizer_factory is None:
+        # Resolving validates the name (and, for "numpy", the import) in the
+        # driver — fail fast, not in a worker; workers receive the raw spec
+        # and resolve their own per-shard backend instances.
+        resolved_backend = resolve_kernel_backend(kernel_backend)
+        if (
+            burst_size is not None
+            and optimizer_factory is None
+            and not resolved_backend.wants_bursts
+        ):
             raise ExecutionError(
                 "burst_size requires an optimizer (burst segmentation is "
-                "adaptive-mode only)"
+                "adaptive-mode only) or a kernel backend that folds bursts "
+                "(kernel_backend='numpy')"
             )
         self.optimizer = optimizer
         self.burst_size = burst_size
+        self.kernel_backend = kernel_backend
+        self.transport = validate_transport(transport)
+        if slab_bytes < 1:
+            raise ExecutionError(f"slab_bytes must be >= 1, got {slab_bytes}")
+        self.slab_bytes = slab_bytes
         self.on_window = on_window
         self.engine_factory = engine_factory
         self.router = ShardRouter(
@@ -630,6 +709,8 @@ class ShardedStreamingExecutor:
         self._processes: list = []
         self._in_queues: list = []
         self._out_queue = None
+        #: Per-shard slab rings (shm transport in pool mode; else empty).
+        self._rings: list[SlabRing] = []
 
     def _start_shards(self) -> None:
         self._started = True
@@ -644,6 +725,7 @@ class ShardedStreamingExecutor:
                     shared_windows=self.shared_windows,
                     optimizer=self.optimizer,
                     burst_size=self.burst_size,
+                    kernel_backend=self.kernel_backend,
                 )
                 for shard_id in range(self.router.shards)
             ]
@@ -657,8 +739,22 @@ class ShardedStreamingExecutor:
             context.Queue(maxsize=self.max_inflight) for _ in range(self.router.shards)
         ]
         self._out_queue = context.Queue()
+        if self.transport == "shm":
+            self._rings = [
+                SlabRing(
+                    context,
+                    slots=ring_slots(self.max_inflight),
+                    slab_bytes=self.slab_bytes,
+                )
+                for _ in range(self.router.shards)
+            ]
         self._processes = []
         for shard_id in range(self.router.shards):
+            if self._rings:
+                ring = self._rings[shard_id]
+                channel = (ring.name, ring.slab_bytes, ring.ack_send)
+            else:
+                channel = None
             process = context.Process(
                 target=_shard_worker_main,
                 args=(
@@ -669,6 +765,8 @@ class ShardedStreamingExecutor:
                     self.shared_windows,
                     self.optimizer,
                     self.burst_size,
+                    self.kernel_backend,
+                    channel,
                     self._in_queues[shard_id],
                     self._out_queue,
                 ),
@@ -680,10 +778,29 @@ class ShardedStreamingExecutor:
 
     def _ship(self, shard_id: int) -> None:
         buffer = self._buffers[shard_id]
+        self._shard_batches[shard_id] += 1
+        if self._rings:
+            payload = columnar.encode_events(buffer, columnar.CODEC_COLUMNAR)
+            buffer.clear()
+            ring = self._rings[shard_id]
+            if ring.fits(payload):
+                slab = ring.acquire(
+                    poll_seconds=_POLL_SECONDS,
+                    on_stall=lambda: self._check_alive(shard_id),
+                )
+                ring.write(slab, payload)
+                self._put(shard_id, ("slab", slab, len(payload)))
+            else:
+                # Oversized batch: same framed bytes through the queue.
+                self._put(shard_id, ("raw", payload))
+            return
         batch = EventBatch.from_events(buffer)
         buffer.clear()
-        self._shard_batches[shard_id] += 1
         self._put(shard_id, batch)
+
+    def _check_alive(self, shard_id: int) -> None:
+        if not self._processes[shard_id].is_alive():
+            self._raise_worker_failure(shard_id)
 
     def _put(self, shard_id: int, item) -> None:
         """Bounded put: blocks on a full queue (backpressure) but never on a
@@ -694,8 +811,7 @@ class ShardedStreamingExecutor:
                 queue.put(item, timeout=_POLL_SECONDS)
                 return
             except Full:
-                if not self._processes[shard_id].is_alive():
-                    self._raise_worker_failure(shard_id)
+                self._check_alive(shard_id)
 
     def _finish_workers(self) -> list[ExecutionReport]:
         # Ship every shard's residual batch and sentinel in a round-robin of
@@ -707,7 +823,20 @@ class ShardedStreamingExecutor:
             items: list = []
             buffer = self._buffers[shard_id]
             if buffer:
-                items.append(EventBatch.from_events(buffer))
+                if self._rings:
+                    # Tail batches ride the raw fallback: acquiring a slab
+                    # can block on worker acks, which would defeat this
+                    # round-robin of strictly non-blocking puts.
+                    items.append(
+                        (
+                            "raw",
+                            columnar.encode_events(
+                                buffer, columnar.CODEC_COLUMNAR
+                            ),
+                        )
+                    )
+                else:
+                    items.append(EventBatch.from_events(buffer))
                 buffer.clear()
                 self._shard_batches[shard_id] += 1
             items.append(None)
@@ -803,9 +932,16 @@ class ShardedStreamingExecutor:
         if self._out_queue is not None:
             self._out_queue.close()
             self._out_queue.cancel_join_thread()
+        # Unlink every ring segment after the workers are gone (joined or
+        # terminated above) — the "no leaked segments" half of the shm
+        # transport contract; close() is idempotent and also detaches the
+        # last-resort finalizer.
+        for ring in self._rings:
+            ring.close()
         self._processes = []
         self._in_queues = []
         self._out_queue = None
+        self._rings = []
 
     # ------------------------------------------------------------------ #
     # Deterministic merge
@@ -918,6 +1054,9 @@ def run_sharded(
     shared_windows: bool = True,
     optimizer: OptimizerSpec = None,
     burst_size: Optional[int] = None,
+    kernel_backend: KernelBackendSpec = None,
+    transport: str = "pickle",
+    slab_bytes: int = DEFAULT_SLAB_BYTES,
 ) -> ExecutionReport:
     """One-shot convenience wrapper around :class:`ShardedStreamingExecutor`."""
     executor = ShardedStreamingExecutor(
@@ -932,5 +1071,8 @@ def run_sharded(
         shared_windows=shared_windows,
         optimizer=optimizer,
         burst_size=burst_size,
+        kernel_backend=kernel_backend,
+        transport=transport,
+        slab_bytes=slab_bytes,
     )
     return executor.run(stream)

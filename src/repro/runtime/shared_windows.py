@@ -62,7 +62,7 @@ from typing import Optional, Sequence
 
 from repro.core.engine import compile_fast_path_guards
 from repro.core.hamlet_graph import SharedWindowStore
-from repro.core.kernels import MutableAggregate
+from repro.core.kernels import KernelBackend, MutableAggregate, PythonKernelBackend
 from repro.core.snapshot import WindowCoefficientTable
 from repro.errors import ExecutionError
 from repro.events.event import Event, EventType
@@ -312,8 +312,15 @@ class MultiWindowLinearEngine(MultiWindowEngine):
       once across windows, only for types some class may have to scan.
     """
 
-    def __init__(self, unit: UnitCompilation) -> None:
+    def __init__(
+        self, unit: UnitCompilation, backend: Optional[KernelBackend] = None
+    ) -> None:
         self.unit = unit
+        #: Numeric core for burst folds; the pure-Python reference backend
+        #: (bit-identical per-event arithmetic) unless a caller swaps it.
+        self._backend: KernelBackend = (
+            backend if backend is not None else PythonKernelBackend()
+        )
         self._coefficients = WindowCoefficientTable(unit.dimension)
         self._armed: list[dict[int, bool]] = [dict() for _ in unit.classes]
         self._store: Optional[SharedWindowStore] = (
@@ -416,6 +423,174 @@ class MultiWindowLinearEngine(MultiWindowEngine):
                 node_values = self._slow_path(plan, event, armed, contributions, node_values)
         if store is not None and event.event_type in unit.stored_node_types:
             store.add_node(event, lo, hi, node_values)
+
+    def process_burst(self, burst: Sequence[tuple[Event, int, int]]) -> None:
+        """Fold a maximal same-type run with per-burst plan resolution.
+
+        Semantically equivalent to calling :meth:`process` per buffered
+        event; the run-level entry point resolves each ``(class, type)``
+        plan — maps, sources, guards, armed sets — **once per burst**
+        instead of once per event, and hands eligible runs to the kernel
+        backend, which may fold them with per-event reference arithmetic
+        (the python backend: bit-identical) or a vectorized closed form
+        (the numpy backend: the documented float-tolerance contract).
+
+        A run falls back to per-event processing whenever per-event
+        structure matters: store interactions (the burst type is negated or
+        stored by some class), non-uniform covering ranges of a start type
+        (arming interleaves with folding), or the scan slow path.  Abstract
+        operation counts are backend-invariant: a backend fold charges
+        exactly the per-event fast-path total.
+        """
+        if not burst:
+            return
+        if len(burst) == 1:
+            event, lo, hi = burst[0]
+            self.process(event, lo, hi)
+            return
+        event_type = burst[0][0].event_type
+        unit = self.unit
+        store = self._store
+        plans = self._plans_by_type.get(event_type)
+        if plans is None or (
+            store is not None
+            and (
+                event_type in unit.negative_classes_by_type
+                or event_type in unit.stored_node_types
+            )
+        ):
+            # Negation recording and per-node value storage are inherently
+            # per event; the reference path handles them unchanged.
+            process = self.process
+            for event, lo, hi in burst:
+                process(event, lo, hi)
+            return
+        previous = self._latest_event
+        for event, _, _ in burst:
+            if previous is not None and not previous < event:
+                raise ExecutionError(
+                    "shared-window execution requires strictly ordered arrival "
+                    f"(by time, then sequence); {event!r} does not follow "
+                    f"{previous!r} — use shared_windows=False for such streams"
+                )
+            previous = event
+        self._latest_event = previous
+        scalar = unit.scalar
+        contribution_rows = (
+            None if scalar else [unit.contributions(event) for event, _, _ in burst]
+        )
+        backend = self._backend
+        for plan in plans:
+            spec = plan.spec
+            if spec.check_locals:
+                accepts = spec.predicates.accepts_event
+                selected = [
+                    position
+                    for position, (event, _, _) in enumerate(burst)
+                    if accepts(event)
+                ]
+                if not selected:
+                    continue
+                accepted = [burst[position] for position in selected]
+                rows = (
+                    None
+                    if scalar
+                    else [contribution_rows[position] for position in selected]
+                )
+            else:
+                accepted = burst  # type: ignore[assignment]
+                rows = contribution_rows
+            armed = self._armed[spec.index]
+            if plan.is_start:
+                lo0, hi0 = accepted[0][1], accepted[0][2]
+                if any(lo != lo0 or hi != hi0 for _, lo, hi in accepted):
+                    # Covering ranges differ inside the run: arming
+                    # interleaves with folding, which only the per-event
+                    # order reproduces.
+                    self._burst_reference(plan, accepted, rows)
+                    continue
+                for index in range(lo0, hi0 + 1):
+                    if index not in armed:
+                        armed[index] = True
+                        self._armed_entries += 1
+            if not armed:
+                continue
+            fast = plan.guards is not None
+            if fast and plan.guards and store is not None:
+                # The store cannot change during the run (its type is
+                # neither negated nor stored), so one guard check covers
+                # every event of the burst.
+                for negated_type in plan.guards:
+                    if store.has_negatives(negated_type):
+                        fast = False
+                        break
+            if not fast:
+                self._burst_reference(plan, accepted, rows)
+                continue
+            indices = list(armed)
+            base = 1.0 if plan.is_start else 0.0
+            count = len(accepted)
+            created = 0
+            replica_created = 0
+            canonical = plan.total_map
+            for total_map in plan.targets:
+                sources = plan.fold_sources(total_map)
+                if scalar:
+                    made = backend.fold_scalar_run(
+                        total_map, indices, sources, base, count
+                    )
+                else:
+                    made = backend.fold_vector_run(
+                        total_map, indices, sources, base, rows, unit.dimension
+                    )
+                if total_map is canonical:
+                    created += made
+                else:
+                    replica_created += made
+            self._coeff_entries += created
+            self._replica_entries += replica_created
+            self._ops += (
+                count * len(plan.targets) * len(indices) * (1 + len(plan.pred_maps))
+            )
+
+    def _burst_reference(
+        self,
+        plan: _TypePlan,
+        accepted: Sequence[tuple[Event, int, int]],
+        contribution_rows: Optional[Sequence[tuple[float, ...]]],
+    ) -> None:
+        """Per-event reference fold of one plan over an accepted run.
+
+        Reproduces :meth:`process`'s per-plan body exactly (arming, guard
+        staleness, fast/slow dispatch) for the runs the backend fold cannot
+        take; ``node_values`` is never threaded because burst-eligible types
+        are never stored (see :meth:`process_burst`).
+        """
+        store = self._store
+        armed = self._armed[plan.spec.index]
+        scalar = self.unit.scalar
+        for position, (event, lo, hi) in enumerate(accepted):
+            contributions = None if scalar else contribution_rows[position]
+            if plan.is_start:
+                for index in range(lo, hi + 1):
+                    if index not in armed:
+                        armed[index] = True
+                        self._armed_entries += 1
+            if not armed:
+                continue
+            fast = plan.guards is not None
+            if fast and plan.guards and store is not None:
+                for negated_type in plan.guards:
+                    if store.has_negatives(negated_type):
+                        fast = False
+                        break
+            if fast:
+                if scalar:
+                    self._fast_scalar(plan, armed, None)
+                else:
+                    self._fast_vector(plan, armed, contributions, None)
+            else:
+                self._slow_path(plan, event, armed, contributions, None)
 
     def close_window(self, index: int) -> dict[str, float]:
         """Equation 3 readout of one instance from its coefficient column."""

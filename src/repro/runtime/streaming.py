@@ -61,6 +61,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.core.engine import HamletEngine
+from repro.core.kernels import KernelBackendSpec, resolve_kernel_backend
 from repro.errors import ExecutionError
 from repro.events.event import Event, EventType
 from repro.events.stream import EventStream, slice_stream
@@ -209,6 +210,7 @@ class StreamingExecutor:
         shared_windows: bool = True,
         optimizer: OptimizerSpec = None,
         burst_size: Optional[int] = None,
+        kernel_backend: KernelBackendSpec = None,
     ) -> None:
         """Create a streaming executor.
 
@@ -242,9 +244,18 @@ class StreamingExecutor:
                 are bit-identical whatever the policy; only the work and
                 memory profiles change.  Per-instance fallback units are
                 unaffected (their engines keep their own optimizers).
-            burst_size: Optional cap on the events per burst in adaptive
-                mode (``None``: bursts are the maximal same-type runs).
-                Smaller caps mean more frequent decisions.
+            burst_size: Optional cap on the events per burst when bursts are
+                buffered (``None``: bursts are the maximal same-type runs).
+                Smaller caps mean more frequent decisions in adaptive mode.
+            kernel_backend: Numeric core for the shared-window burst folds:
+                ``None`` (consult ``REPRO_KERNEL_BACKEND``, default the
+                pure-Python reference backend), a backend name (``"python"``,
+                ``"numpy"``) or a
+                :class:`~repro.core.kernels.KernelBackend` instance.  The
+                numpy backend folds each maximal same-type run as one
+                closed-form array operation — bit-identical to the reference
+                on exactly-representable integer workloads and within the
+                documented float tolerance otherwise (see docs/DESIGN.md).
         """
         self.workload = workload if isinstance(workload, Workload) else Workload(workload)
         self.workload.validate()
@@ -255,12 +266,21 @@ class StreamingExecutor:
         if burst_size is not None and burst_size < 1:
             raise ExecutionError(f"burst size must be >= 1, got {burst_size}")
         self._optimizer_factory = resolve_optimizer_factory(optimizer)
-        if burst_size is not None and self._optimizer_factory is None:
-            # Burst segmentation only exists in adaptive mode; silently
-            # ignoring the cap would hide the misconfiguration.
+        self._kernel_backend = resolve_kernel_backend(kernel_backend)
+        #: Buffer maximal same-type runs per shared group: required by
+        #: adaptive mode (per-burst decisions) and requested by vectorizing
+        #: backends (run-level folds); off otherwise — the static python
+        #: path keeps its zero-overhead per-event feed.
+        self._burst_buffering = (
+            self._optimizer_factory is not None or self._kernel_backend.wants_bursts
+        )
+        if burst_size is not None and not self._burst_buffering:
+            # Burst segmentation only exists when bursts are buffered;
+            # silently ignoring the cap would hide the misconfiguration.
             raise ExecutionError(
                 "burst_size requires an optimizer (pass optimizer='dynamic', "
-                "'always', 'never', 'static' or a SharingOptimizer factory)"
+                "'always', 'never', 'static' or a SharingOptimizer factory) "
+                "or a kernel backend that folds bursts (kernel_backend='numpy')"
             )
         self.burst_size = burst_size
         self.analysis = analyze_workload(self.workload)
@@ -340,7 +360,7 @@ class StreamingExecutor:
         self._report.metrics.note_memory_units(self._open_memory_units())
         for unit in self._units:
             if unit.shared:
-                if self._optimizer_factory is not None:
+                if self._burst_buffering:
                     for group in unit.shared_groups.values():
                         self._flush_group(unit, group)
                 pending = [
@@ -477,7 +497,7 @@ class StreamingExecutor:
                 # inert — don't even build the group's engine.
                 return
             assert unit.compiled is not None
-            engine = MultiWindowLinearEngine(unit.compiled)
+            engine = MultiWindowLinearEngine(unit.compiled, self._kernel_backend)
             group = unit.shared_groups[group_key] = _SharedGroup(
                 engine=engine, evicts=engine.store is not None
             )
@@ -508,8 +528,8 @@ class StreamingExecutor:
             # provably inert (see the module docstring); it is skipped
             # without touching the shared engine.
             return
-        if self._optimizer_factory is not None:
-            # Adaptive mode: buffer the burst; decisions and engine feeds
+        if self._burst_buffering:
+            # Buffer the burst; decisions (adaptive mode) and engine feeds
             # happen at flush (type change, cap, window close, or finish).
             if group.burst and (
                 group.burst_type != event.event_type
@@ -550,7 +570,8 @@ class StreamingExecutor:
         compiled = unit.compiled
         assert compiled is not None and event_type is not None
         started = time.perf_counter()
-        if event_type in compiled.positive_classes_by_type:
+        optimizer = group.optimizer
+        if optimizer is not None and event_type in compiled.positive_classes_by_type:
             engine.note_positive_burst(event_type)
             eligible = compiled.adaptive_classes_by_type.get(event_type)
             if eligible:
@@ -560,8 +581,6 @@ class StreamingExecutor:
                 events_in_window = group.fed - min(
                     meta.opened_fed for meta in group.metas.values()
                 )
-                optimizer = group.optimizer
-                assert optimizer is not None
                 for spec in eligible:
                     stats = engine.burst_statistics(
                         spec, event_type, len(burst), events_in_window
@@ -569,9 +588,11 @@ class StreamingExecutor:
                     decision = optimizer.decide(stats)
                     shared = decision.shared_queries if decision.share else frozenset()
                     engine.apply_burst_decision(spec, event_type, shared, len(burst))
-        process = engine.process
-        for event, lo, hi in burst:
-            process(event, lo, hi)
+        # One run-level engine feed: plan resolution is hoisted to burst
+        # start and the kernel backend folds the whole run (the python
+        # backend with per-event reference arithmetic, the numpy backend
+        # with a closed-form array op).
+        engine.process_burst(burst)
         duration = time.perf_counter() - started
         group.share_seconds += duration / max(1, len(group.metas))
 
@@ -849,6 +870,7 @@ def run_streaming(
     shared_windows: bool = True,
     optimizer: OptimizerSpec = None,
     burst_size: Optional[int] = None,
+    kernel_backend: KernelBackendSpec = None,
 ) -> ExecutionReport:
     """One-shot convenience wrapper around :class:`StreamingExecutor`."""
     executor = StreamingExecutor(
@@ -859,5 +881,6 @@ def run_streaming(
         shared_windows=shared_windows,
         optimizer=optimizer,
         burst_size=burst_size,
+        kernel_backend=kernel_backend,
     )
     return executor.run(stream)

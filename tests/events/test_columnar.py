@@ -1,0 +1,136 @@
+"""Columnar wire codec: framing, typed columns, exact-type round trips.
+
+The randomized identity property over both codecs lives in
+``tests/runtime/test_sharding.py`` (the EventBatch fuzz); this module pins
+the deliberate design points — the versioned header's failure modes, the
+exact-type column classification and the object-column fallback.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.events import Event, EventBatch
+from repro.events import columnar
+
+
+def make(payloads, type_name="T"):
+    return [
+        Event(type_name, float(index), payload)
+        for index, payload in enumerate(payloads)
+    ]
+
+
+def round_trip(events, codec="columnar"):
+    data = EventBatch.from_events(events).to_bytes(codec=codec)
+    return EventBatch.from_bytes(data).events()
+
+
+class TestFraming:
+    def test_header_magic_and_codec_byte(self):
+        data = EventBatch.from_events(make([{}])).to_bytes(codec="columnar")
+        assert data[:4] == columnar.MAGIC
+        assert data[4] == columnar.CODEC_COLUMNAR
+        pickled = EventBatch.from_events(make([{}])).to_bytes()
+        assert pickled[:4] == columnar.MAGIC
+        assert pickled[4] == columnar.CODEC_PICKLE
+
+    def test_wrong_magic_is_a_clean_error(self):
+        with pytest.raises(ExecutionError, match="magic"):
+            EventBatch.from_bytes(b"XXXX" + bytes(64))
+
+    def test_legacy_unframed_pickle_is_a_clean_error(self):
+        legacy = pickle.dumps(("T",), protocol=pickle.HIGHEST_PROTOCOL)
+        with pytest.raises(ExecutionError, match="magic"):
+            EventBatch.from_bytes(legacy)
+
+    def test_unknown_codec_version_is_a_clean_error(self):
+        data = bytearray(EventBatch.from_events(make([{}])).to_bytes())
+        data[4] = 0x7F
+        with pytest.raises(ExecutionError, match="codec"):
+            EventBatch.from_bytes(bytes(data))
+
+    def test_truncated_buffer_is_a_clean_error(self):
+        data = EventBatch.from_events(
+            make([{"v": 1.0, "w": 2}, {"v": 3.5, "w": 4}])
+        ).to_bytes(codec="columnar")
+        for cut in (0, 3, 5, len(data) // 2, len(data) - 1):
+            with pytest.raises(ExecutionError):
+                EventBatch.from_bytes(data[:cut])
+
+    def test_unknown_codec_name_on_encode(self):
+        with pytest.raises(ExecutionError, match="codec"):
+            EventBatch.from_events(make([{}])).to_bytes(codec="json")
+
+
+class TestTypedColumns:
+    def test_exact_type_preservation_per_column(self):
+        # One key carrying a uniform dtype per batch → typed column; the
+        # decoded values must come back with type() intact, not coerced.
+        events = make([{"v": 1.0}, {"v": -0.5}]) + make([{"v": 2.5}])
+        assert [e.payload["v"] for e in round_trip(events)] == [1.0, -0.5, 2.5]
+        events = make([{"n": 4}, {"n": -7}])
+        decoded = [e.payload["n"] for e in round_trip(events)]
+        assert decoded == [4, -7] and all(type(v) is int for v in decoded)
+        events = make([{"b": True}, {"b": False}])
+        decoded = [e.payload["b"] for e in round_trip(events)]
+        assert decoded == [True, False] and all(type(v) is bool for v in decoded)
+
+    def test_mixed_dtypes_fall_back_to_object_column(self):
+        # int/float/bool/str mixed under one key cannot share a fixed
+        # dtype; the object column must keep each value's exact type.
+        values = [4, 4.0, True, "4", None, (1, 2.5), 2**70, -(2**70)]
+        events = make([{"x": value} for value in values])
+        decoded = [e.payload["x"] for e in round_trip(events)]
+        assert decoded == values
+        assert [type(v) for v in decoded] == [type(v) for v in values]
+
+    def test_negative_zero_and_int64_boundaries(self):
+        values = [-0.0, float(2**53), -(2**63), 2**63 - 1, 2**63]
+        events = make([{"x": value} for value in values])
+        decoded = [e.payload["x"] for e in round_trip(events)]
+        assert [type(v) for v in decoded] == [type(v) for v in values]
+        assert str(decoded[0]) == "-0.0"
+        assert decoded[1:] == values[1:]
+
+    def test_key_order_and_heterogeneous_shapes(self):
+        events = make([{"a": 1.0, "b": 2.0}]) + make([{"b": 3.0, "a": 4.0}])
+        decoded = round_trip(events)
+        assert tuple(decoded[0].payload) == ("a", "b")
+        assert tuple(decoded[1].payload) == ("b", "a")
+
+    def test_unicode_types_and_keys(self):
+        events = make([{"clé": "värde", "鍵": 1.0}], type_name="Tÿpe")
+        decoded = round_trip(events)
+        assert decoded[0].event_type == "Tÿpe"
+        assert decoded[0].payload == {"clé": "värde", "鍵": 1.0}
+
+    def test_time_and_sequence_survive_exactly(self):
+        events = [
+            Event("T", 0.1 + 0.2, {"v": 1.0}),
+            Event("T", 1e308, {"v": 2.0}),
+        ]
+        decoded = round_trip(events)
+        assert [e.time for e in decoded] == [e.time for e in events]
+        assert [e.sequence for e in decoded] == [e.sequence for e in events]
+
+    def test_empty_batch_and_empty_payloads(self):
+        assert round_trip([]) == []
+        decoded = round_trip(make([{}, {}]))
+        assert [e.payload for e in decoded] == [{}, {}]
+
+    def test_decode_accepts_memoryview(self):
+        events = make([{"v": 1.5}, {"v": 2.5}])
+        data = EventBatch.from_events(events).to_bytes(codec="columnar")
+        assert columnar.decode_events(memoryview(data)) == events
+
+    def test_encode_decode_events_helpers_dispatch(self):
+        events = make([{"v": 1.5}])
+        for codec in (columnar.CODEC_PICKLE, columnar.CODEC_COLUMNAR):
+            data = columnar.encode_events(events, codec)
+            decoded = columnar.decode_events(data)
+            assert decoded == events
+            assert decoded[0].payload == events[0].payload

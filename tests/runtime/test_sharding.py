@@ -133,20 +133,39 @@ def _fuzz_events(draw):
 
 
 class TestEventBatchFuzz:
-    """Property: encode/decode is the identity on arbitrary event chunks."""
+    """Property: encode/decode is the identity on arbitrary event chunks.
 
+    Both wire codecs carry the same strategy: the pickle body trivially,
+    the columnar body through its typed-column classification (f64 / i64 /
+    bool columns with the object-pickle fallback for big ints, None,
+    strings and nested tuples) — mixed dtypes under one key, unicode keys
+    and ints beyond 2**63 all land in the fallback column and must still
+    round-trip exactly.
+    """
+
+    @pytest.mark.parametrize("codec", ("pickle", "columnar"))
     @settings(deadline=None, derandomize=True, max_examples=150)
     @given(events=_fuzz_events())
-    def test_round_trip_is_identity(self, events):
+    def test_round_trip_is_identity(self, codec, events):
         for decoded in (
             EventBatch.from_events(events).events(),
-            EventBatch.from_bytes(EventBatch.from_events(events).to_bytes()).events(),
+            EventBatch.from_bytes(
+                EventBatch.from_events(events).to_bytes(codec=codec)
+            ).events(),
         ):
             assert decoded == events  # (type, time, sequence) equality
             for original, copy in zip(events, decoded):
-                # Event.__eq__ ignores the payload; compare it explicitly.
+                # Event.__eq__ ignores the payload; compare it explicitly,
+                # and key *order* too — interning is by exact key shape.
                 assert copy.payload == original.payload
+                assert tuple(copy.payload) == tuple(original.payload)
                 assert copy.sequence == original.sequence
+                assert copy.time == original.time
+                for value, copied in zip(
+                    original.payload.values(), copy.payload.values()
+                ):
+                    # Exact-type classification: 4 must not come back 4.0.
+                    assert type(copied) is type(value)
 
     @settings(deadline=None, derandomize=True, max_examples=60)
     @given(events=_fuzz_events())

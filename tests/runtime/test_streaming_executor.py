@@ -430,14 +430,24 @@ class TestSharedWindows:
             assert saw_replicas  # the split path was actually exercised
 
     def test_burst_size_without_optimizer_rejected(self):
-        """A silently ignored burst cap would hide the misconfiguration."""
+        """A silently ignored burst cap would hide the misconfiguration.
+
+        Pinned to the reference kernel backend: a burst-folding backend
+        (``wants_bursts``, e.g. numpy) legitimately consumes the cap
+        without an optimizer, so the rejection is per-backend and must
+        not depend on the ambient REPRO_KERNEL_BACKEND default.
+        """
         from repro.runtime import ShardedStreamingExecutor
 
         window = Window(10.0, 2.0)
         with pytest.raises(ExecutionError):
-            StreamingExecutor(_ab_workload(window), HamletEngine, burst_size=8)
+            StreamingExecutor(
+                _ab_workload(window), HamletEngine, burst_size=8, kernel_backend="python"
+            )
         with pytest.raises(ExecutionError):
-            ShardedStreamingExecutor(_ab_workload(window), HamletEngine, burst_size=8)
+            ShardedStreamingExecutor(
+                _ab_workload(window), HamletEngine, burst_size=8, kernel_backend="python"
+            )
         # With a policy the same cap is accepted.
         StreamingExecutor(_ab_workload(window), HamletEngine, optimizer="dynamic", burst_size=8)
 
@@ -517,10 +527,29 @@ class TestSharedWindows:
         # its events strictly ordered and rejects the second feed.
         late = Event("A", 1.0)
         early = Event("C", 1.0)  # created after `late`, so late < early
-        executor = StreamingExecutor(_ab_workload(Window(10.0)), HamletEngine)
+        # Pinned to the reference backend: a burst-buffering backend
+        # (wants_bursts) defers the feed to flush time, so the rejection
+        # would surface there instead of at process().
+        executor = StreamingExecutor(
+            _ab_workload(Window(10.0)), HamletEngine, kernel_backend="python"
+        )
         executor.process(early)
         with pytest.raises(ExecutionError):
             executor.process(late)
+
+    def test_equal_time_out_of_sequence_rejected_at_burst_flush(self):
+        # The burst-buffering path defers engine feeds, but the ordering
+        # invariant still holds: the flush rejects the out-of-order run.
+        pytest.importorskip("numpy")
+        late = Event("A", 1.0)
+        early = Event("C", 1.0)
+        executor = StreamingExecutor(
+            _ab_workload(Window(10.0)), HamletEngine, kernel_backend="numpy"
+        )
+        executor.process(early)
+        executor.process(late)  # buffered, not yet fed
+        with pytest.raises(ExecutionError):
+            executor.finish()
 
     def test_equal_time_events_of_different_groups_are_accepted(self):
         # Ordering is required per (group, unit) engine, not globally: an
