@@ -14,8 +14,8 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Optional
 
 from repro.errors import SharingError
 from repro.events.event import EventType
@@ -29,7 +29,7 @@ class SnapshotLevel(enum.Enum):
     EVENT = "event"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Snapshot:
     """A snapshot variable (identity only; values live in the table)."""
 
@@ -43,6 +43,8 @@ class Snapshot:
 
 class SnapshotTable:
     """Mapping from ``(snapshot, query)`` to the query's aggregate vector."""
+
+    __slots__ = ("_dimension", "_snapshots", "_values", "_id_counter", "_created")
 
     def __init__(self, dimension: int) -> None:
         self._dimension = dimension
@@ -94,11 +96,11 @@ class SnapshotTable:
             (snapshot_id, query_name), AggregateVector.zero(self._dimension)
         )
 
-    def resolver(self, query_name: str):
+    def resolver(self, query_name: str) -> Callable[[str], AggregateVector]:
         """Return a ``snapshot_id -> value`` callable for one query."""
         return lambda snapshot_id: self.value(snapshot_id, query_name)
 
-    def raw_lookup(self, query_name: str):
+    def raw_lookup(self, query_name: str) -> Callable[[str], Optional[AggregateVector]]:
         """A hot-path lookup for one query: ``snapshot_id -> value | None``.
 
         Unlike :meth:`resolver` this never allocates a zero vector — a query

@@ -40,6 +40,11 @@ from repro.events.event import Event, EventType
 
 __all__ = ["EventBatch"]
 
+#: The pickled slot state: ``(type_table, key_table, rows)``.
+_BatchState = tuple[
+    tuple[EventType, ...], tuple[tuple[str, ...], ...], tuple[columnar.Row, ...]
+]
+
 
 class EventBatch:
     """An immutable, compactly-encoded chunk of in-order events."""
@@ -50,7 +55,7 @@ class EventBatch:
         self,
         type_table: tuple[EventType, ...],
         key_table: tuple[tuple[str, ...], ...],
-        rows: tuple[tuple, ...],
+        rows: tuple[columnar.Row, ...],
     ) -> None:
         self._type_table = type_table
         self._key_table = key_table
@@ -67,7 +72,7 @@ class EventBatch:
         type_codes: dict[EventType, int] = {}
         key_table: list[tuple[str, ...]] = []
         key_codes: dict[tuple[str, ...], int] = {}
-        rows = []
+        rows: list[columnar.Row] = []
         for event in events:
             type_code = type_codes.get(event.event_type)
             if type_code is None:
@@ -140,7 +145,7 @@ class EventBatch:
         )
 
     @classmethod
-    def from_bytes(cls, data) -> "EventBatch":
+    def from_bytes(cls, data: columnar.Buffer) -> "EventBatch":
         """Deserialize a framed buffer produced by :meth:`to_bytes`.
 
         Accepts ``bytes`` or any buffer (e.g. a shared-memory
@@ -156,10 +161,10 @@ class EventBatch:
             return cls(*state)
         return cls(*columnar.decode_columnar_body(body))
 
-    def __getstate__(self):
+    def __getstate__(self) -> _BatchState:
         return (self._type_table, self._key_table, self._rows)
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: _BatchState) -> None:
         self._type_table, self._key_table, self._rows = state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -37,10 +37,17 @@ import pickle
 import struct
 import sys
 from array import array
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence, Union
 
 from repro.errors import ExecutionError
 from repro.events.event import Event, EventType
+from repro.events.time import Timestamp
+
+#: Anything the decoders accept: raw bytes or a (shared-memory) view.
+Buffer = Union[bytes, bytearray, memoryview]
+
+#: The interned row form: ``(type_code, time, sequence, key_code, values)``.
+Row = tuple[int, Timestamp, int, int, tuple[Any, ...]]
 
 __all__ = [
     "CODEC_COLUMNAR",
@@ -78,7 +85,7 @@ def frame(codec: int, body: bytes) -> bytes:
     return MAGIC + _U8.pack(codec) + body
 
 
-def parse_frame(data) -> tuple[int, memoryview]:
+def parse_frame(data: Buffer) -> tuple[int, memoryview]:
     """Split a framed buffer into ``(codec, body)``.
 
     Raises:
@@ -109,7 +116,7 @@ def parse_frame(data) -> tuple[int, memoryview]:
 # ---------------------------------------------------------------------- #
 # Column primitives
 # ---------------------------------------------------------------------- #
-def _encode_column(values: Sequence, out: bytearray) -> None:
+def _encode_column(values: Sequence[Any], out: bytearray) -> None:
     """Append one typed column: tag byte, payload length, payload.
 
     The dtype is chosen by exact-type scan so decoding restores ``type(v)``
@@ -134,16 +141,16 @@ def _encode_column(values: Sequence, out: bytearray) -> None:
         if tag == 4:
             break
     if tag in (0, 1):  # empty columns encode as (empty) f64
-        payload_array = array("d", values)
+        f64s = array("d", values)
         if _BIG_ENDIAN:  # pragma: no cover - big-endian hosts only
-            payload_array.byteswap()
-        payload = payload_array.tobytes()
+            f64s.byteswap()
+        payload = f64s.tobytes()
         out += b"d"
     elif tag == 2:
-        payload_array = array("q", values)
+        i64s = array("q", values)
         if _BIG_ENDIAN:  # pragma: no cover - big-endian hosts only
-            payload_array.byteswap()
-        payload = payload_array.tobytes()
+            i64s.byteswap()
+        payload = i64s.tobytes()
         out += b"q"
     elif tag == 3:
         payload = bytes(values)
@@ -155,8 +162,9 @@ def _encode_column(values: Sequence, out: bytearray) -> None:
     out += payload
 
 
-def _decode_column(view: memoryview, offset: int, count: int) -> tuple[list, int]:
+def _decode_column(view: memoryview, offset: int, count: int) -> tuple[list[Any], int]:
     """Decode one column at ``offset``; return ``(values, next_offset)``."""
+    values: list[Any]
     try:
         tag = view[offset : offset + 1].tobytes()
         (nbytes,) = _U32.unpack_from(view, offset + 1)
@@ -167,17 +175,17 @@ def _decode_column(view: memoryview, offset: int, count: int) -> tuple[list, int
                 f"exceeds the remaining buffer"
             )
         if tag == b"d":
-            data = array("d")
-            data.frombytes(payload)
+            f64s = array("d")
+            f64s.frombytes(payload)
             if _BIG_ENDIAN:  # pragma: no cover - big-endian hosts only
-                data.byteswap()
-            values = data.tolist()
+                f64s.byteswap()
+            values = f64s.tolist()
         elif tag == b"q":
-            data = array("q")
-            data.frombytes(payload)
+            i64s = array("q")
+            i64s.frombytes(payload)
             if _BIG_ENDIAN:  # pragma: no cover - big-endian hosts only
-                data.byteswap()
-            values = data.tolist()
+                i64s.byteswap()
+            values = i64s.tolist()
         elif tag == b"b":
             values = [byte == 1 for byte in payload.tobytes()]
         elif tag == b"O":
@@ -208,7 +216,9 @@ def _decode_string(view: memoryview, offset: int) -> tuple[str, int]:
     return data.tobytes().decode("utf-8"), offset + 4 + length
 
 
-def _decode_codes(view: memoryview, offset: int, count: int, table: int) -> tuple[array, int]:
+def _decode_codes(
+    view: memoryview, offset: int, count: int, table: int
+) -> tuple["array[int]", int]:
     (nbytes,) = _U32.unpack_from(view, offset)
     payload = view[offset + 4 : offset + 4 + nbytes]
     if len(payload) != nbytes:
@@ -237,7 +247,7 @@ def _decode_codes(view: memoryview, offset: int, count: int, table: int) -> tupl
 def encode_columnar_body(
     type_table: Sequence[EventType],
     key_table: Sequence[tuple[str, ...]],
-    rows: Sequence[tuple],
+    rows: Sequence[Row],
 ) -> bytes:
     """Encode a batch's interned representation into the columnar body.
 
@@ -271,7 +281,7 @@ def encode_columnar_body(
     out += packed
     # One typed column per (key shape, attribute position), holding the
     # values of that shape's events in stream order.
-    values_by_shape: list[list[tuple]] = [[] for _ in key_table]
+    values_by_shape: list[list[tuple[Any, ...]]] = [[] for _ in key_table]
     for row in rows:
         values_by_shape[row[3]].append(row[4])
     for shape_index, keys in enumerate(key_table):
@@ -295,8 +305,17 @@ class _ParsedColumns:
         "shape_columns",
     )
 
+    count: int
+    times: list[Any]
+    sequences: list[Any]
+    type_table: list[str]
+    type_codes: "array[int]"
+    key_table: list[tuple[str, ...]]
+    key_codes: "array[int]"
+    shape_columns: list[list[list[Any]]]
 
-def _parse_columns(buffer) -> _ParsedColumns:
+
+def _parse_columns(buffer: Buffer) -> _ParsedColumns:
     view = memoryview(buffer)
     parsed = _ParsedColumns()
     try:
@@ -307,7 +326,7 @@ def _parse_columns(buffer) -> _ParsedColumns:
         parsed.sequences, offset = _decode_column(view, offset, count)
         (type_count,) = _U32.unpack_from(view, offset)
         offset += 4
-        type_table = []
+        type_table: list[str] = []
         for _ in range(type_count):
             name, offset = _decode_string(view, offset)
             type_table.append(name)
@@ -315,11 +334,11 @@ def _parse_columns(buffer) -> _ParsedColumns:
         parsed.type_codes, offset = _decode_codes(view, offset, count, type_count)
         (shape_count,) = _U32.unpack_from(view, offset)
         offset += 4
-        key_table = []
+        key_table: list[tuple[str, ...]] = []
         for _ in range(shape_count):
             (key_count,) = _U16.unpack_from(view, offset)
             offset += 2
-            keys = []
+            keys: list[str] = []
             for _ in range(key_count):
                 key, offset = _decode_string(view, offset)
                 keys.append(key)
@@ -329,9 +348,9 @@ def _parse_columns(buffer) -> _ParsedColumns:
         occupancy = [0] * shape_count
         for code in parsed.key_codes:
             occupancy[code] += 1
-        shape_columns: list[list[list]] = []
+        shape_columns: list[list[list[Any]]] = []
         for shape_index, keys in enumerate(key_table):
-            columns = []
+            columns: list[list[Any]] = []
             for _ in range(len(keys)):
                 column, offset = _decode_column(view, offset, occupancy[shape_index])
                 columns.append(column)
@@ -346,12 +365,14 @@ def _parse_columns(buffer) -> _ParsedColumns:
     return parsed
 
 
-def decode_columnar_body(buffer) -> tuple[tuple, tuple, tuple]:
+def decode_columnar_body(
+    buffer: Buffer,
+) -> tuple[tuple[EventType, ...], tuple[tuple[str, ...], ...], tuple[Row, ...]]:
     """Decode a columnar body back into the batch's interned row form."""
     parsed = _parse_columns(buffer)
     cursors = [0] * len(parsed.key_table)
     shape_columns = parsed.shape_columns
-    rows = []
+    rows: list[Row] = []
     for index in range(parsed.count):
         key_code = parsed.key_codes[index]
         cursor = cursors[key_code]
@@ -376,7 +397,9 @@ _event_new = Event.__new__
 _event_set = object.__setattr__
 
 
-def build_event(event_type: EventType, time, payload: dict, sequence) -> Event:
+def build_event(
+    event_type: EventType, time: Timestamp, payload: dict[str, Any], sequence: int
+) -> Event:
     """Assemble an :class:`Event` without re-running dataclass validation.
 
     Decoded values were validated when the events were first created, so the
@@ -391,7 +414,7 @@ def build_event(event_type: EventType, time, payload: dict, sequence) -> Event:
     return event
 
 
-def decode_columnar_events(buffer) -> list[Event]:
+def decode_columnar_events(buffer: Buffer) -> list[Event]:
     """Decode a columnar body straight into events (no intermediate rows)."""
     parsed = _parse_columns(buffer)
     type_table = parsed.type_table
@@ -402,7 +425,7 @@ def decode_columnar_events(buffer) -> list[Event]:
     key_codes = parsed.key_codes
     shape_columns = parsed.shape_columns
     cursors = [0] * len(key_table)
-    events = []
+    events: list[Event] = []
     append = events.append
     for index in range(parsed.count):
         key_code = key_codes[index]
@@ -428,7 +451,7 @@ def encode_events(events: Iterable[Event], codec: int) -> bytes:
     )
 
 
-def decode_events(data) -> list[Event]:
+def decode_events(data: Buffer) -> list[Event]:
     """Decode any framed buffer into events, dispatching on its codec."""
     codec, body = parse_frame(data)
     if codec == CODEC_COLUMNAR:

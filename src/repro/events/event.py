@@ -22,7 +22,7 @@ EventType = str
 _sequence_counter = itertools.count()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """A single event.
 

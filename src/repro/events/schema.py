@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
 from repro.errors import SchemaError
 
@@ -35,7 +35,7 @@ class AttributeKind(enum.Enum):
         return isinstance(value, bool)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Attribute:
     """A single attribute declaration of an event type."""
 
@@ -48,7 +48,7 @@ class Attribute:
             raise SchemaError(f"attribute name must be an identifier, got {self.name!r}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Schema:
     """Schema of an event type: the set of attributes events of it carry.
 
@@ -141,6 +141,8 @@ class SchemaRegistry:
     query layer can validate attribute references.
     """
 
+    __slots__ = ("_schemas",)
+
     def __init__(self, schemas: Iterable[Schema] = ()) -> None:
         self._schemas: dict[str, Schema] = {}
         for schema in schemas:
@@ -164,7 +166,7 @@ class SchemaRegistry:
     def __contains__(self, event_type: str) -> bool:
         return event_type in self._schemas
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Schema]:
         return iter(self._schemas.values())
 
     def __len__(self) -> int:

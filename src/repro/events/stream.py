@@ -13,14 +13,14 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Optional, Sequence
+from typing import Callable, Iterable, Iterator, Optional, Sequence, overload
 
 from repro.errors import StreamError
 from repro.events.event import Event, EventType
 from repro.events.time import Timestamp
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StreamStatistics:
     """Summary statistics of a stream used by benchmarks and the optimizer."""
 
@@ -41,6 +41,8 @@ class EventStream:
     The class behaves like an immutable sequence once handed to an engine but
     supports efficient appends while a simulator is producing it.
     """
+
+    __slots__ = ("name", "_events", "_times", "_by_type")
 
     def __init__(self, events: Iterable[Event] = (), *, name: str = "stream") -> None:
         self.name = name
@@ -86,7 +88,13 @@ class EventStream:
     def __len__(self) -> int:
         return len(self._events)
 
-    def __getitem__(self, index):
+    @overload
+    def __getitem__(self, index: int) -> Event: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> "EventStream": ...
+
+    def __getitem__(self, index: int | slice) -> "Event | EventStream":
         if isinstance(index, slice):
             return EventStream(self._events[index], name=self.name)
         return self._events[index]
@@ -151,9 +159,12 @@ class EventStream:
         merge), not the stream length — this is what the executors use to
         cut each execution unit's sub-stream.
         """
+        # dict.fromkeys dedups while keeping the caller's order — iterating
+        # a set here would make the (order-insensitive) merge input depend
+        # on the hash seed for no benefit.
         selected: list[list[Event]] = [
             self._by_type[event_type]
-            for event_type in set(event_types)
+            for event_type in dict.fromkeys(event_types)
             if event_type in self._by_type
         ]
         if not selected:

@@ -15,11 +15,11 @@ total latency).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.optimizer.cost_model import CostModel
 from repro.optimizer.query_set import QuerySetChoice, choose_query_set
-from repro.optimizer.statistics import BurstStatistics
+from repro.optimizer.statistics import BurstStatistics, PlanKey
 
 
 @dataclass(frozen=True)
@@ -80,7 +80,7 @@ class SharingOptimizer:
         #: decisions for several query classes of the same type, whose
         #: continuity must not clobber each other (see
         #: :attr:`BurstStatistics.plan_key`).
-        self._previous_share: dict[tuple, bool] = {}
+        self._previous_share: dict[PlanKey, bool] = {}
 
     def begin_partition(self) -> None:
         """Reset the merge/split continuity tracking for a fresh partition.

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from repro.optimizer.cost_model import CostModel
 from repro.optimizer.decisions import SharingDecision, SharingOptimizer
-from repro.optimizer.statistics import BurstStatistics
+from repro.optimizer.statistics import BurstStatistics, PlanKey
 
 
 class AlwaysShareOptimizer(SharingOptimizer):
@@ -48,7 +48,7 @@ class StaticPlanOptimizer(SharingOptimizer):
         #: Fixed decisions per plan key ``(event type, candidate set)``; a
         #: type shared by several independent candidate sets (e.g. several
         #: query classes of the multi-window runtime) fixes one plan each.
-        self._plan: dict[tuple, SharingDecision] = {}
+        self._plan: dict[PlanKey, SharingDecision] = {}
 
     def _decide(self, stats: BurstStatistics) -> SharingDecision:
         if stats.plan_key in self._plan:

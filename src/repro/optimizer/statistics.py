@@ -10,10 +10,13 @@ the snapshot counts ``sc`` (to be created) and ``sp`` (currently propagated).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.events.event import EventType
+
+#: Identity of one decision stream: ``(event type, candidate query set)``.
+PlanKey = tuple[EventType, frozenset[str]]
 
 
 @dataclass(frozen=True)
@@ -62,7 +65,7 @@ class BurstStatistics:
         return len(self.profiles)
 
     @property
-    def plan_key(self) -> tuple:
+    def plan_key(self) -> PlanKey:
         """Identity of the decision stream these statistics belong to.
 
         Optimizers track continuity (merge/split counting, fixed static

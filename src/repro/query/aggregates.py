@@ -95,6 +95,7 @@ class AggregateFunction:
             return 0.0
         if self.kind is AggregateKind.COUNT_EVENTS:
             return 1.0
+        assert self.attribute is not None  # guaranteed by __post_init__
         return float(event[self.attribute])
 
     def candidate_value(self, event: Event) -> Optional[float]:
@@ -103,6 +104,7 @@ class AggregateFunction:
             return None
         if event.event_type != self.event_type:
             return None
+        assert self.attribute is not None  # guaranteed by __post_init__
         return float(event[self.attribute])
 
     # ------------------------------------------------------------------ #

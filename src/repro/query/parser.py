@@ -182,7 +182,7 @@ def _parse_aggregate(text: str) -> AggregateFunction:
     return constructors[function](event_type, attribute)
 
 
-def _parse_value(text: str):
+def _parse_value(text: str) -> str | float | bool:
     text = text.strip()
     if (text.startswith("'") and text.endswith("'")) or (
         text.startswith('"') and text.endswith('"')

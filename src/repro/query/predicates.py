@@ -41,7 +41,7 @@ class Predicate:
     #: Event type this predicate is scoped to, or None for "any type".
     event_type: Optional[EventType] = None
 
-    def signature(self) -> tuple:
+    def signature(self) -> tuple[Any, ...]:
         """A hashable, comparable identity of the predicate.
 
         Two predicates with equal signatures impose exactly the same
@@ -102,7 +102,7 @@ class AttributeComparison(LocalPredicate):
             )
         return _OPERATORS[self.op](event[self.attribute], self.value)
 
-    def signature(self) -> tuple:
+    def signature(self) -> tuple[Any, ...]:
         return ("attr_cmp", self.event_type, self.attribute, self.op, self.value)
 
     def __repr__(self) -> str:
@@ -115,7 +115,7 @@ class AttributeInSet(LocalPredicate):
     """``E.attr IN {v1, v2, ...}`` — attribute value membership."""
 
     attribute: str
-    values: frozenset
+    values: frozenset[Any]
     event_type: Optional[EventType] = None
 
     def evaluate(self, event: Event) -> bool:
@@ -125,7 +125,7 @@ class AttributeInSet(LocalPredicate):
             )
         return event[self.attribute] in self.values
 
-    def signature(self) -> tuple:
+    def signature(self) -> tuple[Any, ...]:
         return ("attr_in", self.event_type, self.attribute, tuple(sorted(map(repr, self.values))))
 
     def __repr__(self) -> str:
@@ -149,7 +149,7 @@ class LambdaPredicate(LocalPredicate):
     def evaluate(self, event: Event) -> bool:
         return bool(self.function(event))
 
-    def signature(self) -> tuple:
+    def signature(self) -> tuple[Any, ...]:
         return ("lambda", self.event_type, self.label)
 
     def __repr__(self) -> str:
@@ -179,7 +179,7 @@ class EqualAttributes(EdgePredicate):
                     return False
         return True
 
-    def signature(self) -> tuple:
+    def signature(self) -> tuple[Any, ...]:
         return ("equal_attrs", self.event_type, tuple(sorted(self.attributes)))
 
     def __repr__(self) -> str:
@@ -210,7 +210,7 @@ class AdjacentComparison(EdgePredicate):
             previous[self.previous_attribute], current[self.current_attribute]
         )
 
-    def signature(self) -> tuple:
+    def signature(self) -> tuple[Any, ...]:
         return (
             "adjacent_cmp",
             self.event_type,
@@ -234,7 +234,7 @@ class EdgeLambdaPredicate(EdgePredicate):
     def evaluate(self, previous: Event, current: Event) -> bool:
         return bool(self.function(previous, current))
 
-    def signature(self) -> tuple:
+    def signature(self) -> tuple[Any, ...]:
         return ("edge_lambda", self.event_type, self.label)
 
     def __repr__(self) -> str:
@@ -310,14 +310,14 @@ class CompositePredicate:
                 return False
         return True
 
-    def signature(self) -> tuple:
+    def signature(self) -> tuple[Any, ...]:
         """Order-insensitive identity of the whole conjunction."""
         return (
             tuple(sorted(predicate.signature() for predicate in self._local)),
             tuple(sorted(predicate.signature() for predicate in self._edge)),
         )
 
-    def signature_for_type(self, event_type: EventType) -> tuple:
+    def signature_for_type(self, event_type: EventType) -> tuple[Any, ...]:
         """Identity of the constraints this composite places on ``event_type``.
 
         Used by the sharing analysis: two queries may share a Kleene

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 from repro.errors import PatternError
 from repro.events.event import Event, EventType
@@ -96,7 +96,7 @@ class Query:
         """Return True if the adjacency ``previous -> current`` passes edge predicates."""
         return self.predicates.accepts_edge(previous, current)
 
-    def group_key(self, event: Event) -> tuple:
+    def group_key(self, event: Event) -> tuple[Any, ...]:
         """Return the grouping key of ``event`` (empty tuple when no GROUP BY)."""
         return tuple(event.get(attribute) for attribute in self.group_by)
 

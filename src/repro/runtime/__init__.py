@@ -65,4 +65,5 @@ __all__ = [
     "run_sharded",
     "run_streaming",
     "run_workload",
+    "stable_shard_hash",
 ]

@@ -120,7 +120,9 @@ def execution_units(queries: Sequence[Query]) -> Iterator[tuple[Query, ...]]:
         linear = query.aggregate.kind.is_linear
         key = (query.window.size, query.window.slide, linear)
         units.setdefault(key, []).append(query)
-    for (_, _, linear), unit_queries in sorted(units.items(), key=lambda item: repr(item[0])):
+    # Numeric key order (size, slide, linear) — a repr-keyed sort would
+    # order 10.0 before 2.0 lexicographically.
+    for (_, _, linear), unit_queries in sorted(units.items(), key=lambda item: item[0]):
         if linear:
             yield tuple(unit_queries)
         else:

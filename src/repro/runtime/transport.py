@@ -123,17 +123,20 @@ class SlabRing:
         self._segment = shared_memory.SharedMemory(
             name=name, create=True, size=slots * slab_bytes
         )
+        #: Last-resort cleanup if the executor is dropped without finish();
+        #: the normal paths unlink explicitly via close().  Registered
+        #: immediately after creation: anything that can raise in between
+        #: (a failing Pipe() constructor, historically) would leak the
+        #: fresh segment.
+        self._finalizer = weakref.finalize(
+            self, _unlink_quietly, self._segment, os.getpid()
+        )
         self.name = self._segment.name
         self._free = list(range(slots))
         #: Worker -> driver slab recycling channel.  A pipe, not a queue: the
         #: payload is one small int and the worker's send never meaningfully
         #: blocks, so the queue's feeder-thread machinery buys nothing.
         self.ack_recv, self.ack_send = context.Pipe(duplex=False)
-        #: Last-resort cleanup if the executor is dropped without finish();
-        #: the normal paths unlink explicitly via close().
-        self._finalizer = weakref.finalize(
-            self, _unlink_quietly, self._segment, os.getpid()
-        )
 
     def _drain_acks(self) -> None:
         while self.ack_recv.poll():
@@ -216,7 +219,3 @@ def ring_slots(max_inflight: int) -> int:
     synchronizing with the ack of the oldest in-flight slab.
     """
     return max_inflight + 2
-
-
-#: Re-exported default used by the executor signature.
-Optional  # quiet linters about the import being interface-only

@@ -17,7 +17,7 @@ template; they are decomposed per Section 5 of the paper by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable
 
 from repro.errors import TemplateError
 from repro.events.event import EventType

@@ -1,0 +1,601 @@
+"""Fixture-based tests for the reprolint invariant checker.
+
+Every rule gets at least one *bad* fixture (a seeded violation the rule
+must flag) and one *good* fixture (idiomatic code the rule must not
+flag), plus suppression-comment handling, CLI exit codes, and a
+self-check that the shipped ``src/repro`` tree is violation-free with
+zero suppressions.
+
+Scoped rules match against *package-relative* paths, so fixtures pass
+relpaths shaped like the shipped tree (``repro/runtime/mod.py``).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from reprolint import ALL_RULES, lint_paths, lint_source
+from reprolint.cli import main
+from reprolint.framework import normalize_relpath, parse_suppressions
+from reprolint.rules.determinism import NondeterminismRule, UnstableIdentityOrderingRule
+from reprolint.rules.exceptions import ExceptionDisciplineRule
+from reprolint.rules.imports import NumpyImportRule
+from reprolint.rules.process import ProcessBoundaryCallableRule
+from reprolint.rules.resources import SharedMemoryUnlinkRule
+from reprolint.rules.slots import SlotsRule
+from reprolint.rules.windows import FloatWindowIndexRule
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_rule(rule, source: str, relpath: str):
+    """Lint dedented ``source`` at ``relpath`` with a single rule."""
+    return lint_source(textwrap.dedent(source), relpath, rules=[rule])
+
+
+def rule_ids(violations) -> list[str]:
+    return [violation.rule_id for violation in violations]
+
+
+# --------------------------------------------------------------------- #
+# RL001 — hash()/id()/repr-keyed ordering on routing/merge paths
+# --------------------------------------------------------------------- #
+class TestRL001:
+    RULE = UnstableIdentityOrderingRule()
+
+    def test_bad_hash_and_id_routing(self):
+        bad = """
+            def route(key, shards):
+                return hash(key) % shards
+
+            def owner(obj):
+                return id(obj)
+            """
+        violations = run_rule(self.RULE, bad, "repro/runtime/router.py")
+        assert rule_ids(violations) == ["RL001", "RL001"]
+        assert "stable_shard_hash" in violations[0].message
+
+    def test_bad_repr_keyed_sorts(self):
+        bad = """
+            def merge(units, groups):
+                ordered = sorted(units.items(), key=lambda item: repr(item[0]))
+                groups.sort(key=str)
+                top = max(groups, key=lambda g: str(g))
+                return ordered, top
+            """
+        violations = run_rule(self.RULE, bad, "repro/runtime/merge.py")
+        assert rule_ids(violations) == ["RL001", "RL001", "RL001"]
+
+    def test_good_typed_sort_key(self):
+        good = """
+            def merge(units):
+                return sorted(units.items(), key=lambda item: item[0])
+
+            def order(groups):
+                groups.sort(key=lambda g: (g.size, g.slide))
+                return groups
+            """
+        assert run_rule(self.RULE, good, "repro/runtime/merge.py") == []
+
+    def test_out_of_scope_path_not_flagged(self):
+        bad = "value = hash('name')\n"
+        assert run_rule(self.RULE, bad, "repro/datasets/synthetic.py") == []
+
+
+# --------------------------------------------------------------------- #
+# RL002 — float arithmetic on window-instance indices
+# --------------------------------------------------------------------- #
+class TestRL002:
+    RULE = FloatWindowIndexRule()
+
+    def test_bad_division_over_slide(self):
+        bad = """
+            def index_of(timestamp, window):
+                return int(timestamp / window.slide)
+            """
+        violations = run_rule(self.RULE, bad, "repro/greta/graph.py")
+        assert rule_ids(violations) == ["RL002"]
+        assert "float" in violations[0].message
+
+    def test_bad_division_inside_helper_call(self):
+        bad = """
+            def covering(window, timestamp):
+                return window.instance_indices_covering(timestamp / 2.0)
+            """
+        violations = run_rule(self.RULE, bad, "repro/core/engine.py")
+        assert rule_ids(violations) == ["RL002"]
+
+    def test_good_integer_index_math(self):
+        good = """
+            def start_of(index, window):
+                return index * window.slide
+
+            def covering(window, timestamp):
+                return window.instance_indices_covering(timestamp)
+            """
+        assert run_rule(self.RULE, good, "repro/core/engine.py") == []
+
+    def test_windows_module_is_excluded(self):
+        bad = """
+            def _floor_index(self, timestamp):
+                return int(timestamp / self.slide)
+            """
+        assert run_rule(self.RULE, bad, "repro/query/windows.py") == []
+
+
+# --------------------------------------------------------------------- #
+# RL003 — process-boundary callables must be importable
+# --------------------------------------------------------------------- #
+class TestRL003:
+    RULE = ProcessBoundaryCallableRule()
+
+    def test_bad_lambda_factory(self):
+        bad = """
+            def drive(workload, stream):
+                return run_sharded(workload, stream, engine_factory=lambda: Engine())
+            """
+        violations = run_rule(self.RULE, bad, "repro/runtime/driver.py")
+        assert rule_ids(violations) == ["RL003"]
+        assert "lambda" in violations[0].message
+
+    def test_bad_nested_function_factory(self):
+        bad = """
+            def drive(workload):
+                def make_engine():
+                    return Engine()
+                return ShardedStreamingExecutor(workload, engine_factory=make_engine)
+            """
+        violations = run_rule(self.RULE, bad, "repro/runtime/driver.py")
+        assert rule_ids(violations) == ["RL003"]
+        assert "make_engine" in violations[0].message
+
+    def test_bad_boundary_keyword_anywhere(self):
+        bad = """
+            def configure(runner):
+                runner.setup(kernel_factory=lambda: make_kernel())
+            """
+        violations = run_rule(self.RULE, bad, "repro/bench/run.py")
+        assert rule_ids(violations) == ["RL003"]
+
+    def test_good_module_level_factory(self):
+        good = """
+            def make_engine():
+                return Engine()
+
+            def drive(workload, stream):
+                return run_sharded(workload, stream, engine_factory=make_engine)
+            """
+        assert run_rule(self.RULE, good, "repro/runtime/driver.py") == []
+
+    def test_good_non_boundary_lambda(self):
+        good = """
+            def wait(ring, deadline):
+                return ring.acquire(on_stall=lambda: check_workers(deadline))
+            """
+        assert run_rule(self.RULE, good, "repro/runtime/sharding.py") == []
+
+
+# --------------------------------------------------------------------- #
+# RL004 — SharedMemory(create=True) needs an immediate unlink guard
+# --------------------------------------------------------------------- #
+class TestRL004:
+    RULE = SharedMemoryUnlinkRule()
+
+    def test_bad_statement_between_create_and_guard(self):
+        # The PR 6 incident shape: Pipe() can raise between creation and
+        # the finalize registration, leaking the segment.
+        bad = """
+            def open_ring(size):
+                segment = SharedMemory(create=True, size=size)
+                reader, writer = Pipe(duplex=False)
+                guard = weakref.finalize(segment, segment.unlink)
+                return segment, reader, writer, guard
+            """
+        violations = run_rule(self.RULE, bad, "repro/runtime/transport.py")
+        assert rule_ids(violations) == ["RL004"]
+
+    def test_bad_no_guard_at_all(self):
+        bad = """
+            def open_segment(size):
+                return SharedMemory(create=True, size=size)
+            """
+        violations = run_rule(self.RULE, bad, "repro/runtime/transport.py")
+        assert rule_ids(violations) == ["RL004"]
+
+    def test_good_finalize_next_statement(self):
+        good = """
+            def open_ring(size):
+                segment = SharedMemory(create=True, size=size)
+                guard = weakref.finalize(segment, _unlink_quietly, segment)
+                reader, writer = Pipe(duplex=False)
+                return segment, guard, reader, writer
+            """
+        assert run_rule(self.RULE, good, "repro/runtime/transport.py") == []
+
+    def test_good_try_finally_unlink(self):
+        good = """
+            def with_segment(size):
+                try:
+                    segment = SharedMemory(create=True, size=size)
+                    return use(segment)
+                finally:
+                    _unlink_quietly(segment)
+            """
+        assert run_rule(self.RULE, good, "repro/runtime/transport.py") == []
+
+    def test_good_attach_without_create(self):
+        good = """
+            def attach(name):
+                return SharedMemory(name=name)
+            """
+        assert run_rule(self.RULE, good, "repro/runtime/transport.py") == []
+
+
+# --------------------------------------------------------------------- #
+# RL005 — numpy quarantined behind the kernel backend seam
+# --------------------------------------------------------------------- #
+class TestRL005:
+    RULE = NumpyImportRule()
+
+    def test_bad_top_level_import(self):
+        bad = "import numpy as np\n"
+        violations = run_rule(self.RULE, bad, "repro/core/engine.py")
+        assert rule_ids(violations) == ["RL005"]
+
+    def test_bad_import_probe_in_try(self):
+        bad = """
+            try:
+                from numpy import ndarray
+            except ImportError:
+                ndarray = None
+            """
+        violations = run_rule(self.RULE, bad, "repro/runtime/transport.py")
+        assert rule_ids(violations) == ["RL005"]
+
+    def test_good_function_scoped_import(self):
+        good = """
+            def load_backend():
+                import numpy
+                return numpy
+            """
+        assert run_rule(self.RULE, good, "repro/core/kernels.py") == []
+
+    def test_good_type_checking_gate(self):
+        good = """
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                import numpy
+            """
+        assert run_rule(self.RULE, good, "repro/core/kernels.py") == []
+
+    def test_kernels_numpy_module_is_excluded(self):
+        bad = "import numpy\n"
+        assert run_rule(self.RULE, bad, "repro/core/kernels_numpy.py") == []
+
+
+# --------------------------------------------------------------------- #
+# RL006 — clocks, global RNG, set iteration on result paths
+# --------------------------------------------------------------------- #
+class TestRL006:
+    RULE = NondeterminismRule()
+
+    def test_bad_wall_clock_and_global_rng(self):
+        bad = """
+            def stamp(report):
+                report.created = time.time()
+                report.jitter = random.random()
+                return report
+            """
+        violations = run_rule(self.RULE, bad, "repro/runtime/report.py")
+        assert rule_ids(violations) == ["RL006", "RL006"]
+
+    def test_bad_set_iteration(self):
+        bad = """
+            def merge_keys(left, right):
+                out = []
+                for key in set(left) | set(right):
+                    out.append(key)
+                return out
+
+            def collect(keys):
+                return [k for k in {normalize(k) for k in keys}]
+            """
+        violations = run_rule(self.RULE, bad, "repro/core/merge.py")
+        # The for-loop iterates a BinOp of sets (not flagged — only the
+        # direct set expression shape is), but the comprehension over a
+        # SetComp is.
+        assert "RL006" in rule_ids(violations)
+
+    def test_bad_datetime_now(self):
+        bad = """
+            def label(run):
+                return datetime.datetime.now().isoformat()
+            """
+        violations = run_rule(self.RULE, bad, "repro/greta/runs.py")
+        assert rule_ids(violations) == ["RL006"]
+
+    def test_good_seeded_rng_and_monotonic_clock(self):
+        good = """
+            def generate(seed):
+                rng = random.Random(seed)
+                return rng.random()
+
+            def measure():
+                return time.perf_counter()
+
+            def ordered(keys):
+                return list(dict.fromkeys(keys))
+            """
+        assert run_rule(self.RULE, good, "repro/runtime/report.py") == []
+
+    def test_good_sorted_iteration(self):
+        good = """
+            def merge_keys(left, right):
+                return sorted(set(left) | set(right))
+            """
+        assert run_rule(self.RULE, good, "repro/core/merge.py") == []
+
+    def test_out_of_scope_bench_timing_allowed(self):
+        good = "started = time.time()\n"
+        assert run_rule(self.RULE, good, "repro/bench/harness.py") == []
+
+
+# --------------------------------------------------------------------- #
+# RL007 — __slots__ on per-event classes
+# --------------------------------------------------------------------- #
+class TestRL007:
+    RULE = SlotsRule()
+
+    def test_bad_plain_class_without_slots(self):
+        bad = """
+            class Event:
+                def __init__(self, event_type, time):
+                    self.event_type = event_type
+                    self.time = time
+            """
+        violations = run_rule(self.RULE, bad, "repro/events/event.py")
+        assert rule_ids(violations) == ["RL007"]
+        assert "__slots__" in violations[0].message
+
+    def test_bad_dataclass_without_slots(self):
+        bad = """
+            @dataclass(frozen=True)
+            class Snapshot:
+                value: float
+            """
+        violations = run_rule(self.RULE, bad, "repro/core/snapshot.py")
+        assert rule_ids(violations) == ["RL007"]
+        assert "slots=True" in violations[0].message
+
+    def test_good_slotted_variants(self):
+        good = """
+            class EventStream:
+                __slots__ = ("name", "_events")
+
+            @dataclass(frozen=True, slots=True)
+            class Event:
+                time: float
+            """
+        assert run_rule(self.RULE, good, "repro/events/stream.py") == []
+
+    def test_exempt_bases(self):
+        good = """
+            class Kind(Enum):
+                A = 1
+
+            class StreamError(ReproError):
+                pass
+
+            class Sink(Protocol):
+                def push(self, event): ...
+            """
+        assert run_rule(self.RULE, good, "repro/events/kinds.py") == []
+
+    def test_out_of_scope_path_not_flagged(self):
+        bad = """
+            class PlanCache:
+                pass
+            """
+        assert run_rule(self.RULE, bad, "repro/optimizer/cache.py") == []
+
+
+# --------------------------------------------------------------------- #
+# RL008 — exception discipline in worker loops
+# --------------------------------------------------------------------- #
+class TestRL008:
+    RULE = ExceptionDisciplineRule()
+
+    def test_bad_bare_except(self):
+        bad = """
+            def drain(queue):
+                try:
+                    return queue.get()
+                except:
+                    return None
+            """
+        violations = run_rule(self.RULE, bad, "repro/runtime/sharding.py")
+        assert rule_ids(violations) == ["RL008"]
+
+    def test_bad_swallowing_broad_handler(self):
+        bad = """
+            def cleanup(segment):
+                try:
+                    segment.close()
+                except Exception:
+                    pass
+            """
+        violations = run_rule(self.RULE, bad, "repro/runtime/transport.py")
+        assert rule_ids(violations) == ["RL008"]
+
+    def test_bad_worker_loop_not_reporting(self):
+        bad = """
+            def shard_worker(inbox, outbox):
+                while True:
+                    try:
+                        outbox.put(process(inbox.get()))
+                    except Exception:
+                        outbox.put(None)
+            """
+        violations = run_rule(self.RULE, bad, "repro/runtime/sharding.py")
+        assert rule_ids(violations) == ["RL008"]
+        assert "worker" in violations[0].message
+
+    def test_good_worker_ships_traceback(self):
+        good = """
+            def shard_worker(inbox, outbox):
+                while True:
+                    try:
+                        outbox.put(process(inbox.get()))
+                    except Exception:
+                        outbox.put(("error", traceback.format_exc()))
+                        break
+            """
+        assert run_rule(self.RULE, good, "repro/runtime/sharding.py") == []
+
+    def test_good_narrow_best_effort_handler(self):
+        good = """
+            def cleanup(segment):
+                try:
+                    segment.unlink()
+                except FileNotFoundError:
+                    pass
+            """
+        assert run_rule(self.RULE, good, "repro/runtime/transport.py") == []
+
+    def test_good_broad_handler_that_handles(self):
+        good = """
+            def attach(name):
+                try:
+                    return SharedMemory(name=name)
+                except Exception as error:
+                    raise ExecutionError(f"attach failed: {error}") from error
+            """
+        assert run_rule(self.RULE, good, "repro/runtime/transport.py") == []
+
+
+# --------------------------------------------------------------------- #
+# Suppressions
+# --------------------------------------------------------------------- #
+class TestSuppressions:
+    def test_disable_comment_silences_rule(self):
+        source = "value = hash(key)  # reprolint: disable=RL001\n"
+        assert lint_source(source, "repro/runtime/router.py") == []
+
+    def test_disable_all(self):
+        source = "value = hash(key)  # reprolint: disable=ALL\n"
+        assert lint_source(source, "repro/runtime/router.py") == []
+
+    def test_disable_other_rule_does_not_silence(self):
+        source = "value = hash(key)  # reprolint: disable=RL006\n"
+        violations = lint_source(source, "repro/runtime/router.py")
+        assert rule_ids(violations) == ["RL001"]
+
+    def test_parse_suppressions_multi_id(self):
+        lines = ["x = 1", "y = 2  # reprolint: disable=RL001, RL006"]
+        assert parse_suppressions(lines) == {2: frozenset({"RL001", "RL006"})}
+
+
+# --------------------------------------------------------------------- #
+# Framework plumbing
+# --------------------------------------------------------------------- #
+class TestFramework:
+    def test_normalize_relpath_slices_at_repro(self):
+        path = Path("/tmp/fixtures/src/repro/runtime/sharding.py")
+        assert normalize_relpath(path) == "repro/runtime/sharding.py"
+
+    def test_normalize_relpath_falls_back_to_root_relative(self):
+        path = Path("/work/tools/reprolint/cli.py")
+        assert normalize_relpath(path, Path("/work")) == "tools/reprolint/cli.py"
+
+    def test_syntax_error_reported_as_rl000(self):
+        violations = lint_source("def broken(:\n", "repro/runtime/bad.py")
+        assert rule_ids(violations) == ["RL000"]
+
+    def test_rule_catalogue_ids_unique_and_documented(self):
+        ids = [rule_class.id for rule_class in ALL_RULES]
+        assert len(ids) == len(set(ids)) == 8
+        assert ids == sorted(ids)
+        for rule_class in ALL_RULES:
+            assert rule_class.title, rule_class.id
+            assert rule_class.rationale, rule_class.id
+
+
+# --------------------------------------------------------------------- #
+# CLI behavior
+# --------------------------------------------------------------------- #
+class TestCli:
+    def test_exit_zero_on_clean_file(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        assert main([str(clean)]) == 0
+        assert "reprolint: clean" in capsys.readouterr().out
+
+    def test_exit_one_on_violation(self, tmp_path, capsys):
+        fixture_dir = tmp_path / "repro" / "runtime"
+        fixture_dir.mkdir(parents=True)
+        bad = fixture_dir / "router.py"
+        bad.write_text("value = hash(key)\n", encoding="utf-8")
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "RL001" in out
+        assert "1 violation(s)" in out
+
+    def test_exit_two_on_missing_path(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_exit_two_on_unknown_rule_id(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        assert main(["--select", "RL999", str(clean)]) == 2
+        assert "unknown rule ids" in capsys.readouterr().err
+
+    def test_select_limits_rules(self, tmp_path):
+        fixture_dir = tmp_path / "repro" / "runtime"
+        fixture_dir.mkdir(parents=True)
+        bad = fixture_dir / "router.py"
+        bad.write_text("value = hash(key)\n", encoding="utf-8")
+        assert main(["--select", "RL006", "-q", str(tmp_path)]) == 0
+        assert main(["--select", "RL001", "-q", str(tmp_path)]) == 1
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_class in ALL_RULES:
+            assert rule_class.id in out
+
+    def test_syntax_error_counts_as_violation(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def broken(:\n", encoding="utf-8")
+        assert main(["-q", str(broken)]) == 1
+
+
+# --------------------------------------------------------------------- #
+# Self-check: the shipped tree obeys its own invariants
+# --------------------------------------------------------------------- #
+class TestShippedTree:
+    def test_src_repro_is_violation_free(self):
+        violations = lint_paths([REPO_ROOT / "src"])
+        rendered = "\n".join(violation.render() for violation in violations)
+        assert violations == [], f"src tree has violations:\n{rendered}"
+
+    def test_src_repro_has_zero_suppressions(self):
+        offenders = []
+        for path in sorted((REPO_ROOT / "src").rglob("*.py")):
+            lines = path.read_text(encoding="utf-8").splitlines()
+            if parse_suppressions(lines):
+                offenders.append(str(path))
+        assert offenders == [], f"suppression comments in shipped tree: {offenders}"
+
+    def test_tools_reprolint_is_violation_free(self):
+        violations = lint_paths([REPO_ROOT / "tools"])
+        rendered = "\n".join(violation.render() for violation in violations)
+        assert violations == [], f"tools tree has violations:\n{rendered}"
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,42 @@
+"""reprolint — AST-based invariant checker for the HAMLET reproduction.
+
+Every correctness incident in this repo's history was a violation of a
+*machine-checkable* invariant: float window keys, repr-keyed sorts on
+routing paths, closures handed to spawned workers, leaked shared-memory
+segments.  ``reprolint`` encodes those invariants once, as stdlib-``ast``
+rules with zero runtime dependencies, and checks every change mechanically.
+
+Usage::
+
+    reprolint src             # lint a tree, exit 1 on violations
+    reprolint --list-rules    # print the rule catalogue
+
+Suppress a finding in place with a trailing comment on the flagged line::
+
+    value = hash(key)  # reprolint: disable=RL001
+
+See ``docs/DESIGN.md`` ("Enforced invariants") for the rule table and the
+incident that motivated each rule.
+"""
+
+from reprolint.framework import (
+    LintRunner,
+    ModuleContext,
+    Rule,
+    Violation,
+    lint_paths,
+    lint_source,
+)
+from reprolint.rules import ALL_RULES
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ALL_RULES",
+    "LintRunner",
+    "ModuleContext",
+    "Rule",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+]

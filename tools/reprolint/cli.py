@@ -1,0 +1,102 @@
+"""Console entry point: ``reprolint [paths...]``.
+
+Exit status: 0 when clean, 1 when violations were found, 2 on usage
+errors.  Files that fail to parse are reported as RL000 findings and
+count as violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import textwrap
+from pathlib import Path
+from typing import Sequence
+
+from reprolint.framework import LintRunner
+from reprolint.rules import ALL_RULES
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based invariant checker for the HAMLET reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    for rule_class in ALL_RULES:
+        print(rule_class.describe())
+        print(textwrap.indent(textwrap.fill(rule_class.rationale, width=76), "    "))
+        if rule_class.scope:
+            print(f"    scope: {', '.join(rule_class.scope)}")
+        print()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    arguments = _build_parser().parse_args(argv)
+    if arguments.list_rules:
+        _print_rules()
+        return 0
+
+    selected = None
+    if arguments.select is not None:
+        wanted = {part.strip().upper() for part in arguments.select.split(",") if part.strip()}
+        known = {rule_class.id for rule_class in ALL_RULES}
+        unknown = wanted - known
+        if unknown:
+            print(f"reprolint: unknown rule ids: {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+        selected = wanted
+
+    paths = [Path(entry) for entry in arguments.paths]
+    missing = [str(path) for path in paths if not path.exists()]
+    if missing:
+        print(f"reprolint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    rules = [
+        rule_class()
+        for rule_class in ALL_RULES
+        if selected is None or rule_class.id in selected
+    ]
+    violations = LintRunner(rules).lint_paths(paths)
+    for violation in violations:
+        print(violation.render())
+    if not arguments.quiet:
+        checked = ", ".join(str(path) for path in paths)
+        if violations:
+            print(f"reprolint: {len(violations)} violation(s) in {checked}")
+        else:
+            print(f"reprolint: clean ({checked})")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    raise SystemExit(main())

@@ -1,0 +1,274 @@
+"""Rule framework: module contexts, suppression parsing, the lint runner.
+
+The framework is deliberately small.  A :class:`Rule` is a class with an
+``id``, a one-line ``title``, a ``rationale`` paragraph (printed by
+``reprolint --list-rules`` and mirrored in docs/DESIGN.md), a path
+``scope``, and a ``check`` method that yields :class:`Violation`\\ s from a
+parsed module.  The runner parses each file once, hands the shared
+:class:`ModuleContext` to every in-scope rule, and filters findings
+through per-line ``# reprolint: disable=RLxxx`` suppressions.
+
+Path scoping is expressed against *package-relative* paths: the runner
+normalizes every file path to start at its ``repro`` package directory
+when one appears in the path (``src/repro/runtime/sharding.py`` and a
+test fixture ``tmp/.../repro/runtime/mod.py`` both normalize to
+``repro/runtime/sharding.py``-shaped keys), so rules behave identically
+on the shipped tree and on fixtures.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import ClassVar, Iterable, Iterator, Sequence
+
+__all__ = [
+    "LintRunner",
+    "ModuleContext",
+    "Rule",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "normalize_relpath",
+]
+
+#: ``# reprolint: disable=RL001`` or ``disable=RL001,RL006`` (spaces allowed).
+_SUPPRESSION = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One finding: a rule fired at a location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule_id} {self.message}"
+
+
+def parse_suppressions(lines: Sequence[str]) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule ids suppressed on that line."""
+    suppressed: dict[int, frozenset[str]] = {}
+    for number, text in enumerate(lines, start=1):
+        match = _SUPPRESSION.search(text)
+        if match is not None:
+            ids = frozenset(
+                part.strip().upper() for part in match.group(1).split(",") if part.strip()
+            )
+            if ids:
+                suppressed[number] = ids
+    return suppressed
+
+
+def normalize_relpath(path: Path, root: Path | None = None) -> str:
+    """Normalize ``path`` to the package-relative key rules match against.
+
+    If any path component is ``repro``, the key starts there (the shipped
+    tree and test fixtures agree on this shape); otherwise the key is the
+    path relative to ``root`` (or the bare file name).
+    """
+    parts = path.as_posix().split("/")
+    if "repro" in parts:
+        return "/".join(parts[parts.index("repro") :])
+    if root is not None:
+        try:
+            return path.relative_to(root).as_posix()
+        except ValueError:
+            pass
+    return path.name
+
+
+class ModuleContext:
+    """A parsed module plus the helpers rules need to inspect it."""
+
+    __slots__ = ("path", "relpath", "tree", "lines", "suppressions")
+
+    def __init__(self, path: str, relpath: str, tree: ast.Module, lines: Sequence[str]) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.tree = tree
+        self.lines = lines
+        self.suppressions = parse_suppressions(lines)
+
+    def violation(self, rule: "Rule", node: ast.AST, message: str) -> Violation:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Violation(rule_id=rule.id, path=self.path, line=line, col=col, message=message)
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        ids = self.suppressions.get(violation.line)
+        if ids is None:
+            return False
+        return violation.rule_id in ids or "ALL" in ids
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``scope`` entries are matched as prefixes of the normalized relpath
+    (``"repro/runtime/"`` scopes a rule to that package); an empty scope
+    means every file.  ``exclude`` wins over ``scope``.
+    """
+
+    id: ClassVar[str] = "RL000"
+    title: ClassVar[str] = ""
+    rationale: ClassVar[str] = ""
+    scope: ClassVar[tuple[str, ...]] = ()
+    exclude: ClassVar[tuple[str, ...]] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        if any(relpath == entry or relpath.startswith(entry) for entry in self.exclude):
+            return False
+        if not self.scope:
+            return True
+        return any(relpath == entry or relpath.startswith(entry) for entry in self.scope)
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    @classmethod
+    def describe(cls) -> str:
+        return f"{cls.id}  {cls.title}"
+
+
+# --------------------------------------------------------------------- #
+# Shared AST helpers (used by several rules)
+# --------------------------------------------------------------------- #
+def dotted_name(node: ast.AST) -> str | None:
+    """Render a Name/Attribute chain as ``"a.b.c"``; None for other shapes."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Dotted name of a call's callee, if it is a plain name chain."""
+    return dotted_name(node.func)
+
+
+def name_matches(dotted: str | None, pattern: str) -> bool:
+    """True if ``dotted``'s trailing segments equal ``pattern``'s segments.
+
+    ``name_matches("datetime.datetime.now", "datetime.now")`` is True;
+    ``name_matches("self._clock.now", "datetime.now")`` is False.
+    """
+    if dotted is None:
+        return False
+    have = dotted.split(".")
+    want = pattern.split(".")
+    return len(have) >= len(want) and have[-len(want) :] == want
+
+
+def attach_parents(tree: ast.Module) -> None:
+    """Annotate every node with a ``_reprolint_parent`` backlink."""
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child._reprolint_parent = parent  # type: ignore[attr-defined]
+
+
+def parent_of(node: ast.AST) -> ast.AST | None:
+    parent = getattr(node, "_reprolint_parent", None)
+    return parent if isinstance(parent, ast.AST) else None
+
+
+def enclosing_function(node: ast.AST) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    current = parent_of(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+        current = parent_of(current)
+    return None
+
+
+def enclosing_statement(node: ast.AST) -> ast.stmt | None:
+    """The innermost statement containing ``node``."""
+    current: ast.AST | None = node
+    while current is not None and not isinstance(current, ast.stmt):
+        current = parent_of(current)
+    return current if isinstance(current, ast.stmt) else None
+
+
+# --------------------------------------------------------------------- #
+# Runner
+# --------------------------------------------------------------------- #
+class LintRunner:
+    """Parse files once and fan each module out to its in-scope rules."""
+
+    def __init__(self, rules: Iterable[Rule]) -> None:
+        self.rules = list(rules)
+
+    def lint_module(self, source: str, path: str, relpath: str | None = None) -> list[Violation]:
+        key = relpath if relpath is not None else normalize_relpath(Path(path))
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            line = error.lineno or 1
+            col = (error.offset or 1) - 1
+            return [
+                Violation(
+                    rule_id="RL000",
+                    path=path,
+                    line=line,
+                    col=max(col, 0),
+                    message=f"syntax error: {error.msg}",
+                )
+            ]
+        attach_parents(tree)
+        module = ModuleContext(path=path, relpath=key, tree=tree, lines=source.splitlines())
+        found: list[Violation] = []
+        for rule in self.rules:
+            if not rule.applies_to(key):
+                continue
+            for violation in rule.check(module):
+                if not module.is_suppressed(violation):
+                    found.append(violation)
+        found.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+        return found
+
+    def lint_file(self, path: Path, root: Path | None = None) -> list[Violation]:
+        source = path.read_text(encoding="utf-8")
+        return self.lint_module(source, str(path), normalize_relpath(path, root))
+
+    def lint_paths(self, paths: Sequence[Path]) -> list[Violation]:
+        violations: list[Violation] = []
+        for root in paths:
+            if root.is_dir():
+                for file_path in sorted(root.rglob("*.py")):
+                    violations.extend(self.lint_file(file_path, root))
+            else:
+                violations.extend(self.lint_file(root, root.parent))
+        return violations
+
+
+def _default_runner(rules: Iterable[Rule] | None) -> LintRunner:
+    if rules is None:
+        from reprolint.rules import ALL_RULES
+
+        rules = [rule_class() for rule_class in ALL_RULES]
+    return LintRunner(rules)
+
+
+def lint_paths(paths: Sequence[str | Path], rules: Iterable[Rule] | None = None) -> list[Violation]:
+    """Lint files/directories with the given rules (default: all rules)."""
+    return _default_runner(rules).lint_paths([Path(p) for p in paths])
+
+
+def lint_source(
+    source: str,
+    relpath: str = "module.py",
+    rules: Iterable[Rule] | None = None,
+) -> list[Violation]:
+    """Lint a source string as if it lived at ``relpath`` (test helper)."""
+    return _default_runner(rules).lint_module(source, relpath, relpath)

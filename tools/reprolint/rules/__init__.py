@@ -1,0 +1,37 @@
+"""The rule catalogue.
+
+``ALL_RULES`` is the ordered registry the CLI and the test suite iterate;
+rule classes stay importable individually for targeted fixtures.
+"""
+
+from reprolint.rules.determinism import NondeterminismRule, UnstableIdentityOrderingRule
+from reprolint.rules.exceptions import ExceptionDisciplineRule
+from reprolint.rules.imports import NumpyImportRule
+from reprolint.rules.process import ProcessBoundaryCallableRule
+from reprolint.rules.resources import SharedMemoryUnlinkRule
+from reprolint.rules.slots import SlotsRule
+from reprolint.rules.windows import FloatWindowIndexRule
+
+#: Every rule, in id order.
+ALL_RULES = (
+    UnstableIdentityOrderingRule,  # RL001
+    FloatWindowIndexRule,  # RL002
+    ProcessBoundaryCallableRule,  # RL003
+    SharedMemoryUnlinkRule,  # RL004
+    NumpyImportRule,  # RL005
+    NondeterminismRule,  # RL006
+    SlotsRule,  # RL007
+    ExceptionDisciplineRule,  # RL008
+)
+
+__all__ = [
+    "ALL_RULES",
+    "ExceptionDisciplineRule",
+    "FloatWindowIndexRule",
+    "NondeterminismRule",
+    "NumpyImportRule",
+    "ProcessBoundaryCallableRule",
+    "SharedMemoryUnlinkRule",
+    "SlotsRule",
+    "UnstableIdentityOrderingRule",
+]

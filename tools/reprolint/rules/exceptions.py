@@ -1,0 +1,113 @@
+"""RL008 — no bare ``except`` / swallowed exceptions in worker loops.
+
+A worker process that swallows an exception turns a crash into a hang:
+the driver waits forever on results that will never arrive.  The runtime
+discipline is that worker loops catch broadly *once*, ship the formatted
+traceback back to the driver, and the driver re-raises it as
+:class:`~repro.errors.ExecutionError`.  Narrow, commented best-effort
+handlers (``except OSError: pass`` on teardown) remain legal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from reprolint.framework import (
+    ModuleContext,
+    Rule,
+    Violation,
+    dotted_name,
+    enclosing_function,
+)
+
+__all__ = ["ExceptionDisciplineRule"]
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _caught_names(handler: ast.ExceptHandler) -> list[str]:
+    if handler.type is None:
+        return []
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    names = []
+    for entry in types:
+        name = dotted_name(entry)
+        if name is not None:
+            names.append(name.split(".")[-1])
+    return names
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    return any(name in _BROAD for name in _caught_names(handler))
+
+
+def _only_swallows(handler: ast.ExceptHandler) -> bool:
+    meaningful = [
+        statement
+        for statement in handler.body
+        if not (isinstance(statement, ast.Expr) and isinstance(statement.value, ast.Constant))
+    ]
+    return all(isinstance(statement, (ast.Pass, ast.Continue)) for statement in meaningful)
+
+
+def _reports_failure(handler: ast.ExceptHandler) -> bool:
+    """True if the handler re-raises or ships the traceback to the driver."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            name = dotted_name(node)
+            if name is not None:
+                short = name.split(".")[-1]
+                if short in {"ExecutionError", "format_exc", "print_exc", "format_exception"}:
+                    return True
+    return False
+
+
+class ExceptionDisciplineRule(Rule):
+    id: ClassVar[str] = "RL008"
+    title: ClassVar[str] = "no bare except / swallowed exceptions in worker loops"
+    rationale: ClassVar[str] = (
+        "A swallowed exception in a worker turns a crash into a driver "
+        "hang.  Bare except is always banned; except Exception with a "
+        "pass-only body is banned; and inside *worker* functions a broad "
+        "handler must re-raise or ship the traceback (ExecutionError / "
+        "traceback.format_exc) back to the driver."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield module.violation(
+                    self,
+                    node,
+                    "bare except catches SystemExit/KeyboardInterrupt and "
+                    "hides the failure; catch a specific exception type",
+                )
+                continue
+            if not _is_broad(node):
+                continue
+            if _only_swallows(node):
+                yield module.violation(
+                    self,
+                    node,
+                    "broad except with a pass-only body swallows the "
+                    "failure; handle it, narrow it, or re-raise",
+                )
+                continue
+            function = enclosing_function(node)
+            if (
+                function is not None
+                and "worker" in function.name.lower()
+                and not _reports_failure(node)
+            ):
+                yield module.violation(
+                    self,
+                    node,
+                    "broad except in a worker loop must re-raise as "
+                    "ExecutionError or ship traceback.format_exc() to the "
+                    "driver",
+                )

@@ -1,0 +1,99 @@
+"""RL003 — callables that cross process boundaries must be importable.
+
+PR 5's incident: a lambda handed to the sharded executor worked under
+``fork`` and died under ``spawn`` (pickle cannot serialize lambdas,
+closures, or functions defined inside other functions).  Anything the
+driver ships to a worker — engine factories, optimizer specs, kernel
+backends — must be a module-level callable or a registry *name*.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from reprolint.framework import (
+    ModuleContext,
+    Rule,
+    Violation,
+    call_name,
+    parent_of,
+)
+
+__all__ = ["ProcessBoundaryCallableRule"]
+
+#: Constructors / entry points whose callable arguments cross the
+#: process boundary.
+_BOUNDARY_CALLEES = {"ShardedStreamingExecutor", "run_sharded"}
+
+#: Keyword names that denote boundary-crossing callables wherever they
+#: appear (factories are pickled into worker processes under spawn).
+_BOUNDARY_KEYWORDS = {"engine_factory", "optimizer_factory", "kernel_factory"}
+
+
+def _local_function_names(tree: ast.Module) -> set[str]:
+    """Names of functions defined inside other functions (not picklable)."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            parent = parent_of(node)
+            while parent is not None:
+                if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    names.add(node.name)
+                    break
+                parent = parent_of(parent)
+    return names
+
+
+class ProcessBoundaryCallableRule(Rule):
+    id: ClassVar[str] = "RL003"
+    title: ClassVar[str] = "process-boundary callables must be module-level or registry names"
+    rationale: ClassVar[str] = (
+        "The sharded executor pickles engine/optimizer/kernel factories into "
+        "worker processes; under the spawn start method lambdas, closures, "
+        "and nested functions fail to pickle (PR 5 incident).  Pass a "
+        "module-level callable or a registry name string instead."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        local_names = _local_function_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = call_name(node)
+            short = callee.split(".")[-1] if callee else None
+            is_boundary_call = short in _BOUNDARY_CALLEES
+            for position, arg in enumerate(node.args):
+                if is_boundary_call:
+                    yield from self._check_value(
+                        module, arg, local_names, f"positional argument {position}"
+                    )
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    continue
+                if is_boundary_call or keyword.arg in _BOUNDARY_KEYWORDS:
+                    yield from self._check_value(
+                        module, keyword.value, local_names, f"argument {keyword.arg!r}"
+                    )
+
+    def _check_value(
+        self,
+        module: ModuleContext,
+        value: ast.expr,
+        local_names: set[str],
+        where: str,
+    ) -> Iterator[Violation]:
+        if isinstance(value, ast.Lambda):
+            yield module.violation(
+                self,
+                value,
+                f"lambda passed as {where} cannot cross a process boundary "
+                "under spawn; use a module-level callable or registry name",
+            )
+        elif isinstance(value, ast.Name) and value.id in local_names:
+            yield module.violation(
+                self,
+                value,
+                f"locally-defined function {value.id!r} passed as {where} "
+                "cannot be pickled under spawn; hoist it to module level",
+            )

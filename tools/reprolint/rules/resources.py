@@ -1,0 +1,113 @@
+"""RL004 — every created shared-memory segment is unlink-guarded.
+
+PR 6's incident class: a ``SharedMemory(create=True)`` segment outlives
+the interpreter unless some path calls ``unlink()`` — /dev/shm fills up
+silently across crashed runs.  The repo's discipline is that the
+*creating scope* installs the guard **immediately**: either the very next
+statement registers a ``weakref.finalize`` cleanup, or the creation sits
+inside a ``try`` whose ``finally`` unlinks.  "Immediately" matters — an
+exception thrown by any statement between creation and guard leaks the
+segment (the original bug was a ``Pipe()`` constructor sitting in that
+gap).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from reprolint.framework import (
+    ModuleContext,
+    Rule,
+    Violation,
+    call_name,
+    enclosing_statement,
+    parent_of,
+)
+
+__all__ = ["SharedMemoryUnlinkRule"]
+
+
+def _is_create_call(node: ast.Call) -> bool:
+    callee = call_name(node)
+    if callee is None or callee.split(".")[-1] != "SharedMemory":
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "create":
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+def _contains_finalize(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            callee = call_name(child)
+            if callee is not None and callee.split(".")[-1] == "finalize":
+                return True
+    return False
+
+
+def _contains_unlink(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            callee = call_name(child)
+            if callee is not None and "unlink" in callee.split(".")[-1].lower():
+                return True
+    return False
+
+
+def _guarded_by_try_finally(statement: ast.stmt) -> bool:
+    current = parent_of(statement)
+    while current is not None:
+        if isinstance(current, ast.Try) and any(
+            _contains_unlink(final) for final in current.finalbody
+        ):
+            return True
+        current = parent_of(current)
+    return False
+
+
+def _next_statement_guards(statement: ast.stmt) -> bool:
+    parent = parent_of(statement)
+    if parent is None:
+        return False
+    for field_name in ("body", "orelse", "finalbody"):
+        block = getattr(parent, field_name, None)
+        if isinstance(block, list) and statement in block:
+            index = block.index(statement)
+            if index + 1 < len(block):
+                return _contains_finalize(block[index + 1])
+            return False
+    return False
+
+
+class SharedMemoryUnlinkRule(Rule):
+    id: ClassVar[str] = "RL004"
+    title: ClassVar[str] = "SharedMemory(create=True) needs an immediate unlink guard"
+    rationale: ClassVar[str] = (
+        "A created shared-memory segment persists in /dev/shm until "
+        "unlink(); crashes between creation and cleanup registration leak "
+        "it (PR 6 incident).  Register a weakref.finalize guard in the very "
+        "next statement, or create inside a try whose finally unlinks — "
+        "nothing that can raise may sit between creation and guard."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and _is_create_call(node)):
+                continue
+            statement = enclosing_statement(node)
+            if statement is None:
+                continue
+            if _contains_finalize(statement):
+                continue  # guard registered in the creating statement itself
+            if _guarded_by_try_finally(statement) or _next_statement_guards(statement):
+                continue
+            yield module.violation(
+                self,
+                node,
+                "SharedMemory(create=True) without an immediate unlink "
+                "guard; register weakref.finalize in the next statement or "
+                "wrap in try/finally that unlinks",
+            )
