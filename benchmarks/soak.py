@@ -1,0 +1,303 @@
+"""Kill/restart soak for the fault-tolerant sharded runtime.
+
+``python benchmarks/soak.py`` drives minutes-scale synthetic traffic
+through the checkpointed, supervised :class:`~repro.runtime.sharding.
+ShardedStreamingExecutor` while a killer thread SIGKILLs random live
+shard workers at random (seeded) intervals — no cooperation from the
+workers, no planted kill points: pure external violence.  After every
+round it asserts the soak contract:
+
+* the merged report is **bit-identical** (canonical serialization, see
+  :func:`faultline.canonical_report`) to an uninterrupted in-process run
+  of the same round's stream;
+* at least one restart actually happened across the soak (otherwise the
+  run proved nothing);
+* the driver's RSS stays under a **flat ceiling**: recovery must not
+  accumulate state — the replay buffer is bounded, dead incarnations'
+  channels are reclaimed — so memory at the end of the soak looks like
+  memory at the start;
+* zero leaked ``/dev/shm/repro-ring-*`` segments and zero orphaned
+  checkpoint ``*.tmp`` files once everything is torn down.
+
+Time-boxed by ``--seconds`` (default 90): rounds repeat, alternating
+randomized kill schedules, until the budget is spent.  ``--transport
+both`` splits the budget between the pickle and shm transports.  Exit
+status 0 on a fully green soak, 1 on any violation.
+
+This is the *soak tier* (see docs/TESTING.md): too slow for the default
+pytest run, wired into CI as its own time-boxed job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import random
+import signal
+import sys
+import threading
+import time
+from typing import Optional, Sequence
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tools"))
+
+from repro.events.event import Event
+from repro.query import Query, Window, kleene, seq
+from repro.runtime import ShardedStreamingExecutor
+
+from faultline import canonical_report, checkpoint_temp_files
+
+#: Driver-RSS growth allowed over a soak before "flat ceiling" is judged
+#: violated.  Generous: Python heaps fragment and arenas are sticky; the
+#: failure mode hunted here is *unbounded* growth (a replay buffer or
+#: channel leak scales with restart count), which blows through this in
+#: any minutes-scale run.
+DEFAULT_RSS_CEILING_MIB = 256.0
+
+
+def _workload(window: Window) -> list[Query]:
+    return [
+        Query.build(seq("A", kleene("B")), group_by=("g",), window=window, name="skq1"),
+        Query.build(seq("C", kleene("B")), group_by=("g",), window=window, name="skq2"),
+    ]
+
+
+def _stream(size: int, seed: int, groups: int) -> list[Event]:
+    rng = random.Random(seed)
+    events = []
+    for index in range(size):
+        type_name = rng.choices(("A", "B", "C"), weights=(1, 3, 1))[0]
+        events.append(
+            Event(type_name, float(index) * 0.25, {"g": float(rng.randint(1, groups))})
+        )
+    return events
+
+
+def _rss_mib() -> float:
+    """The driver's resident set size, in MiB (Linux /proc)."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as status:
+            for line in status:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1]) / 1024.0
+    except OSError:  # pragma: no cover - non-Linux fallback
+        pass
+    return 0.0
+
+
+class _Killer(threading.Thread):
+    """SIGKILL a random live shard worker at random (seeded) intervals."""
+
+    def __init__(
+        self, executor: ShardedStreamingExecutor, seed: int, min_gap: float, max_gap: float
+    ) -> None:
+        super().__init__(name="soak-killer", daemon=True)
+        self._executor = executor
+        self._rng = random.Random(seed)
+        self._min_gap = min_gap
+        self._max_gap = max_gap
+        # Name avoids threading.Thread's internal _stop attribute.
+        self._halt = threading.Event()
+        self.kills = 0
+        self.peak_rss_mib = _rss_mib()
+
+    def stop(self) -> None:
+        self._halt.set()
+
+    def run(self) -> None:
+        while not self._halt.wait(self._rng.uniform(self._min_gap, self._max_gap)):
+            self.peak_rss_mib = max(self.peak_rss_mib, _rss_mib())
+            processes = list(getattr(self._executor, "_processes", []) or [])
+            live = [p for p in processes if p is not None and p.is_alive()]
+            if not live:
+                continue
+            victim = self._rng.choice(live)
+            try:
+                os.kill(victim.pid, signal.SIGKILL)
+                self.kills += 1
+            except (ProcessLookupError, TypeError):
+                continue
+        self.peak_rss_mib = max(self.peak_rss_mib, _rss_mib())
+
+
+def _soak_transport(
+    transport: str,
+    *,
+    deadline: float,
+    workers: int,
+    events: int,
+    base_seed: int,
+    checkpoint_dir: str,
+    kill_gap: tuple[float, float],
+    verbose: bool,
+) -> tuple[int, int, int, float]:
+    """Soak one transport until ``deadline``; returns
+    (rounds, total kills, total restarts, peak driver RSS MiB)."""
+    window = Window(16.0, 4.0)
+    rounds = kills = restarts = 0
+    peak_rss = _rss_mib()
+    failures = 0
+    while time.perf_counter() < deadline:
+        seed = base_seed + rounds
+        stream = _stream(events, seed, groups=8)
+        baseline = canonical_report(
+            ShardedStreamingExecutor(_workload(window), workers=0, shards=workers).run(
+                stream
+            )
+        )
+        executor = ShardedStreamingExecutor(
+            _workload(window),
+            workers=workers,
+            batch_size=64,
+            transport=transport,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_interval=4,
+            max_restarts=10_000,
+        )
+        killer = _Killer(executor, seed, *kill_gap)
+        killer.start()
+        try:
+            report = executor.run(stream)
+        finally:
+            killer.stop()
+            killer.join(timeout=5.0)
+        rounds += 1
+        kills += killer.kills
+        round_restarts = report.recovery.restarts if report.recovery else 0
+        restarts += round_restarts
+        peak_rss = max(peak_rss, killer.peak_rss_mib)
+        identical = canonical_report(report) == baseline
+        if not identical:
+            failures += 1
+        if verbose or not identical:
+            print(
+                f"  [{transport}] round {rounds}: identical={identical} "
+                f"kills={killer.kills} restarts={round_restarts} "
+                f"replayed={report.recovery.replayed_batches if report.recovery else 0} "
+                f"rss={killer.peak_rss_mib:.0f}MiB"
+            )
+        if not identical:
+            raise AssertionError(
+                f"soak round {rounds} ({transport}): recovered report is NOT "
+                f"bit-identical to the uninterrupted run (seed {seed})"
+            )
+    return rounds, kills, restarts, peak_rss
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="soak",
+        description="Randomized kill/restart soak of the fault-tolerant sharded runtime.",
+    )
+    parser.add_argument(
+        "--seconds", type=float, default=90.0, help="total soak budget (default: 90)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="shard worker processes (default: 2)"
+    )
+    parser.add_argument(
+        "--events", type=int, default=4000, help="events per round (default: 4000)"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="base seed (default: 7)")
+    parser.add_argument(
+        "--transport",
+        choices=("pickle", "shm", "both"),
+        default="both",
+        help="transport(s) to soak (default: both, splitting the budget)",
+    )
+    parser.add_argument(
+        "--kill-min-gap",
+        type=float,
+        default=0.2,
+        help="minimum seconds between kills (default: 0.2)",
+    )
+    parser.add_argument(
+        "--kill-max-gap",
+        type=float,
+        default=0.8,
+        help="maximum seconds between kills (default: 0.8)",
+    )
+    parser.add_argument(
+        "--rss-ceiling-mib",
+        type=float,
+        default=DEFAULT_RSS_CEILING_MIB,
+        help=f"allowed driver RSS growth (default: {DEFAULT_RSS_CEILING_MIB:.0f})",
+    )
+    parser.add_argument(
+        "--no-memory-check",
+        action="store_true",
+        help="skip the flat-memory-ceiling assertion",
+    )
+    parser.add_argument("--verbose", action="store_true", help="print every round")
+    arguments = parser.parse_args(argv)
+    if arguments.workers < 1:
+        parser.error("--workers must be >= 1 (the soak needs processes to kill)")
+
+    import tempfile
+
+    transports = (
+        ["pickle", "shm"] if arguments.transport == "both" else [arguments.transport]
+    )
+    started = time.perf_counter()
+    start_rss = _rss_mib()
+    budget_each = arguments.seconds / len(transports)
+    total_rounds = total_kills = total_restarts = 0
+    peak_rss = start_rss
+    ok = True
+    for transport in transports:
+        deadline = time.perf_counter() + budget_each
+        with tempfile.TemporaryDirectory(prefix=f"soak-ckpt-{transport}-") as ckpt_dir:
+            try:
+                rounds, kills, restarts, rss = _soak_transport(
+                    transport,
+                    deadline=deadline,
+                    workers=arguments.workers,
+                    events=arguments.events,
+                    base_seed=arguments.seed,
+                    checkpoint_dir=ckpt_dir,
+                    kill_gap=(arguments.kill_min_gap, arguments.kill_max_gap),
+                    verbose=arguments.verbose,
+                )
+            except AssertionError as error:
+                print(f"SOAK FAILURE: {error}")
+                ok = False
+                break
+            leaked_tmp = checkpoint_temp_files(ckpt_dir)
+            if leaked_tmp:
+                print(f"SOAK FAILURE: orphaned checkpoint temp files: {leaked_tmp}")
+                ok = False
+            total_rounds += rounds
+            total_kills += kills
+            total_restarts += restarts
+            peak_rss = max(peak_rss, rss)
+            print(
+                f"[{transport}] {rounds} rounds, {kills} kills, "
+                f"{restarts} restarts — all bit-identical"
+            )
+    leaked_shm = sorted(glob.glob("/dev/shm/repro-ring-*"))
+    if leaked_shm:
+        print(f"SOAK FAILURE: leaked shared-memory segments: {leaked_shm}")
+        ok = False
+    if total_restarts < 1 and ok:
+        print("SOAK FAILURE: no worker restart happened — nothing was proven")
+        ok = False
+    growth = peak_rss - start_rss
+    if not arguments.no_memory_check and growth > arguments.rss_ceiling_mib:
+        print(
+            f"SOAK FAILURE: driver RSS grew {growth:.0f}MiB "
+            f"(ceiling {arguments.rss_ceiling_mib:.0f}MiB) — recovery is leaking"
+        )
+        ok = False
+    elapsed = time.perf_counter() - started
+    print(
+        f"soak {'PASSED' if ok else 'FAILED'}: {total_rounds} rounds / "
+        f"{total_kills} kills / {total_restarts} restarts in {elapsed:.0f}s, "
+        f"driver RSS {start_rss:.0f} -> peak {peak_rss:.0f}MiB"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -86,6 +86,9 @@ def _run_stream(
     burst_size: int | None,
     kernel_backend: str | None,
     transport: str,
+    checkpoint_dir: str | None,
+    checkpoint_interval: int,
+    max_restarts: int,
 ) -> None:
     from repro.core import HamletEngine
     from repro.datasets.ridesharing import RidesharingGenerator
@@ -142,6 +145,9 @@ def _run_stream(
             burst_size=burst_size,
             kernel_backend=kernel_backend,
             transport=transport,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_interval=checkpoint_interval,
+            max_restarts=max_restarts,
         )
         report = executor.run(stream)
         metrics = report.metrics
@@ -162,6 +168,16 @@ def _run_stream(
             f"{metrics.throughput_wall:,.0f} events/s wall-clock "
             f"({metrics.throughput_engine:,.0f} events/s per engine-second)"
         )
+        recovery = report.recovery
+        if recovery is not None:
+            print(
+                f"recovery: {recovery.restarts} restart(s), "
+                f"{recovery.replayed_events} event(s) replayed in "
+                f"{recovery.replayed_batches} batch(es), "
+                f"{recovery.checkpoints} checkpoint(s) / "
+                f"{recovery.checkpoint_bytes:,} bytes written "
+                f"(driver waited {metrics.driver_wait_seconds:.3f}s)"
+            )
         print_decisions(report)
         return
 
@@ -291,6 +307,29 @@ def build_parser() -> argparse.ArgumentParser:
         "blobs through the queues, or columnar buffers in reusable "
         "shared-memory slabs (default: pickle)",
     )
+    stream.add_argument(
+        "--checkpoint-dir",
+        metavar="PATH",
+        default=None,
+        help="checkpoint shard state into PATH at window boundaries and "
+        "supervise workers: a crashed worker is respawned, restored from "
+        "its last checkpoint and fed the replayed tail (requires "
+        "--workers; default: no checkpointing, crashes are fatal)",
+    )
+    stream.add_argument(
+        "--checkpoint-interval",
+        type=_positive_int,
+        default=16,
+        metavar="N",
+        help="windows closed between checkpoints (default: 16)",
+    )
+    stream.add_argument(
+        "--max-restarts",
+        type=_non_negative_int,
+        default=3,
+        metavar="K",
+        help="worker respawns before a crash becomes fatal (default: 3)",
+    )
     return parser
 
 
@@ -308,6 +347,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             "--burst-size requires --optimizer (bursts are adaptive-mode only) "
             "or --kernel-backend numpy (which folds bursts without one)"
         )
+    if (
+        arguments.command == "stream"
+        and arguments.checkpoint_dir is not None
+        and arguments.workers is None
+    ):
+        parser.error(
+            "--checkpoint-dir requires --workers (checkpointing belongs to "
+            "the sharded runtime)"
+        )
     if arguments.command == "figures":
         _run_figures(arguments.names or ["all"])
     elif arguments.command == "demo":
@@ -324,6 +372,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             arguments.burst_size,
             arguments.kernel_backend,
             arguments.transport,
+            arguments.checkpoint_dir,
+            arguments.checkpoint_interval,
+            arguments.max_restarts,
         )
     return 0
 

@@ -7,6 +7,8 @@ can distinguish library failures from programming errors with a single
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all exceptions raised by the repro library."""
@@ -46,6 +48,47 @@ class SharingError(ReproError):
 
 class ExecutionError(ReproError):
     """The runtime executor hit an unrecoverable condition."""
+
+
+class WorkerCrashError(ExecutionError):
+    """A shard worker process died without delivering its report.
+
+    Raised by the sharded driver when exit-code classification says the
+    worker cannot report anymore (``os._exit``, a signal such as
+    ``SIGKILL``) and recovery is disabled or exhausted.  Distinguishes
+    "worker dead" from "worker slow": a slow worker keeps its process
+    alive and the driver keeps waiting, while a dead one surfaces here
+    with everything the driver knows about the death attached.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard_id: int,
+        exit_code: Optional[int] = None,
+        last_acked_slab: Optional[int] = None,
+        worker_traceback: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        #: Shard whose worker died.
+        self.shard_id = shard_id
+        #: ``Process.exitcode`` (negative: killed by that signal number).
+        self.exit_code = exit_code
+        #: Shm transport only: last slab index the worker acked before
+        #: dying — localizes the death relative to the in-flight batches.
+        self.last_acked_slab = last_acked_slab
+        #: The worker's formatted traceback when one surfaced before death.
+        self.worker_traceback = worker_traceback
+
+
+class CheckpointError(ExecutionError):
+    """A checkpoint could not be written, read or restored.
+
+    Covers container-level corruption (bad magic, version or checksum)
+    and restore-time mismatches (a snapshot taken for a different
+    workload or executor configuration).
+    """
 
 
 class WorkloadError(ReproError):

@@ -22,16 +22,24 @@ On top of the streaming runtime,
 :class:`~repro.runtime.sharding.ShardedStreamingExecutor` shards the stream
 across worker processes (hash-routed by group key, or by execution unit for
 GROUP-BY-less workloads) and merges the per-shard reports
-deterministically — same totals again, for any worker count.
+deterministically — same totals again, for any worker count.  With a
+``checkpoint_dir`` the sharded runtime becomes fault-tolerant: workers
+snapshot their executors at window boundaries into versioned, checksummed
+checkpoints (:mod:`repro.runtime.checkpoint`) and the driver supervises —
+a worker that dies mid-stream is respawned with capped backoff, restored
+from its last good checkpoint and fed the post-checkpoint tail from a
+bounded replay buffer, with the merged report bit-identical to an
+uninterrupted run.
 """
 
+from repro.runtime.checkpoint import AsyncCheckpointWriter, Checkpoint, CheckpointStore
 from repro.runtime.executor import (
     ExecutionReport,
     PartitionResult,
     WorkloadExecutor,
     run_workload,
 )
-from repro.runtime.metrics import ExecutionMetrics, Stopwatch
+from repro.runtime.metrics import ExecutionMetrics, RecoveryStats, Stopwatch
 from repro.runtime.partitioner import GroupWindowPartitioner, PartitionKey, group_sort_key
 from repro.runtime.shared_windows import MultiWindowLinearEngine, UnitCompilation
 from repro.runtime.sharding import (
@@ -45,12 +53,16 @@ from repro.runtime.streaming import StreamingExecutor, WindowResult, run_streami
 from repro.runtime.transport import SlabReader, SlabRing
 
 __all__ = [
+    "AsyncCheckpointWriter",
+    "Checkpoint",
+    "CheckpointStore",
     "ExecutionMetrics",
     "ExecutionReport",
     "GroupWindowPartitioner",
     "MultiWindowLinearEngine",
     "PartitionKey",
     "PartitionResult",
+    "RecoveryStats",
     "ShardReport",
     "ShardRouter",
     "ShardedStreamingExecutor",

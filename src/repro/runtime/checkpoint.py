@@ -1,0 +1,328 @@
+"""Versioned, checksummed on-disk checkpoints for the streaming runtime.
+
+A checkpoint is one :meth:`~repro.runtime.streaming.StreamingExecutor.
+snapshot_state` payload wrapped in a fixed binary container — the same
+schema-versioned-header discipline as the columnar wire format's ``RPEB``
+frame (:mod:`repro.events.columnar`):
+
+====== ===== =========================================================
+offset bytes field
+====== ===== =========================================================
+0      4     magic ``RPCP``
+4      1     container version (:data:`VERSION`)
+5      1     flags (reserved, 0)
+6      2     reserved (0)
+8      8     checkpoint epoch (big-endian; bumped per worker respawn)
+16     8     sequence number of the last batch folded into the snapshot
+24     8     payload length
+32     16    BLAKE2b-128 digest of the payload
+48     ...   payload (opaque snapshot pickle)
+====== ===== =========================================================
+
+Everything that touches disk is **atomic**: the blob is written to a
+temp file in the checkpoint directory, flushed and fsynced, then
+``os.replace``\\ d over the final name (reprolint RL009 enforces this
+write-temp + fsync + rename shape statically).  A per-shard ``.latest``
+pointer file — updated with the same atomic dance — names the last good
+checkpoint; readers fall back to a directory scan (newest valid first)
+when the pointer is stale or its target corrupt, so a crash at any
+instant leaves either the previous checkpoint or the new one readable,
+never neither.
+
+:class:`CheckpointStore` owns one shard's files; :class:`AsyncCheckpoint
+Writer` moves the fsync latency off the worker's hot path onto a single
+background thread (checkpoints are ordered per shard, so one thread is
+exactly the right amount of concurrency) and acks each durable write —
+``(epoch, seq, nbytes)`` — back to the driver, which uses the acks to
+trim its replay buffer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import queue
+import struct
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import CheckpointError
+
+__all__ = [
+    "AsyncCheckpointWriter",
+    "Checkpoint",
+    "CheckpointStore",
+    "MAGIC",
+    "TEMP_SUFFIX",
+    "VERSION",
+    "pack_checkpoint",
+    "unpack_checkpoint",
+]
+
+#: Container magic, doubling as a human-readable file signature.
+MAGIC = b"RPCP"
+#: Container format version (header layout + digest algorithm).
+VERSION = 1
+#: Suffix of in-progress writes; a surviving ``*.tmp`` file is always
+#: garbage (the atomic rename never happened) and is safe to delete.
+TEMP_SUFFIX = ".tmp"
+#: File suffix of finished checkpoints.
+CHECKPOINT_SUFFIX = ".ckpt"
+
+#: magic, version, flags, reserved, epoch, seq, payload length, digest.
+_HEADER = struct.Struct(">4sBBHQQQ16s")
+
+
+def _digest(payload: bytes) -> bytes:
+    return hashlib.blake2b(payload, digest_size=16).digest()
+
+
+def pack_checkpoint(epoch: int, seq: int, payload: bytes) -> bytes:
+    """Wrap a snapshot payload in the versioned, checksummed container."""
+    header = _HEADER.pack(MAGIC, VERSION, 0, 0, epoch, seq, len(payload), _digest(payload))
+    return header + payload
+
+
+def unpack_checkpoint(blob: bytes) -> "Checkpoint":
+    """Parse and verify a container; raises :class:`CheckpointError`."""
+    if len(blob) < _HEADER.size:
+        raise CheckpointError(
+            f"checkpoint truncated: {len(blob)} bytes < {_HEADER.size}-byte header"
+        )
+    magic, version, _flags, _reserved, epoch, seq, length, digest = _HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise CheckpointError(f"bad checkpoint magic {magic!r} (want {MAGIC!r})")
+    if version != VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint container version {version} (want {VERSION})"
+        )
+    payload = blob[_HEADER.size :]
+    if len(payload) != length:
+        raise CheckpointError(
+            f"checkpoint truncated: header promises {length} payload bytes, "
+            f"found {len(payload)}"
+        )
+    if _digest(payload) != digest:
+        raise CheckpointError("checkpoint payload digest mismatch (corrupt or torn write)")
+    return Checkpoint(epoch=epoch, seq=seq, payload=payload)
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One verified checkpoint: its identity tags plus the snapshot payload."""
+
+    #: Worker incarnation that wrote the snapshot (respawns bump it).
+    epoch: int
+    #: Driver-assigned sequence number of the last batch folded in.
+    seq: int
+    #: The opaque :meth:`StreamingExecutor.snapshot_state` payload.
+    payload: bytes
+
+
+def _atomic_write_bytes(path: Path, blob: bytes) -> None:
+    """Write-temp + fsync + rename: the crash-safe replacement of ``path``."""
+    temp = path.with_name(path.name + TEMP_SUFFIX)
+    with open(temp, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Persist a rename by fsyncing its directory (best-effort per FS)."""
+    descriptor = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(descriptor)
+    except OSError:  # pragma: no cover - some filesystems reject dir fsync
+        pass
+    finally:
+        os.close(descriptor)
+
+
+class CheckpointStore:
+    """One shard's checkpoint files inside a shared checkpoint directory.
+
+    File names order lexicographically by ``(epoch, seq)`` thanks to the
+    zero padding, so "newest" never needs header reads.  ``keep`` bounds
+    the footprint: after every successful write all but the newest
+    ``keep`` checkpoints of the shard are pruned.
+    """
+
+    def __init__(self, directory: str | os.PathLike, shard_id: int, *, keep: int = 2) -> None:
+        if keep < 1:
+            raise CheckpointError(f"checkpoint store must keep >= 1 files, got {keep}")
+        self.directory = Path(directory)
+        self.shard_id = shard_id
+        self.keep = keep
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Naming
+    # ------------------------------------------------------------------ #
+    @property
+    def _prefix(self) -> str:
+        return f"shard{self.shard_id:03d}"
+
+    @property
+    def _pointer_path(self) -> Path:
+        return self.directory / f"{self._prefix}.latest"
+
+    def _checkpoint_path(self, epoch: int, seq: int) -> Path:
+        return self.directory / (
+            f"{self._prefix}-e{epoch:08d}-s{seq:012d}{CHECKPOINT_SUFFIX}"
+        )
+
+    def _candidates(self) -> list[Path]:
+        """Finished checkpoint files of this shard, newest first."""
+        pattern = f"{self._prefix}-e*{CHECKPOINT_SUFFIX}"
+        return sorted(self.directory.glob(pattern), key=lambda p: p.name, reverse=True)
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def write(self, epoch: int, seq: int, payload: bytes) -> int:
+        """Durably store one snapshot; returns the container size in bytes.
+
+        Ordering matters for crash safety: the checkpoint lands (atomic,
+        fsynced) before the pointer moves to it, and pruning runs last —
+        at every instant the pointer names a complete, verified-writable
+        file, and a crash between steps costs at most some garbage that
+        the next write's prune collects.
+        """
+        blob = pack_checkpoint(epoch, seq, payload)
+        path = self._checkpoint_path(epoch, seq)
+        _atomic_write_bytes(path, blob)
+        _atomic_write_bytes(self._pointer_path, path.name.encode("utf-8"))
+        _fsync_directory(self.directory)
+        self._prune(path.name)
+        return len(blob)
+
+    def _prune(self, pointed: str) -> None:
+        for stale in self._candidates()[self.keep :]:
+            if stale.name == pointed:  # pragma: no cover - keep >= 1 shields it
+                continue
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - best-effort garbage collection
+                pass
+
+    def clean_temporaries(self) -> int:
+        """Delete orphaned in-progress files (crash debris); returns count.
+
+        Only safe while no writer is active for this shard — the driver
+        calls it during recovery, after the shard's worker (and with it
+        the worker's async writer thread) is known dead.
+        """
+        removed = 0
+        for temp in self.directory.glob(f"{self._prefix}*{TEMP_SUFFIX}"):
+            try:
+                temp.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - already gone
+                pass
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def latest(self) -> Optional[Checkpoint]:
+        """The newest *valid* checkpoint, or None when none exists.
+
+        The ``.latest`` pointer is tried first; a missing, stale or
+        corrupt target falls back to scanning the directory newest-first
+        and returning the first checkpoint whose digest verifies — the
+        "last-good" guarantee that makes torn writes recoverable.
+        """
+        ordered: list[Path] = []
+        try:
+            pointed = self._pointer_path.read_text(encoding="utf-8").strip()
+        except OSError:
+            pointed = ""
+        if pointed and "/" not in pointed:
+            ordered.append(self.directory / pointed)
+        for candidate in self._candidates():
+            if not ordered or candidate != ordered[0]:
+                ordered.append(candidate)
+        for candidate in ordered:
+            try:
+                blob = candidate.read_bytes()
+            except OSError:
+                continue
+            try:
+                return unpack_checkpoint(blob)
+            except CheckpointError:
+                continue
+        return None
+
+
+class AsyncCheckpointWriter:
+    """Serialize checkpoint writes onto one background thread.
+
+    Snapshots are taken synchronously (the executor's state must not move
+    while it is pickled) but the expensive part — container framing,
+    write, double fsync, rename — happens here, off the event path.  One
+    thread per shard is exactly the needed concurrency: checkpoints of a
+    shard are ordered, and cross-shard parallelism comes from the worker
+    processes themselves.
+
+    ``ack`` (when given) is a pipe-like object whose ``send`` receives
+    ``(epoch, seq, nbytes)`` after each *durable* write; the driver trims
+    its replay buffer on these acks, so they are only ever sent once the
+    checkpoint they describe can actually be restored.
+    """
+
+    def __init__(self, store: CheckpointStore, ack=None) -> None:
+        self._store = store
+        self._ack = ack
+        self._queue: "queue.Queue[Optional[tuple[int, int, bytes]]]" = queue.Queue()
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._drain,
+            name=f"repro-ckpt-{store.shard_id:03d}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            epoch, seq, payload = item
+            try:
+                nbytes = self._store.write(epoch, seq, payload)
+            except Exception as error:
+                # Surfaced to the submitter on its next submit()/close():
+                # the writer thread has no driver channel of its own.
+                self._error = error
+                return
+            if self._ack is not None:
+                try:
+                    self._ack.send((epoch, seq, nbytes))
+                except OSError:  # pragma: no cover - driver side already gone
+                    return
+
+    def submit(self, epoch: int, seq: int, payload: bytes) -> None:
+        """Queue one snapshot for durable writing (raises prior failures)."""
+        if self._error is not None:
+            raise CheckpointError(
+                f"checkpoint writer failed: {self._error!r}"
+            ) from self._error
+        self._queue.put((epoch, seq, payload))
+
+    def close(self) -> None:
+        """Drain pending writes, stop the thread, re-raise any failure."""
+        self._queue.put(None)
+        self._thread.join()
+        if self._error is not None:
+            raise CheckpointError(
+                f"checkpoint writer failed: {self._error!r}"
+            ) from self._error
+
+    def abort(self) -> None:
+        """Best-effort shutdown for error paths; never raises."""
+        self._queue.put(None)
+        self._thread.join(timeout=5.0)

@@ -91,6 +91,10 @@ class ExecutionReport:
     #: :class:`~repro.runtime.sharding.ShardReport` per shard, in shard
     #: order.  Empty for single-process runs.
     shards: list = field(default_factory=list)
+    #: Checkpoint/restart counters
+    #: (:class:`~repro.runtime.metrics.RecoveryStats`) when the sharded
+    #: driver ran with checkpointing enabled; None otherwise.
+    recovery: Optional[object] = None
 
     def result_for(self, query: Query | str) -> float:
         """Total result of one query across all groups and windows."""

@@ -75,6 +75,12 @@ class ExecutionMetrics:
     peak_active_windows: int = 0
     #: Total abstract work units reported by engines.
     operations: int = 0
+    #: Seconds the sharded driver spent *waiting* on its workers: full
+    #: input queues (backpressure), slab-ack stalls, result-queue polls and
+    #: recovery backoff.  Separates "the driver was slow" from "the driver
+    #: was idle behind a slow (or dead) worker"; single-process runs leave
+    #: it at 0.
+    driver_wait_seconds: float = 0.0
 
     def record_partition(
         self, seconds: float, events: int, memory_units: int, operations: int
@@ -169,3 +175,25 @@ class ExecutionMetrics:
         self.peak_memory_units = max(self.peak_memory_units, other.peak_memory_units)
         self.peak_active_windows = max(self.peak_active_windows, other.peak_active_windows)
         self.operations += other.operations
+        self.driver_wait_seconds += other.driver_wait_seconds
+
+
+@dataclass
+class RecoveryStats:
+    """Checkpoint/recovery counters of one sharded run.
+
+    Attached to :class:`~repro.runtime.executor.ExecutionReport` whenever
+    checkpointing is enabled (``checkpoint_dir`` set), so "zero restarts"
+    is distinguishable from "recovery was off".
+    """
+
+    #: Worker processes respawned after dying without a report.
+    restarts: int = 0
+    #: Batches re-shipped from the driver's replay buffer after restores.
+    replayed_batches: int = 0
+    #: Events contained in those replayed batches.
+    replayed_events: int = 0
+    #: Checkpoints durably written (acked by the async writers).
+    checkpoints: int = 0
+    #: Total container bytes of those checkpoints.
+    checkpoint_bytes: int = 0

@@ -48,15 +48,19 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import os
+import random
+import signal
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass
 from queue import Empty, Full
 from typing import Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.core.engine import HamletEngine
 from repro.core.kernels import KernelBackendSpec, resolve_kernel_backend
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, WorkerCrashError
 from repro.events import columnar
 from repro.events.batch import EventBatch
 from repro.events.event import Event, EventType
@@ -74,6 +78,9 @@ from repro.runtime.executor import (
     recombine_decompositions,
     unit_relevant_types,
 )
+from repro.runtime.checkpoint import AsyncCheckpointWriter, CheckpointStore
+from repro.runtime.faultpoints import resolve_fault_hook
+from repro.runtime.metrics import RecoveryStats
 from repro.runtime.partitioner import group_sort_key
 from repro.runtime.streaming import StreamingExecutor, WindowResult
 from repro.runtime.transport import (
@@ -93,17 +100,80 @@ __all__ = [
     "stable_shard_hash",
 ]
 
-#: Seconds a queue operation waits before re-checking worker liveness.
-_POLL_SECONDS = 0.25
-#: Grace period granted to a dead worker's last report to surface in the
-#: result queue (the feeder thread may still be flushing) before the driver
-#: declares the worker crashed.
+#: Seconds a slab acquire polls the ack pipe between liveness checks.
+_POLL_SECONDS = 0.05
+#: Default grace period granted to a dead worker's last report to surface
+#: in the result queue (the feeder thread may still be flushing) before
+#: the driver classifies the death (``worker_grace_seconds`` overrides).
 _CRASH_GRACE_SECONDS = 3.0
+#: Jittered-exponential-backoff geometry of the driver's liveness-polling
+#: waits (full queue, stalled round-robin): start microscopic so a healthy
+#: worker costs almost nothing, double to a cap low enough that worker
+#: death is noticed promptly.
+_BACKOFF_BASE_SECONDS = 0.001
+_BACKOFF_CAP_SECONDS = 0.25
+#: Capped exponential backoff between respawns of one shard (recovery):
+#: a worker dying instantly in a loop must not busy-respawn.
+_RESTART_BACKOFF_BASE_SECONDS = 0.05
+_RESTART_BACKOFF_CAP_SECONDS = 2.0
+#: Per-shard restart backoff stops doubling past this exponent.
+_RESTART_BACKOFF_MAX_EXPONENT = 6
 #: Cap on the router's group-key -> shard memo.  The hash is cheap; the
 #: memo only skips repr+BLAKE2b for hot keys, and a high-cardinality
 #: GROUP BY (per-user/per-ride keys seen once) must not grow driver memory
 #: without bound while every other layer evicts dead groups.
 _SHARD_MEMO_LIMIT = 65536
+
+
+class _Backoff:
+    """Jittered exponential backoff for the driver's liveness-poll waits.
+
+    Replaces the old fixed-interval sleep loops: waits start at ``base``
+    (a healthy worker unblocks in microseconds, so the first re-check must
+    be nearly free), double up to ``cap``, and are jittered by a *seeded*
+    RNG (reprolint RL006: no global-RNG draws on runtime paths) so
+    N shards backing off together do not re-poll in lockstep.  ``sleep``
+    returns the seconds actually slept — callers accumulate them into
+    :attr:`ExecutionMetrics.driver_wait_seconds`.
+    """
+
+    __slots__ = ("_rng", "_base", "_cap", "_delay")
+
+    def __init__(
+        self,
+        rng: random.Random,
+        *,
+        base: float = _BACKOFF_BASE_SECONDS,
+        cap: float = _BACKOFF_CAP_SECONDS,
+    ) -> None:
+        self._rng = rng
+        self._base = base
+        self._cap = cap
+        self._delay = base
+
+    def sleep(self) -> float:
+        delay = self._delay * (0.5 + self._rng.random())
+        time.sleep(delay)
+        self._delay = min(self._cap, self._delay * 2.0)
+        return delay
+
+    def reset(self) -> None:
+        self._delay = self._base
+
+
+class _WorkerRecovered(Exception):
+    """Internal control-flow signal: a dead shard worker was respawned.
+
+    Raised by the liveness check after a successful recovery (respawn +
+    checkpoint restore + tail replay) so the interrupted driver operation
+    unwinds: whatever batch it was trying to deliver is already in the
+    replay buffer and has been re-shipped to the new incarnation.  Never
+    escapes the driver.
+    """
+
+    def __init__(self, shard_id: int) -> None:
+        super().__init__(shard_id)
+        self.shard_id = shard_id
 
 
 def _canonical_key_element(value) -> tuple:
@@ -365,6 +435,7 @@ def _shard_worker_main(
     channel: Optional[tuple[str, int, object]],
     in_queue,
     out_queue,
+    recovery: Optional[tuple[str, int, int, int, bool, object]] = None,
 ) -> None:
     """Entry point of one shard worker process.
 
@@ -377,14 +448,29 @@ def _shard_worker_main(
     unit)`` stream and every such stream lives wholly inside one shard.
 
     ``channel`` selects the transport: ``None`` means pickle (queue items
-    are :class:`EventBatch` objects); a ``(segment name, slab bytes, ack
-    pipe)`` triple means shared memory — queue items are ``("slab", index,
-    nbytes)`` references into the ring (acked back after decoding) or
-    ``("raw", payload)`` framed-bytes fallbacks.  Any failure is shipped
-    back as a formatted traceback — the driver re-raises it — rather than
-    dying silently.
+    are ``("batch", seq, EventBatch)``); a ``(segment name, slab bytes,
+    ack pipe)`` triple means shared memory — queue items are ``("slab",
+    seq, index, nbytes)`` references into the ring (acked back after
+    decoding) or ``("raw", seq, payload)`` framed-bytes fallbacks.  The
+    driver-assigned ``seq`` tags identify batches across worker
+    incarnations (checkpoint bookkeeping and post-restore replay).
+
+    ``recovery`` enables checkpointing: ``(checkpoint dir, window
+    interval, batch cadence, epoch, resume, ack pipe)``.  The worker
+    snapshots its executor after a batch whenever ``interval`` windows
+    closed since the last snapshot — or, as a replay-buffer bound,
+    every ``cadence`` batches — and a background writer lands each
+    snapshot atomically and acks ``(epoch, seq, nbytes)`` to the driver.
+    With ``resume`` the worker restores the shard's last good checkpoint
+    before consuming anything; every message it emits carries ``epoch``
+    so the driver can discard a dead incarnation's stragglers.
+
+    Any failure is shipped back as a formatted traceback — the driver
+    re-raises it — rather than dying silently.
     """
     reader: Optional[SlabReader] = None
+    writer: Optional[AsyncCheckpointWriter] = None
+    epoch = 0
     try:
         executor = StreamingExecutor(
             list(queries),
@@ -395,40 +481,80 @@ def _shard_worker_main(
             burst_size=burst_size,
             kernel_backend=kernel_backend,
         )
-        process = executor.process
+        interval = cadence = 0
+        if recovery is not None:
+            directory, interval, cadence, epoch, resume, checkpoint_ack = recovery
+            store = CheckpointStore(directory, shard_id)
+            if resume:
+                latest = store.latest()
+                if latest is not None:
+                    executor.restore_state(latest.payload)
+            writer = AsyncCheckpointWriter(store, checkpoint_ack)
+        fault = resolve_fault_hook(shard_id, epoch)
         if channel is not None:
             segment_name, slab_bytes, ack_send = channel
             reader = SlabReader(segment_name, slab_bytes, ack_send)
-            while True:
-                message = in_queue.get()
-                if message is None:
-                    break
-                if message[0] == "slab":
-                    _, slab, nbytes = message
-                    view = reader.view(slab, nbytes)
-                    try:
-                        # Decoding copies every column out of the mapped
-                        # slab, so the slab is recyclable the moment
-                        # decode returns — ack before processing.
-                        events = columnar.decode_events(view)
-                    finally:
-                        view.release()
-                    reader.ack(slab)
-                else:
-                    events = columnar.decode_events(message[1])
-                for event in events:
-                    process(event)
-        else:
-            while True:
-                batch = in_queue.get()
-                if batch is None:
-                    break
-                for event in batch:
-                    process(event)
-        out_queue.put((shard_id, "ok", executor.finish()))
+        process = executor.process
+        windows_marked = executor.windows_closed
+        batches_since = 0
+        while True:
+            message = in_queue.get()
+            if message is None:
+                break
+            kind = message[0]
+            if kind == "slab":
+                assert reader is not None
+                _, seq, slab, nbytes = message
+                view = reader.view(slab, nbytes)
+                try:
+                    # Decoding copies every column out of the mapped
+                    # slab, so the slab is recyclable the moment
+                    # decode returns — ack before processing.
+                    events = columnar.decode_events(view)
+                finally:
+                    view.release()
+                if fault is not None:
+                    fault("mid-batch-decode")  # decoded, slab unacked
+                reader.ack(slab)
+            elif kind == "raw":
+                _, seq, payload = message
+                events = columnar.decode_events(payload)
+                if fault is not None:
+                    fault("mid-batch-decode")
+            else:  # "batch": a pickled EventBatch
+                _, seq, events = message
+                if fault is not None:
+                    fault("mid-batch-decode")
+            if fault is not None:
+                fault("pre-fold")
+            for event in events:
+                process(event)
+            if writer is not None:
+                batches_since += 1
+                if (
+                    executor.windows_closed - windows_marked >= interval
+                    or batches_since >= cadence
+                ):
+                    # Snapshot synchronously (the state must hold still),
+                    # write + fsync on the background thread.
+                    writer.submit(epoch, seq, executor.snapshot_state())
+                    windows_marked = executor.windows_closed
+                    batches_since = 0
+            if fault is not None:
+                fault("post-close-pre-ack")
+        if writer is not None:
+            # Drain pending checkpoint writes (and surface any write
+            # failure as this worker's error) before reporting.
+            writer.close()
+            writer = None
+        if fault is not None:
+            fault("pre-report")
+        out_queue.put((shard_id, epoch, "ok", executor.finish()))
     except BaseException:
-        out_queue.put((shard_id, "error", traceback.format_exc()))
+        out_queue.put((shard_id, epoch, "error", traceback.format_exc()))
     finally:
+        if writer is not None:
+            writer.abort()
         if reader is not None:
             reader.close()
 
@@ -484,6 +610,37 @@ class ShardedStreamingExecutor:
             that encode larger fall back to the queue.
         on_window: Per-window callback; only available with ``workers=0``
             (results cross process boundaries only at :meth:`finish`).
+        checkpoint_dir: Directory for per-shard checkpoints (see
+            :mod:`repro.runtime.checkpoint`).  ``None`` (the default)
+            disables checkpointing *and* recovery: a dead worker is fatal,
+            exactly the pre-checkpoint behaviour.  With a directory set,
+            pool-mode workers snapshot their executors at window
+            boundaries and the driver supervises: a worker that dies
+            without reporting is respawned (capped exponential backoff),
+            restored from its shard's last good checkpoint, and fed the
+            post-checkpoint tail from the driver's bounded replay buffer.
+            With ``workers=0`` the driver itself checkpoints the local
+            shard executors on the same schedule (crash-restart coverage
+            for external supervision; no respawn, there is no process to
+            respawn).
+        checkpoint_interval: Checkpoint after a batch once this many
+            windows closed since the shard's previous checkpoint.
+        max_restarts: Total worker respawns the driver will perform per
+            run before declaring the crash fatal
+            (:class:`~repro.errors.WorkerCrashError`).
+        replay_limit: Bound on the per-shard replay buffer, in batches.
+            A shard whose checkpoint acks lag this far behind
+            back-pressures :meth:`process` — the buffer is what makes
+            recovery lossless, so it must never be silently dropped from.
+            Workers additionally checkpoint every ``replay_limit // 2``
+            batches regardless of window closes, keeping the replayed
+            tail short even through window droughts.
+        worker_grace_seconds: Grace granted to a dead worker's final
+            message (report or traceback) to surface in the result queue
+            before the driver classifies the death.  Workers that die of
+            a signal or a nonzero exit skip the wait entirely — no
+            message can be in flight — so this only throttles the
+            ambiguous clean-exit case.
     """
 
     def __init__(
@@ -504,6 +661,11 @@ class ShardedStreamingExecutor:
         transport: str = "pickle",
         slab_bytes: int = DEFAULT_SLAB_BYTES,
         on_window: Optional[Callable[[WindowResult], None]] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_interval: int = 16,
+        max_restarts: int = 3,
+        replay_limit: int = 64,
+        worker_grace_seconds: float = _CRASH_GRACE_SECONDS,
     ) -> None:
         if workers < 0:
             raise ExecutionError(f"workers must be >= 0, got {workers}")
@@ -511,6 +673,18 @@ class ShardedStreamingExecutor:
             raise ExecutionError(f"batch size must be >= 1, got {batch_size}")
         if max_inflight < 1:
             raise ExecutionError(f"max_inflight must be >= 1, got {max_inflight}")
+        if checkpoint_interval < 1:
+            raise ExecutionError(
+                f"checkpoint interval must be >= 1, got {checkpoint_interval}"
+            )
+        if max_restarts < 0:
+            raise ExecutionError(f"max_restarts must be >= 0, got {max_restarts}")
+        if replay_limit < 2:
+            raise ExecutionError(f"replay_limit must be >= 2, got {replay_limit}")
+        if worker_grace_seconds <= 0:
+            raise ExecutionError(
+                f"worker_grace_seconds must be > 0, got {worker_grace_seconds}"
+            )
         if workers > 0 and shards is not None and shards != workers:
             raise ExecutionError(
                 f"with worker processes the shard count is the worker count "
@@ -555,6 +729,21 @@ class ShardedStreamingExecutor:
             raise ExecutionError(f"slab_bytes must be >= 1, got {slab_bytes}")
         self.slab_bytes = slab_bytes
         self.on_window = on_window
+        self.checkpoint_dir = os.fspath(checkpoint_dir) if checkpoint_dir else None
+        self.checkpoint_interval = checkpoint_interval
+        self.max_restarts = max_restarts
+        self.replay_limit = replay_limit
+        self.worker_grace_seconds = worker_grace_seconds
+        #: Batch-count checkpoint cadence: bounds the replay tail (and with
+        #: it recovery latency) even when no window closes for a long time.
+        self._batch_cadence = max(1, replay_limit // 2)
+        #: Recovery (respawn + restore + replay) needs both checkpoints and
+        #: worker processes; workers=0 checkpoints without supervising.
+        self._recovery_enabled = self.checkpoint_dir is not None and workers > 0
+        #: Seeded driver RNG for backoff jitter (reprolint RL006: runtime
+        #: paths draw no global-RNG randomness; determinism of *results*
+        #: never depends on these timings).
+        self._rng = random.Random(0x52504350)
         self.engine_factory = engine_factory
         self.router = ShardRouter(
             self.workload,
@@ -600,9 +789,20 @@ class ShardedStreamingExecutor:
             assert single is not None
             consumed = 0
             process = single.process
-            for event in stream:
-                consumed += 1
-                process(event)
+            if self._local_stores:
+                countdown = self.batch_size
+                for event in stream:
+                    consumed += 1
+                    process(event)
+                    countdown -= 1
+                    if not countdown:
+                        self._consumed = consumed
+                        self._checkpoint_local()
+                        countdown = self.batch_size
+            else:
+                for event in stream:
+                    consumed += 1
+                    process(event)
             self._consumed = consumed
             self._shard_events[0] = consumed
             self._clock = single._clock
@@ -639,6 +839,11 @@ class ShardedStreamingExecutor:
             # router would, and the hot path stays one call deep.
             self._shard_events[0] += 1
             self._single.process(event)
+            if self._ckpt_countdown:
+                self._ckpt_countdown -= 1
+                if not self._ckpt_countdown:
+                    self._checkpoint_local()
+                    self._ckpt_countdown = self.batch_size
             return
         for shard_id in self.router.route(event):
             self._shard_events[shard_id] += 1
@@ -649,6 +854,14 @@ class ShardedStreamingExecutor:
                 buffer.append(event)
                 if len(buffer) >= self.batch_size:
                     self._ship(shard_id)
+        if self._ckpt_countdown:
+            # workers=0 checkpoint scheduling: poll the window-interval
+            # condition once per batch_size consumed events, mirroring the
+            # per-batch cadence of pool-mode workers.
+            self._ckpt_countdown -= 1
+            if not self._ckpt_countdown:
+                self._checkpoint_local()
+                self._ckpt_countdown = self.batch_size
 
     def finish(self) -> ExecutionReport:
         """Flush every shard, merge the per-shard reports and return."""
@@ -711,6 +924,49 @@ class ShardedStreamingExecutor:
         self._out_queue = None
         #: Per-shard slab rings (shm transport in pool mode; else empty).
         self._rings: list[SlabRing] = []
+        #: Spawn context (pool mode); kept for respawns during recovery.
+        self._context = None
+        #: Next driver-assigned batch sequence number, per shard.  Global
+        #: across worker incarnations: a respawned worker continues the
+        #: dead one's numbering, so checkpoint seq tags stay monotonic.
+        self._seq: list[int] = [0] * self.router.shards
+        #: Highest checkpoint-acked seq per shard (replay-buffer trim line).
+        self._acked_seq: list[int] = [0] * self.router.shards
+        #: Worker incarnation per shard; bumped before each respawn.
+        #: Messages tagged with a stale epoch are a dead incarnation's
+        #: stragglers and are dropped (duplicate-result suppression).
+        self._epochs: list[int] = [0] * self.router.shards
+        #: Per-shard replay buffer: (seq, kind, payload, events) of every
+        #: batch shipped but not yet covered by an acked checkpoint.
+        self._replay: list[deque] = [deque() for _ in range(self.router.shards)]
+        #: Whether each shard's end-of-stream sentinel has been enqueued
+        #: (a respawn after that point must re-send it).
+        self._sentinel_sent: list[bool] = [False] * self.router.shards
+        #: Per-shard checkpoint-ack pipes (recovery mode; else empty).
+        self._ckpt_recv: list = []
+        self._ckpt_send: list = []
+        #: Respawns performed so far this run (bounded by max_restarts).
+        self._restarts_done = 0
+        #: Per-shard respawn count (drives that shard's backoff exponent).
+        self._restart_index: list[int] = [0] * self.router.shards
+        #: Final reports that surfaced while the driver was waiting on a
+        #: different shard's death classification.
+        self._early_reports: dict[int, ExecutionReport] = {}
+        #: Recovery counters for the merged report (None: checkpointing off).
+        self._recovery = RecoveryStats() if self.checkpoint_dir is not None else None
+        #: Seconds process()/finish() spent blocked on backpressure or
+        #: liveness polling (surfaces as ExecutionMetrics.driver_wait_seconds).
+        self._wait_seconds = 0.0
+        #: workers=0 checkpointing: per-shard stores plus the windows-closed
+        #: mark of each local executor's last checkpoint.
+        self._local_stores: list[CheckpointStore] = []
+        self._local_marked: list[int] = []
+        #: Events until the next workers=0 checkpoint-schedule poll.
+        self._ckpt_countdown = (
+            self.batch_size
+            if self.workers == 0 and self.checkpoint_dir is not None
+            else 0
+        )
 
     def _start_shards(self) -> None:
         self._started = True
@@ -731,9 +987,16 @@ class ShardedStreamingExecutor:
             ]
             if self.router.shards == 1:
                 self._single = self._local[0]
+            if self.checkpoint_dir is not None:
+                self._local_stores = [
+                    CheckpointStore(self.checkpoint_dir, shard_id)
+                    for shard_id in range(self.router.shards)
+                ]
+                self._local_marked = [0] * self.router.shards
             return
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        self._context = context
         self._buffers = [[] for _ in range(self.router.shards)]
         self._in_queues = [
             context.Queue(maxsize=self.max_inflight) for _ in range(self.router.shards)
@@ -748,40 +1011,115 @@ class ShardedStreamingExecutor:
                 )
                 for _ in range(self.router.shards)
             ]
-        self._processes = []
+        if self._recovery_enabled:
+            self._ckpt_recv = []
+            self._ckpt_send = []
+            for _ in range(self.router.shards):
+                recv, send = context.Pipe(duplex=False)
+                self._ckpt_recv.append(recv)
+                self._ckpt_send.append(send)
+        self._processes = [None] * self.router.shards
         for shard_id in range(self.router.shards):
-            if self._rings:
-                ring = self._rings[shard_id]
-                channel = (ring.name, ring.slab_bytes, ring.ack_send)
-            else:
-                channel = None
-            process = context.Process(
-                target=_shard_worker_main,
-                args=(
-                    shard_id,
-                    self.router.shard_queries(shard_id),
-                    self.engine_factory,
-                    self.lazy_open,
-                    self.shared_windows,
-                    self.optimizer,
-                    self.burst_size,
-                    self.kernel_backend,
-                    channel,
-                    self._in_queues[shard_id],
-                    self._out_queue,
-                ),
-                daemon=True,
-                name=f"repro-shard-{shard_id}",
+            self._spawn_worker(shard_id, resume=False)
+
+    def _spawn_worker(self, shard_id: int, *, resume: bool) -> None:
+        """Start (or restart) one shard worker on the current channels."""
+        context = self._context
+        assert context is not None
+        if self._rings:
+            ring = self._rings[shard_id]
+            channel = (ring.name, ring.slab_bytes, ring.ack_send)
+        else:
+            channel = None
+        recovery = None
+        if self.checkpoint_dir is not None:
+            recovery = (
+                self.checkpoint_dir,
+                self.checkpoint_interval,
+                self._batch_cadence,
+                self._epochs[shard_id],
+                resume,
+                self._ckpt_send[shard_id] if self._ckpt_send else None,
             )
-            process.start()
-            self._processes.append(process)
+        process = context.Process(
+            target=_shard_worker_main,
+            args=(
+                shard_id,
+                self.router.shard_queries(shard_id),
+                self.engine_factory,
+                self.lazy_open,
+                self.shared_windows,
+                self.optimizer,
+                self.burst_size,
+                self.kernel_backend,
+                channel,
+                self._in_queues[shard_id],
+                self._out_queue,
+                recovery,
+            ),
+            daemon=True,
+            name=f"repro-shard-{shard_id}",
+        )
+        process.start()
+        self._processes[shard_id] = process
+
+    def _checkpoint_local(self) -> None:
+        """workers=0 checkpointing: snapshot each local shard executor whose
+        window-boundary interval elapsed.  Epoch is always 0 (there are no
+        respawns in-process); the consumed-event count stands in for the
+        pool mode's batch seq — both only need to be monotonic."""
+        assert self._local is not None and self._recovery is not None
+        for shard_id, executor in enumerate(self._local):
+            if (
+                executor.windows_closed - self._local_marked[shard_id]
+                >= self.checkpoint_interval
+            ):
+                nbytes = self._local_stores[shard_id].write(
+                    0, self._consumed, executor.snapshot_state()
+                )
+                self._local_marked[shard_id] = executor.windows_closed
+                self._recovery.checkpoints += 1
+                self._recovery.checkpoint_bytes += nbytes
+
+    def _next_seq(self, shard_id: int, kind: str, payload, events: int) -> int:
+        """Assign the next batch seq and record it in the replay buffer.
+
+        ``payload`` is whatever re-shipping needs: the framed columnar
+        bytes (shm's slab *and* raw messages both replay as ``raw`` — a
+        dead worker's ring is torn down with it, so replay must not
+        reference slabs) or the :class:`EventBatch` (pickle transport).
+        """
+        self._seq[shard_id] += 1
+        seq = self._seq[shard_id]
+        if self._recovery_enabled:
+            self._wait_replay_capacity(shard_id)
+            self._replay[shard_id].append((seq, kind, payload, events))
+        return seq
 
     def _ship(self, shard_id: int) -> None:
         buffer = self._buffers[shard_id]
         self._shard_batches[shard_id] += 1
+        events = len(buffer)
         if self._rings:
             payload = columnar.encode_events(buffer, columnar.CODEC_COLUMNAR)
             buffer.clear()
+            seq = self._next_seq(shard_id, "raw", payload, events)
+            self._send_encoded(shard_id, seq, payload)
+            return
+        batch = EventBatch.from_events(buffer)
+        buffer.clear()
+        seq = self._next_seq(shard_id, "batch", batch, events)
+        try:
+            self._put(shard_id, ("batch", seq, batch))
+        except _WorkerRecovered:
+            # The batch is in the replay buffer and was re-shipped to the
+            # new incarnation as part of recovery; nothing left to send.
+            pass
+
+    def _send_encoded(self, shard_id: int, seq: int, payload: bytes) -> None:
+        """Ship framed columnar bytes: through a slab when one fits, else
+        as a raw queue message (oversized batches, end-of-stream tails)."""
+        try:
             ring = self._rings[shard_id]
             if ring.fits(payload):
                 slab = ring.acquire(
@@ -789,30 +1127,238 @@ class ShardedStreamingExecutor:
                     on_stall=lambda: self._check_alive(shard_id),
                 )
                 ring.write(slab, payload)
-                self._put(shard_id, ("slab", slab, len(payload)))
+                self._put(shard_id, ("slab", seq, slab, len(payload)))
             else:
-                # Oversized batch: same framed bytes through the queue.
-                self._put(shard_id, ("raw", payload))
-            return
-        batch = EventBatch.from_events(buffer)
-        buffer.clear()
-        self._put(shard_id, batch)
+                self._put(shard_id, ("raw", seq, payload))
+        except _WorkerRecovered:
+            # Recovery replayed the buffer (this batch included) into the
+            # respawned worker's fresh ring/queue; the interrupted send —
+            # possibly holding a slab of the now-unlinked old ring — is
+            # simply abandoned.
+            pass
 
     def _check_alive(self, shard_id: int) -> None:
-        if not self._processes[shard_id].is_alive():
-            self._raise_worker_failure(shard_id)
+        process = self._processes[shard_id]
+        if process is None or not process.is_alive():
+            self._handle_worker_death(shard_id)
 
     def _put(self, shard_id: int, item) -> None:
         """Bounded put: blocks on a full queue (backpressure) but never on a
-        dead worker — liveness is re-checked between waits."""
+        dead worker — liveness is re-checked between jittered, exponentially
+        backed-off waits, and the blocked time is surfaced in
+        :attr:`ExecutionMetrics.driver_wait_seconds`."""
         queue = self._in_queues[shard_id]
+        backoff = _Backoff(self._rng)
         while True:
             try:
-                queue.put(item, timeout=_POLL_SECONDS)
+                queue.put_nowait(item)
                 return
             except Full:
                 self._check_alive(shard_id)
+                self._wait_seconds += backoff.sleep()
 
+    # ------------------------------------------------------------------ #
+    # Supervision and recovery
+    # ------------------------------------------------------------------ #
+    def _drain_checkpoint_acks(self, shard_id: int) -> None:
+        """Fold durable-checkpoint acks into the stats and trim the replay
+        buffer: batches a restorable checkpoint covers never need replaying."""
+        if not self._ckpt_recv:
+            return
+        recv = self._ckpt_recv[shard_id]
+        try:
+            while recv.poll():
+                _epoch, seq, nbytes = recv.recv()
+                if self._recovery is not None:
+                    self._recovery.checkpoints += 1
+                    self._recovery.checkpoint_bytes += nbytes
+                if seq > self._acked_seq[shard_id]:
+                    self._acked_seq[shard_id] = seq
+                    replay = self._replay[shard_id]
+                    while replay and replay[0][0] <= seq:
+                        replay.popleft()
+        except (OSError, EOFError):  # pragma: no cover - pipe torn mid-drain
+            pass
+
+    def _wait_replay_capacity(self, shard_id: int) -> None:
+        """Backpressure on the replay buffer: block until checkpoint acks
+        (or a recovery, which trims to the restored checkpoint's tail) make
+        room.  The buffer is what makes recovery lossless — it is never
+        silently dropped from."""
+        replay = self._replay[shard_id]
+        self._drain_checkpoint_acks(shard_id)
+        if len(replay) < self.replay_limit:
+            return
+        backoff = _Backoff(self._rng)
+        while len(self._replay[shard_id]) >= self.replay_limit:
+            try:
+                self._check_alive(shard_id)
+            except _WorkerRecovered:
+                continue
+            self._wait_seconds += backoff.sleep()
+            self._drain_checkpoint_acks(shard_id)
+
+    def _can_recover(self) -> bool:
+        return self._recovery_enabled and self._restarts_done < self.max_restarts
+
+    def _handle_worker_death(self, shard_id: int) -> None:
+        """Classify a dead worker and either recover it or raise.
+
+        Exit code 0 means the worker *function* returned — its final
+        message (report or traceback) is in flight through the result
+        queue's feeder thread, so wait the grace period out for it.  Any
+        other exit code (a signal shows as its negative) means no message
+        is coming: classify immediately, which is what makes SIGKILL
+        recovery fast.  Recovery (when enabled and restarts remain) ends
+        by raising :class:`_WorkerRecovered` so the interrupted driver
+        operation unwinds; otherwise the pool is shut down and a typed
+        :class:`~repro.errors.WorkerCrashError` raised.
+        """
+        process = self._processes[shard_id]
+        exit_code: Optional[int] = None
+        if process is not None:
+            process.join(timeout=1.0)
+            exit_code = process.exitcode
+        if exit_code == 0 and self._await_message_from(shard_id):
+            return
+        if self._can_recover():
+            self._recover(shard_id)
+            raise _WorkerRecovered(shard_id)
+        raise self._worker_crash_error(shard_id, exit_code)
+
+    def _await_message_from(self, shard_id: int) -> bool:
+        """Drain the result queue for up to the grace period, looking for
+        the dead worker's final message.  Returns True when its report
+        arrived (stashed in ``_early_reports``); raises on its traceback.
+        Other shards' reports surfacing meanwhile are stashed too, never
+        dropped."""
+        deadline = time.perf_counter() + self.worker_grace_seconds
+        while time.perf_counter() < deadline:
+            waited = time.perf_counter()
+            try:
+                sender, epoch, status, payload = self._out_queue.get(
+                    timeout=_POLL_SECONDS
+                )
+            except Empty:
+                self._wait_seconds += time.perf_counter() - waited
+                continue
+            if epoch != self._epochs[sender]:
+                continue  # a dead incarnation's straggler
+            if status == "error":
+                self._shutdown()
+                raise ExecutionError(f"shard worker {sender} failed:\n{payload}")
+            self._early_reports[sender] = payload
+            if sender == shard_id:
+                return True
+        return False
+
+    def _worker_crash_error(self, shard_id: int, exit_code: Optional[int]) -> WorkerCrashError:
+        last_acked = self._rings[shard_id].last_acked if self._rings else None
+        self._shutdown()
+        detail = f"exit code {exit_code}"
+        if exit_code is not None and exit_code < 0:
+            try:
+                detail += f", signal {signal.Signals(-exit_code).name}"
+            except ValueError:  # pragma: no cover - unknown signal number
+                pass
+        return WorkerCrashError(
+            f"shard worker {shard_id} died without a report ({detail})",
+            shard_id=shard_id,
+            exit_code=exit_code,
+            last_acked_slab=last_acked,
+        )
+
+    def _recover(self, shard_id: int) -> None:
+        """Respawn a dead shard worker and make its loss unobservable.
+
+        The sequence: capped-exponential-backoff pause; harvest the dead
+        incarnation's checkpoint acks; retire its channels (closing the
+        ring unlinks the dead worker's shm segment); sweep its orphaned
+        checkpoint temp files; bump the shard's epoch (stale-message
+        suppression); rebuild the channels; spawn the new incarnation with
+        ``resume=True`` (it restores the shard's last good checkpoint);
+        replay the post-checkpoint tail from the replay buffer — and the
+        end-of-stream sentinel, if the dead worker had already been sent
+        it.  A nested recovery (the respawn dies mid-replay) restarts the
+        replay itself, so this invocation just stops.
+        """
+        assert self._recovery is not None and self.checkpoint_dir is not None
+        self._restarts_done += 1
+        self._restart_index[shard_id] += 1
+        self._recovery.restarts += 1
+        exponent = min(
+            self._restart_index[shard_id] - 1, _RESTART_BACKOFF_MAX_EXPONENT
+        )
+        delay = min(
+            _RESTART_BACKOFF_CAP_SECONDS,
+            _RESTART_BACKOFF_BASE_SECONDS * (2.0**exponent),
+        ) * (0.5 + self._rng.random())
+        time.sleep(delay)
+        self._wait_seconds += delay
+        process = self._processes[shard_id]
+        if process is not None:
+            process.join(timeout=1.0)
+        self._drain_checkpoint_acks(shard_id)
+        old_queue = self._in_queues[shard_id]
+        old_queue.close()
+        old_queue.cancel_join_thread()
+        if self._rings:
+            self._rings[shard_id].close()
+        if self._ckpt_recv:
+            for end in (self._ckpt_recv[shard_id], self._ckpt_send[shard_id]):
+                try:
+                    end.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+        # The dead worker's async writer is dead with it, so its leftover
+        # temp files are deletable garbage — and its last *finished*
+        # checkpoint is this recovery's restore point.
+        store = CheckpointStore(self.checkpoint_dir, shard_id)
+        store.clean_temporaries()
+        latest = store.latest()
+        restore_seq = latest.seq if latest is not None else 0
+        replay = self._replay[shard_id]
+        while replay and replay[0][0] <= restore_seq:
+            replay.popleft()
+        if restore_seq > self._acked_seq[shard_id]:
+            self._acked_seq[shard_id] = restore_seq
+        self._epochs[shard_id] += 1
+        epoch = self._epochs[shard_id]
+        context = self._context
+        assert context is not None
+        self._in_queues[shard_id] = context.Queue(maxsize=self.max_inflight)
+        if self._rings:
+            self._rings[shard_id] = SlabRing(
+                context,
+                slots=ring_slots(self.max_inflight),
+                slab_bytes=self.slab_bytes,
+            )
+        if self._ckpt_recv:
+            recv, send = context.Pipe(duplex=False)
+            self._ckpt_recv[shard_id] = recv
+            self._ckpt_send[shard_id] = send
+        self._spawn_worker(shard_id, resume=True)
+        for seq, kind, payload, events in list(replay):
+            if self._epochs[shard_id] != epoch:
+                return
+            self._recovery.replayed_batches += 1
+            self._recovery.replayed_events += events
+            if kind == "raw":
+                self._send_encoded(shard_id, seq, payload)
+            else:
+                try:
+                    self._put(shard_id, (kind, seq, payload))
+                except _WorkerRecovered:
+                    return
+        if self._sentinel_sent[shard_id] and self._epochs[shard_id] == epoch:
+            try:
+                self._put(shard_id, None)
+            except _WorkerRecovered:
+                pass
+
+    # ------------------------------------------------------------------ #
+    # End of stream
+    # ------------------------------------------------------------------ #
     def _finish_workers(self) -> list[ExecutionReport]:
         # Ship every shard's residual batch and sentinel in a round-robin of
         # non-blocking puts: a blocking per-shard pass would hold shard
@@ -823,24 +1369,23 @@ class ShardedStreamingExecutor:
             items: list = []
             buffer = self._buffers[shard_id]
             if buffer:
+                events = len(buffer)
+                self._shard_batches[shard_id] += 1
                 if self._rings:
                     # Tail batches ride the raw fallback: acquiring a slab
                     # can block on worker acks, which would defeat this
                     # round-robin of strictly non-blocking puts.
-                    items.append(
-                        (
-                            "raw",
-                            columnar.encode_events(
-                                buffer, columnar.CODEC_COLUMNAR
-                            ),
-                        )
-                    )
+                    payload = columnar.encode_events(buffer, columnar.CODEC_COLUMNAR)
+                    seq = self._next_seq(shard_id, "raw", payload, events)
+                    items.append(("raw", seq, payload))
                 else:
-                    items.append(EventBatch.from_events(buffer))
+                    batch = EventBatch.from_events(buffer)
+                    seq = self._next_seq(shard_id, "batch", batch, events)
+                    items.append(("batch", seq, batch))
                 buffer.clear()
-                self._shard_batches[shard_id] += 1
             items.append(None)
             pending[shard_id] = items
+        backoff = _Backoff(self._rng)
         while pending:
             progressed = False
             for shard_id in list(pending):
@@ -850,79 +1395,73 @@ class ShardedStreamingExecutor:
                         self._in_queues[shard_id].put_nowait(items[0])
                     except Full:
                         break
-                    items.pop(0)
+                    if items.pop(0) is None:
+                        self._sentinel_sent[shard_id] = True
                     progressed = True
                 if not items:
                     del pending[shard_id]
             if pending and not progressed:
-                for shard_id in pending:
-                    if not self._processes[shard_id].is_alive():
-                        self._raise_worker_failure(shard_id)
-                time.sleep(_POLL_SECONDS / 5)
-        collected: dict[int, ExecutionReport] = {}
-        grace_deadline: Optional[float] = None
+                for shard_id in list(pending):
+                    try:
+                        self._check_alive(shard_id)
+                    except _WorkerRecovered:
+                        # Recovery replayed the shard's buffered batches
+                        # (and, when it had landed, the sentinel) into the
+                        # new incarnation; only a not-yet-sent sentinel
+                        # stays this loop's responsibility.
+                        pending[shard_id] = [
+                            item for item in pending[shard_id] if item is None
+                        ]
+                        if not pending[shard_id]:
+                            del pending[shard_id]
+                        progressed = True
+                if progressed:
+                    backoff.reset()
+                else:
+                    self._wait_seconds += backoff.sleep()
+            elif progressed:
+                backoff.reset()
+        collected: dict[int, ExecutionReport] = dict(self._early_reports)
         while len(collected) < self.router.shards:
+            waited = time.perf_counter()
             try:
-                shard_id, status, payload = self._out_queue.get(timeout=_POLL_SECONDS)
+                shard_id, epoch, status, payload = self._out_queue.get(
+                    timeout=_POLL_SECONDS
+                )
             except Empty:
-                dead = [
+                self._wait_seconds += time.perf_counter() - waited
+                failed = [
                     shard_id
                     for shard_id, process in enumerate(self._processes)
-                    if shard_id not in collected and not process.is_alive()
+                    if shard_id not in collected
+                    and (process is None or not process.is_alive())
                 ]
-                if not dead:
-                    grace_deadline = None
+                if not failed:
                     continue
-                # A worker exited with its report possibly still in flight
-                # in the queue's feeder thread; grant a short grace before
-                # declaring the crash.
-                now = time.perf_counter()
-                if grace_deadline is None:
-                    grace_deadline = now + _CRASH_GRACE_SECONDS
-                elif now >= grace_deadline:
-                    exit_code = self._processes[dead[0]].exitcode
-                    self._shutdown()
-                    raise ExecutionError(
-                        f"shard worker {dead[0]} died without a report "
-                        f"(exit code {exit_code})"
-                    )
+                try:
+                    self._handle_worker_death(failed[0])
+                except _WorkerRecovered:
+                    pass
+                collected.update(self._early_reports)
                 continue
-            # Any delivery proves the queue is flowing again — a previously
-            # armed deadline belongs to a report that has now arrived (or
-            # will, on a fresh grace period), so re-arm from scratch.
-            grace_deadline = None
+            if epoch != self._epochs[shard_id] or shard_id in collected:
+                continue  # a dead incarnation's straggler, or a duplicate
             if status == "error":
                 self._shutdown()
                 raise ExecutionError(f"shard worker {shard_id} failed:\n{payload}")
             collected[shard_id] = payload
         for process in self._processes:
-            process.join(timeout=5.0)
+            if process is not None:
+                process.join(timeout=5.0)
+        for shard_id in range(self.router.shards):
+            self._drain_checkpoint_acks(shard_id)
         self._shutdown(terminate=False)
         return [collected[shard_id] for shard_id in range(self.router.shards)]
 
-    def _raise_worker_failure(self, shard_id: int) -> None:
-        # Mid-stream failure path (the sentinel has not been sent, so the
-        # result queue can only hold "error" payloads — workers report "ok"
-        # only after their sentinel).  Prefer the worker's own traceback: it
-        # may still be in flight in the queue's feeder thread, so wait the
-        # deadline out rather than giving up on the first empty read.
-        deadline = time.perf_counter() + _CRASH_GRACE_SECONDS
-        while time.perf_counter() < deadline:
-            try:
-                failed_id, status, payload = self._out_queue.get(timeout=_POLL_SECONDS)
-            except Empty:
-                continue
-            if status == "error":
-                self._shutdown()
-                raise ExecutionError(f"shard worker {failed_id} failed:\n{payload}")
-        exit_code = self._processes[shard_id].exitcode
-        self._shutdown()
-        raise ExecutionError(
-            f"shard worker {shard_id} died without a report (exit code {exit_code})"
-        )
-
     def _shutdown(self, *, terminate: bool = True) -> None:
         for process in self._processes:
+            if process is None:
+                continue
             if terminate and process.is_alive():
                 process.terminate()
             process.join(timeout=1.0)
@@ -938,10 +1477,17 @@ class ShardedStreamingExecutor:
         # last-resort finalizer.
         for ring in self._rings:
             ring.close()
+        for end in (*self._ckpt_recv, *self._ckpt_send):
+            try:
+                end.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
         self._processes = []
         self._in_queues = []
         self._out_queue = None
         self._rings = []
+        self._ckpt_recv = []
+        self._ckpt_send = []
 
     # ------------------------------------------------------------------ #
     # Deterministic merge
@@ -984,6 +1530,9 @@ class ShardedStreamingExecutor:
         # elapsed time, not any shard's.
         metrics.stream_events = self._consumed
         metrics.wall_seconds = wall_seconds
+        # Driver-side blocked time (backpressure, liveness polling, restart
+        # backoff) is a property of this run's router, not of any shard.
+        metrics.driver_wait_seconds = self._wait_seconds
         # Concurrent gauges: parallel shards hold their state *at the same
         # time*, so merge()'s max-of-peaks (right for re-runs of one
         # pipeline) would under-report an N-shard run by up to N.  Sum the
@@ -1037,6 +1586,7 @@ class ShardedStreamingExecutor:
             )
             for shard_id, sub in enumerate(shard_reports)
         ]
+        report.recovery = self._recovery
         return report
 
 
@@ -1057,6 +1607,10 @@ def run_sharded(
     kernel_backend: KernelBackendSpec = None,
     transport: str = "pickle",
     slab_bytes: int = DEFAULT_SLAB_BYTES,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_interval: int = 16,
+    max_restarts: int = 3,
+    replay_limit: int = 64,
 ) -> ExecutionReport:
     """One-shot convenience wrapper around :class:`ShardedStreamingExecutor`."""
     executor = ShardedStreamingExecutor(
@@ -1074,5 +1628,9 @@ def run_sharded(
         kernel_backend=kernel_backend,
         transport=transport,
         slab_bytes=slab_bytes,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_interval=checkpoint_interval,
+        max_restarts=max_restarts,
+        replay_limit=replay_limit,
     )
     return executor.run(stream)

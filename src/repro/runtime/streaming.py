@@ -56,13 +56,14 @@ a live source, ``run(stream)`` wraps them for replay-style use.
 
 from __future__ import annotations
 
+import pickle
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.core.engine import HamletEngine
 from repro.core.kernels import KernelBackendSpec, resolve_kernel_backend
-from repro.errors import ExecutionError
+from repro.errors import CheckpointError, ExecutionError
 from repro.events.event import Event, EventType
 from repro.events.stream import EventStream, slice_stream
 from repro.greta.engine import GretaEngine
@@ -90,6 +91,11 @@ from repro.runtime.shared_windows import (
 )
 from repro.template.analysis import analyze_workload
 from repro.template.template import compile_pattern
+
+#: Version of the :meth:`StreamingExecutor.snapshot_state` payload schema.
+#: Bumped whenever the pickled state shape changes incompatibly; restores
+#: reject snapshots from other versions instead of resuming corrupt state.
+SNAPSHOT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -423,6 +429,114 @@ class StreamingExecutor:
         """Peak number of simultaneously open window instances this run."""
         return self._report.metrics.peak_active_windows
 
+    @property
+    def windows_closed(self) -> int:
+        """Window instances closed (emitted) so far this run."""
+        return self._windows_closed
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def _snapshot_fingerprint(self) -> dict:
+        # Everything the snapshot's meaning depends on: restoring into an
+        # executor with a different workload, sharing configuration or
+        # kernel backend would silently resume the wrong computation.
+        return {
+            "queries": tuple(query.name for query in self.workload.queries),
+            "engine": self._engine_label,
+            "lazy_open": self.lazy_open,
+            "shared_windows": self.shared_windows,
+            "adaptive": self._optimizer_factory is not None,
+            "burst_size": self.burst_size,
+            "kernel": self._kernel_backend.name,
+        }
+
+    def snapshot_state(self) -> bytes:
+        """Serialize the full mid-stream execution state.
+
+        The snapshot captures everything :meth:`restore_state` needs to
+        continue the run bit-identically on a fresh executor built from
+        the same workload and configuration: per-unit shared groups
+        (coefficient state, window bookkeeping, optimizer statistics and
+        the *unflushed* burst buffer — flushing here would force a burst
+        decision the uninterrupted run takes later), per-instance open
+        windows and engine pools, the partial :class:`ExecutionReport`,
+        and the stream/close clocks.  The payload is an opaque pickle; the
+        on-disk container (:mod:`repro.runtime.checkpoint`) adds the
+        versioned, checksummed header.
+        """
+        state = {
+            "version": SNAPSHOT_VERSION,
+            "fingerprint": self._snapshot_fingerprint(),
+            "clock": self._clock,
+            "consumed": self._consumed,
+            "engine_feeds": self._engine_feeds,
+            "shared_active": self._shared_active,
+            "windows_closed": self._windows_closed,
+            "next_close": self._next_close,
+            "units": [
+                (unit.shared_groups, unit.open, unit.pool, unit.next_close)
+                for unit in self._units
+            ],
+            "report": self._report,
+            "adaptive_stats": self._adaptive_stats,
+        }
+        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def restore_state(self, payload: bytes) -> None:
+        """Resume from a :meth:`snapshot_state` payload.
+
+        The executor must have been constructed from the same workload and
+        configuration as the snapshotting one; mismatches raise
+        :class:`~repro.errors.CheckpointError` instead of resuming the
+        wrong computation.  After the restore, :meth:`process` continues
+        exactly where the snapshot left off — same partition results, same
+        totals, same optimizer decisions.
+        """
+        try:
+            state = pickle.loads(payload)
+        except Exception as error:
+            raise CheckpointError(f"undecodable snapshot payload: {error!r}") from error
+        if not isinstance(state, dict) or state.get("version") != SNAPSHOT_VERSION:
+            raise CheckpointError(
+                f"snapshot schema version {state.get('version') if isinstance(state, dict) else '?'} "
+                f"does not match this executor's {SNAPSHOT_VERSION}"
+            )
+        fingerprint = self._snapshot_fingerprint()
+        if state["fingerprint"] != fingerprint:
+            raise CheckpointError(
+                "snapshot was taken for a different workload/configuration: "
+                f"snapshot {state['fingerprint']!r} vs executor {fingerprint!r}"
+            )
+        self._begin_run()
+        restored_engines: list[TrendAggregationEngine] = []
+        arrival = time.perf_counter()
+        for unit, (shared_groups, open_instances, pool, next_close) in zip(
+            self._units, state["units"]
+        ):
+            unit.shared_groups = shared_groups
+            unit.open = open_instances
+            unit.pool = pool
+            unit.next_close = next_close
+            # Arrival stamps came from the dead process's perf_counter
+            # epoch; re-anchor them so emission latencies stay non-negative
+            # (they measure the resumed process's wall clock from here on).
+            for group in shared_groups.values():
+                group.last_arrival = arrival
+            for instance in open_instances.values():
+                instance.last_arrival = arrival
+                restored_engines.append(instance.engine)
+            restored_engines.extend(pool)
+        self._engines = restored_engines
+        self._clock = state["clock"]
+        self._consumed = state["consumed"]
+        self._engine_feeds = state["engine_feeds"]
+        self._shared_active = state["shared_active"]
+        self._windows_closed = state["windows_closed"]
+        self._next_close = state["next_close"]
+        self._report = state["report"]
+        self._adaptive_stats = state["adaptive_stats"]
+
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
@@ -481,6 +595,9 @@ class StreamingExecutor:
         #: opens are counted from the units' ``open`` dicts directly).
         self._shared_active = 0
         self._next_close = float("inf")
+        #: Window instances closed this run (both paths) — the checkpoint
+        #: scheduler's "every N window boundaries" trigger reads this.
+        self._windows_closed = 0
 
     # ------------------------------------------------------------------ #
     # Shared-window path
@@ -600,6 +717,7 @@ class StreamingExecutor:
         self, unit: _Unit, group_key: tuple, group: _SharedGroup, meta: _WindowMeta
     ) -> None:
         self._shared_active -= 1  # callers pop the meta before closing
+        self._windows_closed += 1
         engine = group.engine
         started = time.perf_counter()
         results = engine.close_window(meta.index)
@@ -760,6 +878,7 @@ class StreamingExecutor:
         )
 
     def _close_instance(self, unit: _Unit, instance: _Instance) -> None:
+        self._windows_closed += 1
         engine = instance.engine
         started = time.perf_counter()
         results = engine.results()

@@ -133,14 +133,23 @@ class SlabRing:
         )
         self.name = self._segment.name
         self._free = list(range(slots))
+        #: Last slab index the worker acked (None before the first ack).
+        #: Crash forensics: a dead worker's :class:`~repro.errors.
+        #: WorkerCrashError` carries it to localize the death relative to
+        #: the in-flight batches.
+        self.last_acked: Optional[int] = None
         #: Worker -> driver slab recycling channel.  A pipe, not a queue: the
         #: payload is one small int and the worker's send never meaningfully
         #: blocks, so the queue's feeder-thread machinery buys nothing.
         self.ack_recv, self.ack_send = context.Pipe(duplex=False)
 
+    def _recycle(self, slab: int) -> None:
+        self.last_acked = slab
+        self._free.append(slab)
+
     def _drain_acks(self) -> None:
         while self.ack_recv.poll():
-            self._free.append(self.ack_recv.recv())
+            self._recycle(self.ack_recv.recv())
 
     def acquire(
         self, *, poll_seconds: float, on_stall: Callable[[], None]
@@ -148,13 +157,16 @@ class SlabRing:
         """Pop a free slab index, waiting on worker acks when none is free.
 
         ``on_stall`` runs once per ``poll_seconds`` of waiting; callers use
-        it to re-check worker liveness (and raise) so a dead worker's
+        it to distinguish "worker slow" (still alive: keep polling) from
+        "worker dead" (exit-code inspection: raise a typed
+        :class:`~repro.errors.WorkerCrashError` — carrying
+        :attr:`last_acked` — or trigger recovery) so a dead worker's
         unacked slabs cannot wedge the driver.
         """
         self._drain_acks()
         while not self._free:
             if self.ack_recv.poll(poll_seconds):
-                self._free.append(self.ack_recv.recv())
+                self._recycle(self.ack_recv.recv())
             else:
                 on_stall()
             self._drain_acks()

@@ -1,0 +1,264 @@
+"""Supervised worker recovery: the kill-point matrix, tier-1 sized.
+
+The fault-tolerance contract (docs/DESIGN.md, "Fault tolerance") is that
+a shard worker killed at *any* planted point — pre-fold,
+mid-batch-decode, post-close-pre-ack, pre-report, by ``os._exit`` or
+self-SIGKILL — is restored from its last checkpoint, replayed, and the
+merged report comes out **bit-identical** to an uninterrupted run, with
+no leaked shared-memory segments or orphaned checkpoint temp files.
+This file runs a tier-1-sized slice of that matrix through
+:func:`faultline.run_differential` (the full sweep is ``python -m
+faultline``; the randomized version is ``benchmarks/soak.py`` — see
+docs/TESTING.md, "soak tier") plus the failure-path pins: crash
+diagnostics when recovery is off, restart-budget exhaustion, the spec
+grammar, and epoch-scoped trigger arming.
+"""
+
+from __future__ import annotations
+
+import glob
+import random
+
+import pytest
+
+from faultline import checkpoint_temp_files, run_differential
+from repro.core import HamletEngine
+from repro.errors import ExecutionError, WorkerCrashError
+from repro.events import Event
+from repro.query import Query, Window, kleene, seq
+from repro.runtime import ShardedStreamingExecutor
+from repro.runtime.faultpoints import (
+    FAULT_EXIT_CODE,
+    FAULTLINE_ENV,
+    KILL_POINTS,
+    FaultTrigger,
+    parse_faultline,
+    resolve_fault_hook,
+)
+
+WINDOW = Window(16.0, 4.0)
+
+
+class _ExplodingEngine(HamletEngine):
+    """Raises mid-stream; per-instance path so ``process`` actually runs."""
+
+    shared_window_flavor = None
+
+    def process(self, event):
+        if event.time >= 50.0:
+            raise RuntimeError("engine exploded for the recovery crash test")
+        super().process(event)
+
+
+def _workload() -> list[Query]:
+    return [
+        Query.build(seq("A", kleene("B")), group_by=("g",), window=WINDOW, name="rcq1"),
+        Query.build(seq("C", kleene("B")), group_by=("g",), window=WINDOW, name="rcq2"),
+    ]
+
+
+def _stream(size: int = 1500, seed: int = 11) -> list[Event]:
+    rng = random.Random(seed)
+    return [
+        Event(
+            rng.choices(("A", "B", "C"), weights=(1, 3, 1))[0],
+            float(index) * 0.25,
+            {"g": float(rng.randint(1, 6))},
+        )
+        for index in range(size)
+    ]
+
+
+def _assert_no_ring_leak():
+    assert glob.glob("/dev/shm/repro-ring-*") == []
+
+
+# --------------------------------------------------------------------- #
+# The kill-point matrix (tier-1 slice; full sweep: python -m faultline)
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("transport", ["pickle", "shm"])
+@pytest.mark.parametrize("point", KILL_POINTS)
+def test_sigkill_at_every_point_recovers_bit_identically(point, transport):
+    nth = 1 if point == "pre-report" else 3
+    result = run_differential(
+        _workload,
+        _stream,
+        spec=f"{point}@1:{nth}:kill",
+        workers=2,
+        transport=transport,
+    )
+    assert result.identical, f"{point}/{transport}: recovered report differs"
+    assert result.recovery is not None and result.recovery.restarts == 1
+    assert result.recovery.checkpoints >= 1
+    assert result.leaked_temporaries == []
+    _assert_no_ring_leak()
+
+
+def test_exit_mode_death_recovers_too():
+    result = run_differential(
+        _workload, _stream, spec="post-close-pre-ack@0:2:exit", workers=2
+    )
+    assert result.identical
+    assert result.recovery.restarts == 1
+
+
+@pytest.mark.parametrize("transport", ["pickle", "shm"])
+@pytest.mark.parametrize("workers", [1, 4])
+def test_recovery_is_shard_count_invariant(workers, transport):
+    result = run_differential(
+        _workload,
+        _stream,
+        spec="pre-fold@0:2:kill",
+        workers=workers,
+        transport=transport,
+    )
+    assert result.identical
+    assert result.recovery.restarts == 1
+    _assert_no_ring_leak()
+
+
+def test_double_kill_two_shards_same_run():
+    result = run_differential(
+        _workload,
+        _stream,
+        spec="pre-fold@0:2:kill;post-close-pre-ack@1:3:kill",
+        workers=2,
+    )
+    assert result.identical
+    assert result.recovery.restarts == 2
+
+
+def test_replay_counters_are_populated():
+    result = run_differential(
+        _workload, _stream, spec="post-close-pre-ack@0:4:kill", workers=2
+    )
+    assert result.identical
+    assert result.recovery.replayed_batches >= 1
+    assert result.recovery.replayed_events >= 1
+    assert result.recovery.checkpoint_bytes > 0
+
+
+# --------------------------------------------------------------------- #
+# Failure paths
+# --------------------------------------------------------------------- #
+def test_crash_without_recovery_raises_worker_crash_error(monkeypatch):
+    monkeypatch.setenv(FAULTLINE_ENV, "pre-fold@0:1:kill")
+    executor = ShardedStreamingExecutor(_workload(), workers=2)  # no checkpoint_dir
+    with pytest.raises(WorkerCrashError, match="died without a report") as excinfo:
+        executor.run(_stream())
+    error = excinfo.value
+    assert error.shard_id == 0
+    assert error.exit_code == -9
+    assert "SIGKILL" in str(error)
+    _assert_no_ring_leak()
+
+
+def test_exit_code_death_is_reported_distinctly(monkeypatch):
+    monkeypatch.setenv(FAULTLINE_ENV, "pre-fold@0:1:exit")
+    executor = ShardedStreamingExecutor(_workload(), workers=2)
+    with pytest.raises(WorkerCrashError, match=f"exit code {FAULT_EXIT_CODE}"):
+        executor.run(_stream())
+
+
+def test_max_restarts_exhaustion(monkeypatch, tmp_path):
+    """``eany`` re-arms every incarnation: the budget runs out, and the
+    error still carries the diagnostics of the last death."""
+    monkeypatch.setenv(FAULTLINE_ENV, "pre-fold@0:1:kill:eany")
+    executor = ShardedStreamingExecutor(
+        _workload(), workers=2, checkpoint_dir=str(tmp_path), max_restarts=2
+    )
+    with pytest.raises(WorkerCrashError, match="died without a report") as excinfo:
+        executor.run(_stream())
+    assert excinfo.value.shard_id == 0
+    assert excinfo.value.exit_code == -9
+    assert checkpoint_temp_files(str(tmp_path)) == []
+    _assert_no_ring_leak()
+
+
+def test_worker_exceptions_still_ship_tracebacks(tmp_path):
+    """Recovery handles deaths, not bugs: a raising engine is still an
+    ExecutionError with the worker traceback, even with recovery on."""
+    executor = ShardedStreamingExecutor(
+        _workload(),
+        engine_factory=_ExplodingEngine,
+        workers=2,
+        checkpoint_dir=str(tmp_path),
+    )
+    with pytest.raises(ExecutionError, match="engine exploded"):
+        executor.run(_stream(600))
+
+
+def test_constructor_validation():
+    with pytest.raises(ExecutionError, match="checkpoint interval"):
+        ShardedStreamingExecutor(_workload(), workers=1, checkpoint_dir="x", checkpoint_interval=0)
+    with pytest.raises(ExecutionError, match="max_restarts"):
+        ShardedStreamingExecutor(_workload(), workers=1, checkpoint_dir="x", max_restarts=-1)
+    with pytest.raises(ExecutionError, match="replay_limit"):
+        ShardedStreamingExecutor(_workload(), workers=1, checkpoint_dir="x", replay_limit=1)
+
+
+def test_local_mode_checkpoints_without_processes(tmp_path):
+    """workers=0 still writes restorable checkpoints (no supervisor)."""
+    executor = ShardedStreamingExecutor(
+        _workload(), workers=0, shards=2, checkpoint_dir=str(tmp_path), checkpoint_interval=1
+    )
+    report = executor.run(_stream(800))
+    assert report.recovery is not None
+    assert report.recovery.checkpoints >= 1
+    assert checkpoint_temp_files(str(tmp_path)) == []
+
+
+# --------------------------------------------------------------------- #
+# Spec grammar + epoch arming
+# --------------------------------------------------------------------- #
+class TestFaultlineSpec:
+    def test_full_grammar(self):
+        triggers = parse_faultline("post-close-pre-ack@1:3:kill:e2")
+        assert triggers == [
+            FaultTrigger(point="post-close-pre-ack", shard=1, nth=3, mode="kill", epoch=2)
+        ]
+
+    def test_defaults(self):
+        (trigger,) = parse_faultline("pre-fold")
+        assert (trigger.shard, trigger.nth, trigger.mode, trigger.epoch) == (
+            None,
+            1,
+            "exit",
+            0,
+        )
+
+    def test_eany_arms_every_incarnation(self):
+        (trigger,) = parse_faultline("pre-fold:eany")
+        assert trigger.epoch is None
+
+    def test_multiple_triggers(self):
+        assert len(parse_faultline("pre-fold@0; pre-report@1:kill")) == 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["warp-core-breach", "pre-fold@x", "pre-fold:0", "pre-fold:sideways"],
+    )
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(ExecutionError, match="faultline spec"):
+            parse_faultline(bad)
+
+    def test_hook_is_none_when_unarmed(self, monkeypatch):
+        monkeypatch.delenv(FAULTLINE_ENV, raising=False)
+        assert resolve_fault_hook(0) is None
+
+    def test_hook_filters_by_shard(self, monkeypatch):
+        monkeypatch.setenv(FAULTLINE_ENV, "pre-fold@1:kill")
+        assert resolve_fault_hook(0) is None
+        assert resolve_fault_hook(1) is not None
+
+    def test_hook_filters_by_epoch(self, monkeypatch):
+        """Default e0: a respawned incarnation does not re-arm its own
+        death — the property that makes recovery terminate at all."""
+        monkeypatch.setenv(FAULTLINE_ENV, "pre-fold@0:kill")
+        assert resolve_fault_hook(0, epoch=0) is not None
+        assert resolve_fault_hook(0, epoch=1) is None
+
+    def test_eany_hook_arms_every_epoch(self, monkeypatch):
+        monkeypatch.setenv(FAULTLINE_ENV, "pre-fold@0:kill:eany")
+        assert resolve_fault_hook(0, epoch=0) is not None
+        assert resolve_fault_hook(0, epoch=5) is not None

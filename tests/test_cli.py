@@ -185,6 +185,57 @@ class TestCli:
         output = capsys.readouterr().out
         assert "wall-clock throughput:" in output
 
+    def test_stream_command_checkpointing_prints_recovery_summary(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "stream",
+                    "--queries",
+                    "2",
+                    "--minutes",
+                    "0.5",
+                    "--events-per-minute",
+                    "600",
+                    "--workers",
+                    "2",
+                    "--shard-batch",
+                    "32",
+                    "--checkpoint-dir",
+                    str(tmp_path),
+                    "--checkpoint-interval",
+                    "2",
+                    "--max-restarts",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "recovery:" in output
+        assert "restart(s)" in output
+        assert "checkpoint(s)" in output
+        assert "driver waited" in output
+
+    def test_stream_command_without_checkpoint_dir_prints_no_recovery(self, capsys):
+        assert (
+            main(
+                ["stream", "--queries", "2", "--minutes", "0.3", "--events-per-minute", "600"]
+            )
+            == 0
+        )
+        assert "recovery:" not in capsys.readouterr().out
+
+    def test_stream_command_checkpoint_dir_requires_workers(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["stream", "--checkpoint-dir", str(tmp_path)])
+        assert "--checkpoint-dir requires --workers" in capsys.readouterr().err
+
+    def test_stream_command_rejects_bad_checkpoint_arguments(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--checkpoint-interval", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--max-restarts", "-1"])
+
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["figures", "fig99"])

@@ -20,6 +20,7 @@ import pytest
 from reprolint import ALL_RULES, lint_paths, lint_source
 from reprolint.cli import main
 from reprolint.framework import normalize_relpath, parse_suppressions
+from reprolint.rules.atomicity import AtomicCheckpointWriteRule
 from reprolint.rules.determinism import NondeterminismRule, UnstableIdentityOrderingRule
 from reprolint.rules.exceptions import ExceptionDisciplineRule
 from reprolint.rules.imports import NumpyImportRule
@@ -478,6 +479,77 @@ class TestRL008:
 
 
 # --------------------------------------------------------------------- #
+# RL009 — atomic (write-temp + fsync + rename) checkpoint writes
+# --------------------------------------------------------------------- #
+class TestRL009:
+    RULE = AtomicCheckpointWriteRule()
+
+    def test_bad_in_place_open_write(self):
+        bad = """
+            def save(path, blob):
+                with open(path, "wb") as handle:
+                    handle.write(blob)
+            """
+        violations = run_rule(self.RULE, bad, "repro/runtime/checkpoint.py")
+        assert rule_ids(violations) == ["RL009"]
+        assert "os.replace" in violations[0].message
+
+    def test_bad_pathlib_write_bytes(self):
+        bad = """
+            def save(path, blob):
+                path.write_bytes(blob)
+            """
+        violations = run_rule(self.RULE, bad, "repro/runtime/checkpoint.py")
+        assert rule_ids(violations) == ["RL009"]
+
+    def test_bad_rename_without_fsync(self):
+        bad = """
+            import os
+
+            def save(path, blob):
+                temp = path + ".tmp"
+                with open(temp, "wb") as handle:
+                    handle.write(blob)
+                os.replace(temp, path)
+            """
+        violations = run_rule(self.RULE, bad, "repro/runtime/checkpoint.py")
+        assert rule_ids(violations) == ["RL009"]
+        assert "os.fsync" in violations[0].message
+
+    def test_good_write_temp_fsync_rename(self):
+        good = """
+            import os
+
+            def save(path, blob):
+                temp = path + ".tmp"
+                with open(temp, "wb") as handle:
+                    handle.write(blob)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(temp, path)
+            """
+        assert run_rule(self.RULE, good, "repro/runtime/checkpoint.py") == []
+
+    def test_good_read_only_open(self):
+        good = """
+            def load(path):
+                with open(path, "rb") as handle:
+                    return handle.read()
+            """
+        assert run_rule(self.RULE, good, "repro/runtime/checkpoint.py") == []
+
+    def test_scope_is_checkpoint_basenames_only(self):
+        bad = """
+            def save(path, blob):
+                with open(path, "wb") as handle:
+                    handle.write(blob)
+            """
+        assert run_rule(self.RULE, bad, "repro/runtime/sharding.py") == []
+        flagged = run_rule(self.RULE, bad, "tools/snapshot_checkpoint_io.py")
+        assert rule_ids(flagged) == ["RL009"]
+
+
+# --------------------------------------------------------------------- #
 # Suppressions
 # --------------------------------------------------------------------- #
 class TestSuppressions:
@@ -517,7 +589,7 @@ class TestFramework:
 
     def test_rule_catalogue_ids_unique_and_documented(self):
         ids = [rule_class.id for rule_class in ALL_RULES]
-        assert len(ids) == len(set(ids)) == 8
+        assert len(ids) == len(set(ids)) == 9
         assert ids == sorted(ids)
         for rule_class in ALL_RULES:
             assert rule_class.title, rule_class.id

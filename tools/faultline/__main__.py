@@ -1,0 +1,7 @@
+"""``python -m faultline`` delegates to :func:`faultline.cli.main`."""
+
+import sys
+
+from faultline.cli import main
+
+sys.exit(main())

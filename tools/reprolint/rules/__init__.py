@@ -4,6 +4,7 @@
 rule classes stay importable individually for targeted fixtures.
 """
 
+from reprolint.rules.atomicity import AtomicCheckpointWriteRule
 from reprolint.rules.determinism import NondeterminismRule, UnstableIdentityOrderingRule
 from reprolint.rules.exceptions import ExceptionDisciplineRule
 from reprolint.rules.imports import NumpyImportRule
@@ -22,10 +23,12 @@ ALL_RULES = (
     NondeterminismRule,  # RL006
     SlotsRule,  # RL007
     ExceptionDisciplineRule,  # RL008
+    AtomicCheckpointWriteRule,  # RL009
 )
 
 __all__ = [
     "ALL_RULES",
+    "AtomicCheckpointWriteRule",
     "ExceptionDisciplineRule",
     "FloatWindowIndexRule",
     "NondeterminismRule",
