@@ -66,6 +66,16 @@ Four fixed-seed suites:
   backend-invariant by design and gated; ``speedup_numpy_over_python``
   records the vectorization payoff.
 
+* ``block`` (``BENCH_PR9.json``) — block ingest versus per-event ingest,
+  end to end from one columnar payload: the per-event rows decode the
+  payload into ``Event`` objects and stream them one by one, the block
+  rows rebuild an :class:`EventBlock` over the same bytes and feed it
+  whole (single-process and through the in-process sharded driver).  The
+  input is a denser stream than the overlap suite's (block ingest
+  amortizes per-event dispatch, so its payoff belongs to the high-rate
+  regime it targets); ``speedup_block_over_per_event`` records the
+  headline ratio and both sides must produce identical result digests.
+
 Each scenario is repeated and the best wall-clock time is kept; throughput
 is ``stream events / best wall seconds``.  Results are merged into the
 suite's JSON file under a caller-chosen label so before/after numbers of a
@@ -85,10 +95,12 @@ suitable for CI (wall-clock numbers are recorded but never gated).
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import math
 import os
 import platform
+import struct
 import sys
 import time
 from dataclasses import dataclass
@@ -105,6 +117,8 @@ import random
 from repro.core.engine import HamletEngine
 from repro.core.kernels import KERNEL_BACKEND_ENV
 from repro.datasets.ridesharing import RidesharingGenerator
+from repro.events.block import EventBlock
+from repro.events.columnar import decode_events
 from repro.events.event import Event
 from repro.greta.engine import GretaEngine
 from repro.optimizer.decisions import DynamicSharingOptimizer
@@ -376,6 +390,71 @@ def _kernel_scenario(backend: str) -> Callable:
     ).run(events)
 
 
+# ---------------------------------------------------------------------- #
+# Suite: block (block ingest vs per-event ingest) -> BENCH_PR9.json
+# ---------------------------------------------------------------------- #
+#: Denser than the overlap suite on purpose: block ingest amortizes the
+#: per-event dispatch around the folds, which dominates exactly when events
+#: arrive faster than the window-close machinery runs.
+BLOCK_EVENTS_PER_MINUTE = 9600.0
+BLOCK_DURATION_SECONDS = 60.0
+BLOCK_SHARDS = 4
+
+
+def _block_input():
+    workload = kleene_sharing_workload(
+        OVERLAP_QUERIES,
+        kleene_type="Travel",
+        prefix_types=OVERLAP_PREFIXES,
+        window=OVERLAP_WINDOW,
+        name="overlap",
+    )
+    generator = RidesharingGenerator(
+        events_per_minute=BLOCK_EVENTS_PER_MINUTE, seed=SEED, districts=OVERLAP_DISTRICTS
+    )
+    return workload, list(generator.generate(BLOCK_DURATION_SECONDS))
+
+
+def _block_scenarios() -> dict[str, Callable]:
+    # Both sides start from the same columnar payload, so each row measures
+    # the full wire -> report path and differs only in the in-memory format
+    # it rematerializes: Event objects or one EventBlock.  The payload is
+    # encoded once outside the timed region (it belongs to the producer).
+    payload_cache: list[bytes] = []
+
+    def payload(events) -> bytes:
+        if not payload_cache:
+            payload_cache.append(EventBlock.from_events(events).to_bytes("columnar"))
+        return payload_cache[0]
+
+    factory = _ENGINE_FACTORIES["hamlet"]
+
+    def per_event(workload, events):
+        return StreamingExecutor(workload, factory).run(decode_events(payload(events)))
+
+    def block(workload, events):
+        return StreamingExecutor(workload, factory).run(
+            EventBlock.from_bytes(payload(events))
+        )
+
+    def sharded_per_event(workload, events):
+        return ShardedStreamingExecutor(
+            workload, factory, workers=0, shards=BLOCK_SHARDS
+        ).run(decode_events(payload(events)))
+
+    def sharded_block(workload, events):
+        return ShardedStreamingExecutor(
+            workload, factory, workers=0, shards=BLOCK_SHARDS
+        ).run(EventBlock.from_bytes(payload(events)))
+
+    return {
+        "per_event_ingest": per_event,
+        "block_ingest": block,
+        "sharded_per_event": sharded_per_event,
+        "sharded_block": sharded_block,
+    }
+
+
 def _kernel_scenarios() -> dict[str, Callable]:
     rows: dict[str, Callable] = {"streaming_python": _kernel_scenario("python")}
     try:
@@ -539,7 +618,54 @@ SUITES = {
         section="kernel",
         family="transport-and-kernels",
     ),
+    "block": Suite(
+        name="block",
+        output=REPO_ROOT / "BENCH_PR9.json",
+        build_input=_block_input,
+        scenarios=_block_scenarios,
+        workload_meta={
+            "style": "block-ingest-vs-per-event",
+            "num_queries": OVERLAP_QUERIES,
+            "events_per_minute": BLOCK_EVENTS_PER_MINUTE,
+            "duration_seconds": BLOCK_DURATION_SECONDS,
+            "seed": SEED,
+            "districts": OVERLAP_DISTRICTS,
+            "window_seconds": OVERLAP_WINDOW.size,
+            "slide_seconds": OVERLAP_WINDOW.slide,
+            "prefix_types": list(OVERLAP_PREFIXES),
+            "shards": BLOCK_SHARDS,
+            "note": (
+                "every row consumes the same columnar payload (wire -> "
+                "report); the stream is denser than the overlap suite's "
+                "because block ingest amortizes per-event dispatch, the "
+                "cost that dominates the high-rate regime it targets. "
+                "Result digests must match between the block and "
+                "per-event rows (checked at run time and gated)."
+            ),
+        },
+    ),
 }
+
+
+def result_digest(totals: dict[str, float]) -> int:
+    """Order-independent exact integer digest of the per-query totals.
+
+    Each ``(query name, float bit pattern)`` pair hashes independently
+    (BLAKE2b-64) and the pieces sum mod 2^64, so dict iteration order —
+    which hash randomization permutes across processes — cannot move the
+    value, while a single-ulp change in any one total changes it
+    completely.  The float-sum checksum this replaces wobbled in its last
+    bits for exactly that ordering reason (BENCH_PR6 recorded
+    ``...774e36`` vs ``...773e36``), forcing a tolerance where the gate
+    should be exact.
+    """
+    digest = 0
+    for name, value in totals.items():
+        piece = hashlib.blake2b(
+            name.encode() + struct.pack("<d", value), digest_size=8
+        )
+        digest = (digest + int.from_bytes(piece.digest(), "little")) % 2**64
+    return digest
 
 
 def run_scenario(name: str, runner: Callable, workload, events, repeats: int) -> dict:
@@ -558,7 +684,10 @@ def run_scenario(name: str, runner: Callable, workload, events, repeats: int) ->
         "operations": report.metrics.operations,
         "peak_memory_units": report.metrics.peak_memory_units,
         "partitions": report.metrics.partitions,
+        # The float sum stays recorded for the human-readable trajectory;
+        # the digest is what the gate compares (exactly).
         "result_checksum": checksum,
+        "result_digest": result_digest(report.totals),
     }
     if report.metrics.peak_active_windows:
         result["peak_active_windows"] = report.metrics.peak_active_windows
@@ -576,7 +705,7 @@ def run_scenario(name: str, runner: Callable, workload, events, repeats: int) ->
     print(
         f"  {name:<20} {result['events_per_second']:>10.0f} ev/s  "
         f"{best_seconds:8.3f} s  ops={result['operations']:>10}  "
-        f"checksum={checksum:g}"
+        f"digest={result['result_digest']:016x}"
     )
     return result
 
@@ -702,6 +831,33 @@ def attach_transport_ratios(results: dict) -> None:
             results.setdefault("speedup_shm_over_pickle", {})[label] = ratios
 
 
+def attach_block_ratios(results: dict) -> None:
+    """Throughput of each block-ingest row over its per-event twin.
+
+    ``speedup_block_over_per_event`` is the PR 9 headline: the single-
+    process ratio is the acceptance number, the sharded ratio shows the
+    same payoff surviving the routing layer.  As everywhere, the wall
+    ratios are machine-dependent and only digests/ops are gated.
+    """
+    pairs = (
+        ("block_ingest", "per_event_ingest"),
+        ("sharded_block", "sharded_per_event"),
+    )
+    for label, rows in results["runs"].items():
+        ratios = {}
+        for block_name, per_event_name in pairs:
+            block_row = rows.get(block_name)
+            per_event_row = rows.get(per_event_name)
+            if block_row and per_event_row and per_event_row.get("events_per_second"):
+                ratios[block_name] = round(
+                    block_row["events_per_second"]
+                    / per_event_row["events_per_second"],
+                    2,
+                )
+        if ratios:
+            results.setdefault("speedup_block_over_per_event", {})[label] = ratios
+
+
 def attach_kernel_ratios(results: dict) -> None:
     """Wall speedup of the NumPy fold over the reference (informational)."""
     for label, rows in results["runs"].items():
@@ -724,12 +880,21 @@ def gate(results: dict, current: dict, suite: Suite) -> int:
         recorded = baseline.get(name)
         if recorded is None:
             continue
-        # Checksums are sums of huge floats; hash randomization permutes the
-        # frozenset iteration (and thus summation) order across processes,
-        # so the last few bits wobble.  Compare with a relative tolerance.
-        if not math.isclose(
+        recorded_digest = recorded.get("result_digest")
+        if recorded_digest is not None:
+            # The order-independent digest is exact: any value change in
+            # any per-query total fails the gate, no tolerance.
+            if row["result_digest"] != recorded_digest:
+                failures.append(
+                    f"{name}: result digest changed "
+                    f"({recorded_digest:016x} -> {row['result_digest']:016x})"
+                )
+        elif not math.isclose(
             row["result_checksum"], recorded["result_checksum"], rel_tol=1e-9
         ):
+            # Legacy rows recorded only the float-sum checksum, whose last
+            # bits wobble with summation order (hash randomization permutes
+            # the frozenset iteration across processes) — tolerance compare.
             failures.append(
                 f"{name}: result checksum changed "
                 f"({recorded['result_checksum']} -> {row['result_checksum']})"
@@ -744,7 +909,7 @@ def gate(results: dict, current: dict, suite: Suite) -> int:
         for failure in failures:
             print(f"gate[{suite.name}] FAILED: {failure}")
         return 1
-    print(f"gate[{suite.name}] OK: operation counts and result checksums within tolerance")
+    print(f"gate[{suite.name}] OK: operation counts and result digests match")
     return 0
 
 
@@ -805,6 +970,22 @@ def run_suite(suite: Suite, args) -> int:
         name: run_scenario(name, runner, workload, events, repeats)
         for name, runner in suite.scenarios().items()
     }
+    if suite.name == "block":
+        # The block path's whole claim is "nothing but speed": a digest
+        # drift between the twins is a correctness bug, not a perf result.
+        for block_name, per_event_name in (
+            ("block_ingest", "per_event_ingest"),
+            ("sharded_block", "sharded_per_event"),
+        ):
+            if (
+                current[block_name]["result_digest"]
+                != current[per_event_name]["result_digest"]
+            ):
+                print(
+                    f"perf_smoke[block] FAILED: {block_name} digest diverges "
+                    f"from {per_event_name}"
+                )
+                return 1
 
     container = load_container(suite)
     results = suite_node(container, suite)
@@ -830,6 +1011,8 @@ def run_suite(suite: Suite, args) -> int:
         attach_transport_ratios(results)
     if suite.name == "kernel":
         attach_kernel_ratios(results)
+    if suite.name == "block":
+        attach_block_ratios(results)
     if suite.section is not None:
         attach_cross_suite(container)
     suite.output.write_text(json.dumps(container, indent=2, sort_keys=True) + "\n")

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.errors import DatasetError
+from repro.events.block import EventBlock, EventBlockBuilder
 from repro.events.event import Event, EventType
 from repro.events.stream import EventStream
 
@@ -84,8 +85,17 @@ class StreamGenerator:
     # ------------------------------------------------------------------ #
     # Generation
     # ------------------------------------------------------------------ #
-    def generate(self, duration_seconds: float) -> EventStream:
-        """Generate a stream spanning ``duration_seconds`` of simulated time."""
+    def _generate_rows(
+        self,
+        duration_seconds: float,
+        emit: Callable[[EventType, float, dict], None],
+    ) -> None:
+        """Drive one simulation, handing each raw row to ``emit``.
+
+        Both output formats (:meth:`generate`, :meth:`generate_block`) share
+        this loop, so they consume the pseudo-random source identically and
+        describe the same stream.
+        """
         if duration_seconds <= 0:
             raise DatasetError("duration_seconds must be positive")
         rng = random.Random(self.seed)
@@ -93,7 +103,6 @@ class StreamGenerator:
         spacing = duration_seconds / total_events
         types = list(self.event_types())
         weights = [self.type_weight(event_type) for event_type in types]
-        stream = EventStream(name=self.name)
         produced = 0
         time = 0.0
         while produced < total_events:
@@ -103,10 +112,30 @@ class StreamGenerator:
             )
             for _ in range(burst_length):
                 payload = self.build_payload(event_type, time, rng)
-                stream.append(Event(event_type=event_type, time=time, payload=payload))
+                emit(event_type, time, payload)
                 produced += 1
                 time += spacing * rng.uniform(0.5, 1.5)
+
+    def generate(self, duration_seconds: float) -> EventStream:
+        """Generate a stream spanning ``duration_seconds`` of simulated time."""
+        stream = EventStream(name=self.name)
+
+        def emit(event_type: EventType, time: float, payload: dict) -> None:
+            stream.append(Event(event_type=event_type, time=time, payload=payload))
+
+        self._generate_rows(duration_seconds, emit)
         return stream
+
+    def generate_block(self, duration_seconds: float) -> EventBlock:
+        """Generate the same stream as :meth:`generate`, as a columnar block.
+
+        No per-event objects are materialized: rows go straight into an
+        :class:`~repro.events.block.EventBlockBuilder`, which is what the
+        block-ingest executors consume natively.
+        """
+        builder = EventBlockBuilder()
+        self._generate_rows(duration_seconds, builder.append_row)
+        return builder.finish()
 
     def generate_events(self, count: int) -> EventStream:
         """Generate a stream containing approximately ``count`` events."""

@@ -10,10 +10,13 @@ This package provides the substrate every engine in the library is built on:
   of events with helpers for slicing, merging and rate statistics.
 * :class:`~repro.events.batch.EventBatch` — a compact, picklable chunk of
   events for cross-process transport (the sharded runtime's wire format).
+* :class:`~repro.events.block.EventBlock` — the columnar in-memory batch the
+  hot path consumes natively (zero-copy slices, lazy per-row event views).
 * :mod:`~repro.events.time` — time-stamp helpers shared by windows and panes.
 """
 
 from repro.events.batch import EventBatch
+from repro.events.block import EventBlock, EventBlockBuilder
 from repro.events.event import Event, EventType
 from repro.events.schema import Attribute, AttributeKind, Schema
 from repro.events.stream import EventStream, StreamStatistics, merge_streams
@@ -24,6 +27,8 @@ __all__ = [
     "AttributeKind",
     "Event",
     "EventBatch",
+    "EventBlock",
+    "EventBlockBuilder",
     "EventStream",
     "EventType",
     "Schema",

@@ -1,0 +1,632 @@
+"""Columnar in-memory event blocks: the hot path's native batch format.
+
+:class:`EventBlock` keeps a chunk of in-order events in exactly the layout
+the columnar wire codec (:mod:`repro.events.columnar`) already uses on the
+wire — times and sequences as flat columns, event types and payload key
+tuples interned into tables, and one value column per (key shape, attribute
+position).  That makes the block the *native* unit of work end to end:
+
+* a shared-memory slab or a framed byte buffer becomes a block with one
+  column parse (:meth:`EventBlock.from_bytes`) — no per-event assembly;
+* the sharded router partitions a block by hashing each distinct group key
+  once over the payload columns instead of once per event;
+* the streaming executor computes window-instance coverage and kernel-run
+  segmentation over the raw time/type columns and feeds the fold backends
+  directly.
+
+Per-row :class:`~repro.events.event.Event` views are created lazily and only
+at API edges (:meth:`event_at`, iteration, the per-event compatibility
+paths).  Slicing with a unit step is **zero-copy**: the child block shares
+every column with its parent and only narrows the ``[start, stop)`` row
+range — which is why the column accessors return the *root* containers and
+must be indexed with absolute positions from :attr:`start` to :attr:`stop`.
+
+Type preservation matches the codec contract pinned by the codec fuzz
+suite: payload values are stored as the original Python objects (the dtype
+selection of :func:`repro.events.columnar._encode_column` happens only when
+a block is serialized), so ``type(value)``, ``time`` and ``sequence``
+survive a round-trip bit-identically and payload key order is never sorted.
+"""
+
+from __future__ import annotations
+
+import bisect
+import pickle
+from array import array
+from typing import Any, Iterable, Iterator, Optional, Sequence, Union
+
+from repro.errors import ExecutionError, SchemaError
+from repro.events import columnar
+from repro.events import event as _event_module
+from repro.events.columnar import Buffer, build_event
+from repro.events.event import Event, EventType
+from repro.events.time import Timestamp
+
+__all__ = ["EventBlock", "EventBlockBuilder"]
+
+#: Per-shape value columns: ``shape_columns[key_code][position][slot]``.
+ShapeColumns = list[list[list[Any]]]
+
+
+class EventBlock:
+    """An immutable columnar chunk of events with zero-copy slicing.
+
+    Blocks are constructed through the classmethods (:meth:`from_events`,
+    :meth:`from_bytes`, :meth:`empty`) or an :class:`EventBlockBuilder`;
+    the ``__init__`` signature is an internal detail shared with slicing.
+    """
+
+    __slots__ = (
+        "_times",
+        "_sequences",
+        "_type_table",
+        "_type_codes",
+        "_key_table",
+        "_key_codes",
+        "_row_slots",
+        "_shape_columns",
+        "_start",
+        "_stop",
+        "_key_positions",
+        "_column_cache",
+        "_group_cache",
+    )
+
+    def __init__(
+        self,
+        times: list[Timestamp],
+        sequences: list[int],
+        type_table: tuple[EventType, ...],
+        type_codes: "array[int]",
+        key_table: tuple[tuple[str, ...], ...],
+        key_codes: "array[int]",
+        row_slots: "array[int]",
+        shape_columns: ShapeColumns,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> None:
+        self._times = times
+        self._sequences = sequences
+        self._type_table = type_table
+        self._type_codes = type_codes
+        self._key_table = key_table
+        self._key_codes = key_codes
+        #: Absolute position of each row inside its shape's columns, so a
+        #: zero-copy slice keeps O(1) payload access without re-cursoring.
+        self._row_slots = row_slots
+        self._shape_columns = shape_columns
+        self._start = start
+        self._stop = len(times) if stop is None else stop
+        self._key_positions: Optional[list[dict[str, int]]] = None
+        self._column_cache: dict[str, list[Any]] = {}
+        self._group_cache: dict[tuple[str, ...], list[tuple[Any, ...]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls) -> "EventBlock":
+        """An empty block (no rows, no interned tables)."""
+        return cls([], [], (), array("I"), (), array("I"), array("I"), [])
+
+    @classmethod
+    def from_events(cls, events: Iterable[Event]) -> "EventBlock":
+        """Encode ``events`` (in stream order) into a block."""
+        builder = EventBlockBuilder()
+        for event in events:
+            builder.append(event)
+        return builder.finish()
+
+    @classmethod
+    def from_rows(
+        cls,
+        type_table: Sequence[EventType],
+        key_table: Sequence[tuple[str, ...]],
+        rows: Sequence[columnar.Row],
+    ) -> "EventBlock":
+        """Build a block from the interned row form shared with ``EventBatch``."""
+        times: list[Timestamp] = []
+        sequences: list[int] = []
+        type_codes = array("I")
+        key_codes = array("I")
+        row_slots = array("I")
+        shape_columns: ShapeColumns = [
+            [[] for _ in keys] for keys in key_table
+        ]
+        occupancy = [0] * len(key_table)
+        for type_code, time, sequence, key_code, values in rows:
+            times.append(time)
+            sequences.append(sequence)
+            type_codes.append(type_code)
+            key_codes.append(key_code)
+            row_slots.append(occupancy[key_code])
+            occupancy[key_code] += 1
+            columns = shape_columns[key_code]
+            for position, value in enumerate(values):
+                columns[position].append(value)
+        return cls(
+            times,
+            sequences,
+            tuple(type_table),
+            type_codes,
+            tuple(key_table),
+            key_codes,
+            row_slots,
+            shape_columns,
+        )
+
+    @classmethod
+    def from_parsed_columns(cls, parsed: "columnar._ParsedColumns") -> "EventBlock":
+        """Wrap a decoded column set without touching the payload columns."""
+        row_slots = array("I")
+        occupancy = [0] * len(parsed.key_table)
+        for code in parsed.key_codes:
+            row_slots.append(occupancy[code])
+            occupancy[code] += 1
+        return cls(
+            parsed.times,
+            parsed.sequences,
+            tuple(parsed.type_table),
+            parsed.type_codes,
+            tuple(parsed.key_table),
+            parsed.key_codes,
+            row_slots,
+            parsed.shape_columns,
+        )
+
+    @classmethod
+    def from_bytes(cls, data: Buffer) -> "EventBlock":
+        """Decode any framed batch buffer into a block.
+
+        The columnar codec is the fast path: one column parse, the payload
+        columns are adopted as-is.  The legacy pickle codec round-trips
+        through the interned row form — still no per-event objects.
+        """
+        codec, body = columnar.parse_frame(data)
+        if codec == columnar.CODEC_COLUMNAR:
+            return cls.from_parsed_columns(columnar._parse_columns(body))
+        try:
+            state = pickle.loads(body)
+        except Exception as error:
+            raise ExecutionError(f"pickle batch body corrupt: {error}") from None
+        type_table, key_table, rows = state
+        return cls.from_rows(type_table, key_table, rows)
+
+    # ------------------------------------------------------------------ #
+    # Size and range
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def __bool__(self) -> bool:
+        return self._stop > self._start
+
+    @property
+    def start(self) -> int:
+        """First absolute row index of this block's range."""
+        return self._start
+
+    @property
+    def stop(self) -> int:
+        """One past the last absolute row index of this block's range."""
+        return self._stop
+
+    # ------------------------------------------------------------------ #
+    # Raw columns (absolute indexing: ``start`` .. ``stop``)
+    # ------------------------------------------------------------------ #
+    @property
+    def times(self) -> list[Timestamp]:
+        """The root time column (index with absolute positions)."""
+        return self._times
+
+    @property
+    def sequences(self) -> list[int]:
+        """The root sequence column (index with absolute positions)."""
+        return self._sequences
+
+    @property
+    def type_codes(self) -> "array[int]":
+        """The root interned type-code column (absolute positions)."""
+        return self._type_codes
+
+    @property
+    def type_table(self) -> tuple[EventType, ...]:
+        """The interned event-type table (first-appearance order)."""
+        return self._type_table
+
+    @property
+    def key_codes(self) -> "array[int]":
+        """The root payload-shape code column (absolute positions)."""
+        return self._key_codes
+
+    @property
+    def key_table(self) -> tuple[tuple[str, ...], ...]:
+        """The interned payload key-tuple table."""
+        return self._key_table
+
+    @property
+    def row_slots(self) -> "array[int]":
+        """Per-row slot inside its shape's columns (absolute positions)."""
+        return self._row_slots
+
+    @property
+    def shape_columns(self) -> ShapeColumns:
+        """The per-shape payload value columns (indexed by row slot)."""
+        return self._shape_columns
+
+    @property
+    def event_types(self) -> tuple[EventType, ...]:
+        """Distinct event types present in the *root* block's table."""
+        return self._type_table
+
+    # ------------------------------------------------------------------ #
+    # Per-row access (lazy Event views only at the API edge)
+    # ------------------------------------------------------------------ #
+    def _absolute(self, index: int) -> int:
+        length = self._stop - self._start
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError(f"block index {index} out of range for {length} rows")
+        return self._start + index
+
+    def time_at(self, index: int) -> Timestamp:
+        """Timestamp of row ``index`` (block-relative)."""
+        return self._times[self._absolute(index)]
+
+    def sequence_at(self, index: int) -> int:
+        """Sequence number of row ``index`` (block-relative)."""
+        return self._sequences[self._absolute(index)]
+
+    def type_at(self, index: int) -> EventType:
+        """Event type of row ``index`` (block-relative)."""
+        return self._type_table[self._type_codes[self._absolute(index)]]
+
+    def payload_at(self, index: int) -> dict[str, Any]:
+        """Payload dict of row ``index`` (block-relative), freshly built."""
+        position = self._absolute(index)
+        key_code = self._key_codes[position]
+        keys = self._key_table[key_code]
+        columns = self._shape_columns[key_code]
+        slot = self._row_slots[position]
+        return {keys[j]: columns[j][slot] for j in range(len(keys))}
+
+    def event_at(self, index: int) -> Event:
+        """Materialize the lazy :class:`Event` view of row ``index``."""
+        position = self._absolute(index)
+        key_code = self._key_codes[position]
+        keys = self._key_table[key_code]
+        columns = self._shape_columns[key_code]
+        slot = self._row_slots[position]
+        payload = {keys[j]: columns[j][slot] for j in range(len(keys))}
+        return build_event(
+            self._type_table[self._type_codes[position]],
+            self._times[position],
+            payload,
+            self._sequences[position],
+        )
+
+    def __iter__(self) -> Iterator[Event]:
+        for index in range(self._stop - self._start):
+            yield self.event_at(index)
+
+    def to_events(self) -> list[Event]:
+        """Materialize every row as an :class:`Event` (the API edge)."""
+        return [self.event_at(index) for index in range(self._stop - self._start)]
+
+    def __getitem__(self, index: Union[int, slice]) -> "Event | EventBlock":
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self._stop - self._start)
+            if step == 1:
+                return self.slice(start, stop)
+            return self.select(range(start, stop, step))
+        return self.event_at(index)
+
+    # ------------------------------------------------------------------ #
+    # Slicing and selection
+    # ------------------------------------------------------------------ #
+    def slice(self, start: int, stop: int) -> "EventBlock":
+        """Zero-copy sub-block of block-relative rows ``[start, stop)``.
+
+        The child shares every column with this block (aliasing is pinned
+        by the block test suite); only the row range narrows.
+        """
+        length = self._stop - self._start
+        start = max(0, min(start, length))
+        stop = max(start, min(stop, length))
+        return EventBlock(
+            self._times,
+            self._sequences,
+            self._type_table,
+            self._type_codes,
+            self._key_table,
+            self._key_codes,
+            self._row_slots,
+            self._shape_columns,
+            self._start + start,
+            self._start + stop,
+        )
+
+    def select(self, indices: Iterable[int]) -> "EventBlock":
+        """Gather block-relative ``indices`` into a new compact block.
+
+        The interned tables are shared; value columns are copied for the
+        selected rows only (this is what the sharded router ships).
+        """
+        times: list[Timestamp] = []
+        sequences: list[int] = []
+        type_codes = array("I")
+        key_codes = array("I")
+        row_slots = array("I")
+        shape_columns: ShapeColumns = [
+            [[] for _ in keys] for keys in self._key_table
+        ]
+        occupancy = [0] * len(self._key_table)
+        src_times = self._times
+        src_sequences = self._sequences
+        src_type_codes = self._type_codes
+        src_key_codes = self._key_codes
+        src_row_slots = self._row_slots
+        src_shapes = self._shape_columns
+        base = self._start
+        length = self._stop - base
+        for index in indices:
+            if not 0 <= index < length:
+                raise IndexError(
+                    f"block index {index} out of range for {length} rows"
+                )
+            position = base + index
+            key_code = src_key_codes[position]
+            slot = src_row_slots[position]
+            times.append(src_times[position])
+            sequences.append(src_sequences[position])
+            type_codes.append(src_type_codes[position])
+            key_codes.append(key_code)
+            row_slots.append(occupancy[key_code])
+            occupancy[key_code] += 1
+            source_columns = src_shapes[key_code]
+            target_columns = shape_columns[key_code]
+            for j in range(len(source_columns)):
+                target_columns[j].append(source_columns[j][slot])
+        return EventBlock(
+            times,
+            sequences,
+            self._type_table,
+            type_codes,
+            self._key_table,
+            key_codes,
+            row_slots,
+            shape_columns,
+        )
+
+    def slice_time(
+        self, start: Optional[Timestamp] = None, end: Optional[Timestamp] = None
+    ) -> "EventBlock":
+        """Zero-copy sub-block covering the half-open time slice ``[start, end)``.
+
+        The cut points come from binary search over the (sorted) time
+        column — the block analogue of :func:`repro.events.stream.slice_stream`.
+        """
+        times = self._times
+        lo = (
+            bisect.bisect_left(times, start, self._start, self._stop) - self._start
+            if start is not None
+            else 0
+        )
+        hi = (
+            bisect.bisect_left(times, end, self._start, self._stop) - self._start
+            if end is not None
+            else self._stop - self._start
+        )
+        return self.slice(lo, hi)
+
+    # ------------------------------------------------------------------ #
+    # Columnar payload access
+    # ------------------------------------------------------------------ #
+    def _positions(self) -> list[dict[str, int]]:
+        positions = self._key_positions
+        if positions is None:
+            positions = [
+                {key: j for j, key in enumerate(keys)} for keys in self._key_table
+            ]
+            self._key_positions = positions
+        return positions
+
+    def payload_column(self, key: str, default: Any = None) -> list[Any]:
+        """Per-row values of payload attribute ``key`` (``default`` if absent).
+
+        Matches :meth:`Event.get` semantics row by row; the ``default is
+        None`` case is cached per block instance (it backs group-key
+        computation on the routing and windowing hot paths).
+        """
+        if default is None:
+            cached = self._column_cache.get(key)
+            if cached is not None:
+                return cached
+        positions = self._positions()
+        key_codes = self._key_codes
+        row_slots = self._row_slots
+        shapes = self._shape_columns
+        per_shape: list[Optional[list[Any]]] = []
+        for code, keys in enumerate(self._key_table):
+            j = positions[code].get(key)
+            per_shape.append(None if j is None else shapes[code][j])
+        if len(per_shape) == 1:
+            # Single payload shape: row slots are the identity, so the
+            # column *is* the answer — one C-level slice copy.
+            column = per_shape[0]
+            if column is None:
+                out = [default] * (self._stop - self._start)
+            else:
+                out = column[self._start : self._stop]
+        else:
+            out = []
+            append = out.append
+            for position in range(self._start, self._stop):
+                column = per_shape[key_codes[position]]
+                append(default if column is None else column[row_slots[position]])
+        if default is None:
+            self._column_cache[key] = out
+        return out
+
+    def group_keys(self, attributes: tuple[str, ...]) -> list[tuple[Any, ...]]:
+        """Per-row group-key tuples for ``attributes`` (cached per block).
+
+        Equivalent to ``tuple(event.get(a) for a in attributes)`` row by
+        row — the exact :meth:`PartitionSpec.group_key` contract.
+        """
+        cached = self._group_cache.get(attributes)
+        if cached is not None:
+            return cached
+        columns = [self.payload_column(attribute) for attribute in attributes]
+        if not columns:
+            keys: list[tuple[Any, ...]] = [()] * (self._stop - self._start)
+        elif len(columns) == 1:
+            keys = [(value,) for value in columns[0]]
+        else:
+            keys = list(zip(*columns))
+        self._group_cache[attributes] = keys
+        return keys
+
+    # ------------------------------------------------------------------ #
+    # Serialization (shared wire framing with EventBatch)
+    # ------------------------------------------------------------------ #
+    def _rows(self) -> tuple[columnar.Row, ...]:
+        rows: list[columnar.Row] = []
+        times = self._times
+        sequences = self._sequences
+        type_codes = self._type_codes
+        key_codes = self._key_codes
+        row_slots = self._row_slots
+        shapes = self._shape_columns
+        for position in range(self._start, self._stop):
+            key_code = key_codes[position]
+            slot = row_slots[position]
+            values = tuple(column[slot] for column in shapes[key_code])
+            rows.append(
+                (
+                    type_codes[position],
+                    times[position],
+                    sequences[position],
+                    key_code,
+                    values,
+                )
+            )
+        return tuple(rows)
+
+    def to_bytes(self, codec: str = "columnar") -> bytes:
+        """Serialize this block's rows to a framed buffer.
+
+        The output interoperates with ``EventBatch.from_bytes`` and
+        :meth:`EventBlock.from_bytes` — same magic, same codecs.
+        """
+        if codec == "columnar":
+            body = columnar.encode_columnar_body(
+                self._type_table, self._key_table, self._rows()
+            )
+            return columnar.frame(columnar.CODEC_COLUMNAR, body)
+        if codec == "pickle":
+            blob = pickle.dumps(
+                (self._type_table, self._key_table, self._rows()),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            return columnar.frame(columnar.CODEC_PICKLE, blob)
+        raise ExecutionError(
+            f"unknown block codec {codec!r}; choose 'pickle' or 'columnar'"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EventBlock({self._stop - self._start} events, "
+            f"{len(self._type_table)} types)"
+        )
+
+
+class EventBlockBuilder:
+    """Incrementally build an :class:`EventBlock` without per-row events.
+
+    Dataset simulators append raw ``(type, time, payload)`` rows
+    (:meth:`append_row`); compatibility paths append existing events
+    (:meth:`append`).  Rows must arrive in non-decreasing time order —
+    the same contract :class:`~repro.events.stream.EventStream` enforces.
+    """
+
+    __slots__ = (
+        "_times",
+        "_sequences",
+        "_type_table",
+        "_type_codes",
+        "_type_map",
+        "_key_table",
+        "_key_codes",
+        "_key_map",
+        "_row_slots",
+        "_shape_columns",
+        "_occupancy",
+    )
+
+    def __init__(self) -> None:
+        self._times: list[Timestamp] = []
+        self._sequences: list[int] = []
+        self._type_table: list[EventType] = []
+        self._type_codes: "array[int]" = array("I")
+        self._type_map: dict[EventType, int] = {}
+        self._key_table: list[tuple[str, ...]] = []
+        self._key_codes: "array[int]" = array("I")
+        self._key_map: dict[tuple[str, ...], int] = {}
+        self._row_slots: "array[int]" = array("I")
+        self._shape_columns: ShapeColumns = []
+        self._occupancy: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append_row(
+        self,
+        event_type: EventType,
+        time: Timestamp,
+        payload: dict[str, Any],
+        sequence: Optional[int] = None,
+    ) -> None:
+        """Append one row; draws the global sequence counter if unset."""
+        if time < 0:
+            raise SchemaError(f"event time must be non-negative, got {time!r}")
+        if sequence is None:
+            sequence = next(_event_module._sequence_counter)
+        type_code = self._type_map.get(event_type)
+        if type_code is None:
+            type_code = self._type_map[event_type] = len(self._type_table)
+            self._type_table.append(event_type)
+        keys = tuple(payload)
+        key_code = self._key_map.get(keys)
+        if key_code is None:
+            key_code = self._key_map[keys] = len(self._key_table)
+            self._key_table.append(keys)
+            self._shape_columns.append([[] for _ in keys])
+            self._occupancy.append(0)
+        self._times.append(time)
+        self._sequences.append(sequence)
+        self._type_codes.append(type_code)
+        self._key_codes.append(key_code)
+        self._row_slots.append(self._occupancy[key_code])
+        self._occupancy[key_code] += 1
+        columns = self._shape_columns[key_code]
+        for position, value in enumerate(payload.values()):
+            columns[position].append(value)
+
+    def append(self, event: Event) -> None:
+        """Append an existing event (keeps its sequence number)."""
+        self.append_row(event.event_type, event.time, dict(event.payload), event.sequence)
+
+    def finish(self) -> EventBlock:
+        """Freeze the builder into an immutable block."""
+        return EventBlock(
+            self._times,
+            self._sequences,
+            tuple(self._type_table),
+            self._type_codes,
+            tuple(self._key_table),
+            self._key_codes,
+            self._row_slots,
+            self._shape_columns,
+        )

@@ -13,11 +13,14 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Optional, Sequence, overload
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional, Sequence, overload
 
 from repro.errors import StreamError
 from repro.events.event import Event, EventType
 from repro.events.time import Timestamp
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.events.block import EventBlock
 
 
 @dataclass(frozen=True, slots=True)
@@ -106,6 +109,16 @@ class EventStream:
     def events(self) -> Sequence[Event]:
         """The underlying events as an immutable view."""
         return tuple(self._events)
+
+    def to_block(self) -> "EventBlock":
+        """Encode the stream into a columnar :class:`EventBlock`.
+
+        The block is the hot path's native batch format; executors ingest
+        it without materializing per-event objects.
+        """
+        from repro.events.block import EventBlock
+
+        return EventBlock.from_events(self._events)
 
     # ------------------------------------------------------------------ #
     # Time-based access

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.errors import WindowError
 from repro.events.time import Timestamp
@@ -106,6 +106,65 @@ class Window:
         # admit one extra, mutually-exclusive instance.
         first = max(0, self._floor_index(timestamp - self.size) + 1)
         return range(first, last + 1)
+
+    def instance_range_columns(
+        self, times: "Sequence[Timestamp]", start: int = 0, stop: int | None = None
+    ) -> tuple[list[int], list[int]]:
+        """Covering ranges for a whole time column: ``(lows, highs)``.
+
+        ``times[start:stop]`` must be non-decreasing (the executors' arrival
+        order, which they enforce separately).  For every position the pair
+        ``(lows[i], highs[i])`` equals
+        ``instance_indices_covering(t).start, .stop - 1`` — the same snapped
+        floor division on both edges, inlined over the column (this is the
+        block-ingest hot path; per-element equality with the scalar method
+        is pinned by the window tests).
+        """
+        if stop is None:
+            stop = len(times)
+        slide = self.slide
+        size = self.size
+        floor = math.floor
+        isclose = math.isclose
+        lows: list[int] = []
+        highs: list[int] = []
+        lows_append = lows.append
+        highs_append = highs.append
+        # Monotone skip: for sorted times the snapped floor indices are
+        # non-decreasing, so while the quotient stays a safe margin below the
+        # previous index's ceiling the previous index is provably unchanged
+        # (the snap tolerance is 1e-12 relative/absolute; the 1e-6 margin
+        # dominates it for any timestamp the executors see) and the
+        # floor+snap work is skipped.  Whenever the margin is crossed the
+        # full formula runs, so the results are bit-identical either way.
+        high = 0
+        high_limit = -1.0  # quotients below this keep the previous high
+        low = 0
+        low_limit = float("-inf")
+        for position in range(start, stop):
+            timestamp = times[position]
+            if timestamp < 0:
+                raise WindowError(
+                    f"timestamp must be non-negative, got {timestamp!r}"
+                )
+            quotient = timestamp / slide
+            if quotient >= high_limit:
+                high = floor(quotient)
+                if isclose(high + 1, quotient, rel_tol=1e-12, abs_tol=1e-12):
+                    high += 1
+                high_limit = high + 1 - 1e-6 * (1.0 + quotient)
+            quotient = (timestamp - size) / slide
+            if quotient >= low_limit:
+                low = floor(quotient)
+                if isclose(low + 1, quotient, rel_tol=1e-12, abs_tol=1e-12):
+                    low += 1
+                low += 1
+                low_limit = low - 1e-6 * (1.0 + abs(quotient))
+                if low < 0:
+                    low = 0
+            lows_append(low)
+            highs_append(high)
+        return lows, highs
 
     def instance_bounds(self, index: int) -> tuple[float, float]:
         """Return the ``(start, end)`` bounds of window instance ``index``."""

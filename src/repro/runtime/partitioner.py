@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from fractions import Fraction
 from typing import Iterable, Iterator, Sequence
 
 from repro.events.event import Event
@@ -47,10 +46,12 @@ def _value_sort_key(value) -> tuple:
     values directly raises for mixed types.  This key is type-tagged: values
     sort by kind first (None < booleans < non-finite floats < finite
     numbers < strings < everything else), then naturally within a kind.
-    Finite numbers compare as exact :class:`~fractions.Fraction`\\ s (no
-    float overflow for huge ints, no 2**53 truncation) with the repr as a
-    deterministic tie-breaker for equal values of different types (``1`` vs
-    ``1.0``); NaN and the infinities get their own bucket ordered by repr,
+    Finite numbers compare as their raw values — CPython's mixed int/float
+    comparisons are exact (no float overflow for huge ints, no 2**53
+    truncation; this used to go through :class:`~fractions.Fraction`, which
+    orders identically but costs an object per element) — with the repr as
+    a deterministic tie-breaker for equal values of different types (``1``
+    vs ``1.0``); NaN and the infinities get their own bucket ordered by repr,
     so the order stays *total* — a bare NaN comparison is neither ``<`` nor
     ``>`` and would make the result depend on input order.  Every tag's
     tail has a fixed element layout so comparisons never cross types.
@@ -67,7 +68,7 @@ def _value_sort_key(value) -> tuple:
     if isinstance(value, float) and not math.isfinite(value):
         return (2, 0, repr(value))  # '-inf' < 'inf' < 'nan', deterministically
     if isinstance(value, (int, float)):
-        return (3, Fraction(value), repr(value))
+        return (3, value, repr(value))
     if isinstance(value, str):
         return (4, 0, value)
     if isinstance(value, tuple):

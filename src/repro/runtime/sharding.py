@@ -63,6 +63,7 @@ from repro.core.kernels import KernelBackendSpec, resolve_kernel_backend
 from repro.errors import ExecutionError, WorkerCrashError
 from repro.events import columnar
 from repro.events.batch import EventBatch
+from repro.events.block import EventBlock
 from repro.events.event import Event, EventType
 from repro.events.stream import EventStream, slice_stream
 from repro.optimizer.decisions import OptimizerStatistics
@@ -406,6 +407,54 @@ class ShardRouter:
             return (shard,)
         return self.plan.type_routes.get(event.event_type, ())
 
+    def route_block(self, block: EventBlock) -> tuple[list[int], ...]:
+        """Block-relative row indices each shard must see, in one columnar pass.
+
+        The columnar sibling of :meth:`route`: per-row results are identical
+        (the sharded differential suite pins it), but type relevance is
+        resolved once per interned type code, group keys come from the
+        block's cached key column, and each distinct group key is hashed at
+        most once (through the same memo the per-event path fills).
+        """
+        selections: tuple[list[int], ...] = tuple(
+            [] for _ in range(self.plan.shards)
+        )
+        codes = block.type_codes
+        base = block.start
+        count = len(block)
+        if self.plan.mode == "group":
+            relevant = self.plan.relevant_types
+            relevant_by_code = [
+                event_type in relevant for event_type in block.type_table
+            ]
+            keys = block.group_keys(self.plan.group_by)
+            memo = self._shard_of_key
+            #: key -> that key's selection list (saves the modulo + second
+            #: dict hop for the block's repeated keys).
+            selection_of_key: dict[tuple, list[int]] = {}
+            for local in range(count):
+                if not relevant_by_code[codes[base + local]]:
+                    continue
+                key = keys[local]
+                selection = selection_of_key.get(key)
+                if selection is None:
+                    shard = memo.get(key)
+                    if shard is None:
+                        shard = stable_shard_hash(key) % self.plan.shards
+                        if len(memo) < _SHARD_MEMO_LIMIT:
+                            memo[key] = shard
+                    selection = selection_of_key[key] = selections[shard]
+                selection.append(local)
+            return selections
+        routes_by_code = [
+            self.plan.type_routes.get(event_type, ())
+            for event_type in block.type_table
+        ]
+        for local in range(count):
+            for shard in routes_by_code[codes[base + local]]:
+                selections[shard].append(local)
+        return selections
+
 
 @dataclass
 class ShardReport:
@@ -502,15 +551,17 @@ def _shard_worker_main(
             if message is None:
                 break
             kind = message[0]
+            block: Optional[EventBlock] = None
             if kind == "slab":
                 assert reader is not None
                 _, seq, slab, nbytes = message
                 view = reader.view(slab, nbytes)
                 try:
-                    # Decoding copies every column out of the mapped
-                    # slab, so the slab is recyclable the moment
-                    # decode returns — ack before processing.
-                    events = columnar.decode_events(view)
+                    # Parsing copies every column out of the mapped
+                    # slab, so the slab is recyclable the moment the
+                    # block is built — ack before processing.  No
+                    # per-event objects are constructed on this path.
+                    block = EventBlock.from_bytes(view)
                 finally:
                     view.release()
                 if fault is not None:
@@ -518,7 +569,7 @@ def _shard_worker_main(
                 reader.ack(slab)
             elif kind == "raw":
                 _, seq, payload = message
-                events = columnar.decode_events(payload)
+                block = EventBlock.from_bytes(payload)
                 if fault is not None:
                     fault("mid-batch-decode")
             else:  # "batch": a pickled EventBatch
@@ -527,8 +578,11 @@ def _shard_worker_main(
                     fault("mid-batch-decode")
             if fault is not None:
                 fault("pre-fold")
-            for event in events:
-                process(event)
+            if block is not None:
+                executor.process_block(block)
+            else:
+                for event in events:
+                    process(event)
             if writer is not None:
                 batches_since += 1
                 if (
@@ -770,13 +824,25 @@ class ShardedStreamingExecutor:
     # ------------------------------------------------------------------ #
     def run(
         self,
-        stream: EventStream | Iterable[Event],
+        stream: EventStream | EventBlock | Iterable[Event],
         *,
         start: Optional[float] = None,
         end: Optional[float] = None,
     ) -> ExecutionReport:
-        """Consume ``stream`` in one pass and return the merged report."""
+        """Consume ``stream`` in one pass and return the merged report.
+
+        ``stream`` may be an :class:`~repro.events.block.EventBlock`: the
+        whole block is ingested columnar (:meth:`process_block`), and the
+        ``start``/``end`` slice is cut zero-copy by binary search.
+        """
         self._begin_run()
+        if isinstance(stream, EventBlock):
+            try:
+                self.process_block(stream.slice_time(start, end))
+            except BaseException:
+                self._shutdown()
+                raise
+            return self.finish()
         stream = slice_stream(stream, start, end)
         if self.workers == 0 and self.router.shards == 1:
             # Bulk fast path for the degenerate single in-process shard: the
@@ -860,6 +926,70 @@ class ShardedStreamingExecutor:
             # per-batch cadence of pool-mode workers.
             self._ckpt_countdown -= 1
             if not self._ckpt_countdown:
+                self._checkpoint_local()
+                self._ckpt_countdown = self.batch_size
+
+    def process_block(self, block: EventBlock) -> None:
+        """Route one in-order :class:`EventBlock`, keeping rows columnar.
+
+        The block counterpart of :meth:`process`: the router partitions the
+        block in one vectorized pass (:meth:`ShardRouter.route_block`), and
+        each shard's rows stay columns end to end — in-process shards ingest
+        a gathered sub-block directly, pool workers receive its framed
+        columnar bytes (both transports) and rebuild a block without
+        constructing per-event objects.  Results are bit-identical to
+        feeding the block's events through :meth:`process` one by one.
+
+        Internal ordering of the block is enforced by the shard executors
+        (in-process: immediately; pool mode: the worker's error surfaces at
+        the next driver interaction), the driver only rejects a block that
+        starts before the stream clock.
+        """
+        count = len(block)
+        if count == 0:
+            return
+        first_time = block.times[block.start]
+        if first_time < self._clock:
+            self._shutdown()
+            raise ExecutionError(
+                f"sharded executor requires in-order arrival: event at "
+                f"{first_time} after stream time {self._clock}"
+            )
+        self._clock = block.times[block.stop - 1]
+        self._consumed += count
+        if not self._started:
+            self._start_shards()
+        if self._single is not None:
+            self._shard_events[0] += count
+            self._single.process_block(block)
+        else:
+            for shard_id, indices in enumerate(self.router.route_block(block)):
+                if not indices:
+                    continue
+                self._shard_events[shard_id] += len(indices)
+                shard_block = (
+                    block if len(indices) == count else block.select(indices)
+                )
+                if self._local is not None:
+                    self._local[shard_id].process_block(shard_block)
+                    continue
+                # Preserve arrival order with any per-event process() calls
+                # buffered ahead of this block.
+                if self._buffers[shard_id]:
+                    self._ship(shard_id)
+                self._shard_batches[shard_id] += 1
+                payload = shard_block.to_bytes("columnar")
+                seq = self._next_seq(shard_id, "raw", payload, len(indices))
+                if self._rings:
+                    self._send_encoded(shard_id, seq, payload)
+                else:
+                    try:
+                        self._put(shard_id, ("raw", seq, payload))
+                    except _WorkerRecovered:
+                        pass  # replayed into the respawned worker already
+        if self._ckpt_countdown:
+            self._ckpt_countdown -= count
+            if self._ckpt_countdown <= 0:
                 self._checkpoint_local()
                 self._ckpt_countdown = self.batch_size
 
@@ -1592,7 +1722,7 @@ class ShardedStreamingExecutor:
 
 def run_sharded(
     workload: Workload | Sequence[Query],
-    stream: EventStream | Iterable[Event],
+    stream: EventStream | EventBlock | Iterable[Event],
     engine_factory: EngineFactory = HamletEngine,
     *,
     workers: int = 0,

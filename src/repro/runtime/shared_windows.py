@@ -297,6 +297,36 @@ class _ColumnState:
         self.maps = maps
 
 
+class _OrderPoint:
+    """Order cursor left behind by a block run.
+
+    The block fast path never materializes :class:`Event` objects, but the
+    engine's arrival-order contract needs *something* to compare the next
+    arrival against.  This token carries exactly the two fields the order
+    relation reads (``Event.__lt__`` is duck-typed on ``time``/``sequence``),
+    so per-event and block ingestion can interleave freely on one engine.
+    """
+
+    __slots__ = ("time", "sequence")
+
+    def __init__(self, time: float, sequence: int) -> None:
+        self.time = time
+        self.sequence = sequence
+
+    def __lt__(self, other: "Event | _OrderPoint") -> bool:
+        if self.time != other.time:
+            return bool(self.time < other.time)
+        return self.sequence < other.sequence
+
+    def __reduce__(self) -> tuple[object, ...]:
+        # Explicit so checkpoints pickle the cursor identically on every
+        # supported interpreter (slots, no dict).
+        return (_OrderPoint, (self.time, self.sequence))
+
+    def __repr__(self) -> str:
+        return f"<row time={self.time!r} seq={self.sequence}>"
+
+
 class MultiWindowLinearEngine(MultiWindowEngine):
     """Shared linear trend aggregation across all live window instances.
 
@@ -363,7 +393,7 @@ class MultiWindowLinearEngine(MultiWindowEngine):
                     evict_maps.append(self._coefficients.window_map((spec.index, event_type)))
         self._evict_maps: tuple[dict, ...] = tuple(evict_maps)
         self._armed_entries = 0
-        self._latest_event: Optional[Event] = None
+        self._latest_event: Event | _OrderPoint | None = None
         #: Live ``(class, type, window)`` coefficient entries, maintained
         #: incrementally so memory accounting never scans the table.
         self._coeff_entries = 0
@@ -552,6 +582,164 @@ class MultiWindowLinearEngine(MultiWindowEngine):
             self._ops += (
                 count * len(plan.targets) * len(indices) * (1 + len(plan.pred_maps))
             )
+
+    def process_block_run(
+        self,
+        event_type: EventType,
+        times: Sequence[float],
+        sequences: Sequence[int],
+        lows: Sequence[int],
+        highs: Sequence[int],
+        contribution_rows: Optional[Sequence[tuple[float, ...]]] = None,
+    ) -> bool:
+        """Fold one same-type run straight from block columns.
+
+        The columnar sibling of :meth:`process_burst`: the caller hands the
+        run's parallel columns (times, sequences, covering ranges, and —
+        for vector units — precomputed contribution rows) and no per-event
+        objects exist anywhere on the path.  ``lows``/``highs`` must be the
+        non-decreasing covering ranges of the (sorted) ``times`` — what
+        :meth:`Window.instance_range_columns` produces.  Results *and* abstract
+        operation counts equal the equivalent sequence of :meth:`process`
+        calls under the python backend; this is pinned by the block
+        differential suites.
+
+        Returns ``False`` **without touching any engine state** when the
+        run needs per-event :class:`Event` structure — store interactions
+        (the type is negated or stored by some class), local predicates,
+        the scan slow path, or a stale guard — so the caller can replay
+        the rows through the per-event reference entry points.
+        """
+        unit = self.unit
+        store = self._store
+        if store is not None and (
+            event_type in unit.negative_classes_by_type
+            or event_type in unit.stored_node_types
+        ):
+            return False
+        plans = self._plans_by_type.get(event_type)
+        if plans is not None:
+            for plan in plans:
+                if plan.spec.check_locals:
+                    return False
+                guards = plan.guards
+                if guards is None:
+                    return False
+                if guards and store is not None:
+                    for negated_type in guards:
+                        if store.has_negatives(negated_type):
+                            return False
+        # Order check across the whole run — the same contract process()
+        # enforces, on scalar columns.
+        previous = self._latest_event
+        last_time: Optional[float]
+        last_sequence = -1
+        if previous is not None:
+            last_time, last_sequence = previous.time, previous.sequence
+        else:
+            last_time = None
+        count = len(times)
+        for time_value, sequence_value in zip(times, sequences):
+            if last_time is not None and not (
+                last_time < time_value
+                or (last_time == time_value and last_sequence < sequence_value)
+            ):
+                raise ExecutionError(
+                    "shared-window execution requires strictly ordered arrival "
+                    f"(by time, then sequence); row time={time_value!r} "
+                    f"seq={sequence_value} does not follow time={last_time!r} "
+                    f"seq={last_sequence} — use shared_windows=False for such "
+                    "streams"
+                )
+            last_time, last_sequence = time_value, sequence_value
+        if count:
+            assert last_time is not None
+            self._latest_event = _OrderPoint(last_time, last_sequence)
+        if plans is None:
+            return True
+        scalar = unit.scalar
+        backend = self._backend
+        for plan in plans:
+            armed = self._armed[plan.spec.index]
+            if plan.is_start:
+                # Covering ranges are non-decreasing over sorted times
+                # (``Window.instance_range_columns``), so the run is uniform
+                # iff its endpoints agree.
+                lo0, hi0 = lows[0], highs[0]
+                if lows[-1] != lo0 or highs[-1] != hi0:
+                    # Covering ranges differ inside the run: arming
+                    # interleaves with folding, which only the per-event
+                    # order reproduces.  Guards were already resolved fast
+                    # for the whole run, so this never needs Event objects.
+                    self._block_run_reference(plan, lows, highs, contribution_rows)
+                    continue
+                for index in range(lo0, hi0 + 1):
+                    if index not in armed:
+                        armed[index] = True
+                        self._armed_entries += 1
+            if not armed:
+                continue
+            indices = list(armed)
+            base = 1.0 if plan.is_start else 0.0
+            created = 0
+            replica_created = 0
+            canonical = plan.total_map
+            for total_map in plan.targets:
+                sources = plan.fold_sources(total_map)
+                if scalar:
+                    made = backend.fold_scalar_run(
+                        total_map, indices, sources, base, count
+                    )
+                else:
+                    made = backend.fold_vector_run(
+                        total_map,
+                        indices,
+                        sources,
+                        base,
+                        contribution_rows,
+                        unit.dimension,
+                    )
+                if total_map is canonical:
+                    created += made
+                else:
+                    replica_created += made
+            self._coeff_entries += created
+            self._replica_entries += replica_created
+            self._ops += (
+                count * len(plan.targets) * len(indices) * (1 + len(plan.pred_maps))
+            )
+        return True
+
+    def _block_run_reference(
+        self,
+        plan: _TypePlan,
+        lows: Sequence[int],
+        highs: Sequence[int],
+        contribution_rows: Optional[Sequence[tuple[float, ...]]],
+    ) -> None:
+        """Per-event-order fold of one plan over a non-uniform block run.
+
+        The block analog of :meth:`_burst_reference` for start plans whose
+        covering ranges differ inside the run: arm each row's range, then
+        take the fast path per row.  The caller has already established
+        that every plan of the run's type is fast-eligible (guards present
+        and not stale) and that the type is neither stored nor negated, so
+        no :class:`Event` is ever needed.
+        """
+        armed = self._armed[plan.spec.index]
+        scalar = self.unit.scalar
+        for position in range(len(lows)):
+            for index in range(lows[position], highs[position] + 1):
+                if index not in armed:
+                    armed[index] = True
+                    self._armed_entries += 1
+            if not armed:
+                continue
+            if scalar:
+                self._fast_scalar(plan, armed, None)
+            else:
+                assert contribution_rows is not None
+                self._fast_vector(plan, armed, contribution_rows[position], None)
 
     def _burst_reference(
         self,

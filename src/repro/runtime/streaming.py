@@ -64,6 +64,7 @@ from typing import Callable, Iterable, Mapping, Optional, Sequence
 from repro.core.engine import HamletEngine
 from repro.core.kernels import KernelBackendSpec, resolve_kernel_backend
 from repro.errors import CheckpointError, ExecutionError
+from repro.events.block import EventBlock
 from repro.events.event import Event, EventType
 from repro.events.stream import EventStream, slice_stream
 from repro.greta.engine import GretaEngine
@@ -174,9 +175,37 @@ class _SharedGroup:
     burst: list = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
+class _BlockUnitColumns:
+    """Per-unit columns prepared once per ingested block (block fast path)."""
+
+    unit: "_Unit"
+    #: ``spec.group_key(event)`` per block row (the block's cached column).
+    group_keys: Sequence[tuple]
+    #: First / last covering window-instance index per block row.
+    lows: Sequence[int]
+    highs: Sequence[int]
+    #: Lazy-open qualification per *type code* of the block's type table.
+    qualifies: Sequence[bool]
+    #: ``group key -> [group, type code, [(local, time, seq, low, high), ...]]``
+    #: — the unit's buffered maximal same-``(group, type)`` runs.
+    pending: dict = field(default_factory=dict)
+    #: ``group key -> highest armed window index`` since the last close sweep.
+    #: Between sweeps no window closes, so once a row armed ``lo..hi`` every
+    #: later row of the group (``lo`` is non-decreasing) only needs to check
+    #: indices above the cached high — the per-event path re-probes the full
+    #: covering range on every event.  Cleared whenever a sweep runs.
+    armed: dict = field(default_factory=dict)
+
+
+@dataclass(eq=False)
 class _Unit:
-    """One execution unit: queries sharing a partition set, plus its state."""
+    """One execution unit: queries sharing a partition set, plus its state.
+
+    ``eq=False`` keeps the default identity equality/hash: units are
+    singletons owned by their executor, and the block fast path keys
+    per-block state by unit.
+    """
 
     queries: tuple[Query, ...]
     spec: PartitionSpec
@@ -323,18 +352,26 @@ class StreamingExecutor:
     # ------------------------------------------------------------------ #
     def run(
         self,
-        stream: EventStream | Iterable[Event],
+        stream: EventStream | EventBlock | Iterable[Event],
         *,
         start: Optional[float] = None,
         end: Optional[float] = None,
     ) -> ExecutionReport:
         """Consume ``stream`` in one pass and return the final report.
 
+        ``stream`` may be an :class:`~repro.events.block.EventBlock`, which
+        is ingested columnar (:meth:`process_block`) without materializing
+        per-event objects on the hot path.
+
         ``start`` / ``end`` replay only the half-open time slice
-        ``[start, end)`` of a recorded :class:`EventStream`; the slice is cut
-        with the stream's cached timestamp array (binary search, no scan).
+        ``[start, end)`` of a recorded :class:`EventStream` (or block); the
+        slice is cut with the cached timestamp column (binary search, no
+        scan — blocks slice zero-copy).
         """
         self._begin_run()
+        if isinstance(stream, EventBlock):
+            self.process_block(stream.slice_time(start, end))
+            return self.finish()
         stream = slice_stream(stream, start, end)
         for event in stream:
             self.process(event)
@@ -360,6 +397,165 @@ class StreamingExecutor:
                 self._feed_shared(unit, event, arrival)
             else:
                 self._feed_unit(unit, event, arrival)
+
+    def process_block(self, block: EventBlock) -> None:
+        """Ingest a whole columnar block of events.
+
+        Semantically identical to calling :meth:`process` for every row in
+        order — same results, same abstract operation counts, same emission
+        order (the block differential suites pin this) — but on the default
+        configuration (static plan, python kernel backend, shared windows)
+        no per-row :class:`Event` object is built anywhere: covering window
+        ranges come from one vectorized pass over the time column
+        (:meth:`~repro.query.windows.Window.instance_range_columns`), group
+        keys and measure contributions read the block's cached payload
+        columns, and maximal same-``(group, type)`` runs feed the engine's
+        run-level fold (:meth:`MultiWindowLinearEngine.process_block_run`)
+        directly.
+
+        Burst-buffered configurations (an adaptive optimizer, or a kernel
+        backend that wants bursts) segment and flush runs on their own
+        schedule, which block-boundary flushing cannot reproduce; for those
+        — and for the per-instance reference path — this degrades to the
+        thin per-event compat shim with lazily materialized row views.
+        """
+        if self._burst_buffering or not self.shared_windows:
+            for local in range(len(block)):
+                self.process(block.event_at(local))
+            return
+        count = len(block)
+        if count == 0:
+            return
+        times = block.times
+        base = block.start
+        stop = block.stop
+        if base == 0 and stop == len(times):
+            times_col: Sequence[float] = times
+            codes_col: Sequence[int] = block.type_codes
+            seqs_col: Sequence[int] = block.sequences
+        else:
+            times_col = times[base:stop]
+            codes_col = block.type_codes[base:stop]
+            seqs_col = block.sequences[base:stop]
+        #: ``(window size, slide) -> (lows, highs)`` — units sharing a window
+        #: shape share one covering-range pass over the time column.
+        range_cache: dict[tuple[float, float], tuple[list[int], list[int]]] = {}
+        prepared: dict[_Unit, _BlockUnitColumns] = {}
+        #: Shared-unit states in first-touch order (close boundaries and the
+        #: block end flush their pending runs in this deterministic order).
+        states: list[_BlockUnitColumns] = []
+        #: Per type code: ``(unit, state-or-None, qualifies)`` triples,
+        #: resolved lazily on the code's first row.
+        triples_by_code: list[Optional[list]] = [None] * len(block.type_table)
+        arrival = time.perf_counter()
+        clock = self._clock
+        consumed = self._consumed
+        engine_feeds = 0
+        metrics = self._report.metrics
+        next_close = self._next_close
+        for local, event_time, code, sequence in zip(
+            range(count), times_col, codes_col, seqs_col
+        ):
+            if event_time < clock:
+                raise ExecutionError(
+                    f"streaming executor requires in-order arrival: event at "
+                    f"{event_time} after stream time {clock}"
+                )
+            clock = event_time
+            consumed += 1
+            if event_time >= next_close:
+                # Pending rows precede the boundary: fold them before any
+                # window they may contribute to is read out.
+                for state in states:
+                    if state.pending:
+                        for entry in state.pending.values():
+                            self._flush_block_run(block, state.unit, entry)
+                        state.pending.clear()
+                    state.armed.clear()
+                self._clock = clock
+                self._consumed = consumed
+                self._engine_feeds += engine_feeds
+                engine_feeds = 0
+                self._close_passed_windows(event_time)
+                next_close = self._next_close
+            triples = triples_by_code[code]
+            if triples is None:
+                triples = triples_by_code[code] = self._block_code_triples(
+                    block, code, prepared, states, range_cache
+                )
+            if not triples:
+                continue
+            event: Optional[Event] = None
+            for unit, state, qualifies in triples:
+                if state is None:
+                    if event is None:
+                        event = block.event_at(local)
+                    self._feed_unit(unit, event, arrival)
+                    continue
+                group_key = state.group_keys[local]
+                group = unit.shared_groups.get(group_key)
+                if group is None:
+                    if not qualifies:
+                        continue
+                    assert unit.compiled is not None
+                    engine = MultiWindowLinearEngine(
+                        unit.compiled, self._kernel_backend
+                    )
+                    group = unit.shared_groups[group_key] = _SharedGroup(
+                        engine=engine, evicts=engine.store is not None
+                    )
+                lo = state.lows[local]
+                hi = state.highs[local]
+                if hi < lo:
+                    continue
+                metas = group.metas
+                if qualifies:
+                    cached = state.armed.get(group_key)
+                    if cached is None or hi > cached:
+                        # Indices up to ``cached`` were armed earlier in this
+                        # sweep segment and cannot have closed since.
+                        first = lo if cached is None else max(lo, cached + 1)
+                        opened = False
+                        window = unit.spec.window
+                        for index in range(first, hi + 1):
+                            if index not in metas:
+                                end = window.instance_bounds(index)[1]
+                                metas[index] = _WindowMeta(
+                                    index, end, group.fed, group.share_seconds
+                                )
+                                opened = True
+                                self._shared_active += 1
+                                if end < unit.next_close:
+                                    unit.next_close = end
+                                    if end < self._next_close:
+                                        self._next_close = end
+                                        next_close = end
+                        state.armed[group_key] = hi
+                        if opened:
+                            metrics.note_active_windows(self.active_window_count())
+                if not metas:
+                    continue
+                entry = state.pending.get(group_key)
+                if entry is not None and entry[1] != code:
+                    del state.pending[group_key]
+                    self._flush_block_run(block, unit, entry)
+                    entry = None
+                if entry is None:
+                    entry = state.pending[group_key] = [group, code, []]
+                    # One stamp covers the whole block: every feed of this
+                    # group during the block happens at the same arrival.
+                    group.last_arrival = arrival
+                entry[2].append((local, event_time, sequence, lo, hi))
+                group.fed += 1
+                engine_feeds += 1
+        for state in states:
+            if state.pending:
+                for entry in state.pending.values():
+                    self._flush_block_run(block, state.unit, entry)
+                state.pending.clear()
+        self._clock = clock
+        self._consumed = consumed
+        self._engine_feeds += engine_feeds
 
     def finish(self) -> ExecutionReport:
         """Close every remaining window and return the report."""
@@ -713,6 +909,106 @@ class StreamingExecutor:
         duration = time.perf_counter() - started
         group.share_seconds += duration / max(1, len(group.metas))
 
+    def _block_code_triples(
+        self,
+        block: EventBlock,
+        code: int,
+        prepared: dict[_Unit, _BlockUnitColumns],
+        states: list[_BlockUnitColumns],
+        range_cache: dict[tuple[float, float], tuple[list[int], list[int]]],
+    ) -> list[tuple[_Unit, Optional[_BlockUnitColumns], bool]]:
+        """Resolve one type code's ``(unit, state, qualifies)`` triples.
+
+        Built lazily on the code's first row; shared-unit states are built
+        once per unit (covering ranges shared between units with the same
+        window shape) and ``None`` marks a per-instance fallback unit.
+        """
+        units = self._units_by_type.get(block.type_table[code])
+        triples: list[tuple[_Unit, Optional[_BlockUnitColumns], bool]] = []
+        for unit in units or ():
+            if not unit.shared:
+                triples.append((unit, None, True))
+                continue
+            state = prepared.get(unit)
+            if state is None:
+                window = unit.spec.window
+                cache_key = (window.size, window.slide)
+                ranges = range_cache.get(cache_key)
+                if ranges is None:
+                    ranges = range_cache[cache_key] = window.instance_range_columns(
+                        block.times, block.start, block.stop
+                    )
+                if self.lazy_open:
+                    qualifies_by_code = [
+                        event_type in unit.opening_types
+                        for event_type in block.type_table
+                    ]
+                else:
+                    qualifies_by_code = [True] * len(block.type_table)
+                state = prepared[unit] = _BlockUnitColumns(
+                    unit=unit,
+                    group_keys=block.group_keys(unit.spec.group_by),
+                    lows=ranges[0],
+                    highs=ranges[1],
+                    qualifies=qualifies_by_code,
+                )
+                states.append(state)
+            triples.append((unit, state, bool(state.qualifies[code])))
+        return triples
+
+    def _flush_block_run(self, block: EventBlock, unit: _Unit, entry: list) -> None:
+        """Feed one buffered ``(group, type)`` run to its shared engine.
+
+        The engine folds the run from columns when it can
+        (:meth:`MultiWindowLinearEngine.process_block_run`); runs that need
+        per-event structure (store writes, local predicates, the scan slow
+        path) are replayed through the per-event reference entry point with
+        lazily materialized row views — exact per-event semantics.
+        """
+        group, code, run = entry
+        positions, run_times, run_sequences, lows, highs = zip(*run)
+        engine = group.engine
+        compiled = unit.compiled
+        event_type = block.type_table[code]
+        rows = None
+        if compiled is not None and not compiled.scalar:
+            rows = self._block_contribution_rows(block, compiled, event_type, positions)
+        started = time.perf_counter()
+        folded = engine.process_block_run(
+            event_type, run_times, run_sequences, lows, highs, rows
+        )
+        if not folded:
+            for offset, local in enumerate(positions):
+                engine.process(block.event_at(local), lows[offset], highs[offset])
+        duration = time.perf_counter() - started
+        group.share_seconds += duration / max(1, len(group.metas))
+
+    def _block_contribution_rows(
+        self,
+        block: EventBlock,
+        compiled: UnitCompilation,
+        event_type: EventType,
+        positions: Sequence[int],
+    ) -> list[tuple[float, ...]]:
+        """``unit.contributions(event)`` for a same-type run, from columns.
+
+        Per measure: a foreign event type contributes 0.0, ``COUNT``-style
+        measures (no attribute) contribute 1.0, and attribute measures read
+        the block's cached payload column — the same values
+        :meth:`Measure.contribution` computes per event.
+        """
+        count = len(positions)
+        columns: list[list[float]] = []
+        for measure in compiled.measures:
+            if measure.event_type != event_type:
+                columns.append([0.0] * count)
+            elif measure.attribute is None:
+                columns.append([1.0] * count)
+            else:
+                source = block.payload_column(measure.attribute)
+                columns.append([float(source[local]) for local in positions])
+        return list(zip(*columns))
+
     def _close_shared_window(
         self, unit: _Unit, group_key: tuple, group: _SharedGroup, meta: _WindowMeta
     ) -> None:
@@ -981,7 +1277,7 @@ class StreamingExecutor:
 
 def run_streaming(
     workload: Workload | Sequence[Query],
-    stream: EventStream | Iterable[Event],
+    stream: EventStream | EventBlock | Iterable[Event],
     engine_factory: EngineFactory = HamletEngine,
     *,
     on_window: Optional[Callable[[WindowResult], None]] = None,

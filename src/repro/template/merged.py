@@ -72,8 +72,8 @@ class MergedTemplate:
         """Queries whose pattern references ``event_type`` (positively or negatively)."""
         return frozenset(self._queries_per_type.get(event_type, ()))
 
-    def predecessor_types(self, event_type: EventType, query: Query) -> frozenset[EventType]:
-        """``pt(E, q)`` within this merged template."""
+    def predecessor_types(self, event_type: EventType, query: Query) -> tuple[EventType, ...]:
+        """``pt(E, q)`` within this merged template (sorted, see QueryTemplate)."""
         return self.template(query).predecessor_types(event_type)
 
     def queries_sharing_kleene(self, event_type: EventType) -> frozenset[Query]:

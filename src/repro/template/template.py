@@ -79,10 +79,17 @@ class QueryTemplate:
         self._kleene_types = frozenset(kleene_types)
         self._negations = tuple(negations)
         self._negated_types = frozenset(negated_types)
-        self._predecessors: dict[EventType, frozenset[EventType]] = {}
+        # Sorted tuples, not frozensets: the engines iterate these sets
+        # when summing predecessor aggregates, and frozenset order follows
+        # hash randomization — float sums would differ in their last ulps
+        # from process to process.  A sorted order keeps every fold's
+        # summation order (and hence bit pattern) machine-stable.
+        self._predecessors: dict[EventType, tuple[EventType, ...]] = {}
         for event_type in self._event_types:
-            self._predecessors[event_type] = frozenset(
-                source for source, target in self._edges if target == event_type
+            self._predecessors[event_type] = tuple(
+                sorted(
+                    source for source, target in self._edges if target == event_type
+                )
             )
 
     # ------------------------------------------------------------------ #
@@ -123,9 +130,13 @@ class QueryTemplate:
         """Event types that appear only under NOT (never matched positively)."""
         return self._negated_types
 
-    def predecessor_types(self, event_type: EventType) -> frozenset[EventType]:
-        """``pt(E, q)`` — types whose events may immediately precede ``E`` events."""
-        return self._predecessors.get(event_type, frozenset())
+    def predecessor_types(self, event_type: EventType) -> tuple[EventType, ...]:
+        """``pt(E, q)`` — types whose events may immediately precede ``E`` events.
+
+        Sorted, so iterating (and summing over) the predecessors is
+        deterministic across processes regardless of hash randomization.
+        """
+        return self._predecessors.get(event_type, ())
 
     def successor_types(self, event_type: EventType) -> frozenset[EventType]:
         """Types whose events may immediately follow ``E`` events."""

@@ -1,0 +1,126 @@
+"""AutoKernelBackend: per-burst selection, gated bit-identical.
+
+The auto backend is a dispatcher, not a third numeric core: every run folds
+through either the reference loop or the vectorized closed form, chosen by
+run length.  On integer-valued workloads both delegates are bit-identical,
+so *any* threshold must reproduce the fixed backends exactly — that is the
+gate these tests pin, alongside the dispatch mechanics (threshold, env pin,
+graceful degradation without NumPy).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import HamletEngine
+from repro.core.kernels import (
+    AUTO_KERNEL_THRESHOLD_ENV,
+    KERNEL_BACKENDS,
+    AutoKernelBackend,
+    PythonKernelBackend,
+    resolve_kernel_backend,
+)
+from repro.events import Event
+from repro.query import Query, Window, kleene, seq, sum_of
+from repro.runtime import StreamingExecutor
+
+
+def make_stream(seed: int, size: int) -> list[Event]:
+    rng = random.Random(seed)
+    events = []
+    for index in range(size):
+        type_name = rng.choices(("A", "B", "C"), weights=(1.0, 4.0, 1.0))[0]
+        events.append(Event(type_name, float(index), {"v": float(rng.randint(0, 5))}))
+    return events
+
+
+def workload() -> list[Query]:
+    window = Window(32.0, 8.0)
+    return [
+        Query.build(seq("A", kleene("B")), window=window, name="ak_q1"),
+        Query.build(
+            seq("A", kleene("B")),
+            aggregate=sum_of("B", "v"),
+            window=window,
+            name="ak_q2",
+        ),
+    ]
+
+
+def report_fingerprint(report):
+    return (
+        report.totals,
+        [
+            (p.group_key, p.window_index, dict(p.results), p.events)
+            for p in report.partition_results
+        ],
+    )
+
+
+def run_with(backend) -> tuple:
+    executor = StreamingExecutor(workload(), HamletEngine, kernel_backend=backend)
+    return report_fingerprint(executor.run(make_stream(41, 500)))
+
+
+class TestResolution:
+    def test_registered_and_resolvable(self):
+        assert "auto" in KERNEL_BACKENDS
+        backend = resolve_kernel_backend("auto")
+        assert isinstance(backend, AutoKernelBackend)
+        assert backend.wants_bursts
+        assert backend.threshold >= 1
+
+    def test_threshold_env_pin_skips_calibration(self, monkeypatch):
+        monkeypatch.setenv(AUTO_KERNEL_THRESHOLD_ENV, "17")
+        assert AutoKernelBackend().threshold == 17
+
+    def test_explicit_threshold_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(AUTO_KERNEL_THRESHOLD_ENV, "17")
+        assert AutoKernelBackend(threshold=3).threshold == 3
+
+    def test_degrades_without_numpy(self):
+        backend = AutoKernelBackend(threshold=1)
+        backend._vector = None
+        # Every run length selects the reference backend.
+        assert isinstance(backend._select(10**6), PythonKernelBackend)
+
+
+class TestDispatch:
+    def test_run_length_selects_backend(self):
+        pytest.importorskip("numpy")
+        backend = AutoKernelBackend(threshold=8)
+        assert isinstance(backend._select(7), PythonKernelBackend)
+        assert backend._select(8) is backend._vector
+        assert backend._select(9) is backend._vector
+
+    @pytest.mark.parametrize("count", (3, 8, 20))
+    def test_scalar_fold_matches_reference(self, count):
+        pytest.importorskip("numpy")
+        indices = (0, 1, 2, 3)
+        auto = AutoKernelBackend(threshold=8)
+        reference = PythonKernelBackend()
+        got: dict[int, float] = {0: 2.0, 1: 0.0}
+        want: dict[int, float] = {0: 2.0, 1: 0.0}
+        created_got = auto.fold_scalar_run(got, indices, (got,), 1.0, count)
+        created_want = reference.fold_scalar_run(want, indices, (want,), 1.0, count)
+        assert got == want  # integer-valued: bit-identical on either side
+        assert created_got == created_want
+
+
+class TestBitIdenticalGate:
+    """Integer workload: auto must equal both fixed backends exactly."""
+
+    def test_matches_python_backend(self):
+        assert run_with("auto") == run_with("python")
+
+    def test_matches_numpy_backend(self):
+        pytest.importorskip("numpy")
+        assert run_with("auto") == run_with("numpy")
+
+    @pytest.mark.parametrize("threshold", (1, 4, 10**9))
+    def test_threshold_never_changes_results(self, threshold):
+        # threshold=1 folds every run vectorized, 10**9 none: results are a
+        # value contract, the threshold is only a speed knob.
+        assert run_with(AutoKernelBackend(threshold=threshold)) == run_with("python")

@@ -1,0 +1,269 @@
+"""EventBlock: the columnar in-memory batch format of the hot path.
+
+Pins the design points from the block's contract: empty/single-row blocks,
+mixed payload dtypes falling back to object columns, zero-copy slice
+aliasing, selection, both wire codecs interoperating with ``EventBatch``,
+and a hypothesis round-trip suite proving events -> block -> events
+preserves exact types and the ``(time, sequence)`` order.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError, SchemaError
+from repro.events import Event, EventBatch, EventBlock, EventBlockBuilder, EventStream
+from repro.events import columnar
+
+
+def make(payloads, type_name="T"):
+    return [
+        Event(type_name, float(index), payload)
+        for index, payload in enumerate(payloads)
+    ]
+
+
+def identical(decoded, originals):
+    """Full equality: fields, payload content, and exact payload types."""
+    assert decoded == originals  # (type, time, sequence)
+    assert [e.payload for e in decoded] == [e.payload for e in originals]
+    for left, right in zip(decoded, originals):
+        assert [type(v) for v in left.payload.values()] == [
+            type(v) for v in right.payload.values()
+        ]
+
+
+class TestEdgeCases:
+    def test_empty_block(self):
+        block = EventBlock.empty()
+        assert len(block) == 0 and not block
+        assert block.to_events() == []
+        assert list(block) == []
+        assert EventBlock.from_events([]).to_events() == []
+        assert EventBlock.from_bytes(block.to_bytes()).to_events() == []
+        assert block.group_keys(("district",)) == []
+        assert block.payload_column("x") == []
+
+    def test_single_event(self):
+        events = make([{"v": 1.5, "n": 3}])
+        block = EventBlock.from_events(events)
+        assert len(block) == 1 and bool(block)
+        identical(block.to_events(), events)
+        assert block[0] == events[0]
+        assert block[-1] == events[0]
+        assert block.time_at(0) == 0.0
+        assert block.type_at(0) == "T"
+        assert block.sequence_at(0) == events[0].sequence
+        assert block.payload_at(0) == {"v": 1.5, "n": 3}
+
+    def test_index_out_of_range(self):
+        block = EventBlock.from_events(make([{}, {}]))
+        with pytest.raises(IndexError):
+            block.event_at(2)
+        with pytest.raises(IndexError):
+            block.event_at(-3)
+        with pytest.raises(IndexError):
+            block.select([5])
+
+    def test_mixed_dtypes_fall_back_to_object_columns(self):
+        values = [4, 4.0, True, "4", None, (1, 2.5), 2**70, -(2**70)]
+        events = make([{"x": value} for value in values])
+        block = EventBlock.from_events(events)
+        identical(block.to_events(), events)
+        # ... and through the wire codec, which re-runs dtype selection.
+        identical(EventBlock.from_bytes(block.to_bytes()).to_events(), events)
+        assert block.payload_column("x") == values
+
+    def test_heterogeneous_shapes_and_key_order(self):
+        events = make([{"a": 1.0, "b": 2.0}]) + make([{"b": 3.0, "a": 4.0}]) + make([{}])
+        block = EventBlock.from_events(events)
+        assert tuple(block.to_events()[0].payload) == ("a", "b")
+        assert tuple(block.to_events()[1].payload) == ("b", "a")
+        assert block.to_events()[2].payload == {}
+        assert block.payload_column("a") == [1.0, 4.0, None]
+        assert block.payload_column("a", default=0.0) == [1.0, 4.0, 0.0]
+
+    def test_group_keys_match_event_get(self):
+        events = make(
+            [{"d": 1, "s": 2.0}, {"d": 2}, {"s": 9.0}, {"d": 1, "s": 4.0}]
+        )
+        block = EventBlock.from_events(events)
+        for attrs in ((), ("d",), ("d", "s"), ("missing",)):
+            expected = [tuple(e.get(a) for a in attrs) for e in events]
+            assert block.group_keys(attrs) == expected
+        # cached: repeated calls return the same list object
+        assert block.group_keys(("d",)) is block.group_keys(("d",))
+
+    def test_builder_rejects_negative_time(self):
+        builder = EventBlockBuilder()
+        with pytest.raises(SchemaError):
+            builder.append_row("T", -1.0, {})
+
+    def test_builder_draws_fresh_sequences(self):
+        builder = EventBlockBuilder()
+        builder.append_row("T", 0.0, {"v": 1})
+        builder.append_row("T", 1.0, {"v": 2})
+        block = builder.finish()
+        first, second = block.to_events()
+        assert second.sequence > first.sequence
+        assert first < second
+
+    def test_unknown_codec_is_a_clean_error(self):
+        with pytest.raises(ExecutionError, match="codec"):
+            EventBlock.empty().to_bytes("json")
+
+
+class TestSlicing:
+    def test_slice_aliases_parent_columns(self):
+        events = make([{"v": float(i)} for i in range(10)])
+        block = EventBlock.from_events(events)
+        child = block.slice(2, 8)
+        assert len(child) == 6
+        # zero-copy: every column is the parent's own container
+        assert child.times is block.times
+        assert child.sequences is block.sequences
+        assert child.type_codes is block.type_codes
+        assert child.shape_columns is block.shape_columns
+        assert child.row_slots is block.row_slots
+        assert (child.start, child.stop) == (2, 8)
+        identical(child.to_events(), events[2:8])
+
+    def test_nested_slices_compose(self):
+        events = make([{"v": i} for i in range(20)])
+        block = EventBlock.from_events(events)
+        child = block[4:16]
+        grand = child[3:9]
+        assert grand.times is block.times
+        identical(grand.to_events(), events[7:13])
+        assert grand.payload_column("v") == [e.payload["v"] for e in events[7:13]]
+        assert grand.group_keys(("v",)) == [(e.payload["v"],) for e in events[7:13]]
+
+    def test_slice_bounds_clamp(self):
+        block = EventBlock.from_events(make([{}, {}, {}]))
+        assert len(block.slice(-5, 99)) == 3
+        assert len(block.slice(2, 1)) == 0
+        assert block[1:].to_events() == block.to_events()[1:]
+
+    def test_stepped_slice_gathers(self):
+        events = make([{"v": i} for i in range(10)])
+        block = EventBlock.from_events(events)
+        stepped = block[1:9:3]
+        assert stepped.times is not block.times
+        identical(stepped.to_events(), events[1:9:3])
+
+    def test_select_gathers_in_given_order(self):
+        events = make([{"v": i, "w": float(i)} for i in range(6)])
+        block = EventBlock.from_events(events)
+        picked = block.select([4, 0, 2])
+        identical(picked.to_events(), [events[4], events[0], events[2]])
+        # selection from a slice uses block-relative indices
+        child = block.slice(2, 6)
+        identical(child.select([1, 3]).to_events(), [events[3], events[5]])
+
+    def test_slice_serializes_only_its_rows(self):
+        events = make([{"v": float(i)} for i in range(8)])
+        block = EventBlock.from_events(events)
+        child = block.slice(3, 6)
+        for codec in ("columnar", "pickle"):
+            identical(
+                EventBlock.from_bytes(child.to_bytes(codec)).to_events(),
+                events[3:6],
+            )
+
+
+class TestWireInterop:
+    def test_from_bytes_accepts_both_codecs(self):
+        events = make([{"v": 1.5}, {"v": 2.5}], type_name="A") + make(
+            [{"n": 3}], type_name="B"
+        )
+        for codec in ("pickle", "columnar"):
+            data = EventBatch.from_events(events).to_bytes(codec=codec)
+            identical(EventBlock.from_bytes(data).to_events(), events)
+
+    def test_batch_reads_block_bytes(self):
+        events = make([{"v": 1.5}, {"n": 2}])
+        block = EventBlock.from_events(events)
+        for codec in ("pickle", "columnar"):
+            identical(EventBatch.from_bytes(block.to_bytes(codec)).events(), events)
+
+    def test_from_bytes_rejects_garbage(self):
+        with pytest.raises(ExecutionError, match="magic"):
+            EventBlock.from_bytes(b"XXXX" + bytes(32))
+        with pytest.raises(ExecutionError):
+            EventBlock.from_bytes(b"")
+
+    def test_memoryview_input(self):
+        events = make([{"v": 1.0}])
+        data = memoryview(EventBlock.from_events(events).to_bytes())
+        identical(EventBlock.from_bytes(data).to_events(), events)
+
+    def test_stream_to_block(self):
+        events = make([{"v": i} for i in range(5)])
+        stream = EventStream(events, name="s")
+        identical(stream.to_block().to_events(), events)
+
+
+_scalar_values = st.one_of(
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=False, allow_infinity=True, width=64),
+    st.booleans(),
+    st.text(max_size=12),
+    st.none(),
+)
+_payload_values = st.one_of(
+    _scalar_values,
+    st.tuples(_scalar_values, _scalar_values),
+    st.lists(st.integers(min_value=-1000, max_value=1000), max_size=3).map(tuple),
+)
+_payloads = st.dictionaries(st.text(max_size=16), _payload_values, max_size=5)
+
+
+@st.composite
+def _fuzz_events(draw):
+    count = draw(st.integers(min_value=0, max_value=40))
+    events = []
+    clock = 0.0
+    for _ in range(count):
+        clock += draw(st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+        events.append(
+            Event(
+                draw(st.text(min_size=1, max_size=8)),
+                clock,
+                draw(_payloads),
+            )
+        )
+    return events
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(events=_fuzz_events())
+    def test_block_round_trip_preserves_types_and_order(self, events):
+        block = EventBlock.from_events(events)
+        identical(block.to_events(), events)
+        # (time, sequence) order is preserved exactly
+        decoded = block.to_events()
+        assert [(e.time, e.sequence) for e in decoded] == [
+            (e.time, e.sequence) for e in events
+        ]
+        assert sorted(decoded) == decoded
+
+    @settings(max_examples=60, deadline=None)
+    @given(events=_fuzz_events())
+    def test_wire_round_trip_through_both_codecs(self, events):
+        block = EventBlock.from_events(events)
+        for codec in ("columnar", "pickle"):
+            identical(EventBlock.from_bytes(block.to_bytes(codec)).to_events(), events)
+        # columnar wire from the canonical encoder parses into a block too
+        data = columnar.encode_events(events, columnar.CODEC_COLUMNAR)
+        identical(EventBlock.from_bytes(data).to_events(), events)
+
+    @settings(max_examples=30, deadline=None)
+    @given(events=_fuzz_events(), cut=st.integers(min_value=0, max_value=40))
+    def test_slices_agree_with_event_lists(self, events, cut):
+        block = EventBlock.from_events(events)
+        lo = min(cut, len(events))
+        identical(block.slice(0, lo).to_events(), events[:lo])
+        identical(block.slice(lo, len(events)).to_events(), events[lo:])

@@ -1,0 +1,95 @@
+"""``Window.instance_range_columns`` vs the scalar covering arithmetic.
+
+The vectorized covering-range pass is the block-ingest hot path; its
+monotone-skip optimization must be *invisible*: for any non-decreasing time
+column, every ``(lows[i], highs[i])`` pair must equal the scalar
+``instance_indices_covering`` range — including at exact-multiple
+boundaries, a few ulps around them, and for fractional slides where the
+float quotient accumulates error.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import WindowError
+from repro.query import Window
+
+WINDOWS = [
+    Window(32.0),
+    Window(32.0, 8.0),
+    Window(16.0, 3.2),
+    Window(0.3, 0.1),
+    Window(10.0, 2.0),
+    Window(1.0, 1.0),
+    Window(7.0, 3.0),
+]
+
+
+def reference_ranges(window: Window, times):
+    lows, highs = [], []
+    for timestamp in times:
+        covering = window.instance_indices_covering(timestamp)
+        lows.append(covering.start)
+        highs.append(covering.stop - 1)
+    return lows, highs
+
+
+@pytest.mark.parametrize("window", WINDOWS, ids=[w.describe() for w in WINDOWS])
+@pytest.mark.parametrize("seed", range(5))
+def test_matches_scalar_on_random_sorted_times(window, seed):
+    rng = random.Random(seed)
+    times = sorted(
+        rng.uniform(0.0, 50.0 * window.slide) for _ in range(300)
+    )
+    assert window.instance_range_columns(times) == reference_ranges(window, times)
+
+
+@pytest.mark.parametrize("window", WINDOWS, ids=[w.describe() for w in WINDOWS])
+def test_matches_scalar_at_boundaries(window):
+    # Exact multiples of the slide, and a few ulps around them: the scalar
+    # path snaps quotients within 1e-12 of the next integer; the column pass
+    # must snap the same values.
+    times = []
+    for k in range(0, 40):
+        boundary = k * window.slide
+        for value in (
+            boundary,
+            math.nextafter(boundary, math.inf),
+            math.nextafter(boundary, -math.inf),
+            boundary + window.slide / 2,
+        ):
+            if value >= 0:
+                times.append(value)
+    times.sort()
+    assert window.instance_range_columns(times) == reference_ranges(window, times)
+
+
+def test_matches_scalar_on_repeated_and_dense_times():
+    window = Window(10.0, 2.0)
+    times = [0.0, 0.0, 0.0, 1.999999999999, 2.0, 2.0, 2.0000000000001, 7.5, 7.5, 30.0]
+    assert window.instance_range_columns(times) == reference_ranges(window, times)
+
+
+def test_subrange_slicing():
+    window = Window(10.0, 2.0)
+    times = [float(i) for i in range(50)]
+    lows, highs = window.instance_range_columns(times, 10, 20)
+    ref_lows, ref_highs = reference_ranges(window, times[10:20])
+    assert (lows, highs) == (ref_lows, ref_highs)
+
+
+def test_large_time_jumps():
+    # Jumps far beyond the previous covering range must recompute, not skip.
+    window = Window(10.0, 2.0)
+    times = [0.0, 1.0, 1000.0, 1000.5, 1e6, 1e6 + 3.0]
+    assert window.instance_range_columns(times) == reference_ranges(window, times)
+
+
+def test_negative_timestamp_raises():
+    window = Window(10.0, 2.0)
+    with pytest.raises(WindowError):
+        window.instance_range_columns([-1.0])

@@ -103,6 +103,21 @@ class TestPartitioner:
         second = sorted(list(reversed(mixed)), key=group_sort_key)
         assert first == second  # order-independent, hence total
 
+    def test_group_sort_key_mixed_numbers_compare_exactly(self):
+        # The finite-number bucket compares raw values: CPython's mixed
+        # int/float comparison is exact, so ints one past the 2**53 float
+        # precision limit order strictly — a lossy float() conversion would
+        # collapse them onto their neighbors.
+        near = [(2**53 + 1,), (float(2**53),), (2**53 - 1,), (2**53,)]
+        assert sorted(near, key=group_sort_key) == [
+            (2**53 - 1,),
+            (2**53,),
+            (float(2**53),),
+            (2**53 + 1,),
+        ]
+        # Equal int/float values tie-break on repr, deterministically.
+        assert sorted([(0.5,), (1,), (0,)], key=group_sort_key) == [(0,), (0.5,), (1,)]
+
     def test_fractional_slide_keys_are_exact_integers(self):
         # 3 * 0.1 == 0.30000000000000004: float starts misassigned boundary
         # events and made keys unequal across units; integer indices cannot.

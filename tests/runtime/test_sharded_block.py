@@ -1,0 +1,201 @@
+"""Sharded block ingest vs per-event sharded and single-process runs.
+
+The routing invariant extends to columns: :meth:`ShardRouter.route_block`
+must select exactly the rows :meth:`ShardRouter.route` would ship, and a
+sharded run fed one :class:`EventBlock` must merge to the same report as
+the per-event sharded run and the single-process streaming run — across
+shard counts, workers=0 / pool mode, both transports and kernel backends.
+Pool-mode workers rebuild blocks from the shipped columnar bytes and
+ingest them without constructing events; these tests pin that the whole
+chain stays bit-identical.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core import HamletEngine
+from repro.events import Event
+from repro.events.block import EventBlock
+from repro.query import Query, Window, kleene, seq, sum_of
+from repro.runtime import StreamingExecutor, run_sharded
+from repro.runtime.sharding import ShardRouter
+
+WINDOW = Window(32.0, 8.0)
+
+
+def make_stream(seed: int, size: int) -> list[Event]:
+    rng = random.Random(seed)
+    events = []
+    for index in range(size):
+        type_name = rng.choices(("A", "B", "C"), weights=(1.0, 3.0, 1.0))[0]
+        events.append(
+            Event(
+                type_name,
+                float(index),
+                {"v": float(rng.randint(0, 6)), "g": float(rng.randint(1, 4))},
+            )
+        )
+    return events
+
+
+def grouped_workload() -> list[Query]:
+    return [
+        Query.build(
+            seq("A", kleene("B")), group_by=("g",), window=WINDOW, name="sb_q1"
+        ),
+        Query.build(
+            seq("A", kleene("B")),
+            aggregate=sum_of("B", "v"),
+            group_by=("g",),
+            window=WINDOW,
+            name="sb_q2",
+        ),
+        Query.build(
+            seq("C", kleene("B")), group_by=("g",), window=WINDOW, name="sb_q3"
+        ),
+    ]
+
+
+def ungrouped_workload() -> list[Query]:
+    return [
+        Query.build(seq("A", kleene("B")), window=WINDOW, name="sb_u1"),
+        Query.build(seq("C", kleene("B")), window=WINDOW, name="sb_u2"),
+    ]
+
+
+def fingerprint(report):
+    """Exact ordered fingerprint — for comparing sharded runs to each other."""
+    return (
+        report.totals,
+        [
+            (p.group_key, p.window_index, dict(p.results), p.events)
+            for p in report.partition_results
+        ],
+    )
+
+
+def multiset(report):
+    """Order-free fingerprint — single-process reports interleave units
+    differently from the merged shard order (same convention as the
+    sharding suite)."""
+    return (
+        report.totals,
+        Counter(
+            (p.group_key, p.window_index, tuple(sorted(p.results.items())), p.events)
+            for p in report.partition_results
+        ),
+    )
+
+
+@pytest.mark.parametrize("shards", (1, 2, 4))
+@pytest.mark.parametrize("routing", ("group", "unit"))
+def test_route_block_matches_per_event_route(shards, routing):
+    queries = grouped_workload() if routing == "group" else ungrouped_workload()
+    router = ShardRouter(queries, shards, routing=routing)
+    events = make_stream(3, 300)
+    block = EventBlock.from_events(events)
+    expected: list[list[int]] = [[] for _ in range(router.shards)]
+    for local, event in enumerate(events):
+        for shard in router.route(event):
+            expected[shard].append(local)
+    assert [list(sel) for sel in router.route_block(block)] == expected
+
+
+@pytest.mark.parametrize("shards", (1, 2, 4))
+def test_sharded_block_matches_single_process(shards):
+    queries = grouped_workload()
+    events = make_stream(7, 400)
+    block = EventBlock.from_events(events)
+    reference = StreamingExecutor(queries, HamletEngine).run(events)
+    sharded = run_sharded(queries, block, HamletEngine, workers=0, shards=shards)
+    assert multiset(sharded) == multiset(reference)
+
+
+@pytest.mark.parametrize("shards", (1, 2))
+def test_sharded_block_matches_sharded_events(shards):
+    queries = grouped_workload()
+    events = make_stream(11, 400)
+    block = EventBlock.from_events(events)
+    per_event = run_sharded(queries, events, HamletEngine, workers=0, shards=shards)
+    per_block = run_sharded(queries, block, HamletEngine, workers=0, shards=shards)
+    assert fingerprint(per_block) == fingerprint(per_event)
+
+
+@pytest.mark.parametrize("transport", ("pickle", "shm"))
+def test_sharded_block_pool_workers(transport):
+    queries = grouped_workload()
+    events = make_stream(13, 400)
+    block = EventBlock.from_events(events)
+    reference = StreamingExecutor(queries, HamletEngine).run(events)
+    sharded = run_sharded(
+        queries,
+        block,
+        HamletEngine,
+        workers=2,
+        shards=2,
+        transport=transport,
+        batch_size=64,
+    )
+    assert multiset(sharded) == multiset(reference)
+
+
+@pytest.mark.parametrize("backend", ("python", "numpy", "auto"))
+def test_sharded_block_kernel_backends(backend):
+    if backend == "numpy":
+        pytest.importorskip("numpy")
+    queries = grouped_workload()
+    events = make_stream(17, 400)
+    block = EventBlock.from_events(events)
+    per_event = run_sharded(
+        queries, events, HamletEngine, workers=0, shards=2, kernel_backend=backend
+    )
+    per_block = run_sharded(
+        queries, block, HamletEngine, workers=0, shards=2, kernel_backend=backend
+    )
+    assert fingerprint(per_block) == fingerprint(per_event)
+
+
+def test_sharded_block_unit_routing():
+    queries = ungrouped_workload()
+    events = make_stream(19, 300)
+    block = EventBlock.from_events(events)
+    reference = StreamingExecutor(queries, HamletEngine).run(events)
+    sharded = run_sharded(
+        queries, block, HamletEngine, workers=0, shards=2, routing="unit"
+    )
+    assert multiset(sharded) == multiset(reference)
+
+
+def test_sharded_block_interleaved_with_events():
+    # Blocks and loose events may interleave on one driver; per-shard
+    # arrival order is preserved across the mixed feeds.
+    from repro.runtime.sharding import ShardedStreamingExecutor
+
+    queries = grouped_workload()
+    events = make_stream(23, 300)
+    block = EventBlock.from_events(events)
+    reference = StreamingExecutor(queries, HamletEngine).run(events)
+    driver = ShardedStreamingExecutor(queries, HamletEngine, workers=0, shards=2)
+    for event in events[:100]:
+        driver.process(event)
+    driver.process_block(block.slice(100, 220))
+    for event in events[220:]:
+        driver.process(event)
+    assert multiset(driver.finish()) == multiset(reference)
+
+
+def test_sharded_block_out_of_order_block_rejected():
+    from repro.errors import ExecutionError
+    from repro.runtime.sharding import ShardedStreamingExecutor
+
+    queries = grouped_workload()
+    events = make_stream(29, 100)
+    block = EventBlock.from_events(events)
+    driver = ShardedStreamingExecutor(queries, HamletEngine, workers=0, shards=2)
+    driver.process(Event("A", 500.0, {"v": 1.0, "g": 1.0}))
+    with pytest.raises(ExecutionError):
+        driver.process_block(block)

@@ -42,8 +42,8 @@ class TestMergedTemplate:
         assert merged.transition_label("C", "B") == {q2}
         assert merged.queries_sharing_kleene("B") == {q1, q2}
         assert merged.shared_kleene_types() == {"B"}
-        assert merged.predecessor_types("B", q1) == {"A", "B"}
-        assert merged.predecessor_types("B", q2) == {"C", "B"}
+        assert merged.predecessor_types("B", q1) == ("A", "B")
+        assert merged.predecessor_types("B", q2) == ("B", "C")
 
     def test_template_lookup_unknown_query(self):
         q1 = _q(seq("A", kleene("B")), "m_q3")

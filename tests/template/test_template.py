@@ -26,23 +26,23 @@ class TestSimplePatterns:
     def test_figure3a_seq_a_bplus(self):
         """Figure 3(a): SEQ(A, B+) — pt(B) = {A, B}, start A, end B."""
         template = compile_pattern(seq("A", kleene("B")))
-        assert template.predecessor_types("B") == {"A", "B"}
-        assert template.predecessor_types("A") == frozenset()
+        assert template.predecessor_types("B") == ("A", "B")
+        assert template.predecessor_types("A") == ()
         assert template.start_types == {"A"}
         assert template.end_types == {"B"}
 
     def test_three_step_sequence(self):
         template = compile_pattern(seq("A", kleene("B"), "C"))
-        assert template.predecessor_types("B") == {"A", "B"}
-        assert template.predecessor_types("C") == {"B"}
+        assert template.predecessor_types("B") == ("A", "B")
+        assert template.predecessor_types("C") == ("B",)
         assert template.start_types == {"A"}
         assert template.end_types == {"C"}
         assert template.successor_types("B") == {"B", "C"}
 
     def test_two_kleene_parts(self):
         template = compile_pattern(seq(kleene("A"), kleene("B")))
-        assert template.predecessor_types("A") == {"A"}
-        assert template.predecessor_types("B") == {"A", "B"}
+        assert template.predecessor_types("A") == ("A",)
+        assert template.predecessor_types("B") == ("A", "B")
         assert template.start_types == {"A"}
         assert template.end_types == {"B"}
 
@@ -51,8 +51,8 @@ class TestNestedKleene:
     def test_figure8_nested_kleene(self):
         """Figure 8 / Example 10: (SEQ(A, B+))+ adds the loop-back B -> A."""
         template = compile_pattern(kleene(seq("A", kleene("B"))))
-        assert template.predecessor_types("B") == {"A", "B"}
-        assert template.predecessor_types("A") == {"B"}
+        assert template.predecessor_types("B") == ("A", "B")
+        assert template.predecessor_types("A") == ("B",)
         assert template.start_types == {"A"}
         assert template.end_types == {"B"}
         assert template.kleene_types == {"A", "B"}

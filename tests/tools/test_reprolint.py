@@ -21,6 +21,7 @@ from reprolint import ALL_RULES, lint_paths, lint_source
 from reprolint.cli import main
 from reprolint.framework import normalize_relpath, parse_suppressions
 from reprolint.rules.atomicity import AtomicCheckpointWriteRule
+from reprolint.rules.blocks import EventConstructionRule
 from reprolint.rules.determinism import NondeterminismRule, UnstableIdentityOrderingRule
 from reprolint.rules.exceptions import ExceptionDisciplineRule
 from reprolint.rules.imports import NumpyImportRule
@@ -550,6 +551,52 @@ class TestRL009:
 
 
 # --------------------------------------------------------------------- #
+# RL010 — no Event(...) construction on the block hot path
+# --------------------------------------------------------------------- #
+class TestRL010:
+    RULE = EventConstructionRule()
+
+    def test_bad_event_construction_in_streaming(self):
+        bad = """
+            def rematerialize(block):
+                return [
+                    Event(block.types[i], block.times[i], block.payload(i))
+                    for i in range(len(block))
+                ]
+            """
+        violations = run_rule(self.RULE, bad, "repro/runtime/streaming.py")
+        assert rule_ids(violations) == ["RL010"]
+        assert "event_at" in violations[0].message
+
+    def test_bad_qualified_constructor_in_worker(self):
+        bad = """
+            def decode(payload):
+                return [event.Event(t, time, attrs) for t, time, attrs in payload]
+            """
+        violations = run_rule(self.RULE, bad, "repro/runtime/sharding.py")
+        assert rule_ids(violations) == ["RL010"]
+
+    def test_good_block_views(self):
+        good = """
+            def route(block, router):
+                selections = router.route_block(block)
+                return [block.select(indices) for indices in selections]
+
+            def edge_view(block, position):
+                return block.event_at(position)
+            """
+        assert run_rule(self.RULE, good, "repro/runtime/sharding.py") == []
+
+    def test_out_of_scope_decoder_may_build_events(self):
+        allowed = """
+            def decode(view):
+                return [Event(t, time, attrs) for t, time, attrs in rows(view)]
+            """
+        assert run_rule(self.RULE, allowed, "repro/events/columnar.py") == []
+        assert run_rule(self.RULE, allowed, "repro/runtime/checkpoint.py") == []
+
+
+# --------------------------------------------------------------------- #
 # Suppressions
 # --------------------------------------------------------------------- #
 class TestSuppressions:
@@ -589,7 +636,7 @@ class TestFramework:
 
     def test_rule_catalogue_ids_unique_and_documented(self):
         ids = [rule_class.id for rule_class in ALL_RULES]
-        assert len(ids) == len(set(ids)) == 9
+        assert len(ids) == len(set(ids)) == 10
         assert ids == sorted(ids)
         for rule_class in ALL_RULES:
             assert rule_class.title, rule_class.id

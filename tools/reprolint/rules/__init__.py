@@ -5,6 +5,7 @@ rule classes stay importable individually for targeted fixtures.
 """
 
 from reprolint.rules.atomicity import AtomicCheckpointWriteRule
+from reprolint.rules.blocks import EventConstructionRule
 from reprolint.rules.determinism import NondeterminismRule, UnstableIdentityOrderingRule
 from reprolint.rules.exceptions import ExceptionDisciplineRule
 from reprolint.rules.imports import NumpyImportRule
@@ -24,11 +25,13 @@ ALL_RULES = (
     SlotsRule,  # RL007
     ExceptionDisciplineRule,  # RL008
     AtomicCheckpointWriteRule,  # RL009
+    EventConstructionRule,  # RL010
 )
 
 __all__ = [
     "ALL_RULES",
     "AtomicCheckpointWriteRule",
+    "EventConstructionRule",
     "ExceptionDisciplineRule",
     "FloatWindowIndexRule",
     "NondeterminismRule",

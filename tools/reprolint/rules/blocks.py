@@ -1,0 +1,55 @@
+"""RL010 — the runtime hot path consumes blocks, not fresh ``Event``s.
+
+PR 9 made :class:`~repro.events.block.EventBlock` the native in-memory
+format of the ingest-to-fold path: the router partitions columns, workers
+rebuild blocks from the wire bytes, and the streaming executor folds runs
+straight from the columns.  The per-event object is a *view* materialized
+lazily at API edges (``EventBlock.event_at``), never a unit of transport
+or processing.  A stray ``Event(...)`` constructor inside one of the
+block-path modules reintroduces exactly the per-event allocation the
+columnar refactor removed — silently, since the differential suites only
+check values, not allocation behaviour.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from reprolint.framework import ModuleContext, Rule, Violation, call_name, name_matches
+
+__all__ = ["EventConstructionRule"]
+
+
+class EventConstructionRule(Rule):
+    id: ClassVar[str] = "RL010"
+    title: ClassVar[str] = "no per-event Event(...) construction in block-path modules"
+    rationale: ClassVar[str] = (
+        "The runtime hot path is columnar end to end: blocks are routed, "
+        "shipped, and folded as columns, and per-event views come only from "
+        "EventBlock.event_at at API edges.  Constructing Event objects "
+        "inside the block-path modules reintroduces per-event allocation "
+        "that the differential suites cannot catch (values stay identical, "
+        "throughput regresses)."
+    )
+    #: Only the modules on the block hot path; decoding/view construction
+    #: legitimately builds events elsewhere (events/, datasets/, checkpoint
+    #: replay).
+    scope: ClassVar[tuple[str, ...]] = (
+        "repro/runtime/streaming.py",
+        "repro/runtime/sharding.py",
+        "repro/runtime/shared_windows.py",
+        "repro/runtime/transport.py",
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if name_matches(call_name(node), "Event"):
+                yield module.violation(
+                    self,
+                    node,
+                    "Event(...) on the block hot path; use EventBlock views "
+                    "(event_at/select/slice) or keep the columns",
+                )
