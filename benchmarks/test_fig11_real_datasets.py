@@ -3,6 +3,12 @@
 Paper's shape: in the high-rate setting only the two online Kleene engines
 run; HAMLET's shared execution keeps latency orders of magnitude below
 GRETA's, and the gap widens as the arrival rate and the workload size grow.
+
+Streaming scenarios: the simulators model live feeds consumed online in
+one pass.  They generate in-order arrivals; unsorted real feeds run
+through the same executors with ``allowed_lateness`` (the reorder buffer,
+PR 10) and must match these ordered runs bit-identically within the
+horizon — `tests/runtime/test_reorder.py` pins that differential.
 """
 
 from __future__ import annotations

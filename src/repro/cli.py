@@ -66,6 +66,14 @@ def _run_demo() -> None:
     print("GRETA (non-shared):", {k: round(v) for k, v in sorted(greta.totals.items())})
 
 
+def _print_late_event(event) -> None:
+    """Side-output printer for ``--late-policy side_output`` (module level:
+    reprolint RL003 keeps every process-boundary callable picklable, and the
+    sharded executor takes this callback even though it only runs driver-side
+    with ``workers=0``)."""
+    print(f"late event: {event.event_type} at {event.time:.1f}s routed to side output")
+
+
 def _hamlet_with_policy(policy: str):
     """Module-level engine factory: picklable for shard workers even under
     the ``spawn`` multiprocessing start method (a lambda would not be)."""
@@ -86,6 +94,8 @@ def _run_stream(
     burst_size: int | None,
     kernel_backend: str | None,
     transport: str,
+    allowed_lateness: float | None,
+    late_policy: str,
     checkpoint_dir: str | None,
     checkpoint_interval: int,
     max_restarts: int,
@@ -126,10 +136,22 @@ def _run_stream(
 
     def emit(result: WindowResult) -> None:
         total = sum(result.results.values())
+        flag = " (retraction)" if result.retraction else ""
         print(
             f"window [{result.window_start:7.1f}s, {result.window_end:7.1f}s) "
             f"group={result.group_key} events={result.events:5d} "
-            f"trends={total:g} latency={result.emission_latency * 1e3:.2f}ms"
+            f"trends={total:g} latency={result.emission_latency * 1e3:.2f}ms{flag}"
+        )
+
+    on_late = _print_late_event if late_policy == "side_output" else None
+
+    def print_lateness(metrics) -> None:
+        if allowed_lateness is None:
+            return
+        print(
+            f"lateness horizon {allowed_lateness:g}s, policy {late_policy}: "
+            f"{metrics.late_dropped} dropped, {metrics.late_side_output} "
+            f"side-output, {metrics.late_retracted} retracted"
         )
 
     if workers is not None:
@@ -145,6 +167,9 @@ def _run_stream(
             burst_size=burst_size,
             kernel_backend=kernel_backend,
             transport=transport,
+            allowed_lateness=allowed_lateness,
+            late_policy=late_policy,
+            on_late=on_late,
             checkpoint_dir=checkpoint_dir,
             checkpoint_interval=checkpoint_interval,
             max_restarts=max_restarts,
@@ -178,6 +203,7 @@ def _run_stream(
                 f"{recovery.checkpoint_bytes:,} bytes written "
                 f"(driver waited {metrics.driver_wait_seconds:.3f}s)"
             )
+        print_lateness(metrics)
         print_decisions(report)
         return
 
@@ -189,6 +215,9 @@ def _run_stream(
         optimizer=optimizer,
         burst_size=burst_size,
         kernel_backend=kernel_backend,
+        allowed_lateness=allowed_lateness,
+        late_policy=late_policy,
+        on_late=on_late,
     )
     report = executor.run(stream)
     metrics = report.metrics
@@ -212,6 +241,7 @@ def _run_stream(
         f"wall-clock throughput: {metrics.throughput_wall:,.0f} events/s "
         f"({metrics.wall_seconds:.3f}s wall)"
     )
+    print_lateness(metrics)
     print_decisions(report)
 
 
@@ -309,6 +339,24 @@ def build_parser() -> argparse.ArgumentParser:
         "shared-memory slabs (default: pickle)",
     )
     stream.add_argument(
+        "--allowed-lateness",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="buffer and re-sort events arriving up to SECONDS behind the "
+        "max event time seen (the watermark) instead of rejecting any "
+        "out-of-order arrival; default: strict in-order ingestion",
+    )
+    stream.add_argument(
+        "--late-policy",
+        choices=("raise", "drop", "side_output", "retract"),
+        default="raise",
+        help="what to do with events later than the --allowed-lateness "
+        "horizon: fail the run, drop (counted), hand to a side-output "
+        "callback, or retract-and-recompute the affected windows "
+        "(default: raise)",
+    )
+    stream.add_argument(
         "--checkpoint-dir",
         metavar="PATH",
         default=None,
@@ -350,6 +398,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
     if (
         arguments.command == "stream"
+        and arguments.late_policy != "raise"
+        and arguments.allowed_lateness is None
+    ):
+        parser.error(
+            "--late-policy requires --allowed-lateness (without a horizon "
+            "there is no watermark to be late against)"
+        )
+    if (
+        arguments.command == "stream"
+        and arguments.late_policy == "side_output"
+        and arguments.workers is not None
+        and arguments.workers > 0
+    ):
+        parser.error(
+            "--late-policy side_output requires --workers 0 or the "
+            "unsharded executor (the side-output callback cannot cross "
+            "a process boundary)"
+        )
+    if (
+        arguments.command == "stream"
         and arguments.checkpoint_dir is not None
         and arguments.workers is None
     ):
@@ -373,6 +441,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             arguments.burst_size,
             arguments.kernel_backend,
             arguments.transport,
+            arguments.allowed_lateness,
+            arguments.late_policy,
             arguments.checkpoint_dir,
             arguments.checkpoint_interval,
             arguments.max_restarts,

@@ -82,6 +82,20 @@ class WorkerCrashError(ExecutionError):
         self.worker_traceback = worker_traceback
 
 
+class OutOfOrderError(StreamError, ExecutionError):
+    """An event violated the arrival-order contract of its consumer.
+
+    Historically the same condition raised :class:`StreamError` at the
+    stream boundary and :class:`ExecutionError` inside the executors and
+    shared-window engines; this type unifies them (multiple inheritance
+    keeps every existing ``except`` clause working) so callers can handle
+    "your stream is disordered" as one condition wherever it surfaces.
+    Raised by the order guards in :mod:`repro.runtime.reorder` and — when
+    an event falls behind the allowed-lateness watermark under the
+    ``"raise"`` policy — by the reorder buffer itself.
+    """
+
+
 class CheckpointError(ExecutionError):
     """A checkpoint could not be written, read or restored.
 

@@ -5,8 +5,11 @@ events.  The runtime executor consumes streams event by event; the dataset
 simulators produce them; benchmarks slice and merge them.
 
 Streams enforce the paper's in-order arrival assumption: appending an event
-with a timestamp earlier than the last appended event raises
-:class:`~repro.errors.StreamError`.
+that regresses behind the last appended event in ``(time, sequence)`` order
+raises :class:`~repro.errors.StreamError` (equal times with non-decreasing
+sequence numbers are fine — that is the total event order every consumer
+downstream relies on).  Disordered feeds belong in plain event lists or
+blocks, ingested through an executor with ``allowed_lateness`` set.
 """
 
 from __future__ import annotations
@@ -65,11 +68,23 @@ class EventStream:
     # Construction
     # ------------------------------------------------------------------ #
     def append(self, event: Event) -> None:
-        """Append ``event``; events must arrive in non-decreasing time order."""
-        if self._times and event.time < self._times[-1]:
-            raise StreamError(
-                f"out-of-order event: {event.time} arrives after {self._times[-1]}"
-            )
+        """Append ``event``; arrivals must not regress in ``(time, sequence)``.
+
+        Time alone is not enough: equal-time events with a regressing
+        sequence number would pass a time-only check here only to be
+        rejected later by the shared-window engines' strict order guard —
+        the boundary enforces the same total order.
+        """
+        if self._events:
+            last = self._events[-1]
+            if event.time < last.time or (
+                event.time == last.time and event.sequence < last.sequence
+            ):
+                raise StreamError(
+                    f"out-of-order append: event time={event.time!r} "
+                    f"seq={event.sequence} arrived after time={last.time!r} "
+                    f"seq={last.sequence} and would precede it in stream order"
+                )
         self._events.append(event)
         self._times.append(event.time)
         per_type = self._by_type.get(event.event_type)

@@ -30,6 +30,14 @@ a worker that dies mid-stream is respawned with capped backoff, restored
 from its last good checkpoint and fed the post-checkpoint tail from a
 bounded replay buffer, with the merged report bit-identical to an
 uninterrupted run.
+
+Streams need not arrive perfectly ordered: with ``allowed_lateness`` set,
+a watermark-driven :class:`~repro.runtime.reorder.ReorderBuffer` in front
+of each executor (one per shard in the sharded runtime) buffers and
+re-sorts events within the lateness horizon — results are bit-identical
+to the fully ordered run — while events later than the horizon hit a
+configurable policy: ``raise`` (default), ``drop``, ``side_output`` or
+``retract`` (fold into already-emitted windows via snapshot rollback).
 """
 
 from repro.runtime.checkpoint import AsyncCheckpointWriter, Checkpoint, CheckpointStore
@@ -41,6 +49,7 @@ from repro.runtime.executor import (
 )
 from repro.runtime.metrics import ExecutionMetrics, RecoveryStats, Stopwatch
 from repro.runtime.partitioner import GroupWindowPartitioner, PartitionKey, group_sort_key
+from repro.runtime.reorder import LATE_POLICIES, ReorderBuffer
 from repro.runtime.shared_windows import MultiWindowLinearEngine, UnitCompilation
 from repro.runtime.sharding import (
     ShardReport,
@@ -59,10 +68,12 @@ __all__ = [
     "ExecutionMetrics",
     "ExecutionReport",
     "GroupWindowPartitioner",
+    "LATE_POLICIES",
     "MultiWindowLinearEngine",
     "PartitionKey",
     "PartitionResult",
     "RecoveryStats",
+    "ReorderBuffer",
     "ShardReport",
     "ShardRouter",
     "ShardedStreamingExecutor",

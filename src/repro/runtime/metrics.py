@@ -81,6 +81,15 @@ class ExecutionMetrics:
     #: was idle behind a slow (or dead) worker"; single-process runs leave
     #: it at 0.
     driver_wait_seconds: float = 0.0
+    #: Events behind the allowed-lateness watermark discarded by the
+    #: ``"drop"`` late policy.  Dropped (and side-output) events are not
+    #: part of ``stream_events``: they never reached the core.
+    late_dropped: int = 0
+    #: Late events handed to the ``on_late`` callback (``"side_output"``).
+    late_side_output: int = 0
+    #: Late events folded into already-processed state by the ``"retract"``
+    #: policy (snapshot restore + bounded replay).
+    late_retracted: int = 0
 
     def record_partition(
         self, seconds: float, events: int, memory_units: int, operations: int
@@ -176,6 +185,9 @@ class ExecutionMetrics:
         self.peak_active_windows = max(self.peak_active_windows, other.peak_active_windows)
         self.operations += other.operations
         self.driver_wait_seconds += other.driver_wait_seconds
+        self.late_dropped += other.late_dropped
+        self.late_side_output += other.late_side_output
+        self.late_retracted += other.late_retracted
 
 
 @dataclass

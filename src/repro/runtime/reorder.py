@@ -1,0 +1,521 @@
+"""Watermark-driven reorder buffer and the runtime's arrival-order guards.
+
+Every executor used to hard-require strict ``(time, sequence)`` arrival:
+one late event raised and killed the whole run, so the real feeds behind
+the paper's benchmarks (NYC taxi, stock ticks) only worked as pre-sorted
+replays.  This module turns that crash into configurable behaviour:
+
+* a :class:`ReorderBuffer` sits in front of a streaming executor.  With
+  ``allowed_lateness=N`` an event is *buffered* until the **watermark** —
+  the maximum event time seen so far minus ``N`` — passes its timestamp;
+  buffered events are released strictly below the watermark, re-sorted by
+  ``(time, sequence)``, so any stream shuffled within the lateness horizon
+  replays the fully ordered stream bit-identically into the executor core
+  (and window close is automatically deferred until the watermark passes
+  the window end, because closes are driven by *released* event times);
+* an event older than the watermark is **late** and hits a policy:
+  ``"raise"`` (the pre-buffer behaviour, default), ``"drop"`` (counted in
+  :class:`~repro.runtime.metrics.ExecutionMetrics`), ``"side_output"``
+  (handed to a callback) or ``"retract"`` (the affected closed windows are
+  re-emitted from checkpoint-style engine state with bounded per-update
+  work — see :class:`~repro.runtime.streaming.StreamingExecutor`).
+
+The buffer is columnar-aware: a sorted :class:`~repro.events.block.EventBlock`
+is buffered as a zero-copy *segment* and released as block slices split at
+watermark boundaries — never exploded into per-event objects — so the
+block hot path stays block-shaped end to end.  Loose events (scalar
+ingest, unsorted-block fallback rows) ride an in-order fast-path tail
+list, falling back to a heap only when an arrival regresses; releases
+k-way-merge the sources by ``(time, sequence)``.
+
+This module is also the one sanctioned home (with
+:mod:`repro.events.stream`) of raw "cursor versus event time" order
+comparisons: reprolint RL011 forbids them everywhere else, so the
+executors and shared-window engines call the ``ensure_*`` guards below
+instead of inlining the comparison — one exception type
+(:class:`~repro.errors.OutOfOrderError`), one message format per
+contract, no copy-paste drift.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from typing import Any, Iterator, Optional, Sequence, Union
+
+from repro.errors import ExecutionError, OutOfOrderError
+from repro.events.block import EventBlock
+
+__all__ = [
+    "LATE_POLICIES",
+    "ReorderBuffer",
+    "ensure_block_in_order",
+    "ensure_in_order",
+    "ensure_shared_event_run_order",
+    "ensure_shared_order",
+    "ensure_shared_run_order",
+    "late_event_error",
+    "validate_lateness",
+]
+
+#: The supported late-event policies, in documentation order.
+LATE_POLICIES = ("raise", "drop", "side_output", "retract")
+
+#: A release batch: loose events in order, or a zero-copy block slice.
+Release = tuple[str, Union[list, EventBlock]]
+
+#: Shared "nothing released" result of :meth:`ReorderBuffer.push` — callers
+#: only iterate releases, so one immutable-by-convention instance avoids an
+#: allocation per in-order event.
+_NO_RELEASES: list = []
+
+
+def validate_lateness(allowed_lateness, late_policy, on_late) -> None:
+    """Fail fast on an inconsistent lateness configuration.
+
+    Shared by the streaming executor, the sharded driver and the CLI so
+    the three surfaces cannot drift on what a valid combination is.
+    """
+    if late_policy not in LATE_POLICIES:
+        raise ExecutionError(
+            f"late policy must be one of {', '.join(LATE_POLICIES)}, "
+            f"got {late_policy!r}"
+        )
+    if allowed_lateness is None:
+        if late_policy != "raise":
+            raise ExecutionError(
+                f"late_policy={late_policy!r} requires allowed_lateness: "
+                "without a lateness horizon there is no watermark to be "
+                "late against"
+            )
+        if on_late is not None:
+            raise ExecutionError(
+                "on_late requires allowed_lateness and "
+                "late_policy='side_output'"
+            )
+        return
+    if not allowed_lateness >= 0.0:  # also rejects NaN
+        raise ExecutionError(
+            f"allowed_lateness must be >= 0, got {allowed_lateness!r}"
+        )
+    if late_policy == "side_output" and on_late is None:
+        raise ExecutionError(
+            "late_policy='side_output' requires an on_late callback to "
+            "receive the late events"
+        )
+    if on_late is not None and late_policy != "side_output":
+        raise ExecutionError(
+            "on_late is only consumed by late_policy='side_output'; "
+            f"got late_policy={late_policy!r}"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Order guards (the one sanctioned home of raw order comparisons)
+# ---------------------------------------------------------------------- #
+def ensure_in_order(time, clock, *, what: str = "streaming executor") -> None:
+    """Reject an event time regressing behind the stream clock.
+
+    The time-only, non-strict contract of the executor boundaries: equal
+    times are fine (``(time, sequence)`` strictness is the shared-window
+    engines' stricter, separate contract).
+    """
+    if time < clock:
+        raise OutOfOrderError(
+            f"{what} requires in-order arrival: event at {time} arrived "
+            f"after stream time {clock}; pass allowed_lateness=... to "
+            "buffer bounded disorder"
+        )
+
+
+def ensure_block_in_order(
+    times: Sequence, start: int, stop: int, clock, *, what: str = "streaming executor"
+):
+    """Validate a whole block slice against the clock in one pass.
+
+    Checks ``times[start:stop]`` is non-decreasing and does not start
+    before ``clock`` — exactly what per-row :func:`ensure_in_order` calls
+    with an advancing clock would enforce, hoisted out of the processing
+    loop.  Returns the last time of the slice (the new clock), or
+    ``clock`` for an empty slice.
+    """
+    previous = clock
+    for position in range(start, stop):
+        value = times[position]
+        if value < previous:
+            raise OutOfOrderError(
+                f"{what} requires in-order arrival: event at {value} arrived "
+                f"after stream time {previous}; pass allowed_lateness=... to "
+                "buffer bounded disorder"
+            )
+        previous = value
+    return previous
+
+
+def _shared_order_error(time, sequence, last_time, last_sequence) -> OutOfOrderError:
+    # The single message format of the strict shared-window contract; the
+    # three historical call sites each had their own wording (and split
+    # between StreamError and ExecutionError for the same condition).
+    return OutOfOrderError(
+        "shared-window execution requires strictly ordered arrival (by "
+        f"time, then sequence); event time={time!r} seq={sequence} does "
+        f"not follow time={last_time!r} seq={last_sequence} — use "
+        "shared_windows=False for such streams"
+    )
+
+
+def ensure_shared_order(latest, event) -> None:
+    """Strict ``(time, sequence)`` guard for one event against a cursor.
+
+    ``latest`` is the engine's order cursor (an ``Event``, an
+    ``_OrderPoint``, or ``None`` at start of stream); the comparison is
+    duck-typed on ``time``/``sequence`` exactly like ``Event.__lt__``.
+    """
+    if latest is not None and not latest < event:
+        raise _shared_order_error(
+            event.time, event.sequence, latest.time, latest.sequence
+        )
+
+
+def ensure_shared_event_run_order(events: Iterator, latest):
+    """Strict guard over a run of events; returns the new cursor.
+
+    ``events`` yields objects with ``time``/``sequence``; the run must
+    strictly follow ``latest`` and be strictly ordered internally.
+    Returns the last event (or ``latest`` for an empty run).
+    """
+    previous = latest
+    for event in events:
+        if previous is not None and not previous < event:
+            raise _shared_order_error(
+                event.time, event.sequence, previous.time, previous.sequence
+            )
+        previous = event
+    return previous
+
+
+def ensure_shared_run_order(times: Sequence, sequences: Sequence, latest):
+    """Strict guard over parallel scalar columns; returns ``(time, seq)``.
+
+    The columnar sibling of :func:`ensure_shared_event_run_order` for the
+    block fast path — no per-event objects anywhere.  Returns the run's
+    last ``(time, sequence)`` pair, or ``None`` for an empty run.
+    """
+    if latest is not None:
+        last_time, last_sequence = latest.time, latest.sequence
+    else:
+        last_time, last_sequence = None, -1
+    for time_value, sequence_value in zip(times, sequences):
+        if last_time is not None and not (
+            last_time < time_value
+            or (last_time == time_value and last_sequence < sequence_value)
+        ):
+            raise _shared_order_error(
+                time_value, sequence_value, last_time, last_sequence
+            )
+        last_time, last_sequence = time_value, sequence_value
+    if last_time is None:
+        return None
+    return last_time, last_sequence
+
+
+def late_event_error(
+    time, sequence, watermark, allowed_lateness, *, what: str = "streaming executor"
+) -> OutOfOrderError:
+    """The ``"raise"`` late policy's error (also the retract-miss error)."""
+    return OutOfOrderError(
+        f"{what} received an event at time={time!r} seq={sequence} behind "
+        f"the watermark {watermark!r} (allowed_lateness={allowed_lateness!r}); "
+        "raise allowed_lateness to buffer it, or pick a late policy "
+        "('drop', 'side_output', 'retract')"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# The reorder buffer
+# ---------------------------------------------------------------------- #
+def _min_key(first: Optional[tuple], second: Optional[tuple]) -> Optional[tuple]:
+    if first is None:
+        return second
+    if second is None:
+        return first
+    return first if first < second else second
+
+
+class ReorderBuffer:
+    """Buffer-and-resort stage with a bounded lateness horizon.
+
+    The buffer never interprets events — it orders opaque items by the
+    ``(time, sequence)`` keys the caller hands in — so scalar events and
+    columnar block segments coexist on one instance.  The contract:
+
+    * :meth:`observe` advances the maximum event time seen (and with it
+      the watermark ``max_time - allowed_lateness``);
+    * :meth:`is_late` classifies an arrival against the watermark
+      (strictly below: late — exactly the keys :meth:`release_ready`
+      would already have released);
+    * :meth:`add` / :meth:`add_segment` buffer an item / a sorted block;
+    * :meth:`release_ready` pops everything strictly below the watermark
+      in global ``(time, sequence)`` order, as maximal per-source runs:
+      loose events batch into ``("events", [...])``, block segments come
+      back as ``("block", slice)`` — zero-copy, split at the watermark
+      (and at interleave points with other sources), never exploded into
+      per-row objects;
+    * :meth:`flush` drains everything (end of stream).
+
+    Equal-time safety: an event at exactly the watermark stays buffered
+    until the watermark strictly passes it, so a same-time,
+    later-sequence arrival can never find its predecessor already
+    released.  The instance pickles as-is — buffered state rides the
+    executor snapshots into checkpoints.
+    """
+
+    __slots__ = (
+        "allowed_lateness",
+        "_max_time",
+        "_tail",
+        "_tail_pos",
+        "_tail_last_time",
+        "_tail_last_seq",
+        "_heap",
+        "_pushes",
+        "_segments",
+        "_buffered",
+    )
+
+    def __init__(self, allowed_lateness: float) -> None:
+        if not allowed_lateness >= 0.0:
+            raise ExecutionError(
+                f"allowed_lateness must be >= 0, got {allowed_lateness!r}"
+            )
+        self.allowed_lateness = allowed_lateness
+        self._max_time = float("-inf")
+        #: In-order fast path: arrivals that do not regress behind the last
+        #: buffered key append here (cursor pops, no heap churn) — the
+        #: common case, and what keeps fully in-order overhead near zero.
+        self._tail: list[tuple[Any, int, Any]] = []
+        self._tail_pos = 0
+        #: The last tail key, as two scalars: the hot-path order test is
+        #: two number compares, no tuple allocation.
+        self._tail_last_time: Any = None
+        self._tail_last_seq: int = -1
+        #: Regressed arrivals: a heap keyed ``(time, sequence, push#)`` —
+        #: the push counter breaks exact-key ties without comparing items.
+        self._heap: list[tuple] = []
+        self._pushes = 0
+        #: Sorted block segments as ``[block, next_relative_row]``.
+        self._segments: list[list] = []
+        self._buffered = 0
+
+    def __len__(self) -> int:
+        """Items currently buffered (block rows count individually)."""
+        return self._buffered
+
+    @property
+    def max_event_time(self) -> float:
+        """Maximum event time observed so far (``-inf`` before any)."""
+        return self._max_time
+
+    @property
+    def watermark(self) -> float:
+        """``max_event_time - allowed_lateness`` (``-inf`` before any)."""
+        return self._max_time - self.allowed_lateness
+
+    def observe(self, time) -> None:
+        """Advance the maximum event time (watermark) past ``time``."""
+        if time > self._max_time:
+            self._max_time = time
+
+    def is_late(self, time) -> bool:
+        """True when ``time`` is strictly behind the watermark."""
+        return time < self._max_time - self.allowed_lateness
+
+    def add(self, time, sequence: int, item) -> None:
+        """Buffer one item under key ``(time, sequence)``."""
+        if self._tail_pos == len(self._tail):
+            # Tail fully drained: any key restarts it in sorted order.
+            if self._tail:
+                self._tail.clear()
+                self._tail_pos = 0
+            self._tail.append((time, sequence, item))
+            self._tail_last_time = time
+            self._tail_last_seq = sequence
+        elif time > self._tail_last_time or (
+            time == self._tail_last_time and sequence >= self._tail_last_seq
+        ):
+            self._tail.append((time, sequence, item))
+            self._tail_last_time = time
+            self._tail_last_seq = sequence
+        else:
+            heapq.heappush(self._heap, (time, sequence, self._pushes, item))
+            self._pushes += 1
+        self._buffered += 1
+
+    def push(self, time, sequence: int, item) -> Optional[list]:
+        """``add`` + ``observe`` + a pure-tail release, in one call.
+
+        The scalar hot path: when only the in-order tail is in play (no
+        heap, no segments — the steady state of a well-behaved stream) the
+        released items come back directly as a list, skipping the k-way
+        merge and its per-release wrappers.  Returns ``None`` when the
+        buffer fell back to the heap or segments exist; the caller must
+        then run :meth:`release_ready` for the full merge.
+        """
+        if time > self._max_time:
+            self._max_time = time
+        if self._heap or self._segments:
+            self.add(time, sequence, item)
+            return None
+        tail = self._tail
+        position = self._tail_pos
+        if position == len(tail):
+            if tail:
+                tail.clear()
+                position = self._tail_pos = 0
+            tail.append((time, sequence, item))
+            self._tail_last_time = time
+            self._tail_last_seq = sequence
+        elif time > self._tail_last_time or (
+            time == self._tail_last_time and sequence >= self._tail_last_seq
+        ):
+            tail.append((time, sequence, item))
+            self._tail_last_time = time
+            self._tail_last_seq = sequence
+        else:
+            heapq.heappush(self._heap, (time, sequence, self._pushes, item))
+            self._pushes += 1
+            self._buffered += 1
+            return None
+        self._buffered += 1
+        # Release the tail prefix strictly below the watermark: with only
+        # the tail populated, the global (time, sequence) order IS the tail
+        # order, and "key < (watermark,)" reduces to "time < watermark".
+        bound = self._max_time - self.allowed_lateness
+        if tail[position][0] >= bound:
+            return _NO_RELEASES
+        released = []
+        while position < len(tail) and tail[position][0] < bound:
+            released.append(tail[position][2])
+            position += 1
+        if position == len(tail):
+            tail.clear()
+            position = 0
+        self._tail_pos = position
+        self._buffered -= len(released)
+        return released
+
+    def add_segment(self, block: EventBlock) -> None:
+        """Buffer a non-empty, ``(time, sequence)``-sorted block zero-copy."""
+        self._segments.append([block, 0])
+        self._buffered += len(block)
+
+    # ------------------------------------------------------------------ #
+    # Release
+    # ------------------------------------------------------------------ #
+    def release_ready(self) -> list[Release]:
+        """Pop every buffered item strictly below the watermark, in order."""
+        if not self._buffered:
+            return []
+        return self._release((self._max_time - self.allowed_lateness,))
+
+    def flush(self) -> list[Release]:
+        """Pop everything (end of stream), in ``(time, sequence)`` order."""
+        if not self._buffered:
+            return []
+        return self._release(None)
+
+    def _tail_head(self) -> Optional[tuple]:
+        if self._tail_pos < len(self._tail):
+            entry = self._tail[self._tail_pos]
+            return (entry[0], entry[1])
+        return None
+
+    def _heap_head(self) -> Optional[tuple]:
+        if self._heap:
+            return (self._heap[0][0], self._heap[0][1])
+        return None
+
+    def _segment_head(self, segment: list) -> tuple:
+        block, relative = segment
+        position = block.start + relative
+        return (block.times[position], block.sequences[position])
+
+    def _release(self, bound: Optional[tuple]) -> list[Release]:
+        # Run-based k-way merge: each outer iteration finds the globally
+        # smallest head, then emits that source's maximal run — every item
+        # below both the bound and every *other* source's head.  A bound
+        # key ``(time,)`` compares below every same-time ``(time, seq)``
+        # key, which is what keeps equal-time items buffered until the
+        # watermark strictly passes them.
+        releases: list[Release] = []
+        while True:
+            tail_head = self._tail_head()
+            heap_head = self._heap_head()
+            loose_head = _min_key(tail_head, heap_head)
+            best_key = loose_head
+            best_segment = -1
+            for index, segment in enumerate(self._segments):
+                key = self._segment_head(segment)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_segment = index
+            if best_key is None or (bound is not None and not best_key < bound):
+                return releases
+            if best_segment >= 0:
+                limit = bound if loose_head is None else _min_key(bound, loose_head)
+                for index, segment in enumerate(self._segments):
+                    if index != best_segment:
+                        limit = _min_key(limit, self._segment_head(segment))
+                segment = self._segments[best_segment]
+                block, relative = segment
+                stop = self._segment_stop(block, relative, limit)
+                releases.append(("block", block.slice(relative, stop)))
+                self._buffered -= stop - relative
+                if stop == len(block):
+                    del self._segments[best_segment]
+                else:
+                    segment[1] = stop
+            else:
+                limit = bound
+                for segment in self._segments:
+                    limit = _min_key(limit, self._segment_head(segment))
+                events: list = []
+                while True:
+                    tail_head = self._tail_head()
+                    heap_head = self._heap_head()
+                    if heap_head is not None and (
+                        tail_head is None or heap_head < tail_head
+                    ):
+                        if limit is not None and not heap_head < limit:
+                            break
+                        events.append(heapq.heappop(self._heap)[3])
+                    elif tail_head is not None:
+                        if limit is not None and not tail_head < limit:
+                            break
+                        events.append(self._tail[self._tail_pos][2])
+                        self._tail_pos += 1
+                    else:
+                        break
+                if self._tail_pos == len(self._tail) and self._tail:
+                    self._tail.clear()
+                    self._tail_pos = 0
+                self._buffered -= len(events)
+                releases.append(("events", events))
+
+    def _segment_stop(self, block: EventBlock, relative: int, limit: Optional[tuple]) -> int:
+        """First relative row of ``block`` at or past ``limit`` (len if none)."""
+        length = len(block)
+        if limit is None:
+            return length
+        times = block.times
+        base = block.start
+        stop = bisect.bisect_left(times, limit[0], base + relative, block.stop) - base
+        if len(limit) == 2:
+            sequences = block.sequences
+            while (
+                stop < length
+                and times[base + stop] == limit[0]
+                and sequences[base + stop] < limit[1]
+            ):
+                stop += 1
+        return stop

@@ -60,7 +60,7 @@ from typing import Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.core.engine import HamletEngine
 from repro.core.kernels import KernelBackendSpec, resolve_kernel_backend
-from repro.errors import ExecutionError, WorkerCrashError
+from repro.errors import ExecutionError, OutOfOrderError, WorkerCrashError
 from repro.events import columnar
 from repro.events.batch import EventBatch
 from repro.events.block import EventBlock
@@ -83,6 +83,7 @@ from repro.runtime.checkpoint import AsyncCheckpointWriter, CheckpointStore
 from repro.runtime.faultpoints import resolve_fault_hook
 from repro.runtime.metrics import RecoveryStats
 from repro.runtime.partitioner import group_sort_key
+from repro.runtime.reorder import ensure_in_order, validate_lateness
 from repro.runtime.streaming import StreamingExecutor, WindowResult
 from repro.runtime.transport import (
     DEFAULT_SLAB_BYTES,
@@ -481,6 +482,8 @@ def _shard_worker_main(
     optimizer: OptimizerSpec,
     burst_size: Optional[int],
     kernel_backend: KernelBackendSpec,
+    allowed_lateness: Optional[float],
+    late_policy: str,
     channel: Optional[tuple[str, int, object]],
     in_queue,
     out_queue,
@@ -529,6 +532,8 @@ def _shard_worker_main(
             optimizer=optimizer,
             burst_size=burst_size,
             kernel_backend=kernel_backend,
+            allowed_lateness=allowed_lateness,
+            late_policy=late_policy,
         )
         interval = cadence = 0
         if recovery is not None:
@@ -664,6 +669,23 @@ class ShardedStreamingExecutor:
             that encode larger fall back to the queue.
         on_window: Per-window callback; only available with ``workers=0``
             (results cross process boundaries only at :meth:`finish`).
+        allowed_lateness / late_policy: Bounded out-of-order tolerance,
+            forwarded to every shard's :class:`StreamingExecutor` — each
+            shard runs its own watermark-driven reorder buffer over the
+            rows routed to it.  With lateness set the driver stops
+            enforcing arrival order itself (its clock becomes the max
+            event time seen) and exposes the conservative fleet-wide
+            :attr:`watermark` as the minimum over per-shard watermarks.
+            A shard-local watermark trails the *shard's* max event time,
+            which is at most the global one — so per-shard lateness is
+            never stricter than a single-process run's, though which
+            events a non-``"raise"`` policy catches can differ with the
+            shard count (each shard judges lateness against its own
+            clock).  Within the horizon, results are shard-count
+            invariant exactly like in-order runs.
+        on_late: Side-output callback for the ``"side_output"`` policy;
+            like ``on_window`` it requires ``workers=0`` (late events
+            would otherwise surface in a worker process).
         checkpoint_dir: Directory for per-shard checkpoints (see
             :mod:`repro.runtime.checkpoint`).  ``None`` (the default)
             disables checkpointing *and* recovery: a dead worker is fatal,
@@ -715,6 +737,9 @@ class ShardedStreamingExecutor:
         transport: str = "pickle",
         slab_bytes: int = DEFAULT_SLAB_BYTES,
         on_window: Optional[Callable[[WindowResult], None]] = None,
+        allowed_lateness: Optional[float] = None,
+        late_policy: str = "raise",
+        on_late: Optional[Callable[[Event], None]] = None,
         checkpoint_dir: Optional[str] = None,
         checkpoint_interval: int = 16,
         max_restarts: int = 3,
@@ -748,6 +773,14 @@ class ShardedStreamingExecutor:
             raise ExecutionError(
                 "on_window callbacks require workers=0: window results cross "
                 "process boundaries only at finish()"
+            )
+        # Same fail-fast config validation as a single StreamingExecutor;
+        # workers receive the validated values and re-validate trivially.
+        validate_lateness(allowed_lateness, late_policy, on_late)
+        if workers > 0 and on_late is not None:
+            raise ExecutionError(
+                "on_late callbacks require workers=0: late events surface "
+                "inside shard worker processes, not the driver"
             )
         self.workload = workload if isinstance(workload, Workload) else Workload(workload)
         self.workers = workers
@@ -783,6 +816,9 @@ class ShardedStreamingExecutor:
             raise ExecutionError(f"slab_bytes must be >= 1, got {slab_bytes}")
         self.slab_bytes = slab_bytes
         self.on_window = on_window
+        self.allowed_lateness = allowed_lateness
+        self.late_policy = late_policy
+        self.on_late = on_late
         self.checkpoint_dir = os.fspath(checkpoint_dir) if checkpoint_dir else None
         self.checkpoint_interval = checkpoint_interval
         self.max_restarts = max_restarts
@@ -871,7 +907,12 @@ class ShardedStreamingExecutor:
                     process(event)
             self._consumed = consumed
             self._shard_events[0] = consumed
-            self._clock = single._clock
+            if self.allowed_lateness is None:
+                self._clock = single._clock
+            else:
+                # Under lateness the shard's released clock trails its max
+                # seen; the driver clock carries max-event-time semantics.
+                self._clock = self._shard_max_time[0] = single.max_event_time
             return self.finish()
         try:
             process = self.process
@@ -886,16 +927,21 @@ class ShardedStreamingExecutor:
 
     def process(self, event: Event) -> None:
         """Route one event to its shard(s), shipping full batches."""
-        if event.time < self._clock:
-            # Driver-side rejection: shut a live pool down before raising so
-            # a caller that catches the error and drops the executor does
-            # not leak worker processes blocked on their input queues.
-            self._shutdown()
-            raise ExecutionError(
-                f"sharded executor requires in-order arrival: event at "
-                f"{event.time} after stream time {self._clock}"
-            )
-        self._clock = event.time
+        if self.allowed_lateness is None:
+            try:
+                ensure_in_order(event.time, self._clock, what="sharded executor")
+            except OutOfOrderError:
+                # Driver-side rejection: shut a live pool down before
+                # re-raising so a caller that catches the error and drops
+                # the executor does not leak worker processes blocked on
+                # their input queues.
+                self._shutdown()
+                raise
+            self._clock = event.time
+        else:
+            # Bounded disorder: the shard executors' reorder buffers enforce
+            # the lateness horizon; the driver's clock just tracks the max.
+            self._clock = max(self._clock, event.time)
         self._consumed += 1
         if not self._started:
             self._start_shards()
@@ -904,6 +950,8 @@ class ShardedStreamingExecutor:
             # per-type dispatch drops irrelevant events just as fast as the
             # router would, and the hot path stays one call deep.
             self._shard_events[0] += 1
+            if event.time > self._shard_max_time[0]:
+                self._shard_max_time[0] = event.time
             self._single.process(event)
             if self._ckpt_countdown:
                 self._ckpt_countdown -= 1
@@ -913,6 +961,8 @@ class ShardedStreamingExecutor:
             return
         for shard_id in self.router.route(event):
             self._shard_events[shard_id] += 1
+            if event.time > self._shard_max_time[shard_id]:
+                self._shard_max_time[shard_id] = event.time
             if self._local is not None:
                 self._local[shard_id].process(event)
             else:
@@ -948,25 +998,42 @@ class ShardedStreamingExecutor:
         count = len(block)
         if count == 0:
             return
-        first_time = block.times[block.start]
-        if first_time < self._clock:
-            self._shutdown()
-            raise ExecutionError(
-                f"sharded executor requires in-order arrival: event at "
-                f"{first_time} after stream time {self._clock}"
-            )
-        self._clock = block.times[block.stop - 1]
+        if self.allowed_lateness is None:
+            try:
+                ensure_in_order(
+                    block.times[block.start], self._clock, what="sharded executor"
+                )
+            except OutOfOrderError:
+                self._shutdown()
+                raise
+            self._clock = block.times[block.stop - 1]
+        else:
+            # The block may be internally disordered (the shard buffers
+            # re-sort it); the driver clock tracks the max over its rows.
+            self._clock = max(self._clock, *block.times[block.start : block.stop])
         self._consumed += count
         if not self._started:
             self._start_shards()
         if self._single is not None:
             self._shard_events[0] += count
+            if self._clock > self._shard_max_time[0]:
+                self._shard_max_time[0] = self._clock
             self._single.process_block(block)
         else:
+            times = block.times
+            base = block.start
             for shard_id, indices in enumerate(self.router.route_block(block)):
                 if not indices:
                     continue
                 self._shard_events[shard_id] += len(indices)
+                if self.allowed_lateness is None:
+                    # Sorted block: the selection is ascending, so its last
+                    # row holds the shard's max — no scan needed.
+                    shard_max = times[base + indices[-1]]
+                else:
+                    shard_max = max(times[base + local] for local in indices)
+                if shard_max > self._shard_max_time[shard_id]:
+                    self._shard_max_time[shard_id] = shard_max
                 shard_block = (
                     block if len(indices) == count else block.select(indices)
                 )
@@ -1027,6 +1094,23 @@ class ShardedStreamingExecutor:
         """Events routed to each shard so far this run."""
         return tuple(self._shard_events)
 
+    @property
+    def watermark(self) -> Optional[float]:
+        """Fleet-wide completeness bound under ``allowed_lateness``.
+
+        The minimum over per-shard watermarks (shard max event time minus
+        the lateness): every shard has released all work at or below it.
+        Shards that have seen no events hold nothing back — their buffers
+        are empty, so the bound is vacuously true for them.  ``None`` when
+        lateness is off or nothing has been routed yet.
+        """
+        if self.allowed_lateness is None:
+            return None
+        marks = [mark for mark in self._shard_max_time if mark != float("-inf")]
+        if not marks:
+            return None
+        return min(marks) - self.allowed_lateness
+
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
@@ -1041,6 +1125,9 @@ class ShardedStreamingExecutor:
         self._clock = float("-inf")
         self._consumed = 0
         self._shard_events = [0] * self.router.shards
+        #: Max event time routed to each shard so far (drives the merged
+        #: :attr:`watermark`; each shard's own buffer tracks the same max).
+        self._shard_max_time = [float("-inf")] * self.router.shards
         self._shard_batches = [0] * self.router.shards
         self._run_started = time.perf_counter()
         self._started = False
@@ -1112,6 +1199,9 @@ class ShardedStreamingExecutor:
                     optimizer=self.optimizer,
                     burst_size=self.burst_size,
                     kernel_backend=self.kernel_backend,
+                    allowed_lateness=self.allowed_lateness,
+                    late_policy=self.late_policy,
+                    on_late=self.on_late,
                 )
                 for shard_id in range(self.router.shards)
             ]
@@ -1182,6 +1272,8 @@ class ShardedStreamingExecutor:
                 self.optimizer,
                 self.burst_size,
                 self.kernel_backend,
+                self.allowed_lateness,
+                self.late_policy,
                 channel,
                 self._in_queues[shard_id],
                 self._out_queue,
@@ -1737,6 +1829,9 @@ def run_sharded(
     kernel_backend: KernelBackendSpec = None,
     transport: str = "pickle",
     slab_bytes: int = DEFAULT_SLAB_BYTES,
+    allowed_lateness: Optional[float] = None,
+    late_policy: str = "raise",
+    on_late: Optional[Callable[[Event], None]] = None,
     checkpoint_dir: Optional[str] = None,
     checkpoint_interval: int = 16,
     max_restarts: int = 3,
@@ -1758,6 +1853,9 @@ def run_sharded(
         kernel_backend=kernel_backend,
         transport=transport,
         slab_bytes=slab_bytes,
+        allowed_lateness=allowed_lateness,
+        late_policy=late_policy,
+        on_late=on_late,
         checkpoint_dir=checkpoint_dir,
         checkpoint_interval=checkpoint_interval,
         max_restarts=max_restarts,

@@ -69,6 +69,11 @@ from repro.events.event import Event, EventType
 from repro.greta.aggregators import Measure, measures_for_queries, result_from_vector
 from repro.interfaces import MultiWindowEngine, TrendAggregationEngine
 from repro.optimizer.statistics import BurstStatistics, QueryBurstProfile
+from repro.runtime.reorder import (
+    ensure_shared_event_run_order,
+    ensure_shared_order,
+    ensure_shared_run_order,
+)
 from repro.query.predicates import CompositePredicate
 from repro.query.query import Query
 from repro.template.template import NegationConstraint, QueryTemplate, compile_pattern
@@ -404,12 +409,7 @@ class MultiWindowLinearEngine(MultiWindowEngine):
     # ------------------------------------------------------------------ #
     def process(self, event: Event, lo: int, hi: int) -> None:
         """Do the event's graph work once; fold coefficients per armed window."""
-        if self._latest_event is not None and not self._latest_event < event:
-            raise ExecutionError(
-                "shared-window execution requires strictly ordered arrival "
-                f"(by time, then sequence); {event!r} does not follow "
-                f"{self._latest_event!r} — use shared_windows=False for such streams"
-            )
+        ensure_shared_order(self._latest_event, event)
         self._latest_event = event
         unit = self.unit
         store = self._store
@@ -495,16 +495,9 @@ class MultiWindowLinearEngine(MultiWindowEngine):
             for event, lo, hi in burst:
                 process(event, lo, hi)
             return
-        previous = self._latest_event
-        for event, _, _ in burst:
-            if previous is not None and not previous < event:
-                raise ExecutionError(
-                    "shared-window execution requires strictly ordered arrival "
-                    f"(by time, then sequence); {event!r} does not follow "
-                    f"{previous!r} — use shared_windows=False for such streams"
-                )
-            previous = event
-        self._latest_event = previous
+        self._latest_event = ensure_shared_event_run_order(
+            (event for event, _, _ in burst), self._latest_event
+        )
         scalar = unit.scalar
         contribution_rows = (
             None if scalar else [unit.contributions(event) for event, _, _ in burst]
@@ -631,30 +624,10 @@ class MultiWindowLinearEngine(MultiWindowEngine):
                             return False
         # Order check across the whole run — the same contract process()
         # enforces, on scalar columns.
-        previous = self._latest_event
-        last_time: Optional[float]
-        last_sequence = -1
-        if previous is not None:
-            last_time, last_sequence = previous.time, previous.sequence
-        else:
-            last_time = None
+        cursor = ensure_shared_run_order(times, sequences, self._latest_event)
+        if cursor is not None:
+            self._latest_event = _OrderPoint(cursor[0], cursor[1])
         count = len(times)
-        for time_value, sequence_value in zip(times, sequences):
-            if last_time is not None and not (
-                last_time < time_value
-                or (last_time == time_value and last_sequence < sequence_value)
-            ):
-                raise ExecutionError(
-                    "shared-window execution requires strictly ordered arrival "
-                    f"(by time, then sequence); row time={time_value!r} "
-                    f"seq={sequence_value} does not follow time={last_time!r} "
-                    f"seq={last_sequence} — use shared_windows=False for such "
-                    "streams"
-                )
-            last_time, last_sequence = time_value, sequence_value
-        if count:
-            assert last_time is not None
-            self._latest_event = _OrderPoint(last_time, last_sequence)
         if plans is None:
             return True
         scalar = unit.scalar

@@ -50,20 +50,34 @@ property suite in ``tests/runtime/test_adaptive_equivalence.py`` pins it),
 only the work and memory profiles change.  ``optimizer=None`` (default)
 skips the burst machinery entirely.
 
+With ``allowed_lateness=N`` a watermark-driven
+:class:`~repro.runtime.reorder.ReorderBuffer` fronts the ingest paths:
+events within the lateness horizon are buffered and replayed to the core
+in ``(time, sequence)`` order (so a stream shuffled within the horizon is
+bit-identical to its ordered run — results, partitions, emission order),
+window close is deferred until the watermark passes the window end, and
+events older than the watermark hit the configured late policy —
+``"raise"`` (default, the historical crash), ``"drop"``,
+``"side_output"`` or ``"retract"`` (re-derive and re-emit the affected
+closed windows from periodic engine snapshots with bounded per-update
+work).  ``allowed_lateness=None`` (default) keeps the strict in-order
+contract with zero overhead.
+
 The executor is incremental: ``process(event)`` / ``finish()`` drive it from
 a live source, ``run(stream)`` wraps them for replay-style use.
 """
 
 from __future__ import annotations
 
+import bisect
 import pickle
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.core.engine import HamletEngine
 from repro.core.kernels import KernelBackendSpec, resolve_kernel_backend
-from repro.errors import CheckpointError, ExecutionError
+from repro.errors import CheckpointError, ExecutionError, OutOfOrderError
 from repro.events.block import EventBlock
 from repro.events.event import Event, EventType
 from repro.events.stream import EventStream, slice_stream
@@ -85,6 +99,13 @@ from repro.runtime.executor import (
     unit_relevant_types,
 )
 from repro.runtime.partitioner import PartitionKey, PartitionSpec, group_sort_key
+from repro.runtime.reorder import (
+    ReorderBuffer,
+    ensure_block_in_order,
+    ensure_in_order,
+    late_event_error,
+    validate_lateness,
+)
 from repro.runtime.shared_windows import (
     MultiWindowLinearEngine,
     UnitCompilation,
@@ -96,7 +117,15 @@ from repro.template.template import compile_pattern
 #: Version of the :meth:`StreamingExecutor.snapshot_state` payload schema.
 #: Bumped whenever the pickled state shape changes incompatibly; restores
 #: reject snapshots from other versions instead of resuming corrupt state.
-SNAPSHOT_VERSION = 1
+#: v2: core state moved under a ``"core"`` key and an optional ``"reorder"``
+#: section (buffered events, watermark, late counters, retract snapshots)
+#: rides along.
+SNAPSHOT_VERSION = 2
+
+#: Retract policy: a core snapshot is rotated every this many released
+#: items; the last two are retained, bounding both the replay work of one
+#: retraction (at most two intervals of events) and the snapshot memory.
+_RETRACT_INTERVAL = 256
 
 
 @dataclass(frozen=True)
@@ -116,6 +145,10 @@ class WindowResult:
     #: Wall-clock seconds from the arrival of the instance's last contributing
     #: event to the emission of this result.
     emission_latency: float
+    #: ``late_policy="retract"`` only: True when this emission *replaces* a
+    #: previously emitted result of the same ``(group_key, window_index)``
+    #: whose value changed after a late event was folded in.
+    retraction: bool = False
 
 
 @dataclass
@@ -246,6 +279,9 @@ class StreamingExecutor:
         optimizer: OptimizerSpec = None,
         burst_size: Optional[int] = None,
         kernel_backend: KernelBackendSpec = None,
+        allowed_lateness: Optional[float] = None,
+        late_policy: str = "raise",
+        on_late: Optional[Callable[[Event], None]] = None,
     ) -> None:
         """Create a streaming executor.
 
@@ -291,6 +327,26 @@ class StreamingExecutor:
                 closed-form array operation — bit-identical to the reference
                 on exactly-representable integer workloads and within the
                 documented float tolerance otherwise (see docs/DESIGN.md).
+            allowed_lateness: ``None`` (default) keeps the strict in-order
+                arrival contract.  A number turns on the watermark reorder
+                buffer: events within ``allowed_lateness`` of the maximum
+                event time seen are buffered and replayed to the core in
+                ``(time, sequence)`` order, so streams shuffled within the
+                horizon reproduce their ordered run bit-identically.
+            late_policy: What happens to an event *older* than the
+                watermark (``max event time - allowed_lateness``):
+                ``"raise"`` (default) raises
+                :class:`~repro.errors.OutOfOrderError`; ``"drop"`` discards
+                it (counted in ``metrics.late_dropped``); ``"side_output"``
+                hands it to ``on_late`` (counted in
+                ``metrics.late_side_output``); ``"retract"`` folds it in by
+                restoring a periodic engine snapshot and replaying the
+                bounded tail, re-emitting any closed window whose result
+                changed with ``WindowResult.retraction=True`` (counted in
+                ``metrics.late_retracted``).
+            on_late: The ``"side_output"`` policy's callback, invoked with
+                each late :class:`~repro.events.event.Event` in arrival
+                order.
         """
         self.workload = workload if isinstance(workload, Workload) else Workload(workload)
         self.workload.validate()
@@ -318,6 +374,10 @@ class StreamingExecutor:
                 "or a kernel backend that folds bursts (kernel_backend='numpy')"
             )
         self.burst_size = burst_size
+        validate_lateness(allowed_lateness, late_policy, on_late)
+        self.allowed_lateness = allowed_lateness
+        self.late_policy = late_policy
+        self.on_late = on_late
         self.analysis = analyze_workload(self.workload)
         self._engine_label, prebuilt = resolve_engine_label(engine_factory)
         flavor: Optional[str] = None
@@ -378,12 +438,30 @@ class StreamingExecutor:
         return self.finish()
 
     def process(self, event: Event) -> None:
-        """Ingest one event, feeding engines and emitting closed windows."""
-        if event.time < self._clock:
-            raise ExecutionError(
-                f"streaming executor requires in-order arrival: event at "
-                f"{event.time} after stream time {self._clock}"
-            )
+        """Ingest one event, feeding engines and emitting closed windows.
+
+        With ``allowed_lateness`` set the event passes through the reorder
+        buffer first: it is buffered (and the core fed whatever the
+        advancing watermark releases, in ``(time, sequence)`` order) or,
+        when it is older than the watermark, handed to the late policy.
+        """
+        buffer = self._reorder
+        if buffer is None:
+            ensure_in_order(event.time, self._clock)
+            self._ingest_event(event)
+            return
+        if buffer.is_late(event.time):
+            self._handle_late_event(event)
+            return
+        released = buffer.push(event.time, event.sequence, event)
+        if released is None:
+            # Heap or block segments in play: run the full k-way merge.
+            self._drain(buffer.release_ready())
+        elif released:
+            self._drain_events(released)
+
+    def _ingest_event(self, event: Event) -> None:
+        """Feed one in-order event to the core (past the reorder buffer)."""
         self._clock = event.time
         self._consumed += 1
         if event.time >= self._next_close:
@@ -418,10 +496,93 @@ class StreamingExecutor:
         schedule, which block-boundary flushing cannot reproduce; for those
         — and for the per-instance reference path — this degrades to the
         thin per-event compat shim with lazily materialized row views.
+
+        With ``allowed_lateness`` set the block goes through the reorder
+        buffer: a ``(time, sequence)``-sorted block is split once at the
+        entry watermark (late prefix to the policy, the rest buffered as a
+        zero-copy segment and released as block slices — never exploded to
+        per-event objects); a block with internal regressions falls back to
+        buffering per-row views.
         """
+        if self._reorder is None:
+            if len(block):
+                ensure_block_in_order(
+                    block.times, block.start, block.stop, self._clock
+                )
+            self._ingest_block(block)
+            return
+        self._buffer_block(block)
+
+    def _buffer_block(self, block: EventBlock) -> None:
+        """Route one block through the reorder buffer (lateness mode)."""
+        count = len(block)
+        if count == 0:
+            return
+        buffer = self._reorder
+        times = block.times
+        sequences = block.sequences
+        base = block.start
+        stop = block.stop
+        # Sortedness probe at C speed: a sorted-copy compare (Timsort is
+        # one linear pass on already-sorted input) plus a set-size check
+        # that rules out equal-time ties; only a tied, time-sorted block
+        # needs the per-row (time, sequence) Python loop.
+        section = times[base:stop]
+        if sorted(section) != section:
+            sorted_block = False
+        elif len(set(section)) == count:
+            sorted_block = True
+        else:
+            sorted_block = True
+            previous_time = times[base]
+            previous_seq = sequences[base]
+            for position in range(base + 1, stop):
+                time_value = times[position]
+                seq_value = sequences[position]
+                if time_value < previous_time or (
+                    time_value == previous_time and seq_value < previous_seq
+                ):
+                    sorted_block = False
+                    break
+                previous_time = time_value
+                previous_seq = seq_value
+        if not sorted_block:
+            # Internal regressions: the zero-copy segment path needs sorted
+            # columns, so buffer lazily materialized row views one by one.
+            for local in range(count):
+                time_value = times[base + local]
+                if buffer.is_late(time_value):
+                    self._handle_late_event(block.event_at(local))
+                else:
+                    buffer.add(time_value, sequences[base + local], block.event_at(local))
+                    buffer.observe(time_value)
+            self._drain(buffer.release_ready())
+            return
+        # Sorted: one split at the entry watermark is exactly per-row
+        # classification (a sorted block's own rows can never make a later
+        # row of the same block late).
+        watermark = buffer.watermark
+        split = bisect.bisect_left(times, watermark, base, stop)
+        if split > base:
+            if self.late_policy == "raise":
+                raise late_event_error(
+                    times[base], sequences[base], watermark, self.allowed_lateness
+                )
+            if self.late_policy == "drop":
+                self._late_dropped += split - base
+            else:
+                for local in range(split - base):
+                    self._handle_late_event(block.event_at(local))
+        if split < stop:
+            buffer.add_segment(block.slice(split - base, count))
+            buffer.observe(times[stop - 1])
+            self._drain(buffer.release_ready())
+
+    def _ingest_block(self, block: EventBlock) -> None:
+        """Feed one in-order block to the core (past the reorder buffer)."""
         if self._burst_buffering or not self.shared_windows:
             for local in range(len(block)):
-                self.process(block.event_at(local))
+                self._ingest_event(block.event_at(local))
             return
         count = len(block)
         if count == 0:
@@ -456,11 +617,6 @@ class StreamingExecutor:
         for local, event_time, code, sequence in zip(
             range(count), times_col, codes_col, seqs_col
         ):
-            if event_time < clock:
-                raise ExecutionError(
-                    f"streaming executor requires in-order arrival: event at "
-                    f"{event_time} after stream time {clock}"
-                )
             clock = event_time
             consumed += 1
             if event_time >= next_close:
@@ -557,8 +713,278 @@ class StreamingExecutor:
         self._consumed = consumed
         self._engine_feeds += engine_feeds
 
+    # ------------------------------------------------------------------ #
+    # Out-of-order ingestion (reorder buffer, late policies, retraction)
+    # ------------------------------------------------------------------ #
+    @property
+    def max_event_time(self) -> float:
+        """Maximum event time seen (buffered or ingested); the stream clock
+        when no reorder buffer is configured."""
+        if self._reorder is not None:
+            return self._reorder.max_event_time
+        return self._clock
+
+    @property
+    def watermark(self) -> float:
+        """``max_event_time - allowed_lateness`` (the stream clock when no
+        reorder buffer is configured)."""
+        if self._reorder is not None:
+            return self._reorder.watermark
+        return self._clock
+
+    def _drain(self, releases: list) -> None:
+        """Ingest what the reorder buffer released, logging for retraction."""
+        if not releases:
+            return
+        retracting = self._retract_snapshots is not None
+        for kind, payload in releases:
+            if kind == "events":
+                if not payload:
+                    continue
+                if retracting:
+                    self._released_log.append(("events", payload))
+                    last = payload[-1]
+                    self._release_cursor = (last.time, last.sequence)
+                    self._released_since_rotate += len(payload)
+                for event in payload:
+                    self._ingest_event(event)
+            else:
+                if retracting:
+                    self._released_log.append(("block", payload))
+                    position = payload.stop - 1
+                    self._release_cursor = (
+                        payload.times[position],
+                        payload.sequences[position],
+                    )
+                    self._released_since_rotate += len(payload)
+                self._ingest_block(payload)
+        if retracting and self._released_since_rotate >= _RETRACT_INTERVAL:
+            self._rotate_retract_snapshot()
+
+    def _drain_events(self, events: list) -> None:
+        """Ingest a loose-event release without the per-release wrappers."""
+        if self._retract_snapshots is not None:
+            self._drain([("events", events)])
+            return
+        for event in events:
+            self._ingest_event(event)
+
+    def _handle_late_event(self, event: Event) -> None:
+        """Apply the configured policy to one beyond-the-watermark event."""
+        policy = self.late_policy
+        if policy == "drop":
+            self._late_dropped += 1
+            return
+        if policy == "side_output":
+            self._late_side_output += 1
+            self.on_late(event)  # type: ignore[misc]  # validated non-None
+            return
+        if policy == "retract":
+            self._apply_retraction(event)
+            self._late_retracted += 1
+            return
+        raise late_event_error(
+            event.time,
+            event.sequence,
+            self._reorder.watermark,  # type: ignore[union-attr]
+            self.allowed_lateness,
+        )
+
+    def _core_state(self) -> dict:
+        """The pickled-copy view of everything the core ingest state owns."""
+        return {
+            "clock": self._clock,
+            "consumed": self._consumed,
+            "engine_feeds": self._engine_feeds,
+            "shared_active": self._shared_active,
+            "windows_closed": self._windows_closed,
+            "next_close": self._next_close,
+            "units": [
+                (unit.shared_groups, unit.open, unit.pool, unit.next_close)
+                for unit in self._units
+            ],
+            "report": self._report,
+            "adaptive_stats": self._adaptive_stats,
+        }
+
+    def _restore_core(self, core: dict) -> None:
+        """Reattach a :meth:`_core_state` copy (snapshot restore / retract).
+
+        Never touches the lateness machinery: the reorder buffer, late
+        counters and retract log live *upstream* of the core and survive a
+        retraction's state rollback.
+        """
+        restored_engines: list[TrendAggregationEngine] = []
+        arrival = time.perf_counter()
+        for unit, (shared_groups, open_instances, pool, next_close) in zip(
+            self._units, core["units"]
+        ):
+            unit.shared_groups = shared_groups
+            unit.open = open_instances
+            unit.pool = pool
+            unit.next_close = next_close
+            # Arrival stamps came from another perf_counter epoch (a dead
+            # process, or this run's pre-rollback past); re-anchor them so
+            # emission latencies stay non-negative.
+            for group in shared_groups.values():
+                group.last_arrival = arrival
+            for instance in open_instances.values():
+                instance.last_arrival = arrival
+                restored_engines.append(instance.engine)
+            restored_engines.extend(pool)
+        self._engines = restored_engines
+        self._clock = core["clock"]
+        self._consumed = core["consumed"]
+        self._engine_feeds = core["engine_feeds"]
+        self._shared_active = core["shared_active"]
+        self._windows_closed = core["windows_closed"]
+        self._next_close = core["next_close"]
+        self._report = core["report"]
+        self._adaptive_stats = core["adaptive_stats"]
+
+    def _rotate_retract_snapshot(self) -> None:
+        """Snapshot the core at the release cursor; retain the last two.
+
+        Dropping older snapshots trims the released log (replay never
+        reaches behind the oldest retained snapshot) and prunes emitted-log
+        entries whose windows closed before it (they can never re-close).
+        """
+        snapshots = self._retract_snapshots
+        assert snapshots is not None
+        payload = pickle.dumps(self._core_state(), protocol=pickle.HIGHEST_PROTOCOL)
+        snapshots.append([self._release_cursor, payload, len(self._released_log)])
+        if len(snapshots) > 2:
+            del snapshots[:-2]
+            cut = snapshots[0][2]
+            if cut:
+                del self._released_log[:cut]
+                for snapshot in snapshots:
+                    snapshot[2] -= cut
+            horizon = snapshots[0][0][0]
+            self._emitted_log = {
+                key: value
+                for key, value in self._emitted_log.items()
+                if value[1] > horizon
+            }
+        self._released_since_rotate = 0
+
+    def _apply_retraction(self, event: Event) -> None:
+        """Fold one beyond-the-watermark event into already-processed state.
+
+        Bounded per-update work: restore the newest core snapshot at or
+        before the event's ``(time, sequence)`` position, splice the event
+        into the released log at that position (splitting a block segment
+        when it lands inside one), and replay the log tail — at most two
+        rotation intervals of events.  Windows that re-close are reconciled
+        by :meth:`_emit_window`: unchanged results are suppressed, changed
+        ones re-emit with ``retraction=True``.
+        """
+        key = (event.time, event.sequence)
+        snapshots = self._retract_snapshots
+        assert snapshots is not None
+        chosen = None
+        for index in range(len(snapshots) - 1, -1, -1):
+            if not key < snapshots[index][0]:
+                chosen = index
+                break
+        if chosen is None:
+            raise OutOfOrderError(
+                f"retract horizon exceeded: event at time={event.time!r} "
+                f"seq={event.sequence} predates the oldest retained engine "
+                f"snapshot; raise allowed_lateness to buffer more disorder"
+            )
+        _, payload, log_index = snapshots[chosen]
+        # Newer snapshots were taken without this event; restoring one
+        # later would silently lose it.
+        del snapshots[chosen + 1 :]
+        merged = self._merge_late_into_log(self._released_log[log_index:], event, key)
+        self._released_log[log_index:] = merged
+        self._restore_core(pickle.loads(payload))
+        for kind, entry in merged:
+            if kind == "events":
+                for item in entry:
+                    self._ingest_event(item)
+            else:
+                self._ingest_block(entry)
+        last_kind, last_entry = merged[-1]
+        if last_kind == "events":
+            last = last_entry[-1]
+            self._release_cursor = (last.time, last.sequence)
+        else:
+            position = last_entry.stop - 1
+            self._release_cursor = (
+                last_entry.times[position],
+                last_entry.sequences[position],
+            )
+
+    @staticmethod
+    def _merge_late_into_log(entries: list, event: Event, key: tuple) -> list:
+        """Splice ``event`` into release-log ``entries`` at its key position."""
+        merged: list = []
+        inserted = False
+        for entry in entries:
+            if inserted:
+                merged.append(entry)
+                continue
+            kind, payload = entry
+            if kind == "events":
+                index = len(payload)
+                for position, item in enumerate(payload):
+                    if key < (item.time, item.sequence):
+                        index = position
+                        break
+                if index < len(payload):
+                    merged.append(("events", payload[:index] + [event] + payload[index:]))
+                    inserted = True
+                else:
+                    merged.append(entry)
+            else:
+                last = payload.stop - 1
+                if key < (payload.times[last], payload.sequences[last]):
+                    base = payload.start
+                    split = bisect.bisect_left(payload.times, key[0], base, payload.stop)
+                    sequences = payload.sequences
+                    while (
+                        split < payload.stop
+                        and payload.times[split] == key[0]
+                        and sequences[split] <= key[1]
+                    ):
+                        split += 1
+                    relative = split - base
+                    if relative:
+                        merged.append(("block", payload.slice(0, relative)))
+                    merged.append(("events", [event]))
+                    merged.append(("block", payload.slice(relative, len(payload))))
+                    inserted = True
+                else:
+                    merged.append(entry)
+        if not inserted:
+            merged.append(("events", [event]))
+        return merged
+
+    def _emit_window(self, result: WindowResult) -> None:
+        """Deliver one closed window, reconciling retract re-emissions.
+
+        Under the retract policy a replay re-closes windows the original
+        pass already emitted: identical results are suppressed, changed
+        ones go out again flagged ``retraction=True`` so downstream
+        consumers can overwrite the stale value.
+        """
+        if self._retract_snapshots is not None:
+            key = (result.group_key, result.window_index)
+            previous = self._emitted_log.get(key)
+            if previous is not None:
+                if previous[0] == result.results:
+                    return
+                result = replace(result, retraction=True)
+            # Log a copy: the callback may mutate the dict it is handed.
+            self._emitted_log[key] = (dict(result.results), result.window_end)
+        self.on_window(result)  # type: ignore[misc]  # callers gate on None
+
     def finish(self) -> ExecutionReport:
         """Close every remaining window and return the report."""
+        if self._reorder is not None:
+            self._drain(self._reorder.flush())
         self._report.metrics.note_memory_units(self._open_memory_units())
         for unit in self._units:
             if unit.shared:
@@ -585,6 +1011,11 @@ class StreamingExecutor:
         report = self._report
         report.metrics.stream_events = self._consumed
         report.metrics.wall_seconds = time.perf_counter() - self._run_started
+        # Late counters live on the executor (a retraction's state rollback
+        # must not roll them back) and land in the report here.
+        report.metrics.late_dropped = self._late_dropped
+        report.metrics.late_side_output = self._late_side_output
+        report.metrics.late_retracted = self._late_retracted
         if self._consumed:
             for unit in self._units:
                 for query in unit.queries:
@@ -645,6 +1076,8 @@ class StreamingExecutor:
             "adaptive": self._optimizer_factory is not None,
             "burst_size": self.burst_size,
             "kernel": self._kernel_backend.name,
+            "allowed_lateness": self.allowed_lateness,
+            "late_policy": self.late_policy,
         }
 
     def snapshot_state(self) -> bytes:
@@ -657,25 +1090,32 @@ class StreamingExecutor:
         the *unflushed* burst buffer — flushing here would force a burst
         decision the uninterrupted run takes later), per-instance open
         windows and engine pools, the partial :class:`ExecutionReport`,
-        and the stream/close clocks.  The payload is an opaque pickle; the
-        on-disk container (:mod:`repro.runtime.checkpoint`) adds the
-        versioned, checksummed header.
+        and the stream/close clocks.  With ``allowed_lateness`` set, the
+        reorder buffer (buffered events and the watermark), the late
+        counters and the retract machinery ride along under a ``"reorder"``
+        section, so a restore resumes mid-horizon disorder handling too.
+        The payload is an opaque pickle; the on-disk container
+        (:mod:`repro.runtime.checkpoint`) adds the versioned, checksummed
+        header.
         """
+        reorder: Optional[dict] = None
+        if self._reorder is not None:
+            reorder = {
+                "buffer": self._reorder,
+                "late_dropped": self._late_dropped,
+                "late_side_output": self._late_side_output,
+                "late_retracted": self._late_retracted,
+                "release_cursor": self._release_cursor,
+                "released_log": self._released_log,
+                "released_since_rotate": self._released_since_rotate,
+                "emitted_log": self._emitted_log,
+                "retract_snapshots": self._retract_snapshots,
+            }
         state = {
             "version": SNAPSHOT_VERSION,
             "fingerprint": self._snapshot_fingerprint(),
-            "clock": self._clock,
-            "consumed": self._consumed,
-            "engine_feeds": self._engine_feeds,
-            "shared_active": self._shared_active,
-            "windows_closed": self._windows_closed,
-            "next_close": self._next_close,
-            "units": [
-                (unit.shared_groups, unit.open, unit.pool, unit.next_close)
-                for unit in self._units
-            ],
-            "report": self._report,
-            "adaptive_stats": self._adaptive_stats,
+            "core": self._core_state(),
+            "reorder": reorder,
         }
         return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
 
@@ -705,33 +1145,18 @@ class StreamingExecutor:
                 f"snapshot {state['fingerprint']!r} vs executor {fingerprint!r}"
             )
         self._begin_run()
-        restored_engines: list[TrendAggregationEngine] = []
-        arrival = time.perf_counter()
-        for unit, (shared_groups, open_instances, pool, next_close) in zip(
-            self._units, state["units"]
-        ):
-            unit.shared_groups = shared_groups
-            unit.open = open_instances
-            unit.pool = pool
-            unit.next_close = next_close
-            # Arrival stamps came from the dead process's perf_counter
-            # epoch; re-anchor them so emission latencies stay non-negative
-            # (they measure the resumed process's wall clock from here on).
-            for group in shared_groups.values():
-                group.last_arrival = arrival
-            for instance in open_instances.values():
-                instance.last_arrival = arrival
-                restored_engines.append(instance.engine)
-            restored_engines.extend(pool)
-        self._engines = restored_engines
-        self._clock = state["clock"]
-        self._consumed = state["consumed"]
-        self._engine_feeds = state["engine_feeds"]
-        self._shared_active = state["shared_active"]
-        self._windows_closed = state["windows_closed"]
-        self._next_close = state["next_close"]
-        self._report = state["report"]
-        self._adaptive_stats = state["adaptive_stats"]
+        self._restore_core(state["core"])
+        reorder = state.get("reorder")
+        if reorder is not None:
+            self._reorder = reorder["buffer"]
+            self._late_dropped = reorder["late_dropped"]
+            self._late_side_output = reorder["late_side_output"]
+            self._late_retracted = reorder["late_retracted"]
+            self._release_cursor = reorder["release_cursor"]
+            self._released_log = reorder["released_log"]
+            self._released_since_rotate = reorder["released_since_rotate"]
+            self._emitted_log = reorder["emitted_log"]
+            self._retract_snapshots = reorder["retract_snapshots"]
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -794,6 +1219,33 @@ class StreamingExecutor:
         #: Window instances closed this run (both paths) — the checkpoint
         #: scheduler's "every N window boundaries" trigger reads this.
         self._windows_closed = 0
+        #: Lateness machinery: buffer, policy counters and retract state.
+        self._reorder: Optional[ReorderBuffer] = (
+            ReorderBuffer(self.allowed_lateness)
+            if self.allowed_lateness is not None
+            else None
+        )
+        self._late_dropped = 0
+        self._late_side_output = 0
+        self._late_retracted = 0
+        #: Retract policy only: ``(time, sequence)`` of the last item fed
+        #: to the core, the release log since the oldest snapshot, the
+        #: retained ``[cursor, pickled core, log offset]`` snapshots, and
+        #: the emitted-window reconciliation log.
+        self._release_cursor: tuple = (float("-inf"), float("-inf"))
+        self._released_log: list = []
+        self._released_since_rotate = 0
+        self._emitted_log: dict = {}
+        if self._reorder is not None and self.late_policy == "retract":
+            self._retract_snapshots: Optional[list] = [
+                [
+                    self._release_cursor,
+                    pickle.dumps(self._core_state(), protocol=pickle.HIGHEST_PROTOCOL),
+                    0,
+                ]
+            ]
+        else:
+            self._retract_snapshots = None
 
     # ------------------------------------------------------------------ #
     # Shared-window path
@@ -1061,7 +1513,7 @@ class StreamingExecutor:
             if value != 0.0:  # adding exact zero is a no-op; skip the fold
                 totals[name] = totals.get(name, 0.0) + value
         if self.on_window is not None:
-            self.on_window(
+            self._emit_window(
                 WindowResult(
                     group_key=group_key,
                     window_index=meta.index,
@@ -1206,7 +1658,7 @@ class StreamingExecutor:
         engine.close()
         unit.pool.append(engine)
         if self.on_window is not None:
-            self.on_window(
+            self._emit_window(
                 WindowResult(
                     group_key=group_key,
                     window_index=window_index,
@@ -1286,6 +1738,9 @@ def run_streaming(
     optimizer: OptimizerSpec = None,
     burst_size: Optional[int] = None,
     kernel_backend: KernelBackendSpec = None,
+    allowed_lateness: Optional[float] = None,
+    late_policy: str = "raise",
+    on_late: Optional[Callable[[Event], None]] = None,
 ) -> ExecutionReport:
     """One-shot convenience wrapper around :class:`StreamingExecutor`."""
     executor = StreamingExecutor(
@@ -1297,5 +1752,8 @@ def run_streaming(
         optimizer=optimizer,
         burst_size=burst_size,
         kernel_backend=kernel_backend,
+        allowed_lateness=allowed_lateness,
+        late_policy=late_policy,
+        on_late=on_late,
     )
     return executor.run(stream)

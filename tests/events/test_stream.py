@@ -26,6 +26,27 @@ class TestEventStream:
         stream = EventStream([Event("A", 5.0), Event("B", 5.0)])
         assert len(stream) == 2
 
+    def test_equal_time_regressing_sequence_rejected(self):
+        # The boundary enforces the full (time, sequence) total order, not
+        # just time: an equal-time event with a smaller sequence would slip
+        # past a time-only check and blow up in the engines instead.
+        stream = EventStream([Event("A", 5.0, sequence=10)])
+        with pytest.raises(StreamError, match="would precede it in stream order"):
+            stream.append(Event("B", 5.0, sequence=3))
+
+    def test_equal_time_nondecreasing_sequence_allowed(self):
+        stream = EventStream([Event("A", 5.0, sequence=10)])
+        stream.append(Event("B", 5.0, sequence=10))
+        stream.append(Event("C", 5.0, sequence=11))
+        assert len(stream) == 3
+
+    def test_rejection_message_names_the_arriving_event(self):
+        # Regression: the pre-reorder message had the two events swapped,
+        # blaming the already-accepted event for the regression.
+        stream = EventStream([Event("A", 5.0, sequence=1)])
+        with pytest.raises(StreamError, match=r"time=4\.0.*arrived after.*time=5\.0"):
+            stream.append(Event("B", 4.0, sequence=2))
+
     def test_slicing_returns_stream(self):
         stream = EventStream([Event("A", 1.0), Event("B", 2.0), Event("C", 3.0)])
         sliced = stream[1:]

@@ -1,0 +1,656 @@
+"""Out-of-order ingestion: the reorder buffer, late policies, differentials.
+
+The contract under test (PR 10): with ``allowed_lateness`` set, any stream
+whose events arrive within the lateness horizon of the watermark produces
+**bit-identical** results to the fully ordered run — same totals, same
+partition results, same emission order — through every ingestion surface
+(scalar ``process``, columnar ``process_block``, the sharded driver) and
+every backend/transport combination.  Events later than the horizon hit
+the configured policy: ``raise`` (default), ``drop``, ``side_output`` or
+``retract``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HamletEngine
+from repro.errors import ExecutionError, OutOfOrderError
+from repro.events import Event, EventStream
+from repro.events.block import EventBlock
+from repro.query import Query, Window, kleene, seq
+from repro.runtime import (
+    ReorderBuffer,
+    ShardedStreamingExecutor,
+    StreamingExecutor,
+    run_sharded,
+    run_streaming,
+)
+
+try:
+    import numpy  # noqa: F401
+
+    _HAS_NUMPY = True
+except ImportError:  # pragma: no cover - depends on the environment
+    _HAS_NUMPY = False
+
+WINDOW = Window(16.0, 4.0)
+
+
+def grouped_queries(window: Window = WINDOW) -> list[Query]:
+    return [
+        Query.build(seq("A", kleene("B")), group_by=("g",), window=window, name="rq1"),
+        Query.build(seq("C", kleene("B")), group_by=("g",), window=window, name="rq2"),
+    ]
+
+
+def make_events(seed: int, size: int, groups: int = 4) -> list[Event]:
+    rng = random.Random(seed)
+    events = []
+    clock = 0.0
+    for index in range(size):
+        clock += rng.random()
+        type_name = rng.choices(("A", "B", "C"), weights=(1, 3, 1))[0]
+        events.append(
+            Event(
+                type_name,
+                clock,
+                {"v": float(rng.randint(0, 5)), "g": float(rng.randint(1, groups))},
+                sequence=index,
+            )
+        )
+    return events
+
+
+def shuffle_within(events: list[Event], horizon: float, seed: int) -> list[Event]:
+    """Reorder ``events`` so every arrival stays within ``horizon`` of the
+    watermark: sorting by a key displaced at most ``horizon / 2`` keeps any
+    event at most ``horizon`` behind the max event time seen on arrival."""
+    rng = random.Random(seed)
+    return sorted(
+        events,
+        key=lambda event: (event.time + rng.uniform(-horizon / 2, horizon / 2)),
+    )
+
+
+def emission_trace(results: list) -> list[tuple]:
+    """Emission-order fingerprint (latencies excluded: they are wall-clock)."""
+    return [
+        (
+            r.group_key,
+            r.window_index,
+            r.window_start,
+            r.window_end,
+            dict(r.results),
+            r.events,
+            r.retraction,
+        )
+        for r in results
+    ]
+
+
+def report_fingerprint(report) -> tuple:
+    return (
+        dict(report.totals),
+        [
+            (p.group_key, p.window_index, p.window_start, dict(p.results), p.events)
+            for p in report.partition_results
+        ],
+    )
+
+
+# --------------------------------------------------------------------- #
+# ReorderBuffer unit behaviour
+# --------------------------------------------------------------------- #
+class TestReorderBuffer:
+    @staticmethod
+    def _drain_keys(releases) -> list[tuple]:
+        keys: list[tuple] = []
+        for kind, payload in releases:
+            if kind == "events":
+                keys.extend((item[0], item[1]) for item in payload)
+            else:  # an EventBlock slice
+                keys.extend(
+                    (payload.times[i], payload.sequences[i])
+                    for i in range(payload.start, payload.stop)
+                )
+        return keys
+
+    def test_releases_in_total_order(self):
+        buffer = ReorderBuffer(5.0)
+        released: list[tuple] = []
+        arrivals = [(3.0, 0), (1.0, 1), (6.0, 2), (4.0, 3), (9.0, 4), (7.0, 5)]
+        for time, sequence in arrivals:
+            buffer.add(time, sequence, (time, sequence))
+            buffer.observe(time)
+            released.extend(self._drain_keys(buffer.release_ready()))
+        released.extend(self._drain_keys(buffer.flush()))
+        assert released == sorted((t, s) for t, s in arrivals)
+        assert len(buffer) == 0
+
+    def test_equal_time_to_watermark_stays_buffered(self):
+        # Releasing events *at* the watermark would lose against a same-time
+        # later-sequence arrival still within the horizon.
+        buffer = ReorderBuffer(10.0)
+        buffer.add(5.0, 0, (5.0, 0))
+        buffer.observe(5.0)
+        buffer.add(15.0, 1, (15.0, 1))
+        buffer.observe(15.0)  # watermark now exactly 5.0
+        assert self._drain_keys(buffer.release_ready()) == []
+        assert not buffer.is_late(5.0)  # a same-time arrival is not late
+        buffer.add(5.0, 2, (5.0, 2))
+        buffer.observe(5.0)
+        assert self._drain_keys(buffer.flush()) == [(5.0, 0), (5.0, 2), (15.0, 1)]
+
+    def test_sorted_segments_merge_with_loose_events(self):
+        events = make_events(seed=3, size=30)
+        block = EventBlock.from_events(events[10:20])
+        buffer = ReorderBuffer(1000.0)
+        for event in events[:10] + events[20:]:
+            buffer.add(event.time, event.sequence, (event.time, event.sequence))
+        buffer.add_segment(block)
+        keys = self._drain_keys(buffer.flush())
+        assert keys == [(event.time, event.sequence) for event in events]
+
+    def test_block_segments_release_zero_copy_slices(self):
+        events = make_events(seed=4, size=12)
+        buffer = ReorderBuffer(0.0)
+        buffer.add_segment(EventBlock.from_events(events))
+        buffer.observe(events[-1].time)
+        releases = buffer.flush()
+        kinds = [kind for kind, _ in releases]
+        assert kinds == ["block"]
+        assert releases[0][1].times is not None  # a block slice, not a list
+
+    def test_negative_or_nan_lateness_rejected(self):
+        with pytest.raises(ExecutionError, match="allowed_lateness"):
+            ReorderBuffer(-1.0)
+        with pytest.raises(ExecutionError, match="allowed_lateness"):
+            ReorderBuffer(float("nan"))
+
+
+# --------------------------------------------------------------------- #
+# Config validation
+# --------------------------------------------------------------------- #
+class TestLatenessConfig:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ExecutionError, match="late policy"):
+            StreamingExecutor(
+                grouped_queries(), HamletEngine, allowed_lateness=1.0, late_policy="defer"
+            )
+
+    def test_policy_without_lateness_rejected(self):
+        with pytest.raises(ExecutionError, match="allowed_lateness"):
+            StreamingExecutor(grouped_queries(), HamletEngine, late_policy="drop")
+
+    def test_side_output_requires_on_late(self):
+        with pytest.raises(ExecutionError, match="on_late"):
+            StreamingExecutor(
+                grouped_queries(),
+                HamletEngine,
+                allowed_lateness=1.0,
+                late_policy="side_output",
+            )
+
+    def test_on_late_requires_side_output_policy(self):
+        with pytest.raises(ExecutionError, match="side_output"):
+            StreamingExecutor(
+                grouped_queries(),
+                HamletEngine,
+                allowed_lateness=1.0,
+                late_policy="drop",
+                on_late=lambda event: None,
+            )
+
+    def test_sharded_on_late_requires_workers_zero(self):
+        with pytest.raises(ExecutionError, match="workers=0"):
+            ShardedStreamingExecutor(
+                grouped_queries(),
+                HamletEngine,
+                workers=2,
+                allowed_lateness=1.0,
+                late_policy="side_output",
+                on_late=print,
+            )
+
+    def test_sharded_validates_policy_fail_fast(self):
+        with pytest.raises(ExecutionError, match="late policy"):
+            ShardedStreamingExecutor(
+                grouped_queries(), HamletEngine, allowed_lateness=1.0, late_policy="bogus"
+            )
+
+
+# --------------------------------------------------------------------- #
+# Within-horizon differential: shuffled == ordered, bit for bit
+# --------------------------------------------------------------------- #
+@st.composite
+def _stream_and_horizon(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    size = draw(st.integers(min_value=0, max_value=120))
+    horizon = draw(st.floats(min_value=0.5, max_value=30.0, allow_nan=False))
+    events = make_events(seed=seed, size=size)
+    return events, shuffle_within(events, horizon, seed=seed + 1), horizon
+
+
+class TestWithinHorizonDifferential:
+    @settings(deadline=None, derandomize=True, max_examples=40)
+    @given(data=_stream_and_horizon())
+    def test_scalar_process_matches_ordered_run(self, data):
+        events, shuffled, horizon = data
+        queries = grouped_queries()
+        ordered_emissions: list = []
+        ordered = run_streaming(
+            queries, list(events), HamletEngine, on_window=ordered_emissions.append
+        )
+        buffered_emissions: list = []
+        buffered = run_streaming(
+            queries,
+            shuffled,
+            HamletEngine,
+            allowed_lateness=horizon,
+            on_window=buffered_emissions.append,
+        )
+        assert report_fingerprint(buffered) == report_fingerprint(ordered)
+        assert emission_trace(buffered_emissions) == emission_trace(ordered_emissions)
+
+    @settings(deadline=None, derandomize=True, max_examples=25)
+    @given(data=_stream_and_horizon())
+    def test_block_ingest_matches_ordered_run(self, data):
+        events, shuffled, horizon = data
+        queries = grouped_queries()
+        ordered = run_streaming(queries, list(events), HamletEngine)
+        executor = StreamingExecutor(queries, HamletEngine, allowed_lateness=horizon)
+        buffered = executor.run(EventBlock.from_events(shuffled))
+        assert report_fingerprint(buffered) == report_fingerprint(ordered)
+
+    @settings(deadline=None, derandomize=True, max_examples=15)
+    @given(
+        data=_stream_and_horizon(),
+        shards=st.sampled_from((1, 2, 4)),
+    )
+    def test_sharded_in_process_matches_ordered_run(self, data, shards):
+        events, shuffled, horizon = data
+        queries = grouped_queries()
+        ordered = run_streaming(queries, list(events), HamletEngine)
+        sharded = run_sharded(
+            queries,
+            shuffled,
+            HamletEngine,
+            workers=0,
+            shards=shards,
+            allowed_lateness=horizon,
+        )
+        assert report_fingerprint(sharded) == report_fingerprint(ordered)
+
+    def test_in_order_stream_with_buffer_is_identical(self):
+        # The buffer must be a pure pass-through on ordered input: same
+        # report, same emission order, nothing dropped or retracted.
+        events = make_events(seed=11, size=150)
+        queries = grouped_queries()
+        strict_emissions: list = []
+        strict = run_streaming(
+            queries, list(events), HamletEngine, on_window=strict_emissions.append
+        )
+        buffered_emissions: list = []
+        buffered = run_streaming(
+            queries,
+            list(events),
+            HamletEngine,
+            allowed_lateness=5.0,
+            on_window=buffered_emissions.append,
+        )
+        assert report_fingerprint(buffered) == report_fingerprint(strict)
+        assert emission_trace(buffered_emissions) == emission_trace(strict_emissions)
+        assert buffered.metrics.late_dropped == 0
+        assert buffered.metrics.late_retracted == 0
+
+
+# --------------------------------------------------------------------- #
+# Backend x transport x shard-count matrix (pool mode)
+# --------------------------------------------------------------------- #
+_BACKENDS = (
+    "python",
+    pytest.param(
+        "numpy", marks=pytest.mark.skipif(not _HAS_NUMPY, reason="numpy not installed")
+    ),
+    pytest.param(
+        "auto", marks=pytest.mark.skipif(not _HAS_NUMPY, reason="numpy not installed")
+    ),
+)
+
+
+class TestShardedMatrixDifferential:
+    EVENTS = make_events(seed=21, size=150)
+    SHUFFLED = shuffle_within(EVENTS, horizon=8.0, seed=22)
+
+    def _ordered(self, backend):
+        return run_streaming(
+            grouped_queries(), list(self.EVENTS), HamletEngine, kernel_backend=backend
+        )
+
+    @pytest.mark.parametrize("backend", _BACKENDS)
+    @pytest.mark.parametrize("transport", ("pickle", "shm"))
+    def test_pool_workers_match_ordered_run(self, backend, transport):
+        sharded = run_sharded(
+            grouped_queries(),
+            list(self.SHUFFLED),
+            HamletEngine,
+            workers=2,
+            transport=transport,
+            kernel_backend=backend,
+            allowed_lateness=8.0,
+        )
+        assert report_fingerprint(sharded) == report_fingerprint(self._ordered(backend))
+
+    @pytest.mark.parametrize("workers", (1, 4))
+    def test_pool_shard_counts_match_ordered_run(self, workers):
+        sharded = run_sharded(
+            grouped_queries(),
+            list(self.SHUFFLED),
+            HamletEngine,
+            workers=workers,
+            allowed_lateness=8.0,
+        )
+        assert report_fingerprint(sharded) == report_fingerprint(self._ordered(None))
+
+    def test_pool_block_ingest_matches_ordered_run(self):
+        executor = ShardedStreamingExecutor(
+            grouped_queries(), HamletEngine, workers=2, allowed_lateness=8.0
+        )
+        sharded = executor.run(EventBlock.from_events(self.SHUFFLED))
+        assert report_fingerprint(sharded) == report_fingerprint(self._ordered(None))
+
+
+# --------------------------------------------------------------------- #
+# Equal-time events across shards
+# --------------------------------------------------------------------- #
+class TestEqualTimeInterleavings:
+    @staticmethod
+    def _equal_time_events() -> list[Event]:
+        rng = random.Random(31)
+        events = []
+        sequence = 0
+        for burst_time in (2.0, 2.0, 6.0, 6.0, 10.0):
+            for _ in range(8):
+                events.append(
+                    Event(
+                        rng.choice(("A", "B", "C")),
+                        burst_time,
+                        {"g": float(rng.randint(1, 4))},
+                        sequence=sequence,
+                    )
+                )
+                sequence += 1
+        return events
+
+    @pytest.mark.parametrize("shards", (2, 4))
+    def test_equal_time_cross_shard_interleavings(self, shards):
+        # Whole equal-time bursts arrive sequence-shuffled: the (time,
+        # sequence) total order must be restored identically on every
+        # shard layout.
+        events = self._equal_time_events()
+        ordered = run_streaming(grouped_queries(), list(events), HamletEngine)
+        rng = random.Random(32)
+        shuffled = sorted(events, key=lambda event: (event.time, rng.random()))
+        sharded = run_sharded(
+            grouped_queries(),
+            shuffled,
+            HamletEngine,
+            workers=0,
+            shards=shards,
+            allowed_lateness=1.0,
+        )
+        assert report_fingerprint(sharded) == report_fingerprint(ordered)
+
+
+# --------------------------------------------------------------------- #
+# Late policies
+# --------------------------------------------------------------------- #
+class TestLatePolicies:
+    @staticmethod
+    def _with_stragglers() -> tuple[list[Event], list[Event]]:
+        """An in-order core plus two stragglers far behind the horizon."""
+        core = make_events(seed=41, size=80)
+        anchor = max(event.time for event in core)
+        late = [
+            Event("B", 1.0, {"g": 1.0}, sequence=1001),
+            Event("A", 2.0, {"g": 2.0}, sequence=1002),
+        ]
+        assert anchor - 5.0 > 2.0  # both are behind the watermark
+        arrivals = core + late
+        return arrivals, late
+
+    def test_raise_is_the_default_and_names_the_watermark(self):
+        arrivals, _ = self._with_stragglers()
+        with pytest.raises(OutOfOrderError, match="behind the watermark"):
+            run_streaming(
+                grouped_queries(), arrivals, HamletEngine, allowed_lateness=5.0
+            )
+
+    def test_raise_error_is_catchable_as_both_families(self):
+        # OutOfOrderError must satisfy pre-existing except clauses for both
+        # StreamError and ExecutionError call sites.
+        from repro.errors import StreamError
+
+        arrivals, _ = self._with_stragglers()
+        for family in (StreamError, ExecutionError):
+            with pytest.raises(family):
+                run_streaming(
+                    grouped_queries(), arrivals, HamletEngine, allowed_lateness=5.0
+                )
+
+    def test_drop_counts_and_excludes_late_events(self):
+        arrivals, late = self._with_stragglers()
+        report = run_streaming(
+            grouped_queries(),
+            arrivals,
+            HamletEngine,
+            allowed_lateness=5.0,
+            late_policy="drop",
+        )
+        clean = run_streaming(
+            grouped_queries(),
+            [event for event in arrivals if event not in late],
+            HamletEngine,
+        )
+        assert report.metrics.late_dropped == len(late)
+        assert report.metrics.late_side_output == 0
+        assert report_fingerprint(report) == report_fingerprint(clean)
+        # Dropped events never reached the core: not in stream_events.
+        assert report.metrics.stream_events == len(arrivals) - len(late)
+
+    def test_drop_counts_block_prefixes_without_materializing(self):
+        arrivals, late = self._with_stragglers()
+        executor = StreamingExecutor(
+            grouped_queries(), HamletEngine, allowed_lateness=5.0, late_policy="drop"
+        )
+        report = executor.run(EventBlock.from_events(arrivals))
+        assert report.metrics.late_dropped == len(late)
+
+    def test_side_output_receives_the_late_events(self):
+        arrivals, late = self._with_stragglers()
+        side: list[Event] = []
+        report = run_streaming(
+            grouped_queries(),
+            arrivals,
+            HamletEngine,
+            allowed_lateness=5.0,
+            late_policy="side_output",
+            on_late=side.append,
+        )
+        assert side == late
+        assert report.metrics.late_side_output == len(late)
+        assert report.metrics.late_dropped == 0
+
+    def test_retract_matches_fully_ordered_run(self):
+        arrivals, late = self._with_stragglers()
+        ordered = run_streaming(
+            grouped_queries(),
+            sorted(arrivals, key=lambda event: (event.time, event.sequence)),
+            HamletEngine,
+        )
+        report = run_streaming(
+            grouped_queries(),
+            arrivals,
+            HamletEngine,
+            allowed_lateness=5.0,
+            late_policy="retract",
+        )
+        assert report.metrics.late_retracted == len(late)
+        assert report_fingerprint(report) == report_fingerprint(ordered)
+
+    def test_retract_reemits_changed_windows_flagged(self):
+        window = Window(60.0, 30.0)
+        queries = [Query.build(seq("A", kleene("B")), window=window, name="rw")]
+        events = [
+            Event("A", 10.0, sequence=0),
+            Event("B", 20.0, sequence=1),
+            Event("B", 70.0, sequence=2),
+            Event("B", 130.0, sequence=3),
+            Event("B", 25.0, sequence=4),  # late: changes window 0's count
+            Event("B", 140.0, sequence=5),
+        ]
+        emitted: list = []
+        report = run_streaming(
+            queries,
+            events,
+            HamletEngine,
+            allowed_lateness=50.0,
+            late_policy="retract",
+            on_window=emitted.append,
+        )
+        ordered = run_streaming(
+            queries, sorted(events, key=lambda e: (e.time, e.sequence)), HamletEngine
+        )
+        assert report_fingerprint(report) == report_fingerprint(ordered)
+        retractions = [r for r in emitted if r.retraction]
+        assert len(retractions) == 1
+        assert retractions[0].window_index == 0
+        # The re-emission carries the corrected result.
+        assert retractions[0].results == {"rw": 3.0}
+
+    def test_retract_suppresses_unchanged_reemissions(self):
+        window = Window(60.0, 30.0)
+        queries = [Query.build(seq("A", kleene("B")), window=window, name="rw")]
+        events = [
+            Event("A", 10.0, sequence=0),
+            Event("B", 20.0, sequence=1),
+            Event("B", 70.0, sequence=2),
+            Event("B", 130.0, sequence=3),
+            Event("A", 25.0, sequence=4),  # late but changes nothing in [0, 60)
+            Event("B", 140.0, sequence=5),
+        ]
+        emitted: list = []
+        report = run_streaming(
+            queries,
+            events,
+            HamletEngine,
+            allowed_lateness=50.0,
+            late_policy="retract",
+            on_window=emitted.append,
+        )
+        assert report.metrics.late_retracted == 1
+        assert [r for r in emitted if r.retraction] == []
+        closes = [(r.group_key, r.window_index) for r in emitted]
+        assert len(closes) == len(set(closes))  # each window emitted once
+
+    def test_sharded_drop_counts_surface_in_merged_metrics(self):
+        arrivals, late = self._with_stragglers()
+        report = run_sharded(
+            grouped_queries(),
+            arrivals,
+            HamletEngine,
+            workers=0,
+            shards=2,
+            allowed_lateness=5.0,
+            late_policy="drop",
+        )
+        # Per-shard watermarks trail per-shard maxima, so a shard can be
+        # *more* tolerant than the global clock — never less.  Both
+        # stragglers are behind every shard's horizon here.
+        assert report.metrics.late_dropped == len(late)
+
+
+# --------------------------------------------------------------------- #
+# Checkpoints carry the buffer
+# --------------------------------------------------------------------- #
+class TestCheckpointWithBufferedEvents:
+    @pytest.mark.parametrize("late_policy", ("raise", "retract"))
+    def test_snapshot_restore_mid_buffer_resumes_identically(self, late_policy):
+        events = make_events(seed=51, size=120)
+        shuffled = shuffle_within(events, horizon=6.0, seed=52)
+        queries = grouped_queries()
+        reference = run_streaming(
+            queries,
+            list(shuffled),
+            HamletEngine,
+            allowed_lateness=6.0,
+            late_policy=late_policy,
+        )
+        split = len(shuffled) // 2
+        first = StreamingExecutor(
+            queries, HamletEngine, allowed_lateness=6.0, late_policy=late_policy
+        )
+        for event in shuffled[:split]:
+            first.process(event)
+        payload = first.snapshot_state()
+        second = StreamingExecutor(
+            queries, HamletEngine, allowed_lateness=6.0, late_policy=late_policy
+        )
+        second.restore_state(payload)
+        for event in shuffled[split:]:
+            second.process(event)
+        resumed = second.finish()
+        assert report_fingerprint(resumed) == report_fingerprint(reference)
+
+    def test_snapshot_fingerprint_pins_lateness_config(self):
+        events = make_events(seed=53, size=40)
+        source = StreamingExecutor(grouped_queries(), HamletEngine, allowed_lateness=4.0)
+        for event in events[:20]:
+            source.process(event)
+        payload = source.snapshot_state()
+        mismatched = StreamingExecutor(
+            grouped_queries(), HamletEngine, allowed_lateness=9.0
+        )
+        from repro.errors import CheckpointError
+
+        with pytest.raises(CheckpointError):
+            mismatched.restore_state(payload)
+
+
+# --------------------------------------------------------------------- #
+# Strict mode is unchanged
+# --------------------------------------------------------------------- #
+class TestStrictModeUnchanged:
+    def test_streaming_rejects_disorder_without_lateness(self):
+        executor = StreamingExecutor(grouped_queries(), HamletEngine)
+        executor.process(Event("A", 5.0, {"g": 1.0}, sequence=0))
+        with pytest.raises(OutOfOrderError, match="allowed_lateness"):
+            executor.process(Event("B", 4.0, {"g": 1.0}, sequence=1))
+
+    def test_sharded_driver_rejects_disorder_without_lateness(self):
+        executor = ShardedStreamingExecutor(
+            grouped_queries(), HamletEngine, workers=0, shards=2
+        )
+        executor.process(Event("A", 5.0, {"g": 1.0}, sequence=0))
+        with pytest.raises(OutOfOrderError, match="sharded executor"):
+            executor.process(Event("B", 4.0, {"g": 1.0}, sequence=1))
+
+    def test_sharded_watermark_is_min_over_shards(self):
+        executor = ShardedStreamingExecutor(
+            grouped_queries(), HamletEngine, workers=0, shards=2, allowed_lateness=2.0
+        )
+        assert executor.watermark is None
+        fed = []
+        for sequence, time in enumerate((1.0, 2.0, 5.0, 9.0)):
+            event = Event("B", time, {"g": float(sequence % 2 + 1)}, sequence=sequence)
+            executor.process(event)
+            fed.append(event)
+        marks = executor._shard_max_time
+        expected = min(mark for mark in marks if mark != float("-inf")) - 2.0
+        assert executor.watermark == expected
+        executor.finish()

@@ -25,6 +25,7 @@ from reprolint.rules.blocks import EventConstructionRule
 from reprolint.rules.determinism import NondeterminismRule, UnstableIdentityOrderingRule
 from reprolint.rules.exceptions import ExceptionDisciplineRule
 from reprolint.rules.imports import NumpyImportRule
+from reprolint.rules.ordering import RawOrderComparisonRule
 from reprolint.rules.process import ProcessBoundaryCallableRule
 from reprolint.rules.resources import SharedMemoryUnlinkRule
 from reprolint.rules.slots import SlotsRule
@@ -597,6 +598,68 @@ class TestRL010:
 
 
 # --------------------------------------------------------------------- #
+# RL011 — no raw event-time-vs-cursor ordering comparisons
+# --------------------------------------------------------------------- #
+class TestRL011:
+    RULE = RawOrderComparisonRule()
+
+    def test_bad_time_vs_clock_check(self):
+        # The exact shape the pre-PR-10 executors used inline.
+        bad = """
+            def process(self, event):
+                if event.time < self._clock:
+                    raise ExecutionError("out of order")
+                self._clock = event.time
+            """
+        violations = run_rule(self.RULE, bad, "repro/runtime/sharding.py")
+        assert rule_ids(violations) == ["RL011"]
+        assert "ensure_in_order" in violations[0].message
+
+    def test_bad_latest_event_comparison(self):
+        # The shared-window engines' drifted copy: time-only, backwards
+        # message — the drift RL011 exists to prevent recurring.
+        bad = """
+            def process(self, event):
+                latest = self._latest_event
+                if latest is not None and latest.time > event.time:
+                    raise ExecutionError("strictly ordered arrival required")
+            """
+        violations = run_rule(self.RULE, bad, "repro/runtime/shared_windows.py")
+        assert rule_ids(violations) == ["RL011"]
+
+    def test_bad_chained_comparison(self):
+        bad = """
+            def stale(self, event):
+                return self._clock >= event.sequence >= 0
+            """
+        assert rule_ids(run_rule(self.RULE, bad, "repro/runtime/streaming.py")) == [
+            "RL011"
+        ]
+
+    def test_good_helper_calls_and_unrelated_compares(self):
+        good = """
+            def process(self, event):
+                ensure_in_order(event.time, self._clock)
+                self._clock = max(self._clock, event.time)
+                if event.time >= self._window_end:
+                    self._close()
+            """
+        assert run_rule(self.RULE, good, "repro/runtime/streaming.py") == []
+
+    def test_sanctioned_homes_are_excluded(self):
+        raw = """
+            def append(self, event):
+                if event.time < self._last_time:
+                    raise StreamError("out-of-order append")
+            """
+        assert run_rule(self.RULE, raw, "repro/events/stream.py") == []
+        assert run_rule(self.RULE, raw, "repro/runtime/reorder.py") == []
+        # Pattern engines compare events for pattern semantics, not
+        # arrival order — out of scope.
+        assert run_rule(self.RULE, raw, "repro/core/hamlet_graph.py") == []
+
+
+# --------------------------------------------------------------------- #
 # Suppressions
 # --------------------------------------------------------------------- #
 class TestSuppressions:
@@ -636,7 +699,7 @@ class TestFramework:
 
     def test_rule_catalogue_ids_unique_and_documented(self):
         ids = [rule_class.id for rule_class in ALL_RULES]
-        assert len(ids) == len(set(ids)) == 10
+        assert len(ids) == len(set(ids)) == 11
         assert ids == sorted(ids)
         for rule_class in ALL_RULES:
             assert rule_class.title, rule_class.id

@@ -9,6 +9,7 @@ from reprolint.rules.blocks import EventConstructionRule
 from reprolint.rules.determinism import NondeterminismRule, UnstableIdentityOrderingRule
 from reprolint.rules.exceptions import ExceptionDisciplineRule
 from reprolint.rules.imports import NumpyImportRule
+from reprolint.rules.ordering import RawOrderComparisonRule
 from reprolint.rules.process import ProcessBoundaryCallableRule
 from reprolint.rules.resources import SharedMemoryUnlinkRule
 from reprolint.rules.slots import SlotsRule
@@ -26,6 +27,7 @@ ALL_RULES = (
     ExceptionDisciplineRule,  # RL008
     AtomicCheckpointWriteRule,  # RL009
     EventConstructionRule,  # RL010
+    RawOrderComparisonRule,  # RL011
 )
 
 __all__ = [
@@ -37,6 +39,7 @@ __all__ = [
     "NondeterminismRule",
     "NumpyImportRule",
     "ProcessBoundaryCallableRule",
+    "RawOrderComparisonRule",
     "SharedMemoryUnlinkRule",
     "SlotsRule",
     "UnstableIdentityOrderingRule",

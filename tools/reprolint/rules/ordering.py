@@ -1,0 +1,99 @@
+"""RL011 — arrival-order decisions go through the reorder helpers.
+
+PR 10 made :mod:`repro.runtime.reorder` the single home of the stream's
+arrival-order contract: the watermark math, the ``(time, sequence)``
+total order, and every rejection message live there (plus the boundary
+check in :mod:`repro.events.stream`).  Before that, three copy-pasted
+strict-order checks had already drifted apart — one compared time only,
+one had its error message backwards — and any new raw comparison of an
+event's time against a stream cursor would restart exactly that drift.
+A module that needs an ordering decision calls ``ensure_in_order`` /
+``ensure_shared_order`` / ``ReorderBuffer`` instead of comparing a
+timestamp against a ``clock``/``latest`` cursor inline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from reprolint.framework import ModuleContext, Rule, Violation, dotted_name
+
+__all__ = ["RawOrderComparisonRule"]
+
+#: Terminal-name shapes of a stream-position cursor ("where the stream is").
+_CURSOR_PREFIXES = ("last", "latest", "prev")
+
+
+def _segments(node: ast.AST) -> list[str]:
+    """Underscore-stripped, lowered segments of a Name/Attribute chain."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        return []
+    return [part.lstrip("_").lower() for part in dotted.split(".")]
+
+
+def _is_cursor(node: ast.AST) -> bool:
+    """A stream-position cursor anywhere in the chain: ``self._clock``,
+    ``latest.time``, ``prev_seq`` all read the stream's position."""
+    return any(
+        "clock" in segment or segment.startswith(_CURSOR_PREFIXES)
+        for segment in _segments(node)
+    )
+
+
+def _is_event_term(node: ast.AST) -> bool:
+    segments = _segments(node)
+    if not segments:
+        return False
+    terminal = segments[-1]
+    return terminal in ("event", "seq", "sequence") or terminal.endswith(
+        ("time", "seq", "sequence")
+    )
+
+
+class RawOrderComparisonRule(Rule):
+    id: ClassVar[str] = "RL011"
+    title: ClassVar[str] = "no raw event-time-vs-cursor ordering comparisons"
+    rationale: ClassVar[str] = (
+        "The arrival-order contract (watermark math, the (time, sequence) "
+        "total order, the rejection wording) lives in repro.runtime.reorder "
+        "and the EventStream.append boundary check.  An inline "
+        "`event.time < self._clock`-shaped comparison re-encodes that "
+        "contract locally, which is how the pre-PR-10 order checks drifted "
+        "into a time-only test and a backwards error message.  Call the "
+        "reorder helpers (ensure_in_order, ensure_shared_order, "
+        "ReorderBuffer) instead."
+    )
+    #: Where arrival-order enforcement lives (and where it drifted before).
+    #: The pattern engines (repro/core, repro/greta) compare events for
+    #: *pattern* semantics — predecessor ordering inside a window, negation
+    #: intervals — which is a different contract and stays out of scope.
+    scope: ClassVar[tuple[str, ...]] = ("repro/runtime/", "repro/events/")
+    #: The two sanctioned homes of the ordering contract.
+    exclude: ClassVar[tuple[str, ...]] = (
+        "repro/events/stream.py",
+        "repro/runtime/reorder.py",
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            left = node.left
+            for op, right in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE)):
+                    cursor_left, cursor_right = _is_cursor(left), _is_cursor(right)
+                    if (cursor_left and not cursor_right and _is_event_term(right)) or (
+                        cursor_right and not cursor_left and _is_event_term(left)
+                    ):
+                        yield module.violation(
+                            self,
+                            node,
+                            "raw ordering comparison of an event time/sequence "
+                            "against a stream cursor; use the repro.runtime."
+                            "reorder helpers (ensure_in_order, "
+                            "ensure_shared_order, ReorderBuffer)",
+                        )
+                        break
+                left = right
